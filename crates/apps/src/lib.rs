@@ -1,0 +1,28 @@
+//! # iqpaths-apps — the paper's evaluation applications
+//!
+//! Three representative distributed applications drive the evaluation
+//! (§6 and the referenced technical report):
+//!
+//! * [`smartpointer`] — the SmartPointer molecular-dynamics remote
+//!   visualization system: streams *Atom* (3.249 Mbps @ 95%), *Bond1*
+//!   (22.148 Mbps @ 95%) and best-effort *Bond2*, framed at 25 fps.
+//! * [`gridftp`] — IQPG-GridFTP transferring climate-database records
+//!   (DT1 numeric 172.8 KB, DT2 low-res 128 KB, DT3 high-res 384 KB) at
+//!   a 25 records/s SLO for DT1/DT2.
+//! * [`mpeg4`] — MPEG-4 fine-grained-scalable layered video: a base
+//!   layer with a strong guarantee and FGS enhancement layers with
+//!   progressively weaker utility.
+//!
+//! All applications emit time-ordered packet [`workload::Arrival`]s via
+//! the [`workload::Workload`] trait; the middleware feeds them into the
+//! stream queues and drives whichever scheduler is under test.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod gridftp;
+pub mod mpeg4;
+pub mod smartpointer;
+pub mod workload;
+
+pub use workload::{Arrival, FrameTracker, Workload};

@@ -1,0 +1,308 @@
+//! MPEG-4 fine-grained-scalable (FGS) layered video (extension
+//! experiment).
+//!
+//! The paper's §1/§6 reference a technical-report experiment showing
+//! "substantially improved service level QoS IQ-Paths offers when
+//! applied to MPEG-4 Fine-Grained Scalable video streaming", building
+//! on Kim & Ammar's optimal FGS quality adaptation. The workload: a
+//! base layer that must arrive (strong guarantee) plus enhancement
+//! layers of decreasing utility, with VBR frame sizes. A frame's
+//! rendered quality is the number of contiguous layers delivered by its
+//! deadline.
+
+use crate::workload::{Arrival, Workload};
+use iqpaths_core::stream::StreamSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the layered-video workload.
+#[derive(Debug, Clone)]
+pub struct Mpeg4Config {
+    /// Mean rate of each layer (bits/s), base layer first.
+    pub layer_rates: Vec<f64>,
+    /// Guarantee probability of each guaranteed layer (`None` = best
+    /// effort). Must align with `layer_rates`.
+    pub layer_guarantees: Vec<Option<f64>>,
+    /// Frame rate.
+    pub fps: f64,
+    /// VBR amplitude: per-frame sizes vary by ± this fraction (sine +
+    /// noise), the "variable-bit-rate nature of layered video".
+    pub vbr_frac: f64,
+    /// Scene-length of the VBR sine component in seconds.
+    pub scene_period: f64,
+    /// Packet size in bytes.
+    pub packet_bytes: u32,
+    /// Duration in seconds.
+    pub duration: f64,
+    /// RNG seed for the VBR noise.
+    pub seed: u64,
+}
+
+impl Default for Mpeg4Config {
+    fn default() -> Self {
+        Self {
+            // Base + two FGS enhancement layers.
+            layer_rates: vec![1.0e6, 2.0e6, 4.0e6],
+            layer_guarantees: vec![Some(0.99), Some(0.9), None],
+            fps: 30.0,
+            vbr_frac: 0.4,
+            scene_period: 8.0,
+            packet_bytes: 1250,
+            duration: 60.0,
+            seed: 42,
+        }
+    }
+}
+
+/// The layered-video workload generator.
+pub struct Mpeg4Video {
+    specs: Vec<StreamSpec>,
+    cfg: Mpeg4Config,
+    rng: StdRng,
+    frame_idx: u64,
+    pending: std::collections::VecDeque<Arrival>,
+}
+
+impl Mpeg4Video {
+    /// Builds the workload.
+    ///
+    /// # Panics
+    /// Panics on empty/mismatched layer tables.
+    pub fn new(cfg: Mpeg4Config) -> Self {
+        assert!(!cfg.layer_rates.is_empty(), "need at least a base layer");
+        assert_eq!(cfg.layer_rates.len(), cfg.layer_guarantees.len());
+        let specs = Self::specs(&cfg);
+        Self {
+            specs,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            cfg,
+            frame_idx: 0,
+            pending: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// The stream table: one stream per layer.
+    pub fn specs(cfg: &Mpeg4Config) -> Vec<StreamSpec> {
+        cfg.layer_rates
+            .iter()
+            .zip(&cfg.layer_guarantees)
+            .enumerate()
+            .map(|(i, (&rate, &g))| match g {
+                Some(p) => StreamSpec::probabilistic(
+                    i,
+                    format!("layer{i}"),
+                    rate,
+                    p,
+                    cfg.packet_bytes,
+                ),
+                None => StreamSpec::best_effort(i, format!("layer{i}"), rate, cfg.packet_bytes),
+            })
+            .collect()
+    }
+
+    /// Number of layers.
+    pub fn layers(&self) -> usize {
+        self.cfg.layer_rates.len()
+    }
+
+    fn refill(&mut self) {
+        let t = self.frame_idx as f64 / self.cfg.fps;
+        if t >= self.cfg.duration {
+            return;
+        }
+        // Shared VBR modulation: all layers of a frame swell together
+        // (scene complexity), with per-frame noise.
+        let sine = (2.0 * std::f64::consts::PI * t / self.cfg.scene_period).sin();
+        let noise: f64 = self.rng.gen_range(-0.5..=0.5);
+        let factor = (1.0 + self.cfg.vbr_frac * (0.7 * sine + 0.6 * noise)).max(0.1);
+        for (layer, &rate) in self.cfg.layer_rates.iter().enumerate() {
+            let frame_bytes = (rate / (8.0 * self.cfg.fps) * factor).round() as u32;
+            let mut remaining = frame_bytes.max(1);
+            while remaining > 0 {
+                let sz = remaining.min(self.cfg.packet_bytes);
+                self.pending.push_back(Arrival {
+                    at: t,
+                    stream: layer,
+                    bytes: sz,
+                });
+                remaining -= sz;
+            }
+        }
+        self.frame_idx += 1;
+    }
+}
+
+impl Workload for Mpeg4Video {
+    fn specs(&self) -> &[StreamSpec] {
+        &self.specs
+    }
+
+    fn next_arrival(&mut self) -> Option<Arrival> {
+        if self.pending.is_empty() {
+            self.refill();
+        }
+        self.pending.pop_front()
+    }
+}
+
+/// Per-frame quality accounting: a frame renders at quality `q` when
+/// layers `0..q` were all delivered by the frame deadline.
+#[derive(Debug, Clone)]
+pub struct QualityTracker {
+    layers: usize,
+    fps: f64,
+    deadline_slack: f64,
+    /// `delivered[layer][frame] = bits delivered by deadline` is
+    /// approximated by counting on-time bytes per (layer, frame).
+    on_time: Vec<std::collections::HashMap<u64, u64>>,
+    expected: Vec<std::collections::HashMap<u64, u64>>,
+}
+
+impl QualityTracker {
+    /// Tracker for `layers` layers at `fps`, allowing `deadline_slack`
+    /// seconds of decode buffer.
+    pub fn new(layers: usize, fps: f64, deadline_slack: f64) -> Self {
+        Self {
+            layers,
+            fps,
+            deadline_slack,
+            on_time: vec![Default::default(); layers],
+            expected: vec![Default::default(); layers],
+        }
+    }
+
+    fn frame_of(&self, created: f64) -> u64 {
+        (created * self.fps).round() as u64
+    }
+
+    /// Registers a generated packet (from the arrival stream).
+    pub fn on_arrival(&mut self, layer: usize, created: f64, bytes: u32) {
+        let f = self.frame_of(created);
+        *self.expected[layer].entry(f).or_insert(0) += bytes as u64;
+    }
+
+    /// Registers a delivery; counts it when within the frame deadline.
+    pub fn on_delivery(&mut self, layer: usize, created: f64, delivered: f64, bytes: u32) {
+        let f = self.frame_of(created);
+        let deadline = created + self.deadline_slack;
+        if delivered <= deadline {
+            *self.on_time[layer].entry(f).or_insert(0) += bytes as u64;
+        }
+    }
+
+    /// Quality of frame `f`: highest `q` such that layers `0..q` each
+    /// delivered ≥ 95% of their bytes on time.
+    pub fn frame_quality(&self, f: u64) -> usize {
+        let mut q = 0;
+        for layer in 0..self.layers {
+            let need = self.expected[layer].get(&f).copied().unwrap_or(0);
+            let got = self.on_time[layer].get(&f).copied().unwrap_or(0);
+            if need == 0 || (got as f64) < need as f64 * 0.95 {
+                break;
+            }
+            q = layer + 1;
+        }
+        q
+    }
+
+    /// Mean quality over frames `0..n`.
+    pub fn mean_quality(&self, n: u64) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        (0..n).map(|f| self.frame_quality(f) as f64).sum::<f64>() / n as f64
+    }
+
+    /// Fraction of frames `0..n` whose base layer was on time (playable
+    /// frames).
+    pub fn playable_fraction(&self, n: u64) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        (0..n).filter(|&f| self.frame_quality(f) >= 1).count() as f64 / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_follow_layer_tables() {
+        let cfg = Mpeg4Config::default();
+        let specs = Mpeg4Video::specs(&cfg);
+        assert_eq!(specs.len(), 3);
+        assert!(!specs[0].guarantee.is_best_effort());
+        assert!(specs[2].guarantee.is_best_effort());
+    }
+
+    #[test]
+    fn offered_rate_tracks_layer_rates_on_average() {
+        let cfg = Mpeg4Config {
+            duration: 30.0,
+            ..Default::default()
+        };
+        let mut v = Mpeg4Video::new(cfg.clone());
+        let mut bits = [0.0; 3];
+        while let Some(a) = v.next_arrival() {
+            bits[a.stream] += a.bytes as f64 * 8.0;
+        }
+        for (layer, &rate) in cfg.layer_rates.iter().enumerate() {
+            let measured = bits[layer] / cfg.duration;
+            assert!(
+                (measured - rate).abs() / rate < 0.15,
+                "layer {layer}: measured {measured} vs {rate}"
+            );
+        }
+    }
+
+    #[test]
+    fn vbr_varies_frame_sizes() {
+        let cfg = Mpeg4Config {
+            duration: 10.0,
+            ..Default::default()
+        };
+        let mut v = Mpeg4Video::new(cfg);
+        let mut per_frame: std::collections::HashMap<u64, u64> = Default::default();
+        while let Some(a) = v.next_arrival() {
+            if a.stream == 0 {
+                *per_frame.entry((a.at * 30.0).round() as u64).or_insert(0) +=
+                    a.bytes as u64;
+            }
+        }
+        let sizes: Vec<f64> = per_frame.values().map(|&b| b as f64).collect();
+        let s = iqpaths_stats::timeseries::SeriesSummary::of(&sizes).unwrap();
+        assert!(s.cov > 0.1, "VBR cov {} too flat", s.cov);
+    }
+
+    #[test]
+    fn quality_tracker_counts_layers() {
+        let mut qt = QualityTracker::new(3, 30.0, 0.5);
+        // Frame 0: all three layers on time.
+        for layer in 0..3 {
+            qt.on_arrival(layer, 0.0, 1000);
+            qt.on_delivery(layer, 0.0, 0.1, 1000);
+        }
+        assert_eq!(qt.frame_quality(0), 3);
+        // Frame 1: base on time, layer 1 late → quality 1 even though
+        // layer 2 was on time (contiguity).
+        for layer in 0..3 {
+            qt.on_arrival(layer, 1.0 / 30.0, 1000);
+        }
+        qt.on_delivery(0, 1.0 / 30.0, 0.2, 1000);
+        qt.on_delivery(1, 1.0 / 30.0, 9.0, 1000); // late
+        qt.on_delivery(2, 1.0 / 30.0, 0.2, 1000);
+        assert_eq!(qt.frame_quality(1), 1);
+        assert!((qt.mean_quality(2) - 2.0).abs() < 1e-12);
+        assert_eq!(qt.playable_fraction(2), 1.0);
+    }
+
+    #[test]
+    fn missing_base_layer_means_unplayable() {
+        let mut qt = QualityTracker::new(2, 30.0, 0.1);
+        qt.on_arrival(0, 0.0, 1000);
+        qt.on_delivery(0, 0.0, 5.0, 1000); // way late
+        assert_eq!(qt.frame_quality(0), 0);
+        assert_eq!(qt.playable_fraction(1), 0.0);
+    }
+}

@@ -1,0 +1,186 @@
+//! The SmartPointer distributed-collaboration workload (§6.1).
+//!
+//! "Consider the SmartPointer server issuing three streams (Atom, Bond1,
+//! and Bond2) to remote clients. Streams Atom and Bond1 are data about
+//! all atoms and those bonds that are in the observer's immediate
+//! graphical view volume, whereas stream Bond2 contains the bonds
+//! outside the observer's current view. Therefore, Streams Atom and
+//! Bond1 are important and must be delivered in real-time (25 frame/sec)
+//! … The input (utility requirements) to PGOS are 3.249 Mbps with 95%
+//! predictive guarantee for stream Atom and 22.148 Mbps with 95%
+//! predictive guarantee for stream Bond1."
+
+use crate::workload::{FramedSource, FrameTracker, Workload};
+use iqpaths_core::stream::StreamSpec;
+
+/// Stream indices of the SmartPointer workload.
+pub const ATOM: usize = 0;
+/// Critical in-view bond stream.
+pub const BOND1: usize = 1;
+/// Out-of-view bond stream (best effort).
+pub const BOND2: usize = 2;
+
+/// Frame rate required for effective collaboration.
+pub const FPS: f64 = 25.0;
+/// Atom stream requirement (bits/s).
+pub const ATOM_BW: f64 = 3.249e6;
+/// Bond1 stream requirement (bits/s).
+pub const BOND1_BW: f64 = 22.148e6;
+/// Guarantee level for both critical streams.
+pub const GUARANTEE_P: f64 = 0.95;
+
+/// Configuration of the SmartPointer workload.
+#[derive(Debug, Clone, Copy)]
+pub struct SmartPointerConfig {
+    /// Offered rate of the best-effort Bond2 stream (bits/s). The paper
+    /// lets it soak up all leftover path bandwidth; 70 Mbps pushes the
+    /// total offered load to the edge of the two paths' combined
+    /// available bandwidth, as in the evaluation.
+    pub bond2_bw: f64,
+    /// Packet size in bytes for all three streams.
+    pub packet_bytes: u32,
+    /// Workload duration in seconds.
+    pub duration: f64,
+}
+
+impl Default for SmartPointerConfig {
+    fn default() -> Self {
+        Self {
+            bond2_bw: 70.0e6,
+            packet_bytes: 1250,
+            duration: 150.0,
+        }
+    }
+}
+
+/// The SmartPointer workload generator.
+pub struct SmartPointer {
+    source: FramedSource,
+    per_frame_packets: Vec<u64>,
+}
+
+impl SmartPointer {
+    /// Builds the three-stream workload.
+    pub fn new(cfg: SmartPointerConfig) -> Self {
+        let specs = Self::specs(cfg);
+        let frame_bytes = |bw: f64| (bw / (8.0 * FPS)).round() as u32;
+        let frames = vec![
+            frame_bytes(ATOM_BW),
+            frame_bytes(BOND1_BW),
+            frame_bytes(cfg.bond2_bw),
+        ];
+        let source = FramedSource::new(specs, frames, FPS, cfg.duration);
+        let per_frame_packets = (0..3)
+            .map(|s| source.packets_per_frame(s) as u64)
+            .collect();
+        Self {
+            source,
+            per_frame_packets,
+        }
+    }
+
+    /// The stream table: Atom and Bond1 with 95% probabilistic
+    /// guarantees, Bond2 best-effort.
+    pub fn specs(cfg: SmartPointerConfig) -> Vec<StreamSpec> {
+        vec![
+            StreamSpec::probabilistic(ATOM, "Atom", ATOM_BW, GUARANTEE_P, cfg.packet_bytes),
+            StreamSpec::probabilistic(BOND1, "Bond1", BOND1_BW, GUARANTEE_P, cfg.packet_bytes),
+            StreamSpec::best_effort(BOND2, "Bond2", cfg.bond2_bw, cfg.packet_bytes),
+        ]
+    }
+
+    /// A frame tracker sized for this workload (critical streams only —
+    /// Bond2 frames are not latency-relevant).
+    pub fn frame_tracker(&self) -> FrameTracker {
+        let mut per_frame = self.per_frame_packets.clone();
+        per_frame[BOND2] = 0;
+        FrameTracker::new(per_frame)
+    }
+
+    /// Packets per frame of a stream.
+    pub fn packets_per_frame(&self, stream: usize) -> u64 {
+        self.per_frame_packets[stream]
+    }
+}
+
+impl Workload for SmartPointer {
+    fn specs(&self) -> &[StreamSpec] {
+        self.source.specs()
+    }
+
+    fn next_arrival(&mut self) -> Option<crate::workload::Arrival> {
+        self.source.next_arrival()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_match_paper_numbers() {
+        let specs = SmartPointer::specs(SmartPointerConfig::default());
+        assert_eq!(specs.len(), 3);
+        assert_eq!(specs[ATOM].required_bw, 3.249e6);
+        assert_eq!(specs[BOND1].required_bw, 22.148e6);
+        assert!(specs[BOND2].guarantee.is_best_effort());
+        match specs[ATOM].guarantee {
+            iqpaths_core::stream::Guarantee::Probabilistic { p } => assert_eq!(p, 0.95),
+            _ => panic!("Atom must be probabilistic"),
+        }
+    }
+
+    #[test]
+    fn offered_rates_match_requirements() {
+        let cfg = SmartPointerConfig {
+            duration: 4.0,
+            ..Default::default()
+        };
+        let mut sp = SmartPointer::new(cfg);
+        let mut bits = [0.0f64; 3];
+        while let Some(a) = sp.next_arrival() {
+            bits[a.stream] += a.bytes as f64 * 8.0;
+        }
+        let rate = |b: f64| b / cfg.duration;
+        assert!((rate(bits[ATOM]) - ATOM_BW).abs() / ATOM_BW < 0.01);
+        assert!((rate(bits[BOND1]) - BOND1_BW).abs() / BOND1_BW < 0.01);
+        assert!((rate(bits[BOND2]) - cfg.bond2_bw).abs() / cfg.bond2_bw < 0.01);
+    }
+
+    #[test]
+    fn frames_arrive_at_25fps() {
+        let cfg = SmartPointerConfig {
+            duration: 1.0,
+            ..Default::default()
+        };
+        let mut sp = SmartPointer::new(cfg);
+        let mut atom_times = std::collections::BTreeSet::new();
+        while let Some(a) = sp.next_arrival() {
+            if a.stream == ATOM {
+                atom_times.insert((a.at * 1000.0).round() as u64);
+            }
+        }
+        assert_eq!(atom_times.len(), 25);
+        let times: Vec<u64> = atom_times.into_iter().collect();
+        assert_eq!(times[1] - times[0], 40); // 40 ms cadence
+    }
+
+    #[test]
+    fn tracker_ignores_bond2() {
+        let sp = SmartPointer::new(SmartPointerConfig {
+            duration: 1.0,
+            ..Default::default()
+        });
+        let mut ft = sp.frame_tracker();
+        for seq in 0..1000 {
+            ft.on_delivery(BOND2, seq, seq as f64);
+        }
+        assert_eq!(ft.frames_completed(BOND2), 0);
+        // Atom frames complete normally.
+        let ppf = sp.packets_per_frame(ATOM);
+        for seq in 0..ppf {
+            ft.on_delivery(ATOM, seq, 0.01 * seq as f64);
+        }
+        assert_eq!(ft.frames_completed(ATOM), 1);
+    }
+}

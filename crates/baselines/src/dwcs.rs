@@ -1,0 +1,272 @@
+//! Dynamic Window-Constrained Scheduling (West & Poellabauer, RTSS
+//! 2000 — the paper's [31], which it credits as PGOS's inspiration).
+//!
+//! DWCS serves, per window, streams described by `(x, y)` constraints —
+//! at least `x` of every `y` packets must be serviced — prioritizing by
+//! earliest deadline and breaking ties by *current* window constraint,
+//! which it *dynamically* tightens for streams that have suffered
+//! misses (a stream that lost a packet this window becomes more urgent)
+//! and relaxes for streams already satisfied.
+//!
+//! This implementation is the single-path reference: it shows what the
+//! paper's precedence rules look like without overlay paths or
+//! statistical prediction, and serves as a further baseline for the
+//! SmartPointer scenario.
+
+use iqpaths_core::queues::{QueuedPacket, StreamQueues};
+use iqpaths_core::stream::StreamSpec;
+use iqpaths_core::traits::{MultipathScheduler, PathSnapshot};
+
+#[derive(Debug, Clone, Copy)]
+struct WindowState {
+    /// Packets still required this window (`x` remaining).
+    required: u32,
+    /// Packets still expected to arrive this window (`y` remaining).
+    expected: u32,
+    /// Original constraint (for reset).
+    x: u32,
+    y: u32,
+    /// Per-packet virtual deadline spacing within the window (ns).
+    spacing: u64,
+    /// Next virtual deadline.
+    next_deadline: u64,
+}
+
+impl WindowState {
+    /// Current urgency: required/expected, 1.0 when nothing can be
+    /// spared, ∞-like (2.0) when the window can no longer be satisfied.
+    fn urgency(&self) -> f64 {
+        if self.required == 0 {
+            return 0.0;
+        }
+        if self.expected == 0 {
+            return 2.0;
+        }
+        self.required as f64 / self.expected as f64
+    }
+}
+
+/// Single-path Dynamic Window-Constrained Scheduler.
+#[derive(Debug, Clone)]
+pub struct Dwcs {
+    specs: Vec<StreamSpec>,
+    path: usize,
+    states: Vec<WindowState>,
+    window_start_ns: u64,
+}
+
+impl Dwcs {
+    /// DWCS on `path` with the given scheduling-window length.
+    ///
+    /// # Panics
+    /// Panics if `window_secs <= 0`.
+    pub fn new(specs: Vec<StreamSpec>, path: usize, window_secs: f64) -> Self {
+        assert!(window_secs > 0.0);
+        let states = specs
+            .iter()
+            .map(|s| {
+                let wc = s.window_constraint(window_secs);
+                WindowState {
+                    required: wc.x,
+                    expected: wc.y,
+                    x: wc.x,
+                    y: wc.y,
+                    spacing: if wc.x == 0 {
+                        u64::MAX
+                    } else {
+                        ((window_secs * 1e9) as u64) / u64::from(wc.x)
+                    },
+                    next_deadline: 0,
+                }
+            })
+            .collect();
+        Self {
+            specs,
+            path,
+            states,
+            window_start_ns: 0,
+        }
+    }
+}
+
+impl MultipathScheduler for Dwcs {
+    fn name(&self) -> &str {
+        "DWCS"
+    }
+
+    fn specs(&self) -> &[StreamSpec] {
+        &self.specs
+    }
+
+    fn on_window_start(&mut self, window_start_ns: u64, _window_ns: u64, _paths: &[PathSnapshot]) {
+        self.window_start_ns = window_start_ns;
+        for st in &mut self.states {
+            st.required = st.x;
+            st.expected = st.y;
+            st.next_deadline = window_start_ns.saturating_add(st.spacing);
+        }
+    }
+
+    fn next_packet(
+        &mut self,
+        path: usize,
+        _now_ns: u64,
+        queues: &mut StreamQueues,
+    ) -> Option<QueuedPacket> {
+        if path != self.path {
+            return None;
+        }
+        // DWCS selection: earliest deadline among backlogged streams with
+        // outstanding requirements; ties (and the no-requirement pool) by
+        // dynamic urgency, then stream index. Best-effort streams have
+        // x = 0 and only win when no constrained stream is backlogged.
+        let mut best: Option<(usize, u64, f64)> = None;
+        for s in queues.backlogged() {
+            let st = &self.states[s];
+            let (deadline, urgency) = if st.required > 0 {
+                (st.next_deadline, st.urgency())
+            } else {
+                (u64::MAX, 0.0)
+            };
+            let better = match best {
+                None => true,
+                Some((bs, bd, bu)) => {
+                    (deadline, std::cmp::Reverse((urgency * 1e9) as u64), s)
+                        < (bd, std::cmp::Reverse((bu * 1e9) as u64), bs)
+                }
+            };
+            if better {
+                best = Some((s, deadline, urgency));
+            }
+        }
+        let (stream, _, _) = best?;
+        let mut pkt = queues.pop(stream)?;
+        let st = &mut self.states[stream];
+        if st.required > 0 {
+            pkt.deadline_ns = st.next_deadline;
+            st.required -= 1;
+            st.next_deadline = st.next_deadline.saturating_add(st.spacing);
+        }
+        st.expected = st.expected.saturating_sub(1);
+        Some(pkt)
+    }
+
+    fn uses_path(&self, path: usize) -> bool {
+        path == self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn specs() -> Vec<StreamSpec> {
+        vec![
+            // 8 pkts/window of 1000 B at 1 s windows = 64 kbit/s.
+            StreamSpec::probabilistic(0, "crit", 64_000.0, 0.95, 1000),
+            StreamSpec::best_effort(1, "bulk", 64_000.0, 1000),
+        ]
+    }
+
+    fn window(d: &mut Dwcs) {
+        d.on_window_start(0, 1_000_000_000, &[]);
+    }
+
+    fn fill(q: &mut StreamQueues, s: usize, n: usize) {
+        for _ in 0..n {
+            q.push(s, 1000, 0);
+        }
+    }
+
+    #[test]
+    fn constrained_stream_preempts_best_effort() {
+        let mut d = Dwcs::new(specs(), 0, 1.0);
+        let mut q = StreamQueues::new(2, 64);
+        window(&mut d);
+        fill(&mut q, 0, 4);
+        fill(&mut q, 1, 4);
+        for _ in 0..4 {
+            assert_eq!(d.next_packet(0, 0, &mut q).unwrap().stream, 0);
+        }
+        // Requirement left (x = 8) but queue 0 empty → bulk gets service.
+        assert_eq!(d.next_packet(0, 0, &mut q).unwrap().stream, 1);
+    }
+
+    #[test]
+    fn satisfied_requirement_releases_the_path() {
+        let mut d = Dwcs::new(specs(), 0, 1.0);
+        let mut q = StreamQueues::new(2, 64);
+        window(&mut d);
+        fill(&mut q, 0, 12);
+        fill(&mut q, 1, 12);
+        // Serve the full x = 8 requirement.
+        for _ in 0..8 {
+            assert_eq!(d.next_packet(0, 0, &mut q).unwrap().stream, 0);
+        }
+        // Constraint met: both streams now compete as best effort and the
+        // lower index wins ties, but stream 0 no longer holds a deadline.
+        let pkt = d.next_packet(0, 0, &mut q).unwrap();
+        assert_eq!(pkt.deadline_ns, u64::MAX);
+    }
+
+    #[test]
+    fn deadlines_are_paced_within_window() {
+        let mut d = Dwcs::new(specs(), 0, 1.0);
+        let mut q = StreamQueues::new(2, 64);
+        window(&mut d);
+        fill(&mut q, 0, 2);
+        let a = d.next_packet(0, 0, &mut q).unwrap();
+        let b = d.next_packet(0, 0, &mut q).unwrap();
+        assert_eq!(b.deadline_ns - a.deadline_ns, 125_000_000); // 1s / 8
+    }
+
+    #[test]
+    fn window_reset_restores_requirements() {
+        let mut d = Dwcs::new(specs(), 0, 1.0);
+        let mut q = StreamQueues::new(2, 64);
+        window(&mut d);
+        fill(&mut q, 0, 8);
+        for _ in 0..8 {
+            d.next_packet(0, 0, &mut q);
+        }
+        d.on_window_start(1_000_000_000, 1_000_000_000, &[]);
+        fill(&mut q, 0, 1);
+        fill(&mut q, 1, 1);
+        // New window: stream 0's requirement is back.
+        assert_eq!(d.next_packet(0, 0, &mut q).unwrap().stream, 0);
+    }
+
+    #[test]
+    fn only_its_path_is_served() {
+        let mut d = Dwcs::new(specs(), 0, 1.0);
+        let mut q = StreamQueues::new(2, 8);
+        window(&mut d);
+        fill(&mut q, 0, 1);
+        assert!(d.next_packet(1, 0, &mut q).is_none());
+        assert!(!d.uses_path(1));
+        assert!(d.next_packet(0, 0, &mut q).is_some());
+    }
+
+    #[test]
+    fn urgency_rises_as_slack_disappears() {
+        let st = WindowState {
+            required: 4,
+            expected: 4,
+            x: 4,
+            y: 8,
+            spacing: 1,
+            next_deadline: 0,
+        };
+        assert!((st.urgency() - 1.0).abs() < 1e-12);
+        let slack = WindowState {
+            expected: 8,
+            ..st
+        };
+        assert!((slack.urgency() - 0.5).abs() < 1e-12);
+        let doomed = WindowState {
+            expected: 0,
+            ..st
+        };
+        assert!(doomed.urgency() > 1.5);
+    }
+}

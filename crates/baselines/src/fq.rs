@@ -1,0 +1,247 @@
+//! Fair-queuing baselines: single-path WFQ and multi-server MSFQ.
+//!
+//! Both use start-time fair queuing (SFQ) virtual time: stream `i` with
+//! weight `w_i` tags its `k`-th packet with
+//! `S_i^k = max(V, F_i^{k−1})`, `F_i^k = S_i^k + size / w_i`, and the
+//! server serves the backlogged stream with the smallest start tag.
+//!
+//! The difference is purely the serving surface: [`Wfq`] transmits on a
+//! single designated path ("non-overlay fair queuing"); [`Msfq`] lets
+//! every free path pull the globally next packet, aggregating the paths
+//! into one multi-server fair queue (Blanquer & Özden).
+//!
+//! Both allocate *proportionally* — which is exactly why they fail the
+//! paper's critical streams: "although both of these two algorithms can
+//! successfully maintain the proportion of the bandwidth allocated to
+//! multiple streams, they cannot provide specific bandwidth to a
+//! particular stream."
+
+use iqpaths_core::mapping::Upcall;
+use iqpaths_core::queues::{QueuedPacket, StreamQueues};
+use iqpaths_core::stream::StreamSpec;
+use iqpaths_core::traits::{MultipathScheduler, PathSnapshot};
+
+/// Shared SFQ engine.
+#[derive(Debug, Clone)]
+struct SfqState {
+    specs: Vec<StreamSpec>,
+    /// Last finish tag per stream.
+    finish: Vec<f64>,
+    /// Server virtual time (start tag of the last served packet).
+    vtime: f64,
+}
+
+impl SfqState {
+    fn new(specs: Vec<StreamSpec>) -> Self {
+        let n = specs.len();
+        Self {
+            specs,
+            finish: vec![0.0; n],
+            vtime: 0.0,
+        }
+    }
+
+    /// Serves the backlogged stream with the minimum start tag.
+    fn next(&mut self, queues: &mut StreamQueues) -> Option<QueuedPacket> {
+        let mut best: Option<(usize, f64)> = None;
+        for s in queues.backlogged() {
+            let start = self.vtime.max(self.finish[s]);
+            if best.is_none_or(|(_, bs)| start < bs) {
+                best = Some((s, start));
+            }
+        }
+        let (stream, start) = best?;
+        let pkt = queues.pop(stream)?;
+        self.vtime = start;
+        self.finish[stream] = start + pkt.bytes as f64 * 8.0 / self.specs[stream].weight;
+        Some(pkt)
+    }
+}
+
+/// Single-path weighted fair queuing — the "non-overlay FQ" baseline.
+#[derive(Debug, Clone)]
+pub struct Wfq {
+    sfq: SfqState,
+    path: usize,
+}
+
+impl Wfq {
+    /// WFQ transmitting only on `path` (path A in the paper's testbed).
+    pub fn new(specs: Vec<StreamSpec>, path: usize) -> Self {
+        Self {
+            sfq: SfqState::new(specs),
+            path,
+        }
+    }
+}
+
+impl MultipathScheduler for Wfq {
+    fn name(&self) -> &str {
+        "WFQ"
+    }
+
+    fn specs(&self) -> &[StreamSpec] {
+        &self.sfq.specs
+    }
+
+    fn on_window_start(&mut self, _start: u64, _win: u64, _paths: &[PathSnapshot]) {}
+
+    fn next_packet(
+        &mut self,
+        path: usize,
+        _now_ns: u64,
+        queues: &mut StreamQueues,
+    ) -> Option<QueuedPacket> {
+        if path != self.path {
+            return None;
+        }
+        self.sfq.next(queues)
+    }
+
+    fn uses_path(&self, path: usize) -> bool {
+        path == self.path
+    }
+
+    fn drain_upcalls(&mut self) -> Vec<Upcall> {
+        Vec::new()
+    }
+}
+
+/// Multi-server fair queuing over all paths.
+#[derive(Debug, Clone)]
+pub struct Msfq {
+    sfq: SfqState,
+}
+
+impl Msfq {
+    /// MSFQ over every available path.
+    pub fn new(specs: Vec<StreamSpec>) -> Self {
+        Self {
+            sfq: SfqState::new(specs),
+        }
+    }
+}
+
+impl MultipathScheduler for Msfq {
+    fn name(&self) -> &str {
+        "MSFQ"
+    }
+
+    fn specs(&self) -> &[StreamSpec] {
+        &self.sfq.specs
+    }
+
+    fn on_window_start(&mut self, _start: u64, _win: u64, _paths: &[PathSnapshot]) {}
+
+    fn next_packet(
+        &mut self,
+        _path: usize,
+        _now_ns: u64,
+        queues: &mut StreamQueues,
+    ) -> Option<QueuedPacket> {
+        self.sfq.next(queues)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn specs() -> Vec<StreamSpec> {
+        vec![
+            StreamSpec::probabilistic(0, "a", 2.0e6, 0.95, 1000).with_weight(2.0),
+            StreamSpec::best_effort(1, "b", 1.0e6, 1000).with_weight(1.0),
+        ]
+    }
+
+    fn fill(q: &mut StreamQueues, stream: usize, n: usize) {
+        for _ in 0..n {
+            q.push(stream, 1000, 0);
+        }
+    }
+
+    #[test]
+    fn wfq_only_serves_its_path() {
+        let mut w = Wfq::new(specs(), 0);
+        let mut q = StreamQueues::new(2, 100);
+        fill(&mut q, 0, 5);
+        assert!(w.uses_path(0));
+        assert!(!w.uses_path(1));
+        assert!(w.next_packet(1, 0, &mut q).is_none());
+        assert!(w.next_packet(0, 0, &mut q).is_some());
+    }
+
+    #[test]
+    fn sfq_shares_proportionally_to_weights() {
+        // Weight 2 : 1 → stream 0 gets ~2/3 of the service.
+        let mut w = Wfq::new(specs(), 0);
+        let mut q = StreamQueues::new(2, 1000);
+        fill(&mut q, 0, 600);
+        fill(&mut q, 1, 600);
+        let mut count = [0usize; 2];
+        for _ in 0..300 {
+            let pkt = w.next_packet(0, 0, &mut q).unwrap();
+            count[pkt.stream] += 1;
+        }
+        let share0 = count[0] as f64 / 300.0;
+        assert!((share0 - 2.0 / 3.0).abs() < 0.05, "share0={share0}");
+    }
+
+    #[test]
+    fn sfq_serves_sole_backlogged_stream() {
+        let mut w = Wfq::new(specs(), 0);
+        let mut q = StreamQueues::new(2, 100);
+        fill(&mut q, 1, 3);
+        for _ in 0..3 {
+            assert_eq!(w.next_packet(0, 0, &mut q).unwrap().stream, 1);
+        }
+        assert!(w.next_packet(0, 0, &mut q).is_none());
+    }
+
+    #[test]
+    fn idle_stream_does_not_accumulate_credit() {
+        // Serve stream 1 alone for a while; when stream 0 wakes it must
+        // not monopolize (SFQ start tags jump to current vtime).
+        let mut w = Wfq::new(specs(), 0);
+        let mut q = StreamQueues::new(2, 10_000);
+        fill(&mut q, 1, 1000);
+        for _ in 0..1000 {
+            w.next_packet(0, 0, &mut q);
+        }
+        fill(&mut q, 0, 300);
+        fill(&mut q, 1, 300);
+        let mut count = [0usize; 2];
+        for _ in 0..300 {
+            let pkt = w.next_packet(0, 0, &mut q).unwrap();
+            count[pkt.stream] += 1;
+        }
+        // Still ~2:1, not 300:0.
+        assert!(count[1] > 60, "stream 1 starved: {count:?}");
+    }
+
+    #[test]
+    fn msfq_serves_any_path() {
+        let mut m = Msfq::new(specs());
+        let mut q = StreamQueues::new(2, 100);
+        fill(&mut q, 0, 4);
+        assert!(m.uses_path(0) && m.uses_path(1));
+        assert!(m.next_packet(0, 0, &mut q).is_some());
+        assert!(m.next_packet(1, 0, &mut q).is_some());
+        assert_eq!(m.name(), "MSFQ");
+    }
+
+    #[test]
+    fn msfq_proportions_hold_across_paths() {
+        let mut m = Msfq::new(specs());
+        let mut q = StreamQueues::new(2, 2000);
+        fill(&mut q, 0, 900);
+        fill(&mut q, 1, 900);
+        let mut count = [0usize; 2];
+        for k in 0..600 {
+            let pkt = m.next_packet(k % 2, 0, &mut q).unwrap();
+            count[pkt.stream] += 1;
+        }
+        let share0 = count[0] as f64 / 600.0;
+        assert!((share0 - 2.0 / 3.0).abs() < 0.05, "share0={share0}");
+    }
+}

@@ -1,0 +1,225 @@
+//! GridFTP data layouts (§6.2).
+//!
+//! "IQPG-GridFTP … implements the Partitioned and Blocked data layout
+//! options to distribute file contents across the connections in
+//! addition to the PGOS layout. A partitioned data layout is one where
+//! contiguous chunks of file are distributed evenly across all the
+//! connections for transfer, while a blocked data layout is one where
+//! data blocks (each of size block-size) are distributed in a
+//! round-robin fashion."
+//!
+//! In the record-stream model the "file contents" are the per-type
+//! record streams (DT1 / DT2 / DT3): neither layout differentiates
+//! between data types — "when the available bandwidth of any path is
+//! low, all types of data have to compete with each other" — which is
+//! precisely what Figure 12a shows.
+
+use iqpaths_core::queues::{QueuedPacket, StreamQueues};
+use iqpaths_core::stream::StreamSpec;
+use iqpaths_core::traits::{MultipathScheduler, PathSnapshot};
+
+/// Blocked layout: data blocks are distributed round-robin across the
+/// parallel connections, cycling round-robin over the backlogged
+/// streams (standard GridFTP behaviour).
+#[derive(Debug, Clone)]
+pub struct BlockedLayout {
+    specs: Vec<StreamSpec>,
+    next_stream: usize,
+}
+
+impl BlockedLayout {
+    /// Blocked layout over the given stream set.
+    pub fn new(specs: Vec<StreamSpec>) -> Self {
+        Self {
+            specs,
+            next_stream: 0,
+        }
+    }
+}
+
+impl MultipathScheduler for BlockedLayout {
+    fn name(&self) -> &str {
+        "GridFTP-blocked"
+    }
+
+    fn specs(&self) -> &[StreamSpec] {
+        &self.specs
+    }
+
+    fn on_window_start(&mut self, _s: u64, _w: u64, _p: &[PathSnapshot]) {}
+
+    fn next_packet(
+        &mut self,
+        _path: usize,
+        _now_ns: u64,
+        queues: &mut StreamQueues,
+    ) -> Option<QueuedPacket> {
+        let n = self.specs.len();
+        for k in 0..n {
+            let s = (self.next_stream + k) % n;
+            if queues.len(s) > 0 {
+                self.next_stream = (s + 1) % n;
+                return queues.pop(s);
+            }
+        }
+        None
+    }
+}
+
+/// Partitioned layout: each connection statically owns a contiguous
+/// partition of the data — modeled as a static stream → path assignment
+/// (`stream % paths`). Packets of a stream only ever travel on its
+/// owning path, so a congested path stalls exactly the streams pinned
+/// to it.
+#[derive(Debug, Clone)]
+pub struct PartitionedLayout {
+    specs: Vec<StreamSpec>,
+    paths: usize,
+    /// Round-robin position per path over the streams it owns.
+    cursor: Vec<usize>,
+}
+
+impl PartitionedLayout {
+    /// Partitioned layout over `paths` connections.
+    ///
+    /// # Panics
+    /// Panics if `paths == 0`.
+    pub fn new(specs: Vec<StreamSpec>, paths: usize) -> Self {
+        assert!(paths > 0);
+        Self {
+            specs,
+            paths,
+            cursor: vec![0; paths],
+        }
+    }
+
+    /// The path that owns a stream.
+    pub fn owner(&self, stream: usize) -> usize {
+        stream % self.paths
+    }
+}
+
+impl MultipathScheduler for PartitionedLayout {
+    fn name(&self) -> &str {
+        "GridFTP-partitioned"
+    }
+
+    fn specs(&self) -> &[StreamSpec] {
+        &self.specs
+    }
+
+    fn on_window_start(&mut self, _s: u64, _w: u64, _p: &[PathSnapshot]) {}
+
+    fn next_packet(
+        &mut self,
+        path: usize,
+        _now_ns: u64,
+        queues: &mut StreamQueues,
+    ) -> Option<QueuedPacket> {
+        let owned: Vec<usize> = (0..self.specs.len())
+            .filter(|&s| self.owner(s) == path)
+            .collect();
+        if owned.is_empty() {
+            return None;
+        }
+        let start = self.cursor[path] % owned.len();
+        for k in 0..owned.len() {
+            let s = owned[(start + k) % owned.len()];
+            if queues.len(s) > 0 {
+                self.cursor[path] = (start + k + 1) % owned.len();
+                return queues.pop(s);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn specs(n: usize) -> Vec<StreamSpec> {
+        (0..n)
+            .map(|i| StreamSpec::best_effort(i, format!("dt{i}"), 1.0e6, 1000))
+            .collect()
+    }
+
+    fn fill(q: &mut StreamQueues, stream: usize, n: usize) {
+        for _ in 0..n {
+            q.push(stream, 1000, 0);
+        }
+    }
+
+    #[test]
+    fn blocked_round_robins_streams() {
+        let mut b = BlockedLayout::new(specs(3));
+        let mut q = StreamQueues::new(3, 100);
+        for s in 0..3 {
+            fill(&mut q, s, 4);
+        }
+        let order: Vec<usize> = (0..6)
+            .map(|_| b.next_packet(0, 0, &mut q).unwrap().stream)
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn blocked_skips_empty_streams() {
+        let mut b = BlockedLayout::new(specs(3));
+        let mut q = StreamQueues::new(3, 100);
+        fill(&mut q, 1, 2);
+        assert_eq!(b.next_packet(0, 0, &mut q).unwrap().stream, 1);
+        assert_eq!(b.next_packet(1, 0, &mut q).unwrap().stream, 1);
+        assert!(b.next_packet(0, 0, &mut q).is_none());
+    }
+
+    #[test]
+    fn blocked_serves_all_paths() {
+        let mut b = BlockedLayout::new(specs(2));
+        let mut q = StreamQueues::new(2, 100);
+        fill(&mut q, 0, 2);
+        assert!(b.next_packet(0, 0, &mut q).is_some());
+        assert!(b.next_packet(1, 0, &mut q).is_some());
+    }
+
+    #[test]
+    fn partitioned_pins_streams_to_paths() {
+        let mut p = PartitionedLayout::new(specs(4), 2);
+        let mut q = StreamQueues::new(4, 100);
+        for s in 0..4 {
+            fill(&mut q, s, 2);
+        }
+        // Path 0 owns streams 0 and 2; path 1 owns 1 and 3.
+        for _ in 0..4 {
+            let pkt = p.next_packet(0, 0, &mut q).unwrap();
+            assert!(pkt.stream.is_multiple_of(2), "path 0 served stream {}", pkt.stream);
+        }
+        for _ in 0..4 {
+            let pkt = p.next_packet(1, 0, &mut q).unwrap();
+            assert!(pkt.stream % 2 == 1, "path 1 served stream {}", pkt.stream);
+        }
+        assert!(p.next_packet(0, 0, &mut q).is_none());
+    }
+
+    #[test]
+    fn partitioned_path_without_streams_idles() {
+        let p0 = PartitionedLayout::new(specs(1), 2);
+        let mut p = p0;
+        let mut q = StreamQueues::new(1, 10);
+        fill(&mut q, 0, 1);
+        assert!(p.next_packet(1, 0, &mut q).is_none());
+        assert!(p.next_packet(0, 0, &mut q).is_some());
+    }
+
+    #[test]
+    fn partitioned_round_robins_within_path() {
+        let mut p = PartitionedLayout::new(specs(4), 2);
+        let mut q = StreamQueues::new(4, 100);
+        fill(&mut q, 0, 3);
+        fill(&mut q, 2, 3);
+        let order: Vec<usize> = (0..4)
+            .map(|_| p.next_packet(0, 0, &mut q).unwrap().stream)
+            .collect();
+        assert_eq!(order, vec![0, 2, 0, 2]);
+    }
+}

@@ -1,0 +1,31 @@
+//! # iqpaths-baselines — comparison schedulers from the evaluation
+//!
+//! The paper compares PGOS against (§6.1):
+//!
+//! * **WFQ** — "transfer all messages over one single path based on
+//!   normal Fair Queuing" (the non-overlay baseline of Figure 9a);
+//! * **MSFQ** — Multi-Server Fair Queuing (Blanquer & Özden, SIGCOMM
+//!   2001): fair queuing aggregated over multiple links (Figure 9b);
+//! * **OptSched** — "a near-optimal off-line algorithm … which assumes
+//!   that we know available bandwidth a priori", used to gauge PGOS's
+//!   absolute performance (Figure 9d);
+//!
+//! and, for the GridFTP experiments (§6.2), the **partitioned** and
+//! **blocked** data layouts that standard GridFTP uses to distribute
+//! file contents across parallel connections.
+//!
+//! All baselines implement `iqpaths_core::MultipathScheduler`, so the
+//! middleware runtime drives them identically to PGOS.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dwcs;
+pub mod fq;
+pub mod layouts;
+pub mod optsched;
+
+pub use dwcs::Dwcs;
+pub use fq::{Msfq, Wfq};
+pub use layouts::{BlockedLayout, PartitionedLayout};
+pub use optsched::OptSched;

@@ -1,0 +1,105 @@
+//! PGOS fast-path overhead benchmarks.
+//!
+//! The paper claims "PGOS has sufficiently low runtime overheads to
+//! satisfy the needs of even high bandwidth wide area network links"
+//! (§1). These benches quantify that: per-packet scheduling decisions
+//! must be far cheaper than packet service times (a 1250-byte packet at
+//! 10 Gbps serializes in 1 µs).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use iqpaths_core::mapping::ResourceMapper;
+use iqpaths_core::queues::StreamQueues;
+use iqpaths_core::scheduler::{Pgos, PgosConfig};
+use iqpaths_core::stream::StreamSpec;
+use iqpaths_core::traits::{MultipathScheduler, PathSnapshot};
+use iqpaths_core::vectors::SchedulingVectors;
+use iqpaths_stats::EmpiricalCdf;
+
+fn specs() -> Vec<StreamSpec> {
+    vec![
+        StreamSpec::probabilistic(0, "Atom", 3.249e6, 0.95, 1250),
+        StreamSpec::probabilistic(1, "Bond1", 22.148e6, 0.95, 1250),
+        StreamSpec::best_effort(2, "Bond2", 40.0e6, 1250),
+    ]
+}
+
+fn snapshots() -> Vec<PathSnapshot> {
+    let mk = |lo: u32, hi: u32, idx: usize| {
+        PathSnapshot::from_cdf(
+            idx,
+            EmpiricalCdf::from_clean_samples((lo..=hi).map(|v| v as f64 * 1.0e6).collect()),
+        )
+    };
+    vec![mk(35, 90, 0), mk(15, 70, 1)]
+}
+
+fn warm_pgos() -> Pgos {
+    let mut pgos = Pgos::new(PgosConfig::default(), specs(), 2);
+    pgos.on_window_start(0, 1_000_000_000, &snapshots());
+    pgos
+}
+
+fn full_queues() -> StreamQueues {
+    let mut q = StreamQueues::new(3, 1_000_000);
+    for s in 0..3 {
+        for _ in 0..100_000 {
+            q.push(s, 1250, 0);
+        }
+    }
+    q
+}
+
+fn bench_fast_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pgos_fast_path");
+    g.throughput(Throughput::Elements(2));
+    g.bench_function("next_packet_pair", |b| {
+        b.iter_batched_ref(
+            || (warm_pgos(), full_queues()),
+            |(pgos, queues)| {
+                // Alternate the two paths like the runtime does.
+                let _ = pgos.next_packet(0, 1, queues);
+                let _ = pgos.next_packet(1, 2, queues);
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_window_start(c: &mut Criterion) {
+    let snaps = snapshots();
+    c.bench_function("pgos_window_start_stable_cdf", |b| {
+        let mut pgos = warm_pgos();
+        let mut t = 1_000_000_000u64;
+        b.iter(|| {
+            t += 1_000_000_000;
+            pgos.on_window_start(t, 1_000_000_000, &snaps);
+        })
+    });
+}
+
+fn bench_mapping(c: &mut Criterion) {
+    let mapper = ResourceMapper::new(1.0);
+    let specs = specs();
+    let cdfs: Vec<EmpiricalCdf> = snapshots().into_iter().map(|s| s.cdf).collect();
+    c.bench_function("resource_mapping_3streams_2paths", |b| {
+        b.iter(|| mapper.map(&specs, &cdfs))
+    });
+}
+
+fn bench_vector_build(c: &mut Criterion) {
+    // Realistic assignment sizes: thousands of packets per window.
+    let assignments = vec![vec![325u32, 0], vec![2215, 0], vec![2000, 2000]];
+    c.bench_function("scheduling_vectors_build_6.5kpkts", |b| {
+        b.iter(|| SchedulingVectors::build(assignments.clone()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fast_path,
+    bench_window_start,
+    bench_mapping,
+    bench_vector_build
+);
+criterion_main!(benches);

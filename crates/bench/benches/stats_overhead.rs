@@ -1,0 +1,85 @@
+//! Statistical-substrate overhead benchmarks: the monitoring module
+//! updates distributions once per measurement interval (10/s per path)
+//! and the scheduler queries quantiles on every remap check. Both must
+//! be negligible against the emulation itself.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use iqpaths_stats::{BandwidthCdf, EmpiricalCdf, HistogramCdf, SampleWindow};
+
+fn samples(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| ((i as u64).wrapping_mul(2654435761) % 100_000) as f64 + 1.0)
+        .collect()
+}
+
+fn bench_cdf_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("empirical_cdf_build");
+    for n in [500usize, 1000, 5000] {
+        let data = samples(n);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(format!("n{n}"), |b| {
+            b.iter_batched(
+                || data.clone(),
+                EmpiricalCdf::from_clean_samples,
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_cdf_queries(c: &mut Criterion) {
+    let cdf = EmpiricalCdf::from_clean_samples(samples(1000));
+    c.bench_function("cdf_quantile", |b| b.iter(|| cdf.quantile(0.05)));
+    c.bench_function("cdf_prob_below", |b| b.iter(|| cdf.prob_below(50_000.0)));
+    c.bench_function("cdf_truncated_mean", |b| {
+        b.iter(|| cdf.truncated_mean(50_000.0))
+    });
+    let other = EmpiricalCdf::from_clean_samples(samples(1000));
+    c.bench_function("cdf_ks_distance_n1000", |b| b.iter(|| cdf.ks_distance(&other)));
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("histogram");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("insert", |b| {
+        let mut h = HistogramCdf::new(0.0, 100_000.0, 256);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(2654435761);
+            h.insert((i % 100_000) as f64);
+        })
+    });
+    let mut h = HistogramCdf::new(0.0, 100_000.0, 256);
+    h.extend(samples(10_000));
+    g.bench_function("quantile", |b| b.iter(|| h.quantile(0.05)));
+    g.finish();
+}
+
+fn bench_window_update(c: &mut Criterion) {
+    c.bench_function("sample_window_push_and_cdf_500", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut w = SampleWindow::new(500);
+                for (i, v) in samples(500).into_iter().enumerate() {
+                    w.push(i as f64 * 0.1, v);
+                }
+                w
+            },
+            |w| {
+                w.push(1e6, 42.0);
+                w.cdf()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cdf_build,
+    bench_cdf_queries,
+    bench_histogram,
+    bench_window_update
+);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Figure 4 — mean-bandwidth prediction error vs percentile prediction
+//! failure rate, sweeping the bandwidth measurement window 0.1–1.0 s.
+//!
+//! Paper protocol (§4): 8 GB of NLANR Abilene/Auckland traces, samples
+//! of bandwidth measured over 0.1–1 s intervals; the mean predictors
+//! (MA, SMA, EWMA; AR family per Zhang et al.) show ≈ 20% mean relative
+//! error, while the percentile predictor — N = 500 history samples,
+//! 10th-percentile floor tested against the next n = 5 samples — fails
+//! on < 4% of predictions.
+//!
+//! Substitution (DESIGN.md §2): real traces are replaced by the
+//! envelope-stable available-bandwidth model
+//! (`iqpaths_traces::envelope`), which reproduces the two properties
+//! the result depends on: heavy short-timescale noise above a
+//! concentrated lower edge.
+
+use iqpaths_stats::percentile::{evaluate_mean_prediction, evaluate_percentile_prediction};
+use iqpaths_stats::predictors::extended_suite;
+use iqpaths_traces::envelope::{available_bandwidth, EnvelopeConfig};
+
+fn main() {
+    let seed = iqpaths_bench::seed();
+    let horizon = 20_000.0;
+    let cfg = EnvelopeConfig::default();
+
+    println!("Figure 4 — bandwidth prediction (seed {seed}, {horizon} s trace)");
+    println!(
+        "{:>8} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} | {:>9} {:>10}",
+        "window_s", "MA", "SMA", "EWMA", "AR1", "HOLT", "SMED", "mean_err", "pctl_fail"
+    );
+
+    let mut csv = String::from(
+        "window_s,ma_err,sma_err,ewma_err,ar1_err,holt_err,smed_err,mean_err,percentile_failure_rate\n",
+    );
+    for k in 1..=10usize {
+        let window = 0.1 * k as f64;
+        // Measure directly at the target window (each sample is an
+        // independent measurement over `window` seconds).
+        let series: Vec<f64> = available_bandwidth(&cfg, window, horizon, seed)
+            .rates()
+            .to_vec();
+        let mut errs = Vec::new();
+        for predictor in &mut extended_suite(32) {
+            errs.push(evaluate_mean_prediction(&series, predictor.as_mut()));
+        }
+        // The paper's "mean prediction error" aggregates the MA-family
+        // predictors (the first four).
+        let mean_err = errs[..4].iter().sum::<f64>() / 4.0;
+        let n_hist = 500.min(series.len() / 3).max(10);
+        let report = evaluate_percentile_prediction(&series, n_hist, 5, 0.9);
+        println!(
+            "{:>8.1} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3} | {:>9.3} {:>10.4}",
+            window,
+            errs[0],
+            errs[1],
+            errs[2],
+            errs[3],
+            errs[4],
+            errs[5],
+            mean_err,
+            report.failure_rate()
+        );
+        csv.push_str(&format!(
+            "{:.1},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.5}\n",
+            window,
+            errs[0],
+            errs[1],
+            errs[2],
+            errs[3],
+            errs[4],
+            errs[5],
+            mean_err,
+            report.failure_rate()
+        ));
+    }
+    iqpaths_bench::write_artifact("fig04_prediction.csv", &csv);
+    println!(
+        "\npaper: mean-predictor error ≈ 0.17–0.22 across windows; percentile failure < 0.04"
+    );
+}

@@ -1,0 +1,104 @@
+//! Emulation scalability study: wall-clock cost of the virtual-time
+//! runtime as streams, paths, and offered load grow. Supports the
+//! "sufficiently low runtime overheads … even high bandwidth wide area
+//! network links" claim with end-to-end numbers (the criterion benches
+//! cover the per-call fast path).
+
+use iqpaths_apps::workload::FramedSource;
+use iqpaths_core::scheduler::{Pgos, PgosConfig};
+use iqpaths_core::stream::StreamSpec;
+use iqpaths_middleware::runtime::{run, RuntimeConfig};
+use iqpaths_overlay::path::OverlayPath;
+use iqpaths_simnet::link::Link;
+use iqpaths_simnet::time::SimDuration;
+use iqpaths_traces::nlanr::{nlanr_like, NlanrLikeConfig};
+use std::time::Instant;
+
+fn paths(l: usize, horizon: f64, seed: u64) -> Vec<OverlayPath> {
+    (0..l)
+        .map(|j| {
+            let cross = nlanr_like(
+                &NlanrLikeConfig {
+                    mean_utilization: 0.4,
+                    ..Default::default()
+                },
+                0.1,
+                horizon,
+                seed + j as u64,
+            );
+            let link = Link::new(format!("l{j}"), 100.0e6, SimDuration::from_millis(1))
+                .with_cross_traffic(cross);
+            OverlayPath::new(j, format!("p{j}"), vec![link])
+        })
+        .collect()
+}
+
+fn main() {
+    let duration = 30.0f64;
+    let seed = iqpaths_bench::seed();
+    println!(
+        "Emulation scalability (virtual {duration} s per cell, seed {seed})\n"
+    );
+    println!(
+        "{:>8} {:>7} {:>11} {:>12} {:>12} {:>14}",
+        "streams", "paths", "load_mbps", "events", "wall_ms", "events_per_sec"
+    );
+    let mut csv = String::from("streams,paths,load_mbps,events,wall_ms,events_per_sec\n");
+    for &(n_streams, n_paths, per_stream_mbps) in &[
+        (1usize, 1usize, 10.0f64),
+        (3, 2, 10.0),
+        (8, 2, 8.0),
+        (8, 4, 8.0),
+        (16, 4, 5.0),
+        (32, 8, 3.0),
+    ] {
+        let cfg = RuntimeConfig {
+            warmup_secs: 10.0,
+            history_samples: 200,
+            seed,
+            ..Default::default()
+        };
+        let horizon = cfg.warmup_secs + duration + 5.0;
+        let ps = paths(n_paths, horizon, seed);
+        let specs: Vec<StreamSpec> = (0..n_streams)
+            .map(|i| {
+                if i % 4 == 3 {
+                    StreamSpec::best_effort(i, format!("be{i}"), per_stream_mbps * 1.0e6, 1250)
+                } else {
+                    StreamSpec::probabilistic(
+                        i,
+                        format!("s{i}"),
+                        per_stream_mbps * 1.0e6,
+                        0.9,
+                        1250,
+                    )
+                }
+            })
+            .collect();
+        let frame = (per_stream_mbps * 1.0e6 / (8.0 * 25.0)).round() as u32;
+        let workload =
+            FramedSource::new(specs.clone(), vec![frame; n_streams], 25.0, duration);
+        let scheduler = Pgos::new(PgosConfig::default(), specs, n_paths);
+        let t0 = Instant::now();
+        let report = run(&ps, Box::new(workload), Box::new(scheduler), cfg, duration);
+        let wall = t0.elapsed().as_secs_f64();
+        let eps = report.events as f64 / wall;
+        let load = n_streams as f64 * per_stream_mbps;
+        println!(
+            "{:>8} {:>7} {:>11.0} {:>12} {:>12.1} {:>14.0}",
+            n_streams,
+            n_paths,
+            load,
+            report.events,
+            wall * 1e3,
+            eps
+        );
+        csv.push_str(&format!(
+            "{n_streams},{n_paths},{load:.0},{},{:.1},{:.0}\n",
+            report.events,
+            wall * 1e3,
+            eps
+        ));
+    }
+    iqpaths_bench::write_artifact("scalability.csv", &csv);
+}

@@ -1,0 +1,310 @@
+//! The PGOS guarantee calculators (§5.2.1).
+//!
+//! * **Lemma 1** (probabilistic): with available-bandwidth CDF `F_j`,
+//!   `x_i` packets of size `s` are served within a window `t_w` with
+//!   probability `P = 1 − F_j(x_i · s / t_w)`.
+//! * **Lemma 2** (violation bound): the expected number of packets
+//!   missing their deadlines per window is bounded by
+//!   `E[Z] ≤ x_i · F_j(b0) − (t_w / s) · M[b0]`, where `b0 = x_i·s/t_w`
+//!   and `M[b0] = E[b · 1{b ≤ b0}]`.
+//! * **Theorem 1**: if the mapping admits every stream, each stream's
+//!   window constraint is met with its requested probability.
+
+use crate::stream::{Guarantee, StreamSpec};
+use iqpaths_stats::BandwidthCdf;
+
+/// Probability (Lemma 1) that a load of `rate_bps` is fully served in a
+/// window, given the path's available-bandwidth CDF.
+///
+/// The paper writes the bound via packets: `rate = x_i · s / t_w`; both
+/// forms are provided.
+pub fn prob_of_service<C: BandwidthCdf>(cdf: &C, rate_bps: f64) -> f64 {
+    if rate_bps <= 0.0 {
+        return 1.0;
+    }
+    if cdf.is_empty() {
+        return 0.0;
+    }
+    // P[bw >= rate]: strict-below complement so sample atoms at exactly
+    // `rate` count as sufficient — keeps whole-path admission consistent
+    // with the quantile headroom used when splitting.
+    cdf.prob_at_least(rate_bps)
+}
+
+/// Lemma 1 in packet form: probability that `x` packets of `s_bytes`
+/// are served within `tw_secs`.
+pub fn lemma1_probability<C: BandwidthCdf>(cdf: &C, x: u32, s_bytes: u32, tw_secs: f64) -> f64 {
+    let rate = x as f64 * s_bytes as f64 * 8.0 / tw_secs;
+    prob_of_service(cdf, rate)
+}
+
+/// Lemma 2: upper bound on the expected number of deadline misses per
+/// window for a stream needing `x` packets of `s_bytes` in `tw_secs`.
+///
+/// `E[Z] ≤ x·F(b0) − (t_w/s_bits)·M[b0]`, clamped at ≥ 0 (the bound is
+/// vacuous below zero). An empty CDF pessimistically reports `x` (all
+/// packets may miss).
+pub fn lemma2_expected_misses<C: BandwidthCdf>(
+    cdf: &C,
+    x: u32,
+    s_bytes: u32,
+    tw_secs: f64,
+) -> f64 {
+    if x == 0 {
+        return 0.0;
+    }
+    if cdf.is_empty() {
+        return x as f64;
+    }
+    let s_bits = s_bytes as f64 * 8.0;
+    let b0 = x as f64 * s_bits / tw_secs;
+    let bound = x as f64 * cdf.prob_below(b0) - (tw_secs / s_bits) * cdf.truncated_mean(b0);
+    bound.clamp(0.0, x as f64)
+}
+
+/// Whether a path whose CDF is `cdf`, already committed to
+/// `committed_bps` of admitted load, can admit a stream at
+/// `additional_bps` under `guarantee`.
+pub fn path_admits<C: BandwidthCdf>(
+    cdf: &C,
+    committed_bps: f64,
+    additional_bps: f64,
+    spec: &StreamSpec,
+    tw_secs: f64,
+) -> bool {
+    match spec.guarantee {
+        Guarantee::Probabilistic { p } => {
+            prob_of_service(cdf, committed_bps + additional_bps) >= p
+        }
+        Guarantee::ViolationBound {
+            max_expected_misses,
+        } => {
+            // Conservative: evaluate the miss bound at the path's total
+            // committed load expressed in this stream's packet units.
+            let total = committed_bps + additional_bps;
+            let x_total = (total * tw_secs / (spec.packet_bytes as f64 * 8.0)).ceil() as u32;
+            // Scale the bound by this stream's share of the load.
+            let share = if total > 0.0 { additional_bps / total } else { 1.0 };
+            lemma2_expected_misses(cdf, x_total, spec.packet_bytes, tw_secs) * share
+                <= max_expected_misses
+        }
+        Guarantee::BestEffort => true,
+    }
+}
+
+/// The maximum additional rate a path can accept while keeping
+/// `P(bw ≥ committed + r) ≥ p`: the `(1 − p)`-quantile of the CDF minus
+/// the committed load (floored at 0).
+pub fn admissible_rate<C: BandwidthCdf>(cdf: &C, committed_bps: f64, p: f64) -> f64 {
+    match cdf.quantile(1.0 - p) {
+        None => 0.0,
+        Some(q) => (q - committed_bps).max(0.0),
+    }
+}
+
+/// The CDF of the bandwidth *left over* on a path after `committed_bps`
+/// of admitted load: each sample `b` becomes `max(b − committed, 0)`.
+/// Used to evaluate a new stream's guarantee on a partially loaded path.
+pub fn residual_cdf(
+    cdf: &iqpaths_stats::EmpiricalCdf,
+    committed_bps: f64,
+) -> iqpaths_stats::EmpiricalCdf {
+    iqpaths_stats::EmpiricalCdf::from_clean_samples(
+        cdf.samples()
+            .iter()
+            .map(|b| (b - committed_bps).max(0.0))
+            .collect(),
+    )
+}
+
+/// Theorem 1 feasibility check for a complete mapping: every guaranteed
+/// stream's assigned rate per path must satisfy its guarantee given the
+/// *total* committed rate of that path.
+///
+/// `assigned[i][j]` is the rate (bits/s) of stream `i` mapped to path
+/// `j`; `cdfs[j]` the path CDFs.
+pub fn mapping_is_feasible<C: BandwidthCdf>(
+    cdfs: &[C],
+    specs: &[StreamSpec],
+    assigned: &[Vec<f64>],
+    tw_secs: f64,
+) -> bool {
+    assert_eq!(specs.len(), assigned.len());
+    let paths = cdfs.len();
+    // Total committed (guaranteed) load per path.
+    let mut committed = vec![0.0; paths];
+    for (spec, row) in specs.iter().zip(assigned) {
+        assert_eq!(row.len(), paths);
+        if !spec.guarantee.is_best_effort() {
+            for (j, r) in row.iter().enumerate() {
+                committed[j] += r;
+            }
+        }
+    }
+    for (spec, row) in specs.iter().zip(assigned) {
+        match spec.guarantee {
+            Guarantee::BestEffort => {}
+            Guarantee::Probabilistic { p } => {
+                // Each path carrying a share of the stream must serve its
+                // committed total with probability ≥ p, and the shares
+                // must sum to the requirement.
+                let total: f64 = row.iter().sum();
+                if total + 1e-6 < spec.required_bw * spec.service_fraction {
+                    return false;
+                }
+                for (j, r) in row.iter().enumerate() {
+                    if *r > 0.0 && prob_of_service(&cdfs[j], committed[j]) < p {
+                        return false;
+                    }
+                }
+            }
+            Guarantee::ViolationBound {
+                max_expected_misses,
+            } => {
+                let total: f64 = row.iter().sum();
+                if total + 1e-6 < spec.required_bw * spec.service_fraction {
+                    return false;
+                }
+                // Weighted per-path miss bound (§5.2.2 division rule):
+                // Σ_j E[Z_i^j] · x_i^j / x_j ≤ E[Z_i].
+                let mut weighted = 0.0;
+                for (j, r) in row.iter().enumerate() {
+                    if *r <= 0.0 {
+                        continue;
+                    }
+                    let x_j =
+                        (committed[j] * tw_secs / (spec.packet_bytes as f64 * 8.0)).ceil() as u32;
+                    let ez = lemma2_expected_misses(&cdfs[j], x_j, spec.packet_bytes, tw_secs);
+                    weighted += ez * (r / committed[j].max(f64::MIN_POSITIVE));
+                }
+                if weighted > max_expected_misses + 1e-9 {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iqpaths_stats::EmpiricalCdf;
+
+    fn cdf(vals: &[f64]) -> EmpiricalCdf {
+        EmpiricalCdf::from_clean_samples(vals.to_vec())
+    }
+
+    #[test]
+    fn prob_of_service_basics() {
+        let c = cdf(&[10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(prob_of_service(&c, 0.0), 1.0);
+        // P(bw >= 20) counts the atom at 20: 3 of 4 samples.
+        assert!((prob_of_service(&c, 20.0) - 0.75).abs() < 1e-12);
+        // Between atoms: P(bw >= 25) = 0.5.
+        assert!((prob_of_service(&c, 25.0) - 0.5).abs() < 1e-12);
+        assert_eq!(prob_of_service(&c, 1000.0), 0.0);
+    }
+
+    #[test]
+    fn empty_cdf_is_pessimistic() {
+        let c = cdf(&[]);
+        assert_eq!(prob_of_service(&c, 5.0), 0.0);
+        assert_eq!(lemma2_expected_misses(&c, 10, 100, 1.0), 10.0);
+    }
+
+    #[test]
+    fn lemma1_packet_form() {
+        // 100 pkts × 1000 B × 8 / 1 s = 800 kbit/s.
+        let c = cdf(&[700_000.0, 900_000.0]);
+        let p = lemma1_probability(&c, 100, 1000, 1.0);
+        // F(800k) = 0.5 → P = 0.5.
+        assert!((p - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lemma2_zero_when_bandwidth_always_sufficient() {
+        let c = cdf(&[10.0e6, 12.0e6, 11.0e6]);
+        // Requirement 1 Mbps — all mass above b0 → F(b0)=0, M[b0]=0.
+        let ez = lemma2_expected_misses(&c, 125, 1000, 1.0);
+        assert_eq!(ez, 0.0);
+    }
+
+    #[test]
+    fn lemma2_positive_under_shortfall() {
+        // Path that half the time provides only half the need.
+        let c = cdf(&[400_000.0, 800_000.0]);
+        // Need 100 pkts of 1000B in 1 s = 800 kbit/s.
+        let ez = lemma2_expected_misses(&c, 100, 1000, 1.0);
+        // Bound: 100·F(800k) − (1/8000)·M[800k]
+        //      = 100·1.0 − (1/8000)·(600k) = 100 − 75 = 25.
+        assert!((ez - 25.0).abs() < 1e-9, "ez={ez}");
+    }
+
+    #[test]
+    fn lemma2_clamps_to_packet_count() {
+        let c = cdf(&[1.0]);
+        let ez = lemma2_expected_misses(&c, 5, 1000, 1.0);
+        assert!(ez <= 5.0);
+        assert!(ez >= 0.0);
+    }
+
+    #[test]
+    fn admissible_rate_is_quantile_headroom() {
+        let c = cdf(&(1..=100).map(|i| i as f64).collect::<Vec<_>>());
+        // 10th percentile = 10; committed 4 → headroom 6.
+        let r = admissible_rate(&c, 4.0, 0.9);
+        assert!((r - 6.0).abs() < 1e-9);
+        // Fully committed → 0.
+        assert_eq!(admissible_rate(&c, 50.0, 0.9), 0.0);
+    }
+
+    #[test]
+    fn path_admits_probabilistic() {
+        let c = cdf(&(1..=100).map(|i| i as f64 * 1.0e6).collect::<Vec<_>>());
+        let spec = StreamSpec::probabilistic(0, "s", 5.0e6, 0.9, 1000);
+        // 10th percentile = 10 Mbps; 5 Mbps fits with 0 committed.
+        assert!(path_admits(&c, 0.0, 5.0e6, &spec, 1.0));
+        // 8 Mbps committed + 5 = 13 > 10 Mbps floor → reject.
+        assert!(!path_admits(&c, 8.0e6, 5.0e6, &spec, 1.0));
+    }
+
+    #[test]
+    fn feasibility_accepts_satisfiable_mapping() {
+        let c1 = cdf(&(50..=100).map(|i| i as f64 * 1.0e6).collect::<Vec<_>>());
+        let c2 = cdf(&(10..=60).map(|i| i as f64 * 1.0e6).collect::<Vec<_>>());
+        let specs = vec![
+            StreamSpec::probabilistic(0, "a", 20.0e6, 0.9, 1000),
+            StreamSpec::best_effort(1, "b", 10.0e6, 1000),
+        ];
+        let assigned = vec![vec![20.0e6, 0.0], vec![0.0, 10.0e6]];
+        assert!(mapping_is_feasible(
+            &[c1, c2],
+            &specs,
+            &assigned,
+            1.0
+        ));
+    }
+
+    #[test]
+    fn feasibility_rejects_underprovision() {
+        let c1 = cdf(&[30.0e6, 35.0e6]);
+        let specs = vec![StreamSpec::probabilistic(0, "a", 20.0e6, 0.9, 1000)];
+        // Assigned less than required.
+        let assigned = vec![vec![10.0e6]];
+        assert!(!mapping_is_feasible(&[c1], &specs, &assigned, 1.0));
+    }
+
+    #[test]
+    fn feasibility_rejects_overcommitted_path() {
+        let c1 = cdf(&(1..=100).map(|i| i as f64 * 1.0e6).collect::<Vec<_>>());
+        // Two streams both demanding 0.9-guarantees totalling 20 Mbps on
+        // a path whose 10th percentile is 10 Mbps.
+        let specs = vec![
+            StreamSpec::probabilistic(0, "a", 10.0e6, 0.9, 1000),
+            StreamSpec::probabilistic(1, "b", 10.0e6, 0.9, 1000),
+        ];
+        let assigned = vec![vec![10.0e6], vec![10.0e6]];
+        assert!(!mapping_is_feasible(&[c1], &specs, &assigned, 1.0));
+    }
+}

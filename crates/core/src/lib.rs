@@ -1,0 +1,44 @@
+//! # iqpaths-core — PGOS: Predictive Guarantee Overlay Scheduling
+//!
+//! The paper's primary contribution (§5): a packet routing-and-scheduling
+//! algorithm over multiple overlay paths that provides per-stream
+//! *probabilistic* and *violation-bound* bandwidth guarantees derived
+//! from statistical (percentile) bandwidth prediction.
+//!
+//! Structure:
+//!
+//! * [`stream`] — stream utility specifications: required bandwidth,
+//!   guarantee type, window constraints `(x, y)`.
+//! * [`guarantee`] — the Lemma 1 / Lemma 2 calculators and per-path
+//!   feasibility predicates.
+//! * [`mapping`] — utility-based resource mapping: whole-path-first
+//!   placement ordered by guarantee strength, stream splitting only when
+//!   no single path suffices, admission-control upcalls on infeasibility.
+//! * [`vectors`] — the scheduling vectors: path lookup vector `VP` built
+//!   from virtual deadlines and per-path stream scheduling vectors `VS`.
+//! * [`precedence`] — Table 1 packet-precedence rules.
+//! * [`scheduler`] — the PGOS fast path: per-window packet selection,
+//!   blocked-path skipping with exponential backoff, CDF-drift remap
+//!   triggering.
+//! * [`queues`] — bounded per-stream packet queues shared with the
+//!   baseline schedulers.
+//! * [`traits`] — the [`traits::MultipathScheduler`] interface
+//!   implemented by PGOS and by every baseline in `iqpaths-baselines`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod guarantee;
+pub mod mapping;
+pub mod precedence;
+pub mod queues;
+pub mod scheduler;
+pub mod stream;
+pub mod traits;
+pub mod vectors;
+
+pub use mapping::{MappingResult, ResourceMapper, Upcall};
+pub use queues::StreamQueues;
+pub use scheduler::{Pgos, PgosConfig};
+pub use stream::{Guarantee, StreamSpec, WindowConstraint};
+pub use traits::{MultipathScheduler, PathSnapshot};

@@ -1,0 +1,546 @@
+//! Utility-based resource mapping (§5.2.2).
+//!
+//! "PGOS first finds the path that can satisfy the requirement of the
+//! most important stream (with highest P_i), then finds the path for the
+//! second most important stream, and so on. If there does not exist a
+//! single path that can satisfy stream S_i's requirement, then the
+//! stream S_i is divided into multiple parts S_i^j if this can satisfy
+//! stream S_i's requirement. If this still fails due to limited
+//! bandwidth, an upcall is made to inform the application."
+//!
+//! The MILP formulation the paper mentions (and rejects as NP-hard and
+//! reordering-prone) is deliberately not used: mapping is greedy,
+//! whole-path-first, in descending guarantee strength.
+
+use crate::guarantee::{self, residual_cdf};
+use crate::stream::{Guarantee, StreamSpec};
+use iqpaths_stats::EmpiricalCdf;
+use serde::{Deserialize, Serialize};
+
+/// Admission-control notification delivered to the application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Upcall {
+    /// A stream could not be scheduled at its requested guarantee. The
+    /// application may "reduce its bandwidth requirement (e.g., from 95%
+    /// to 90%) or try to adjust its behavior".
+    StreamRejected {
+        /// Stream index.
+        stream: usize,
+        /// Stream name.
+        name: String,
+        /// Requested rate in bits/s.
+        requested_bps: f64,
+        /// The best single-path service probability achievable at the
+        /// requested rate.
+        achievable_p: f64,
+        /// Total rate (bits/s) admissible at the requested guarantee
+        /// across all paths combined (splitting included).
+        admissible_bps: f64,
+    },
+}
+
+/// Output of the mapping step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappingResult {
+    /// `assignments[i][j]` — packets of stream `i` scheduled on path `j`
+    /// per window. Best-effort and rejected streams have all-zero rows
+    /// (they are served opportunistically per the Table 1 precedence).
+    pub assignments: Vec<Vec<u32>>,
+    /// Same assignment expressed as rates in bits/s.
+    pub rates: Vec<Vec<f64>>,
+    /// Streams that could not be admitted.
+    pub upcalls: Vec<Upcall>,
+}
+
+impl MappingResult {
+    /// True when stream `i` was admitted (has a non-zero assignment or
+    /// required nothing).
+    pub fn admitted(&self, i: usize) -> bool {
+        !self
+            .upcalls
+            .iter()
+            .any(|Upcall::StreamRejected { stream, .. }| *stream == i)
+    }
+
+    /// Total committed rate on path `j`.
+    pub fn committed(&self, j: usize) -> f64 {
+        self.rates.iter().map(|row| row[j]).sum()
+    }
+}
+
+/// The greedy utility-ordered resource mapper.
+#[derive(Debug, Clone, Copy)]
+pub struct ResourceMapper {
+    /// Scheduling-window length in seconds.
+    pub tw_secs: f64,
+}
+
+impl ResourceMapper {
+    /// Mapper for windows of `tw_secs` seconds.
+    ///
+    /// # Panics
+    /// Panics if `tw_secs <= 0`.
+    pub fn new(tw_secs: f64) -> Self {
+        assert!(tw_secs > 0.0, "window must be positive");
+        Self { tw_secs }
+    }
+
+    /// The guarantee probability a stream's requirement translates to.
+    ///
+    /// Violation-bound guarantees are mapped through the Lemma 1 ⇒
+    /// Lemma 2 relation `E[Z] ≤ x·F(b0)`: requiring
+    /// `F(b0) ≤ bound / x` (i.e. `p = 1 − bound/x`) is sufficient; the
+    /// exact Lemma 2 bound (which is tighter) is then re-verified.
+    pub fn effective_p(&self, spec: &StreamSpec) -> Option<f64> {
+        match spec.guarantee {
+            Guarantee::Probabilistic { p } => Some(p),
+            Guarantee::ViolationBound {
+                max_expected_misses,
+            } => {
+                let x = spec.packets_per_window(self.tw_secs).max(1) as f64;
+                Some((1.0 - max_expected_misses / x).clamp(0.5, 0.9999))
+            }
+            Guarantee::BestEffort => None,
+        }
+    }
+
+    /// Runs the mapping over the current path CDFs.
+    pub fn map(&self, specs: &[StreamSpec], cdfs: &[EmpiricalCdf]) -> MappingResult {
+        self.map_full(specs, cdfs, None, None)
+    }
+
+    /// Like [`ResourceMapper::map`], with optional per-stream path
+    /// affinity: `affinity[i]` is the path that carried stream `i` under
+    /// the previous mapping. When several paths qualify within a small
+    /// probability margin, the stream stays where it was — repeated
+    /// remaps must not flap a critical stream between near-tied paths
+    /// (flapping reorders packets exactly the way whole-path placement
+    /// exists to avoid).
+    pub fn map_with_affinity(
+        &self,
+        specs: &[StreamSpec],
+        cdfs: &[EmpiricalCdf],
+        affinity: Option<&[Option<usize>]>,
+    ) -> MappingResult {
+        self.map_full(specs, cdfs, affinity, None)
+    }
+
+    /// The full mapping entry point: affinity plus measured per-path
+    /// loss rates. Streams carrying a loss-rate objective
+    /// ([`StreamSpec::with_loss_bound`]) are never placed on a path
+    /// whose loss exceeds their bound (the paper's §7 "message loss
+    /// rate service guarantees" extension).
+    pub fn map_full(
+        &self,
+        specs: &[StreamSpec],
+        cdfs: &[EmpiricalCdf],
+        affinity: Option<&[Option<usize>]>,
+        path_loss: Option<&[f64]>,
+    ) -> MappingResult {
+        let n = specs.len();
+        let l = cdfs.len();
+        let mut assignments = vec![vec![0u32; l]; n];
+        let mut rates = vec![vec![0.0f64; l]; n];
+        let mut upcalls = Vec::new();
+        let mut committed = vec![0.0f64; l];
+
+        // Strongest guarantee first; stable tie-break by stream index.
+        let mut order: Vec<usize> = (0..n)
+            .filter(|&i| !specs[i].guarantee.is_best_effort())
+            .collect();
+        order.sort_by(|&a, &b| {
+            specs[b]
+                .guarantee
+                .strength()
+                .partial_cmp(&specs[a].guarantee.strength())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+
+        for &i in &order {
+            let spec = &specs[i];
+            let p = self
+                .effective_p(spec)
+                .expect("best-effort filtered out above");
+            let x = spec.packets_per_window(self.tw_secs);
+            let req = spec.rate_for_packets(x, self.tw_secs);
+            // Loss-rate objective: disqualify paths beyond the bound.
+            let loss_ok = |j: usize| match (spec.max_loss, path_loss) {
+                (Some(bound), Some(losses)) => losses.get(j).copied().unwrap_or(0.0) <= bound,
+                _ => true,
+            };
+
+            // 1. Whole-path placement: among qualifying paths pick the
+            //    one with the highest service probability at the new
+            //    committed load (the strongest home for the strongest
+            //    stream). Near-ties (within PROB_MARGIN) resolve to the
+            //    stream's previous path, then to the lowest index.
+            const PROB_MARGIN: f64 = 0.01;
+            let probs: Vec<f64> = (0..l)
+                .map(|j| {
+                    if loss_ok(j) {
+                        guarantee::prob_of_service(&cdfs[j], committed[j] + req)
+                    } else {
+                        f64::NEG_INFINITY
+                    }
+                })
+                .collect();
+            let best_prob = probs
+                .iter()
+                .copied()
+                .filter(|&pr| pr >= p)
+                .fold(f64::NEG_INFINITY, f64::max);
+            let preferred = affinity.and_then(|a| a.get(i).copied().flatten());
+            let choice = if best_prob.is_finite() {
+                let qualifies =
+                    |j: usize| probs[j] >= p && probs[j] >= best_prob - PROB_MARGIN;
+                match preferred {
+                    Some(j) if j < l && qualifies(j) => Some(j),
+                    _ => (0..l).find(|&j| qualifies(j)),
+                }
+            } else {
+                None
+            };
+            if let Some(j) = choice {
+                assignments[i][j] = x;
+                rates[i][j] = req;
+                committed[j] += req;
+                continue;
+            }
+
+            // 2. Split across paths proportional to per-path headroom.
+            //    A stream split over k paths only receives its whole
+            //    requirement when *every* part is served, so each part
+            //    must be guaranteed at p^(1/k): under independence the
+            //    parts compose back to p, and under comonotone failures
+            //    the joint is min(per-path) ≥ p. (Loss-violating paths
+            //    are excluded.)
+            let k_paths = (0..l).filter(|&j| loss_ok(j)).count().max(1);
+            let p_split = p.powf(1.0 / k_paths as f64);
+            let headroom: Vec<f64> = (0..l)
+                .map(|j| {
+                    if loss_ok(j) {
+                        guarantee::admissible_rate(&cdfs[j], committed[j], p_split)
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
+            let total_headroom: f64 = headroom.iter().sum();
+            if total_headroom >= req && x > 0 {
+                let split = largest_remainder_split(x, &headroom);
+                for (j, &xj) in split.iter().enumerate() {
+                    if xj > 0 {
+                        let r = spec.rate_for_packets(xj, self.tw_secs);
+                        assignments[i][j] = xj;
+                        rates[i][j] = r;
+                        committed[j] += r;
+                    }
+                }
+                continue;
+            }
+
+            // 3. Infeasible: upcall.
+            let achievable_p = (0..l)
+                .map(|j| guarantee::prob_of_service(&cdfs[j], committed[j] + req))
+                .fold(0.0, f64::max);
+            upcalls.push(Upcall::StreamRejected {
+                stream: i,
+                name: spec.name.clone(),
+                requested_bps: req,
+                achievable_p,
+                admissible_bps: total_headroom,
+            });
+        }
+
+        // Violation-bound streams: re-verify the exact Lemma 2 bound on
+        // the (conservative) Lemma 1 placement; demote to an upcall if
+        // even the tight bound fails.
+        for &i in &order {
+            if let Guarantee::ViolationBound {
+                max_expected_misses,
+            } = specs[i].guarantee
+            {
+                if !self.admitted_row_meets_bound(
+                    &specs[i],
+                    &assignments[i],
+                    &rates[i],
+                    &committed,
+                    cdfs,
+                    max_expected_misses,
+                ) {
+                    let req = specs[i].required_bw;
+                    for j in 0..l {
+                        committed[j] -= rates[i][j];
+                        assignments[i][j] = 0;
+                        rates[i][j] = 0.0;
+                    }
+                    upcalls.push(Upcall::StreamRejected {
+                        stream: i,
+                        name: specs[i].name.clone(),
+                        requested_bps: req,
+                        achievable_p: 0.0,
+                        admissible_bps: 0.0,
+                    });
+                }
+            }
+        }
+
+        MappingResult {
+            assignments,
+            rates,
+            upcalls,
+        }
+    }
+
+    fn admitted_row_meets_bound(
+        &self,
+        spec: &StreamSpec,
+        row_pkts: &[u32],
+        row_rates: &[f64],
+        committed: &[f64],
+        cdfs: &[EmpiricalCdf],
+        bound: f64,
+    ) -> bool {
+        let x_total: u32 = row_pkts.iter().sum();
+        if x_total == 0 {
+            // Was already rejected upstream.
+            return true;
+        }
+        let mut weighted = 0.0;
+        for (j, &xj) in row_pkts.iter().enumerate() {
+            if xj == 0 {
+                continue;
+            }
+            // Evaluate this part's misses on the path's residual CDF
+            // after the *other* streams' load.
+            let other = committed[j] - row_rates[j];
+            let resid = residual_cdf(&cdfs[j], other);
+            let ez =
+                guarantee::lemma2_expected_misses(&resid, xj, spec.packet_bytes, self.tw_secs);
+            weighted += ez * (xj as f64 / x_total as f64);
+        }
+        weighted <= bound + 1e-9
+    }
+}
+
+/// Splits `x` packets across paths proportionally to `weights` using
+/// largest-remainder rounding, so the parts sum exactly to `x` and no
+/// zero-weight path receives packets.
+pub fn largest_remainder_split(x: u32, weights: &[f64]) -> Vec<u32> {
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 || x == 0 {
+        return vec![0; weights.len()];
+    }
+    let exact: Vec<f64> = weights.iter().map(|w| x as f64 * w / total).collect();
+    let mut parts: Vec<u32> = exact.iter().map(|e| e.floor() as u32).collect();
+    let assigned: u32 = parts.iter().sum();
+    let mut rem: Vec<(usize, f64)> = exact
+        .iter()
+        .enumerate()
+        .map(|(j, e)| (j, e - e.floor()))
+        .collect();
+    rem.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    // The leftover count equals the sum of fractional parts, so the
+    // first `x − assigned` entries of the sorted remainder list all have
+    // strictly positive fractions (hence positive weights).
+    for &(j, _) in rem.iter().take((x - assigned) as usize) {
+        parts[j] += 1;
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cdf_mbps(vals: &[f64]) -> EmpiricalCdf {
+        EmpiricalCdf::from_clean_samples(vals.iter().map(|v| v * 1.0e6).collect())
+    }
+
+    /// Uniform 1..=100 Mbps path: q(0.05)=5, q(0.10)=10 Mbps, etc.
+    fn uniform_path() -> EmpiricalCdf {
+        cdf_mbps(&(1..=100).map(|i| i as f64).collect::<Vec<_>>())
+    }
+
+    /// Strong path: 50..=100 Mbps uniform (q(0.05) ≈ 52 Mbps).
+    fn strong_path() -> EmpiricalCdf {
+        cdf_mbps(&(50..=100).map(|i| i as f64).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn single_stream_fits_whole_path() {
+        let specs = vec![StreamSpec::probabilistic(0, "a", 5.0e6, 0.9, 1000)];
+        let m = ResourceMapper::new(1.0).map(&specs, &[uniform_path()]);
+        assert!(m.upcalls.is_empty());
+        assert_eq!(m.assignments[0][0], 625); // 5 Mbps / 8000 bits
+        assert!(m.admitted(0));
+    }
+
+    #[test]
+    fn strongest_stream_mapped_first_gets_strong_path() {
+        // Weak path can only hold 10 Mbps at p=0.9; strong path holds 52
+        // at p=0.95. The 0.95-stream must land on the strong path even
+        // though it is listed second.
+        let specs = vec![
+            StreamSpec::probabilistic(0, "weak-need", 8.0e6, 0.90, 1000),
+            StreamSpec::probabilistic(1, "strong-need", 40.0e6, 0.95, 1000),
+        ];
+        let m = ResourceMapper::new(1.0).map(&specs, &[uniform_path(), strong_path()]);
+        assert!(m.upcalls.is_empty());
+        // Stream 1 (stronger guarantee) on path 1.
+        assert!(m.rates[1][1] > 0.0, "rates: {:?}", m.rates);
+        assert_eq!(m.rates[1][0], 0.0);
+    }
+
+    #[test]
+    fn splits_only_when_no_single_path_fits() {
+        // Demand 55 Mbps at p=0.9: uniform path q(0.1)=10, strong path
+        // q(0.1)=55 → strong path alone fits exactly; no split.
+        let specs = vec![StreamSpec::probabilistic(0, "a", 55.0e6, 0.9, 1000)];
+        let m = ResourceMapper::new(1.0).map(&specs, &[uniform_path(), strong_path()]);
+        assert!(m.upcalls.is_empty());
+        let used: Vec<bool> = m.rates[0].iter().map(|&r| r > 0.0).collect();
+        assert_eq!(used.iter().filter(|&&u| u).count(), 1, "must not split");
+    }
+
+    #[test]
+    fn splits_when_necessary() {
+        // Demand 57 Mbps at p=0.9: neither path alone qualifies, but the
+        // combined headroom at the split-corrected level p^(1/2) ≈ 0.949
+        // (uniform path ≈ 6, strong path ≈ 52) covers it → split.
+        let specs = vec![StreamSpec::probabilistic(0, "a", 57.0e6, 0.9, 1000)];
+        let m = ResourceMapper::new(1.0).map(&specs, &[uniform_path(), strong_path()]);
+        assert!(m.upcalls.is_empty(), "upcalls: {:?}", m.upcalls);
+        let parts: u32 = m.assignments[0].iter().sum();
+        assert_eq!(parts, specs[0].packets_per_window(1.0));
+        assert!(m.assignments[0][0] > 0 && m.assignments[0][1] > 0);
+        // Proportional to headroom: path 1 gets the lion's share.
+        assert!(m.assignments[0][1] > m.assignments[0][0]);
+    }
+
+    #[test]
+    fn split_uses_composition_corrected_probability() {
+        // Demand 62 Mbps at p=0.9: naive per-path headroom at p = 0.9
+        // (10 + 55 = 65) would admit it, but each split part must hold
+        // at p^(1/2) ≈ 0.949 (headroom ≈ 6 + 52 = 58) → reject, because
+        // a 2-way split of independently-0.9 parts only delivers the
+        // whole ~81% of the time.
+        let specs = vec![StreamSpec::probabilistic(0, "a", 62.0e6, 0.9, 1000)];
+        let m = ResourceMapper::new(1.0).map(&specs, &[uniform_path(), strong_path()]);
+        assert_eq!(m.upcalls.len(), 1, "{:?}", m.assignments);
+    }
+
+    #[test]
+    fn rejects_with_upcall_when_infeasible() {
+        let specs = vec![StreamSpec::probabilistic(0, "big", 90.0e6, 0.95, 1000)];
+        let m = ResourceMapper::new(1.0).map(&specs, &[uniform_path()]);
+        assert_eq!(m.upcalls.len(), 1);
+        let Upcall::StreamRejected {
+            stream,
+            achievable_p,
+            admissible_bps,
+            ..
+        } = &m.upcalls[0];
+        assert_eq!(*stream, 0);
+        assert!(*achievable_p < 0.95);
+        assert!(*admissible_bps < 90.0e6);
+        assert!(!m.admitted(0));
+        assert_eq!(m.assignments[0][0], 0);
+    }
+
+    #[test]
+    fn later_streams_see_committed_load() {
+        // Two streams each needing 30 Mbps at p=0.9 on one strong path
+        // (q(0.1) = 55 Mbps): the first fits, the second must be
+        // rejected (30+30 = 60 > 55).
+        let specs = vec![
+            StreamSpec::probabilistic(0, "a", 30.0e6, 0.9, 1000),
+            StreamSpec::probabilistic(1, "b", 30.0e6, 0.9, 1000),
+        ];
+        let m = ResourceMapper::new(1.0).map(&specs, &[strong_path()]);
+        assert_eq!(m.upcalls.len(), 1);
+        assert!(m.admitted(0));
+        assert!(!m.admitted(1));
+    }
+
+    #[test]
+    fn best_effort_streams_are_never_assigned_or_rejected() {
+        let specs = vec![
+            StreamSpec::best_effort(0, "bulk", 50.0e6, 1500),
+            StreamSpec::probabilistic(1, "a", 5.0e6, 0.9, 1000),
+        ];
+        let m = ResourceMapper::new(1.0).map(&specs, &[uniform_path()]);
+        assert!(m.upcalls.is_empty());
+        assert!(m.assignments[0].iter().all(|&x| x == 0));
+        assert!(m.admitted(0));
+    }
+
+    #[test]
+    fn violation_bound_admitted_when_path_is_good() {
+        let specs = vec![StreamSpec::violation_bound(0, "vb", 5.0e6, 1.0, 1000)];
+        let m = ResourceMapper::new(1.0).map(&specs, &[strong_path()]);
+        assert!(m.upcalls.is_empty(), "{:?}", m.upcalls);
+        assert!(m.assignments[0][0] > 0);
+    }
+
+    #[test]
+    fn violation_bound_rejected_on_bad_path() {
+        // Path frequently below the requirement → E[Z] blows the bound.
+        let bad = cdf_mbps(&[1.0, 2.0, 3.0, 4.0]);
+        let specs = vec![StreamSpec::violation_bound(0, "vb", 5.0e6, 0.001, 1000)];
+        let m = ResourceMapper::new(1.0).map(&specs, &[bad]);
+        assert_eq!(m.upcalls.len(), 1);
+    }
+
+    #[test]
+    fn effective_p_for_violation_bound() {
+        let mapper = ResourceMapper::new(1.0);
+        let spec = StreamSpec::violation_bound(0, "vb", 8.0e6, 10.0, 1000);
+        // x = 1000 pkts, bound 10 → p = 1 − 10/1000 = 0.99.
+        assert!((mapper.effective_p(&spec).unwrap() - 0.99).abs() < 1e-12);
+        let be = StreamSpec::best_effort(1, "be", 0.0, 1000);
+        assert_eq!(mapper.effective_p(&be), None);
+    }
+
+    #[test]
+    fn largest_remainder_sums_exactly() {
+        let parts = largest_remainder_split(10, &[1.0, 1.0, 1.0]);
+        assert_eq!(parts.iter().sum::<u32>(), 10);
+        let parts2 = largest_remainder_split(7, &[0.0, 3.0, 1.0]);
+        assert_eq!(parts2.iter().sum::<u32>(), 7);
+        assert_eq!(parts2[0], 0, "zero-weight path got packets");
+        assert!(parts2[1] > parts2[2]);
+        assert_eq!(largest_remainder_split(0, &[1.0]), vec![0]);
+        assert_eq!(largest_remainder_split(5, &[0.0, 0.0]), vec![0, 0]);
+    }
+
+    #[test]
+    fn affinity_pins_near_tied_choices() {
+        // Both paths comfortably satisfy the stream: without affinity
+        // the lowest index wins; with affinity the stream stays put.
+        let specs = vec![StreamSpec::probabilistic(0, "a", 5.0e6, 0.9, 1000)];
+        let cdfs = [strong_path(), strong_path()];
+        let mapper = ResourceMapper::new(1.0);
+        let free = mapper.map(&specs, &cdfs);
+        assert!(free.rates[0][0] > 0.0, "no-affinity tie must pick path 0");
+        let pinned = mapper.map_with_affinity(&specs, &cdfs, Some(&[Some(1)]));
+        assert!(pinned.rates[0][1] > 0.0, "affinity must keep the stream on path 1");
+        // Affinity to a non-qualifying path is ignored.
+        let bad = cdf_mbps(&[1.0, 2.0]);
+        let cdfs2 = [strong_path(), bad];
+        let fallback = mapper.map_with_affinity(&specs, &cdfs2, Some(&[Some(1)]));
+        assert!(fallback.rates[0][0] > 0.0);
+    }
+
+    #[test]
+    fn committed_accumulates() {
+        let specs = vec![
+            StreamSpec::probabilistic(0, "a", 10.0e6, 0.9, 1000),
+            StreamSpec::probabilistic(1, "b", 20.0e6, 0.9, 1000),
+        ];
+        let m = ResourceMapper::new(1.0).map(&specs, &[strong_path(), strong_path()]);
+        let total: f64 = (0..2).map(|j| m.committed(j)).sum();
+        assert!((total - 30.0e6).abs() < 1e-3);
+    }
+}

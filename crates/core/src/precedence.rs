@@ -1,0 +1,150 @@
+//! Table 1 — precedence among packets in different streams.
+//!
+//! ```text
+//! 1.  pkts scheduled on current path.
+//! 2.  pkts scheduled on other path:
+//! 2.1   earliest deadline first.
+//! 2.2   equal deadlines, highest window constraint first.
+//! 3.  pkts not scheduled:
+//! 3.1   earliest deadline first.
+//! 3.2   equal deadlines, highest window constraint first.
+//! ```
+//!
+//! The scheduler consults this ordering when the current path has spare
+//! capacity beyond its scheduled packets — "utilizing additional
+//! available bandwidth whenever possible" without disturbing the
+//! statistically optimal stream division.
+
+use std::cmp::Ordering;
+
+/// Where a candidate packet stands relative to the scheduling vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleClass {
+    /// Scheduled on the path currently being served (Table 1, rule 1).
+    CurrentPath,
+    /// Scheduled on some other path whose budget remains (rule 2).
+    OtherPath,
+    /// Not scheduled anywhere this window (rule 3).
+    Unscheduled,
+}
+
+impl ScheduleClass {
+    fn rank(self) -> u8 {
+        match self {
+            ScheduleClass::CurrentPath => 0,
+            ScheduleClass::OtherPath => 1,
+            ScheduleClass::Unscheduled => 2,
+        }
+    }
+}
+
+/// A candidate packet for precedence comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// Owning stream index.
+    pub stream: usize,
+    /// Schedule class of the head packet.
+    pub class: ScheduleClass,
+    /// Virtual deadline in nanoseconds (smaller = more urgent;
+    /// `u64::MAX` = best-effort).
+    pub deadline_ns: u64,
+    /// Window-constraint ratio `x/y` (larger = stricter).
+    pub constraint: f64,
+}
+
+/// Total precedence order per Table 1 (smaller = send first).
+pub fn compare(a: &Candidate, b: &Candidate) -> Ordering {
+    a.class
+        .rank()
+        .cmp(&b.class.rank())
+        .then_with(|| a.deadline_ns.cmp(&b.deadline_ns))
+        .then_with(|| {
+            // Highest window constraint first.
+            b.constraint
+                .partial_cmp(&a.constraint)
+                .unwrap_or(Ordering::Equal)
+        })
+        // Deterministic final tie-break.
+        .then_with(|| a.stream.cmp(&b.stream))
+}
+
+/// Picks the best candidate (Table 1 winner) from a non-empty set.
+pub fn best(candidates: &[Candidate]) -> Option<Candidate> {
+    candidates.iter().copied().min_by(compare)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(stream: usize, class: ScheduleClass, deadline_ns: u64, constraint: f64) -> Candidate {
+        Candidate {
+            stream,
+            class,
+            deadline_ns,
+            constraint,
+        }
+    }
+
+    #[test]
+    fn current_path_beats_everything() {
+        let cur = cand(0, ScheduleClass::CurrentPath, u64::MAX, 0.0);
+        let other = cand(1, ScheduleClass::OtherPath, 0, 1.0);
+        let unsched = cand(2, ScheduleClass::Unscheduled, 0, 1.0);
+        assert_eq!(compare(&cur, &other), Ordering::Less);
+        assert_eq!(compare(&cur, &unsched), Ordering::Less);
+    }
+
+    #[test]
+    fn other_path_beats_unscheduled() {
+        let other = cand(0, ScheduleClass::OtherPath, 100, 0.5);
+        let unsched = cand(1, ScheduleClass::Unscheduled, 1, 1.0);
+        assert_eq!(compare(&other, &unsched), Ordering::Less);
+    }
+
+    #[test]
+    fn earliest_deadline_within_class() {
+        let early = cand(0, ScheduleClass::OtherPath, 10, 0.5);
+        let late = cand(1, ScheduleClass::OtherPath, 20, 0.9);
+        assert_eq!(compare(&early, &late), Ordering::Less);
+    }
+
+    #[test]
+    fn equal_deadline_higher_constraint_first() {
+        let strict = cand(1, ScheduleClass::Unscheduled, 10, 0.9);
+        let loose = cand(0, ScheduleClass::Unscheduled, 10, 0.5);
+        assert_eq!(compare(&strict, &loose), Ordering::Less);
+    }
+
+    #[test]
+    fn full_tie_breaks_by_stream_index() {
+        let a = cand(0, ScheduleClass::Unscheduled, 10, 0.5);
+        let b = cand(1, ScheduleClass::Unscheduled, 10, 0.5);
+        assert_eq!(compare(&a, &b), Ordering::Less);
+    }
+
+    #[test]
+    fn best_selects_table1_winner() {
+        let cands = vec![
+            cand(0, ScheduleClass::Unscheduled, 1, 1.0),
+            cand(1, ScheduleClass::OtherPath, 50, 0.2),
+            cand(2, ScheduleClass::OtherPath, 40, 0.2),
+        ];
+        assert_eq!(best(&cands).unwrap().stream, 2);
+        assert_eq!(best(&[]), None);
+    }
+
+    #[test]
+    fn ordering_is_total_and_consistent() {
+        let cands = vec![
+            cand(0, ScheduleClass::Unscheduled, 5, 0.1),
+            cand(1, ScheduleClass::CurrentPath, 9, 0.9),
+            cand(2, ScheduleClass::OtherPath, 1, 0.5),
+            cand(3, ScheduleClass::OtherPath, 1, 0.7),
+        ];
+        let mut sorted = cands.clone();
+        sorted.sort_by(compare);
+        let order: Vec<usize> = sorted.iter().map(|c| c.stream).collect();
+        assert_eq!(order, vec![1, 3, 2, 0]);
+    }
+}

@@ -1,0 +1,208 @@
+//! Bounded per-stream packet queues (Figure 6, "Queue 1, 2, …").
+//!
+//! Application generators enqueue packet descriptors; schedulers pop
+//! them when a path service becomes free. Queues are bounded — a full
+//! queue drop-tails and the loss is accounted per stream, which is how
+//! an overloaded best-effort stream sheds load in the experiments.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A packet descriptor as seen by the scheduler. Mirrors
+/// `iqpaths_simnet::Packet` but lives here so the scheduler crate stays
+/// emulator-independent; the middleware converts between the two.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueuedPacket {
+    /// Owning stream index.
+    pub stream: usize,
+    /// Per-stream sequence number.
+    pub seq: u64,
+    /// Size in bytes.
+    pub bytes: u32,
+    /// Enqueue time in nanoseconds of virtual time.
+    pub created_ns: u64,
+    /// Virtual deadline in nanoseconds (`u64::MAX` = best-effort). Set
+    /// by the scheduler when the packet is admitted to a window.
+    pub deadline_ns: u64,
+}
+
+/// Per-stream bounded FIFO queues.
+#[derive(Debug, Clone)]
+pub struct StreamQueues {
+    queues: Vec<VecDeque<QueuedPacket>>,
+    capacity: usize,
+    offered: Vec<u64>,
+    dropped: Vec<u64>,
+    seq: Vec<u64>,
+}
+
+impl StreamQueues {
+    /// `streams` queues, each holding at most `capacity` packets.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(streams: usize, capacity: usize) -> Self {
+        assert!(capacity > 0, "queues need positive capacity");
+        Self {
+            queues: (0..streams).map(|_| VecDeque::new()).collect(),
+            capacity,
+            offered: vec![0; streams],
+            dropped: vec![0; streams],
+            seq: vec![0; streams],
+        }
+    }
+
+    /// Number of streams.
+    pub fn streams(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Enqueues a new packet for `stream`; returns `false` (and counts a
+    /// drop) when the queue is full.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range stream.
+    pub fn push(&mut self, stream: usize, bytes: u32, created_ns: u64) -> bool {
+        self.offered[stream] += 1;
+        if self.queues[stream].len() >= self.capacity {
+            self.dropped[stream] += 1;
+            return false;
+        }
+        let seq = self.seq[stream];
+        self.seq[stream] += 1;
+        self.queues[stream].push_back(QueuedPacket {
+            stream,
+            seq,
+            bytes,
+            created_ns,
+            deadline_ns: u64::MAX,
+        });
+        true
+    }
+
+    /// Head packet of a stream, if any.
+    pub fn head(&self, stream: usize) -> Option<&QueuedPacket> {
+        self.queues.get(stream).and_then(|q| q.front())
+    }
+
+    /// Pops the head packet of a stream.
+    pub fn pop(&mut self, stream: usize) -> Option<QueuedPacket> {
+        self.queues.get_mut(stream).and_then(|q| q.pop_front())
+    }
+
+    /// Queue length of a stream.
+    pub fn len(&self, stream: usize) -> usize {
+        self.queues.get(stream).map_or(0, VecDeque::len)
+    }
+
+    /// True when every queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queues.iter().all(VecDeque::is_empty)
+    }
+
+    /// Total queued packets across all streams.
+    pub fn total_len(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// Packets offered to a stream's queue so far.
+    pub fn offered(&self, stream: usize) -> u64 {
+        self.offered[stream]
+    }
+
+    /// Packets dropped at a stream's queue so far.
+    pub fn dropped(&self, stream: usize) -> u64 {
+        self.dropped[stream]
+    }
+
+    /// Drop rate of a stream (0 when nothing offered).
+    pub fn drop_rate(&self, stream: usize) -> f64 {
+        if self.offered[stream] == 0 {
+            0.0
+        } else {
+            self.dropped[stream] as f64 / self.offered[stream] as f64
+        }
+    }
+
+    /// Streams whose queues are non-empty.
+    pub fn backlogged(&self) -> impl Iterator<Item = usize> + '_ {
+        self.queues
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_sequence_numbers() {
+        let mut q = StreamQueues::new(2, 8);
+        q.push(0, 100, 1);
+        q.push(0, 200, 2);
+        let a = q.pop(0).unwrap();
+        let b = q.pop(0).unwrap();
+        assert_eq!((a.seq, a.bytes), (0, 100));
+        assert_eq!((b.seq, b.bytes), (1, 200));
+        assert!(q.pop(0).is_none());
+    }
+
+    #[test]
+    fn capacity_drops_tail() {
+        let mut q = StreamQueues::new(1, 2);
+        assert!(q.push(0, 1, 0));
+        assert!(q.push(0, 1, 0));
+        assert!(!q.push(0, 1, 0));
+        assert_eq!(q.len(0), 2);
+        assert_eq!(q.offered(0), 3);
+        assert_eq!(q.dropped(0), 1);
+        assert!((q.drop_rate(0) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let mut q = StreamQueues::new(3, 4);
+        q.push(1, 10, 0);
+        assert_eq!(q.len(0), 0);
+        assert_eq!(q.len(1), 1);
+        assert_eq!(q.total_len(), 1);
+        let backlogged: Vec<usize> = q.backlogged().collect();
+        assert_eq!(backlogged, vec![1]);
+    }
+
+    #[test]
+    fn head_peeks_without_popping() {
+        let mut q = StreamQueues::new(1, 4);
+        q.push(0, 42, 7);
+        assert_eq!(q.head(0).unwrap().bytes, 42);
+        assert_eq!(q.len(0), 1);
+    }
+
+    #[test]
+    fn empty_checks() {
+        let mut q = StreamQueues::new(2, 4);
+        assert!(q.is_empty());
+        q.push(0, 1, 0);
+        assert!(!q.is_empty());
+        q.pop(0);
+        assert!(q.is_empty());
+        assert_eq!(q.drop_rate(1), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_accessors_are_safe() {
+        let q = StreamQueues::new(1, 4);
+        assert!(q.head(9).is_none());
+        assert_eq!(q.len(9), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn push_out_of_range_panics() {
+        let mut q = StreamQueues::new(1, 4);
+        q.push(5, 1, 0);
+    }
+}

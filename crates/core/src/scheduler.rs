@@ -1,0 +1,710 @@
+//! The PGOS runtime scheduler (§5.2.2, Figure 7).
+//!
+//! Per scheduling window:
+//!
+//! 1. `updateCDF()` — fresh monitoring snapshots arrive at
+//!    [`Pgos::on_window_start`].
+//! 2. If the previous scheduling vectors no longer satisfy the current
+//!    CDFs (stream set change, distribution drift, or feasibility
+//!    failure), re-run resource mapping and rebuild `VP` / `VS`.
+//! 3. While in the window: each free path pulls its next packet via its
+//!    stream scheduling vector; when a path's scheduled budget is
+//!    exhausted, spare capacity serves other packets by the Table 1
+//!    precedence. Blocked paths are skipped with exponential backoff
+//!    ("because of the high cost of blocking, timeouts and exponential
+//!    backoff are used to avoid sending multiple packets to a blocked
+//!    path").
+
+use crate::mapping::{MappingResult, ResourceMapper, Upcall};
+use crate::precedence::{self, Candidate, ScheduleClass};
+use crate::queues::{QueuedPacket, StreamQueues};
+use crate::stream::StreamSpec;
+use crate::traits::{MultipathScheduler, PathSnapshot};
+use crate::vectors::{SchedulingVectors, VsCursor};
+use iqpaths_stats::EmpiricalCdf;
+
+/// PGOS tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct PgosConfig {
+    /// Scheduling-window length in seconds (`t_w`).
+    pub window_secs: f64,
+    /// Kolmogorov–Smirnov distance beyond which a path's CDF counts as
+    /// having "changed dramatically", triggering a remap.
+    pub remap_ks_threshold: f64,
+    /// Initial blocked-path backoff.
+    pub backoff_initial_ns: u64,
+    /// Backoff ceiling.
+    pub backoff_max_ns: u64,
+}
+
+impl Default for PgosConfig {
+    fn default() -> Self {
+        Self {
+            window_secs: 1.0,
+            remap_ks_threshold: 0.2,
+            backoff_initial_ns: 5_000_000,    // 5 ms
+            backoff_max_ns: 1_000_000_000, // 1 s
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Backoff {
+    until_ns: u64,
+    current_ns: u64,
+}
+
+/// The Predictive Guarantee Overlay Scheduler.
+#[derive(Debug, Clone)]
+pub struct Pgos {
+    cfg: PgosConfig,
+    specs: Vec<StreamSpec>,
+    mapper: ResourceMapper,
+    paths: usize,
+    mapping: Option<MappingResult>,
+    vectors: Option<SchedulingVectors>,
+    /// Per-path cursor over `VS[j]`, rebuilt each window.
+    cursors: Vec<VsCursor>,
+    /// CDFs the current mapping was computed against.
+    reference_cdfs: Vec<EmpiricalCdf>,
+    /// Latest measured per-path loss rates.
+    path_loss: Vec<f64>,
+    window_start_ns: u64,
+    window_ns: u64,
+    /// Scheduled packets sent per stream this window (for deadline
+    /// stamping).
+    window_sent: Vec<u32>,
+    backoff: Vec<Backoff>,
+    upcalls: Vec<Upcall>,
+    remaps: u64,
+}
+
+impl Pgos {
+    /// A PGOS instance scheduling `specs` over `paths` overlay paths.
+    ///
+    /// # Panics
+    /// Panics if `paths == 0` or the spec indices are not `0..n`.
+    pub fn new(cfg: PgosConfig, specs: Vec<StreamSpec>, paths: usize) -> Self {
+        assert!(paths > 0, "need at least one path");
+        for (i, s) in specs.iter().enumerate() {
+            assert_eq!(s.index, i, "stream specs must be indexed densely");
+        }
+        let n = specs.len();
+        Self {
+            mapper: ResourceMapper::new(cfg.window_secs),
+            cfg,
+            specs,
+            paths,
+            mapping: None,
+            vectors: None,
+            cursors: Vec::new(),
+            reference_cdfs: Vec::new(),
+            window_start_ns: 0,
+            window_ns: 0,
+            path_loss: vec![0.0; paths],
+            window_sent: vec![0; n],
+            backoff: vec![Backoff::default(); paths],
+            upcalls: Vec::new(),
+            remaps: 0,
+        }
+    }
+
+    /// Number of resource-mapping runs so far (ablation metric).
+    pub fn remap_count(&self) -> u64 {
+        self.remaps
+    }
+
+    /// Registers a stream that joins mid-run. Resource mapping re-runs
+    /// at the next window boundary ("the resource mapping step is
+    /// executed when a new stream joins"). Returns the stream's index.
+    ///
+    /// # Panics
+    /// Panics if the spec's index is not the next dense index.
+    pub fn add_stream(&mut self, spec: StreamSpec) -> usize {
+        let idx = self.specs.len();
+        assert_eq!(spec.index, idx, "stream specs must stay densely indexed");
+        self.specs.push(spec);
+        self.window_sent.push(0);
+        // Invalidate the standing mapping; the next on_window_start
+        // remaps with the new stream table.
+        self.mapping = None;
+        self.vectors = None;
+        self.cursors.clear();
+        idx
+    }
+
+    /// Terminates a stream. Its index stays valid (queues and reports
+    /// are index-aligned) but it is demoted to a zero-rate best-effort
+    /// tombstone, and its committed bandwidth is released at the next
+    /// window boundary's remap.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range stream.
+    pub fn terminate_stream(&mut self, stream: usize) {
+        let old = &self.specs[stream];
+        let tombstone = StreamSpec::best_effort(
+            stream,
+            format!("{} (terminated)", old.name),
+            0.0,
+            old.packet_bytes,
+        );
+        self.specs[stream] = tombstone;
+        self.mapping = None;
+        self.vectors = None;
+        self.cursors.clear();
+    }
+
+    /// The current packet assignment matrix, if mapped.
+    pub fn mapping(&self) -> Option<&MappingResult> {
+        self.mapping.as_ref()
+    }
+
+    fn needs_remap(&self, cdfs: &[EmpiricalCdf]) -> bool {
+        let Some(mapping) = &self.mapping else {
+            return true;
+        };
+        // A previously rejected stream deserves a retry whenever new
+        // monitoring data arrives.
+        if !mapping.upcalls.is_empty() {
+            return true;
+        }
+        if self.reference_cdfs.len() != cdfs.len() {
+            return true;
+        }
+        // Distribution drift beyond the KS threshold.
+        for (r, c) in self.reference_cdfs.iter().zip(cdfs) {
+            if r.ks_distance(c) > self.cfg.remap_ks_threshold {
+                return true;
+            }
+        }
+        // A stream with a loss objective sitting on a now-too-lossy path
+        // must be re-placed.
+        for (i, spec) in self.specs.iter().enumerate() {
+            if let Some(bound) = spec.max_loss {
+                for (j, &loss) in self.path_loss.iter().enumerate() {
+                    if mapping.rates[i][j] > 0.0 && loss > bound {
+                        return true;
+                    }
+                }
+            }
+        }
+        // Feasibility of the standing mapping under the fresh CDFs.
+        !crate::guarantee::mapping_is_feasible(
+            cdfs,
+            &self.specs,
+            &mapping.rates,
+            self.cfg.window_secs,
+        )
+    }
+
+    fn remap(&mut self, cdfs: &[EmpiricalCdf]) {
+        // Keep streams on their previous paths across near-tied remaps.
+        let affinity: Vec<Option<usize>> = match &self.mapping {
+            None => vec![None; self.specs.len()],
+            Some(m) => m
+                .rates
+                .iter()
+                .map(|row| {
+                    row.iter()
+                        .enumerate()
+                        .filter(|(_, r)| **r > 0.0)
+                        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite rates"))
+                        .map(|(j, _)| j)
+                })
+                .collect(),
+        };
+        let mapping = self.mapper.map_full(
+            &self.specs,
+            cdfs,
+            Some(&affinity),
+            Some(&self.path_loss),
+        );
+        self.upcalls.extend(mapping.upcalls.iter().cloned());
+        self.vectors = Some(SchedulingVectors::build(mapping.assignments.clone()));
+        self.mapping = Some(mapping);
+        self.reference_cdfs = cdfs.to_vec();
+        self.remaps += 1;
+    }
+
+    fn rebuild_cursors(&mut self) {
+        let Some(vectors) = &self.vectors else {
+            self.cursors.clear();
+            return;
+        };
+        self.cursors = (0..self.paths)
+            .map(|j| {
+                let per_stream: Vec<u32> =
+                    vectors.assignments.iter().map(|row| row[j]).collect();
+                VsCursor::new(vectors.vs[j].clone(), per_stream)
+            })
+            .collect();
+    }
+
+    /// Total scheduled packets of `stream` per window across all paths.
+    fn scheduled_total(&self, stream: usize) -> u32 {
+        self.vectors
+            .as_ref()
+            .map_or(0, |v| v.packets_of_stream(stream))
+    }
+
+    /// Deadline for the next scheduled packet of `stream` this window:
+    /// the `k`-th of `x` scheduled packets is due at
+    /// `window_start + k/x · t_w`.
+    fn stamp_deadline(&mut self, stream: usize) -> u64 {
+        let x = self.scheduled_total(stream).max(1);
+        let k = (self.window_sent[stream] + 1).min(x);
+        self.window_sent[stream] += 1;
+        self.window_start_ns + (self.window_ns as f64 * k as f64 / x as f64) as u64
+    }
+
+    /// Serves one packet of `stream`, stamping its deadline.
+    fn pop_scheduled(&mut self, stream: usize, queues: &mut StreamQueues) -> Option<QueuedPacket> {
+        let mut pkt = queues.pop(stream)?;
+        pkt.deadline_ns = self.stamp_deadline(stream);
+        Some(pkt)
+    }
+
+    /// Whether stream `s` is behind its paced schedule at `now`: fewer
+    /// packets sent than the elapsed window fraction implies (with a
+    /// 10% grace). Rule 2 of Table 1 exists to rescue *lagging* paths —
+    /// an on-schedule stream's packets wait for their owning path, or
+    /// splitting would reorder streams that mapping deliberately kept
+    /// whole.
+    fn behind_schedule(&self, s: usize, now_ns: u64) -> bool {
+        let x = self.scheduled_total(s);
+        if x == 0 || self.window_ns == 0 {
+            return false;
+        }
+        let frac = (now_ns.saturating_sub(self.window_start_ns)) as f64 / self.window_ns as f64;
+        let expected = frac * x as f64;
+        let slack = (x as f64 / 10.0).max(1.0);
+        (self.window_sent[s] as f64) + slack < expected
+    }
+
+    /// Table 1 fallback when the current path has no scheduled budget
+    /// left: prefer packets scheduled on other (still-budgeted) paths
+    /// *that are behind schedule*, then unscheduled packets, EDF within
+    /// class, window-constraint on ties.
+    fn pop_fallback(
+        &mut self,
+        path: usize,
+        now_ns: u64,
+        queues: &mut StreamQueues,
+    ) -> Option<QueuedPacket> {
+        let tw = self.cfg.window_secs;
+        let mut candidates = Vec::new();
+        let backlogged: Vec<usize> = queues.backlogged().collect();
+        for s in backlogged {
+            let head = queues.head(s).expect("backlogged stream has a head");
+            // Does another path still hold budget for this stream?
+            let other_budget: u32 = self
+                .cursors
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != path)
+                .map(|(_, c)| c.remaining(s))
+                .sum();
+            if other_budget > 0 && !self.behind_schedule(s, now_ns) {
+                // On-schedule elsewhere: leave its packets to the owner.
+                continue;
+            }
+            let class = if other_budget > 0 {
+                ScheduleClass::OtherPath
+            } else {
+                ScheduleClass::Unscheduled
+            };
+            let deadline_ns = if class == ScheduleClass::OtherPath {
+                // Its would-be deadline on the owning path.
+                let x = self.scheduled_total(s).max(1);
+                let k = (self.window_sent[s] + 1).min(x);
+                self.window_start_ns + (self.window_ns as f64 * k as f64 / x as f64) as u64
+            } else {
+                head.deadline_ns
+            };
+            candidates.push(Candidate {
+                stream: s,
+                class,
+                deadline_ns,
+                constraint: self.specs[s].window_constraint(tw).ratio(),
+            });
+        }
+        let winner = precedence::best(&candidates)?;
+        match winner.class {
+            ScheduleClass::OtherPath => {
+                // Steal the budget from the other path holding the most.
+                if let Some((_, cursor)) = self
+                    .cursors
+                    .iter_mut()
+                    .enumerate()
+                    .filter(|(j, c)| *j != path && c.remaining(winner.stream) > 0)
+                    .max_by_key(|(_, c)| c.remaining(winner.stream))
+                {
+                    let _ = cursor.next_scheduled(|s| s == winner.stream);
+                }
+                self.pop_scheduled(winner.stream, queues)
+            }
+            _ => {
+                let mut pkt = queues.pop(winner.stream)?;
+                // Unscheduled packets keep (or get) a best-effort
+                // deadline; guaranteed streams' overflow packets inherit
+                // an end-of-window deadline so they still sort ahead of
+                // pure best-effort traffic.
+                if !self.specs[winner.stream].guarantee.is_best_effort() {
+                    pkt.deadline_ns = self.window_start_ns + self.window_ns;
+                }
+                Some(pkt)
+            }
+        }
+    }
+}
+
+impl MultipathScheduler for Pgos {
+    fn name(&self) -> &str {
+        "PGOS"
+    }
+
+    fn specs(&self) -> &[StreamSpec] {
+        &self.specs
+    }
+
+    fn on_window_start(&mut self, window_start_ns: u64, window_ns: u64, paths: &[PathSnapshot]) {
+        assert_eq!(paths.len(), self.paths, "path count changed mid-run");
+        self.window_start_ns = window_start_ns;
+        self.window_ns = window_ns;
+        self.path_loss = paths.iter().map(|p| p.loss).collect();
+        let cdfs: Vec<EmpiricalCdf> = paths.iter().map(|p| p.cdf.clone()).collect();
+        if self.needs_remap(&cdfs) {
+            self.remap(&cdfs);
+        }
+        self.rebuild_cursors();
+        self.window_sent.iter_mut().for_each(|c| *c = 0);
+        // A new window clears expired backoffs back to the initial step.
+        for b in &mut self.backoff {
+            if b.until_ns <= window_start_ns {
+                b.current_ns = 0;
+            }
+        }
+    }
+
+    fn next_packet(
+        &mut self,
+        path: usize,
+        now_ns: u64,
+        queues: &mut StreamQueues,
+    ) -> Option<QueuedPacket> {
+        if self.backoff[path].until_ns > now_ns {
+            return None;
+        }
+        // 1. The path's own scheduled packets (Table 1 rule 1).
+        if let Some(cursor) = self.cursors.get_mut(path) {
+            if let Some(stream) = cursor.next_scheduled(|s| queues.len(s) > 0) {
+                return self.pop_scheduled(stream, queues);
+            }
+        }
+        // 2./3. Spare capacity: other-path and unscheduled packets.
+        self.pop_fallback(path, now_ns, queues)
+    }
+
+    fn on_path_blocked(&mut self, path: usize, now_ns: u64) {
+        let b = &mut self.backoff[path];
+        b.current_ns = if b.current_ns == 0 {
+            self.cfg.backoff_initial_ns
+        } else {
+            (b.current_ns * 2).min(self.cfg.backoff_max_ns)
+        };
+        b.until_ns = now_ns + b.current_ns;
+    }
+
+    fn drain_upcalls(&mut self) -> Vec<Upcall> {
+        std::mem::take(&mut self.upcalls)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::StreamSpec;
+
+    fn mbps(v: f64) -> f64 {
+        v * 1.0e6
+    }
+
+    fn uniform_cdf(lo: u32, hi: u32) -> EmpiricalCdf {
+        EmpiricalCdf::from_clean_samples((lo..=hi).map(|i| mbps(i as f64)).collect())
+    }
+
+    fn snapshots(cdfs: Vec<EmpiricalCdf>) -> Vec<PathSnapshot> {
+        cdfs.into_iter()
+            .enumerate()
+            .map(|(i, c)| PathSnapshot::from_cdf(i, c))
+            .collect()
+    }
+
+    /// Two streams (one guaranteed, one best-effort), two paths.
+    fn setup() -> (Pgos, StreamQueues) {
+        let specs = vec![
+            StreamSpec::probabilistic(0, "crit", mbps(8.0), 0.95, 1000),
+            StreamSpec::best_effort(1, "bulk", mbps(20.0), 1000),
+        ];
+        let pgos = Pgos::new(PgosConfig::default(), specs, 2);
+        let queues = StreamQueues::new(2, 100_000);
+        (pgos, queues)
+    }
+
+    fn fill(queues: &mut StreamQueues, stream: usize, n: usize) {
+        for _ in 0..n {
+            queues.push(stream, 1000, 0);
+        }
+    }
+
+    #[test]
+    fn first_window_triggers_mapping() {
+        let (mut pgos, _q) = setup();
+        assert!(pgos.mapping().is_none());
+        pgos.on_window_start(0, 1_000_000_000, &snapshots(vec![
+            uniform_cdf(50, 100),
+            uniform_cdf(10, 60),
+        ]));
+        assert!(pgos.mapping().is_some());
+        assert_eq!(pgos.remap_count(), 1);
+    }
+
+    #[test]
+    fn stable_cdfs_do_not_remap() {
+        let (mut pgos, _q) = setup();
+        let snaps = snapshots(vec![uniform_cdf(50, 100), uniform_cdf(10, 60)]);
+        pgos.on_window_start(0, 1_000_000_000, &snaps);
+        pgos.on_window_start(1_000_000_000, 1_000_000_000, &snaps);
+        pgos.on_window_start(2_000_000_000, 1_000_000_000, &snaps);
+        assert_eq!(pgos.remap_count(), 1, "identical CDFs must not remap");
+    }
+
+    #[test]
+    fn drifted_cdf_remaps() {
+        let (mut pgos, _q) = setup();
+        pgos.on_window_start(
+            0,
+            1_000_000_000,
+            &snapshots(vec![uniform_cdf(50, 100), uniform_cdf(10, 60)]),
+        );
+        // Path 0 distribution collapses.
+        pgos.on_window_start(
+            1_000_000_000,
+            1_000_000_000,
+            &snapshots(vec![uniform_cdf(10, 20), uniform_cdf(10, 60)]),
+        );
+        assert_eq!(pgos.remap_count(), 2);
+    }
+
+    #[test]
+    fn scheduled_packets_follow_mapping() {
+        let (mut pgos, mut q) = setup();
+        fill(&mut q, 0, 5000);
+        pgos.on_window_start(
+            0,
+            1_000_000_000,
+            &snapshots(vec![uniform_cdf(50, 100), uniform_cdf(10, 60)]),
+        );
+        // Stream 0 needs 1000 pkts/window (8 Mbps / 8000 bits); mapping
+        // must put them on the strong path 0.
+        let m = pgos.mapping().unwrap().clone();
+        assert_eq!(m.assignments[0][0], 1000);
+        // Pull the full budget off path 0.
+        let mut served = 0;
+        while let Some(pkt) = pgos.next_packet(0, 1, &mut q) {
+            assert_eq!(pkt.stream, 0);
+            assert!(pkt.deadline_ns <= 1_000_000_000);
+            served += 1;
+            if served == 1000 {
+                break;
+            }
+        }
+        assert_eq!(served, 1000);
+    }
+
+    #[test]
+    fn deadlines_are_evenly_spaced() {
+        let (mut pgos, mut q) = setup();
+        fill(&mut q, 0, 2000);
+        pgos.on_window_start(
+            0,
+            1_000_000_000,
+            &snapshots(vec![uniform_cdf(50, 100), uniform_cdf(10, 60)]),
+        );
+        let d1 = pgos.next_packet(0, 1, &mut q).unwrap().deadline_ns;
+        let d2 = pgos.next_packet(0, 2, &mut q).unwrap().deadline_ns;
+        let d3 = pgos.next_packet(0, 3, &mut q).unwrap().deadline_ns;
+        assert!(d1 < d2 && d2 < d3);
+        // 1000 pkts over 1 s → 1 ms spacing.
+        assert_eq!(d2 - d1, 1_000_000);
+    }
+
+    #[test]
+    fn best_effort_served_after_scheduled_budget() {
+        let (mut pgos, mut q) = setup();
+        fill(&mut q, 1, 10); // only bulk traffic queued
+        pgos.on_window_start(
+            0,
+            1_000_000_000,
+            &snapshots(vec![uniform_cdf(50, 100), uniform_cdf(10, 60)]),
+        );
+        // No stream-0 packets → the path serves bulk as unscheduled.
+        let pkt = pgos.next_packet(0, 1, &mut q).unwrap();
+        assert_eq!(pkt.stream, 1);
+    }
+
+    #[test]
+    fn empty_queues_leave_path_idle() {
+        let (mut pgos, mut q) = setup();
+        pgos.on_window_start(
+            0,
+            1_000_000_000,
+            &snapshots(vec![uniform_cdf(50, 100), uniform_cdf(10, 60)]),
+        );
+        assert!(pgos.next_packet(0, 1, &mut q).is_none());
+        assert!(pgos.next_packet(1, 1, &mut q).is_none());
+    }
+
+    #[test]
+    fn blocked_path_backs_off_exponentially() {
+        let (mut pgos, mut q) = setup();
+        fill(&mut q, 0, 100);
+        pgos.on_window_start(
+            0,
+            1_000_000_000,
+            &snapshots(vec![uniform_cdf(50, 100), uniform_cdf(10, 60)]),
+        );
+        pgos.on_path_blocked(0, 100);
+        let until1 = pgos.backoff[0].until_ns;
+        assert!(pgos.next_packet(0, until1 - 1, &mut q).is_none());
+        assert!(pgos.next_packet(0, until1, &mut q).is_some());
+        // Second block doubles the step.
+        pgos.on_path_blocked(0, until1);
+        let step1 = until1 - 100;
+        let step2 = pgos.backoff[0].until_ns - until1;
+        assert_eq!(step2, step1 * 2);
+    }
+
+    #[test]
+    fn backoff_is_capped() {
+        let (mut pgos, _q) = setup();
+        for i in 0..40 {
+            pgos.on_path_blocked(0, i);
+        }
+        let step = pgos.backoff[0].current_ns;
+        assert_eq!(step, PgosConfig::default().backoff_max_ns);
+    }
+
+    #[test]
+    fn infeasible_stream_produces_upcall() {
+        let specs = vec![StreamSpec::probabilistic(0, "huge", mbps(500.0), 0.95, 1000)];
+        let mut pgos = Pgos::new(PgosConfig::default(), specs, 1);
+        pgos.on_window_start(0, 1_000_000_000, &snapshots(vec![uniform_cdf(10, 60)]));
+        let upcalls = pgos.drain_upcalls();
+        assert_eq!(upcalls.len(), 1);
+        // Drained only once.
+        assert!(pgos.drain_upcalls().is_empty());
+    }
+
+    #[test]
+    fn guaranteed_overflow_outranks_best_effort_in_fallback() {
+        let (mut pgos, mut q) = setup();
+        fill(&mut q, 0, 3000); // more than the 1000-pkt budget
+        fill(&mut q, 1, 3000);
+        pgos.on_window_start(
+            0,
+            1_000_000_000,
+            &snapshots(vec![uniform_cdf(50, 100), uniform_cdf(10, 60)]),
+        );
+        // Half the window has elapsed and stream 0 has sent nothing on
+        // its owning path 0: it is behind schedule, so path 1's fallback
+        // must rescue it (Table 1 rule 2) ahead of best-effort traffic.
+        let pkt = pgos.next_packet(1, 500_000_000, &mut q).unwrap();
+        assert_eq!(pkt.stream, 0, "class-2 packet must beat best-effort");
+    }
+
+    #[test]
+    fn on_schedule_streams_are_not_stolen_by_other_paths() {
+        let (mut pgos, mut q) = setup();
+        fill(&mut q, 0, 3000);
+        fill(&mut q, 1, 3000);
+        pgos.on_window_start(
+            0,
+            1_000_000_000,
+            &snapshots(vec![uniform_cdf(50, 100), uniform_cdf(10, 60)]),
+        );
+        // Early in the window stream 0 is on schedule: path 1 (which
+        // holds none of its budget) must serve best-effort instead of
+        // splitting the critical stream.
+        let pkt = pgos.next_packet(1, 1, &mut q).unwrap();
+        assert_eq!(pkt.stream, 1, "on-schedule stream must stay whole");
+        // Drain path 0 normally: its packets all come from stream 0
+        // until the budget is spent.
+        let pkt0 = pgos.next_packet(0, 2, &mut q).unwrap();
+        assert_eq!(pkt0.stream, 0);
+    }
+
+    #[test]
+    fn stream_join_triggers_remap_and_gets_budget() {
+        let (mut pgos, _q) = setup();
+        let snaps = snapshots(vec![uniform_cdf(50, 100), uniform_cdf(10, 60)]);
+        pgos.on_window_start(0, 1_000_000_000, &snaps);
+        assert_eq!(pgos.remap_count(), 1);
+        // A new 8 Mbps stream joins.
+        let idx = pgos.add_stream(StreamSpec::probabilistic(2, "joiner", mbps(8.0), 0.9, 1000));
+        assert_eq!(idx, 2);
+        pgos.on_window_start(1_000_000_000, 1_000_000_000, &snaps);
+        assert_eq!(pgos.remap_count(), 2, "join must force a remap");
+        let m = pgos.mapping().unwrap();
+        assert_eq!(m.assignments.len(), 3);
+        assert_eq!(m.assignments[2].iter().sum::<u32>(), 1000);
+        assert!(pgos.drain_upcalls().is_empty());
+        // The joiner's packets flow.
+        let mut q = StreamQueues::new(3, 1000);
+        q.push(2, 1000, 0);
+        // It may land on either path; one of them serves it.
+        let served = pgos
+            .next_packet(0, 1_000_000_001, &mut q)
+            .or_else(|| pgos.next_packet(1, 1_000_000_002, &mut q))
+            .expect("joiner must be served");
+        assert_eq!(served.stream, 2);
+    }
+
+    #[test]
+    fn stream_termination_releases_capacity() {
+        // Path holds 55 Mbps at p=0.9 (uniform 50..=100, q(0.1)=55).
+        // Two 30 Mbps streams cannot both fit; after the first
+        // terminates, the second must be admitted on retry.
+        let specs = vec![
+            StreamSpec::probabilistic(0, "a", mbps(30.0), 0.9, 1000),
+            StreamSpec::probabilistic(1, "b", mbps(30.0), 0.9, 1000),
+        ];
+        let mut pgos = Pgos::new(PgosConfig::default(), specs, 1);
+        let snaps = snapshots(vec![uniform_cdf(50, 100)]);
+        pgos.on_window_start(0, 1_000_000_000, &snaps);
+        assert_eq!(pgos.drain_upcalls().len(), 1, "stream b must be rejected");
+        pgos.terminate_stream(0);
+        pgos.on_window_start(1_000_000_000, 1_000_000_000, &snaps);
+        assert!(
+            pgos.drain_upcalls().is_empty(),
+            "stream b must be admitted after a terminates"
+        );
+        let m = pgos.mapping().unwrap();
+        assert_eq!(m.assignments[0].iter().sum::<u32>(), 0);
+        assert!(m.assignments[1].iter().sum::<u32>() > 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn add_stream_with_wrong_index_panics() {
+        let (mut pgos, _q) = setup();
+        pgos.add_stream(StreamSpec::probabilistic(7, "bad", 1.0e6, 0.9, 1000));
+    }
+
+    #[test]
+    #[should_panic]
+    fn dense_index_enforced() {
+        let specs = vec![StreamSpec::probabilistic(3, "x", 1.0e6, 0.9, 1000)];
+        let _ = Pgos::new(PgosConfig::default(), specs, 1);
+    }
+}

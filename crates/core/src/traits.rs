@@ -1,0 +1,100 @@
+//! The scheduler interface shared by PGOS and every baseline.
+//!
+//! The middleware runtime drives any [`MultipathScheduler`] identically:
+//! at each scheduling-window boundary it hands the scheduler fresh
+//! [`PathSnapshot`]s (monitoring output), and whenever a path service
+//! becomes free it asks the scheduler for that path's next packet.
+
+use crate::queues::{QueuedPacket, StreamQueues};
+use crate::stream::StreamSpec;
+use iqpaths_stats::EmpiricalCdf;
+
+/// Monitoring state of one overlay path, as delivered to schedulers at
+/// window boundaries (Figure 3's "path characteristics" feedback).
+#[derive(Debug, Clone)]
+pub struct PathSnapshot {
+    /// Path index.
+    pub index: usize,
+    /// Empirical CDF of recent available-bandwidth samples (bits/s).
+    pub cdf: EmpiricalCdf,
+    /// A mean-bandwidth prediction for the next window (what MA/EWMA
+    /// style baselines use).
+    pub mean_prediction: f64,
+    /// The *actual* average available bandwidth of the upcoming window —
+    /// only populated for the offline OptSched oracle baseline.
+    pub oracle_next_rate: Option<f64>,
+    /// Smoothed round-trip time estimate in seconds.
+    pub rtt: f64,
+    /// Measured packet-loss rate of the path (0 when unmeasured).
+    pub loss: f64,
+}
+
+impl PathSnapshot {
+    /// A snapshot with only a CDF (tests and simple baselines).
+    pub fn from_cdf(index: usize, cdf: EmpiricalCdf) -> Self {
+        let mean_prediction = iqpaths_stats::BandwidthCdf::mean(&cdf);
+        Self {
+            index,
+            cdf,
+            mean_prediction,
+            oracle_next_rate: None,
+            rtt: 0.0,
+            loss: 0.0,
+        }
+    }
+}
+
+/// A packet routing-and-scheduling policy over multiple overlay paths.
+pub trait MultipathScheduler {
+    /// Display name ("PGOS", "MSFQ", …) used in experiment output.
+    fn name(&self) -> &str;
+
+    /// The stream table this scheduler was configured with.
+    fn specs(&self) -> &[StreamSpec];
+
+    /// Called at each scheduling-window boundary with fresh monitoring
+    /// snapshots (one per path, in path order).
+    fn on_window_start(&mut self, window_start_ns: u64, window_ns: u64, paths: &[PathSnapshot]);
+
+    /// Called when path `path` is free: pop and return the packet to
+    /// transmit on it, or `None` to leave the path idle until the next
+    /// enqueue or window boundary.
+    fn next_packet(
+        &mut self,
+        path: usize,
+        now_ns: u64,
+        queues: &mut StreamQueues,
+    ) -> Option<QueuedPacket>;
+
+    /// Notification that a send on `path` observed blocking (very low
+    /// service rate). Schedulers may back off the path.
+    fn on_path_blocked(&mut self, _path: usize, _now_ns: u64) {}
+
+    /// Whether the scheduler ever uses the given path (single-path
+    /// baselines return `false` for all but their chosen path, so the
+    /// runtime never offers them other transmitters).
+    fn uses_path(&self, _path: usize) -> bool {
+        true
+    }
+
+    /// Drains pending admission-control upcalls (PGOS notifies the
+    /// application when a stream cannot be scheduled; see §5.2.2).
+    fn drain_upcalls(&mut self) -> Vec<crate::mapping::Upcall> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iqpaths_stats::EmpiricalCdf;
+
+    #[test]
+    fn snapshot_from_cdf_fills_mean() {
+        let cdf = EmpiricalCdf::from_clean_samples(vec![10.0, 20.0, 30.0]);
+        let s = PathSnapshot::from_cdf(3, cdf);
+        assert_eq!(s.index, 3);
+        assert!((s.mean_prediction - 20.0).abs() < 1e-12);
+        assert!(s.oracle_next_rate.is_none());
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests of PGOS invariants: vector construction,
+//! precedence totality, and resource-mapping conservation laws.
+
+use iqpaths_core::mapping::{largest_remainder_split, ResourceMapper};
+use iqpaths_core::stream::StreamSpec;
+use iqpaths_core::vectors::{path_lookup_vector, SchedulingVectors};
+use iqpaths_stats::EmpiricalCdf;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn vp_contains_each_path_exactly_its_count(counts in prop::collection::vec(0u32..50, 1..6)) {
+        let vp = path_lookup_vector(&counts);
+        prop_assert_eq!(vp.len() as u32, counts.iter().sum::<u32>());
+        for (j, &c) in counts.iter().enumerate() {
+            prop_assert_eq!(vp.iter().filter(|&&p| p == j).count() as u32, c);
+        }
+    }
+
+    #[test]
+    fn vp_interleaving_is_smooth(a in 1u32..40, b in 1u32..40) {
+        // In any prefix, a path's share of visits is within one packet of
+        // its proportional share (the virtual-deadline property).
+        let vp = path_lookup_vector(&[a, b]);
+        let total = (a + b) as f64;
+        let mut seen_a = 0u32;
+        for (k, &p) in vp.iter().enumerate() {
+            if p == 0 {
+                seen_a += 1;
+            }
+            let expected = (k as f64 + 1.0) * a as f64 / total;
+            prop_assert!(
+                (seen_a as f64 - expected).abs() <= 1.0 + 1e-9,
+                "prefix {}: seen {} expected {:.2}", k, seen_a, expected
+            );
+        }
+    }
+
+    #[test]
+    fn vectors_are_consistent(matrix in prop::collection::vec(prop::collection::vec(0u32..30, 3), 1..5)) {
+        let sv = SchedulingVectors::build(matrix.clone());
+        // VS[j] lengths match per-path totals, and stream occurrence
+        // counts match assignments.
+        for j in 0..3 {
+            let expect: u32 = matrix.iter().map(|row| row[j]).sum();
+            prop_assert_eq!(sv.vs[j].len() as u32, expect);
+            for (i, row) in matrix.iter().enumerate() {
+                prop_assert_eq!(
+                    sv.vs[j].iter().filter(|&&s| s == i).count() as u32,
+                    row[j]
+                );
+            }
+        }
+        prop_assert_eq!(sv.vp.len() as u32, (0..3).map(|j| sv.packets_on_path(j)).sum::<u32>());
+    }
+
+    #[test]
+    fn split_conserves_packets(x in 0u32..10_000, w in prop::collection::vec(0.0..100.0f64, 1..6)) {
+        let parts = largest_remainder_split(x, &w);
+        let total: f64 = w.iter().sum();
+        if total > 0.0 {
+            prop_assert_eq!(parts.iter().sum::<u32>(), x);
+        } else {
+            prop_assert!(parts.iter().all(|&p| p == 0));
+        }
+        for (j, &p) in parts.iter().enumerate() {
+            if w[j] == 0.0 {
+                prop_assert_eq!(p, 0, "zero-weight path got packets");
+            }
+        }
+    }
+
+    #[test]
+    fn mapping_never_over_commits_guaranteed_streams(
+        seeds in prop::collection::vec(10u32..90, 2),
+        req1 in 1.0..30.0f64,
+        req2 in 1.0..30.0f64,
+    ) {
+        // Two uniform paths with different ranges; mapping output must
+        // (a) conserve each admitted stream's packet count and
+        // (b) keep committed load within each path's p-quantile.
+        let cdfs: Vec<EmpiricalCdf> = seeds
+            .iter()
+            .map(|&lo| {
+                EmpiricalCdf::from_clean_samples(
+                    (lo..=lo + 40).map(|v| v as f64 * 1.0e6).collect(),
+                )
+            })
+            .collect();
+        let specs = vec![
+            StreamSpec::probabilistic(0, "a", req1 * 1.0e6, 0.9, 1000),
+            StreamSpec::probabilistic(1, "b", req2 * 1.0e6, 0.9, 1000),
+        ];
+        let mapper = ResourceMapper::new(1.0);
+        let m = mapper.map(&specs, &cdfs);
+        for (i, spec) in specs.iter().enumerate() {
+            let assigned: u32 = m.assignments[i].iter().sum();
+            if m.admitted(i) {
+                prop_assert_eq!(assigned, spec.packets_per_window(1.0));
+            } else {
+                prop_assert_eq!(assigned, 0);
+            }
+        }
+        // Feasibility must hold for whatever was admitted.
+        let feasible = iqpaths_core::guarantee::mapping_is_feasible(
+            &cdfs,
+            &specs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| m.admitted(*i))
+                .map(|(_, s)| s.clone())
+                .collect::<Vec<_>>(),
+            &m.rates
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| m.admitted(*i))
+                .map(|(_, r)| r.clone())
+                .collect::<Vec<_>>(),
+            1.0,
+        );
+        prop_assert!(feasible, "admitted mapping must be feasible: {:?}", m);
+    }
+
+    #[test]
+    fn precedence_sort_never_panics(
+        deadlines in prop::collection::vec(0u64..1000, 1..20),
+    ) {
+        use iqpaths_core::precedence::{best, Candidate, ScheduleClass};
+        let cands: Vec<Candidate> = deadlines
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| Candidate {
+                stream: i,
+                class: match d % 3 {
+                    0 => ScheduleClass::CurrentPath,
+                    1 => ScheduleClass::OtherPath,
+                    _ => ScheduleClass::Unscheduled,
+                },
+                deadline_ns: d,
+                constraint: (d % 7) as f64 / 7.0,
+            })
+            .collect();
+        let b = best(&cands).unwrap();
+        // The winner is no worse than any candidate.
+        for c in &cands {
+            prop_assert_ne!(
+                iqpaths_core::precedence::compare(c, &b),
+                std::cmp::Ordering::Less
+            );
+        }
+    }
+}

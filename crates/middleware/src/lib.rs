@@ -1,0 +1,26 @@
+//! # iqpaths-middleware — the IQ-Paths runtime
+//!
+//! Glues the substrates into the running system of Figures 2/3/6:
+//! application workloads fill per-stream queues; a scheduler (PGOS or a
+//! baseline) assigns packets to overlay-path transmit services; the
+//! emulated network serves them at trace-driven residual rates; the
+//! monitoring module probes available bandwidth and feeds statistics
+//! back to the scheduler at every scheduling-window boundary.
+//!
+//! * [`runtime`] — the virtual-time experiment loop.
+//! * [`report`] — per-stream and per-run result records.
+//! * [`builder`] — a high-level API for standing up the Figure 8
+//!   testbed with any workload/scheduler combination.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod builder;
+pub mod multicast;
+pub mod pubsub;
+pub mod report;
+pub mod runtime;
+
+pub use builder::{Figure8Experiment, SchedulerKind};
+pub use report::{RunReport, StreamReport};
+pub use runtime::{run, DeliveryEvent, RuntimeConfig};

@@ -1,0 +1,381 @@
+//! Overlay multicast delivery (§7 future work: "it would be interesting
+//! to extend this work to content delivery systems that use overlay
+//! multicast techniques").
+//!
+//! Topology: a source runs PGOS over `L` trunk paths to a replication
+//! router; the router fans each packet out onto per-client paths (one
+//! bounded FIFO output queue per client, as an overlay router daemon
+//! would). Guarantees are enforced on the trunk by PGOS; per-client
+//! path quality then determines which subscribers keep up — the report
+//! exposes both, so an operator can tell trunk congestion apart from a
+//! slow subscriber.
+
+use crate::runtime::RuntimeConfig;
+use iqpaths_apps::workload::Workload;
+use iqpaths_core::queues::StreamQueues;
+use iqpaths_core::traits::{MultipathScheduler, PathSnapshot};
+use iqpaths_overlay::node::MonitoringModule;
+use iqpaths_overlay::path::OverlayPath;
+use iqpaths_overlay::probe::AvailBwProbe;
+use iqpaths_simnet::monitor::ThroughputMonitor;
+use iqpaths_simnet::packet::{Packet, StreamId};
+use iqpaths_simnet::server::PathService;
+use iqpaths_simnet::time::SimTime;
+use iqpaths_simnet::EventQueue;
+use std::collections::VecDeque;
+
+/// Per-client, per-stream outcome of a multicast run.
+#[derive(Debug, Clone)]
+pub struct MulticastClientReport {
+    /// Client name.
+    pub name: String,
+    /// Per-stream throughput series (bits/s per monitor window).
+    pub throughput_series: Vec<Vec<f64>>,
+    /// Per-stream delivered packet counts.
+    pub delivered: Vec<u64>,
+    /// Packets dropped at this client's router output queue.
+    pub router_drops: u64,
+}
+
+impl MulticastClientReport {
+    /// Mean throughput of a stream at this client.
+    pub fn mean_throughput(&self, stream: usize) -> f64 {
+        iqpaths_stats::metrics::mean(&self.throughput_series[stream])
+    }
+
+    /// Fraction of windows in which a stream met `target` bits/s.
+    pub fn meet_fraction(&self, stream: usize, target: f64) -> f64 {
+        iqpaths_stats::metrics::fraction_meeting(&self.throughput_series[stream], target)
+    }
+}
+
+/// Outcome of a multicast run.
+#[derive(Debug, Clone)]
+pub struct MulticastReport {
+    /// One report per client.
+    pub clients: Vec<MulticastClientReport>,
+    /// Bytes sent per trunk path.
+    pub trunk_sent_bytes: Vec<u64>,
+    /// Admission upcalls raised by the trunk scheduler.
+    pub upcalls: Vec<iqpaths_core::mapping::Upcall>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Arrival,
+    TrunkFree(usize),
+    TrunkDone(usize),
+    ClientFree(usize),
+    ClientDone(usize),
+    Probe,
+    Window,
+}
+
+/// Runs a multicast experiment: `workload` streams from the source over
+/// `trunk_paths` (scheduled by `scheduler`), replicated at the router
+/// onto `client_paths`.
+///
+/// # Panics
+/// Panics on empty path sets or mismatched stream tables.
+pub fn run_multicast(
+    trunk_paths: &[OverlayPath],
+    client_paths: &[(String, OverlayPath)],
+    mut workload: Box<dyn Workload>,
+    mut scheduler: Box<dyn MultipathScheduler>,
+    cfg: RuntimeConfig,
+    duration: f64,
+) -> MulticastReport {
+    assert!(!trunk_paths.is_empty() && !client_paths.is_empty());
+    let n_streams = scheduler.specs().len();
+    assert_eq!(workload.specs().len(), n_streams);
+    let n_trunks = trunk_paths.len();
+    let n_clients = client_paths.len();
+    let warmup = cfg.warmup_secs;
+    let end = SimTime::from_secs_f64(warmup + duration);
+
+    let mut queues = StreamQueues::new(n_streams, cfg.queue_capacity);
+    let mut trunks: Vec<PathService> = trunk_paths.iter().map(OverlayPath::service).collect();
+    let mut outs: Vec<PathService> = client_paths
+        .iter()
+        .map(|(_, p)| p.service())
+        .collect();
+    let mut out_queues: Vec<VecDeque<Packet>> = vec![VecDeque::new(); n_clients];
+    // Router output queues sized like a deep switch buffer.
+    let out_capacity = 4096;
+    let mut router_drops = vec![0u64; n_clients];
+
+    let mut monitoring = MonitoringModule::with_mode(n_trunks, cfg.history_samples, cfg.cdf_mode);
+    let mut probes: Vec<AvailBwProbe> = (0..n_trunks)
+        .map(|j| {
+            AvailBwProbe::new(
+                cfg.probe_interval_secs,
+                cfg.probe_noise,
+                cfg.seed.wrapping_add(j as u64),
+            )
+        })
+        .collect();
+    {
+        let mut t = cfg.probe_interval_secs;
+        while t < warmup {
+            for (j, path) in trunk_paths.iter().enumerate() {
+                let bw = probes[j].measure(path, t);
+                monitoring.observe_bandwidth(j, t, bw);
+            }
+            t += cfg.probe_interval_secs;
+        }
+    }
+
+    let mut tp: Vec<Vec<ThroughputMonitor>> = (0..n_clients)
+        .map(|_| {
+            (0..n_streams)
+                .map(|_| ThroughputMonitor::new(cfg.monitor_window_secs))
+                .collect()
+        })
+        .collect();
+    let mut delivered = vec![vec![0u64; n_streams]; n_clients];
+    let mut upcalls = Vec::new();
+
+    let mut events: EventQueue<Ev> = EventQueue::new();
+    let mut trunk_idle = vec![false; n_trunks];
+    let mut next_arrival = workload.next_arrival();
+    let t0 = SimTime::from_secs_f64(warmup);
+    if next_arrival.is_some() {
+        events.schedule(t0, Ev::Arrival);
+    }
+    events.schedule(t0, Ev::Window);
+    events.schedule(t0, Ev::Probe);
+    for j in 0..n_trunks {
+        events.schedule(t0, Ev::TrunkFree(j));
+    }
+
+    while let Some((now, ev)) = events.pop_until(end) {
+        let now_s = now.as_secs_f64();
+        let now_ns = now.as_nanos();
+        match ev {
+            Ev::Arrival => {
+                while let Some(a) = next_arrival {
+                    let due = SimTime::from_secs_f64(warmup + a.at);
+                    if due > now {
+                        break;
+                    }
+                    queues.push(a.stream, a.bytes, now_ns);
+                    next_arrival = workload.next_arrival();
+                }
+                if let Some(a) = &next_arrival {
+                    events.schedule(SimTime::from_secs_f64(warmup + a.at), Ev::Arrival);
+                }
+                for j in 0..n_trunks {
+                    if trunk_idle[j] && trunks[j].is_free(now) {
+                        trunk_idle[j] = false;
+                        events.schedule(now, Ev::TrunkFree(j));
+                    }
+                }
+            }
+            Ev::TrunkFree(j) => {
+                if !trunks[j].is_free(now) || trunks[j].serving().is_some() {
+                    continue;
+                }
+                match scheduler.next_packet(j, now_ns, &mut queues) {
+                    Some(qpkt) => {
+                        let pkt = Packet {
+                            stream: StreamId(qpkt.stream as u32),
+                            seq: qpkt.seq,
+                            bytes: qpkt.bytes,
+                            created: SimTime::from_nanos(qpkt.created_ns),
+                            deadline: SimTime::MAX,
+                        };
+                        let finish = trunks[j].begin(pkt, now);
+                        events.schedule(finish, Ev::TrunkDone(j));
+                        events.schedule(finish, Ev::TrunkFree(j));
+                    }
+                    None => trunk_idle[j] = true,
+                }
+            }
+            Ev::TrunkDone(j) => {
+                let delivery = trunks[j].complete(now);
+                // Replicate at the router into each client's queue.
+                for (k, oq) in out_queues.iter_mut().enumerate() {
+                    if oq.len() >= out_capacity {
+                        router_drops[k] += 1;
+                        continue;
+                    }
+                    let was_empty = oq.is_empty();
+                    oq.push_back(delivery.packet);
+                    if was_empty && outs[k].is_free(delivery.delivered) {
+                        events.schedule(delivery.delivered.max(now), Ev::ClientFree(k));
+                    }
+                }
+            }
+            Ev::ClientFree(k) => {
+                if !outs[k].is_free(now) || outs[k].serving().is_some() {
+                    continue;
+                }
+                if let Some(pkt) = out_queues[k].pop_front() {
+                    let finish = outs[k].begin(pkt, now);
+                    events.schedule(finish, Ev::ClientDone(k));
+                    events.schedule(finish, Ev::ClientFree(k));
+                }
+            }
+            Ev::ClientDone(k) => {
+                let delivery = outs[k].complete(now);
+                let s = delivery.packet.stream.0 as usize;
+                let rel = (delivery.delivered.as_secs_f64() - warmup).max(0.0);
+                delivered[k][s] += 1;
+                tp[k][s].record(SimTime::from_secs_f64(rel), delivery.packet.bytes as u64);
+            }
+            Ev::Probe => {
+                for (j, path) in trunk_paths.iter().enumerate() {
+                    let bw = probes[j].measure(path, now_s);
+                    monitoring.observe_bandwidth(j, now_s, bw);
+                }
+                events.schedule(
+                    now + iqpaths_simnet::SimDuration::from_secs_f64(cfg.probe_interval_secs),
+                    Ev::Probe,
+                );
+            }
+            Ev::Window => {
+                let snaps: Vec<PathSnapshot> = monitoring
+                    .all_stats()
+                    .into_iter()
+                    .map(|st| PathSnapshot {
+                        index: st.index,
+                        cdf: st.cdf,
+                        mean_prediction: st.mean_prediction,
+                        oracle_next_rate: None,
+                        rtt: st.rtt,
+                        loss: 0.0,
+                    })
+                    .collect();
+                scheduler.on_window_start(now_ns, (cfg.window_secs * 1e9) as u64, &snaps);
+                upcalls.extend(scheduler.drain_upcalls());
+                for j in 0..n_trunks {
+                    if trunk_idle[j] && trunks[j].is_free(now) {
+                        trunk_idle[j] = false;
+                        events.schedule(now, Ev::TrunkFree(j));
+                    }
+                }
+                events.schedule(
+                    now + iqpaths_simnet::SimDuration::from_secs_f64(cfg.window_secs),
+                    Ev::Window,
+                );
+            }
+        }
+    }
+
+    let end_rel = SimTime::from_secs_f64(duration);
+    let clients = client_paths
+        .iter()
+        .enumerate()
+        .map(|(k, (name, _))| MulticastClientReport {
+            name: name.clone(),
+            throughput_series: tp
+                .remove(0)
+                .into_iter()
+                .map(|m| m.finish(end_rel))
+                .collect(),
+            delivered: delivered[k].clone(),
+            router_drops: router_drops[k],
+        })
+        .collect();
+
+    MulticastReport {
+        clients,
+        trunk_sent_bytes: trunks.iter().map(PathService::sent_bytes).collect(),
+        upcalls,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iqpaths_apps::workload::FramedSource;
+    use iqpaths_core::scheduler::{Pgos, PgosConfig};
+    use iqpaths_core::stream::StreamSpec;
+    use iqpaths_simnet::link::Link;
+    use iqpaths_simnet::time::SimDuration;
+    use iqpaths_traces::cbr;
+
+    fn path(index: usize, capacity_mbps: f64, cross_mbps: f64, horizon: f64) -> OverlayPath {
+        let mut link = Link::new(
+            format!("l{index}"),
+            capacity_mbps * 1.0e6,
+            SimDuration::from_millis(1),
+        );
+        if cross_mbps > 0.0 {
+            link = link.with_cross_traffic(cbr::constant(cross_mbps * 1.0e6, 0.1, horizon));
+        }
+        OverlayPath::new(index, format!("p{index}"), vec![link])
+    }
+
+    fn setup(duration: f64) -> (Vec<OverlayPath>, Vec<(String, OverlayPath)>, RuntimeConfig) {
+        let cfg = RuntimeConfig {
+            warmup_secs: 10.0,
+            ..Default::default()
+        };
+        let horizon = cfg.warmup_secs + duration + 5.0;
+        let trunks = vec![path(0, 100.0, 30.0, horizon), path(1, 100.0, 50.0, horizon)];
+        let clients = vec![
+            ("fast-client".to_string(), path(0, 100.0, 0.0, horizon)),
+            ("ok-client".to_string(), path(1, 100.0, 60.0, horizon)),
+            ("slow-client".to_string(), path(2, 100.0, 95.0, horizon)),
+        ];
+        (trunks, clients, cfg)
+    }
+
+    fn workload(rate: f64, duration: f64) -> (Vec<StreamSpec>, FramedSource) {
+        let specs = vec![StreamSpec::probabilistic(0, "feed", rate, 0.9, 1250)];
+        let frame = (rate / (8.0 * 25.0)).round() as u32;
+        let src = FramedSource::new(specs.clone(), vec![frame], 25.0, duration);
+        (specs, src)
+    }
+
+    #[test]
+    fn all_capable_clients_receive_the_feed() {
+        let duration = 20.0;
+        let (trunks, clients, cfg) = setup(duration);
+        let (specs, src) = workload(20.0e6, duration);
+        let pgos = Pgos::new(PgosConfig::default(), specs, 2);
+        let r = run_multicast(&trunks, &clients, Box::new(src), Box::new(pgos), cfg, duration);
+        assert!(r.upcalls.is_empty());
+        // Fast and ok clients keep up with the 20 Mbps feed.
+        for k in 0..2 {
+            let mean = r.clients[k].mean_throughput(0);
+            assert!(
+                (mean - 20.0e6).abs() / 20.0e6 < 0.05,
+                "client {k} mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn slow_client_degrades_alone() {
+        let duration = 20.0;
+        let (trunks, clients, cfg) = setup(duration);
+        let (specs, src) = workload(20.0e6, duration);
+        let pgos = Pgos::new(PgosConfig::default(), specs, 2);
+        let r = run_multicast(&trunks, &clients, Box::new(src), Box::new(pgos), cfg, duration);
+        // The 5 Mbps client path cannot carry 20 Mbps: it sheds at the
+        // router queue without touching the other subscribers.
+        let slow = &r.clients[2];
+        assert!(slow.mean_throughput(0) < 6.0e6, "{}", slow.mean_throughput(0));
+        assert!(slow.router_drops > 0);
+        assert_eq!(r.clients[0].router_drops, 0);
+        assert!(
+            (r.clients[0].mean_throughput(0) - 20.0e6).abs() / 20.0e6 < 0.05,
+            "fast client disturbed by slow subscriber"
+        );
+    }
+
+    #[test]
+    fn trunk_uses_multiple_paths_for_big_feeds() {
+        let duration = 20.0;
+        let (trunks, clients, cfg) = setup(duration);
+        // 90 Mbps feed: more than either trunk alone at p=0.9.
+        let (specs, src) = workload(90.0e6, duration);
+        let pgos = Pgos::new(PgosConfig::default(), specs, 2);
+        let r = run_multicast(&trunks, &clients, Box::new(src), Box::new(pgos), cfg, duration);
+        assert!(r.trunk_sent_bytes.iter().all(|&b| b > 0), "{:?}", r.trunk_sent_bytes);
+        // The clean client still receives most of it.
+        assert!(r.clients[0].mean_throughput(0) > 70.0e6);
+    }
+}

@@ -1,0 +1,342 @@
+//! An IQ-ECho-style publish/subscribe layer above IQ-Paths.
+//!
+//! IQ-Paths "is realized at a layer 'below' the publish/subscribe model
+//! of communication … Whether such messages are described as pub/sub
+//! events or in other forms is immaterial" (§3). This module shows the
+//! layering: channels carry typed events, subscriptions attach utility
+//! requirements, and *derived channels* (IQ-ECho's abstraction) filter
+//! or transform events "in flight". Every subscription lowers onto one
+//! IQ-Paths stream; the PGOS scheduler underneath is unaware of the
+//! messaging model.
+
+use iqpaths_apps::workload::{Arrival, Workload};
+use iqpaths_core::stream::{Guarantee, StreamSpec};
+
+/// A published event's metadata (payload bytes never materialize).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Publication time in seconds.
+    pub at: f64,
+    /// Payload size in bytes.
+    pub bytes: u32,
+    /// Application tag (e.g. atom vs bond, layer id) that derived
+    /// channels filter on.
+    pub tag: u32,
+}
+
+/// A channel identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChannelId(pub usize);
+
+/// How a subscription consumes a channel.
+#[derive(Clone)]
+pub struct Subscription {
+    /// Source channel.
+    pub channel: ChannelId,
+    /// Subscriber name (stream name).
+    pub name: String,
+    /// Requested guarantee.
+    pub guarantee: Guarantee,
+    /// Required bandwidth for guaranteed subscriptions (bits/s).
+    pub required_bw: f64,
+    /// Fragment (packet) size in bytes.
+    pub packet_bytes: u32,
+    /// Derived-channel filter: only events passing it are delivered.
+    pub filter: std::sync::Arc<dyn Fn(&Event) -> bool + Send + Sync>,
+    /// Derived-channel transform: scales each event's size (e.g. 0.25
+    /// for an in-flight downsampler). Must be positive.
+    pub size_factor: f64,
+}
+
+impl std::fmt::Debug for Subscription {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Subscription")
+            .field("channel", &self.channel)
+            .field("name", &self.name)
+            .field("guarantee", &self.guarantee)
+            .field("required_bw", &self.required_bw)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Subscription {
+    /// A plain subscription delivering every event of a channel.
+    pub fn full(
+        channel: ChannelId,
+        name: impl Into<String>,
+        guarantee: Guarantee,
+        required_bw: f64,
+        packet_bytes: u32,
+    ) -> Self {
+        Self {
+            channel,
+            name: name.into(),
+            guarantee,
+            required_bw,
+            packet_bytes,
+            filter: std::sync::Arc::new(|_| true),
+            size_factor: 1.0,
+        }
+    }
+
+    /// Restricts the subscription to events passing `filter` (a derived
+    /// channel).
+    pub fn derived<F: Fn(&Event) -> bool + Send + Sync + 'static>(mut self, filter: F) -> Self {
+        self.filter = std::sync::Arc::new(filter);
+        self
+    }
+
+    /// Applies an in-flight size transform.
+    ///
+    /// # Panics
+    /// Panics unless `factor > 0`.
+    pub fn transformed(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0, "size factor must be positive");
+        self.size_factor = factor;
+        self
+    }
+}
+
+/// The pub/sub system: channels with event schedules plus
+/// subscriptions, lowered to IQ-Paths streams.
+#[derive(Debug, Default)]
+pub struct PubSubSystem {
+    schedules: Vec<Vec<Event>>,
+    subscriptions: Vec<Subscription>,
+}
+
+impl PubSubSystem {
+    /// An empty system.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a channel with a pre-published event schedule (events
+    /// must be in non-decreasing time order).
+    ///
+    /// # Panics
+    /// Panics if the schedule is out of order.
+    pub fn channel(&mut self, schedule: Vec<Event>) -> ChannelId {
+        assert!(
+            schedule.windows(2).all(|w| w[0].at <= w[1].at),
+            "event schedule must be time-ordered"
+        );
+        self.schedules.push(schedule);
+        ChannelId(self.schedules.len() - 1)
+    }
+
+    /// Registers a subscription; returns its stream index.
+    ///
+    /// # Panics
+    /// Panics on an unknown channel.
+    pub fn subscribe(&mut self, sub: Subscription) -> usize {
+        assert!(sub.channel.0 < self.schedules.len(), "unknown channel");
+        self.subscriptions.push(sub);
+        self.subscriptions.len() - 1
+    }
+
+    /// The stream table the subscriptions lower to.
+    pub fn stream_specs(&self) -> Vec<StreamSpec> {
+        self.subscriptions
+            .iter()
+            .enumerate()
+            .map(|(i, s)| match s.guarantee {
+                Guarantee::Probabilistic { p } => {
+                    StreamSpec::probabilistic(i, s.name.clone(), s.required_bw, p, s.packet_bytes)
+                }
+                Guarantee::ViolationBound {
+                    max_expected_misses,
+                } => StreamSpec::violation_bound(
+                    i,
+                    s.name.clone(),
+                    s.required_bw,
+                    max_expected_misses,
+                    s.packet_bytes,
+                ),
+                Guarantee::BestEffort => {
+                    StreamSpec::best_effort(i, s.name.clone(), s.required_bw, s.packet_bytes)
+                }
+            })
+            .collect()
+    }
+
+    /// Lowers the system into an IQ-Paths workload: one packet-arrival
+    /// stream per subscription, events fragmented at the subscription's
+    /// packet size.
+    pub fn into_workload(self) -> PubSubWorkload {
+        let specs = self.stream_specs();
+        // Materialize each subscription's arrival list.
+        let mut per_stream: Vec<std::collections::VecDeque<Arrival>> = Vec::new();
+        for (i, sub) in self.subscriptions.iter().enumerate() {
+            let mut arrivals = std::collections::VecDeque::new();
+            for ev in &self.schedules[sub.channel.0] {
+                if !(sub.filter)(ev) {
+                    continue;
+                }
+                let bytes = ((ev.bytes as f64 * sub.size_factor).round() as u32).max(1);
+                let mut remaining = bytes;
+                while remaining > 0 {
+                    let sz = remaining.min(sub.packet_bytes);
+                    arrivals.push_back(Arrival {
+                        at: ev.at,
+                        stream: i,
+                        bytes: sz,
+                    });
+                    remaining -= sz;
+                }
+            }
+            per_stream.push(arrivals);
+        }
+        PubSubWorkload { specs, per_stream }
+    }
+}
+
+/// The lowered workload: merged, time-ordered packet arrivals.
+pub struct PubSubWorkload {
+    specs: Vec<StreamSpec>,
+    per_stream: Vec<std::collections::VecDeque<Arrival>>,
+}
+
+impl Workload for PubSubWorkload {
+    fn specs(&self) -> &[StreamSpec] {
+        &self.specs
+    }
+
+    fn next_arrival(&mut self) -> Option<Arrival> {
+        let (idx, _) = self
+            .per_stream
+            .iter()
+            .enumerate()
+            .filter_map(|(i, q)| q.front().map(|a| (i, a.at)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"))?;
+        self.per_stream[idx].pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events() -> Vec<Event> {
+        (0..10)
+            .map(|k| Event {
+                at: k as f64 * 0.1,
+                bytes: 3000,
+                tag: k % 2,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn full_subscription_sees_all_events_fragmented() {
+        let mut ps = PubSubSystem::new();
+        let ch = ps.channel(events());
+        ps.subscribe(Subscription::full(
+            ch,
+            "all",
+            Guarantee::BestEffort,
+            0.0,
+            1000,
+        ));
+        let mut w = ps.into_workload();
+        let mut count = 0;
+        while let Some(a) = w.next_arrival() {
+            assert_eq!(a.stream, 0);
+            count += 1;
+        }
+        assert_eq!(count, 10 * 3); // 3000 B events in 1000 B packets
+    }
+
+    #[test]
+    fn derived_channel_filters_by_tag() {
+        let mut ps = PubSubSystem::new();
+        let ch = ps.channel(events());
+        ps.subscribe(
+            Subscription::full(ch, "odd", Guarantee::BestEffort, 0.0, 3000)
+                .derived(|e| e.tag == 1),
+        );
+        let mut w = ps.into_workload();
+        let mut count = 0;
+        while w.next_arrival().is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn transform_scales_event_sizes() {
+        let mut ps = PubSubSystem::new();
+        let ch = ps.channel(events());
+        ps.subscribe(
+            Subscription::full(ch, "thumb", Guarantee::BestEffort, 0.0, 1000).transformed(0.25),
+        );
+        let mut w = ps.into_workload();
+        let mut bytes = 0u64;
+        while let Some(a) = w.next_arrival() {
+            bytes += a.bytes as u64;
+        }
+        assert_eq!(bytes, 10 * 750);
+    }
+
+    #[test]
+    fn multiple_subscriptions_lower_to_distinct_streams() {
+        let mut ps = PubSubSystem::new();
+        let ch = ps.channel(events());
+        ps.subscribe(Subscription::full(
+            ch,
+            "crit",
+            Guarantee::Probabilistic { p: 0.95 },
+            1.0e6,
+            1000,
+        ));
+        ps.subscribe(
+            Subscription::full(ch, "bulk", Guarantee::BestEffort, 0.0, 1000)
+                .derived(|e| e.tag == 0),
+        );
+        let specs = ps.stream_specs();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].name, "crit");
+        assert!(!specs[0].guarantee.is_best_effort());
+        assert!(specs[1].guarantee.is_best_effort());
+        let mut w = ps.into_workload();
+        let mut last = 0.0;
+        let mut per_stream = [0usize; 2];
+        while let Some(a) = w.next_arrival() {
+            assert!(a.at >= last - 1e-12, "merged order broken");
+            last = a.at;
+            per_stream[a.stream] += 1;
+        }
+        assert_eq!(per_stream, [30, 15]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_order_schedule_rejected() {
+        let mut ps = PubSubSystem::new();
+        let _ = ps.channel(vec![
+            Event {
+                at: 1.0,
+                bytes: 1,
+                tag: 0,
+            },
+            Event {
+                at: 0.5,
+                bytes: 1,
+                tag: 0,
+            },
+        ]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_channel_rejected() {
+        let mut ps = PubSubSystem::new();
+        ps.subscribe(Subscription::full(
+            ChannelId(3),
+            "x",
+            Guarantee::BestEffort,
+            0.0,
+            100,
+        ));
+    }
+}

@@ -1,0 +1,258 @@
+//! Experiment result records.
+
+use iqpaths_core::mapping::Upcall;
+use iqpaths_core::stream::StreamSpec;
+use iqpaths_stats::metrics::GuaranteeSummary;
+use iqpaths_stats::{BandwidthCdf, EmpiricalCdf};
+use serde::Serialize;
+
+/// Per-stream outcome of a run.
+#[derive(Debug, Clone, Serialize)]
+pub struct StreamReport {
+    /// Stream name.
+    pub name: String,
+    /// SLO bandwidth (0 for best effort).
+    pub required_bw: f64,
+    /// Per-window achieved throughput (bits/s), one sample per monitor
+    /// window — the Figure 9/12 time series.
+    pub throughput_series: Vec<f64>,
+    /// Per-path throughput series (`[path][window]`) — the
+    /// "Bond2-PathA / Bond2-PathB" style curves of Figures 9c/13b.
+    pub per_path_series: Vec<Vec<f64>>,
+    /// Packets delivered.
+    pub delivered_packets: u64,
+    /// Bytes delivered.
+    pub delivered_bytes: u64,
+    /// Packets dropped at the stream queue (overload shedding).
+    pub queue_drops: u64,
+    /// Queue drop rate.
+    pub drop_rate: f64,
+    /// Packets lost in transit (link loss).
+    pub transit_lost: u64,
+    /// Transit loss rate relative to packets transmitted for the stream.
+    pub transit_loss_rate: f64,
+    /// Mean end-to-end latency in seconds.
+    pub mean_latency: f64,
+    /// Fraction of deadline-bearing packets that missed.
+    pub deadline_miss_rate: f64,
+}
+
+impl StreamReport {
+    /// The Figure 11 summary row for this stream.
+    pub fn summary(&self) -> GuaranteeSummary {
+        GuaranteeSummary::from_samples(&self.throughput_series, self.required_bw)
+    }
+
+    /// Empirical CDF of the throughput series (Figure 10 / 13 curves).
+    pub fn throughput_cdf(&self) -> EmpiricalCdf {
+        EmpiricalCdf::from_clean_samples(self.throughput_series.clone())
+    }
+
+    /// Bandwidth attained at least `fraction` of the time.
+    pub fn attained(&self, fraction: f64) -> f64 {
+        iqpaths_stats::metrics::attained(&self.throughput_series, fraction)
+    }
+
+    /// Mean achieved throughput in bits/s.
+    pub fn mean_throughput(&self) -> f64 {
+        iqpaths_stats::metrics::mean(&self.throughput_series)
+    }
+}
+
+/// Full outcome of one experiment run.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunReport {
+    /// Scheduler under test.
+    pub scheduler: String,
+    /// Measured duration in seconds (after warm-up).
+    pub duration: f64,
+    /// Monitor window length in seconds.
+    pub monitor_window: f64,
+    /// One report per stream, in stream order.
+    pub streams: Vec<StreamReport>,
+    /// Bytes transmitted per path.
+    pub path_sent_bytes: Vec<u64>,
+    /// Admission-control upcalls raised during the run.
+    pub upcalls: Vec<Upcall>,
+    /// Discrete events processed (run cost metric).
+    pub events: u64,
+}
+
+impl RunReport {
+    /// Looks a stream up by name.
+    pub fn stream(&self, name: &str) -> Option<&StreamReport> {
+        self.streams.iter().find(|s| s.name == name)
+    }
+
+    /// Total delivered goodput across streams, bits/s.
+    pub fn total_goodput(&self) -> f64 {
+        self.streams
+            .iter()
+            .map(|s| s.delivered_bytes as f64 * 8.0)
+            .sum::<f64>()
+            / self.duration
+    }
+
+    /// Prints the Figure 11-style summary table to a string.
+    pub fn summary_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<10} {:>12} {:>12} {:>12} {:>12} {:>10} {:>8}\n",
+            "stream", "target", "mean", "95%time", "99%time", "stddev", "meet%"
+        ));
+        for s in &self.streams {
+            let g = s.summary();
+            out.push_str(&format!(
+                "{:<10} {:>12.0} {:>12.0} {:>12.0} {:>12.0} {:>10.0} {:>8.3}\n",
+                s.name, g.target, g.mean, g.attained_95, g.attained_99, g.stddev, g.meet_fraction
+            ));
+        }
+        out
+    }
+
+    /// Writes the throughput time series as CSV (`window,stream,value`).
+    pub fn series_csv(&self) -> String {
+        let mut out = String::from("window_s,stream,throughput_bps\n");
+        for s in &self.streams {
+            for (w, v) in s.throughput_series.iter().enumerate() {
+                out.push_str(&format!(
+                    "{:.3},{},{:.1}\n",
+                    w as f64 * self.monitor_window,
+                    s.name,
+                    v
+                ));
+            }
+        }
+        out
+    }
+
+    /// Writes the throughput CDFs as CSV (`stream,throughput,cdf`).
+    pub fn cdf_csv(&self) -> String {
+        let mut out = String::from("stream,throughput_bps,cdf\n");
+        for s in &self.streams {
+            let cdf = s.throughput_cdf();
+            let n = cdf.len();
+            for (k, v) in cdf.samples().iter().enumerate() {
+                out.push_str(&format!(
+                    "{},{:.1},{:.4}\n",
+                    s.name,
+                    v,
+                    (k + 1) as f64 / n as f64
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Helper to build a [`StreamReport`] (used by the runtime).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn stream_report(
+    spec: &StreamSpec,
+    throughput_series: Vec<f64>,
+    per_path_series: Vec<Vec<f64>>,
+    delivered_packets: u64,
+    delivered_bytes: u64,
+    queue_drops: u64,
+    offered: u64,
+    latencies_sum: f64,
+    deadline_packets: u64,
+    deadline_misses: u64,
+    transit_lost: u64,
+) -> StreamReport {
+    let transmitted = delivered_packets + transit_lost;
+    StreamReport {
+        name: spec.name.clone(),
+        required_bw: spec.required_bw,
+        throughput_series,
+        per_path_series,
+        delivered_packets,
+        delivered_bytes,
+        queue_drops,
+        drop_rate: if offered == 0 {
+            0.0
+        } else {
+            queue_drops as f64 / offered as f64
+        },
+        transit_lost,
+        transit_loss_rate: if transmitted == 0 {
+            0.0
+        } else {
+            transit_lost as f64 / transmitted as f64
+        },
+        mean_latency: if delivered_packets == 0 {
+            0.0
+        } else {
+            latencies_sum / delivered_packets as f64
+        },
+        deadline_miss_rate: if deadline_packets == 0 {
+            0.0
+        } else {
+            deadline_misses as f64 / deadline_packets as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RunReport {
+        let spec = StreamSpec::probabilistic(0, "Atom", 10.0, 0.95, 100);
+        let sr = stream_report(
+            &spec,
+            vec![8.0, 10.0, 12.0, 11.0],
+            vec![vec![8.0, 10.0, 12.0, 11.0]],
+            40,
+            4000,
+            2,
+            42,
+            0.4,
+            40,
+            4,
+            10,
+        );
+        RunReport {
+            scheduler: "PGOS".into(),
+            duration: 4.0,
+            monitor_window: 1.0,
+            streams: vec![sr],
+            path_sent_bytes: vec![4000],
+            upcalls: vec![],
+            events: 100,
+        }
+    }
+
+    #[test]
+    fn stream_report_metrics() {
+        let r = report();
+        let s = &r.streams[0];
+        assert!((s.mean_throughput() - 10.25).abs() < 1e-9);
+        assert!((s.drop_rate - 2.0 / 42.0).abs() < 1e-12);
+        assert!((s.mean_latency - 0.01).abs() < 1e-12);
+        assert!((s.deadline_miss_rate - 0.1).abs() < 1e-12);
+        assert_eq!(s.throughput_cdf().len(), 4);
+        assert_eq!(s.transit_lost, 10);
+        assert!((s.transit_loss_rate - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_report_lookup_and_goodput() {
+        let r = report();
+        assert!(r.stream("Atom").is_some());
+        assert!(r.stream("nope").is_none());
+        assert!((r.total_goodput() - 8000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn csv_outputs_are_well_formed() {
+        let r = report();
+        let series = r.series_csv();
+        assert_eq!(series.lines().count(), 1 + 4);
+        assert!(series.starts_with("window_s,stream,throughput_bps"));
+        let cdf = r.cdf_csv();
+        assert_eq!(cdf.lines().count(), 1 + 4);
+        let table = r.summary_table();
+        assert!(table.contains("Atom"));
+    }
+}

@@ -1,0 +1,574 @@
+//! The virtual-time experiment loop.
+//!
+//! One run wires together: a [`Workload`] (application packet arrivals),
+//! per-stream [`StreamQueues`], a [`MultipathScheduler`] under test, one
+//! transmit [`PathService`] per overlay path, the monitoring module
+//! (periodic available-bandwidth probes feeding per-path CDFs), and the
+//! scheduling-window clock. The event loop is deterministic: identical
+//! seeds produce identical reports.
+
+use crate::report::{self, RunReport};
+use iqpaths_apps::workload::Workload;
+use iqpaths_core::queues::StreamQueues;
+use iqpaths_core::traits::{MultipathScheduler, PathSnapshot};
+use iqpaths_overlay::node::MonitoringModule;
+use iqpaths_overlay::path::OverlayPath;
+use iqpaths_overlay::probe::AvailBwProbe;
+use iqpaths_simnet::monitor::ThroughputMonitor;
+use iqpaths_simnet::packet::{Packet, StreamId};
+use iqpaths_simnet::server::PathService;
+use iqpaths_simnet::time::SimTime;
+use iqpaths_simnet::EventQueue;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runtime tuning parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Scheduling-window length `t_w` in seconds.
+    pub window_secs: f64,
+    /// Report-side throughput sampling window in seconds.
+    pub monitor_window_secs: f64,
+    /// Available-bandwidth probe interval (the paper samples each 0.1–1 s).
+    pub probe_interval_secs: f64,
+    /// Multiplicative probe noise (±fraction).
+    pub probe_noise: f64,
+    /// Monitoring history depth (the paper's N = 500–1000 samples).
+    pub history_samples: usize,
+    /// Monitoring-only prelude before data flows, so the first window
+    /// already has a populated CDF (the overlay "has been running").
+    pub warmup_secs: f64,
+    /// Per-stream queue bound (packets).
+    pub queue_capacity: usize,
+    /// A path whose residual falls below this fraction of its bottleneck
+    /// capacity counts as blocked.
+    pub blocked_residual_frac: f64,
+    /// How soon a blocked, idle path is re-examined.
+    pub blocked_recheck_secs: f64,
+    /// Probe-noise RNG seed.
+    pub seed: u64,
+    /// How the monitoring module summarizes distributions (the
+    /// `abl-hist` exact-vs-streaming-histogram knob).
+    pub cdf_mode: iqpaths_overlay::node::CdfMode,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            window_secs: 1.0,
+            monitor_window_secs: 1.0,
+            probe_interval_secs: 0.1,
+            probe_noise: 0.05,
+            history_samples: 500,
+            warmup_secs: 50.0,
+            queue_capacity: 100_000,
+            blocked_residual_frac: 0.02,
+            blocked_recheck_secs: 0.01,
+            seed: 1,
+            cdf_mode: iqpaths_overlay::node::CdfMode::Exact,
+        }
+    }
+}
+
+/// One delivered packet, reported through the run sink. Times are in
+/// seconds relative to measurement start (after warm-up).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeliveryEvent {
+    /// Stream index.
+    pub stream: usize,
+    /// Per-stream sequence number.
+    pub seq: u64,
+    /// Payload bytes.
+    pub bytes: u32,
+    /// Enqueue time.
+    pub created: f64,
+    /// Client arrival time.
+    pub delivered: f64,
+    /// Path traveled.
+    pub path: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Arrival,
+    PathFree(usize),
+    Delivered(usize),
+    Probe,
+    Window,
+}
+
+/// Runs an experiment and returns the standard report (no delivery
+/// sink).
+pub fn run(
+    paths: &[OverlayPath],
+    workload: Box<dyn Workload>,
+    scheduler: Box<dyn MultipathScheduler>,
+    cfg: RuntimeConfig,
+    duration: f64,
+) -> RunReport {
+    run_with_sink(paths, workload, scheduler, cfg, duration, &mut |_| {})
+}
+
+/// Runs an experiment, invoking `sink` on every delivery (for
+/// frame/record tracking by application harnesses).
+///
+/// # Panics
+/// Panics on an empty path set or non-positive duration.
+pub fn run_with_sink(
+    paths: &[OverlayPath],
+    mut workload: Box<dyn Workload>,
+    mut scheduler: Box<dyn MultipathScheduler>,
+    cfg: RuntimeConfig,
+    duration: f64,
+    sink: &mut dyn FnMut(&DeliveryEvent),
+) -> RunReport {
+    assert!(!paths.is_empty(), "need at least one overlay path");
+    assert!(duration > 0.0, "duration must be positive");
+    let n_paths = paths.len();
+    let specs: Vec<_> = scheduler.specs().to_vec();
+    let n_streams = specs.len();
+    assert_eq!(
+        workload.specs().len(),
+        n_streams,
+        "workload and scheduler stream tables must align"
+    );
+
+    let warmup = cfg.warmup_secs;
+    let end = SimTime::from_secs_f64(warmup + duration);
+
+    // --- Components -----------------------------------------------------
+    let mut queues = StreamQueues::new(n_streams, cfg.queue_capacity);
+    let mut services: Vec<PathService> = paths.iter().map(OverlayPath::service).collect();
+    let mut monitoring =
+        MonitoringModule::with_mode(n_paths, cfg.history_samples, cfg.cdf_mode);
+    let mut probes: Vec<AvailBwProbe> = (0..n_paths)
+        .map(|j| {
+            AvailBwProbe::new(
+                cfg.probe_interval_secs,
+                cfg.probe_noise,
+                cfg.seed.wrapping_add(j as u64),
+            )
+        })
+        .collect();
+
+    // Pre-warm monitoring from the warm-up interval.
+    {
+        let mut t = cfg.probe_interval_secs;
+        while t < warmup {
+            for (j, path) in paths.iter().enumerate() {
+                let bw = probes[j].measure(path, t);
+                monitoring.observe_bandwidth(j, t, bw);
+                monitoring.observe_rtt(j, path.prop_delay().as_secs_f64() * 2.0);
+            }
+            t += cfg.probe_interval_secs;
+        }
+    }
+
+    // Report-side monitors.
+    let mut stream_tp: Vec<ThroughputMonitor> = (0..n_streams)
+        .map(|_| ThroughputMonitor::new(cfg.monitor_window_secs))
+        .collect();
+    let mut stream_path_tp: Vec<Vec<ThroughputMonitor>> = (0..n_streams)
+        .map(|_| {
+            (0..n_paths)
+                .map(|_| ThroughputMonitor::new(cfg.monitor_window_secs))
+                .collect()
+        })
+        .collect();
+    let mut delivered_packets = vec![0u64; n_streams];
+    let mut delivered_bytes = vec![0u64; n_streams];
+    let mut latency_sum = vec![0.0f64; n_streams];
+    let mut deadline_pkts = vec![0u64; n_streams];
+    let mut deadline_misses = vec![0u64; n_streams];
+    let mut transit_lost = vec![0u64; n_streams];
+    let mut path_transmitted = vec![0u64; n_paths];
+    let mut path_lost = vec![0u64; n_paths];
+    let mut loss_rng = StdRng::seed_from_u64(cfg.seed ^ 0x1055_c0de);
+    let mut upcalls = Vec::new();
+
+    // --- Event loop -------------------------------------------------------
+    let mut events: EventQueue<Ev> = EventQueue::new();
+    let mut idle = vec![false; n_paths];
+    let mut next_arrival = workload.next_arrival();
+
+    let t0 = SimTime::from_secs_f64(warmup);
+    if let Some(a) = &next_arrival {
+        events.schedule(t0.max(SimTime::from_secs_f64(warmup + a.at)), Ev::Arrival);
+    }
+    events.schedule(t0, Ev::Window);
+    events.schedule(t0, Ev::Probe);
+    for j in 0..n_paths {
+        if scheduler.uses_path(j) {
+            events.schedule(t0, Ev::PathFree(j));
+        }
+    }
+
+    while let Some((now, ev)) = events.pop_until(end) {
+        let now_s = now.as_secs_f64();
+        let now_ns = now.as_nanos();
+        match ev {
+            Ev::Arrival => {
+                // Push every arrival due now; schedule the next one.
+                // Due-times are compared in rounded nanoseconds (the
+                // same domain the event was scheduled in) so an arrival
+                // that rounds onto `now` is always consumed here rather
+                // than rescheduled forever.
+                while let Some(a) = next_arrival {
+                    let due = SimTime::from_secs_f64(warmup + a.at);
+                    if due > now {
+                        break;
+                    }
+                    queues.push(a.stream, a.bytes, now_ns);
+                    next_arrival = workload.next_arrival();
+                }
+                if let Some(a) = &next_arrival {
+                    events.schedule(SimTime::from_secs_f64(warmup + a.at), Ev::Arrival);
+                }
+                // Wake idle transmitters.
+                for j in 0..n_paths {
+                    if idle[j] && services[j].is_free(now) && scheduler.uses_path(j) {
+                        idle[j] = false;
+                        events.schedule(now, Ev::PathFree(j));
+                    }
+                }
+            }
+            Ev::PathFree(j) => {
+                let svc = &mut services[j];
+                if !svc.is_free(now) || svc.serving().is_some() {
+                    // Stale wake-up: a Delivered event for this path is
+                    // still pending at this same instant.
+                    continue;
+                }
+                // Blocked-path detection feeds the scheduler's backoff.
+                let residual = svc.residual_at(now_s);
+                let blocked =
+                    residual < cfg.blocked_residual_frac * paths[j].bottleneck_capacity();
+                if blocked {
+                    scheduler.on_path_blocked(j, now_ns);
+                }
+                match scheduler.next_packet(j, now_ns, &mut queues) {
+                    Some(qpkt) => {
+                        let pkt = Packet {
+                            stream: StreamId(qpkt.stream as u32),
+                            seq: qpkt.seq,
+                            bytes: qpkt.bytes,
+                            created: SimTime::from_nanos(qpkt.created_ns),
+                            deadline: if qpkt.deadline_ns == u64::MAX {
+                                SimTime::MAX
+                            } else {
+                                SimTime::from_nanos(qpkt.deadline_ns)
+                            },
+                        };
+                        let finish = svc.begin(pkt, now);
+                        // Delivered is scheduled before the next
+                        // PathFree at the same instant, so completion
+                        // always precedes the next begin.
+                        events.schedule(finish, Ev::Delivered(j));
+                        events.schedule(finish, Ev::PathFree(j));
+                    }
+                    None => {
+                        if blocked {
+                            events.schedule(
+                                now + iqpaths_simnet::SimDuration::from_secs_f64(
+                                    cfg.blocked_recheck_secs,
+                                ),
+                                Ev::PathFree(j),
+                            );
+                        } else {
+                            idle[j] = true;
+                        }
+                    }
+                }
+            }
+            Ev::Delivered(j) => {
+                let delivery = services[j].complete(now);
+                let s = delivery.packet.stream.0 as usize;
+                path_transmitted[j] += 1;
+                // Per-packet transit loss (link corruption / drops the
+                // fluid queue model doesn't cover).
+                let loss_p = services[j].loss_prob();
+                if loss_p > 0.0 && loss_rng.gen_bool(loss_p) {
+                    transit_lost[s] += 1;
+                    path_lost[j] += 1;
+                    continue;
+                }
+                let delivered_at = delivery.delivered;
+                let rel = delivered_at.as_secs_f64() - warmup;
+                delivered_packets[s] += 1;
+                delivered_bytes[s] += delivery.packet.bytes as u64;
+                latency_sum[s] += delivery.latency().as_secs_f64();
+                if delivery.packet.has_deadline() {
+                    deadline_pkts[s] += 1;
+                    // Lemma 1 speaks of packets *served* within the
+                    // window, so the deadline is checked against
+                    // transmission completion, not client arrival
+                    // (propagation delay is a constant the application
+                    // budgets separately).
+                    if delivery.packet.missed_deadline(delivery.sent) {
+                        deadline_misses[s] += 1;
+                    }
+                }
+                let shifted = SimTime::from_secs_f64(rel.max(0.0));
+                stream_tp[s].record(shifted, delivery.packet.bytes as u64);
+                stream_path_tp[s][j].record(shifted, delivery.packet.bytes as u64);
+                sink(&DeliveryEvent {
+                    stream: s,
+                    seq: delivery.packet.seq,
+                    bytes: delivery.packet.bytes,
+                    created: delivery.packet.created.as_secs_f64() - warmup,
+                    delivered: rel,
+                    path: j,
+                });
+            }
+            Ev::Probe => {
+                for (j, path) in paths.iter().enumerate() {
+                    let bw = probes[j].measure(path, now_s);
+                    monitoring.observe_bandwidth(j, now_s, bw);
+                    monitoring.observe_rtt(j, path.prop_delay().as_secs_f64() * 2.0);
+                }
+                events.schedule(
+                    now + iqpaths_simnet::SimDuration::from_secs_f64(cfg.probe_interval_secs),
+                    Ev::Probe,
+                );
+            }
+            Ev::Window => {
+                let snapshots: Vec<PathSnapshot> = monitoring
+                    .all_stats()
+                    .into_iter()
+                    .enumerate()
+                    .map(|(j, st)| {
+                        // Loss-aware extension: guarantees are made on
+                        // *goodput*, so the measured loss rate scales
+                        // the available-bandwidth distribution.
+                        let measured_loss = if path_transmitted[j] == 0 {
+                            0.0
+                        } else {
+                            path_lost[j] as f64 / path_transmitted[j] as f64
+                        };
+                        let goodput_factor = 1.0 - measured_loss;
+                        PathSnapshot {
+                            index: j,
+                            cdf: st.cdf.scale(goodput_factor),
+                            mean_prediction: st.mean_prediction * goodput_factor,
+                            oracle_next_rate: Some(
+                                paths[j].mean_residual(
+                                    now_s,
+                                    now_s + cfg.window_secs,
+                                    cfg.window_secs / 20.0,
+                                ) * (1.0 - paths[j].loss_prob()),
+                            ),
+                            rtt: st.rtt,
+                            loss: measured_loss,
+                        }
+                    })
+                    .collect();
+                scheduler.on_window_start(
+                    now_ns,
+                    (cfg.window_secs * 1e9) as u64,
+                    &snapshots,
+                );
+                upcalls.extend(scheduler.drain_upcalls());
+                for j in 0..n_paths {
+                    if idle[j] && services[j].is_free(now) && scheduler.uses_path(j) {
+                        idle[j] = false;
+                        events.schedule(now, Ev::PathFree(j));
+                    }
+                }
+                events.schedule(
+                    now + iqpaths_simnet::SimDuration::from_secs_f64(cfg.window_secs),
+                    Ev::Window,
+                );
+            }
+        }
+    }
+
+    // --- Reports ----------------------------------------------------------
+    let end_rel = SimTime::from_secs_f64(duration);
+    let streams = specs
+        .iter()
+        .enumerate()
+        .map(|(s, spec)| {
+            let series = stream_tp.remove(0).finish(end_rel);
+            let per_path = stream_path_tp
+                .remove(0)
+                .into_iter()
+                .map(|m| m.finish(end_rel))
+                .collect();
+            report::stream_report(
+                spec,
+                series,
+                per_path,
+                delivered_packets[s],
+                delivered_bytes[s],
+                queues.dropped(s),
+                queues.offered(s),
+                latency_sum[s],
+                deadline_pkts[s],
+                deadline_misses[s],
+                transit_lost[s],
+            )
+        })
+        .collect();
+
+    RunReport {
+        scheduler: scheduler.name().to_string(),
+        duration,
+        monitor_window: cfg.monitor_window_secs,
+        streams,
+        path_sent_bytes: services.iter().map(PathService::sent_bytes).collect(),
+        upcalls,
+        events: events.processed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iqpaths_apps::workload::FramedSource;
+    use iqpaths_core::scheduler::{Pgos, PgosConfig};
+    use iqpaths_core::stream::StreamSpec;
+    use iqpaths_simnet::link::Link;
+    use iqpaths_simnet::time::SimDuration;
+    use iqpaths_traces::RateTrace;
+
+    fn clean_path(index: usize, capacity_mbps: f64) -> OverlayPath {
+        let l = Link::new(
+            format!("l{index}"),
+            capacity_mbps * 1.0e6,
+            SimDuration::from_millis(1),
+        );
+        OverlayPath::new(index, format!("P{index}"), vec![l])
+    }
+
+    fn congested_path(index: usize, capacity_mbps: f64, cross_mbps: f64) -> OverlayPath {
+        let cross = RateTrace::constant(0.1, cross_mbps * 1.0e6, 1000.0);
+        let l = Link::new(
+            format!("l{index}"),
+            capacity_mbps * 1.0e6,
+            SimDuration::from_millis(1),
+        )
+        .with_cross_traffic(cross);
+        OverlayPath::new(index, format!("P{index}"), vec![l])
+    }
+
+    fn quick_cfg() -> RuntimeConfig {
+        RuntimeConfig {
+            warmup_secs: 5.0,
+            probe_interval_secs: 0.1,
+            history_samples: 100,
+            seed: 7,
+            ..Default::default()
+        }
+    }
+
+    fn one_stream_workload(rate_mbps: f64, duration: f64) -> (Vec<StreamSpec>, FramedSource) {
+        let specs = vec![StreamSpec::probabilistic(
+            0,
+            "s0",
+            rate_mbps * 1.0e6,
+            0.9,
+            1250,
+        )];
+        let frame = (rate_mbps * 1.0e6 / (8.0 * 25.0)).round() as u32;
+        let src = FramedSource::new(specs.clone(), vec![frame], 25.0, duration);
+        (specs, src)
+    }
+
+    #[test]
+    fn uncongested_stream_achieves_its_rate() {
+        let paths = vec![clean_path(0, 100.0)];
+        let (specs, src) = one_stream_workload(10.0, 10.0);
+        let pgos = Pgos::new(PgosConfig::default(), specs, 1);
+        let report = run(&paths, Box::new(src), Box::new(pgos), quick_cfg(), 10.0);
+        let s = &report.streams[0];
+        assert!(
+            (s.mean_throughput() - 10.0e6).abs() / 10.0e6 < 0.05,
+            "mean {}",
+            s.mean_throughput()
+        );
+        assert_eq!(s.queue_drops, 0);
+        assert!(s.deadline_miss_rate < 0.05, "miss {}", s.deadline_miss_rate);
+        assert!(report.upcalls.is_empty());
+    }
+
+    #[test]
+    fn congestion_caps_throughput_at_residual() {
+        // 100 Mbps link with 95 Mbps cross traffic → ~5 Mbps residual.
+        let paths = vec![congested_path(0, 100.0, 95.0)];
+        let (specs, src) = one_stream_workload(20.0, 10.0);
+        let pgos = Pgos::new(PgosConfig::default(), specs, 1);
+        let report = run(&paths, Box::new(src), Box::new(pgos), quick_cfg(), 10.0);
+        let s = &report.streams[0];
+        assert!(
+            s.mean_throughput() < 6.0e6,
+            "throughput {} exceeds residual",
+            s.mean_throughput()
+        );
+        // The 20 Mbps demand is infeasible at p=0.9 on a 5 Mbps path.
+        assert!(!report.upcalls.is_empty());
+    }
+
+    #[test]
+    fn two_paths_split_a_big_stream() {
+        let paths = vec![clean_path(0, 10.0), clean_path(1, 10.0)];
+        let (specs, src) = one_stream_workload(15.0, 10.0);
+        let pgos = Pgos::new(PgosConfig::default(), specs, 2);
+        let report = run(&paths, Box::new(src), Box::new(pgos), quick_cfg(), 10.0);
+        let s = &report.streams[0];
+        assert!(
+            (s.mean_throughput() - 15.0e6).abs() / 15.0e6 < 0.08,
+            "mean {}",
+            s.mean_throughput()
+        );
+        // Both paths carried data.
+        assert!(report.path_sent_bytes.iter().all(|&b| b > 0));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let paths = vec![congested_path(0, 100.0, 40.0)];
+        let run_once = || {
+            let (specs, src) = one_stream_workload(10.0, 5.0);
+            let pgos = Pgos::new(PgosConfig::default(), specs, 1);
+            run(&paths, Box::new(src), Box::new(pgos), quick_cfg(), 5.0)
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(
+            a.streams[0].throughput_series,
+            b.streams[0].throughput_series
+        );
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn sink_sees_every_delivery() {
+        let paths = vec![clean_path(0, 100.0)];
+        let (specs, src) = one_stream_workload(5.0, 3.0);
+        let pgos = Pgos::new(PgosConfig::default(), specs, 1);
+        let mut count = 0u64;
+        let report = run_with_sink(
+            &paths,
+            Box::new(src),
+            Box::new(pgos),
+            quick_cfg(),
+            3.0,
+            &mut |d| {
+                assert!(d.delivered >= d.created);
+                count += 1;
+            },
+        );
+        assert_eq!(count, report.streams[0].delivered_packets);
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn series_lengths_match_duration() {
+        let paths = vec![clean_path(0, 100.0)];
+        let (specs, src) = one_stream_workload(5.0, 8.0);
+        let pgos = Pgos::new(PgosConfig::default(), specs, 1);
+        let report = run(&paths, Box::new(src), Box::new(pgos), quick_cfg(), 8.0);
+        assert_eq!(report.streams[0].throughput_series.len(), 8);
+        assert_eq!(report.streams[0].per_path_series[0].len(), 8);
+    }
+}

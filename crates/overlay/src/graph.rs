@@ -1,0 +1,219 @@
+//! The overlay graph and disjoint-path enumeration.
+//!
+//! §5.1: "An overlay network … may be represented as a graph
+//! `G = (V, E)` with `n` overlay nodes and `m` edges. … There may exist
+//! multiple distinct paths `P^j, j = 1, 2, … L` between each server and
+//! client." Like the paper (and OverQoS), we assume routing nodes are
+//! placed so paths between node pairs do not share bottlenecks; the
+//! enumeration below returns *link-disjoint* paths to honor that.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// An overlay node handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OverlayNodeId(pub usize);
+
+/// A directed overlay graph.
+#[derive(Debug, Default, Clone)]
+pub struct OverlayGraph {
+    names: Vec<String>,
+    by_name: HashMap<String, OverlayNodeId>,
+    /// Adjacency: sorted for determinism.
+    edges: Vec<Vec<OverlayNodeId>>,
+}
+
+impl OverlayGraph {
+    /// An empty overlay graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or finds) a node.
+    pub fn node(&mut self, name: &str) -> OverlayNodeId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = OverlayNodeId(self.names.len());
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), id);
+        self.edges.push(Vec::new());
+        id
+    }
+
+    /// Finds an existing node.
+    pub fn find(&self, name: &str) -> Option<OverlayNodeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Node name.
+    pub fn name(&self, id: OverlayNodeId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Adds a directed logical link.
+    pub fn add_edge(&mut self, from: OverlayNodeId, to: OverlayNodeId) {
+        if !self.edges[from.0].contains(&to) {
+            self.edges[from.0].push(to);
+            self.edges[from.0].sort();
+        }
+    }
+
+    /// Out-neighbors.
+    pub fn neighbors(&self, from: OverlayNodeId) -> &[OverlayNodeId] {
+        &self.edges[from.0]
+    }
+
+    /// Shortest path (fewest hops) from `src` to `dst`, excluding any
+    /// edge in `banned`. BFS with deterministic neighbor order.
+    fn shortest_path(
+        &self,
+        src: OverlayNodeId,
+        dst: OverlayNodeId,
+        banned: &HashSet<(OverlayNodeId, OverlayNodeId)>,
+    ) -> Option<Vec<OverlayNodeId>> {
+        let mut prev: HashMap<OverlayNodeId, OverlayNodeId> = HashMap::new();
+        let mut seen: HashSet<OverlayNodeId> = HashSet::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(src);
+        seen.insert(src);
+        while let Some(u) = queue.pop_front() {
+            if u == dst {
+                let mut path = vec![dst];
+                let mut cur = dst;
+                while cur != src {
+                    cur = prev[&cur];
+                    path.push(cur);
+                }
+                path.reverse();
+                return Some(path);
+            }
+            for &v in self.neighbors(u) {
+                if banned.contains(&(u, v)) || seen.contains(&v) {
+                    continue;
+                }
+                seen.insert(v);
+                prev.insert(v, u);
+                queue.push_back(v);
+            }
+        }
+        None
+    }
+
+    /// Enumerates up to `k` link-disjoint paths from `src` to `dst`
+    /// (greedy: repeatedly take the shortest path and remove its edges).
+    pub fn disjoint_paths(
+        &self,
+        src: OverlayNodeId,
+        dst: OverlayNodeId,
+        k: usize,
+    ) -> Vec<Vec<OverlayNodeId>> {
+        let mut banned = HashSet::new();
+        let mut out = Vec::new();
+        for _ in 0..k {
+            match self.shortest_path(src, dst, &banned) {
+                None => break,
+                Some(p) => {
+                    for w in p.windows(2) {
+                        banned.insert((w[0], w[1]));
+                    }
+                    out.push(p);
+                }
+            }
+        }
+        out
+    }
+
+    /// Converts a node path to its name route (for `Topology::route`).
+    pub fn names_of(&self, path: &[OverlayNodeId]) -> Vec<&str> {
+        path.iter().map(|&n| self.name(n)).collect()
+    }
+}
+
+/// Builds the overlay view of the Figure 8 testbed: server N-1, routers
+/// N-4 / N-5 (logical links riding the emulated bottlenecks), client
+/// N-6.
+pub fn figure8_overlay() -> (OverlayGraph, OverlayNodeId, OverlayNodeId) {
+    let mut g = OverlayGraph::new();
+    let n1 = g.node("N-1");
+    let n2 = g.node("N-2");
+    let n3 = g.node("N-3");
+    let n4 = g.node("N-4");
+    let n5 = g.node("N-5");
+    let n6 = g.node("N-6");
+    g.add_edge(n1, n2);
+    g.add_edge(n2, n4);
+    g.add_edge(n4, n6);
+    g.add_edge(n1, n3);
+    g.add_edge(n3, n5);
+    g.add_edge(n5, n6);
+    (g, n1, n6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure8_has_two_disjoint_paths() {
+        let (g, s, c) = figure8_overlay();
+        let paths = g.disjoint_paths(s, c, 4);
+        assert_eq!(paths.len(), 2);
+        let names: Vec<Vec<&str>> = paths.iter().map(|p| g.names_of(p)).collect();
+        assert!(names.contains(&vec!["N-1", "N-2", "N-4", "N-6"]));
+        assert!(names.contains(&vec!["N-1", "N-3", "N-5", "N-6"]));
+    }
+
+    #[test]
+    fn no_path_between_disconnected_nodes() {
+        let mut g = OverlayGraph::new();
+        let a = g.node("a");
+        let b = g.node("b");
+        assert!(g.disjoint_paths(a, b, 2).is_empty());
+    }
+
+    #[test]
+    fn k_limits_path_count() {
+        let (g, s, c) = figure8_overlay();
+        assert_eq!(g.disjoint_paths(s, c, 1).len(), 1);
+    }
+
+    #[test]
+    fn shortest_path_prefers_fewest_hops() {
+        let mut g = OverlayGraph::new();
+        let a = g.node("a");
+        let b = g.node("b");
+        let c = g.node("c");
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        g.add_edge(a, c); // direct
+        let paths = g.disjoint_paths(a, c, 2);
+        assert_eq!(paths[0].len(), 2, "first path must be the direct edge");
+        assert_eq!(paths[1].len(), 3);
+    }
+
+    #[test]
+    fn node_dedup_and_names() {
+        let mut g = OverlayGraph::new();
+        let a = g.node("x");
+        assert_eq!(g.node("x"), a);
+        assert_eq!(g.name(a), "x");
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.find("x"), Some(a));
+        assert_eq!(g.find("y"), None);
+    }
+
+    #[test]
+    fn duplicate_edges_ignored() {
+        let mut g = OverlayGraph::new();
+        let a = g.node("a");
+        let b = g.node("b");
+        g.add_edge(a, b);
+        g.add_edge(a, b);
+        assert_eq!(g.neighbors(a).len(), 1);
+    }
+}

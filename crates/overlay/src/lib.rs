@@ -1,0 +1,30 @@
+//! # iqpaths-overlay — overlay graph, paths, and monitoring
+//!
+//! The middleware underlay (§1): "processes running on the machines
+//! available to IQ-Paths, connected by logical links and/or via
+//! intermediate processes acting as router nodes. Underlay nodes
+//! continually assess the qualities of their logical links."
+//!
+//! * [`graph`] — the overlay graph `G = (V, E)` with enumeration of
+//!   link-disjoint paths `P^j` between a server and a client (§5.1's
+//!   formal model).
+//! * [`path`] — [`path::OverlayPath`]: a concrete multi-link path over
+//!   the emulated network, convertible to a transmit service.
+//! * [`probe`] — available-bandwidth measurement with realistic probe
+//!   noise (the paper builds on pathload-style estimation, [19, 20]).
+//! * [`node`] — the Figure 3 overlay node: per-path statistical
+//!   monitoring feeding the routing/scheduling module via
+//!   `PathSnapshot`s.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod graph;
+pub mod node;
+pub mod path;
+pub mod probe;
+
+pub use graph::OverlayGraph;
+pub use node::MonitoringModule;
+pub use path::OverlayPath;
+pub use probe::AvailBwProbe;

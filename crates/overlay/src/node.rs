@@ -1,0 +1,258 @@
+//! The Figure 3 overlay node: per-path statistical monitoring feeding
+//! the routing/scheduling module.
+//!
+//! The monitoring module "monitors the bandwidth characteristics (i.e.,
+//! bandwidth distribution) of each overlay path and shares this
+//! information with the Routing/Scheduling component." Per path it
+//! keeps a rolling window of available-bandwidth samples (the paper
+//! uses N = 500–1000 samples at 0.1–1 s), an EWMA mean predictor for
+//! the mean-based baselines, and a smoothed RTT estimate.
+
+use iqpaths_stats::{BandwidthCdf, Ewma, HistogramCdf, Predictor, SampleWindow};
+
+/// How the monitoring module summarizes bandwidth distributions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CdfMode {
+    /// Exact empirical CDF over the rolling window (re-sorts per
+    /// snapshot; the reference implementation).
+    Exact,
+    /// Streaming histogram with exponential decay — O(1) updates for
+    /// the scheduler fast path. Snapshots are resampled into empirical
+    /// form at `resolution` quantile points.
+    Histogram {
+        /// Histogram bin count.
+        bins: usize,
+        /// Quantile points per snapshot.
+        resolution: usize,
+        /// Domain upper bound in bits/s (e.g. the link capacity).
+        max_bw: f64,
+    },
+}
+
+/// Monitoring output for one path at a window boundary.
+#[derive(Debug, Clone)]
+pub struct PathStats {
+    /// Path index.
+    pub index: usize,
+    /// Empirical CDF of the recent available-bandwidth samples.
+    pub cdf: iqpaths_stats::EmpiricalCdf,
+    /// EWMA mean-bandwidth prediction for the next window.
+    pub mean_prediction: f64,
+    /// Smoothed RTT in seconds.
+    pub rtt: f64,
+    /// Number of samples backing the CDF.
+    pub samples: usize,
+}
+
+/// Per-path monitoring state of an overlay node.
+#[derive(Debug, Clone)]
+pub struct MonitoringModule {
+    windows: Vec<SampleWindow>,
+    histograms: Option<Vec<HistogramCdf>>,
+    resolution: usize,
+    means: Vec<Ewma>,
+    rtts: Vec<f64>,
+}
+
+impl MonitoringModule {
+    /// Monitoring over `paths` paths keeping `n_samples` of history per
+    /// path (the paper's N), with exact CDFs.
+    ///
+    /// # Panics
+    /// Panics if `paths == 0` or `n_samples == 0`.
+    pub fn new(paths: usize, n_samples: usize) -> Self {
+        Self::with_mode(paths, n_samples, CdfMode::Exact)
+    }
+
+    /// Monitoring with an explicit CDF mode (the `abl-hist` knob).
+    ///
+    /// # Panics
+    /// Panics on zero paths/samples, or a histogram mode with zero
+    /// bins/resolution or non-positive domain.
+    pub fn with_mode(paths: usize, n_samples: usize, mode: CdfMode) -> Self {
+        assert!(paths > 0, "need at least one path");
+        let (histograms, resolution) = match mode {
+            CdfMode::Exact => (None, 0),
+            CdfMode::Histogram {
+                bins,
+                resolution,
+                max_bw,
+            } => {
+                assert!(bins > 0 && resolution > 1 && max_bw > 0.0);
+                // Decay tuned so roughly `n_samples` of history matter.
+                let decay = 1.0 - 1.0 / n_samples as f64;
+                (
+                    Some(
+                        (0..paths)
+                            .map(|_| HistogramCdf::with_decay(0.0, max_bw, bins, decay))
+                            .collect(),
+                    ),
+                    resolution,
+                )
+            }
+        };
+        Self {
+            windows: (0..paths).map(|_| SampleWindow::new(n_samples)).collect(),
+            histograms,
+            resolution,
+            means: (0..paths).map(|_| Ewma::new(0.3)).collect(),
+            rtts: vec![0.0; paths],
+        }
+    }
+
+    /// Number of monitored paths.
+    pub fn paths(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Feeds one available-bandwidth measurement (bits/s) for `path`
+    /// taken at time `t` (seconds).
+    pub fn observe_bandwidth(&mut self, path: usize, t: f64, bw: f64) {
+        self.windows[path].push(t, bw);
+        if let Some(hists) = &mut self.histograms {
+            hists[path].insert(bw);
+        }
+        self.means[path].observe(bw);
+    }
+
+    /// Feeds one RTT sample (seconds), smoothed with the TCP-style
+    /// `7/8` filter.
+    pub fn observe_rtt(&mut self, path: usize, rtt: f64) {
+        let prev = self.rtts[path];
+        self.rtts[path] = if prev == 0.0 {
+            rtt
+        } else {
+            prev * 0.875 + rtt * 0.125
+        };
+    }
+
+    /// Number of bandwidth samples held for `path`.
+    pub fn sample_count(&self, path: usize) -> usize {
+        self.windows[path].len()
+    }
+
+    /// Produces the stats snapshot for one path.
+    pub fn stats(&self, path: usize) -> PathStats {
+        let window = &self.windows[path];
+        let cdf = match &self.histograms {
+            None => window.cdf(),
+            Some(hists) => {
+                // Resample the streaming histogram at evenly spaced
+                // quantile points into empirical form.
+                let h = &hists[path];
+                let samples: Vec<f64> = (1..=self.resolution)
+                    .filter_map(|k| h.quantile(k as f64 / (self.resolution + 1) as f64))
+                    .collect();
+                iqpaths_stats::EmpiricalCdf::from_clean_samples(samples)
+            }
+        };
+        PathStats {
+            index: path,
+            cdf,
+            mean_prediction: self.means[path].predict().unwrap_or(0.0),
+            rtt: self.rtts[path],
+            samples: window.len(),
+        }
+    }
+
+    /// Snapshots for every path, in path order.
+    pub fn all_stats(&self) -> Vec<PathStats> {
+        (0..self.paths()).map(|p| self.stats(p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iqpaths_stats::BandwidthCdf;
+
+    #[test]
+    fn cdf_tracks_observations() {
+        let mut m = MonitoringModule::new(2, 100);
+        for i in 0..50 {
+            m.observe_bandwidth(0, i as f64, 10.0 + (i % 5) as f64);
+        }
+        let s = m.stats(0);
+        assert_eq!(s.samples, 50);
+        assert!(s.cdf.quantile(0.5).unwrap() >= 10.0);
+        // Path 1 untouched.
+        assert_eq!(m.stats(1).samples, 0);
+    }
+
+    #[test]
+    fn mean_prediction_converges() {
+        let mut m = MonitoringModule::new(1, 100);
+        for i in 0..100 {
+            m.observe_bandwidth(0, i as f64, 42.0);
+        }
+        assert!((m.stats(0).mean_prediction - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rtt_smoothing() {
+        let mut m = MonitoringModule::new(1, 10);
+        m.observe_rtt(0, 0.100);
+        assert!((m.stats(0).rtt - 0.100).abs() < 1e-12);
+        m.observe_rtt(0, 0.200);
+        // 0.1·7/8 + 0.2/8 = 0.1125.
+        assert!((m.stats(0).rtt - 0.1125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_caps_history() {
+        let mut m = MonitoringModule::new(1, 10);
+        for i in 0..100 {
+            m.observe_bandwidth(0, i as f64, i as f64);
+        }
+        assert_eq!(m.sample_count(0), 10);
+        // Only the last 10 samples (90..99) back the CDF.
+        assert!(m.stats(0).cdf.min().unwrap() >= 90.0);
+    }
+
+    #[test]
+    fn all_stats_covers_every_path() {
+        let m = MonitoringModule::new(3, 10);
+        assert_eq!(m.all_stats().len(), 3);
+    }
+
+    #[test]
+    fn histogram_mode_approximates_exact_quantiles() {
+        let mode = CdfMode::Histogram {
+            bins: 512,
+            resolution: 200,
+            max_bw: 100.0e6,
+        };
+        let mut exact = MonitoringModule::new(1, 500);
+        let mut hist = MonitoringModule::with_mode(1, 500, mode);
+        for i in 0..500u64 {
+            // Pseudo-uniform samples in [20, 80] Mbps.
+            let bw = 20.0e6 + (i.wrapping_mul(2654435761) % 60_000) as f64 * 1.0e3;
+            exact.observe_bandwidth(0, i as f64 * 0.1, bw);
+            hist.observe_bandwidth(0, i as f64 * 0.1, bw);
+        }
+        let ce = exact.stats(0).cdf;
+        let ch = hist.stats(0).cdf;
+        for q in [0.05, 0.1, 0.5, 0.9] {
+            let e = ce.quantile(q).unwrap();
+            let h = ch.quantile(q).unwrap();
+            assert!(
+                (e - h).abs() / e < 0.05,
+                "q={q}: exact {e} vs histogram {h}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn histogram_mode_rejects_zero_bins() {
+        let _ = MonitoringModule::with_mode(
+            1,
+            10,
+            CdfMode::Histogram {
+                bins: 0,
+                resolution: 10,
+                max_bw: 1.0,
+            },
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! Available-bandwidth probing.
+//!
+//! IQ-Paths "dynamically measures and then also predicts the available
+//! bandwidth profiles on network links" using the measurement machinery
+//! of Jain & Dovrolis ([19, 20] in the paper). We model the probe as a
+//! sampler of the ground-truth residual with multiplicative measurement
+//! noise — pathload-class tools report within ±10–20% of truth — plus an
+//! optional reporting latency.
+
+use crate::path::OverlayPath;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A noisy periodic available-bandwidth probe for one path.
+#[derive(Debug, Clone)]
+pub struct AvailBwProbe {
+    interval: f64,
+    noise_frac: f64,
+    rng: StdRng,
+    next_at: f64,
+}
+
+impl AvailBwProbe {
+    /// Probe reporting every `interval` seconds with uniform ±
+    /// `noise_frac` multiplicative error.
+    ///
+    /// # Panics
+    /// Panics on non-positive interval or negative noise.
+    pub fn new(interval: f64, noise_frac: f64, seed: u64) -> Self {
+        assert!(interval > 0.0, "interval must be positive");
+        assert!((0.0..1.0).contains(&noise_frac), "noise in [0, 1)");
+        Self {
+            interval,
+            noise_frac,
+            rng: StdRng::seed_from_u64(seed),
+            next_at: 0.0,
+        }
+    }
+
+    /// Measurement interval in seconds.
+    pub fn interval(&self) -> f64 {
+        self.interval
+    }
+
+    /// When the next measurement is due.
+    pub fn next_at(&self) -> f64 {
+        self.next_at
+    }
+
+    /// Takes one measurement of `path` at time `t`: the mean residual
+    /// over the elapsed interval, perturbed by probe noise.
+    pub fn measure(&mut self, path: &OverlayPath, t: f64) -> f64 {
+        let truth = path.mean_residual(
+            (t - self.interval).max(0.0),
+            t.max(self.interval * 0.5),
+            self.interval / 10.0,
+        );
+        self.next_at = t + self.interval;
+        if self.noise_frac == 0.0 {
+            return truth;
+        }
+        let eps = self.rng.gen_range(-self.noise_frac..=self.noise_frac);
+        (truth * (1.0 + eps)).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iqpaths_simnet::link::Link;
+    use iqpaths_simnet::time::SimDuration;
+    use iqpaths_traces::RateTrace;
+
+    fn path() -> OverlayPath {
+        let l = Link::new("l", 100.0, SimDuration::from_millis(1))
+            .with_cross_traffic(RateTrace::new(1.0, vec![40.0; 10]));
+        OverlayPath::new(0, "p", vec![l])
+    }
+
+    #[test]
+    fn noiseless_probe_reports_truth() {
+        let mut p = AvailBwProbe::new(0.5, 0.0, 1);
+        let m = p.measure(&path(), 1.0);
+        assert!((m - 60.0).abs() < 1e-6, "m={m}");
+    }
+
+    #[test]
+    fn noisy_probe_stays_within_band() {
+        let mut p = AvailBwProbe::new(0.5, 0.1, 2);
+        for k in 1..50 {
+            let m = p.measure(&path(), k as f64 * 0.5);
+            assert!((54.0 - 1e-6..=66.0 + 1e-6).contains(&m), "m={m}");
+        }
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let mut a = AvailBwProbe::new(0.5, 0.2, 7);
+        let mut b = AvailBwProbe::new(0.5, 0.2, 7);
+        for k in 1..10 {
+            let t = k as f64 * 0.5;
+            assert_eq!(a.measure(&path(), t), b.measure(&path(), t));
+        }
+    }
+
+    #[test]
+    fn schedule_advances() {
+        let mut p = AvailBwProbe::new(0.25, 0.0, 1);
+        assert_eq!(p.next_at(), 0.0);
+        p.measure(&path(), 1.0);
+        assert!((p.next_at() - 1.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,213 @@
+//! Deterministic discrete-event queue.
+//!
+//! A min-heap of `(time, sequence)`-keyed events. The monotonically
+//! increasing insertion sequence breaks time ties, so two events
+//! scheduled for the same instant always fire in the order they were
+//! scheduled — a requirement for reproducible experiments.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap on (at, seq).
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic event queue over payload type `E`.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: SimTime,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with the clock at zero.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// Current virtual time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.popped
+    }
+
+    /// Schedules `payload` to fire at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error in the emulation.
+    ///
+    /// # Panics
+    /// Panics (debug) if `at` precedes the current clock.
+    pub fn schedule(&mut self, at: SimTime, payload: E) {
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {} < {}",
+            at,
+            self.now
+        );
+        let entry = Entry {
+            at: at.max(self.now),
+            seq: self.next_seq,
+            payload,
+        };
+        self.next_seq += 1;
+        self.heap.push(entry);
+    }
+
+    /// Timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        self.now = entry.at;
+        self.popped += 1;
+        Some((entry.at, entry.payload))
+    }
+
+    /// Pops the earliest event only if it fires at or before `horizon`.
+    pub fn pop_until(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        if self.peek_time()? <= horizon {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Drains and discards all pending events (the clock is unchanged).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), "c");
+        q.schedule(t(10), "a");
+        q.schedule(t(20), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(t(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(t(42), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), t(42));
+    }
+
+    #[test]
+    fn pop_until_respects_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), "early");
+        q.schedule(t(100), "late");
+        assert_eq!(q.pop_until(t(50)).map(|(_, e)| e), Some("early"));
+        assert_eq!(q.pop_until(t(50)), None);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn processed_counts() {
+        let mut q = EventQueue::new();
+        q.schedule(t(1), ());
+        q.schedule(t(2), ());
+        q.pop();
+        q.pop();
+        assert_eq!(q.processed(), 2);
+    }
+
+    #[test]
+    fn clear_keeps_clock() {
+        let mut q = EventQueue::new();
+        q.schedule(t(5), ());
+        q.pop();
+        q.schedule(t(9), ());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), t(5));
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn scheduling_into_past_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), ());
+        q.pop();
+        q.schedule(t(5), ());
+    }
+}

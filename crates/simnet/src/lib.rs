@@ -1,0 +1,42 @@
+//! # iqpaths-simnet — deterministic network emulation substrate
+//!
+//! The paper evaluates IQ-Paths on an Emulab testbed (Figure 8): 14
+//! nodes on 100 Mbps fast-ethernet links, with NLANR cross-traffic
+//! injected so that the two overlay paths between server N-1 and client
+//! N-6 share bottlenecks with it (links N-2→N-4 and N-3→N-5). We do not
+//! have Emulab; this crate is the substitute (see `DESIGN.md` §2).
+//!
+//! It is a *virtual-time discrete-event* emulator:
+//!
+//! * [`time`] — nanosecond-resolution [`time::SimTime`] virtual clock.
+//! * [`event`] — a deterministic event queue (ties broken by insertion
+//!   order, so identical seeds give identical runs).
+//! * [`link`] — links with capacity, propagation delay and *fluid* cross
+//!   traffic: per-epoch cross-traffic rates from `iqpaths-traces` leave
+//!   a piecewise-constant residual service rate that is integrated
+//!   exactly when computing packet service times.
+//! * [`packet`] — packet descriptors carried through the emulation.
+//! * [`topology`] — the network graph; [`topology::emulab_testbed`]
+//!   reproduces Figure 8.
+//! * [`server`] — FIFO variable-rate path services with bounded queues,
+//!   drop-tail loss and blocking (the "path service" boxes of Figure 6).
+//! * [`monitor`] — windowed throughput / loss / delay taps that produce
+//!   the sample series every experiment consumes.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod event;
+pub mod link;
+pub mod monitor;
+pub mod packet;
+pub mod packetlevel;
+pub mod server;
+pub mod time;
+pub mod topology;
+
+pub use event::EventQueue;
+pub use link::Link;
+pub use packet::{Packet, StreamId};
+pub use server::PathService;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,250 @@
+//! Measurement taps.
+//!
+//! "Underlay nodes continually assess the qualities of their logical
+//! links" (§1). These monitors aggregate raw delivery events into the
+//! fixed-window sample series that (a) feed the statistical predictor
+//! and (b) become the throughput time series / CDFs of Figures 9–13.
+
+use crate::time::SimTime;
+
+/// Windowed throughput meter: accumulates delivered bytes into
+/// fixed-length windows and emits one bits/s sample per window.
+#[derive(Debug, Clone)]
+pub struct ThroughputMonitor {
+    window: f64,
+    current_start: f64,
+    current_bits: f64,
+    samples: Vec<f64>,
+}
+
+impl ThroughputMonitor {
+    /// A meter with the given window length in seconds.
+    ///
+    /// # Panics
+    /// Panics if `window <= 0`.
+    pub fn new(window: f64) -> Self {
+        assert!(window > 0.0, "window must be positive");
+        Self {
+            window,
+            current_start: 0.0,
+            current_bits: 0.0,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Window length in seconds.
+    pub fn window(&self) -> f64 {
+        self.window
+    }
+
+    /// Records `bytes` delivered at time `at`.
+    ///
+    /// Records must arrive in non-decreasing time order (they come from
+    /// the event queue, which guarantees this).
+    pub fn record(&mut self, at: SimTime, bytes: u64) {
+        let t = at.as_secs_f64();
+        self.roll_to(t);
+        self.current_bits += bytes as f64 * 8.0;
+    }
+
+    /// Closes windows up to (not including) the one containing `t`.
+    fn roll_to(&mut self, t: f64) {
+        while t >= self.current_start + self.window {
+            self.samples.push(self.current_bits / self.window);
+            self.current_bits = 0.0;
+            self.current_start += self.window;
+        }
+    }
+
+    /// Flushes through `end` (exclusive of the final partial window) and
+    /// returns the completed per-window throughput samples in bits/s.
+    pub fn finish(mut self, end: SimTime) -> Vec<f64> {
+        self.roll_to(end.as_secs_f64());
+        self.samples
+    }
+
+    /// Completed samples so far (not including the open window).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+/// Counts offered vs dropped packets to report loss rate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LossMonitor {
+    offered: u64,
+    dropped: u64,
+}
+
+impl LossMonitor {
+    /// New, zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an offered packet.
+    pub fn offer(&mut self) {
+        self.offered += 1;
+    }
+
+    /// Records a dropped packet.
+    pub fn drop_one(&mut self) {
+        self.dropped += 1;
+    }
+
+    /// Offered packet count.
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Dropped packet count.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// dropped / offered (0 when nothing was offered).
+    pub fn loss_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / self.offered as f64
+        }
+    }
+}
+
+/// Collects end-to-end latency samples (seconds) and deadline misses.
+#[derive(Debug, Clone, Default)]
+pub struct DelayMonitor {
+    latencies: Vec<f64>,
+    deadline_packets: u64,
+    deadline_misses: u64,
+}
+
+impl DelayMonitor {
+    /// New, empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one delivery.
+    pub fn record(&mut self, delivery: &crate::packet::Delivery) {
+        self.latencies.push(delivery.latency().as_secs_f64());
+        if delivery.packet.has_deadline() {
+            self.deadline_packets += 1;
+            if !delivery.on_time() {
+                self.deadline_misses += 1;
+            }
+        }
+    }
+
+    /// All latency samples.
+    pub fn latencies(&self) -> &[f64] {
+        &self.latencies
+    }
+
+    /// Fraction of deadline-bearing packets that missed (0 if none).
+    pub fn miss_rate(&self) -> f64 {
+        if self.deadline_packets == 0 {
+            0.0
+        } else {
+            self.deadline_misses as f64 / self.deadline_packets as f64
+        }
+    }
+
+    /// Number of deadline-bearing packets observed.
+    pub fn deadline_packets(&self) -> u64 {
+        self.deadline_packets
+    }
+
+    /// Number of deadline misses observed.
+    pub fn deadline_misses(&self) -> u64 {
+        self.deadline_misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Delivery, Packet, StreamId};
+    use crate::time::SimDuration;
+
+    #[test]
+    fn throughput_windows_accumulate() {
+        let mut m = ThroughputMonitor::new(1.0);
+        m.record(SimTime::from_secs_f64(0.2), 125); // 1000 bits in w0
+        m.record(SimTime::from_secs_f64(0.8), 125); // 1000 bits in w0
+        m.record(SimTime::from_secs_f64(1.5), 125); // w1
+        let samples = m.finish(SimTime::from_secs_f64(3.0));
+        assert_eq!(samples, vec![2000.0, 1000.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_windows_are_zero() {
+        let m = ThroughputMonitor::new(0.5);
+        let samples = m.finish(SimTime::from_secs_f64(2.0));
+        assert_eq!(samples, vec![0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn record_on_window_boundary_goes_to_new_window() {
+        let mut m = ThroughputMonitor::new(1.0);
+        m.record(SimTime::from_secs_f64(1.0), 125);
+        let samples = m.finish(SimTime::from_secs_f64(2.0));
+        assert_eq!(samples, vec![0.0, 1000.0]);
+    }
+
+    #[test]
+    fn loss_rate_math() {
+        let mut l = LossMonitor::new();
+        assert_eq!(l.loss_rate(), 0.0);
+        for _ in 0..10 {
+            l.offer();
+        }
+        l.drop_one();
+        assert!((l.loss_rate() - 0.1).abs() < 1e-12);
+        assert_eq!(l.offered(), 10);
+        assert_eq!(l.dropped(), 1);
+    }
+
+    #[test]
+    fn delay_monitor_tracks_misses() {
+        let mut d = DelayMonitor::new();
+        let on_time = Delivery {
+            packet: Packet::with_deadline(
+                StreamId(0),
+                0,
+                100,
+                SimTime::ZERO,
+                SimTime::from_secs_f64(1.0),
+            ),
+            path: 0,
+            sent: SimTime::from_secs_f64(0.5),
+            delivered: SimTime::from_secs_f64(0.6),
+        };
+        let late = Delivery {
+            packet: Packet::with_deadline(
+                StreamId(0),
+                1,
+                100,
+                SimTime::ZERO,
+                SimTime::from_secs_f64(0.1),
+            ),
+            path: 0,
+            sent: SimTime::from_secs_f64(0.5),
+            delivered: SimTime::from_secs_f64(0.6),
+        };
+        let best_effort = Delivery {
+            packet: Packet::best_effort(StreamId(1), 0, 100, SimTime::ZERO),
+            path: 1,
+            sent: SimTime::ZERO + SimDuration::from_millis(1),
+            delivered: SimTime::ZERO + SimDuration::from_millis(2),
+        };
+        d.record(&on_time);
+        d.record(&late);
+        d.record(&best_effort);
+        assert_eq!(d.deadline_packets(), 2);
+        assert_eq!(d.deadline_misses(), 1);
+        assert!((d.miss_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(d.latencies().len(), 3);
+    }
+}

@@ -1,0 +1,202 @@
+//! Packet-level shared-queue link model.
+//!
+//! The main emulation uses the *fluid* model: cross traffic reduces a
+//! link's residual rate, and overlay packets are served at that
+//! residual (`crate::link`). This module provides the ground-truth
+//! alternative for validation: a single FIFO queue, serialized at full
+//! line rate, shared by overlay packets and individual cross-traffic
+//! packets. The `abl-fluid` ablation and the `fluid_vs_packet_level`
+//! integration tests drive both models with the same offered load and
+//! check that the fluid approximation's throughput/delay predictions
+//! hold.
+
+use crate::packet::Packet;
+use crate::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// What occupies a queue slot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueuedItem {
+    /// An overlay packet we track end-to-end.
+    Overlay(Packet),
+    /// A background packet (bytes only).
+    Cross(u32),
+}
+
+impl QueuedItem {
+    fn bytes(&self) -> u32 {
+        match self {
+            QueuedItem::Overlay(p) => p.bytes,
+            QueuedItem::Cross(b) => *b,
+        }
+    }
+}
+
+/// A completed transmission.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Departure {
+    /// The item that finished serialization.
+    pub item: QueuedItem,
+    /// Serialization completion time.
+    pub finished: SimTime,
+    /// Arrival at the far end (`finished + prop_delay`).
+    pub delivered: SimTime,
+}
+
+/// A FIFO drop-tail link serialized at full line rate.
+#[derive(Debug, Clone)]
+pub struct PacketLevelLink {
+    capacity_bps: f64,
+    prop_delay: SimDuration,
+    buffer_packets: usize,
+    queue: VecDeque<QueuedItem>,
+    busy_until: SimTime,
+    in_service: Option<QueuedItem>,
+    dropped: u64,
+    enqueued: u64,
+}
+
+impl PacketLevelLink {
+    /// A link with `capacity_bps` line rate, `prop_delay`, and a
+    /// drop-tail buffer of `buffer_packets` slots.
+    ///
+    /// # Panics
+    /// Panics on non-positive capacity or zero buffer.
+    pub fn new(capacity_bps: f64, prop_delay: SimDuration, buffer_packets: usize) -> Self {
+        assert!(capacity_bps > 0.0 && capacity_bps.is_finite());
+        assert!(buffer_packets > 0);
+        Self {
+            capacity_bps,
+            prop_delay,
+            buffer_packets,
+            queue: VecDeque::new(),
+            busy_until: SimTime::ZERO,
+            in_service: None,
+            dropped: 0,
+            enqueued: 0,
+        }
+    }
+
+    /// Offers an item at `now`. Returns `false` (counted as a drop) when
+    /// the buffer is full.
+    pub fn enqueue(&mut self, item: QueuedItem, now: SimTime) -> bool {
+        self.enqueued += 1;
+        let occupancy = self.queue.len() + usize::from(self.in_service_at(now).is_some());
+        if occupancy >= self.buffer_packets {
+            self.dropped += 1;
+            return false;
+        }
+        self.queue.push_back(item);
+        true
+    }
+
+    fn in_service_at(&self, now: SimTime) -> Option<&QueuedItem> {
+        if now < self.busy_until {
+            self.in_service.as_ref()
+        } else {
+            None
+        }
+    }
+
+    /// Starts the next transmission if the line is idle at `now`.
+    /// Returns the departure record to schedule, or `None` when idle or
+    /// still busy.
+    pub fn poll_start(&mut self, now: SimTime) -> Option<Departure> {
+        if now < self.busy_until {
+            return None;
+        }
+        let item = self.queue.pop_front()?;
+        let tx = SimDuration::from_secs_f64(item.bytes() as f64 * 8.0 / self.capacity_bps);
+        let finished = now + tx;
+        self.busy_until = finished;
+        self.in_service = Some(item);
+        Some(Departure {
+            item,
+            finished,
+            delivered: finished + self.prop_delay,
+        })
+    }
+
+    /// When the current transmission finishes (the next instant
+    /// `poll_start` can succeed).
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Queued items (not counting the one in service).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Items dropped at the buffer.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Items offered.
+    pub fn offered(&self) -> u64 {
+        self.enqueued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::StreamId;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_nanos(us * 1000)
+    }
+
+    fn overlay(bytes: u32) -> QueuedItem {
+        QueuedItem::Overlay(Packet::best_effort(StreamId(0), 0, bytes, SimTime::ZERO))
+    }
+
+    #[test]
+    fn serializes_at_line_rate() {
+        // 8 Mbps → 1000 B packet = 1 ms.
+        let mut l = PacketLevelLink::new(8.0e6, SimDuration::from_millis(2), 16);
+        assert!(l.enqueue(overlay(1000), SimTime::ZERO));
+        let d = l.poll_start(SimTime::ZERO).unwrap();
+        assert_eq!(d.finished, SimTime::from_secs_f64(0.001));
+        assert_eq!(d.delivered, SimTime::from_secs_f64(0.003));
+        // Line busy until then.
+        assert!(l.poll_start(t(500)).is_none());
+        assert!(l.poll_start(d.finished).is_none()); // queue empty now
+    }
+
+    #[test]
+    fn fifo_order_across_kinds() {
+        let mut l = PacketLevelLink::new(8.0e6, SimDuration::ZERO, 16);
+        l.enqueue(QueuedItem::Cross(500), SimTime::ZERO);
+        l.enqueue(overlay(1000), SimTime::ZERO);
+        let first = l.poll_start(SimTime::ZERO).unwrap();
+        assert!(matches!(first.item, QueuedItem::Cross(500)));
+        let second = l.poll_start(first.finished).unwrap();
+        assert!(matches!(second.item, QueuedItem::Overlay(_)));
+        // Head-of-line cross packet delayed the overlay packet.
+        assert_eq!(second.finished, SimTime::from_secs_f64(0.0015));
+    }
+
+    #[test]
+    fn drop_tail_when_buffer_full() {
+        let mut l = PacketLevelLink::new(8.0e6, SimDuration::ZERO, 2);
+        assert!(l.enqueue(overlay(1000), SimTime::ZERO));
+        assert!(l.enqueue(overlay(1000), SimTime::ZERO));
+        assert!(!l.enqueue(overlay(1000), SimTime::ZERO));
+        assert_eq!(l.dropped(), 1);
+        assert_eq!(l.offered(), 3);
+    }
+
+    #[test]
+    fn in_service_slot_counts_toward_occupancy() {
+        let mut l = PacketLevelLink::new(8.0e6, SimDuration::ZERO, 2);
+        l.enqueue(overlay(1000), SimTime::ZERO);
+        let d = l.poll_start(SimTime::ZERO).unwrap();
+        // While serving: one slot used by the in-flight packet.
+        assert!(l.enqueue(overlay(1000), t(100)));
+        assert!(!l.enqueue(overlay(1000), t(200)), "buffer must be full");
+        // After completion the slot frees.
+        assert!(l.enqueue(overlay(1000), d.finished));
+    }
+}

@@ -1,0 +1,248 @@
+//! Network topology and the Figure 8 Emulab testbed.
+//!
+//! "The overlay server N-1 has two overlay paths to reach the client
+//! N-6, and the background traffic and data traffic share the common
+//! link between N-3 and N-5, and the link between N-2 and N-4. All link
+//! capacities are 100 Mbps. Overlay routers are placed at Node N-4 and
+//! N-5, so that overlay paths and cross traffic paths share the same
+//! bottleneck." Cross traffic is injected by nodes N-9 … N-14; in the
+//! fluid model its effect is attached directly to the shared bottleneck
+//! links.
+
+use crate::link::Link;
+use crate::time::SimDuration;
+use iqpaths_traces::RateTrace;
+use std::collections::HashMap;
+
+/// A node identifier (index into the topology's node table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// A directed network graph whose edges carry [`Link`] state.
+#[derive(Debug, Default)]
+pub struct Topology {
+    names: Vec<String>,
+    by_name: HashMap<String, NodeId>,
+    links: HashMap<(NodeId, NodeId), Link>,
+}
+
+impl Topology {
+    /// An empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or finds) a node by name.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = NodeId(self.names.len());
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up an existing node.
+    pub fn find(&self, name: &str) -> Option<NodeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Node name.
+    pub fn name(&self, id: NodeId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of directed links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Inserts a directed link; replaces any existing link on the edge.
+    pub fn add_link(&mut self, from: NodeId, to: NodeId, link: Link) {
+        self.links.insert((from, to), link);
+    }
+
+    /// The link on an edge.
+    pub fn link(&self, from: NodeId, to: NodeId) -> Option<&Link> {
+        self.links.get(&(from, to))
+    }
+
+    /// Mutable link access (e.g. to attach cross traffic).
+    pub fn link_mut(&mut self, from: NodeId, to: NodeId) -> Option<&mut Link> {
+        self.links.get_mut(&(from, to))
+    }
+
+    /// Resolves a node-name route into cloned links, ready to build a
+    /// [`crate::PathService`].
+    ///
+    /// # Panics
+    /// Panics if a node or edge on the route is missing.
+    pub fn route(&self, names: &[&str]) -> Vec<Link> {
+        assert!(names.len() >= 2, "a route needs at least two nodes");
+        names
+            .windows(2)
+            .map(|w| {
+                let a = self.find(w[0]).unwrap_or_else(|| panic!("no node {}", w[0]));
+                let b = self.find(w[1]).unwrap_or_else(|| panic!("no node {}", w[1]));
+                self.link(a, b)
+                    .unwrap_or_else(|| panic!("no link {} -> {}", w[0], w[1]))
+                    .clone()
+            })
+            .collect()
+    }
+
+    /// Out-neighbors of a node.
+    pub fn neighbors(&self, from: NodeId) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .links
+            .keys()
+            .filter(|(a, _)| *a == from)
+            .map(|(_, b)| *b)
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+/// The two overlay routes of the Figure 8 testbed, by node name.
+pub const PATH_A_ROUTE: [&str; 4] = ["N-1", "N-2", "N-4", "N-6"];
+/// Route of overlay path B (via the N-3 → N-5 bottleneck).
+pub const PATH_B_ROUTE: [&str; 4] = ["N-1", "N-3", "N-5", "N-6"];
+
+/// Builds the Figure 8 Emulab testbed.
+///
+/// * every link: 100 Mbps, 1 ms propagation delay (fast ethernet LAN
+///   emulating a WAN hop);
+/// * `cross_a` is attached to the N-2 → N-4 bottleneck (overlay path A);
+/// * `cross_b` is attached to the N-3 → N-5 bottleneck (overlay path B);
+/// * cross-traffic injector nodes N-9 … N-14 and edge nodes N-7/N-8,
+///   N-10 … N-14 are present for topological fidelity.
+pub fn emulab_testbed(cross_a: RateTrace, cross_b: RateTrace) -> Topology {
+    let cap = iqpaths_traces::EMULAB_LINK_CAPACITY;
+    let delay = SimDuration::from_millis(1);
+    let mut topo = Topology::new();
+
+    let mk = |name: &str| Link::new(name, cap, delay);
+
+    // All 14 nodes of Figure 8.
+    for i in 1..=14 {
+        topo.node(&format!("N-{i}"));
+    }
+
+    let edge = |topo: &mut Topology, a: &str, b: &str, link: Link| {
+        let na = topo.node(a);
+        let nb = topo.node(b);
+        topo.add_link(na, nb, link);
+    };
+
+    // Overlay path A: N-1 -> N-2 -> N-4 -> N-6, bottleneck N-2 -> N-4.
+    edge(&mut topo, "N-1", "N-2", mk("N-1->N-2"));
+    edge(
+        &mut topo,
+        "N-2",
+        "N-4",
+        mk("N-2->N-4").with_cross_traffic(cross_a),
+    );
+    edge(&mut topo, "N-4", "N-6", mk("N-4->N-6"));
+
+    // Overlay path B: N-1 -> N-3 -> N-5 -> N-6, bottleneck N-3 -> N-5.
+    edge(&mut topo, "N-1", "N-3", mk("N-1->N-3"));
+    edge(
+        &mut topo,
+        "N-3",
+        "N-5",
+        mk("N-3->N-5").with_cross_traffic(cross_b),
+    );
+    edge(&mut topo, "N-5", "N-6", mk("N-5->N-6"));
+
+    // Cross-traffic injector attachment (topological fidelity only; the
+    // fluid model folds their load into the bottleneck links above).
+    edge(&mut topo, "N-9", "N-2", mk("N-9->N-2"));
+    edge(&mut topo, "N-11", "N-2", mk("N-11->N-2"));
+    edge(&mut topo, "N-13", "N-2", mk("N-13->N-2"));
+    edge(&mut topo, "N-10", "N-3", mk("N-10->N-3"));
+    edge(&mut topo, "N-12", "N-3", mk("N-12->N-3"));
+    edge(&mut topo, "N-14", "N-3", mk("N-14->N-3"));
+    edge(&mut topo, "N-4", "N-7", mk("N-4->N-7"));
+    edge(&mut topo, "N-5", "N-8", mk("N-5->N-8"));
+
+    topo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn testbed() -> Topology {
+        let a = RateTrace::new(0.1, vec![10.0e6; 10]);
+        let b = RateTrace::new(0.1, vec![50.0e6; 10]);
+        emulab_testbed(a, b)
+    }
+
+    #[test]
+    fn node_dedup() {
+        let mut t = Topology::new();
+        let a = t.node("x");
+        let b = t.node("x");
+        assert_eq!(a, b);
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.name(a), "x");
+    }
+
+    #[test]
+    fn testbed_has_fourteen_nodes() {
+        assert_eq!(testbed().node_count(), 14);
+    }
+
+    #[test]
+    fn routes_resolve() {
+        let t = testbed();
+        let pa = t.route(&PATH_A_ROUTE);
+        let pb = t.route(&PATH_B_ROUTE);
+        assert_eq!(pa.len(), 3);
+        assert_eq!(pb.len(), 3);
+        assert_eq!(pa[1].name(), "N-2->N-4");
+        assert_eq!(pb[1].name(), "N-3->N-5");
+    }
+
+    #[test]
+    fn bottlenecks_carry_cross_traffic() {
+        let t = testbed();
+        let pa = t.route(&PATH_A_ROUTE);
+        // Bottleneck residual = 100 Mbps − 10 Mbps.
+        assert!((pa[1].residual_at(0.5) - 90.0e6).abs() < 1.0);
+        // Non-bottleneck links are clean.
+        assert!((pa[0].residual_at(0.5) - 100.0e6).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn missing_edge_panics() {
+        let t = testbed();
+        let _ = t.route(&["N-1", "N-6"]);
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let t = testbed();
+        let n1 = t.find("N-1").unwrap();
+        let names: Vec<&str> = t.neighbors(n1).into_iter().map(|n| t.name(n)).collect();
+        assert_eq!(names, vec!["N-2", "N-3"]);
+    }
+
+    #[test]
+    fn link_mut_allows_retrofit() {
+        let mut t = testbed();
+        let a = t.find("N-1").unwrap();
+        let b = t.find("N-2").unwrap();
+        let l = t.link_mut(a, b).unwrap();
+        *l = l.clone().with_floor(1.0e6);
+        assert!(t.link(a, b).is_some());
+    }
+}

@@ -1,0 +1,292 @@
+//! Exact empirical cumulative distribution functions.
+//!
+//! The paper's monitoring module "tracks the past distribution of path
+//! bandwidth in the form of a cumulative distribution function (CDF), and
+//! uses the percentile points in that distribution as the bandwidth
+//! predictor, instead of using average bandwidth" (§4). `EmpiricalCdf` is
+//! the exact form of that object: it stores the sorted sample set and
+//! answers quantile / probability / truncated-mean queries.
+
+use crate::BandwidthCdf;
+
+/// An exact empirical CDF over a finite sample set.
+///
+/// Construction sorts the samples once (`O(n log n)`); queries are binary
+/// searches (`O(log n)`). For the scheduler fast path, prefer the
+/// streaming [`crate::HistogramCdf`].
+///
+/// NaN samples are rejected at construction; infinities are allowed (a
+/// saturated measurement is a legitimate observation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmpiricalCdf {
+    /// Samples in ascending order.
+    sorted: Vec<f64>,
+    /// Prefix sums of `sorted`, `prefix[i] = sum(sorted[..=i])`, used for
+    /// O(log n) truncated means.
+    prefix: Vec<f64>,
+}
+
+impl EmpiricalCdf {
+    /// Builds a CDF from an arbitrary sample iterator.
+    ///
+    /// Returns `None` if any sample is NaN.
+    pub fn from_samples<I: IntoIterator<Item = f64>>(samples: I) -> Option<Self> {
+        let mut sorted: Vec<f64> = samples.into_iter().collect();
+        if sorted.iter().any(|x| x.is_nan()) {
+            return None;
+        }
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaNs filtered above"));
+        let mut prefix = Vec::with_capacity(sorted.len());
+        let mut acc = 0.0;
+        for &x in &sorted {
+            acc += x;
+            prefix.push(acc);
+        }
+        Some(Self { sorted, prefix })
+    }
+
+    /// Builds a CDF from samples known to be NaN-free.
+    ///
+    /// # Panics
+    /// Panics if a NaN slips through (debug builds only).
+    pub fn from_clean_samples(samples: Vec<f64>) -> Self {
+        debug_assert!(samples.iter().all(|x| !x.is_nan()));
+        Self::from_samples(samples).expect("caller promised NaN-free samples")
+    }
+
+    /// The sorted sample slice.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Smallest observed sample.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Largest observed sample.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// Population standard deviation of the sample set.
+    pub fn stddev(&self) -> f64 {
+        crate::metrics::stddev(&self.sorted)
+    }
+
+    /// Number of samples `<= b` (right-continuous count).
+    fn count_below(&self, b: f64) -> usize {
+        // partition_point gives the first index where the predicate fails,
+        // i.e. the count of samples <= b.
+        self.sorted.partition_point(|&x| x <= b)
+    }
+
+    /// Scales every sample by a non-negative factor (e.g. converting an
+    /// available-bandwidth distribution into a goodput distribution by
+    /// multiplying with `1 − loss_rate`).
+    ///
+    /// # Panics
+    /// Panics on a negative or non-finite factor.
+    pub fn scale(&self, factor: f64) -> Self {
+        assert!(factor.is_finite() && factor >= 0.0, "invalid scale factor");
+        Self::from_clean_samples(self.sorted.iter().map(|x| x * factor).collect())
+    }
+
+    /// Merges two CDFs into a new one over the union of their samples.
+    pub fn merge(&self, other: &Self) -> Self {
+        let mut merged = Vec::with_capacity(self.sorted.len() + other.sorted.len());
+        merged.extend_from_slice(&self.sorted);
+        merged.extend_from_slice(&other.sorted);
+        Self::from_clean_samples(merged)
+    }
+
+    /// Two-sample Kolmogorov–Smirnov statistic `sup |F1 − F2|`.
+    ///
+    /// PGOS re-runs its (expensive) resource-mapping step only "when the
+    /// CDF of some path changes dramatically"; the middleware uses this
+    /// statistic as the drift detector.
+    pub fn ks_distance(&self, other: &Self) -> f64 {
+        if self.is_empty() || other.is_empty() {
+            return if self.is_empty() && other.is_empty() {
+                0.0
+            } else {
+                1.0
+            };
+        }
+        let mut d: f64 = 0.0;
+        for &x in self.sorted.iter().chain(other.sorted.iter()) {
+            let f1 = self.prob_below(x);
+            let f2 = other.prob_below(x);
+            d = d.max((f1 - f2).abs());
+        }
+        d
+    }
+}
+
+impl BandwidthCdf for EmpiricalCdf {
+    fn prob_below(&self, b: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        self.count_below(b) as f64 / self.sorted.len() as f64
+    }
+
+    fn prob_below_strict(&self, b: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&x| x < b);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let n = self.sorted.len();
+        // Smallest b with F(b) >= q  <=>  index ceil(q*n) - 1 (1-based rank).
+        // The tiny epsilon absorbs float error in q (e.g. 1.0 − 0.95).
+        let rank = (q * n as f64 - 1e-9).ceil().max(0.0) as usize;
+        let idx = rank.saturating_sub(1).min(n - 1);
+        Some(self.sorted[idx])
+    }
+
+    fn truncated_mean(&self, b0: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let k = self.count_below(b0);
+        if k == 0 {
+            return 0.0;
+        }
+        self.prefix[k - 1] / self.sorted.len() as f64
+    }
+
+    fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            0.0
+        } else {
+            self.prefix[self.sorted.len() - 1] / self.sorted.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cdf(vals: &[f64]) -> EmpiricalCdf {
+        EmpiricalCdf::from_clean_samples(vals.to_vec())
+    }
+
+    #[test]
+    fn empty_cdf_behaviour() {
+        let c = cdf(&[]);
+        assert!(c.is_empty());
+        assert_eq!(c.quantile(0.5), None);
+        assert_eq!(c.prob_below(1.0), 0.0);
+        assert_eq!(c.truncated_mean(10.0), 0.0);
+        assert_eq!(c.mean(), 0.0);
+    }
+
+    #[test]
+    fn rejects_nan() {
+        assert!(EmpiricalCdf::from_samples(vec![1.0, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn prob_below_counts_inclusively() {
+        let c = cdf(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.prob_below(0.5), 0.0);
+        assert_eq!(c.prob_below(1.0), 0.25);
+        assert_eq!(c.prob_below(2.5), 0.5);
+        assert_eq!(c.prob_below(4.0), 1.0);
+        assert_eq!(c.prob_below(100.0), 1.0);
+    }
+
+    #[test]
+    fn quantile_matches_rank_definition() {
+        let c = cdf(&[10.0, 20.0, 30.0, 40.0, 50.0]);
+        assert_eq!(c.quantile(0.0), Some(10.0));
+        assert_eq!(c.quantile(0.2), Some(10.0));
+        assert_eq!(c.quantile(0.21), Some(20.0));
+        assert_eq!(c.quantile(0.5), Some(30.0));
+        assert_eq!(c.quantile(1.0), Some(50.0));
+    }
+
+    #[test]
+    fn quantile_is_inverse_of_prob_below() {
+        let c = cdf(&[5.0, 1.0, 9.0, 3.0, 7.0]);
+        for q in [0.1, 0.3, 0.5, 0.7, 0.9, 1.0] {
+            let b = c.quantile(q).unwrap();
+            assert!(c.prob_below(b) >= q, "F(Q(q)) >= q failed at q={q}");
+        }
+    }
+
+    #[test]
+    fn truncated_mean_definition() {
+        let c = cdf(&[1.0, 2.0, 3.0, 4.0]);
+        // M[2.5] = (1 + 2) / 4
+        assert!((c.truncated_mean(2.5) - 0.75).abs() < 1e-12);
+        // M[b0 >= max] is the full mean.
+        assert!((c.truncated_mean(100.0) - 2.5).abs() < 1e-12);
+        // M below min is zero.
+        assert_eq!(c.truncated_mean(0.5), 0.0);
+    }
+
+    #[test]
+    fn mean_and_minmax() {
+        let c = cdf(&[2.0, 4.0, 6.0]);
+        assert!((c.mean() - 4.0).abs() < 1e-12);
+        assert_eq!(c.min(), Some(2.0));
+        assert_eq!(c.max(), Some(6.0));
+    }
+
+    #[test]
+    fn scale_multiplies_quantiles() {
+        let c = cdf(&[10.0, 20.0, 30.0]);
+        let s = c.scale(0.9);
+        assert_eq!(s.quantile(0.5), Some(18.0));
+        assert_eq!(c.scale(0.0).max(), Some(0.0));
+    }
+
+    #[test]
+    fn merge_unions_samples() {
+        let a = cdf(&[1.0, 3.0]);
+        let b = cdf(&[2.0, 4.0]);
+        let m = a.merge(&b);
+        assert_eq!(m.samples(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn ks_distance_identical_is_zero() {
+        let a = cdf(&[1.0, 2.0, 3.0]);
+        assert_eq!(a.ks_distance(&a), 0.0);
+    }
+
+    #[test]
+    fn ks_distance_disjoint_is_one() {
+        let a = cdf(&[1.0, 2.0]);
+        let b = cdf(&[10.0, 20.0]);
+        assert!((a.ks_distance(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_distance_shifted() {
+        let a = cdf(&[1.0, 2.0, 3.0, 4.0]);
+        let b = cdf(&[2.0, 3.0, 4.0, 5.0]);
+        // At x=1: F1=0.25, F2=0 -> 0.25 is the sup.
+        assert!((a.ks_distance(&b) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prob_at_least_complements() {
+        let c = cdf(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((c.prob_at_least(2.5) - 0.5).abs() < 1e-12);
+    }
+}

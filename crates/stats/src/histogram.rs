@@ -1,0 +1,344 @@
+//! Streaming fixed-bin CDF approximation.
+//!
+//! PGOS consults the path CDF on every scheduling-vector rebuild and the
+//! monitoring module updates it once per measurement interval. An exact
+//! empirical CDF re-sorts on every update; for the fast path IQ-Paths
+//! keeps a fixed-bin histogram with exponential decay so that "providing
+//! guarantees does not imply sacrificing the bandwidths available to
+//! applications" (§1: low runtime overheads).
+
+use crate::BandwidthCdf;
+
+/// A fixed-bin histogram CDF with optional exponential forgetting.
+///
+/// The value domain `[lo, hi)` is divided into `bins` equal-width bins;
+/// samples outside the domain are clamped into the first/last bin. With a
+/// decay factor `γ < 1`, every insertion first scales all existing mass by
+/// `γ`, so the distribution tracks non-stationary paths (the "CDF changes
+/// dramatically" remap trigger still uses exact CDFs over recent windows).
+#[derive(Debug, Clone)]
+pub struct HistogramCdf {
+    lo: f64,
+    hi: f64,
+    counts: Vec<f64>,
+    /// Total decayed mass.
+    total: f64,
+    /// Number of raw insertions (undecayed), for `len()`.
+    inserted: usize,
+    decay: f64,
+    /// Decayed sum of samples (for mean()).
+    sum: f64,
+}
+
+impl HistogramCdf {
+    /// Creates a histogram over `[lo, hi)` with `bins` bins and no decay.
+    ///
+    /// # Panics
+    /// Panics if `hi <= lo`, `bins == 0`, or the bounds are not finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        Self::with_decay(lo, hi, bins, 1.0)
+    }
+
+    /// Creates a histogram with exponential forgetting factor `decay` in
+    /// `(0, 1]` applied on every insertion.
+    ///
+    /// # Panics
+    /// Panics on invalid bounds, zero bins, or `decay` outside `(0, 1]`.
+    pub fn with_decay(lo: f64, hi: f64, bins: usize, decay: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && hi > lo, "invalid bounds");
+        assert!(bins > 0, "need at least one bin");
+        assert!(decay > 0.0 && decay <= 1.0, "decay must be in (0, 1]");
+        Self {
+            lo,
+            hi,
+            counts: vec![0.0; bins],
+            total: 0.0,
+            inserted: 0,
+            decay,
+            sum: 0.0,
+        }
+    }
+
+    fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    fn bin_of(&self, x: f64) -> usize {
+        if x <= self.lo {
+            return 0;
+        }
+        let idx = ((x - self.lo) / self.bin_width()) as usize;
+        idx.min(self.counts.len() - 1)
+    }
+
+    /// Representative value (midpoint) of bin `i`.
+    fn bin_mid(&self, i: usize) -> f64 {
+        self.lo + (i as f64 + 0.5) * self.bin_width()
+    }
+
+    /// Records one sample. NaN samples are ignored.
+    pub fn insert(&mut self, x: f64) {
+        if x.is_nan() {
+            return;
+        }
+        if self.decay < 1.0 {
+            for c in &mut self.counts {
+                *c *= self.decay;
+            }
+            self.total *= self.decay;
+            self.sum *= self.decay;
+        }
+        let clamped = x.clamp(self.lo, self.hi);
+        let bin = self.bin_of(x);
+        self.counts[bin] += 1.0;
+        self.total += 1.0;
+        self.sum += clamped;
+        self.inserted += 1;
+    }
+
+    /// Bulk insert.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, xs: I) {
+        for x in xs {
+            self.insert(x);
+        }
+    }
+
+    /// Clears all mass.
+    pub fn reset(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0.0);
+        self.total = 0.0;
+        self.sum = 0.0;
+        self.inserted = 0;
+    }
+
+    /// Lower domain bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper domain bound.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+impl BandwidthCdf for HistogramCdf {
+    fn prob_below(&self, b: f64) -> f64 {
+        if self.total <= 0.0 {
+            return 0.0;
+        }
+        if b < self.lo {
+            return 0.0;
+        }
+        if b >= self.hi {
+            return 1.0;
+        }
+        // Mass of all fully-included bins plus a linear fraction of the
+        // bin containing b (treating in-bin mass as uniform).
+        let w = self.bin_width();
+        let pos = (b - self.lo) / w;
+        let full = pos.floor() as usize;
+        let frac = pos - full as f64;
+        let mut mass: f64 = self.counts[..full.min(self.counts.len())].iter().sum();
+        if full < self.counts.len() {
+            mass += self.counts[full] * frac;
+        }
+        (mass / self.total).clamp(0.0, 1.0)
+    }
+
+    fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total <= 0.0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.total;
+        let mut acc = 0.0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if acc + c >= target && c > 0.0 {
+                let frac = if c > 0.0 { (target - acc) / c } else { 0.0 };
+                let w = self.bin_width();
+                return Some(self.lo + (i as f64 + frac.clamp(0.0, 1.0)) * w);
+            }
+            acc += c;
+        }
+        Some(self.hi)
+    }
+
+    fn truncated_mean(&self, b0: f64) -> f64 {
+        if self.total <= 0.0 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        let w = self.bin_width();
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0.0 {
+                continue;
+            }
+            let lo_i = self.lo + i as f64 * w;
+            let hi_i = lo_i + w;
+            if b0 >= hi_i {
+                acc += c * self.bin_mid(i);
+            } else if b0 > lo_i {
+                // Partial bin: uniform-in-bin mass below b0 contributes the
+                // mean of [lo_i, b0] weighted by the included fraction.
+                let frac = (b0 - lo_i) / w;
+                acc += c * frac * (lo_i + b0) / 2.0;
+            }
+        }
+        acc / self.total
+    }
+
+    fn len(&self) -> usize {
+        self.inserted
+    }
+
+    fn mean(&self) -> f64 {
+        if self.total <= 0.0 {
+            0.0
+        } else {
+            self.sum / self.total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EmpiricalCdf;
+
+    #[test]
+    fn empty_histogram() {
+        let h = HistogramCdf::new(0.0, 100.0, 10);
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.prob_below(50.0), 0.0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_bounds_panic() {
+        let _ = HistogramCdf::new(1.0, 1.0, 4);
+    }
+
+    #[test]
+    fn prob_below_boundaries() {
+        let mut h = HistogramCdf::new(0.0, 10.0, 10);
+        h.extend([0.5, 1.5, 2.5, 3.5]);
+        assert_eq!(h.prob_below(-1.0), 0.0);
+        assert_eq!(h.prob_below(10.0), 1.0);
+        assert!((h.prob_below(2.0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_roundtrip_on_uniform_data() {
+        let mut h = HistogramCdf::new(0.0, 100.0, 100);
+        for i in 0..1000 {
+            h.insert((i % 100) as f64 + 0.5);
+        }
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9] {
+            let b = h.quantile(q).unwrap();
+            assert!(
+                (h.prob_below(b) - q).abs() < 0.02,
+                "q={q} b={b} F(b)={}",
+                h.prob_below(b)
+            );
+        }
+    }
+
+    #[test]
+    fn approximates_exact_cdf() {
+        // Compare against the exact empirical CDF on a bimodal sample.
+        let samples: Vec<f64> = (0..500)
+            .map(|i| if i % 2 == 0 { 20.0 + (i % 50) as f64 * 0.1 } else { 80.0 + (i % 30) as f64 * 0.1 })
+            .collect();
+        let exact = EmpiricalCdf::from_clean_samples(samples.clone());
+        let mut h = HistogramCdf::new(0.0, 100.0, 200);
+        h.extend(samples);
+        for b in [10.0, 25.0, 50.0, 82.0, 95.0] {
+            assert!(
+                (h.prob_below(b) - exact.prob_below(b)).abs() < 0.05,
+                "b={b}: hist={} exact={}",
+                h.prob_below(b),
+                exact.prob_below(b)
+            );
+        }
+        for q in [0.05, 0.5, 0.95] {
+            let hb = h.quantile(q).unwrap();
+            let eb = exact.quantile(q).unwrap();
+            assert!((hb - eb).abs() < 2.0, "q={q}: hist={hb} exact={eb}");
+        }
+    }
+
+    #[test]
+    fn clamps_out_of_domain_samples() {
+        let mut h = HistogramCdf::new(0.0, 10.0, 10);
+        h.insert(-5.0);
+        h.insert(50.0);
+        assert_eq!(h.len(), 2);
+        // The clamped low sample lands in bin [0, 1): fully counted by 1.0.
+        assert!((h.prob_below(1.0) - 0.5).abs() < 0.01);
+        assert_eq!(h.prob_below(10.0), 1.0);
+    }
+
+    #[test]
+    fn ignores_nan() {
+        let mut h = HistogramCdf::new(0.0, 10.0, 10);
+        h.insert(f64::NAN);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn decay_forgets_old_mode() {
+        let mut h = HistogramCdf::with_decay(0.0, 100.0, 100, 0.9);
+        for _ in 0..200 {
+            h.insert(20.0);
+        }
+        for _ in 0..50 {
+            h.insert(80.0);
+        }
+        // After 50 insertions at decay 0.9 the 20.0-mode has weight
+        // ~200*0.9^50 ≈ 1.0 vs fresh mass ~10; median must be near 80.
+        let med = h.quantile(0.5).unwrap();
+        assert!(med > 70.0, "median {med} should have moved to the new mode");
+    }
+
+    #[test]
+    fn truncated_mean_matches_exact_on_dense_bins() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let exact = EmpiricalCdf::from_clean_samples(samples.clone());
+        let mut h = HistogramCdf::new(0.0, 101.0, 1010);
+        h.extend(samples);
+        // Tolerance accounts for samples landing exactly on bin edges
+        // (uniform-in-bin smearing splits them around the edge).
+        for b0 in [10.05, 33.3, 50.05, 99.05] {
+            assert!(
+                (h.truncated_mean(b0) - exact.truncated_mean(b0)).abs() < 1.0,
+                "b0={b0}: hist={} exact={}",
+                h.truncated_mean(b0),
+                exact.truncated_mean(b0)
+            );
+        }
+    }
+
+    #[test]
+    fn mean_tracks_inserted_values() {
+        let mut h = HistogramCdf::new(0.0, 100.0, 10);
+        h.extend([10.0, 20.0, 30.0]);
+        assert!((h.mean() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut h = HistogramCdf::new(0.0, 10.0, 4);
+        h.insert(5.0);
+        h.reset();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), None);
+    }
+}

@@ -1,0 +1,279 @@
+//! Statistical (percentile) bandwidth prediction — §4 of the paper.
+//!
+//! "We first calculate the distribution of N (e.g., 500 and 1000)
+//! samples, where each sample is the bandwidth measured in 0.1 to 1
+//! second. Then, since we are particularly interested in whether a path
+//! can guarantee certain throughput for 90% of the time (or for 80%,
+//! 70%, etc), we find distribution D's 10th percentile as X (Mbps), and
+//! test whether the next n (n = 5 to 10) samples are larger than X. If
+//! they are, a successful prediction occurs, and if not, a prediction
+//! failure occurs."
+
+use crate::{BandwidthCdf, EmpiricalCdf, SampleWindow};
+
+/// The percentile predictor: tracks a rolling window of bandwidth
+/// samples and predicts that, with probability `guarantee`, the next
+/// interval's bandwidth will be at least the `(1 − guarantee)`-quantile
+/// of the window.
+#[derive(Debug, Clone)]
+pub struct PercentilePredictor {
+    window: SampleWindow,
+    guarantee: f64,
+    min_warmup: usize,
+}
+
+/// Outcome of checking a percentile prediction against the realized
+/// future samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictionOutcome {
+    /// All tested future samples met or exceeded the predicted floor.
+    Success,
+    /// At least one future sample fell below the predicted floor.
+    Failure,
+}
+
+impl PercentilePredictor {
+    /// Predictor keeping `n_samples` history, promising the bandwidth
+    /// floor holds with probability `guarantee` (e.g. 0.9 for the 10th
+    /// percentile floor).
+    ///
+    /// # Panics
+    /// Panics if `guarantee` is outside `(0, 1)` or `n_samples == 0`.
+    pub fn new(n_samples: usize, guarantee: f64) -> Self {
+        assert!(
+            guarantee > 0.0 && guarantee < 1.0,
+            "guarantee must be in (0, 1)"
+        );
+        Self {
+            window: SampleWindow::new(n_samples),
+            guarantee,
+            min_warmup: n_samples.div_ceil(10).max(10).min(n_samples),
+        }
+    }
+
+    /// Overrides the warm-up threshold (samples needed before the
+    /// predictor will produce floors).
+    pub fn with_warmup(mut self, min_warmup: usize) -> Self {
+        self.min_warmup = min_warmup.max(1);
+        self
+    }
+
+    /// Guarantee level `P0`.
+    pub fn guarantee(&self) -> f64 {
+        self.guarantee
+    }
+
+    /// Feeds a bandwidth measurement taken at time `at`.
+    pub fn observe(&mut self, at: f64, bandwidth: f64) {
+        self.window.push(at, bandwidth);
+    }
+
+    /// Number of samples currently in the window.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// True before any samples have been observed.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// The predicted bandwidth floor: the `(1 − guarantee)`-quantile of
+    /// the current window. `None` until warm-up completes.
+    pub fn floor(&self) -> Option<f64> {
+        if self.window.len() < self.min_warmup {
+            return None;
+        }
+        self.window.cdf().quantile(1.0 - self.guarantee)
+    }
+
+    /// Full CDF snapshot of the current window (for the scheduler's
+    /// guarantee computations).
+    pub fn cdf(&self) -> EmpiricalCdf {
+        self.window.cdf()
+    }
+
+    /// Tests a previously issued floor against realized samples, per the
+    /// paper's Figure 4 protocol: success iff **all** of the next `n`
+    /// samples are ≥ the floor.
+    pub fn check(floor: f64, future: &[f64]) -> PredictionOutcome {
+        if future.iter().all(|&b| b >= floor) {
+            PredictionOutcome::Success
+        } else {
+            PredictionOutcome::Failure
+        }
+    }
+}
+
+/// Result of running the Figure 4 evaluation protocol over a trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PercentileEvalReport {
+    /// Number of predictions issued.
+    pub predictions: usize,
+    /// Number that failed (some future sample below the floor).
+    pub failures: usize,
+}
+
+impl PercentileEvalReport {
+    /// failures / predictions, 0 when nothing was predicted.
+    pub fn failure_rate(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.failures as f64 / self.predictions as f64
+        }
+    }
+}
+
+/// Runs the paper's percentile-prediction evaluation over a bandwidth
+/// sample series: slide a window of `n_history` samples, issue the
+/// `(1−guarantee)`-quantile floor, and test it against the next
+/// `n_future` samples. The window then advances by `n_future` (each
+/// sample is used as "future" exactly once, as in the paper's protocol).
+pub fn evaluate_percentile_prediction(
+    series: &[f64],
+    n_history: usize,
+    n_future: usize,
+    guarantee: f64,
+) -> PercentileEvalReport {
+    assert!(n_history > 0 && n_future > 0);
+    let mut report = PercentileEvalReport::default();
+    if series.len() < n_history + n_future {
+        return report;
+    }
+    let mut start = 0;
+    while start + n_history + n_future <= series.len() {
+        let hist = &series[start..start + n_history];
+        let future = &series[start + n_history..start + n_history + n_future];
+        let cdf = EmpiricalCdf::from_clean_samples(hist.to_vec());
+        let floor = cdf
+            .quantile(1.0 - guarantee)
+            .expect("history window is non-empty");
+        report.predictions += 1;
+        if PercentilePredictor::check(floor, future) == PredictionOutcome::Failure {
+            report.failures += 1;
+        }
+        start += n_future;
+    }
+    report
+}
+
+/// Runs a mean predictor over a series and reports its mean relative
+/// error `|pred − actual| / actual` (the paper's Figure 4 y-axis for the
+/// MA/SMA/EWMA family). Actual values of exactly zero are skipped.
+pub fn evaluate_mean_prediction(series: &[f64], predictor: &mut dyn crate::Predictor) -> f64 {
+    let mut errs = Vec::new();
+    for &x in series {
+        if let Some(pred) = predictor.predict() {
+            if x != 0.0 {
+                errs.push(((pred - x) / x).abs());
+            }
+        }
+        predictor.observe(x);
+    }
+    if errs.is_empty() {
+        0.0
+    } else {
+        errs.iter().sum::<f64>() / errs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floor_is_lower_quantile() {
+        let mut p = PercentilePredictor::new(100, 0.9).with_warmup(10);
+        for i in 1..=100 {
+            p.observe(i as f64, i as f64);
+        }
+        // 10th percentile of 1..=100 is 10.
+        assert_eq!(p.floor(), Some(10.0));
+    }
+
+    #[test]
+    fn warmup_gates_floor() {
+        let mut p = PercentilePredictor::new(100, 0.9).with_warmup(50);
+        for i in 0..49 {
+            p.observe(i as f64, 10.0);
+        }
+        assert_eq!(p.floor(), None);
+        p.observe(49.0, 10.0);
+        assert!(p.floor().is_some());
+    }
+
+    #[test]
+    fn check_success_and_failure() {
+        assert_eq!(
+            PercentilePredictor::check(10.0, &[11.0, 12.0, 10.0]),
+            PredictionOutcome::Success
+        );
+        assert_eq!(
+            PercentilePredictor::check(10.0, &[11.0, 9.9]),
+            PredictionOutcome::Failure
+        );
+    }
+
+    #[test]
+    fn iid_series_has_expected_failure_rate() {
+        // For IID samples and a 10th-percentile floor, each future sample
+        // fails with prob ~0.1, so a 5-sample test fails with prob
+        // ~1-0.9^5 ≈ 0.41. Use a deterministic pseudo-uniform series.
+        let series: Vec<f64> = (0..5000)
+            .map(|i| ((i as u64).wrapping_mul(2654435761) % 1000) as f64)
+            .collect();
+        let report = evaluate_percentile_prediction(&series, 500, 5, 0.9);
+        assert!(report.predictions > 500);
+        let r = report.failure_rate();
+        assert!(r > 0.2 && r < 0.6, "failure rate {r} implausible for IID");
+    }
+
+    #[test]
+    fn stable_floor_series_never_fails() {
+        // With a guarantee so high the floor is the window minimum, a
+        // series that never dips below its historical minimum can never
+        // violate the floor.
+        let series: Vec<f64> = (0..2000).map(|i| 50.0 + (i % 17) as f64).collect();
+        let report = evaluate_percentile_prediction(&series, 500, 10, 0.999);
+        assert!(report.predictions > 0);
+        assert_eq!(report.failures, 0);
+    }
+
+    #[test]
+    fn short_series_yields_no_predictions() {
+        let report = evaluate_percentile_prediction(&[1.0; 10], 500, 5, 0.9);
+        assert_eq!(report.predictions, 0);
+        assert_eq!(report.failure_rate(), 0.0);
+    }
+
+    #[test]
+    fn mean_prediction_error_on_constant_series_is_zero() {
+        let series = vec![5.0; 100];
+        let mut p = crate::MovingAverage::new();
+        assert_eq!(evaluate_mean_prediction(&series, &mut p), 0.0);
+    }
+
+    #[test]
+    fn mean_prediction_error_on_alternating_series() {
+        // Series alternates 10, 20: SMA(2) always predicts 15 → relative
+        // error alternates 0.5 and 0.25 → mean 0.375.
+        let series: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 10.0 } else { 20.0 })
+            .collect();
+        let mut p = super::super::predictors::SlidingMean::new(2);
+        let err = evaluate_mean_prediction(&series, &mut p);
+        assert!((err - 0.375).abs() < 0.01, "err={err}");
+    }
+
+    #[test]
+    fn cdf_snapshot_consistent_with_floor() {
+        let mut p = PercentilePredictor::new(50, 0.8).with_warmup(10);
+        for i in 1..=50 {
+            p.observe(i as f64, i as f64 * 2.0);
+        }
+        let floor = p.floor().unwrap();
+        let cdf = p.cdf();
+        assert_eq!(cdf.quantile(0.2), Some(floor));
+    }
+}

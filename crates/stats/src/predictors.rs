@@ -1,0 +1,524 @@
+//! Classical mean-bandwidth predictors.
+//!
+//! These are the comparison points of the paper's Figure 4: "several
+//! widely used average bandwidth predictors (i.e., MA, EWMA and SMA)"
+//! which exhibit roughly 20% mean relative error on wide-area available
+//! bandwidth, versus < 4% failure rate for percentile prediction. AR(1)
+//! is included as the simplest representative of the ARMA/ARIMA family
+//! the paper cites from Zhang et al.
+
+/// A one-step-ahead point predictor of a scalar time series.
+pub trait Predictor {
+    /// Feeds the observation for the interval that just ended.
+    fn observe(&mut self, value: f64);
+
+    /// Predicts the value of the next interval, or `None` before the
+    /// predictor has warmed up.
+    fn predict(&self) -> Option<f64>;
+
+    /// Resets internal state.
+    fn reset(&mut self);
+
+    /// Short display name used in experiment output.
+    fn name(&self) -> &'static str;
+}
+
+/// Cumulative (running) mean of all observations — "MA" in the paper.
+#[derive(Debug, Clone, Default)]
+pub struct MovingAverage {
+    sum: f64,
+    n: u64,
+}
+
+impl MovingAverage {
+    /// New running-mean predictor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Predictor for MovingAverage {
+    fn observe(&mut self, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        self.sum += value;
+        self.n += 1;
+    }
+
+    fn predict(&self) -> Option<f64> {
+        (self.n > 0).then(|| self.sum / self.n as f64)
+    }
+
+    fn reset(&mut self) {
+        self.sum = 0.0;
+        self.n = 0;
+    }
+
+    fn name(&self) -> &'static str {
+        "MA"
+    }
+}
+
+/// Sliding-window mean over the last `k` observations — "SMA".
+#[derive(Debug, Clone)]
+pub struct SlidingMean {
+    buf: std::collections::VecDeque<f64>,
+    k: usize,
+    sum: f64,
+}
+
+impl SlidingMean {
+    /// Sliding mean over the last `k` samples.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "window must be positive");
+        Self {
+            buf: std::collections::VecDeque::with_capacity(k),
+            k,
+            sum: 0.0,
+        }
+    }
+}
+
+impl Predictor for SlidingMean {
+    fn observe(&mut self, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        if self.buf.len() == self.k {
+            self.sum -= self.buf.pop_front().expect("non-empty at capacity");
+        }
+        self.buf.push_back(value);
+        self.sum += value;
+    }
+
+    fn predict(&self) -> Option<f64> {
+        (!self.buf.is_empty()).then(|| self.sum / self.buf.len() as f64)
+    }
+
+    fn reset(&mut self) {
+        self.buf.clear();
+        self.sum = 0.0;
+    }
+
+    fn name(&self) -> &'static str {
+        "SMA"
+    }
+}
+
+/// Sliding-window median over the last `k` observations.
+///
+/// Robust point predictor included for the ablation study; not in the
+/// paper's predictor set but a common alternative.
+#[derive(Debug, Clone)]
+pub struct SlidingMedian {
+    buf: std::collections::VecDeque<f64>,
+    k: usize,
+}
+
+impl SlidingMedian {
+    /// Sliding median over the last `k` samples.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "window must be positive");
+        Self {
+            buf: std::collections::VecDeque::with_capacity(k),
+            k,
+        }
+    }
+}
+
+impl Predictor for SlidingMedian {
+    fn observe(&mut self, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        if self.buf.len() == self.k {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(value);
+    }
+
+    fn predict(&self) -> Option<f64> {
+        if self.buf.is_empty() {
+            return None;
+        }
+        let mut v: Vec<f64> = self.buf.iter().copied().collect();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs stored"));
+        let n = v.len();
+        Some(if n % 2 == 1 {
+            v[n / 2]
+        } else {
+            (v[n / 2 - 1] + v[n / 2]) / 2.0
+        })
+    }
+
+    fn reset(&mut self) {
+        self.buf.clear();
+    }
+
+    fn name(&self) -> &'static str {
+        "SMED"
+    }
+}
+
+/// Exponentially weighted moving average — "EWMA".
+#[derive(Debug, Clone)]
+pub struct Ewma {
+    alpha: f64,
+    state: Option<f64>,
+}
+
+impl Ewma {
+    /// EWMA with smoothing factor `alpha` in `(0, 1]` (weight of the new
+    /// observation).
+    ///
+    /// # Panics
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Self { alpha, state: None }
+    }
+}
+
+impl Predictor for Ewma {
+    fn observe(&mut self, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        self.state = Some(match self.state {
+            None => value,
+            Some(s) => self.alpha * value + (1.0 - self.alpha) * s,
+        });
+    }
+
+    fn predict(&self) -> Option<f64> {
+        self.state
+    }
+
+    fn reset(&mut self) {
+        self.state = None;
+    }
+
+    fn name(&self) -> &'static str {
+        "EWMA"
+    }
+}
+
+/// First-order autoregressive predictor with online least-squares fit.
+///
+/// Fits `x[t+1] = c + φ·x[t]` by exponentially-weighted recursive least
+/// squares; the simplest member of the AR/ARMA family referenced by the
+/// paper ("predictors like MA, AR, or more elaborate methods like ARMA
+/// and ARIMA").
+#[derive(Debug, Clone)]
+pub struct ArOne {
+    /// Forgetting factor for the online moment estimates.
+    lambda: f64,
+    // Exponentially weighted moments of (x_prev, x_next) pairs.
+    n: f64,
+    sx: f64,
+    sy: f64,
+    sxx: f64,
+    sxy: f64,
+    prev: Option<f64>,
+}
+
+impl ArOne {
+    /// AR(1) with moment-forgetting factor `lambda` in `(0, 1]`
+    /// (1.0 = equally weighted / no forgetting).
+    ///
+    /// # Panics
+    /// Panics if `lambda` is outside `(0, 1]`.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda > 0.0 && lambda <= 1.0, "lambda must be in (0, 1]");
+        Self {
+            lambda,
+            n: 0.0,
+            sx: 0.0,
+            sy: 0.0,
+            sxx: 0.0,
+            sxy: 0.0,
+            prev: None,
+        }
+    }
+
+    /// Current `(c, φ)` estimate, if identifiable.
+    pub fn coefficients(&self) -> Option<(f64, f64)> {
+        if self.n < 2.0 {
+            return None;
+        }
+        let var = self.sxx - self.sx * self.sx / self.n;
+        if var.abs() < 1e-12 {
+            // Degenerate (constant) series: predict the mean.
+            return Some((self.sy / self.n, 0.0));
+        }
+        let cov = self.sxy - self.sx * self.sy / self.n;
+        let phi = cov / var;
+        let c = (self.sy - phi * self.sx) / self.n;
+        Some((c, phi))
+    }
+}
+
+impl Predictor for ArOne {
+    fn observe(&mut self, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        if let Some(p) = self.prev {
+            self.n = self.lambda * self.n + 1.0;
+            self.sx = self.lambda * self.sx + p;
+            self.sy = self.lambda * self.sy + value;
+            self.sxx = self.lambda * self.sxx + p * p;
+            self.sxy = self.lambda * self.sxy + p * value;
+        }
+        self.prev = Some(value);
+    }
+
+    fn predict(&self) -> Option<f64> {
+        let (c, phi) = self.coefficients()?;
+        let prev = self.prev?;
+        Some(c + phi * prev)
+    }
+
+    fn reset(&mut self) {
+        *self = Self::new(self.lambda);
+    }
+
+    fn name(&self) -> &'static str {
+        "AR1"
+    }
+}
+
+/// Holt's linear (double-exponential) smoothing: tracks level and
+/// trend, predicting `level + trend`. Included as the trend-aware
+/// member of the mean-predictor family (useful against ramping loads,
+/// pointless against IID noise — which is the paper's point).
+#[derive(Debug, Clone)]
+pub struct HoltLinear {
+    alpha: f64,
+    beta: f64,
+    level: Option<f64>,
+    trend: f64,
+}
+
+impl HoltLinear {
+    /// Holt smoothing with level factor `alpha` and trend factor `beta`,
+    /// both in `(0, 1]`.
+    ///
+    /// # Panics
+    /// Panics on out-of-range factors.
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha in (0, 1]");
+        assert!(beta > 0.0 && beta <= 1.0, "beta in (0, 1]");
+        Self {
+            alpha,
+            beta,
+            level: None,
+            trend: 0.0,
+        }
+    }
+}
+
+impl Predictor for HoltLinear {
+    fn observe(&mut self, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        match self.level {
+            None => {
+                self.level = Some(value);
+                self.trend = 0.0;
+            }
+            Some(prev_level) => {
+                let level = self.alpha * value + (1.0 - self.alpha) * (prev_level + self.trend);
+                self.trend = self.beta * (level - prev_level) + (1.0 - self.beta) * self.trend;
+                self.level = Some(level);
+            }
+        }
+    }
+
+    fn predict(&self) -> Option<f64> {
+        self.level.map(|l| l + self.trend)
+    }
+
+    fn reset(&mut self) {
+        self.level = None;
+        self.trend = 0.0;
+    }
+
+    fn name(&self) -> &'static str {
+        "HOLT"
+    }
+}
+
+/// Builds the paper's Figure 4 predictor suite with standard parameters.
+pub fn standard_suite(sma_window: usize) -> Vec<Box<dyn Predictor>> {
+    vec![
+        Box::new(MovingAverage::new()),
+        Box::new(SlidingMean::new(sma_window)),
+        Box::new(Ewma::new(0.3)),
+        Box::new(ArOne::new(0.99)),
+    ]
+}
+
+/// The extended suite: the standard four plus Holt linear smoothing and
+/// the sliding median.
+pub fn extended_suite(sma_window: usize) -> Vec<Box<dyn Predictor>> {
+    let mut suite = standard_suite(sma_window);
+    suite.push(Box::new(HoltLinear::new(0.3, 0.1)));
+    suite.push(Box::new(SlidingMedian::new(sma_window)));
+    suite
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ma_is_running_mean() {
+        let mut p = MovingAverage::new();
+        assert_eq!(p.predict(), None);
+        p.observe(1.0);
+        p.observe(3.0);
+        assert_eq!(p.predict(), Some(2.0));
+    }
+
+    #[test]
+    fn sma_window_slides() {
+        let mut p = SlidingMean::new(2);
+        p.observe(1.0);
+        p.observe(3.0);
+        p.observe(5.0);
+        assert_eq!(p.predict(), Some(4.0));
+    }
+
+    #[test]
+    fn sliding_median_odd_even() {
+        let mut p = SlidingMedian::new(3);
+        p.observe(5.0);
+        p.observe(1.0);
+        assert_eq!(p.predict(), Some(3.0));
+        p.observe(9.0);
+        assert_eq!(p.predict(), Some(5.0));
+    }
+
+    #[test]
+    fn ewma_converges_to_constant() {
+        let mut p = Ewma::new(0.5);
+        for _ in 0..64 {
+            p.observe(7.0);
+        }
+        assert!((p.predict().unwrap() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ewma_first_value_seeds_state() {
+        let mut p = Ewma::new(0.1);
+        p.observe(10.0);
+        assert_eq!(p.predict(), Some(10.0));
+    }
+
+    #[test]
+    fn ar1_learns_linear_recurrence() {
+        // x[t+1] = 2 + 0.5 x[t], fixed point 4.
+        let mut p = ArOne::new(1.0);
+        let mut x = 10.0;
+        for _ in 0..200 {
+            p.observe(x);
+            x = 2.0 + 0.5 * x;
+        }
+        // Once near the fixed point the series is ~constant; the predictor
+        // must predict the fixed point.
+        assert!((p.predict().unwrap() - 4.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn ar1_exact_fit_on_clean_ar_series() {
+        let mut p = ArOne::new(1.0);
+        // Use a non-degenerate oscillating series: x[t+1] = 1 + (-0.8)x[t]
+        let mut x = 3.0;
+        for _ in 0..50 {
+            p.observe(x);
+            x = 1.0 - 0.8 * x;
+        }
+        let (c, phi) = p.coefficients().unwrap();
+        assert!((c - 1.0).abs() < 1e-6, "c={c}");
+        assert!((phi + 0.8).abs() < 1e-6, "phi={phi}");
+    }
+
+    #[test]
+    fn ar1_degenerate_constant_series() {
+        let mut p = ArOne::new(1.0);
+        for _ in 0..10 {
+            p.observe(5.0);
+        }
+        assert!((p.predict().unwrap() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_restores_cold_state() {
+        let mut p = Ewma::new(0.2);
+        p.observe(1.0);
+        p.reset();
+        assert_eq!(p.predict(), None);
+
+        let mut a = ArOne::new(0.9);
+        a.observe(1.0);
+        a.observe(2.0);
+        a.reset();
+        assert_eq!(a.predict(), None);
+    }
+
+    #[test]
+    fn nan_observations_ignored_by_all() {
+        let mut suite = standard_suite(8);
+        for p in &mut suite {
+            p.observe(f64::NAN);
+            assert_eq!(p.predict(), None, "{} accepted NaN", p.name());
+        }
+    }
+
+    #[test]
+    fn standard_suite_names() {
+        let names: Vec<&str> = standard_suite(8).iter().map(|p| p.name()).collect();
+        assert_eq!(names, vec!["MA", "SMA", "EWMA", "AR1"]);
+        let ext: Vec<&str> = extended_suite(8).iter().map(|p| p.name()).collect();
+        assert_eq!(ext, vec!["MA", "SMA", "EWMA", "AR1", "HOLT", "SMED"]);
+    }
+
+    #[test]
+    fn holt_tracks_a_linear_ramp() {
+        let mut h = HoltLinear::new(0.5, 0.5);
+        for k in 0..200 {
+            h.observe(10.0 + 2.0 * k as f64);
+        }
+        // Next value would be 10 + 2·200 = 410; Holt must be close.
+        let pred = h.predict().unwrap();
+        assert!((pred - 410.0).abs() < 2.0, "pred {pred}");
+    }
+
+    #[test]
+    fn holt_first_observation_seeds_level() {
+        let mut h = HoltLinear::new(0.3, 0.1);
+        assert_eq!(h.predict(), None);
+        h.observe(7.0);
+        assert_eq!(h.predict(), Some(7.0));
+        h.reset();
+        assert_eq!(h.predict(), None);
+    }
+
+    #[test]
+    fn holt_converges_on_constant_series() {
+        let mut h = HoltLinear::new(0.3, 0.1);
+        for _ in 0..300 {
+            h.observe(42.0);
+        }
+        assert!((h.predict().unwrap() - 42.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,206 @@
+//! Time-stamped rolling sample windows.
+//!
+//! The monitoring module measures achieved/available bandwidth once per
+//! measurement interval (0.1–1 s in the paper) and keeps "the last N
+//! (e.g., 500 and 1000) samples" (§4). `SampleWindow` is that buffer:
+//! bounded by count and optionally by age.
+
+use crate::EmpiricalCdf;
+
+/// One time-stamped measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Measurement time in seconds (virtual time in the simulator).
+    pub at: f64,
+    /// Measured value (bandwidth in bits/s in the experiments).
+    pub value: f64,
+}
+
+/// A bounded rolling window of time-stamped samples.
+///
+/// The window is bounded by a maximum sample count and, optionally, a
+/// maximum age: samples older than `max_age` seconds relative to the most
+/// recent insertion are evicted lazily on the next push.
+#[derive(Debug, Clone)]
+pub struct SampleWindow {
+    samples: std::collections::VecDeque<Sample>,
+    capacity: usize,
+    max_age: Option<f64>,
+}
+
+impl SampleWindow {
+    /// A window holding at most `capacity` samples.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        Self {
+            samples: std::collections::VecDeque::with_capacity(capacity),
+            capacity,
+            max_age: None,
+        }
+    }
+
+    /// Additionally evicts samples older than `max_age` seconds.
+    ///
+    /// # Panics
+    /// Panics if `max_age` is not strictly positive.
+    pub fn with_max_age(capacity: usize, max_age: f64) -> Self {
+        assert!(max_age > 0.0, "max_age must be positive");
+        let mut w = Self::new(capacity);
+        w.max_age = Some(max_age);
+        w
+    }
+
+    /// Records a sample taken at time `at`. Non-monotone timestamps are
+    /// accepted (measurements can arrive out of order from multiple
+    /// probes) but age-based eviction uses the max seen timestamp.
+    pub fn push(&mut self, at: f64, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        if self.samples.len() == self.capacity {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(Sample { at, value });
+        if let Some(age) = self.max_age {
+            let newest = self
+                .samples
+                .iter()
+                .map(|s| s.at)
+                .fold(f64::NEG_INFINITY, f64::max);
+            let cutoff = newest - age;
+            while self.samples.front().is_some_and(|s| s.at < cutoff) {
+                self.samples.pop_front();
+            }
+        }
+    }
+
+    /// Number of samples currently held.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples are held.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Maximum number of samples retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Iterates samples oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &Sample> {
+        self.samples.iter()
+    }
+
+    /// Values oldest → newest.
+    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.samples.iter().map(|s| s.value)
+    }
+
+    /// Most recent sample.
+    pub fn last(&self) -> Option<Sample> {
+        self.samples.back().copied()
+    }
+
+    /// Mean of the current window (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.values().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Builds the exact empirical CDF of the current window.
+    pub fn cdf(&self) -> EmpiricalCdf {
+        EmpiricalCdf::from_clean_samples(self.values().collect())
+    }
+
+    /// Drops all samples.
+    pub fn clear(&mut self) {
+        self.samples.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BandwidthCdf;
+
+    #[test]
+    fn respects_capacity() {
+        let mut w = SampleWindow::new(3);
+        for i in 0..10 {
+            w.push(i as f64, i as f64);
+        }
+        assert_eq!(w.len(), 3);
+        let vals: Vec<f64> = w.values().collect();
+        assert_eq!(vals, vec![7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_panics() {
+        let _ = SampleWindow::new(0);
+    }
+
+    #[test]
+    fn age_eviction() {
+        let mut w = SampleWindow::with_max_age(100, 5.0);
+        w.push(0.0, 1.0);
+        w.push(1.0, 2.0);
+        w.push(10.0, 3.0); // cutoff = 5.0 → evicts t=0 and t=1
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.last().unwrap().value, 3.0);
+    }
+
+    #[test]
+    fn age_eviction_keeps_recent() {
+        let mut w = SampleWindow::with_max_age(100, 5.0);
+        for t in 0..10 {
+            w.push(t as f64, t as f64);
+        }
+        // newest = 9, cutoff = 4 → keeps t in [4, 9]
+        assert_eq!(w.len(), 6);
+    }
+
+    #[test]
+    fn nan_values_ignored() {
+        let mut w = SampleWindow::new(4);
+        w.push(0.0, f64::NAN);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn mean_and_cdf() {
+        let mut w = SampleWindow::new(8);
+        for (t, v) in [(0.0, 10.0), (1.0, 20.0), (2.0, 30.0)] {
+            w.push(t, v);
+        }
+        assert!((w.mean() - 20.0).abs() < 1e-12);
+        let c = w.cdf();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.quantile(0.5), Some(20.0));
+    }
+
+    #[test]
+    fn clear_empties_window() {
+        let mut w = SampleWindow::new(4);
+        w.push(0.0, 1.0);
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.mean(), 0.0);
+    }
+
+    #[test]
+    fn out_of_order_timestamps_accepted() {
+        let mut w = SampleWindow::new(4);
+        w.push(5.0, 1.0);
+        w.push(3.0, 2.0);
+        assert_eq!(w.len(), 2);
+    }
+}

@@ -1,0 +1,89 @@
+//! Constant-bit-rate and periodically modulated sources.
+//!
+//! CBR traffic models the paper's application-side streams (e.g. the
+//! SmartPointer Atom stream at 3.249 Mbps) and, with square/sine
+//! modulation, provides controlled "congestion episode" cross traffic
+//! for targeted scheduler tests.
+
+use crate::RateTrace;
+
+/// A constant-bit-rate trace.
+pub fn constant(rate: f64, epoch: f64, duration: f64) -> RateTrace {
+    RateTrace::constant(epoch, rate, duration)
+}
+
+/// A square-wave trace alternating between `low` and `high` every
+/// `period/2` seconds (starts at `low`).
+///
+/// # Panics
+/// Panics on non-positive epoch, duration, or period.
+pub fn square_wave(low: f64, high: f64, period: f64, epoch: f64, duration: f64) -> RateTrace {
+    assert!(epoch > 0.0 && duration > 0.0 && period > 0.0);
+    let n = (duration / epoch).ceil() as usize;
+    let rates = (0..n)
+        .map(|i| {
+            let t = i as f64 * epoch;
+            let phase = (t % period) / period;
+            if phase < 0.5 {
+                low
+            } else {
+                high
+            }
+        })
+        .collect();
+    RateTrace::new(epoch, rates)
+}
+
+/// A raised-sine trace oscillating in `[base − amplitude, base +
+/// amplitude]` with the given period. Rates are floored at zero.
+///
+/// # Panics
+/// Panics on non-positive epoch, duration, or period, or negative
+/// amplitude.
+pub fn sine(base: f64, amplitude: f64, period: f64, epoch: f64, duration: f64) -> RateTrace {
+    assert!(epoch > 0.0 && duration > 0.0 && period > 0.0 && amplitude >= 0.0);
+    let n = (duration / epoch).ceil() as usize;
+    let rates = (0..n)
+        .map(|i| {
+            let t = i as f64 * epoch;
+            (base + amplitude * (2.0 * std::f64::consts::PI * t / period).sin()).max(0.0)
+        })
+        .collect();
+    RateTrace::new(epoch, rates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_flat() {
+        let t = constant(5.0, 0.5, 3.0);
+        assert!(t.rates().iter().all(|&r| r == 5.0));
+    }
+
+    #[test]
+    fn square_wave_alternates() {
+        let t = square_wave(1.0, 9.0, 2.0, 0.5, 4.0);
+        assert_eq!(t.rates(), &[1.0, 1.0, 9.0, 9.0, 1.0, 1.0, 9.0, 9.0]);
+    }
+
+    #[test]
+    fn square_wave_mean() {
+        let t = square_wave(0.0, 10.0, 2.0, 0.1, 100.0);
+        assert!((t.mean() - 5.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn sine_stays_in_band_and_floors_at_zero() {
+        let t = sine(3.0, 5.0, 10.0, 0.1, 20.0);
+        assert!(t.rates().iter().all(|&r| (0.0..=8.0 + 1e-9).contains(&r)));
+        assert!(t.rates().contains(&0.0), "negative part must clip");
+    }
+
+    #[test]
+    fn sine_mean_near_base_when_unclipped() {
+        let t = sine(10.0, 2.0, 5.0, 0.1, 50.0);
+        assert!((t.mean() - 10.0).abs() < 0.2);
+    }
+}

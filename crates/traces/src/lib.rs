@@ -1,0 +1,40 @@
+//! # iqpaths-traces — workload and cross-traffic substrate
+//!
+//! The paper drives its Emulab testbed with cross-traffic replayed from
+//! NLANR IP-header traces (Abilene / Auckland) and evaluates predictors
+//! on "more than 8GB of IP header trace files" (§4). Those traces are not
+//! redistributable, so this crate synthesizes traffic with the two
+//! statistical properties the paper's results depend on:
+//!
+//! 1. **Large short-timescale IID variation** — available bandwidth
+//!    measured at 0.1–1 s granularity looks like heavy noise, which is
+//!    what defeats mean predictors (Figure 4's ≈20% error).
+//! 2. **Slowly drifting distribution** — the *distribution* of bandwidth
+//!    is stable over minutes (Zhang et al.'s "constancy" observation),
+//!    which is what makes percentile prediction work (<4% failures).
+//!
+//! Generators: aggregated Pareto [`onoff`] sources (self-similar burst
+//! structure), [`poisson`] and [`cbr`] sources, and [`regime`]-switching
+//! level processes. [`nlanr::nlanr_like`] composes them into the traces
+//! used by the experiment harnesses. Real traces can be imported via
+//! [`trace::RateTrace::from_csv`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cbr;
+pub mod envelope;
+pub mod nlanr;
+pub mod onoff;
+pub mod poisson;
+pub mod regime;
+pub mod trace;
+
+pub use trace::RateTrace;
+
+/// Convenience: megabits/second → bits/second.
+pub const MBPS: f64 = 1_000_000.0;
+
+/// The link capacity used throughout the paper's testbed ("All link
+/// capacities are 100Mbps, which is the current up-limit of Emulab").
+pub const EMULAB_LINK_CAPACITY: f64 = 100.0 * MBPS;

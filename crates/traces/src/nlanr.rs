@@ -1,0 +1,203 @@
+//! The composite "NLANR-like" cross-traffic generator.
+//!
+//! The paper injects "representative cross-traffic" from NLANR traces
+//! into its Emulab testbed (§6) and evaluates predictors on Abilene /
+//! Auckland header traces (§4). This module composes the primitive
+//! generators into traffic with the same macroscopic features:
+//!
+//! * a self-similar bursty component (aggregated Pareto on/off),
+//! * a memoryless packet-noise component (Poisson),
+//! * slow regime drift of the total load level,
+//!
+//! scaled to a target mean utilization of a given link capacity.
+
+use crate::onoff::{self, OnOffConfig};
+use crate::poisson::{self, PoissonConfig};
+use crate::regime::{self, RegimeConfig};
+use crate::RateTrace;
+
+/// Configuration of the composite generator.
+#[derive(Debug, Clone, Copy)]
+pub struct NlanrLikeConfig {
+    /// Link capacity the traffic is destined for (bits/s); the trace is
+    /// clamped below this.
+    pub capacity: f64,
+    /// Target long-run mean utilization of the capacity, in `(0, 1)`.
+    pub mean_utilization: f64,
+    /// Fraction of the load carried by the bursty on/off component (the
+    /// rest is Poisson); in `[0, 1]`.
+    pub burst_fraction: f64,
+    /// Enable slow regime drift of the load level.
+    pub regime_drift: bool,
+    /// Mean regime duration when drifting (seconds).
+    pub mean_regime_len: f64,
+}
+
+impl Default for NlanrLikeConfig {
+    fn default() -> Self {
+        Self {
+            capacity: crate::EMULAB_LINK_CAPACITY,
+            mean_utilization: 0.5,
+            burst_fraction: 0.6,
+            regime_drift: true,
+            mean_regime_len: 60.0,
+        }
+    }
+}
+
+/// Generates a composite NLANR-like cross-traffic [`RateTrace`].
+///
+/// # Panics
+/// Panics on invalid utilization/fraction or non-positive epoch/duration.
+pub fn nlanr_like(cfg: &NlanrLikeConfig, epoch: f64, duration: f64, seed: u64) -> RateTrace {
+    assert!(epoch > 0.0 && duration > 0.0);
+    assert!(
+        cfg.mean_utilization > 0.0 && cfg.mean_utilization < 1.0,
+        "utilization must be in (0, 1)"
+    );
+    assert!((0.0..=1.0).contains(&cfg.burst_fraction));
+
+    let target_mean = cfg.capacity * cfg.mean_utilization;
+    let burst_mean = target_mean * cfg.burst_fraction;
+    let poisson_mean = target_mean - burst_mean;
+
+    // Size the on/off aggregate: many small sources whose theoretical
+    // mean hits burst_mean.
+    let sources = 48;
+    let on_cfg = OnOffConfig {
+        sources,
+        on_rate: 1.0, // placeholder, rescaled below
+        alpha_on: 1.4,
+        alpha_off: 1.6,
+        min_on: 0.15,
+        min_off: 0.35,
+    };
+    let per_source_on_rate = burst_mean / (sources as f64 * on_cfg.duty_cycle());
+    let on_cfg = OnOffConfig {
+        on_rate: per_source_on_rate,
+        ..on_cfg
+    };
+
+    let mut total = onoff::generate(&on_cfg, epoch, duration, seed);
+    if poisson_mean > 0.0 {
+        let p_cfg = PoissonConfig {
+            mean_rate: poisson_mean,
+            packet_bytes: 1000.0,
+        };
+        total = total.add(&poisson::generate(&p_cfg, epoch, duration, seed ^ 0x9e37_79b9));
+    }
+
+    if cfg.regime_drift {
+        // Multiplicative drift factor in [0.6, 1.4] with slow switches.
+        let drift_cfg = RegimeConfig {
+            level_range: (0.6, 1.4),
+            mean_regime_len: cfg.mean_regime_len,
+            noise_frac: 0.0,
+            fade_prob: 0.0,
+            fade_depth: 1.0,
+        };
+        let drift = regime::generate(&drift_cfg, epoch, duration, seed ^ 0x51f1_5ead);
+        let rates = total
+            .rates()
+            .iter()
+            .zip(drift.rates())
+            .map(|(r, d)| r * d)
+            .collect();
+        total = RateTrace::new(epoch, rates);
+    }
+
+    total.clamp_to(cfg.capacity)
+}
+
+/// Generates the pair of cross-traffic traces for the two bottleneck
+/// links of the paper's Figure 8 testbed. Path A's bottleneck carries
+/// lighter, steadier load (the "higher available bandwidth" path); path
+/// B's bottleneck is more heavily and noisily loaded ("larger variance").
+pub fn figure8_cross_traffic(epoch: f64, duration: f64, seed: u64) -> (RateTrace, RateTrace) {
+    let path_a = nlanr_like(
+        &NlanrLikeConfig {
+            mean_utilization: 0.45,
+            burst_fraction: 0.5,
+            mean_regime_len: 60.0,
+            ..Default::default()
+        },
+        epoch,
+        duration,
+        seed,
+    );
+    let path_b = nlanr_like(
+        &NlanrLikeConfig {
+            mean_utilization: 0.60,
+            burst_fraction: 0.75,
+            mean_regime_len: 30.0,
+            ..Default::default()
+        },
+        epoch,
+        duration,
+        seed ^ 0xdead_beef,
+    );
+    (path_a, path_b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iqpaths_stats::timeseries::SeriesSummary;
+
+    #[test]
+    fn respects_capacity() {
+        let cfg = NlanrLikeConfig::default();
+        let t = nlanr_like(&cfg, 0.1, 120.0, 1);
+        assert!(t.rates().iter().all(|&r| r <= cfg.capacity));
+    }
+
+    #[test]
+    fn mean_near_target() {
+        let cfg = NlanrLikeConfig {
+            regime_drift: false,
+            ..Default::default()
+        };
+        let t = nlanr_like(&cfg, 0.1, 600.0, 2);
+        let target = cfg.capacity * cfg.mean_utilization;
+        let rel = (t.mean() - target).abs() / target;
+        assert!(rel < 0.25, "mean {} vs target {target}", t.mean());
+    }
+
+    #[test]
+    fn bursty_and_noisy() {
+        let t = nlanr_like(&NlanrLikeConfig::default(), 0.1, 300.0, 3);
+        let s = SeriesSummary::of(t.rates()).unwrap();
+        assert!(s.cov > 0.15, "cov {} — NLANR-like traffic must be noisy", s.cov);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = NlanrLikeConfig::default();
+        assert_eq!(nlanr_like(&cfg, 0.1, 20.0, 7), nlanr_like(&cfg, 0.1, 20.0, 7));
+    }
+
+    #[test]
+    fn figure8_path_a_lighter_than_path_b() {
+        let (a, b) = figure8_cross_traffic(0.1, 300.0, 11);
+        assert!(
+            a.mean() < b.mean(),
+            "path A cross traffic ({}) must be lighter than B ({})",
+            a.mean(),
+            b.mean()
+        );
+    }
+
+    #[test]
+    fn figure8_path_b_noisier_residual() {
+        let (a, b) = figure8_cross_traffic(0.1, 300.0, 13);
+        let cap = crate::EMULAB_LINK_CAPACITY;
+        let ra = SeriesSummary::of(a.residual(cap, 0.0).rates()).unwrap();
+        let rb = SeriesSummary::of(b.residual(cap, 0.0).rates()).unwrap();
+        assert!(
+            rb.cov > ra.cov,
+            "path B residual cov {} must exceed path A {}",
+            rb.cov,
+            ra.cov
+        );
+    }
+}

@@ -1,0 +1,213 @@
+//! Aggregated Pareto on/off traffic sources.
+//!
+//! The superposition of many on/off sources whose on- and off-period
+//! lengths are heavy-tailed (Pareto with 1 < α < 2) is the classical
+//! model of self-similar network traffic (Willinger et al.), and is what
+//! NLANR backbone traces look like at sub-second timescales: strong
+//! burstiness at every scale with a stable aggregate distribution —
+//! exactly the regime in which the paper's percentile predictor wins.
+
+use crate::RateTrace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of one aggregated on/off cross-traffic generator.
+#[derive(Debug, Clone, Copy)]
+pub struct OnOffConfig {
+    /// Number of independent on/off sources to superpose.
+    pub sources: usize,
+    /// Rate of one source while "on", bits/s.
+    pub on_rate: f64,
+    /// Pareto shape for on-period durations (1 < α ≤ 2 gives LRD).
+    pub alpha_on: f64,
+    /// Pareto shape for off-period durations.
+    pub alpha_off: f64,
+    /// Minimum (scale) on-period duration, seconds.
+    pub min_on: f64,
+    /// Minimum (scale) off-period duration, seconds.
+    pub min_off: f64,
+}
+
+impl Default for OnOffConfig {
+    fn default() -> Self {
+        Self {
+            sources: 32,
+            on_rate: 2.0 * crate::MBPS,
+            alpha_on: 1.5,
+            alpha_off: 1.5,
+            min_on: 0.2,
+            min_off: 0.4,
+        }
+    }
+}
+
+impl OnOffConfig {
+    /// Long-run mean fraction of time a source spends "on".
+    ///
+    /// For Pareto(α, m) the mean duration is `m·α/(α−1)` (α > 1).
+    pub fn duty_cycle(&self) -> f64 {
+        let mean_on = pareto_mean(self.alpha_on, self.min_on);
+        let mean_off = pareto_mean(self.alpha_off, self.min_off);
+        mean_on / (mean_on + mean_off)
+    }
+
+    /// Long-run mean aggregate rate in bits/s.
+    pub fn mean_rate(&self) -> f64 {
+        self.sources as f64 * self.on_rate * self.duty_cycle()
+    }
+}
+
+fn pareto_mean(alpha: f64, scale: f64) -> f64 {
+    assert!(alpha > 1.0, "Pareto mean requires alpha > 1");
+    scale * alpha / (alpha - 1.0)
+}
+
+/// Draws a Pareto(α, scale) variate by inverse-CDF sampling.
+fn pareto(rng: &mut StdRng, alpha: f64, scale: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    scale / u.powf(1.0 / alpha)
+}
+
+/// Generates an aggregated on/off [`RateTrace`].
+///
+/// Each of `cfg.sources` sources alternates on/off with heavy-tailed
+/// period lengths; per-epoch rate is the exact time-average of each
+/// source's on-fraction within the epoch times `on_rate`.
+///
+/// # Panics
+/// Panics on non-positive epoch/duration, zero sources, or Pareto
+/// shapes ≤ 1 (infinite-mean periods would never mix).
+pub fn generate(cfg: &OnOffConfig, epoch: f64, duration: f64, seed: u64) -> RateTrace {
+    assert!(epoch > 0.0 && duration > 0.0);
+    assert!(cfg.sources > 0, "need at least one source");
+    assert!(cfg.alpha_on > 1.0 && cfg.alpha_off > 1.0);
+    let n = (duration / epoch).ceil() as usize;
+    let mut agg = vec![0.0f64; n];
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    for _ in 0..cfg.sources {
+        // Random initial phase: start "on" with the stationary duty cycle.
+        let mut on = rng.gen_bool(cfg.duty_cycle().clamp(0.001, 0.999));
+        let mut t = 0.0;
+        while t < duration {
+            let period = if on {
+                pareto(&mut rng, cfg.alpha_on, cfg.min_on)
+            } else {
+                pareto(&mut rng, cfg.alpha_off, cfg.min_off)
+            };
+            let end = (t + period).min(duration);
+            if on {
+                // Spread `on_rate` over the epoch bins overlapping
+                // [t, end). Iterate bin *indices* rather than stepping a
+                // float cursor: `k * epoch` can round back onto the
+                // cursor and stall an s += loop.
+                let first = ((t / epoch) as usize).min(n - 1);
+                let last = (((end / epoch).ceil() as usize).max(first + 1)).min(n);
+                #[allow(clippy::needless_range_loop)]
+                for idx in first..last {
+                    let bin_lo = idx as f64 * epoch;
+                    let bin_hi = (idx + 1) as f64 * epoch;
+                    let seg = end.min(bin_hi) - t.max(bin_lo);
+                    if seg > 0.0 {
+                        agg[idx] += cfg.on_rate * seg / epoch;
+                    }
+                }
+            }
+            t = end;
+            on = !on;
+        }
+    }
+    RateTrace::new(epoch, agg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duty_cycle_symmetric_config() {
+        let cfg = OnOffConfig {
+            alpha_on: 1.5,
+            alpha_off: 1.5,
+            min_on: 1.0,
+            min_off: 1.0,
+            ..Default::default()
+        };
+        assert!((cfg.duty_cycle() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_rate_formula() {
+        let cfg = OnOffConfig {
+            sources: 10,
+            on_rate: 8.0,
+            alpha_on: 2.0,
+            alpha_off: 2.0,
+            min_on: 1.0,
+            min_off: 1.0,
+        };
+        assert!((cfg.mean_rate() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generated_mean_close_to_theory() {
+        let cfg = OnOffConfig::default();
+        let t = generate(&cfg, 0.1, 600.0, 7);
+        let theory = cfg.mean_rate();
+        let measured = t.mean();
+        assert!(
+            (measured - theory).abs() / theory < 0.25,
+            "measured {measured} vs theory {theory}"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let cfg = OnOffConfig::default();
+        let a = generate(&cfg, 0.1, 10.0, 42);
+        let b = generate(&cfg, 0.1, 10.0, 42);
+        assert_eq!(a, b);
+        let c = generate(&cfg, 0.1, 10.0, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn trace_is_bursty_not_constant() {
+        let cfg = OnOffConfig::default();
+        let t = generate(&cfg, 0.1, 120.0, 1);
+        let summary = iqpaths_stats::timeseries::SeriesSummary::of(t.rates()).unwrap();
+        assert!(summary.cov > 0.05, "cov {} too smooth", summary.cov);
+    }
+
+    #[test]
+    fn rates_bounded_by_aggregate_peak() {
+        let cfg = OnOffConfig {
+            sources: 5,
+            on_rate: 10.0,
+            ..Default::default()
+        };
+        let t = generate(&cfg, 0.1, 60.0, 9);
+        assert!(t.rates().iter().all(|&r| r <= 50.0 + 1e-9));
+    }
+
+    #[test]
+    fn aggregated_onoff_traffic_is_long_range_dependent() {
+        // The Willinger result this generator exists for: heavy-tailed
+        // on/off aggregation yields H > 0.5.
+        let cfg = OnOffConfig {
+            sources: 24,
+            alpha_on: 1.4,
+            alpha_off: 1.4,
+            ..Default::default()
+        };
+        let t = generate(&cfg, 0.1, 800.0, 17);
+        let h = iqpaths_stats::timeseries::hurst_aggregated_variance(t.rates()).unwrap();
+        assert!(h > 0.6, "H={h}: aggregation lost its self-similarity");
+    }
+
+    #[test]
+    fn covers_requested_duration() {
+        let t = generate(&OnOffConfig::default(), 0.5, 33.3, 3);
+        assert!((t.duration() - 33.5).abs() < 1e-9); // ceil(33.3/0.5)=67 epochs
+    }
+}

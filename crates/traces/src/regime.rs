@@ -1,0 +1,169 @@
+//! Regime-switching bandwidth processes.
+//!
+//! Zhang, Duffield, Paxson & Shenker ("On the Constancy of Internet Path
+//! Properties", IMW 2001 — the paper's \[34\]) found that available
+//! bandwidth is well modeled as IID noise around a level that stays
+//! constant for minutes and then shifts. This module generates exactly
+//! that process: the *mean* is unpredictable sample-to-sample (noise) and
+//! occasionally jumps (regime change), but the *distribution within a
+//! regime* is stationary — the property percentile prediction exploits.
+
+use crate::RateTrace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of a regime-switching level-plus-noise process.
+#[derive(Debug, Clone, Copy)]
+pub struct RegimeConfig {
+    /// Inclusive range from which each regime's mean level is drawn (bits/s).
+    pub level_range: (f64, f64),
+    /// Mean regime duration in seconds (exponentially distributed).
+    pub mean_regime_len: f64,
+    /// Noise amplitude as a fraction of the regime level (uniform ±).
+    pub noise_frac: f64,
+    /// Probability that an epoch is an outage-like deep fade (rate
+    /// multiplied by `fade_depth`). Models transient congestion spikes.
+    pub fade_prob: f64,
+    /// Multiplier applied during a fade epoch (in `[0, 1]`).
+    pub fade_depth: f64,
+}
+
+impl Default for RegimeConfig {
+    fn default() -> Self {
+        Self {
+            level_range: (20.0 * crate::MBPS, 80.0 * crate::MBPS),
+            mean_regime_len: 120.0,
+            noise_frac: 0.3,
+            fade_prob: 0.01,
+            fade_depth: 0.3,
+        }
+    }
+}
+
+/// Generates a regime-switching [`RateTrace`].
+///
+/// # Panics
+/// Panics on invalid ranges/probabilities or non-positive epoch/duration.
+pub fn generate(cfg: &RegimeConfig, epoch: f64, duration: f64, seed: u64) -> RateTrace {
+    assert!(epoch > 0.0 && duration > 0.0);
+    let (lo, hi) = cfg.level_range;
+    assert!(lo >= 0.0 && hi >= lo, "invalid level range");
+    assert!((0.0..=1.0).contains(&cfg.fade_prob));
+    assert!((0.0..=1.0).contains(&cfg.fade_depth));
+    assert!(cfg.noise_frac >= 0.0 && cfg.mean_regime_len > 0.0);
+
+    let n = (duration / epoch).ceil() as usize;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rates = Vec::with_capacity(n);
+    let mut level = if hi > lo { rng.gen_range(lo..=hi) } else { lo };
+    let mut regime_left = draw_exp(&mut rng, cfg.mean_regime_len);
+
+    for _ in 0..n {
+        if regime_left <= 0.0 {
+            level = if hi > lo { rng.gen_range(lo..=hi) } else { lo };
+            regime_left = draw_exp(&mut rng, cfg.mean_regime_len);
+        }
+        regime_left -= epoch;
+        let noise = if cfg.noise_frac > 0.0 {
+            rng.gen_range(-cfg.noise_frac..=cfg.noise_frac)
+        } else {
+            0.0
+        };
+        let mut r = (level * (1.0 + noise)).max(0.0);
+        if cfg.fade_prob > 0.0 && rng.gen_bool(cfg.fade_prob) {
+            r *= cfg.fade_depth;
+        }
+        rates.push(r);
+    }
+    RateTrace::new(epoch, rates)
+}
+
+fn draw_exp(rng: &mut StdRng, mean: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -u.ln() * mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iqpaths_stats::timeseries::SeriesSummary;
+
+    #[test]
+    fn stays_in_plausible_band() {
+        let cfg = RegimeConfig::default();
+        let t = generate(&cfg, 0.1, 300.0, 1);
+        let max_possible = cfg.level_range.1 * (1.0 + cfg.noise_frac);
+        assert!(t.rates().iter().all(|&r| r >= 0.0 && r <= max_possible + 1e-6));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = RegimeConfig::default();
+        assert_eq!(generate(&cfg, 0.1, 30.0, 5), generate(&cfg, 0.1, 30.0, 5));
+        assert_ne!(generate(&cfg, 0.1, 30.0, 5), generate(&cfg, 0.1, 30.0, 6));
+    }
+
+    #[test]
+    fn noise_shows_up_in_cov() {
+        let cfg = RegimeConfig {
+            level_range: (50.0, 50.0),
+            noise_frac: 0.3,
+            fade_prob: 0.0,
+            ..Default::default()
+        };
+        let t = generate(&cfg, 0.1, 120.0, 2);
+        let s = SeriesSummary::of(t.rates()).unwrap();
+        // Uniform ±30% noise has stddev ≈ 0.173·level.
+        assert!((s.cov - 0.173).abs() < 0.03, "cov={}", s.cov);
+    }
+
+    #[test]
+    fn regimes_produce_level_shifts() {
+        let cfg = RegimeConfig {
+            level_range: (10.0, 100.0),
+            mean_regime_len: 10.0,
+            noise_frac: 0.01,
+            fade_prob: 0.0,
+            ..Default::default()
+        };
+        let t = generate(&cfg, 1.0, 600.0, 3);
+        // Compare first-minute mean to some later minute: with ~60
+        // regimes over the trace, at least one pair must differ by >20%.
+        let chunks: Vec<f64> = t
+            .rates()
+            .chunks(60)
+            .map(iqpaths_stats::metrics::mean)
+            .collect();
+        let min = chunks.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = chunks.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max > min * 1.2, "no level shifts detected: {min}..{max}");
+    }
+
+    #[test]
+    fn fades_hit_occasionally() {
+        let cfg = RegimeConfig {
+            level_range: (100.0, 100.0),
+            noise_frac: 0.0,
+            fade_prob: 0.2,
+            fade_depth: 0.1,
+            ..Default::default()
+        };
+        let t = generate(&cfg, 0.1, 60.0, 4);
+        let fades = t.rates().iter().filter(|&&r| r < 50.0).count();
+        let frac = fades as f64 / t.len() as f64;
+        assert!((frac - 0.2).abs() < 0.07, "fade fraction {frac}");
+    }
+
+    #[test]
+    fn within_regime_noise_is_nearly_iid() {
+        let cfg = RegimeConfig {
+            level_range: (50.0, 50.0),
+            noise_frac: 0.25,
+            fade_prob: 0.0,
+            ..Default::default()
+        };
+        let t = generate(&cfg, 0.1, 120.0, 9);
+        let ac = iqpaths_stats::timeseries::autocorrelation(t.rates(), 1);
+        assert!(ac.abs() < 0.1, "lag-1 autocorrelation {ac}");
+    }
+}

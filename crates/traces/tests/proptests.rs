@@ -1,0 +1,91 @@
+//! Property tests for the trace substrate.
+
+use iqpaths_traces::envelope::{available_bandwidth, EnvelopeConfig};
+use iqpaths_traces::{cbr, onoff, poisson, regime, RateTrace};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn rate_trace_lookup_always_in_range(
+        rates in prop::collection::vec(0.0..1e9f64, 1..100),
+        epoch in 0.01..2.0f64,
+        t in -10.0..1000.0f64,
+    ) {
+        let tr = RateTrace::new(epoch, rates.clone());
+        let r = tr.rate_at(t);
+        prop_assert!(rates.contains(&r));
+    }
+
+    #[test]
+    fn next_boundary_strictly_advances(
+        rates in prop::collection::vec(0.0..10.0f64, 2..50),
+        epoch in 0.01..2.0f64,
+        t in 0.0..100.0f64,
+    ) {
+        let tr = RateTrace::new(epoch, rates);
+        if let Some(b) = tr.next_boundary_after(t) {
+            prop_assert!(b > t, "boundary {b} not after {t}");
+            prop_assert!(b <= tr.duration() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn residual_plus_cross_equals_capacity(
+        rates in prop::collection::vec(0.0..100.0f64, 1..50),
+        cap in 50.0..200.0f64,
+    ) {
+        let tr = RateTrace::new(1.0, rates);
+        let resid = tr.residual(cap, 1e-6);
+        for (c, r) in tr.rates().iter().zip(resid.rates()) {
+            prop_assert!((c + r - cap).abs() < 1e-9 || *r == 1e-6);
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip_preserves_trace(
+        rates in prop::collection::vec(0.0..1e6f64, 2..50),
+    ) {
+        let tr = RateTrace::new(0.25, rates);
+        let parsed = RateTrace::from_csv(&tr.to_csv()).unwrap();
+        prop_assert_eq!(parsed.len(), tr.len());
+        for (a, b) in tr.rates().iter().zip(parsed.rates()) {
+            prop_assert!((a - b).abs() < 2e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn generators_never_produce_negative_rates(seed in 0u64..50) {
+        let on = onoff::generate(&onoff::OnOffConfig::default(), 0.1, 20.0, seed);
+        prop_assert!(on.rates().iter().all(|&r| r >= 0.0));
+        let po = poisson::generate(&poisson::PoissonConfig::default(), 0.1, 20.0, seed);
+        prop_assert!(po.rates().iter().all(|&r| r >= 0.0));
+        let re = regime::generate(&regime::RegimeConfig::default(), 0.1, 20.0, seed);
+        prop_assert!(re.rates().iter().all(|&r| r >= 0.0));
+        let env = available_bandwidth(&EnvelopeConfig::default(), 0.1, 20.0, seed);
+        prop_assert!(env.rates().iter().all(|&r| r >= 0.0));
+    }
+
+    #[test]
+    fn square_wave_values_are_only_low_or_high(
+        low in 0.0..10.0f64,
+        delta in 0.1..10.0f64,
+        period in 0.2..5.0f64,
+    ) {
+        let high = low + delta;
+        let t = cbr::square_wave(low, high, period, 0.05, 10.0);
+        prop_assert!(t.rates().iter().all(|&r| r == low || r == high));
+    }
+
+    #[test]
+    fn slice_is_a_subsequence(
+        rates in prop::collection::vec(0.0..10.0f64, 4..40),
+        a in 0.0..10.0f64,
+        len in 0.5..10.0f64,
+    ) {
+        let tr = RateTrace::new(0.5, rates);
+        let s = tr.slice(a, a + len);
+        for r in s.rates() {
+            prop_assert!(tr.rates().contains(r));
+        }
+    }
+}

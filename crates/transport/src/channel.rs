@@ -1,0 +1,177 @@
+//! A lossy, delaying datagram channel in virtual time.
+//!
+//! Models the raw UDP path a RUDP connection rides: fixed propagation
+//! delay plus uniform jitter, i.i.d. datagram loss, and (through
+//! jitter) occasional reordering. Deterministic per seed.
+
+use iqpaths_simnet::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of a lossy channel.
+#[derive(Debug, Clone, Copy)]
+pub struct ChannelConfig {
+    /// One-way propagation delay.
+    pub delay: SimDuration,
+    /// Uniform extra jitter in `[0, jitter]` added per datagram.
+    pub jitter: SimDuration,
+    /// Independent loss probability per datagram, in `[0, 1)`.
+    pub loss: f64,
+}
+
+impl Default for ChannelConfig {
+    fn default() -> Self {
+        Self {
+            delay: SimDuration::from_millis(20),
+            jitter: SimDuration::from_millis(2),
+            loss: 0.01,
+        }
+    }
+}
+
+/// Outcome of submitting one datagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transit {
+    /// The datagram arrives at the given instant.
+    ArrivesAt(SimTime),
+    /// The datagram is lost.
+    Lost,
+}
+
+/// A unidirectional lossy channel.
+#[derive(Debug, Clone)]
+pub struct LossyChannel {
+    cfg: ChannelConfig,
+    rng: StdRng,
+    sent: u64,
+    lost: u64,
+}
+
+impl LossyChannel {
+    /// A channel with the given behaviour and RNG seed.
+    ///
+    /// # Panics
+    /// Panics if `loss` is outside `[0, 1)`.
+    pub fn new(cfg: ChannelConfig, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&cfg.loss), "loss must be in [0, 1)");
+        Self {
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+            sent: 0,
+            lost: 0,
+        }
+    }
+
+    /// Submits a datagram at `now`; rolls loss and delay.
+    pub fn submit(&mut self, now: SimTime) -> Transit {
+        self.sent += 1;
+        if self.cfg.loss > 0.0 && self.rng.gen_bool(self.cfg.loss) {
+            self.lost += 1;
+            return Transit::Lost;
+        }
+        let jitter_ns = if self.cfg.jitter.as_nanos() > 0 {
+            self.rng.gen_range(0..=self.cfg.jitter.as_nanos())
+        } else {
+            0
+        };
+        Transit::ArrivesAt(now + self.cfg.delay + SimDuration::from_nanos(jitter_ns))
+    }
+
+    /// Datagrams submitted so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Datagrams lost so far.
+    pub fn lost(&self) -> u64 {
+        self.lost
+    }
+
+    /// Observed loss rate.
+    pub fn loss_rate(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.lost as f64 / self.sent as f64
+        }
+    }
+
+    /// Configured behaviour.
+    pub fn config(&self) -> ChannelConfig {
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_nanos(ms * 1_000_000)
+    }
+
+    #[test]
+    fn lossless_channel_delivers_with_delay() {
+        let cfg = ChannelConfig {
+            delay: SimDuration::from_millis(10),
+            jitter: SimDuration::ZERO,
+            loss: 0.0,
+        };
+        let mut ch = LossyChannel::new(cfg, 1);
+        match ch.submit(t(5)) {
+            Transit::ArrivesAt(at) => assert_eq!(at, t(15)),
+            Transit::Lost => panic!("lossless channel lost a datagram"),
+        }
+        assert_eq!(ch.loss_rate(), 0.0);
+    }
+
+    #[test]
+    fn loss_rate_converges_to_configured() {
+        let cfg = ChannelConfig {
+            loss: 0.2,
+            ..Default::default()
+        };
+        let mut ch = LossyChannel::new(cfg, 2);
+        for _ in 0..10_000 {
+            let _ = ch.submit(t(0));
+        }
+        assert!((ch.loss_rate() - 0.2).abs() < 0.02, "rate {}", ch.loss_rate());
+    }
+
+    #[test]
+    fn jitter_bounded() {
+        let cfg = ChannelConfig {
+            delay: SimDuration::from_millis(10),
+            jitter: SimDuration::from_millis(5),
+            loss: 0.0,
+        };
+        let mut ch = LossyChannel::new(cfg, 3);
+        for _ in 0..1000 {
+            if let Transit::ArrivesAt(at) = ch.submit(t(0)) {
+                assert!(at >= t(10) && at <= t(15));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = ChannelConfig::default();
+        let mut a = LossyChannel::new(cfg, 7);
+        let mut b = LossyChannel::new(cfg, 7);
+        for _ in 0..100 {
+            assert_eq!(a.submit(t(1)), b.submit(t(1)));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_loss_rejected() {
+        let _ = LossyChannel::new(
+            ChannelConfig {
+                loss: 1.0,
+                ..Default::default()
+            },
+            0,
+        );
+    }
+}

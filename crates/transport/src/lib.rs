@@ -1,0 +1,30 @@
+//! # iqpaths-transport — the RUDP transport substrate
+//!
+//! IQ-Paths "leverages IQ-ECho's support for multiple transport
+//! protocols (e.g., TCP, RUDP, SCTP) and its monitoring modules for
+//! measuring desired network metrics from middleware and in cooperation
+//! with certain transport modules (e.g., RUDP)" (§3, Figure 2). This
+//! crate builds that transport layer over the emulated network:
+//!
+//! * [`channel`] — a lossy, delaying virtual-time channel (the raw UDP
+//!   datagram path).
+//! * [`rtt`] — Jacobson/Karn RTT estimation (SRTT / RTTVAR / RTO), the
+//!   source of the monitoring module's RTT metric.
+//! * [`rudp`] — a reliable-UDP protocol: sliding window, cumulative +
+//!   selective acknowledgments, retransmission timeouts with
+//!   exponential backoff, fast retransmit on triple duplicate ACKs.
+//! * [`tfrc`] — the TCP-friendly rate equation used by the adaptive
+//!   streaming work the paper builds on (\[25\]): a throughput model from
+//!   loss rate and RTT.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod channel;
+pub mod rtt;
+pub mod rudp;
+pub mod tfrc;
+
+pub use channel::LossyChannel;
+pub use rtt::RttEstimator;
+pub use rudp::{RudpReceiver, RudpSender};

@@ -1,0 +1,164 @@
+//! RTT estimation (Jacobson/Karels with Karn's rule).
+//!
+//! The monitoring module reports smoothed RTT per path; the paper notes
+//! (citing Rao \[24\]) that RTT is the easiest path metric to make
+//! guarantees about. The estimator is the standard one: on each valid
+//! sample `R`,
+//!
+//! ```text
+//! RTTVAR ← (1 − β)·RTTVAR + β·|SRTT − R|      β = 1/4
+//! SRTT   ← (1 − α)·SRTT + α·R                 α = 1/8
+//! RTO    = SRTT + 4·RTTVAR                    (clamped to [min, max])
+//! ```
+//!
+//! and Karn's rule: samples from retransmitted segments are discarded.
+
+use iqpaths_simnet::time::SimDuration;
+
+/// Smoothed RTT / RTO estimator.
+#[derive(Debug, Clone, Copy)]
+pub struct RttEstimator {
+    srtt: Option<f64>,
+    rttvar: f64,
+    rto_min: f64,
+    rto_max: f64,
+    /// RTO backoff multiplier (doubles per timeout, resets on sample).
+    backoff: u32,
+}
+
+impl RttEstimator {
+    /// Estimator with RTO clamped to `[rto_min, rto_max]`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < rto_min <= rto_max`.
+    pub fn new(rto_min: SimDuration, rto_max: SimDuration) -> Self {
+        let lo = rto_min.as_secs_f64();
+        let hi = rto_max.as_secs_f64();
+        assert!(lo > 0.0 && lo <= hi, "invalid RTO clamp");
+        Self {
+            srtt: None,
+            rttvar: 0.0,
+            rto_min: lo,
+            rto_max: hi,
+            backoff: 0,
+        }
+    }
+
+    /// Conventional defaults: RTO in [200 ms, 60 s].
+    pub fn standard() -> Self {
+        Self::new(SimDuration::from_millis(200), SimDuration::from_millis(60_000))
+    }
+
+    /// Feeds one RTT sample from a *non-retransmitted* segment (Karn's
+    /// rule is the caller's responsibility; [`crate::rudp::RudpSender`]
+    /// applies it). Resets timeout backoff.
+    pub fn sample(&mut self, rtt: SimDuration) {
+        let r = rtt.as_secs_f64();
+        match self.srtt {
+            None => {
+                self.srtt = Some(r);
+                self.rttvar = r / 2.0;
+            }
+            Some(s) => {
+                self.rttvar = 0.75 * self.rttvar + 0.25 * (s - r).abs();
+                self.srtt = Some(0.875 * s + 0.125 * r);
+            }
+        }
+        self.backoff = 0;
+    }
+
+    /// Doubles the RTO after a retransmission timeout.
+    pub fn on_timeout(&mut self) {
+        self.backoff = (self.backoff + 1).min(16);
+    }
+
+    /// Smoothed RTT, if any sample has arrived.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.srtt.map(SimDuration::from_secs_f64)
+    }
+
+    /// Current retransmission timeout.
+    pub fn rto(&self) -> SimDuration {
+        let base = match self.srtt {
+            None => self.rto_min.max(1.0), // conservative initial RTO: 1 s
+            Some(s) => s + 4.0 * self.rttvar,
+        };
+        let scaled = base * f64::from(1u32 << self.backoff.min(16));
+        SimDuration::from_secs_f64(scaled.clamp(self.rto_min, self.rto_max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn first_sample_seeds_srtt() {
+        let mut e = RttEstimator::standard();
+        assert!(e.srtt().is_none());
+        e.sample(ms(100));
+        assert_eq!(e.srtt(), Some(ms(100)));
+        // RTO = 100 + 4·50 = 300 ms.
+        assert_eq!(e.rto(), ms(300));
+    }
+
+    #[test]
+    fn smoothing_converges() {
+        let mut e = RttEstimator::standard();
+        for _ in 0..100 {
+            e.sample(ms(80));
+        }
+        let srtt = e.srtt().unwrap().as_secs_f64();
+        assert!((srtt - 0.08).abs() < 1e-6);
+        // Variance decays → RTO approaches SRTT but respects the floor.
+        assert!(e.rto() >= ms(200));
+    }
+
+    #[test]
+    fn rto_tracks_variance() {
+        let mut e = RttEstimator::standard();
+        // Alternating 50/250 ms samples → high RTTVAR → large RTO.
+        for i in 0..50 {
+            e.sample(ms(if i % 2 == 0 { 50 } else { 250 }));
+        }
+        assert!(e.rto() > ms(400), "rto {:?}", e.rto());
+    }
+
+    #[test]
+    fn timeout_backoff_doubles_and_sample_resets() {
+        let mut e = RttEstimator::standard();
+        e.sample(ms(100));
+        let r0 = e.rto().as_secs_f64();
+        e.on_timeout();
+        let r1 = e.rto().as_secs_f64();
+        assert!((r1 - 2.0 * r0).abs() < 1e-9);
+        e.on_timeout();
+        assert!((e.rto().as_secs_f64() - 4.0 * r0).abs() < 1e-9);
+        // A fresh sample clears the backoff (RTO also shrinks a little
+        // because the consistent sample reduces RTTVAR).
+        e.sample(ms(100));
+        assert!(e.rto().as_secs_f64() <= r0 + 1e-9);
+        assert!(e.rto().as_secs_f64() >= 0.2);
+    }
+
+    #[test]
+    fn rto_clamped() {
+        let mut e = RttEstimator::new(ms(200), ms(1000));
+        e.sample(ms(10));
+        assert_eq!(e.rto(), ms(200));
+        for _ in 0..10 {
+            e.on_timeout();
+        }
+        assert_eq!(e.rto(), ms(1000));
+    }
+
+    #[test]
+    fn initial_rto_is_conservative() {
+        let e = RttEstimator::standard();
+        assert!(e.rto() >= ms(1000));
+    }
+}

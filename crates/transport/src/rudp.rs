@@ -1,0 +1,479 @@
+//! Reliable UDP (RUDP), the paper's instrumented transport.
+//!
+//! A window-based ARQ protocol over [`crate::LossyChannel`]:
+//! cumulative + selective acknowledgments, retransmission timeouts from
+//! the [`crate::RttEstimator`] with exponential backoff and Karn's rule,
+//! and fast retransmit on three duplicate cumulative ACKs. The protocol
+//! is sans-io: the caller owns time and the channel, which keeps it
+//! deterministic and testable (and is how the virtual-time middleware
+//! drives it).
+
+use crate::rtt::RttEstimator;
+use iqpaths_simnet::time::SimTime;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// RUDP tuning parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RudpConfig {
+    /// Maximum unacknowledged segments in flight.
+    pub window: usize,
+    /// Give-up threshold: retransmissions per segment.
+    pub max_retries: u32,
+    /// Duplicate-ACK count triggering fast retransmit.
+    pub dup_ack_threshold: u32,
+}
+
+impl Default for RudpConfig {
+    fn default() -> Self {
+        Self {
+            window: 64,
+            max_retries: 12,
+            dup_ack_threshold: 3,
+        }
+    }
+}
+
+/// A data segment on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Sequence number (dense, from 0).
+    pub seq: u64,
+    /// Payload size in bytes.
+    pub bytes: u32,
+    /// Whether this transmission is a retransmission (Karn's rule).
+    pub retransmission: bool,
+}
+
+/// An acknowledgment on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AckPacket {
+    /// Next expected in-order sequence (all below are received).
+    pub cumulative: u64,
+    /// Out-of-order sequences held by the receiver (selective ACK).
+    pub sack: Vec<u64>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    bytes: u32,
+    sent_at: SimTime,
+    retransmissions: u32,
+}
+
+/// The sending half of a RUDP connection.
+#[derive(Debug, Clone)]
+pub struct RudpSender {
+    cfg: RudpConfig,
+    rtt: RttEstimator,
+    next_seq: u64,
+    /// App data accepted but not yet transmitted the first time.
+    backlog: VecDeque<(u64, u32)>,
+    /// Segments queued for (re)transmission ahead of the backlog.
+    retx_queue: VecDeque<u64>,
+    /// In-flight (transmitted, unacknowledged) segments.
+    inflight: BTreeMap<u64, InFlight>,
+    /// Highest cumulative ack received.
+    acked_upto: u64,
+    dup_acks: u32,
+    /// Segments that exhausted their retries.
+    failed: Vec<u64>,
+    retransmissions: u64,
+    fast_retransmits: u64,
+}
+
+impl RudpSender {
+    /// A sender with the given configuration.
+    pub fn new(cfg: RudpConfig) -> Self {
+        Self {
+            cfg,
+            rtt: RttEstimator::standard(),
+            next_seq: 0,
+            backlog: VecDeque::new(),
+            retx_queue: VecDeque::new(),
+            inflight: BTreeMap::new(),
+            acked_upto: 0,
+            dup_acks: 0,
+            failed: Vec::new(),
+            retransmissions: 0,
+            fast_retransmits: 0,
+        }
+    }
+
+    /// Accepts application data; returns its sequence number.
+    pub fn enqueue(&mut self, bytes: u32) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.backlog.push_back((seq, bytes));
+        seq
+    }
+
+    /// The next segment to put on the channel at `now`, if the window
+    /// allows. Retransmissions take priority over new data.
+    pub fn poll_transmit(&mut self, now: SimTime) -> Option<Segment> {
+        while let Some(seq) = self.retx_queue.pop_front() {
+            // The ack may have raced the retransmission queue.
+            if let Some(f) = self.inflight.get_mut(&seq) {
+                f.sent_at = now;
+                f.retransmissions += 1;
+                self.retransmissions += 1;
+                return Some(Segment {
+                    seq,
+                    bytes: f.bytes,
+                    retransmission: true,
+                });
+            }
+        }
+        if self.inflight.len() >= self.cfg.window {
+            return None;
+        }
+        let (seq, bytes) = self.backlog.pop_front()?;
+        self.inflight.insert(
+            seq,
+            InFlight {
+                bytes,
+                sent_at: now,
+                retransmissions: 0,
+            },
+        );
+        Some(Segment {
+            seq,
+            bytes,
+            retransmission: false,
+        })
+    }
+
+    /// Handles an incoming acknowledgment.
+    pub fn on_ack(&mut self, ack: &AckPacket, now: SimTime) {
+        if ack.cumulative > self.acked_upto {
+            self.dup_acks = 0;
+            // Everything below `cumulative` is delivered.
+            let acked: Vec<u64> = self
+                .inflight
+                .range(..ack.cumulative)
+                .map(|(&s, _)| s)
+                .collect();
+            for seq in acked {
+                let f = self.inflight.remove(&seq).expect("listed above");
+                // Karn's rule: only fresh transmissions feed the RTT.
+                if f.retransmissions == 0 {
+                    self.rtt.sample(now.since(f.sent_at));
+                }
+            }
+            self.acked_upto = ack.cumulative;
+        } else if ack.cumulative == self.acked_upto && !self.inflight.is_empty() {
+            self.dup_acks += 1;
+            if self.dup_acks == self.cfg.dup_ack_threshold {
+                // Fast retransmit of the presumed-lost head segment.
+                if self.inflight.contains_key(&self.acked_upto)
+                    && !self.retx_queue.contains(&self.acked_upto)
+                {
+                    self.retx_queue.push_back(self.acked_upto);
+                    self.fast_retransmits += 1;
+                }
+                self.dup_acks = 0;
+            }
+        }
+        // Selective acks release out-of-order segments.
+        for &seq in &ack.sack {
+            if let Some(f) = self.inflight.remove(&seq) {
+                if f.retransmissions == 0 {
+                    self.rtt.sample(now.since(f.sent_at));
+                }
+            }
+        }
+    }
+
+    /// Earliest retransmission deadline among in-flight segments.
+    pub fn next_timeout(&self) -> Option<SimTime> {
+        self.inflight
+            .values()
+            .map(|f| f.sent_at + self.rtt.rto())
+            .min()
+    }
+
+    /// Expires timeouts at `now`: queues retransmissions (or fails
+    /// segments past `max_retries`) and backs off the RTO.
+    pub fn on_tick(&mut self, now: SimTime) {
+        let rto = self.rtt.rto();
+        let mut timed_out = false;
+        let mut give_up = Vec::new();
+        for (&seq, f) in &self.inflight {
+            if f.sent_at + rto <= now {
+                if f.retransmissions >= self.cfg.max_retries {
+                    give_up.push(seq);
+                } else if !self.retx_queue.contains(&seq) {
+                    self.retx_queue.push_back(seq);
+                    timed_out = true;
+                }
+            }
+        }
+        for seq in give_up {
+            self.inflight.remove(&seq);
+            self.failed.push(seq);
+        }
+        if timed_out {
+            self.rtt.on_timeout();
+        }
+    }
+
+    /// True when every enqueued segment is acknowledged (or failed).
+    pub fn idle(&self) -> bool {
+        self.backlog.is_empty() && self.inflight.is_empty() && self.retx_queue.is_empty()
+    }
+
+    /// Smoothed RTT estimate.
+    pub fn srtt(&self) -> Option<iqpaths_simnet::SimDuration> {
+        self.rtt.srtt()
+    }
+
+    /// Total retransmissions performed.
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions
+    }
+
+    /// Fast retransmits triggered.
+    pub fn fast_retransmits(&self) -> u64 {
+        self.fast_retransmits
+    }
+
+    /// Segments that exhausted their retries.
+    pub fn failed(&self) -> &[u64] {
+        &self.failed
+    }
+}
+
+/// The receiving half of a RUDP connection.
+#[derive(Debug, Clone, Default)]
+pub struct RudpReceiver {
+    expected: u64,
+    out_of_order: BTreeSet<u64>,
+    delivered: VecDeque<u64>,
+    duplicates: u64,
+}
+
+impl RudpReceiver {
+    /// A fresh receiver expecting sequence 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Handles a data segment; returns the acknowledgment to send back.
+    pub fn on_segment(&mut self, seg: &Segment) -> AckPacket {
+        if seg.seq < self.expected || self.out_of_order.contains(&seg.seq) {
+            self.duplicates += 1;
+        } else if seg.seq == self.expected {
+            self.delivered.push_back(seg.seq);
+            self.expected += 1;
+            // Drain any now-in-order buffered segments.
+            while self.out_of_order.remove(&self.expected) {
+                self.delivered.push_back(self.expected);
+                self.expected += 1;
+            }
+        } else {
+            self.out_of_order.insert(seg.seq);
+        }
+        AckPacket {
+            cumulative: self.expected,
+            sack: self.out_of_order.iter().copied().collect(),
+        }
+    }
+
+    /// Drains the in-order delivery queue.
+    pub fn take_delivered(&mut self) -> Vec<u64> {
+        self.delivered.drain(..).collect()
+    }
+
+    /// Next expected sequence.
+    pub fn expected(&self) -> u64 {
+        self.expected
+    }
+
+    /// Duplicate segments seen (spurious retransmissions).
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Out-of-order segments currently buffered (reorder-buffer
+    /// occupancy, the client-buffer metric of the tech report).
+    pub fn reorder_buffer_len(&self) -> usize {
+        self.out_of_order.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_nanos(ms * 1_000_000)
+    }
+
+    #[test]
+    fn window_limits_inflight() {
+        let mut s = RudpSender::new(RudpConfig {
+            window: 2,
+            ..Default::default()
+        });
+        for _ in 0..5 {
+            s.enqueue(100);
+        }
+        assert!(s.poll_transmit(t(0)).is_some());
+        assert!(s.poll_transmit(t(0)).is_some());
+        assert!(s.poll_transmit(t(0)).is_none(), "window must block");
+    }
+
+    #[test]
+    fn cumulative_ack_advances_window() {
+        let mut s = RudpSender::new(RudpConfig {
+            window: 2,
+            ..Default::default()
+        });
+        for _ in 0..3 {
+            s.enqueue(100);
+        }
+        let a = s.poll_transmit(t(0)).unwrap();
+        let b = s.poll_transmit(t(0)).unwrap();
+        assert_eq!((a.seq, b.seq), (0, 1));
+        s.on_ack(
+            &AckPacket {
+                cumulative: 2,
+                sack: vec![],
+            },
+            t(50),
+        );
+        let c = s.poll_transmit(t(50)).unwrap();
+        assert_eq!(c.seq, 2);
+        assert!(s.srtt().is_some());
+    }
+
+    #[test]
+    fn receiver_reorders_and_sacks() {
+        let mut r = RudpReceiver::new();
+        let seg = |seq| Segment {
+            seq,
+            bytes: 100,
+            retransmission: false,
+        };
+        let ack = r.on_segment(&seg(1));
+        assert_eq!(ack.cumulative, 0);
+        assert_eq!(ack.sack, vec![1]);
+        assert_eq!(r.reorder_buffer_len(), 1);
+        let ack = r.on_segment(&seg(0));
+        assert_eq!(ack.cumulative, 2);
+        assert!(ack.sack.is_empty());
+        assert_eq!(r.take_delivered(), vec![0, 1]);
+    }
+
+    #[test]
+    fn receiver_counts_duplicates() {
+        let mut r = RudpReceiver::new();
+        let seg = Segment {
+            seq: 0,
+            bytes: 1,
+            retransmission: false,
+        };
+        r.on_segment(&seg);
+        r.on_segment(&seg);
+        assert_eq!(r.duplicates(), 1);
+    }
+
+    #[test]
+    fn timeout_queues_retransmission_and_backs_off() {
+        let mut s = RudpSender::new(RudpConfig::default());
+        s.enqueue(100);
+        let first = s.poll_transmit(t(0)).unwrap();
+        assert!(!first.retransmission);
+        let deadline = s.next_timeout().unwrap();
+        s.on_tick(deadline);
+        let retx = s.poll_transmit(deadline).unwrap();
+        assert!(retx.retransmission);
+        assert_eq!(retx.seq, 0);
+        assert_eq!(s.retransmissions(), 1);
+        // RTO doubled.
+        let d2 = s.next_timeout().unwrap();
+        assert!(d2.since(deadline) > deadline.since(t(0)));
+    }
+
+    #[test]
+    fn karns_rule_skips_retransmitted_samples() {
+        let mut s = RudpSender::new(RudpConfig::default());
+        s.enqueue(100);
+        s.poll_transmit(t(0)).unwrap();
+        let deadline = s.next_timeout().unwrap();
+        s.on_tick(deadline);
+        s.poll_transmit(deadline).unwrap(); // retransmission
+        s.on_ack(
+            &AckPacket {
+                cumulative: 1,
+                sack: vec![],
+            },
+            deadline + iqpaths_simnet::SimDuration::from_millis(30),
+        );
+        assert!(s.srtt().is_none(), "Karn's rule violated");
+        assert!(s.idle());
+    }
+
+    #[test]
+    fn fast_retransmit_after_three_dup_acks() {
+        let mut s = RudpSender::new(RudpConfig::default());
+        for _ in 0..5 {
+            s.enqueue(100);
+        }
+        for _ in 0..5 {
+            s.poll_transmit(t(0)).unwrap();
+        }
+        // Segment 0 lost; receiver acks cumulative 0 three times.
+        let dup = AckPacket {
+            cumulative: 0,
+            sack: vec![1, 2, 3],
+        };
+        for _ in 0..3 {
+            s.on_ack(&dup, t(10));
+        }
+        let seg = s.poll_transmit(t(11)).unwrap();
+        assert!(seg.retransmission);
+        assert_eq!(seg.seq, 0);
+        assert_eq!(s.fast_retransmits(), 1);
+    }
+
+    #[test]
+    fn gives_up_after_max_retries() {
+        let mut s = RudpSender::new(RudpConfig {
+            max_retries: 2,
+            ..Default::default()
+        });
+        s.enqueue(100);
+        let mut now = t(0);
+        s.poll_transmit(now).unwrap();
+        for _ in 0..4 {
+            now = match s.next_timeout() {
+                Some(d) => d,
+                None => break,
+            };
+            s.on_tick(now);
+            let _ = s.poll_transmit(now);
+        }
+        assert_eq!(s.failed(), &[0]);
+        assert!(s.idle());
+    }
+
+    #[test]
+    fn sack_releases_out_of_order_segments() {
+        let mut s = RudpSender::new(RudpConfig::default());
+        for _ in 0..3 {
+            s.enqueue(100);
+        }
+        for _ in 0..3 {
+            s.poll_transmit(t(0)).unwrap();
+        }
+        s.on_ack(
+            &AckPacket {
+                cumulative: 0,
+                sack: vec![2],
+            },
+            t(40),
+        );
+        // Segment 2 no longer in flight; window holds 0 and 1.
+        assert_eq!(s.inflight.len(), 2);
+    }
+}

@@ -1,0 +1,96 @@
+//! The TCP-friendly rate equation (TFRC).
+//!
+//! The adaptive-streaming line of work the paper builds on (Rejaie et
+//! al. \[25\]) paces media flows at the rate a conformant TCP would
+//! achieve on the same path. The standard throughput model (Padhye et
+//! al.) for segment size `s`, round-trip time `rtt`, loss event rate
+//! `p`, and retransmission timeout `rto`:
+//!
+//! ```text
+//!              s
+//! X = ─────────────────────────────────────────────────────────
+//!     rtt·√(2p/3) + rto·(3·√(3p/8))·p·(1 + 32·p²)
+//! ```
+
+/// TCP-friendly throughput in bits/s.
+///
+/// * `segment_bits` — segment size in bits.
+/// * `rtt` — round-trip time in seconds (> 0).
+/// * `loss` — loss event rate in `[0, 1]`; 0 returns `f64::INFINITY`
+///   (the equation only bounds lossy paths).
+/// * `rto` — retransmission timeout in seconds.
+///
+/// # Panics
+/// Panics on non-positive `segment_bits`/`rtt`/`rto` or `loss` outside
+/// `[0, 1]`.
+pub fn tcp_friendly_rate(segment_bits: f64, rtt: f64, loss: f64, rto: f64) -> f64 {
+    assert!(segment_bits > 0.0 && rtt > 0.0 && rto > 0.0);
+    assert!((0.0..=1.0).contains(&loss), "loss must be in [0, 1]");
+    if loss == 0.0 {
+        return f64::INFINITY;
+    }
+    let sqrt_term = (2.0 * loss / 3.0).sqrt();
+    let timeout_term = rto * (3.0 * (3.0 * loss / 8.0).sqrt()) * loss * (1.0 + 32.0 * loss * loss);
+    segment_bits / (rtt * sqrt_term + timeout_term)
+}
+
+/// The simplified inverse-√p model (`X = s / (rtt·√(2p/3))`), valid at
+/// low loss; handy to sanity-check the full equation.
+pub fn simple_rate(segment_bits: f64, rtt: f64, loss: f64) -> f64 {
+    assert!(segment_bits > 0.0 && rtt > 0.0);
+    assert!((0.0..=1.0).contains(&loss));
+    if loss == 0.0 {
+        return f64::INFINITY;
+    }
+    segment_bits / (rtt * (2.0 * loss / 3.0).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEG: f64 = 1500.0 * 8.0;
+
+    #[test]
+    fn zero_loss_is_unbounded() {
+        assert_eq!(tcp_friendly_rate(SEG, 0.1, 0.0, 1.0), f64::INFINITY);
+        assert_eq!(simple_rate(SEG, 0.1, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn rate_decreases_with_loss() {
+        let r1 = tcp_friendly_rate(SEG, 0.1, 0.001, 1.0);
+        let r2 = tcp_friendly_rate(SEG, 0.1, 0.01, 1.0);
+        let r3 = tcp_friendly_rate(SEG, 0.1, 0.1, 1.0);
+        assert!(r1 > r2 && r2 > r3);
+    }
+
+    #[test]
+    fn rate_decreases_with_rtt() {
+        let fast = tcp_friendly_rate(SEG, 0.02, 0.01, 1.0);
+        let slow = tcp_friendly_rate(SEG, 0.2, 0.01, 1.0);
+        assert!(fast > slow);
+    }
+
+    #[test]
+    fn matches_simple_model_at_low_loss() {
+        let p = 1e-4;
+        let full = tcp_friendly_rate(SEG, 0.1, p, 1.0);
+        let simple = simple_rate(SEG, 0.1, p);
+        assert!((full - simple).abs() / simple < 0.05, "{full} vs {simple}");
+    }
+
+    #[test]
+    fn known_ballpark_value() {
+        // 1500 B segments, 100 ms RTT, 1% loss: ≈ 1.2–1.5 Mbps per the
+        // classic model.
+        let r = tcp_friendly_rate(SEG, 0.1, 0.01, 1.0);
+        assert!((0.8e6..2.0e6).contains(&r), "rate {r}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_loss_panics() {
+        let _ = tcp_friendly_rate(SEG, 0.1, 1.5, 1.0);
+    }
+}

@@ -1,0 +1,45 @@
+//! Statistical vs mean bandwidth prediction (§4 / Figure 4) on a
+//! synthetic wide-area available-bandwidth trace.
+//!
+//! ```sh
+//! cargo run --release --example bandwidth_prediction
+//! ```
+
+use iq_paths::prelude::*;
+use iq_paths::stats::percentile::{
+    evaluate_mean_prediction, evaluate_percentile_prediction,
+};
+use iq_paths::stats::predictors::standard_suite;
+use iq_paths::traces::envelope::{available_bandwidth, EnvelopeConfig};
+
+fn main() {
+    // A 2000-second available-bandwidth trace sampled every 0.1 s.
+    let trace = available_bandwidth(&EnvelopeConfig::default(), 0.1, 2000.0, 7);
+    let series: Vec<f64> = trace.rates().to_vec();
+
+    println!("mean predictors (relative error |pred − actual| / actual):");
+    for predictor in &mut standard_suite(32) {
+        let err = evaluate_mean_prediction(&series, predictor.as_mut());
+        println!("  {:<5} {:>6.1}%", predictor.name(), err * 100.0);
+    }
+
+    let report = evaluate_percentile_prediction(&series, 500, 5, 0.9);
+    println!(
+        "\npercentile predictor (10th-percentile floor, 5-sample horizon): \
+         {} predictions, {:.2}% failures",
+        report.predictions,
+        report.failure_rate() * 100.0
+    );
+
+    // The online predictor object, as the monitoring module uses it.
+    let mut online = PercentilePredictor::new(500, 0.9);
+    for (i, &bw) in series.iter().enumerate().take(600) {
+        online.observe(i as f64 * 0.1, bw);
+    }
+    let floor = online.floor().expect("warmed up");
+    println!(
+        "online floor after 600 samples: {:.1} Mbps — \"with probability ≥ 0.9 \
+         the next interval provides at least this bandwidth\"",
+        floor / 1e6
+    );
+}

@@ -1,0 +1,69 @@
+//! The SmartPointer scenario expressed through the pub/sub layer: a
+//! molecular-dynamics channel publishes per-timestep events; three
+//! subscriptions with different utility lower onto IQ-Paths streams
+//! (IQ-ECho's "derived channel" abstraction filters the out-of-view
+//! bonds into a best-effort stream).
+//!
+//! ```sh
+//! cargo run --release --example pubsub_collaboration
+//! ```
+
+use iq_paths::middleware::pubsub::{Event, PubSubSystem, Subscription};
+use iq_paths::middleware::runtime::{run, RuntimeConfig};
+use iq_paths::pgos::scheduler::{Pgos, PgosConfig};
+use iq_paths::pgos::stream::Guarantee;
+
+const ATOM_TAG: u32 = 0;
+const BOND_IN_VIEW: u32 = 1;
+const BOND_OUT_VIEW: u32 = 2;
+
+fn main() {
+    let duration = 40.0;
+    let fps = 25.0;
+
+    // The MD code publishes one event per data component per timestep.
+    let mut schedule = Vec::new();
+    for k in 0..(duration * fps) as u64 {
+        let at = k as f64 / fps;
+        schedule.push(Event { at, bytes: 16_245, tag: ATOM_TAG });
+        schedule.push(Event { at, bytes: 110_740, tag: BOND_IN_VIEW });
+        schedule.push(Event { at, bytes: 350_000, tag: BOND_OUT_VIEW });
+    }
+
+    let mut ps = PubSubSystem::new();
+    let md = ps.channel(schedule);
+    ps.subscribe(
+        Subscription::full(md, "atoms", Guarantee::Probabilistic { p: 0.95 }, 3.249e6, 1250)
+            .derived(|e| e.tag == ATOM_TAG),
+    );
+    ps.subscribe(
+        Subscription::full(md, "bonds-view", Guarantee::Probabilistic { p: 0.95 }, 22.148e6, 1250)
+            .derived(|e| e.tag == BOND_IN_VIEW),
+    );
+    // Out-of-view bonds ride best-effort, downsampled in flight to 50%.
+    ps.subscribe(
+        Subscription::full(md, "bonds-rest", Guarantee::BestEffort, 0.0, 1250)
+            .derived(|e| e.tag == BOND_OUT_VIEW)
+            .transformed(0.5),
+    );
+
+    let specs = ps.stream_specs();
+    let workload = ps.into_workload();
+
+    // Reuse the Figure 8 testbed paths.
+    let experiment = iq_paths::middleware::builder::Figure8Experiment::new(42, duration);
+    let paths = experiment.paths();
+    let scheduler = Pgos::new(PgosConfig::default(), specs, paths.len());
+    let cfg = RuntimeConfig {
+        warmup_secs: 20.0,
+        ..Default::default()
+    };
+    let report = run(&paths, Box::new(workload), Box::new(scheduler), cfg, duration);
+    println!("pub/sub over IQ-Paths — {}", report.scheduler);
+    print!("{}", report.summary_table());
+    println!(
+        "derived channel delivered {:.1} Mbps of downsampled out-of-view bonds \
+         without disturbing the guaranteed subscriptions.",
+        report.streams[2].mean_throughput() / 1e6
+    );
+}

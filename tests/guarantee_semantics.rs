@@ -1,0 +1,196 @@
+//! The probabilistic-guarantee semantics, end to end: a stream admitted
+//! at probability `p` must receive its bandwidth in at least ≈ `p` of
+//! scheduling windows, and the admission upcall must fire when the
+//! network cannot support the request.
+
+use iq_paths::apps::workload::FramedSource;
+use iq_paths::middleware::runtime::{run, RuntimeConfig};
+use iq_paths::overlay::path::OverlayPath;
+use iq_paths::pgos::mapping::Upcall;
+use iq_paths::pgos::scheduler::{Pgos, PgosConfig};
+use iq_paths::pgos::stream::StreamSpec;
+use iq_paths::simnet::link::Link;
+use iq_paths::simnet::time::SimDuration;
+use iq_paths::traces::envelope::{available_bandwidth, EnvelopeConfig};
+use iq_paths::traces::RateTrace;
+
+fn envelope_path(index: usize, util: (f64, f64), seed: u64, horizon: f64) -> OverlayPath {
+    // Build cross traffic whose residual is the envelope model: cross =
+    // capacity − available.
+    let cap = 100.0e6;
+    let avail = available_bandwidth(
+        &EnvelopeConfig {
+            capacity: cap,
+            util_range: util,
+            ..Default::default()
+        },
+        0.1,
+        horizon,
+        seed,
+    );
+    let cross = RateTrace::new(
+        0.1,
+        avail.rates().iter().map(|a| (cap - a).max(0.0)).collect(),
+    );
+    let link = Link::new(format!("l{index}"), cap, SimDuration::from_millis(1))
+        .with_cross_traffic(cross);
+    OverlayPath::new(index, format!("p{index}"), vec![link])
+}
+
+fn cfg() -> RuntimeConfig {
+    RuntimeConfig {
+        warmup_secs: 30.0,
+        ..Default::default()
+    }
+}
+
+fn workload(specs: Vec<StreamSpec>, rate: f64, duration: f64) -> FramedSource {
+    let frame = (rate / (8.0 * 25.0)).round() as u32;
+    FramedSource::new(specs, vec![frame], 25.0, duration)
+}
+
+#[test]
+fn admitted_stream_meets_its_probability() {
+    let duration = 60.0;
+    let paths = vec![
+        envelope_path(0, (0.3, 0.4), 5, 100.0),
+        envelope_path(1, (0.5, 0.6), 6, 100.0),
+    ];
+    // 30 Mbps at p = 0.9: fits the stronger path's floor (≥ 60 Mbps).
+    let specs = vec![StreamSpec::probabilistic(0, "s", 30.0e6, 0.9, 1250)];
+    let w = workload(specs.clone(), 30.0e6, duration);
+    let pgos = Pgos::new(PgosConfig::default(), specs, 2);
+    let report = run(&paths, Box::new(w), Box::new(pgos), cfg(), duration);
+    assert!(report.upcalls.is_empty(), "{:?}", report.upcalls);
+    let s = report.streams[0].summary();
+    assert!(
+        s.meet_fraction >= 0.9,
+        "admitted at p=0.9 but met only {} of windows",
+        s.meet_fraction
+    );
+}
+
+#[test]
+fn infeasible_stream_raises_upcall_with_diagnosis() {
+    let duration = 30.0;
+    let paths = vec![envelope_path(0, (0.7, 0.7), 5, 80.0)];
+    // 80 Mbps cannot fit a path whose floor is ~30 Mbps.
+    let specs = vec![StreamSpec::probabilistic(0, "big", 80.0e6, 0.95, 1250)];
+    let w = workload(specs.clone(), 80.0e6, duration);
+    let pgos = Pgos::new(PgosConfig::default(), specs, 1);
+    let report = run(&paths, Box::new(w), Box::new(pgos), cfg(), duration);
+    assert!(!report.upcalls.is_empty());
+    let Upcall::StreamRejected {
+        requested_bps,
+        achievable_p,
+        ..
+    } = &report.upcalls[0];
+    assert!(*requested_bps >= 80.0e6);
+    assert!(*achievable_p < 0.95);
+}
+
+#[test]
+fn rejected_stream_still_flows_best_effort() {
+    let duration = 30.0;
+    let paths = vec![envelope_path(0, (0.6, 0.6), 7, 80.0)];
+    let specs = vec![StreamSpec::probabilistic(0, "big", 90.0e6, 0.95, 1250)];
+    let w = workload(specs.clone(), 90.0e6, duration);
+    let pgos = Pgos::new(PgosConfig::default(), specs, 1);
+    let report = run(&paths, Box::new(w), Box::new(pgos), cfg(), duration);
+    // Not admitted — but Table 1 rule 3 still ships packets with the
+    // leftover bandwidth.
+    assert!(!report.upcalls.is_empty());
+    assert!(report.streams[0].delivered_packets > 0);
+}
+
+#[test]
+fn violation_bound_stream_bounds_misses() {
+    let duration = 60.0;
+    let paths = vec![envelope_path(0, (0.3, 0.4), 9, 100.0)];
+    // Allow at most 5 expected misses per 1-second window out of
+    // x = 2000 packets (20 Mbps / 1250 B).
+    let specs = vec![StreamSpec::violation_bound(0, "vb", 20.0e6, 5.0, 1250)];
+    let w = workload(specs.clone(), 20.0e6, duration);
+    let pgos = Pgos::new(PgosConfig::default(), specs, 1);
+    let report = run(&paths, Box::new(w), Box::new(pgos), cfg(), duration);
+    assert!(report.upcalls.is_empty(), "{:?}", report.upcalls);
+    let s = &report.streams[0];
+    // 5/2000 = 0.25% allowed expected misses; measured rate must be of
+    // that order (generous 4x factor for finite-sample noise).
+    assert!(
+        s.deadline_miss_rate <= 0.01,
+        "miss rate {} blows the violation bound",
+        s.deadline_miss_rate
+    );
+}
+
+#[test]
+fn partial_service_stream_admits_where_full_service_cannot() {
+    let duration = 40.0;
+    // Floor around 100·(1−0.65) = 35 Mbps.
+    let paths = vec![envelope_path(0, (0.6, 0.65), 15, 90.0)];
+    // Offered 60 Mbps cannot be fully guaranteed on a ~35 Mbps floor;
+    // guaranteeing half of it (30 Mbps) fits.
+    let full = vec![StreamSpec::probabilistic(0, "full", 60.0e6, 0.9, 1250)];
+    let partial = vec![StreamSpec::probabilistic(0, "half", 60.0e6, 0.9, 1250)
+        .with_service_fraction(0.5)];
+
+    let w_full = workload(full.clone(), 60.0e6, duration);
+    let r_full = run(
+        &paths,
+        Box::new(w_full),
+        Box::new(Pgos::new(PgosConfig::default(), full, 1)),
+        cfg(),
+        duration,
+    );
+    assert!(!r_full.upcalls.is_empty(), "full-service 60 Mbps must reject");
+
+    let w_half = workload(partial.clone(), 60.0e6, duration);
+    let r_half = run(
+        &paths,
+        Box::new(w_half),
+        Box::new(Pgos::new(PgosConfig::default(), partial, 1)),
+        cfg(),
+        duration,
+    );
+    assert!(
+        r_half.upcalls.is_empty(),
+        "DWCS half-service must be admissible: {:?}",
+        r_half.upcalls
+    );
+    // The guaranteed half arrives in ≥ 90% of windows.
+    let meets = r_half
+        .streams[0]
+        .throughput_series
+        .iter()
+        .filter(|&&v| v >= 30.0e6)
+        .count() as f64
+        / r_half.streams[0].throughput_series.len() as f64;
+    assert!(meets >= 0.9, "guaranteed half met in only {meets} of windows");
+}
+
+#[test]
+fn guaranteed_stream_is_protected_from_best_effort_pressure() {
+    let duration = 40.0;
+    let paths = vec![
+        envelope_path(0, (0.4, 0.5), 11, 90.0),
+        envelope_path(1, (0.5, 0.7), 12, 90.0),
+    ];
+    let specs = vec![
+        StreamSpec::probabilistic(0, "crit", 25.0e6, 0.95, 1250),
+        StreamSpec::best_effort(1, "bulk", 120.0e6, 1250),
+    ];
+    let crit_frame = (25.0e6 / (8.0 * 25.0)) as u32;
+    let bulk_frame = (120.0e6 / (8.0 * 25.0)) as u32;
+    let w = FramedSource::new(specs.clone(), vec![crit_frame, bulk_frame], 25.0, duration);
+    let pgos = Pgos::new(PgosConfig::default(), specs, 2);
+    let report = run(&paths, Box::new(w), Box::new(pgos), cfg(), duration);
+    let s = report.streams[0].summary();
+    assert!(
+        s.meet_fraction >= 0.9,
+        "critical stream crushed by bulk: meet {}",
+        s.meet_fraction
+    );
+    // The bulk stream sheds load at its queue instead.
+    assert!(report.streams[1].mean_throughput() < 120.0e6);
+}

@@ -1,0 +1,104 @@
+//! The transport ↔ overlay bridge: a RUDP connection whose channel
+//! parameters come from an emulated overlay path (Figure 2's layering —
+//! the IQ-RUDP socket module rides the same links the monitoring module
+//! measures).
+
+use iq_paths::overlay::path::OverlayPath;
+use iq_paths::simnet::link::Link;
+use iq_paths::simnet::time::{SimDuration, SimTime};
+use iq_paths::simnet::EventQueue;
+use iq_paths::transport::channel::{ChannelConfig, Transit};
+use iq_paths::transport::rudp::{AckPacket, RudpConfig, Segment};
+use iq_paths::transport::{LossyChannel, RudpReceiver, RudpSender};
+
+fn overlay_path(loss: f64) -> OverlayPath {
+    let a = Link::new("hop1", 100.0e6, SimDuration::from_millis(8)).with_loss(loss);
+    let b = Link::new("hop2", 100.0e6, SimDuration::from_millis(12));
+    OverlayPath::new(0, "wan", vec![a, b])
+}
+
+/// Builds the RUDP channel from the overlay path's measured properties.
+fn channel_from_path(path: &OverlayPath, seed: u64) -> LossyChannel {
+    LossyChannel::new(
+        ChannelConfig {
+            delay: path.prop_delay(),
+            jitter: SimDuration::from_millis(1),
+            loss: path.loss_prob(),
+        },
+        seed,
+    )
+}
+
+fn transfer(path: &OverlayPath, n: u64, seed: u64) -> (Vec<u64>, RudpSender) {
+    enum Ev {
+        Seg(Segment),
+        Ack(AckPacket),
+        Tick,
+    }
+    let mut data = channel_from_path(path, seed);
+    let mut acks = channel_from_path(path, seed ^ 0xff);
+    let mut sender = RudpSender::new(RudpConfig::default());
+    let mut receiver = RudpReceiver::new();
+    let mut delivered = Vec::new();
+    let mut q: EventQueue<Ev> = EventQueue::new();
+    for _ in 0..n {
+        sender.enqueue(1000);
+    }
+    q.schedule(SimTime::ZERO, Ev::Tick);
+    let end = SimTime::from_secs_f64(300.0);
+    while let Some((now, ev)) = q.pop_until(end) {
+        match ev {
+            Ev::Tick | Ev::Ack(_) => {
+                if let Ev::Ack(a) = &ev {
+                    sender.on_ack(a, now);
+                }
+                sender.on_tick(now);
+                while let Some(seg) = sender.poll_transmit(now) {
+                    if let Transit::ArrivesAt(at) = data.submit(now) {
+                        q.schedule(at, Ev::Seg(seg));
+                    }
+                }
+                if let Some(d) = sender.next_timeout() {
+                    q.schedule(d.max(now), Ev::Tick);
+                }
+            }
+            Ev::Seg(seg) => {
+                let ack = receiver.on_segment(&seg);
+                delivered.extend(receiver.take_delivered());
+                if let Transit::ArrivesAt(at) = acks.submit(now) {
+                    q.schedule(at, Ev::Ack(ack));
+                }
+            }
+        }
+        if sender.idle() {
+            break;
+        }
+    }
+    (delivered, sender)
+}
+
+#[test]
+fn path_properties_flow_into_the_channel() {
+    let path = overlay_path(0.05);
+    assert_eq!(path.prop_delay(), SimDuration::from_millis(20));
+    assert!((path.loss_prob() - 0.05).abs() < 1e-12);
+    let ch = channel_from_path(&path, 1);
+    assert_eq!(ch.config().delay, SimDuration::from_millis(20));
+}
+
+#[test]
+fn rudp_masks_overlay_path_loss() {
+    let path = overlay_path(0.08);
+    let (delivered, sender) = transfer(&path, 500, 3);
+    assert_eq!(delivered, (0..500).collect::<Vec<_>>());
+    assert!(sender.retransmissions() > 0);
+}
+
+#[test]
+fn rtt_estimate_matches_path_round_trip() {
+    let path = overlay_path(0.0);
+    let (_, sender) = transfer(&path, 200, 5);
+    let srtt = sender.srtt().unwrap().as_secs_f64();
+    // 20 ms each way + ≤1 ms jitter per direction.
+    assert!((0.039..0.044).contains(&srtt), "srtt {srtt}");
+}
