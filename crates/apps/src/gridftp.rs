@@ -10,7 +10,7 @@
 //! streaming. In addition, we also want to fully utilize bandwidth to
 //! transfer high-resolution data."
 
-use crate::workload::{FramedSource, FrameTracker, Workload};
+use crate::workload::{FrameTracker, FramedSource, Workload};
 use iqpaths_core::stream::StreamSpec;
 
 /// Numeric-data stream index.
@@ -84,7 +84,12 @@ impl GridFtp {
         // DT3 arrives on its own cadence; its stream index inside the
         // sub-source is 0, remapped to DT3 on emission.
         let mut dt3 = FramedSource::new(
-            vec![StreamSpec::best_effort(0, "DT3-inner", 0.0, cfg.block_bytes)],
+            vec![StreamSpec::best_effort(
+                0,
+                "DT3-inner",
+                0.0,
+                cfg.block_bytes,
+            )],
             vec![DT3_BYTES],
             cfg.dt3_records_per_sec,
             cfg.duration,

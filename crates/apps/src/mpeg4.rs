@@ -88,13 +88,9 @@ impl Mpeg4Video {
             .zip(&cfg.layer_guarantees)
             .enumerate()
             .map(|(i, (&rate, &g))| match g {
-                Some(p) => StreamSpec::probabilistic(
-                    i,
-                    format!("layer{i}"),
-                    rate,
-                    p,
-                    cfg.packet_bytes,
-                ),
+                Some(p) => {
+                    StreamSpec::probabilistic(i, format!("layer{i}"), rate, p, cfg.packet_bytes)
+                }
                 None => StreamSpec::best_effort(i, format!("layer{i}"), rate, cfg.packet_bytes),
             })
             .collect()
@@ -266,8 +262,7 @@ mod tests {
         let mut per_frame: std::collections::HashMap<u64, u64> = Default::default();
         while let Some(a) = v.next_arrival() {
             if a.stream == 0 {
-                *per_frame.entry((a.at * 30.0).round() as u64).or_insert(0) +=
-                    a.bytes as u64;
+                *per_frame.entry((a.at * 30.0).round() as u64).or_insert(0) += a.bytes as u64;
             }
         }
         let sizes: Vec<f64> = per_frame.values().map(|&b| b as f64).collect();

@@ -10,7 +10,7 @@
 //! predictive guarantee for stream Atom and 22.148 Mbps with 95%
 //! predictive guarantee for stream Bond1."
 
-use crate::workload::{FramedSource, FrameTracker, Workload};
+use crate::workload::{FrameTracker, FramedSource, Workload};
 use iqpaths_core::stream::StreamSpec;
 
 /// Stream indices of the SmartPointer workload.
@@ -70,9 +70,7 @@ impl SmartPointer {
             frame_bytes(cfg.bond2_bw),
         ];
         let source = FramedSource::new(specs, frames, FPS, cfg.duration);
-        let per_frame_packets = (0..3)
-            .map(|s| source.packets_per_frame(s) as u64)
-            .collect();
+        let per_frame_packets = (0..3).map(|s| source.packets_per_frame(s) as u64).collect();
         Self {
             source,
             per_frame_packets,

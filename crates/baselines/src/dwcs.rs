@@ -258,15 +258,9 @@ mod tests {
             next_deadline: 0,
         };
         assert!((st.urgency() - 1.0).abs() < 1e-12);
-        let slack = WindowState {
-            expected: 8,
-            ..st
-        };
+        let slack = WindowState { expected: 8, ..st };
         assert!((slack.urgency() - 0.5).abs() < 1e-12);
-        let doomed = WindowState {
-            expected: 0,
-            ..st
-        };
+        let doomed = WindowState { expected: 0, ..st };
         assert!(doomed.urgency() > 1.5);
     }
 }

@@ -192,7 +192,11 @@ mod tests {
         // Path 0 owns streams 0 and 2; path 1 owns 1 and 3.
         for _ in 0..4 {
             let pkt = p.next_packet(0, 0, &mut q).unwrap();
-            assert!(pkt.stream.is_multiple_of(2), "path 0 served stream {}", pkt.stream);
+            assert!(
+                pkt.stream.is_multiple_of(2),
+                "path 0 served stream {}",
+                pkt.stream
+            );
         }
         for _ in 0..4 {
             let pkt = p.next_packet(1, 0, &mut q).unwrap();

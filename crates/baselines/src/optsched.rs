@@ -18,7 +18,7 @@ use iqpaths_core::queues::{QueuedPacket, StreamQueues};
 use iqpaths_core::scheduler::{Pgos, PgosConfig};
 use iqpaths_core::stream::StreamSpec;
 use iqpaths_core::traits::{MultipathScheduler, PathSnapshot};
-use iqpaths_stats::EmpiricalCdf;
+use iqpaths_stats::{CdfSummary, EmpiricalCdf};
 
 /// The oracle scheduler.
 #[derive(Debug, Clone)]
@@ -47,7 +47,7 @@ impl OptSched {
                 let rate = p.oracle_next_rate.unwrap_or(p.mean_prediction);
                 PathSnapshot {
                     index: p.index,
-                    cdf: EmpiricalCdf::from_clean_samples(vec![rate]),
+                    cdf: CdfSummary::exact(EmpiricalCdf::from_clean_samples(vec![rate])),
                     mean_prediction: rate,
                     oracle_next_rate: Some(rate),
                     rtt: p.rtt,
@@ -97,7 +97,7 @@ mod tests {
     fn snapshot(index: usize, oracle: f64) -> PathSnapshot {
         PathSnapshot {
             index,
-            cdf: EmpiricalCdf::from_clean_samples(vec![1.0]),
+            cdf: CdfSummary::exact(EmpiricalCdf::from_clean_samples(vec![1.0])),
             mean_prediction: 1.0,
             oracle_next_rate: Some(oracle),
             rtt: 0.0,
@@ -161,7 +161,7 @@ mod tests {
         let mut o = OptSched::new(specs, 1);
         let snap = PathSnapshot {
             index: 0,
-            cdf: EmpiricalCdf::from_clean_samples(vec![8.0e6]),
+            cdf: CdfSummary::exact(EmpiricalCdf::from_clean_samples(vec![8.0e6])),
             mean_prediction: 8.0e6,
             oracle_next_rate: None,
             rtt: 0.0,

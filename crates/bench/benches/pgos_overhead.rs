@@ -13,7 +13,7 @@ use iqpaths_core::scheduler::{Pgos, PgosConfig};
 use iqpaths_core::stream::StreamSpec;
 use iqpaths_core::traits::{MultipathScheduler, PathSnapshot};
 use iqpaths_core::vectors::SchedulingVectors;
-use iqpaths_stats::EmpiricalCdf;
+use iqpaths_stats::{CdfSummary, EmpiricalCdf};
 
 fn specs() -> Vec<StreamSpec> {
     vec![
@@ -81,7 +81,7 @@ fn bench_window_start(c: &mut Criterion) {
 fn bench_mapping(c: &mut Criterion) {
     let mapper = ResourceMapper::new(1.0);
     let specs = specs();
-    let cdfs: Vec<EmpiricalCdf> = snapshots().into_iter().map(|s| s.cdf).collect();
+    let cdfs: Vec<CdfSummary> = snapshots().into_iter().map(|s| s.cdf).collect();
     c.bench_function("resource_mapping_3streams_2paths", |b| {
         b.iter(|| mapper.map(&specs, &cdfs))
     });

@@ -36,7 +36,9 @@ fn bench_cdf_queries(c: &mut Criterion) {
         b.iter(|| cdf.truncated_mean(50_000.0))
     });
     let other = EmpiricalCdf::from_clean_samples(samples(1000));
-    c.bench_function("cdf_ks_distance_n1000", |b| b.iter(|| cdf.ks_distance(&other)));
+    c.bench_function("cdf_ks_distance_n1000", |b| {
+        b.iter(|| cdf.ks_distance(&other))
+    });
 }
 
 fn bench_histogram(c: &mut Criterion) {
@@ -53,6 +55,72 @@ fn bench_histogram(c: &mut Criterion) {
     let mut h = HistogramCdf::new(0.0, 100_000.0, 256);
     h.extend(samples(10_000));
     g.bench_function("quantile", |b| b.iter(|| h.quantile(0.05)));
+    g.finish();
+}
+
+fn bench_rolling(c: &mut Criterion) {
+    use iqpaths_stats::RollingCdf;
+    let mut g = c.benchmark_group("rolling_cdf");
+    g.throughput(Throughput::Elements(1));
+    // Steady state of a full N=1000 window: every push pairs with a
+    // remove, like the monitoring module's eviction mirroring.
+    let mut r = RollingCdf::new();
+    let data = samples(1000);
+    for &v in &data {
+        r.push(v);
+    }
+    g.bench_function("push_evict_n1000", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            r.remove(data[i % 1000]);
+            r.push(data[i % 1000]);
+            i += 1;
+        })
+    });
+    g.bench_function("snapshot_n1000", |b| b.iter(|| r.snapshot()));
+    let t = r.snapshot();
+    g.bench_function("quantile_n1000", |b| b.iter(|| t.quantile(0.05)));
+    g.finish();
+}
+
+fn bench_sketch(c: &mut Criterion) {
+    use iqpaths_stats::QuantileSketch;
+    let mut g = c.benchmark_group("quantile_sketch");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("observe_m33", |b| {
+        let mut s = QuantileSketch::new(33);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(2654435761);
+            s.observe((i % 100_000) as f64);
+        })
+    });
+    let mut s = QuantileSketch::new(33);
+    for v in samples(10_000) {
+        s.observe(v);
+    }
+    g.bench_function("quantile_m33", |b| b.iter(|| s.quantile(0.05)));
+    g.finish();
+}
+
+/// The acceptance-criterion bench: per-window snapshot cost of the
+/// monitoring module under each [`CdfMode`], at the paper's N.
+fn bench_monitoring_snapshot(c: &mut Criterion) {
+    use iqpaths_overlay::node::{CdfMode, MonitoringModule};
+    let mut g = c.benchmark_group("monitoring_snapshot");
+    for n in [500usize, 1000] {
+        for (label, mode) in [
+            ("exact", CdfMode::Exact),
+            ("rolling", CdfMode::Rolling),
+            ("sketch33", CdfMode::Sketch { markers: 33 }),
+        ] {
+            let mut m = MonitoringModule::with_mode(1, n, mode);
+            for (i, v) in samples(2 * n).into_iter().enumerate() {
+                m.observe_bandwidth(0, i as f64 * 0.1, v);
+            }
+            g.bench_function(format!("{label}_n{n}"), |b| b.iter(|| m.stats(0)));
+        }
+    }
     g.finish();
 }
 
@@ -80,6 +148,9 @@ criterion_group!(
     bench_cdf_build,
     bench_cdf_queries,
     bench_histogram,
+    bench_rolling,
+    bench_sketch,
+    bench_monitoring_snapshot,
     bench_window_update
 );
 criterion_main!(benches);

@@ -73,7 +73,9 @@ fn main() {
         e.runtime.probe_noise = noise;
         let out = e.run_smartpointer(app, SchedulerKind::Pgos);
         let (meet, ratio, jit) = critical_summary(&out);
-        println!("  noise={noise:>4}  min-meet {meet:.3}  min-ratio95 {ratio:.3}  jitter {jit:.2}ms");
+        println!(
+            "  noise={noise:>4}  min-meet {meet:.3}  min-ratio95 {ratio:.3}  jitter {jit:.2}ms"
+        );
         csv.push_str(&format!("noise,{noise},{meet:.4},{ratio:.4},{jit:.3}\n"));
     }
 
@@ -93,12 +95,18 @@ fn main() {
             pgos.0,
             msfq.0
         );
-        csv.push_str(&format!("load-pgos,{load},{:.4},{:.4},{:.3}\n", pgos.0, pgos.1, pgos.2));
-        csv.push_str(&format!("load-msfq,{load},{:.4},{:.4},{:.3}\n", msfq.0, msfq.1, msfq.2));
+        csv.push_str(&format!(
+            "load-pgos,{load},{:.4},{:.4},{:.3}\n",
+            pgos.0, pgos.1, pgos.2
+        ));
+        csv.push_str(&format!(
+            "load-msfq,{load},{:.4},{:.4},{:.3}\n",
+            msfq.0, msfq.1, msfq.2
+        ));
     }
 
     // --- abl-hist --------------------------------------------------------
-    println!("\n[abl-hist] exact vs streaming-histogram CDFs in monitoring");
+    println!("\n[abl-hist] CDF representation in monitoring");
     for (label, mode) in [
         ("exact", iqpaths_overlay::node::CdfMode::Exact),
         (
@@ -108,6 +116,11 @@ fn main() {
                 resolution: 200,
                 max_bw: iqpaths_traces::EMULAB_LINK_CAPACITY,
             },
+        ),
+        ("rolling", iqpaths_overlay::node::CdfMode::Rolling),
+        (
+            "sketch-33",
+            iqpaths_overlay::node::CdfMode::Sketch { markers: 33 },
         ),
     ] {
         let mut e = iqpaths_bench::experiment();
@@ -119,8 +132,10 @@ fn main() {
     }
 
     // --- abl-buffer ------------------------------------------------------
-    println!("\n[abl-buffer] client playback buffer (tech-report claim: PGOS \
-              reduces buffer requirements)");
+    println!(
+        "\n[abl-buffer] client playback buffer (tech-report claim: PGOS \
+              reduces buffer requirements)"
+    );
     for kind in [SchedulerKind::Msfq, SchedulerKind::Pgos] {
         let e = iqpaths_bench::experiment();
         let out = e.run_smartpointer(app, kind);
@@ -136,10 +151,7 @@ fn main() {
         );
         csv.push_str(&format!(
             "buffer,{},{:.4},{:.4},{:.3}\n",
-            out.report.scheduler,
-            out.startup_delay[0],
-            out.startup_delay[1],
-            buf_bond1
+            out.report.scheduler, out.startup_delay[0], out.startup_delay[1], buf_bond1
         ));
     }
 
@@ -168,12 +180,20 @@ fn main() {
             });
             let specs = iqpaths_apps::smartpointer::SmartPointer::specs(app);
             let sched = SchedulerKind::Pgos.build(specs, 2, PgosConfig::default());
-            let report =
-                iqpaths_middleware::runtime::run(&paths, Box::new(workload), sched, e.runtime, duration);
+            let report = iqpaths_middleware::runtime::run(
+                &paths,
+                Box::new(workload),
+                sched,
+                e.runtime,
+                duration,
+            );
             let atom = report.streams[ATOM].summary();
             let bond1 = report.streams[BOND1].summary();
             let meet = atom.meet_fraction.min(bond1.meet_fraction);
-            println!("  {label:<16} min-meet {meet:.3}  Atom mean {:.2} Mbps", atom.mean / 1e6);
+            println!(
+                "  {label:<16} min-meet {meet:.3}  Atom mean {:.2} Mbps",
+                atom.mean / 1e6
+            );
             csv.push_str(&format!("fluid,{label},{meet:.4},{:.4},0\n", atom.mean));
         }
     }

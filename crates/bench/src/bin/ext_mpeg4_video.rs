@@ -24,12 +24,17 @@ fn main() {
         layer_guarantees: vec![Some(0.99), Some(0.95), Some(0.9), None],
         ..Default::default()
     };
-    let mut csv = String::from("scheduler,mean_quality,playable_fraction,layer,mean_bps,stddev_bps\n");
+    let mut csv =
+        String::from("scheduler,mean_quality,playable_fraction,layer,mean_bps,stddev_bps\n");
     println!(
         "\n{:<10} {:>12} {:>10}   per-layer mean Mbps",
         "scheduler", "mean_quality", "playable"
     );
-    for kind in [SchedulerKind::Msfq, SchedulerKind::Pgos, SchedulerKind::OptSched] {
+    for kind in [
+        SchedulerKind::Msfq,
+        SchedulerKind::Pgos,
+        SchedulerKind::OptSched,
+    ] {
         let out = e.run_mpeg4(cfg.clone(), kind);
         let r = &out.report;
         let per_layer: Vec<String> = r

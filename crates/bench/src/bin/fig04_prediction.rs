@@ -74,7 +74,5 @@ fn main() {
         ));
     }
     iqpaths_bench::write_artifact("fig04_prediction.csv", &csv);
-    println!(
-        "\npaper: mean-predictor error ≈ 0.17–0.22 across windows; percentile failure < 0.04"
-    );
+    println!("\npaper: mean-predictor error ≈ 0.17–0.22 across windows; percentile failure < 0.04");
 }

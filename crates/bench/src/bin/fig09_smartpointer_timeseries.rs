@@ -16,8 +16,7 @@ fn main() {
         "Figure 9 — SmartPointer throughput time series ({}s, seed {})",
         e.duration, e.seed
     );
-    let mut csv =
-        String::from("scheduler,window_s,stream,throughput_bps,path0_bps,path1_bps\n");
+    let mut csv = String::from("scheduler,window_s,stream,throughput_bps,path0_bps,path1_bps\n");
     for kind in SchedulerKind::FIGURE9 {
         let out = e.run_smartpointer(SmartPointerConfig::default(), kind);
         let r = &out.report;
@@ -59,6 +58,8 @@ fn main() {
         );
     }
     iqpaths_bench::write_artifact("fig09_smartpointer_timeseries.csv", &csv);
-    println!("\npaper: PGOS gives both critical streams flat, on-target series; \
-              MSFQ fluctuates around target; WFQ (one path) degrades badly.");
+    println!(
+        "\npaper: PGOS gives both critical streams flat, on-target series; \
+              MSFQ fluctuates around target; WFQ (one path) degrades badly."
+    );
 }

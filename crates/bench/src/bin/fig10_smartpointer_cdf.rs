@@ -27,9 +27,7 @@ fn main() {
             let cdf = s.throughput_cdf();
             // Print decile points of the CDF.
             let deciles: Vec<String> = (1..=9)
-                .map(|d| {
-                    iqpaths_bench::mbps(cdf.quantile(d as f64 / 10.0).unwrap_or(0.0))
-                })
+                .map(|d| iqpaths_bench::mbps(cdf.quantile(d as f64 / 10.0).unwrap_or(0.0)))
                 .collect();
             println!("  {:<6} deciles(Mbps): {}", s.name, deciles.join(" "));
             if s.required_bw > 0.0 {
@@ -54,7 +52,5 @@ fn main() {
         }
     }
     iqpaths_bench::write_artifact("fig10_smartpointer_cdf.csv", &csv);
-    println!(
-        "\npaper: PGOS ≥ 99.5% of target at the 95%-time point; MSFQ ≈ 87%."
-    );
+    println!("\npaper: PGOS ≥ 99.5% of target at the 95%-time point; MSFQ ≈ 87%.");
 }

@@ -20,7 +20,15 @@ fn main() {
     );
     println!(
         "\n{:<10} {:<6} {:>9} {:>9} {:>9} {:>9} {:>8} {:>7} {:>9}",
-        "scheduler", "stream", "target", "mean", "95%time", "99%time", "stddev", "meet", "jitter_ms"
+        "scheduler",
+        "stream",
+        "target",
+        "mean",
+        "95%time",
+        "99%time",
+        "stddev",
+        "meet",
+        "jitter_ms"
     );
     // DWCS (PGOS's single-path ancestor, the paper's [31]) is included
     // beyond the paper's three bars to separate what window-constrained

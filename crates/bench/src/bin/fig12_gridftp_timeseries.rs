@@ -17,11 +17,13 @@ fn main() {
         "Figure 12 — GridFTP vs IQPG-GridFTP throughput ({}s, seed {})",
         e.duration, e.seed
     );
-    let mut csv =
-        String::from("scheduler,window_s,stream,throughput_bps,path0_bps,path1_bps\n");
+    let mut csv = String::from("scheduler,window_s,stream,throughput_bps,path0_bps,path1_bps\n");
     for (label, kind) in [
         ("GridFTP (blocked layout)", SchedulerKind::GridFtpBlocked),
-        ("GridFTP (partitioned layout)", SchedulerKind::GridFtpPartitioned),
+        (
+            "GridFTP (partitioned layout)",
+            SchedulerKind::GridFtpPartitioned,
+        ),
         ("IQPG-GridFTP (PGOS)", SchedulerKind::Pgos),
     ] {
         let out = e.run_gridftp(GridFtpConfig::default(), kind);

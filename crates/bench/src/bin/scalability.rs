@@ -36,9 +36,7 @@ fn paths(l: usize, horizon: f64, seed: u64) -> Vec<OverlayPath> {
 fn main() {
     let duration = 30.0f64;
     let seed = iqpaths_bench::seed();
-    println!(
-        "Emulation scalability (virtual {duration} s per cell, seed {seed})\n"
-    );
+    println!("Emulation scalability (virtual {duration} s per cell, seed {seed})\n");
     println!(
         "{:>8} {:>7} {:>11} {:>12} {:>12} {:>14}",
         "streams", "paths", "load_mbps", "events", "wall_ms", "events_per_sec"
@@ -76,8 +74,7 @@ fn main() {
             })
             .collect();
         let frame = (per_stream_mbps * 1.0e6 / (8.0 * 25.0)).round() as u32;
-        let workload =
-            FramedSource::new(specs.clone(), vec![frame; n_streams], 25.0, duration);
+        let workload = FramedSource::new(specs.clone(), vec![frame; n_streams], 25.0, duration);
         let scheduler = Pgos::new(PgosConfig::default(), specs, n_paths);
         let t0 = Instant::now();
         let report = run(&ps, Box::new(workload), Box::new(scheduler), cfg, duration);

@@ -20,7 +20,11 @@ fn main() {
         "scheduler", "min-meet mean", "min-meet sd", "worst seed"
     );
     let mut csv = String::from("scheduler,seed,min_meet_fraction,max_jitter_ms\n");
-    for kind in [SchedulerKind::Msfq, SchedulerKind::Pgos, SchedulerKind::OptSched] {
+    for kind in [
+        SchedulerKind::Msfq,
+        SchedulerKind::Pgos,
+        SchedulerKind::OptSched,
+    ] {
         // Runs are independent and deterministic per seed: fan the
         // sweep out across threads and reassemble in seed order.
         let mut results: Vec<(u64, String, f64, f64)> = crossbeam::thread::scope(|scope| {

@@ -42,9 +42,8 @@ fn main() {
         avail.rates().iter().map(|a| (cap - a).max(0.0)).collect(),
     );
     let link = Link::new("l", cap, SimDuration::from_millis(1)).with_cross_traffic(cross);
-    let truth = EmpiricalCdf::from_clean_samples(
-        avail.slice(warmup, warmup + duration).rates().to_vec(),
-    );
+    let truth =
+        EmpiricalCdf::from_clean_samples(avail.slice(warmup, warmup + duration).rates().to_vec());
 
     println!(
         "Guarantee validation ({duration} s, seed {seed}) — demand swept across the path CDF\n"
@@ -81,8 +80,8 @@ fn main() {
         let path = OverlayPath::new(0, "p", vec![link.clone()]);
         let report = run(&[path], Box::new(w), Box::new(pgos), cfg, duration);
         let series = &report.streams[0].throughput_series;
-        let meet = series.iter().filter(|&&v| v >= 0.99 * rate).count() as f64
-            / series.len() as f64;
+        let meet =
+            series.iter().filter(|&&v| v >= 0.99 * rate).count() as f64 / series.len() as f64;
         let shortfall = series
             .iter()
             .map(|&v| (x as f64 - v / pkt_bits).max(0.0))
@@ -102,7 +101,5 @@ fn main() {
         ));
     }
     iqpaths_bench::write_artifact("validation.csv", &csv);
-    println!(
-        "\nexpected: measured meet ≥ lemma1_prob − noise; measured shortfall ≤ lemma2 bound."
-    );
+    println!("\nexpected: measured meet ≥ lemma1_prob − noise; measured shortfall ≤ lemma2 bound.");
 }

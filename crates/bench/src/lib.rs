@@ -40,8 +40,7 @@ pub fn seed() -> u64 {
 /// The experiment output directory (`target/experiments`), created on
 /// first use.
 pub fn out_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/experiments");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
     std::fs::create_dir_all(&dir).expect("create experiment output dir");
     dir
 }

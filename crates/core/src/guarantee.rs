@@ -44,12 +44,7 @@ pub fn lemma1_probability<C: BandwidthCdf>(cdf: &C, x: u32, s_bytes: u32, tw_sec
 /// `E[Z] ≤ x·F(b0) − (t_w/s_bits)·M[b0]`, clamped at ≥ 0 (the bound is
 /// vacuous below zero). An empty CDF pessimistically reports `x` (all
 /// packets may miss).
-pub fn lemma2_expected_misses<C: BandwidthCdf>(
-    cdf: &C,
-    x: u32,
-    s_bytes: u32,
-    tw_secs: f64,
-) -> f64 {
+pub fn lemma2_expected_misses<C: BandwidthCdf>(cdf: &C, x: u32, s_bytes: u32, tw_secs: f64) -> f64 {
     if x == 0 {
         return 0.0;
     }
@@ -73,9 +68,7 @@ pub fn path_admits<C: BandwidthCdf>(
     tw_secs: f64,
 ) -> bool {
     match spec.guarantee {
-        Guarantee::Probabilistic { p } => {
-            prob_of_service(cdf, committed_bps + additional_bps) >= p
-        }
+        Guarantee::Probabilistic { p } => prob_of_service(cdf, committed_bps + additional_bps) >= p,
         Guarantee::ViolationBound {
             max_expected_misses,
         } => {
@@ -84,7 +77,11 @@ pub fn path_admits<C: BandwidthCdf>(
             let total = committed_bps + additional_bps;
             let x_total = (total * tw_secs / (spec.packet_bytes as f64 * 8.0)).ceil() as u32;
             // Scale the bound by this stream's share of the load.
-            let share = if total > 0.0 { additional_bps / total } else { 1.0 };
+            let share = if total > 0.0 {
+                additional_bps / total
+            } else {
+                1.0
+            };
             lemma2_expected_misses(cdf, x_total, spec.packet_bytes, tw_secs) * share
                 <= max_expected_misses
         }
@@ -278,12 +275,7 @@ mod tests {
             StreamSpec::best_effort(1, "b", 10.0e6, 1000),
         ];
         let assigned = vec![vec![20.0e6, 0.0], vec![0.0, 10.0e6]];
-        assert!(mapping_is_feasible(
-            &[c1, c2],
-            &specs,
-            &assigned,
-            1.0
-        ));
+        assert!(mapping_is_feasible(&[c1, c2], &specs, &assigned, 1.0));
     }
 
     #[test]

@@ -12,9 +12,9 @@
 //! reordering-prone) is deliberately not used: mapping is greedy,
 //! whole-path-first, in descending guarantee strength.
 
-use crate::guarantee::{self, residual_cdf};
+use crate::guarantee;
 use crate::stream::{Guarantee, StreamSpec};
-use iqpaths_stats::EmpiricalCdf;
+use iqpaths_stats::CdfSummary;
 use serde::{Deserialize, Serialize};
 
 /// Admission-control notification delivered to the application.
@@ -104,8 +104,8 @@ impl ResourceMapper {
         }
     }
 
-    /// Runs the mapping over the current path CDFs.
-    pub fn map(&self, specs: &[StreamSpec], cdfs: &[EmpiricalCdf]) -> MappingResult {
+    /// Runs the mapping over the current path distribution summaries.
+    pub fn map(&self, specs: &[StreamSpec], cdfs: &[CdfSummary]) -> MappingResult {
         self.map_full(specs, cdfs, None, None)
     }
 
@@ -119,7 +119,7 @@ impl ResourceMapper {
     pub fn map_with_affinity(
         &self,
         specs: &[StreamSpec],
-        cdfs: &[EmpiricalCdf],
+        cdfs: &[CdfSummary],
         affinity: Option<&[Option<usize>]>,
     ) -> MappingResult {
         self.map_full(specs, cdfs, affinity, None)
@@ -133,7 +133,7 @@ impl ResourceMapper {
     pub fn map_full(
         &self,
         specs: &[StreamSpec],
-        cdfs: &[EmpiricalCdf],
+        cdfs: &[CdfSummary],
         affinity: Option<&[Option<usize>]>,
         path_loss: Option<&[f64]>,
     ) -> MappingResult {
@@ -192,8 +192,7 @@ impl ResourceMapper {
                 .fold(f64::NEG_INFINITY, f64::max);
             let preferred = affinity.and_then(|a| a.get(i).copied().flatten());
             let choice = if best_prob.is_finite() {
-                let qualifies =
-                    |j: usize| probs[j] >= p && probs[j] >= best_prob - PROB_MARGIN;
+                let qualifies = |j: usize| probs[j] >= p && probs[j] >= best_prob - PROB_MARGIN;
                 match preferred {
                     Some(j) if j < l && qualifies(j) => Some(j),
                     _ => (0..l).find(|&j| qualifies(j)),
@@ -299,7 +298,7 @@ impl ResourceMapper {
         row_pkts: &[u32],
         row_rates: &[f64],
         committed: &[f64],
-        cdfs: &[EmpiricalCdf],
+        cdfs: &[CdfSummary],
         bound: f64,
     ) -> bool {
         let x_total: u32 = row_pkts.iter().sum();
@@ -315,9 +314,8 @@ impl ResourceMapper {
             // Evaluate this part's misses on the path's residual CDF
             // after the *other* streams' load.
             let other = committed[j] - row_rates[j];
-            let resid = residual_cdf(&cdfs[j], other);
-            let ez =
-                guarantee::lemma2_expected_misses(&resid, xj, spec.packet_bytes, self.tw_secs);
+            let resid = cdfs[j].residual(other);
+            let ez = guarantee::lemma2_expected_misses(&resid, xj, spec.packet_bytes, self.tw_secs);
             weighted += ez * (xj as f64 / x_total as f64);
         }
         weighted <= bound + 1e-9
@@ -354,17 +352,21 @@ pub fn largest_remainder_split(x: u32, weights: &[f64]) -> Vec<u32> {
 mod tests {
     use super::*;
 
-    fn cdf_mbps(vals: &[f64]) -> EmpiricalCdf {
-        EmpiricalCdf::from_clean_samples(vals.iter().map(|v| v * 1.0e6).collect())
+    use iqpaths_stats::EmpiricalCdf;
+
+    fn cdf_mbps(vals: &[f64]) -> CdfSummary {
+        CdfSummary::exact(EmpiricalCdf::from_clean_samples(
+            vals.iter().map(|v| v * 1.0e6).collect(),
+        ))
     }
 
     /// Uniform 1..=100 Mbps path: q(0.05)=5, q(0.10)=10 Mbps, etc.
-    fn uniform_path() -> EmpiricalCdf {
+    fn uniform_path() -> CdfSummary {
         cdf_mbps(&(1..=100).map(|i| i as f64).collect::<Vec<_>>())
     }
 
     /// Strong path: 50..=100 Mbps uniform (q(0.05) ≈ 52 Mbps).
-    fn strong_path() -> EmpiricalCdf {
+    fn strong_path() -> CdfSummary {
         cdf_mbps(&(50..=100).map(|i| i as f64).collect::<Vec<_>>())
     }
 
@@ -525,7 +527,10 @@ mod tests {
         let free = mapper.map(&specs, &cdfs);
         assert!(free.rates[0][0] > 0.0, "no-affinity tie must pick path 0");
         let pinned = mapper.map_with_affinity(&specs, &cdfs, Some(&[Some(1)]));
-        assert!(pinned.rates[0][1] > 0.0, "affinity must keep the stream on path 1");
+        assert!(
+            pinned.rates[0][1] > 0.0,
+            "affinity must keep the stream on path 1"
+        );
         // Affinity to a non-qualifying path is ignored.
         let bad = cdf_mbps(&[1.0, 2.0]);
         let cdfs2 = [strong_path(), bad];

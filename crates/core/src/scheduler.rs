@@ -21,7 +21,7 @@ use crate::queues::{QueuedPacket, StreamQueues};
 use crate::stream::StreamSpec;
 use crate::traits::{MultipathScheduler, PathSnapshot};
 use crate::vectors::{SchedulingVectors, VsCursor};
-use iqpaths_stats::EmpiricalCdf;
+use iqpaths_stats::CdfSummary;
 
 /// PGOS tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -42,7 +42,7 @@ impl Default for PgosConfig {
         Self {
             window_secs: 1.0,
             remap_ks_threshold: 0.2,
-            backoff_initial_ns: 5_000_000,    // 5 ms
+            backoff_initial_ns: 5_000_000, // 5 ms
             backoff_max_ns: 1_000_000_000, // 1 s
         }
     }
@@ -65,8 +65,8 @@ pub struct Pgos {
     vectors: Option<SchedulingVectors>,
     /// Per-path cursor over `VS[j]`, rebuilt each window.
     cursors: Vec<VsCursor>,
-    /// CDFs the current mapping was computed against.
-    reference_cdfs: Vec<EmpiricalCdf>,
+    /// Distribution summaries the current mapping was computed against.
+    reference_cdfs: Vec<CdfSummary>,
     /// Latest measured per-path loss rates.
     path_loss: Vec<f64>,
     window_start_ns: u64,
@@ -159,7 +159,7 @@ impl Pgos {
         self.mapping.as_ref()
     }
 
-    fn needs_remap(&self, cdfs: &[EmpiricalCdf]) -> bool {
+    fn needs_remap(&self, cdfs: &[CdfSummary]) -> bool {
         let Some(mapping) = &self.mapping else {
             return true;
         };
@@ -197,7 +197,7 @@ impl Pgos {
         )
     }
 
-    fn remap(&mut self, cdfs: &[EmpiricalCdf]) {
+    fn remap(&mut self, cdfs: &[CdfSummary]) {
         // Keep streams on their previous paths across near-tied remaps.
         let affinity: Vec<Option<usize>> = match &self.mapping {
             None => vec![None; self.specs.len()],
@@ -213,12 +213,9 @@ impl Pgos {
                 })
                 .collect(),
         };
-        let mapping = self.mapper.map_full(
-            &self.specs,
-            cdfs,
-            Some(&affinity),
-            Some(&self.path_loss),
-        );
+        let mapping =
+            self.mapper
+                .map_full(&self.specs, cdfs, Some(&affinity), Some(&self.path_loss));
         self.upcalls.extend(mapping.upcalls.iter().cloned());
         self.vectors = Some(SchedulingVectors::build(mapping.assignments.clone()));
         self.mapping = Some(mapping);
@@ -233,8 +230,7 @@ impl Pgos {
         };
         self.cursors = (0..self.paths)
             .map(|j| {
-                let per_stream: Vec<u32> =
-                    vectors.assignments.iter().map(|row| row[j]).collect();
+                let per_stream: Vec<u32> = vectors.assignments.iter().map(|row| row[j]).collect();
                 VsCursor::new(vectors.vs[j].clone(), per_stream)
             })
             .collect();
@@ -372,7 +368,8 @@ impl MultipathScheduler for Pgos {
         self.window_start_ns = window_start_ns;
         self.window_ns = window_ns;
         self.path_loss = paths.iter().map(|p| p.loss).collect();
-        let cdfs: Vec<EmpiricalCdf> = paths.iter().map(|p| p.cdf.clone()).collect();
+        // O(1) per path: summaries share their backing structure.
+        let cdfs: Vec<CdfSummary> = paths.iter().map(|p| p.cdf.clone()).collect();
         if self.needs_remap(&cdfs) {
             self.remap(&cdfs);
         }
@@ -424,6 +421,7 @@ impl MultipathScheduler for Pgos {
 mod tests {
     use super::*;
     use crate::stream::StreamSpec;
+    use iqpaths_stats::EmpiricalCdf;
 
     fn mbps(v: f64) -> f64 {
         v * 1.0e6
@@ -461,10 +459,11 @@ mod tests {
     fn first_window_triggers_mapping() {
         let (mut pgos, _q) = setup();
         assert!(pgos.mapping().is_none());
-        pgos.on_window_start(0, 1_000_000_000, &snapshots(vec![
-            uniform_cdf(50, 100),
-            uniform_cdf(10, 60),
-        ]));
+        pgos.on_window_start(
+            0,
+            1_000_000_000,
+            &snapshots(vec![uniform_cdf(50, 100), uniform_cdf(10, 60)]),
+        );
         assert!(pgos.mapping().is_some());
         assert_eq!(pgos.remap_count(), 1);
     }
@@ -597,7 +596,13 @@ mod tests {
 
     #[test]
     fn infeasible_stream_produces_upcall() {
-        let specs = vec![StreamSpec::probabilistic(0, "huge", mbps(500.0), 0.95, 1000)];
+        let specs = vec![StreamSpec::probabilistic(
+            0,
+            "huge",
+            mbps(500.0),
+            0.95,
+            1000,
+        )];
         let mut pgos = Pgos::new(PgosConfig::default(), specs, 1);
         pgos.on_window_start(0, 1_000_000_000, &snapshots(vec![uniform_cdf(10, 60)]));
         let upcalls = pgos.drain_upcalls();

@@ -322,8 +322,7 @@ mod tests {
     #[test]
     fn partial_service_shrinks_x_not_y() {
         // 8 Mbps at 1000 B packets over 1 s: y = 1000 arrivals.
-        let s = StreamSpec::probabilistic(0, "s", 8.0e6, 0.95, 1000)
-            .with_service_fraction(0.75);
+        let s = StreamSpec::probabilistic(0, "s", 8.0e6, 0.95, 1000).with_service_fraction(0.75);
         assert_eq!(s.arrivals_per_window(1.0), 1000);
         assert_eq!(s.packets_per_window(1.0), 750);
         let wc = s.window_constraint(1.0);
@@ -334,8 +333,7 @@ mod tests {
     #[test]
     #[should_panic]
     fn zero_service_fraction_rejected() {
-        let _ = StreamSpec::probabilistic(0, "s", 1.0e6, 0.9, 1000)
-            .with_service_fraction(0.0);
+        let _ = StreamSpec::probabilistic(0, "s", 1.0e6, 0.9, 1000).with_service_fraction(0.0);
     }
 
     #[test]

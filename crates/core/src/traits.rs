@@ -7,16 +7,22 @@
 
 use crate::queues::{QueuedPacket, StreamQueues};
 use crate::stream::StreamSpec;
-use iqpaths_stats::EmpiricalCdf;
+use iqpaths_stats::{CdfSummary, EmpiricalCdf};
 
 /// Monitoring state of one overlay path, as delivered to schedulers at
 /// window boundaries (Figure 3's "path characteristics" feedback).
+///
+/// This is the single snapshot type of the monitoring→scheduling data
+/// plane: the monitoring module produces one per path per window, and
+/// the same value flows unchanged through resource mapping and the
+/// guarantee calculators. Cloning is O(1) — the distribution summary is
+/// an [`CdfSummary`], which shares its backing structure.
 #[derive(Debug, Clone)]
 pub struct PathSnapshot {
     /// Path index.
     pub index: usize,
-    /// Empirical CDF of recent available-bandwidth samples (bits/s).
-    pub cdf: EmpiricalCdf,
+    /// Summary of the recent available-bandwidth distribution (bits/s).
+    pub cdf: CdfSummary,
     /// A mean-bandwidth prediction for the next window (what MA/EWMA
     /// style baselines use).
     pub mean_prediction: f64,
@@ -30,8 +36,14 @@ pub struct PathSnapshot {
 }
 
 impl PathSnapshot {
-    /// A snapshot with only a CDF (tests and simple baselines).
+    /// A snapshot with only an exact CDF (tests and simple baselines).
     pub fn from_cdf(index: usize, cdf: EmpiricalCdf) -> Self {
+        Self::from_summary(index, CdfSummary::exact(cdf))
+    }
+
+    /// A snapshot from any distribution summary, with the mean
+    /// prediction filled from the summary itself.
+    pub fn from_summary(index: usize, cdf: CdfSummary) -> Self {
         let mean_prediction = iqpaths_stats::BandwidthCdf::mean(&cdf);
         Self {
             index,

@@ -24,9 +24,8 @@ struct DeadlineEntry {
 }
 
 fn merge_by_deadline(counts: &[u32]) -> Vec<usize> {
-    let mut entries: Vec<DeadlineEntry> = Vec::with_capacity(
-        counts.iter().map(|&c| c as usize).sum(),
-    );
+    let mut entries: Vec<DeadlineEntry> =
+        Vec::with_capacity(counts.iter().map(|&c| c as usize).sum());
     for (owner, &count) in counts.iter().enumerate() {
         for k in 0..count {
             entries.push(DeadlineEntry {
@@ -37,7 +36,11 @@ fn merge_by_deadline(counts: &[u32]) -> Vec<usize> {
     }
     // Stable sort on deadline keeps the by-owner insertion order for
     // ties, i.e. lower owner index first.
-    entries.sort_by(|a, b| a.deadline.partial_cmp(&b.deadline).expect("finite deadlines"));
+    entries.sort_by(|a, b| {
+        a.deadline
+            .partial_cmp(&b.deadline)
+            .expect("finite deadlines")
+    });
     entries.into_iter().map(|e| e.owner).collect()
 }
 

@@ -4,7 +4,7 @@
 use iqpaths_core::mapping::{largest_remainder_split, ResourceMapper};
 use iqpaths_core::stream::StreamSpec;
 use iqpaths_core::vectors::{path_lookup_vector, SchedulingVectors};
-use iqpaths_stats::EmpiricalCdf;
+use iqpaths_stats::{CdfSummary, EmpiricalCdf};
 use proptest::prelude::*;
 
 proptest! {
@@ -79,12 +79,12 @@ proptest! {
         // Two uniform paths with different ranges; mapping output must
         // (a) conserve each admitted stream's packet count and
         // (b) keep committed load within each path's p-quantile.
-        let cdfs: Vec<EmpiricalCdf> = seeds
+        let cdfs: Vec<CdfSummary> = seeds
             .iter()
             .map(|&lo| {
-                EmpiricalCdf::from_clean_samples(
+                CdfSummary::exact(EmpiricalCdf::from_clean_samples(
                     (lo..=lo + 40).map(|v| v as f64 * 1.0e6).collect(),
-                )
+                ))
             })
             .collect();
         let specs = vec![

@@ -106,11 +106,7 @@ impl Figure8Experiment {
     }
 
     /// Runs an arbitrary workload/scheduler pair on the testbed.
-    pub fn run(
-        &self,
-        workload: Box<dyn Workload>,
-        kind: SchedulerKind,
-    ) -> RunReport {
+    pub fn run(&self, workload: Box<dyn Workload>, kind: SchedulerKind) -> RunReport {
         let paths = self.paths();
         let specs = workload.specs().to_vec();
         let scheduler = kind.build(specs, paths.len(), self.pgos);
@@ -329,6 +325,9 @@ mod tests {
         let e = quick();
         let out = e.run_smartpointer(SmartPointerConfig::default(), SchedulerKind::Wfq);
         assert!(out.report.path_sent_bytes[0] > 0);
-        assert_eq!(out.report.path_sent_bytes[1], 0, "WFQ must not touch path B");
+        assert_eq!(
+            out.report.path_sent_bytes[1], 0,
+            "WFQ must not touch path B"
+        );
     }
 }

@@ -95,10 +95,7 @@ pub fn run_multicast(
 
     let mut queues = StreamQueues::new(n_streams, cfg.queue_capacity);
     let mut trunks: Vec<PathService> = trunk_paths.iter().map(OverlayPath::service).collect();
-    let mut outs: Vec<PathService> = client_paths
-        .iter()
-        .map(|(_, p)| p.service())
-        .collect();
+    let mut outs: Vec<PathService> = client_paths.iter().map(|(_, p)| p.service()).collect();
     let mut out_queues: Vec<VecDeque<Packet>> = vec![VecDeque::new(); n_clients];
     // Router output queues sized like a deep switch buffer.
     let out_capacity = 4096;
@@ -234,18 +231,9 @@ pub fn run_multicast(
                 );
             }
             Ev::Window => {
-                let snaps: Vec<PathSnapshot> = monitoring
-                    .all_stats()
-                    .into_iter()
-                    .map(|st| PathSnapshot {
-                        index: st.index,
-                        cdf: st.cdf,
-                        mean_prediction: st.mean_prediction,
-                        oracle_next_rate: None,
-                        rtt: st.rtt,
-                        loss: 0.0,
-                    })
-                    .collect();
+                // Monitoring emits PathSnapshots directly; the trunk
+                // runtime has no ground truth to add.
+                let snaps: Vec<PathSnapshot> = monitoring.all_stats();
                 scheduler.on_window_start(now_ns, (cfg.window_secs * 1e9) as u64, &snaps);
                 upcalls.extend(scheduler.drain_upcalls());
                 for j in 0..n_trunks {
@@ -335,7 +323,14 @@ mod tests {
         let (trunks, clients, cfg) = setup(duration);
         let (specs, src) = workload(20.0e6, duration);
         let pgos = Pgos::new(PgosConfig::default(), specs, 2);
-        let r = run_multicast(&trunks, &clients, Box::new(src), Box::new(pgos), cfg, duration);
+        let r = run_multicast(
+            &trunks,
+            &clients,
+            Box::new(src),
+            Box::new(pgos),
+            cfg,
+            duration,
+        );
         assert!(r.upcalls.is_empty());
         // Fast and ok clients keep up with the 20 Mbps feed.
         for k in 0..2 {
@@ -353,11 +348,22 @@ mod tests {
         let (trunks, clients, cfg) = setup(duration);
         let (specs, src) = workload(20.0e6, duration);
         let pgos = Pgos::new(PgosConfig::default(), specs, 2);
-        let r = run_multicast(&trunks, &clients, Box::new(src), Box::new(pgos), cfg, duration);
+        let r = run_multicast(
+            &trunks,
+            &clients,
+            Box::new(src),
+            Box::new(pgos),
+            cfg,
+            duration,
+        );
         // The 5 Mbps client path cannot carry 20 Mbps: it sheds at the
         // router queue without touching the other subscribers.
         let slow = &r.clients[2];
-        assert!(slow.mean_throughput(0) < 6.0e6, "{}", slow.mean_throughput(0));
+        assert!(
+            slow.mean_throughput(0) < 6.0e6,
+            "{}",
+            slow.mean_throughput(0)
+        );
         assert!(slow.router_drops > 0);
         assert_eq!(r.clients[0].router_drops, 0);
         assert!(
@@ -373,8 +379,19 @@ mod tests {
         // 90 Mbps feed: more than either trunk alone at p=0.9.
         let (specs, src) = workload(90.0e6, duration);
         let pgos = Pgos::new(PgosConfig::default(), specs, 2);
-        let r = run_multicast(&trunks, &clients, Box::new(src), Box::new(pgos), cfg, duration);
-        assert!(r.trunk_sent_bytes.iter().all(|&b| b > 0), "{:?}", r.trunk_sent_bytes);
+        let r = run_multicast(
+            &trunks,
+            &clients,
+            Box::new(src),
+            Box::new(pgos),
+            cfg,
+            duration,
+        );
+        assert!(
+            r.trunk_sent_bytes.iter().all(|&b| b > 0),
+            "{:?}",
+            r.trunk_sent_bytes
+        );
         // The clean client still receives most of it.
         assert!(r.clients[0].mean_throughput(0) > 70.0e6);
     }

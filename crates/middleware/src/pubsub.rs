@@ -252,8 +252,7 @@ mod tests {
         let mut ps = PubSubSystem::new();
         let ch = ps.channel(events());
         ps.subscribe(
-            Subscription::full(ch, "odd", Guarantee::BestEffort, 0.0, 3000)
-                .derived(|e| e.tag == 1),
+            Subscription::full(ch, "odd", Guarantee::BestEffort, 0.0, 3000).derived(|e| e.tag == 1),
         );
         let mut w = ps.into_workload();
         let mut count = 0;

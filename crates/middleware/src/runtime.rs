@@ -139,8 +139,7 @@ pub fn run_with_sink(
     // --- Components -----------------------------------------------------
     let mut queues = StreamQueues::new(n_streams, cfg.queue_capacity);
     let mut services: Vec<PathService> = paths.iter().map(OverlayPath::service).collect();
-    let mut monitoring =
-        MonitoringModule::with_mode(n_paths, cfg.history_samples, cfg.cdf_mode);
+    let mut monitoring = MonitoringModule::with_mode(n_paths, cfg.history_samples, cfg.cdf_mode);
     let mut probes: Vec<AvailBwProbe> = (0..n_paths)
         .map(|j| {
             AvailBwProbe::new(
@@ -241,8 +240,7 @@ pub fn run_with_sink(
                 }
                 // Blocked-path detection feeds the scheduler's backoff.
                 let residual = svc.residual_at(now_s);
-                let blocked =
-                    residual < cfg.blocked_residual_frac * paths[j].bottleneck_capacity();
+                let blocked = residual < cfg.blocked_residual_frac * paths[j].bottleneck_capacity();
                 if blocked {
                     scheduler.on_path_blocked(j, now_ns);
                 }
@@ -362,11 +360,7 @@ pub fn run_with_sink(
                         }
                     })
                     .collect();
-                scheduler.on_window_start(
-                    now_ns,
-                    (cfg.window_secs * 1e9) as u64,
-                    &snapshots,
-                );
+                scheduler.on_window_start(now_ns, (cfg.window_secs * 1e9) as u64, &snapshots);
                 upcalls.extend(scheduler.drain_upcalls());
                 for j in 0..n_paths {
                     if idle[j] && services[j].is_free(now) && scheduler.uses_path(j) {
@@ -539,6 +533,37 @@ mod tests {
             b.streams[0].throughput_series
         );
         assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn rolling_cdf_mode_reproduces_exact_run() {
+        // The rolling summary answers every query bit-identically to the
+        // exact CDF, so a seeded run must produce the same report under
+        // either mode: same scheduling decisions, same event count.
+        // (Lossless paths keep the goodput scale factor at exactly 1.)
+        let run_once = |mode| {
+            let paths = vec![congested_path(0, 100.0, 40.0), clean_path(1, 20.0)];
+            let (specs, src) = one_stream_workload(25.0, 8.0);
+            let pgos = Pgos::new(PgosConfig::default(), specs, 2);
+            let cfg = RuntimeConfig {
+                cdf_mode: mode,
+                ..quick_cfg()
+            };
+            run(&paths, Box::new(src), Box::new(pgos), cfg, 8.0)
+        };
+        let e = run_once(iqpaths_overlay::node::CdfMode::Exact);
+        let r = run_once(iqpaths_overlay::node::CdfMode::Rolling);
+        assert_eq!(e.events, r.events);
+        assert_eq!(e.path_sent_bytes, r.path_sent_bytes);
+        assert_eq!(e.upcalls.len(), r.upcalls.len());
+        for (se, sr) in e.streams.iter().zip(&r.streams) {
+            assert_eq!(se.delivered_packets, sr.delivered_packets);
+            assert_eq!(se.delivered_bytes, sr.delivered_bytes);
+            assert_eq!(se.throughput_series, sr.throughput_series);
+            assert_eq!(se.per_path_series, sr.per_path_series);
+            assert_eq!(se.mean_latency, sr.mean_latency);
+            assert_eq!(se.deadline_miss_rate, sr.deadline_miss_rate);
+        }
     }
 
     #[test]

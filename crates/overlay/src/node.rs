@@ -7,8 +7,16 @@
 //! keeps a rolling window of available-bandwidth samples (the paper
 //! uses N = 500–1000 samples at 0.1–1 s), an EWMA mean predictor for
 //! the mean-based baselines, and a smoothed RTT estimate.
+//!
+//! Snapshots are emitted as [`PathSnapshot`] — the single summary type
+//! of the monitoring→scheduling data plane — holding a
+//! [`CdfSummary`] whose representation is chosen by [`CdfMode`].
 
-use iqpaths_stats::{BandwidthCdf, Ewma, HistogramCdf, Predictor, SampleWindow};
+use iqpaths_core::traits::PathSnapshot;
+use iqpaths_stats::{
+    BandwidthCdf, CdfSummary, Ewma, HistogramCdf, Predictor, QuantileSketch, RollingCdf,
+    SampleWindow,
+};
 
 /// How the monitoring module summarizes bandwidth distributions.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -27,29 +35,36 @@ pub enum CdfMode {
         /// Domain upper bound in bits/s (e.g. the link capacity).
         max_bw: f64,
     },
+    /// Incrementally maintained order statistics over the same rolling
+    /// window as `Exact`: O(log N) per sample, O(1) snapshot, and
+    /// queries bit-identical to the exact empirical CDF.
+    Rolling,
+    /// Constant-memory extended-P² quantile sketch over the whole
+    /// stream — O(markers) per sample and per snapshot, approximate
+    /// queries, no eviction.
+    Sketch {
+        /// Marker count (≥ 3; 33 gives a marker every 3.125 centiles).
+        markers: usize,
+    },
 }
 
-/// Monitoring output for one path at a window boundary.
+/// Per-path distribution state behind the configured [`CdfMode`].
 #[derive(Debug, Clone)]
-pub struct PathStats {
-    /// Path index.
-    pub index: usize,
-    /// Empirical CDF of the recent available-bandwidth samples.
-    pub cdf: iqpaths_stats::EmpiricalCdf,
-    /// EWMA mean-bandwidth prediction for the next window.
-    pub mean_prediction: f64,
-    /// Smoothed RTT in seconds.
-    pub rtt: f64,
-    /// Number of samples backing the CDF.
-    pub samples: usize,
+enum Backend {
+    Exact,
+    Histogram {
+        hists: Vec<HistogramCdf>,
+        resolution: usize,
+    },
+    Rolling(Vec<RollingCdf>),
+    Sketch(Vec<QuantileSketch>),
 }
 
 /// Per-path monitoring state of an overlay node.
 #[derive(Debug, Clone)]
 pub struct MonitoringModule {
     windows: Vec<SampleWindow>,
-    histograms: Option<Vec<HistogramCdf>>,
-    resolution: usize,
+    backend: Backend,
     means: Vec<Ewma>,
     rtts: Vec<f64>,
 }
@@ -67,12 +82,13 @@ impl MonitoringModule {
     /// Monitoring with an explicit CDF mode (the `abl-hist` knob).
     ///
     /// # Panics
-    /// Panics on zero paths/samples, or a histogram mode with zero
-    /// bins/resolution or non-positive domain.
+    /// Panics on zero paths/samples, a histogram mode with zero
+    /// bins/resolution or non-positive domain, or a sketch mode with
+    /// fewer than 3 markers.
     pub fn with_mode(paths: usize, n_samples: usize, mode: CdfMode) -> Self {
         assert!(paths > 0, "need at least one path");
-        let (histograms, resolution) = match mode {
-            CdfMode::Exact => (None, 0),
+        let backend = match mode {
+            CdfMode::Exact => Backend::Exact,
             CdfMode::Histogram {
                 bins,
                 resolution,
@@ -81,20 +97,21 @@ impl MonitoringModule {
                 assert!(bins > 0 && resolution > 1 && max_bw > 0.0);
                 // Decay tuned so roughly `n_samples` of history matter.
                 let decay = 1.0 - 1.0 / n_samples as f64;
-                (
-                    Some(
-                        (0..paths)
-                            .map(|_| HistogramCdf::with_decay(0.0, max_bw, bins, decay))
-                            .collect(),
-                    ),
+                Backend::Histogram {
+                    hists: (0..paths)
+                        .map(|_| HistogramCdf::with_decay(0.0, max_bw, bins, decay))
+                        .collect(),
                     resolution,
-                )
+                }
+            }
+            CdfMode::Rolling => Backend::Rolling((0..paths).map(|_| RollingCdf::new()).collect()),
+            CdfMode::Sketch { markers } => {
+                Backend::Sketch((0..paths).map(|_| QuantileSketch::new(markers)).collect())
             }
         };
         Self {
             windows: (0..paths).map(|_| SampleWindow::new(n_samples)).collect(),
-            histograms,
-            resolution,
+            backend,
             means: (0..paths).map(|_| Ewma::new(0.3)).collect(),
             rtts: vec![0.0; paths],
         }
@@ -108,9 +125,32 @@ impl MonitoringModule {
     /// Feeds one available-bandwidth measurement (bits/s) for `path`
     /// taken at time `t` (seconds).
     pub fn observe_bandwidth(&mut self, path: usize, t: f64, bw: f64) {
-        self.windows[path].push(t, bw);
-        if let Some(hists) = &mut self.histograms {
-            hists[path].insert(bw);
+        let Self {
+            windows, backend, ..
+        } = self;
+        match backend {
+            Backend::Exact => {
+                windows[path].push(t, bw);
+            }
+            Backend::Histogram { hists, .. } => {
+                windows[path].push(t, bw);
+                hists[path].insert(bw);
+            }
+            Backend::Rolling(rolls) => {
+                // Mirror the window's multiset exactly: evictions the
+                // push displaces leave the treap before the new sample
+                // enters it.
+                let roll = &mut rolls[path];
+                if windows[path].push_with(t, bw, |old| {
+                    roll.remove(old);
+                }) {
+                    roll.push(bw);
+                }
+            }
+            Backend::Sketch(sketches) => {
+                windows[path].push(t, bw);
+                sketches[path].observe(bw);
+            }
         }
         self.means[path].observe(bw);
     }
@@ -131,32 +171,41 @@ impl MonitoringModule {
         self.windows[path].len()
     }
 
-    /// Produces the stats snapshot for one path.
-    pub fn stats(&self, path: usize) -> PathStats {
+    /// Produces the monitoring snapshot for one path.
+    ///
+    /// Snapshot cost depends on the mode: `Exact` sorts the window
+    /// (O(N log N)), `Histogram` resamples quantile points,
+    /// `Rolling` shares the treap root (O(1)), and `Sketch` clones its
+    /// O(markers) state. `oracle_next_rate` and `loss` are left at
+    /// their defaults; runtimes with ground truth fill them in.
+    pub fn stats(&self, path: usize) -> PathSnapshot {
         let window = &self.windows[path];
-        let cdf = match &self.histograms {
-            None => window.cdf(),
-            Some(hists) => {
+        let cdf = match &self.backend {
+            Backend::Exact => CdfSummary::exact(window.cdf()),
+            Backend::Histogram { hists, resolution } => {
                 // Resample the streaming histogram at evenly spaced
                 // quantile points into empirical form.
                 let h = &hists[path];
-                let samples: Vec<f64> = (1..=self.resolution)
-                    .filter_map(|k| h.quantile(k as f64 / (self.resolution + 1) as f64))
+                let samples: Vec<f64> = (1..=*resolution)
+                    .filter_map(|k| h.quantile(k as f64 / (*resolution + 1) as f64))
                     .collect();
-                iqpaths_stats::EmpiricalCdf::from_clean_samples(samples)
+                CdfSummary::exact(iqpaths_stats::EmpiricalCdf::from_clean_samples(samples))
             }
+            Backend::Rolling(rolls) => CdfSummary::rolling(rolls[path].snapshot()),
+            Backend::Sketch(sketches) => CdfSummary::sketch(sketches[path].clone()),
         };
-        PathStats {
+        PathSnapshot {
             index: path,
             cdf,
             mean_prediction: self.means[path].predict().unwrap_or(0.0),
+            oracle_next_rate: None,
             rtt: self.rtts[path],
-            samples: window.len(),
+            loss: 0.0,
         }
     }
 
     /// Snapshots for every path, in path order.
-    pub fn all_stats(&self) -> Vec<PathStats> {
+    pub fn all_stats(&self) -> Vec<PathSnapshot> {
         (0..self.paths()).map(|p| self.stats(p)).collect()
     }
 }
@@ -166,6 +215,10 @@ mod tests {
     use super::*;
     use iqpaths_stats::BandwidthCdf;
 
+    fn pseudo_bw(i: u64) -> f64 {
+        20.0e6 + (i.wrapping_mul(2654435761) % 60_000) as f64 * 1.0e3
+    }
+
     #[test]
     fn cdf_tracks_observations() {
         let mut m = MonitoringModule::new(2, 100);
@@ -173,10 +226,10 @@ mod tests {
             m.observe_bandwidth(0, i as f64, 10.0 + (i % 5) as f64);
         }
         let s = m.stats(0);
-        assert_eq!(s.samples, 50);
+        assert_eq!(s.cdf.len(), 50);
         assert!(s.cdf.quantile(0.5).unwrap() >= 10.0);
         // Path 1 untouched.
-        assert_eq!(m.stats(1).samples, 0);
+        assert!(m.stats(1).cdf.is_empty());
     }
 
     #[test]
@@ -206,7 +259,7 @@ mod tests {
         }
         assert_eq!(m.sample_count(0), 10);
         // Only the last 10 samples (90..99) back the CDF.
-        assert!(m.stats(0).cdf.min().unwrap() >= 90.0);
+        assert!(m.stats(0).cdf.quantile(0.0).unwrap() >= 90.0);
     }
 
     #[test]
@@ -226,7 +279,7 @@ mod tests {
         let mut hist = MonitoringModule::with_mode(1, 500, mode);
         for i in 0..500u64 {
             // Pseudo-uniform samples in [20, 80] Mbps.
-            let bw = 20.0e6 + (i.wrapping_mul(2654435761) % 60_000) as f64 * 1.0e3;
+            let bw = pseudo_bw(i);
             exact.observe_bandwidth(0, i as f64 * 0.1, bw);
             hist.observe_bandwidth(0, i as f64 * 0.1, bw);
         }
@@ -243,6 +296,50 @@ mod tests {
     }
 
     #[test]
+    fn rolling_mode_matches_exact_bitwise() {
+        // Push past capacity so eviction mirroring is exercised; every
+        // query must agree bit-for-bit with the exact window CDF.
+        let mut exact = MonitoringModule::new(1, 100);
+        let mut roll = MonitoringModule::with_mode(1, 100, CdfMode::Rolling);
+        for i in 0..350u64 {
+            let bw = pseudo_bw(i);
+            exact.observe_bandwidth(0, i as f64 * 0.1, bw);
+            roll.observe_bandwidth(0, i as f64 * 0.1, bw);
+        }
+        let ce = exact.stats(0).cdf;
+        let cr = roll.stats(0).cdf;
+        assert_eq!(ce.len(), 100);
+        assert_eq!(cr.len(), 100);
+        for q in [0.0, 0.05, 0.25, 0.5, 0.9, 1.0] {
+            assert_eq!(ce.quantile(q), cr.quantile(q));
+        }
+        for b in [30.0e6, 50.0e6, 70.0e6] {
+            assert_eq!(ce.prob_below(b), cr.prob_below(b));
+            assert_eq!(ce.prob_below_strict(b), cr.prob_below_strict(b));
+            assert_eq!(ce.truncated_mean(b), cr.truncated_mean(b));
+        }
+        assert_eq!(ce.mean(), cr.mean());
+    }
+
+    #[test]
+    fn sketch_mode_tracks_quantiles() {
+        let mut exact = MonitoringModule::new(1, 5000);
+        let mut sk = MonitoringModule::with_mode(1, 5000, CdfMode::Sketch { markers: 33 });
+        for i in 0..5000u64 {
+            let bw = pseudo_bw(i);
+            exact.observe_bandwidth(0, i as f64 * 0.1, bw);
+            sk.observe_bandwidth(0, i as f64 * 0.1, bw);
+        }
+        let ce = exact.stats(0).cdf;
+        let cs = sk.stats(0).cdf;
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9] {
+            let approx = cs.quantile(q).unwrap();
+            let rank = ce.prob_below(approx);
+            assert!((rank - q).abs() < 0.05, "q={q}: sketch rank {rank}");
+        }
+    }
+
+    #[test]
     #[should_panic]
     fn histogram_mode_rejects_zero_bins() {
         let _ = MonitoringModule::with_mode(
@@ -254,5 +351,11 @@ mod tests {
                 max_bw: 1.0,
             },
         );
+    }
+
+    #[test]
+    #[should_panic]
+    fn sketch_mode_rejects_too_few_markers() {
+        let _ = MonitoringModule::with_mode(1, 10, CdfMode::Sketch { markers: 2 });
     }
 }

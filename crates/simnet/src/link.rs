@@ -248,10 +248,7 @@ mod tests {
         assert_eq!(l.residual_at(1.5), 10.0);
         // Cross clamped to capacity; residual floored at the default
         // fraction of capacity.
-        assert_eq!(
-            l.residual_at(2.5),
-            100.0 * DEFAULT_RESIDUAL_FLOOR_FRACTION
-        );
+        assert_eq!(l.residual_at(2.5), 100.0 * DEFAULT_RESIDUAL_FLOOR_FRACTION);
     }
 
     #[test]
@@ -306,7 +303,10 @@ mod tests {
     #[test]
     fn mismatched_epoch_grids_integrate() {
         let a = mk_link(Some(RateTrace::new(0.5, vec![50.0, 90.0, 50.0, 90.0])));
-        let b = mk_link(Some(RateTrace::new(0.3, vec![20.0, 80.0, 20.0, 80.0, 20.0])));
+        let b = mk_link(Some(RateTrace::new(
+            0.3,
+            vec![20.0, 80.0, 20.0, 80.0, 20.0],
+        )));
         // Sanity: integration converges and is monotone in bits.
         let f1 = integrate_service(&[&a, &b], 0.0, 10.0);
         let f2 = integrate_service(&[&a, &b], 0.0, 20.0);
@@ -326,7 +326,11 @@ mod tests {
         let q = quantize_cross(&t, 1000.0);
         let orig = t.total_bytes();
         let quant = q.total_bytes();
-        assert!((orig - quant).abs() <= 1000.0, "volume drift {}", orig - quant);
+        assert!(
+            (orig - quant).abs() <= 1000.0,
+            "volume drift {}",
+            orig - quant
+        );
     }
 
     #[test]

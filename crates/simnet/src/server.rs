@@ -109,7 +109,12 @@ impl PathService {
     /// # Panics
     /// Panics if the service is still busy.
     pub fn begin(&mut self, pkt: Packet, now: SimTime) -> SimTime {
-        assert!(self.is_free(now), "path {} busy until {}", self.index, self.busy_until);
+        assert!(
+            self.is_free(now),
+            "path {} busy until {}",
+            self.index,
+            self.busy_until
+        );
         let refs: Vec<&Link> = self.links.iter().collect();
         let finish_secs = link::integrate_service(&refs, now.as_secs_f64(), pkt.bits());
         let finish = SimTime::from_secs_f64(finish_secs).max(now + SimDuration::from_nanos(1));

@@ -195,7 +195,10 @@ mod tests {
     #[test]
     fn ordering_is_total_and_exact() {
         assert!(SimTime::from_nanos(1) < SimTime::from_nanos(2));
-        assert_eq!(SimTime::from_secs_f64(0.1), SimTime::from_nanos(100_000_000));
+        assert_eq!(
+            SimTime::from_secs_f64(0.1),
+            SimTime::from_nanos(100_000_000)
+        );
     }
 
     #[test]

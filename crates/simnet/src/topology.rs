@@ -88,8 +88,12 @@ impl Topology {
         names
             .windows(2)
             .map(|w| {
-                let a = self.find(w[0]).unwrap_or_else(|| panic!("no node {}", w[0]));
-                let b = self.find(w[1]).unwrap_or_else(|| panic!("no node {}", w[1]));
+                let a = self
+                    .find(w[0])
+                    .unwrap_or_else(|| panic!("no node {}", w[0]));
+                let b = self
+                    .find(w[1])
+                    .unwrap_or_else(|| panic!("no node {}", w[1]));
                 self.link(a, b)
                     .unwrap_or_else(|| panic!("no link {} -> {}", w[0], w[1]))
                     .clone()

@@ -9,6 +9,53 @@
 
 use crate::BandwidthCdf;
 
+/// Two-sample Kolmogorov–Smirnov statistic over two *ascending* sample
+/// streams of known lengths, by the standard two-pointer merge:
+/// `O(n + m)` with no allocation.
+///
+/// Evaluates `|F1 − F2|` after consuming every distinct sample value of
+/// either stream — the same evaluation points (and the same
+/// `count / n` divisions) as querying `prob_below` at every sample, so
+/// the result is bit-identical to the naive per-point loop.
+pub(crate) fn ks_sorted_streams<A, B>(a: A, n: usize, b: B, m: usize) -> f64
+where
+    A: IntoIterator<Item = f64>,
+    B: IntoIterator<Item = f64>,
+{
+    if n == 0 || m == 0 {
+        return if n == 0 && m == 0 { 0.0 } else { 1.0 };
+    }
+    let (mut a, mut b) = (a.into_iter(), b.into_iter());
+    let (nf, mf) = (n as f64, m as f64);
+    let (mut i, mut j) = (0usize, 0usize);
+    let (mut x, mut y) = (a.next(), b.next());
+    let mut d = 0.0f64;
+    while x.is_some() || y.is_some() {
+        let v = match (x, y) {
+            (Some(xv), Some(yv)) => xv.min(yv),
+            (Some(xv), None) => xv,
+            (None, Some(yv)) => yv,
+            (None, None) => unreachable!(),
+        };
+        while let Some(xv) = x {
+            if xv > v {
+                break;
+            }
+            i += 1;
+            x = a.next();
+        }
+        while let Some(yv) = y {
+            if yv > v {
+                break;
+            }
+            j += 1;
+            y = b.next();
+        }
+        d = d.max((i as f64 / nf - j as f64 / mf).abs());
+    }
+    d
+}
+
 /// An exact empirical CDF over a finite sample set.
 ///
 /// Construction sorts the samples once (`O(n log n)`); queries are binary
@@ -106,20 +153,12 @@ impl EmpiricalCdf {
     /// CDF of some path changes dramatically"; the middleware uses this
     /// statistic as the drift detector.
     pub fn ks_distance(&self, other: &Self) -> f64 {
-        if self.is_empty() || other.is_empty() {
-            return if self.is_empty() && other.is_empty() {
-                0.0
-            } else {
-                1.0
-            };
-        }
-        let mut d: f64 = 0.0;
-        for &x in self.sorted.iter().chain(other.sorted.iter()) {
-            let f1 = self.prob_below(x);
-            let f2 = other.prob_below(x);
-            d = d.max((f1 - f2).abs());
-        }
-        d
+        ks_sorted_streams(
+            self.sorted.iter().copied(),
+            self.sorted.len(),
+            other.sorted.iter().copied(),
+            other.sorted.len(),
+        )
     }
 }
 

@@ -45,7 +45,10 @@ impl HistogramCdf {
     /// # Panics
     /// Panics on invalid bounds, zero bins, or `decay` outside `(0, 1]`.
     pub fn with_decay(lo: f64, hi: f64, bins: usize, decay: f64) -> Self {
-        assert!(lo.is_finite() && hi.is_finite() && hi > lo, "invalid bounds");
+        assert!(
+            lo.is_finite() && hi.is_finite() && hi > lo,
+            "invalid bounds"
+        );
         assert!(bins > 0, "need at least one bin");
         assert!(decay > 0.0 && decay <= 1.0, "decay must be in (0, 1]");
         Self {
@@ -255,7 +258,13 @@ mod tests {
     fn approximates_exact_cdf() {
         // Compare against the exact empirical CDF on a bimodal sample.
         let samples: Vec<f64> = (0..500)
-            .map(|i| if i % 2 == 0 { 20.0 + (i % 50) as f64 * 0.1 } else { 80.0 + (i % 30) as f64 * 0.1 })
+            .map(|i| {
+                if i % 2 == 0 {
+                    20.0 + (i % 50) as f64 * 0.1
+                } else {
+                    80.0 + (i % 30) as f64 * 0.1
+                }
+            })
             .collect();
         let exact = EmpiricalCdf::from_clean_samples(samples.clone());
         let mut h = HistogramCdf::new(0.0, 100.0, 200);

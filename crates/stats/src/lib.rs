@@ -13,6 +13,13 @@
 //!   required by the paper's Lemma 2.
 //! * [`histogram::HistogramCdf`] — streaming fixed-bin approximation used
 //!   on the scheduler fast path.
+//! * [`rolling::RollingCdf`] / [`rolling::TreapCdf`] — incrementally
+//!   maintained rolling-window CDF (O(log N) per sample, O(1) snapshot)
+//!   answering queries bit-identically to [`cdf::EmpiricalCdf`].
+//! * [`sketch::QuantileSketch`] — constant-memory streaming quantile
+//!   sketch (extended P²) for approximate summaries.
+//! * [`summary::CdfSummary`] — the unified, cheaply-cloneable summary
+//!   handle the monitoring→scheduling data plane passes around.
 //! * [`window::SampleWindow`] — time-stamped rolling windows of
 //!   bandwidth measurements.
 //! * [`predictors`] — classical mean predictors (MA / SMA / EWMA / AR(1))
@@ -34,6 +41,9 @@ pub mod histogram;
 pub mod metrics;
 pub mod percentile;
 pub mod predictors;
+pub mod rolling;
+pub mod sketch;
+pub mod summary;
 pub mod timeseries;
 pub mod window;
 
@@ -41,6 +51,9 @@ pub use cdf::EmpiricalCdf;
 pub use histogram::HistogramCdf;
 pub use percentile::PercentilePredictor;
 pub use predictors::{ArOne, Ewma, MovingAverage, Predictor, SlidingMedian};
+pub use rolling::{RollingCdf, TreapCdf};
+pub use sketch::QuantileSketch;
+pub use summary::CdfSummary;
 pub use window::SampleWindow;
 
 /// A cumulative distribution over bandwidth values.

@@ -1,0 +1,551 @@
+//! Incremental rolling-window CDFs.
+//!
+//! The paper's monitoring module keeps "the last N (e.g., 500 and 1000)
+//! samples" per path and re-derives a bandwidth CDF from them every
+//! scheduling window (§4). Rebuilding an [`crate::EmpiricalCdf`] costs a
+//! clone plus a full sort — O(N log N) per path per window. `RollingCdf`
+//! maintains the same multiset *incrementally*: O(log N) per inserted or
+//! evicted sample, and an O(1) [`RollingCdf::snapshot`] that freezes the
+//! current distribution into an immutable, cheaply-cloneable
+//! [`TreapCdf`] answering the exact same queries.
+//!
+//! # Exactness
+//!
+//! `TreapCdf` is not an approximation. For the same sample multiset it
+//! returns **bit-identical** results to `EmpiricalCdf` for
+//! `prob_below`, `prob_below_strict`, `quantile`, `truncated_mean` and
+//! `mean`: counts are integer rank queries, the quantile index uses the
+//! same rounding formula, and sums accumulate in ascending sample order
+//! exactly like `EmpiricalCdf`'s prefix array (floating-point addition
+//! is order-sensitive, so the traversal order is part of the contract;
+//! the property tests in `tests/proptests.rs` pin this).
+//!
+//! # Implementation
+//!
+//! A persistent (path-copying) treap keyed by sample value with subtree
+//! counts. Nodes are `Arc`-shared between the live structure and its
+//! snapshots, so a snapshot is one `Arc` clone; subsequent updates copy
+//! only the O(log N) spine they touch. Priorities come from a
+//! deterministic xorshift64* stream, keeping tree shape — and therefore
+//! all downstream behavior — reproducible across identical runs.
+
+use crate::BandwidthCdf;
+use std::sync::Arc;
+
+#[derive(Debug)]
+struct Node {
+    val: f64,
+    pri: u64,
+    /// Subtree sample count (this node included).
+    size: usize,
+    left: Link,
+    right: Link,
+}
+
+type Link = Option<Arc<Node>>;
+
+fn size(link: &Link) -> usize {
+    link.as_ref().map_or(0, |n| n.size)
+}
+
+fn node(val: f64, pri: u64, left: Link, right: Link) -> Link {
+    let size = 1 + size(&left) + size(&right);
+    Some(Arc::new(Node {
+        val,
+        pri,
+        size,
+        left,
+        right,
+    }))
+}
+
+/// Splits into `(values <= v, values > v)`.
+fn split_le(link: &Link, v: f64) -> (Link, Link) {
+    match link {
+        None => (None, None),
+        Some(n) => {
+            if n.val <= v {
+                let (mid, hi) = split_le(&n.right, v);
+                (node(n.val, n.pri, n.left.clone(), mid), hi)
+            } else {
+                let (lo, mid) = split_le(&n.left, v);
+                (lo, node(n.val, n.pri, mid, n.right.clone()))
+            }
+        }
+    }
+}
+
+/// Merges two treaps where every value in `a` is `<=` every value in `b`.
+fn merge(a: &Link, b: &Link) -> Link {
+    match (a, b) {
+        (None, x) | (x, None) => x.clone(),
+        (Some(na), Some(nb)) => {
+            if na.pri >= nb.pri {
+                node(na.val, na.pri, na.left.clone(), merge(&na.right, b))
+            } else {
+                node(nb.val, nb.pri, merge(a, &nb.left), nb.right.clone())
+            }
+        }
+    }
+}
+
+/// Removes one node holding exactly `v`; returns the new root and
+/// whether a node was found.
+fn remove_one(link: &Link, v: f64) -> (Link, bool) {
+    match link {
+        None => (None, false),
+        Some(n) => {
+            if v < n.val {
+                let (l, found) = remove_one(&n.left, v);
+                if found {
+                    (node(n.val, n.pri, l, n.right.clone()), true)
+                } else {
+                    (link.clone(), false)
+                }
+            } else if v > n.val {
+                let (r, found) = remove_one(&n.right, v);
+                if found {
+                    (node(n.val, n.pri, n.left.clone(), r), true)
+                } else {
+                    (link.clone(), false)
+                }
+            } else {
+                (merge(&n.left, &n.right), true)
+            }
+        }
+    }
+}
+
+/// Count of values `<= b` (matches `EmpiricalCdf::count_below`).
+fn count_le(mut link: &Link, b: f64) -> usize {
+    let mut acc = 0;
+    while let Some(n) = link {
+        if n.val <= b {
+            acc += size(&n.left) + 1;
+            link = &n.right;
+        } else {
+            link = &n.left;
+        }
+    }
+    acc
+}
+
+/// Count of values strictly `< b`.
+fn count_lt(mut link: &Link, b: f64) -> usize {
+    let mut acc = 0;
+    while let Some(n) = link {
+        if n.val < b {
+            acc += size(&n.left) + 1;
+            link = &n.right;
+        } else {
+            link = &n.left;
+        }
+    }
+    acc
+}
+
+/// The `idx`-th smallest value (0-based). `idx` must be `< size`.
+fn select(mut link: &Link, mut idx: usize) -> f64 {
+    loop {
+        let n = link.as_ref().expect("select index within tree size");
+        let left = size(&n.left);
+        if idx < left {
+            link = &n.left;
+        } else if idx == left {
+            return n.val;
+        } else {
+            idx -= left + 1;
+            link = &n.right;
+        }
+    }
+}
+
+/// Ascending in-order iterator over a treap.
+pub struct SortedValues<'a> {
+    stack: Vec<&'a Node>,
+}
+
+impl<'a> SortedValues<'a> {
+    fn new(root: &'a Link) -> Self {
+        let mut it = Self { stack: Vec::new() };
+        it.descend_left(root);
+        it
+    }
+
+    fn descend_left(&mut self, mut link: &'a Link) {
+        while let Some(n) = link {
+            self.stack.push(n);
+            link = &n.left;
+        }
+    }
+}
+
+impl<'a> Iterator for SortedValues<'a> {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        let n = self.stack.pop()?;
+        self.descend_left(&n.right);
+        Some(n.val)
+    }
+}
+
+/// An immutable snapshot of a [`RollingCdf`] — the multiset frozen at
+/// snapshot time, answering the full [`BandwidthCdf`] query set with
+/// results bit-identical to an [`crate::EmpiricalCdf`] built from the
+/// same samples. Cloning is O(1) (one `Arc` bump).
+#[derive(Debug, Clone)]
+pub struct TreapCdf {
+    root: Link,
+}
+
+impl TreapCdf {
+    /// Builds a snapshot directly from a sample iterator (O(n log n)) —
+    /// convenience for converting an existing sample set; the
+    /// incremental path is [`RollingCdf::snapshot`].
+    pub fn from_samples<I: IntoIterator<Item = f64>>(samples: I) -> Self {
+        let mut r = RollingCdf::new();
+        for v in samples {
+            r.push(v);
+        }
+        r.snapshot()
+    }
+
+    /// Ascending iterator over the frozen samples.
+    pub fn sorted_values(&self) -> SortedValues<'_> {
+        SortedValues::new(&self.root)
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> Option<f64> {
+        let mut link = &self.root;
+        let mut out = None;
+        while let Some(n) = link {
+            out = Some(n.val);
+            link = &n.left;
+        }
+        out
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<f64> {
+        let mut link = &self.root;
+        let mut out = None;
+        while let Some(n) = link {
+            out = Some(n.val);
+            link = &n.right;
+        }
+        out
+    }
+
+    /// Two-sample Kolmogorov–Smirnov distance to another snapshot,
+    /// without materializing either sample set.
+    pub fn ks_distance(&self, other: &Self) -> f64 {
+        crate::cdf::ks_sorted_streams(
+            self.sorted_values(),
+            self.len(),
+            other.sorted_values(),
+            other.len(),
+        )
+    }
+
+    /// Materializes the snapshot into an exact [`crate::EmpiricalCdf`]
+    /// (O(n); the samples come out already sorted).
+    pub fn to_empirical(&self) -> crate::EmpiricalCdf {
+        crate::EmpiricalCdf::from_clean_samples(self.sorted_values().collect())
+    }
+}
+
+impl BandwidthCdf for TreapCdf {
+    fn prob_below(&self, b: f64) -> f64 {
+        let n = size(&self.root);
+        if n == 0 {
+            return 0.0;
+        }
+        count_le(&self.root, b) as f64 / n as f64
+    }
+
+    fn prob_below_strict(&self, b: f64) -> f64 {
+        let n = size(&self.root);
+        if n == 0 {
+            return 0.0;
+        }
+        count_lt(&self.root, b) as f64 / n as f64
+    }
+
+    fn quantile(&self, q: f64) -> Option<f64> {
+        let n = size(&self.root);
+        if n == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Same index formula (and epsilon) as EmpiricalCdf::quantile.
+        let rank = (q * n as f64 - 1e-9).ceil().max(0.0) as usize;
+        let idx = rank.saturating_sub(1).min(n - 1);
+        Some(select(&self.root, idx))
+    }
+
+    fn truncated_mean(&self, b0: f64) -> f64 {
+        let n = size(&self.root);
+        if n == 0 {
+            return 0.0;
+        }
+        let k = count_le(&self.root, b0);
+        if k == 0 {
+            return 0.0;
+        }
+        // Ascending accumulation, identical operand order to
+        // EmpiricalCdf's prefix sums.
+        let mut acc = 0.0;
+        for v in self.sorted_values().take(k) {
+            acc += v;
+        }
+        acc / n as f64
+    }
+
+    fn len(&self) -> usize {
+        size(&self.root)
+    }
+
+    fn mean(&self) -> f64 {
+        let n = size(&self.root);
+        if n == 0 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for v in self.sorted_values() {
+            acc += v;
+        }
+        acc / n as f64
+    }
+}
+
+/// An incrementally-maintained rolling-window CDF.
+///
+/// Push each new measurement with [`RollingCdf::push`] and remove each
+/// sample the window evicts with [`RollingCdf::remove`] (pair it with
+/// [`crate::SampleWindow::push_with`], which reports evictions); both
+/// are O(log N). [`RollingCdf::snapshot`] freezes the current state in
+/// O(1), so producing a per-window distribution summary no longer
+/// costs a sort.
+#[derive(Debug, Clone)]
+pub struct RollingCdf {
+    root: Link,
+    /// xorshift64* state for structural priorities — deterministic, so
+    /// identical runs build identical trees.
+    rng: u64,
+}
+
+impl Default for RollingCdf {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RollingCdf {
+    /// An empty rolling CDF.
+    pub fn new() -> Self {
+        Self {
+            root: None,
+            rng: 0x6a09_e667_f3bc_c909, // any fixed non-zero seed
+        }
+    }
+
+    fn next_priority(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Inserts one sample. NaN is rejected (mirroring
+    /// [`crate::SampleWindow::push`]); returns whether it was inserted.
+    pub fn push(&mut self, v: f64) -> bool {
+        if v.is_nan() {
+            return false;
+        }
+        let pri = self.next_priority();
+        let (le, gt) = split_le(&self.root, v);
+        let fresh = node(v, pri, None, None);
+        self.root = merge(&merge(&le, &fresh), &gt);
+        true
+    }
+
+    /// Removes one instance of `v`; returns `false` if absent. Evicted
+    /// window samples re-enter here with their exact stored value, so
+    /// lookup by equality is reliable.
+    pub fn remove(&mut self, v: f64) -> bool {
+        let (root, found) = remove_one(&self.root, v);
+        if found {
+            self.root = root;
+        }
+        found
+    }
+
+    /// Number of samples currently held.
+    pub fn len(&self) -> usize {
+        size(&self.root)
+    }
+
+    /// True when no samples are held.
+    pub fn is_empty(&self) -> bool {
+        self.root.is_none()
+    }
+
+    /// Drops all samples (the priority stream keeps advancing, which is
+    /// fine — determinism only requires identical call sequences to
+    /// yield identical structures).
+    pub fn clear(&mut self) {
+        self.root = None;
+    }
+
+    /// O(1) immutable snapshot of the current distribution.
+    pub fn snapshot(&self) -> TreapCdf {
+        TreapCdf {
+            root: self.root.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EmpiricalCdf;
+
+    fn pseudo(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| ((i as u64).wrapping_mul(2654435761) % 100_000) as f64)
+            .collect()
+    }
+
+    #[test]
+    fn empty_behaves_like_empty_empirical() {
+        let t = RollingCdf::new().snapshot();
+        assert!(t.is_empty());
+        assert_eq!(t.quantile(0.5), None);
+        assert_eq!(t.prob_below(1.0), 0.0);
+        assert_eq!(t.truncated_mean(10.0), 0.0);
+        assert_eq!(t.mean(), 0.0);
+    }
+
+    #[test]
+    fn matches_empirical_on_static_set() {
+        let vals = pseudo(257);
+        let e = EmpiricalCdf::from_clean_samples(vals.clone());
+        let t = TreapCdf::from_samples(vals);
+        for q in [0.0, 0.05, 0.1, 0.33, 0.5, 0.9, 0.95, 1.0] {
+            assert_eq!(t.quantile(q), e.quantile(q), "quantile({q})");
+        }
+        for b in [0.0, 1.0, 500.0, 49_999.0, 50_000.0, 1e9] {
+            assert_eq!(t.prob_below(b), e.prob_below(b), "prob_below({b})");
+            assert_eq!(
+                t.prob_below_strict(b),
+                e.prob_below_strict(b),
+                "prob_below_strict({b})"
+            );
+            assert_eq!(t.truncated_mean(b), e.truncated_mean(b), "trunc({b})");
+        }
+        assert_eq!(t.mean(), e.mean());
+        assert_eq!(t.len(), e.len());
+        assert_eq!(t.min(), e.min());
+        assert_eq!(t.max(), e.max());
+    }
+
+    #[test]
+    fn rolling_eviction_tracks_window() {
+        // Slide a window of 64 over 500 values; at every step the treap
+        // must agree exactly with a freshly-built EmpiricalCdf.
+        let vals = pseudo(500);
+        let mut r = RollingCdf::new();
+        let mut held: std::collections::VecDeque<f64> = Default::default();
+        for (i, &v) in vals.iter().enumerate() {
+            if held.len() == 64 {
+                let old = held.pop_front().unwrap();
+                assert!(r.remove(old));
+            }
+            held.push_back(v);
+            r.push(v);
+            if i % 37 == 0 {
+                let e = EmpiricalCdf::from_clean_samples(held.iter().copied().collect());
+                let t = r.snapshot();
+                assert_eq!(t.len(), e.len());
+                assert_eq!(t.quantile(0.1), e.quantile(0.1));
+                assert_eq!(t.truncated_mean(60_000.0), e.truncated_mean(60_000.0));
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_is_immutable_under_later_updates() {
+        let mut r = RollingCdf::new();
+        for v in [5.0, 1.0, 9.0] {
+            r.push(v);
+        }
+        let snap = r.snapshot();
+        r.push(100.0);
+        r.remove(1.0);
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap.quantile(1.0), Some(9.0));
+        assert_eq!(r.snapshot().len(), 3);
+        assert_eq!(r.snapshot().quantile(1.0), Some(100.0));
+    }
+
+    #[test]
+    fn duplicates_count_as_multiset() {
+        let mut r = RollingCdf::new();
+        for _ in 0..3 {
+            r.push(7.0);
+        }
+        assert_eq!(r.len(), 3);
+        assert!(r.remove(7.0));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.snapshot().prob_below(7.0), 1.0);
+    }
+
+    #[test]
+    fn remove_missing_returns_false() {
+        let mut r = RollingCdf::new();
+        r.push(1.0);
+        assert!(!r.remove(2.0));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn rejects_nan() {
+        let mut r = RollingCdf::new();
+        assert!(!r.push(f64::NAN));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn deterministic_structure() {
+        let build = || {
+            let mut r = RollingCdf::new();
+            for v in pseudo(100) {
+                r.push(v);
+            }
+            r
+        };
+        let (a, b) = (build(), build());
+        // Same structure ⇒ same priorities at the root spine; compare
+        // via identical in-order + identical query results.
+        let av: Vec<f64> = a.snapshot().sorted_values().collect();
+        let bv: Vec<f64> = b.snapshot().sorted_values().collect();
+        assert_eq!(av, bv);
+        assert_eq!(a.rng, b.rng);
+    }
+
+    #[test]
+    fn ks_distance_matches_empirical() {
+        let (x, y) = (pseudo(300), pseudo(150).split_off(50));
+        let (ex, ey) = (
+            EmpiricalCdf::from_clean_samples(x.clone()),
+            EmpiricalCdf::from_clean_samples(y.clone()),
+        );
+        let (tx, ty) = (TreapCdf::from_samples(x), TreapCdf::from_samples(y));
+        assert_eq!(tx.ks_distance(&ty), ex.ks_distance(&ey));
+        assert_eq!(tx.ks_distance(&tx), 0.0);
+    }
+}

@@ -1,0 +1,382 @@
+//! Constant-memory streaming quantile sketch (extended P²).
+//!
+//! Chambers, James, Lambert & Wiel, *Monitoring Networked Applications
+//! With Incremental Quantile Estimation* (see PAPERS.md), argue that
+//! per-flow quantile tracking at scale must be incremental and
+//! constant-space. [`QuantileSketch`] follows the multi-marker
+//! extension of the Jain–Chlamtac P² algorithm: `m` markers track the
+//! heights of `m` evenly spaced target quantiles, adjusted by parabolic
+//! interpolation as samples stream in. Memory is O(m) regardless of
+//! stream length and each update is O(m) — no window, no eviction.
+//!
+//! This is the lossy end of the summary spectrum: unlike
+//! [`crate::RollingCdf`] it forgets nothing-by-window (it summarizes
+//! the whole stream) and answers queries approximately. It implements
+//! [`BandwidthCdf`], so the scheduler can run on it unchanged
+//! (`CdfMode::Sketch`), trading prediction sharpness for O(1) memory —
+//! the right trade at millions of monitored paths.
+
+use crate::BandwidthCdf;
+
+/// Streaming quantile sketch over `m` markers (extended P²).
+#[derive(Debug, Clone)]
+pub struct QuantileSketch {
+    /// Marker heights (estimated quantile values), ascending.
+    heights: Vec<f64>,
+    /// Actual marker positions (1-based ranks), strictly increasing.
+    positions: Vec<f64>,
+    /// Target quantile of each marker: `i / (m − 1)`.
+    targets: Vec<f64>,
+    /// Samples seen so far; until `m` samples arrive they are buffered
+    /// in `heights[..count]` verbatim and queries fall back to exact.
+    count: usize,
+    /// Exact running sum for [`BandwidthCdf::mean`].
+    sum: f64,
+}
+
+impl QuantileSketch {
+    /// A sketch with `markers` markers (≥ 3; 33 is a good default —
+    /// every 3.125th percentile gets a marker).
+    ///
+    /// # Panics
+    /// Panics if `markers < 3`.
+    pub fn new(markers: usize) -> Self {
+        assert!(markers >= 3, "need at least 3 markers");
+        Self {
+            heights: Vec::with_capacity(markers),
+            positions: (1..=markers).map(|i| i as f64).collect(),
+            targets: (0..markers)
+                .map(|i| i as f64 / (markers - 1) as f64)
+                .collect(),
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Number of markers.
+    pub fn markers(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Feeds one sample; NaN is ignored. O(m).
+    pub fn observe(&mut self, x: f64) {
+        if x.is_nan() {
+            return;
+        }
+        let m = self.markers();
+        self.count += 1;
+        self.sum += x;
+
+        if self.count <= m {
+            // Bootstrap phase: buffer raw samples, sorted.
+            let at = self.heights.partition_point(|&h| h <= x);
+            self.heights.insert(at, x);
+            return;
+        }
+
+        // Locate the marker cell containing x, updating extremes.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[m - 1] {
+            self.heights[m - 1] = x.max(self.heights[m - 1]);
+            m - 2
+        } else {
+            // heights[k] <= x < heights[k+1]
+            self.heights.partition_point(|&h| h <= x) - 1
+        };
+
+        for p in &mut self.positions[k + 1..] {
+            *p += 1.0;
+        }
+
+        // Nudge interior markers toward their desired positions.
+        let n = self.count as f64;
+        for i in 1..m - 1 {
+            let desired = 1.0 + (n - 1.0) * self.targets[i];
+            let d = desired - self.positions[i];
+            let step_up = self.positions[i + 1] - self.positions[i] > 1.0;
+            let step_down = self.positions[i - 1] - self.positions[i] < -1.0;
+            if (d >= 1.0 && step_up) || (d <= -1.0 && step_down) {
+                let s = d.signum();
+                let h = self.parabolic(i, s);
+                self.heights[i] = if self.heights[i - 1] < h && h < self.heights[i + 1] {
+                    h
+                } else {
+                    self.linear(i, s)
+                };
+                self.positions[i] += s;
+            }
+        }
+    }
+
+    /// P² parabolic (piecewise quadratic) height prediction for moving
+    /// marker `i` by `s` (±1) positions.
+    fn parabolic(&self, i: usize, s: f64) -> f64 {
+        let q = &self.heights;
+        let np = &self.positions;
+        let (n_prev, n_i, n_next) = (np[i - 1], np[i], np[i + 1]);
+        q[i] + s / (n_next - n_prev)
+            * ((n_i - n_prev + s) * (q[i + 1] - q[i]) / (n_next - n_i)
+                + (n_next - n_i - s) * (q[i] - q[i - 1]) / (n_i - n_prev))
+    }
+
+    /// Linear fallback when the parabolic prediction is non-monotone.
+    fn linear(&self, i: usize, s: f64) -> f64 {
+        let j = if s > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + s * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// `(probability, height)` pairs of the current markers, ascending —
+    /// the sketch's piecewise-linear model of the CDF.
+    fn profile(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        let n = self.count as f64;
+        self.positions
+            .iter()
+            .zip(&self.heights)
+            .map(move |(&p, &h)| {
+                let prob = if n <= 1.0 { 1.0 } else { (p - 1.0) / (n - 1.0) };
+                (prob, h)
+            })
+    }
+
+    /// True while the sketch still holds raw samples (count ≤ markers)
+    /// and answers queries exactly.
+    fn bootstrap(&self) -> bool {
+        self.count <= self.markers()
+    }
+
+    /// The sketch's support points, ascending: the raw buffered samples
+    /// during bootstrap, the marker heights afterwards. This is the
+    /// O(m) stand-in for the sample stream used when a sketch must be
+    /// compared (KS) or materialized (residual distributions).
+    pub fn support(&self) -> &[f64] {
+        &self.heights[..self.count.min(self.markers())]
+    }
+}
+
+impl BandwidthCdf for QuantileSketch {
+    fn prob_below(&self, b: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if self.bootstrap() {
+            return self.heights[..self.count].partition_point(|&h| h <= b) as f64
+                / self.count as f64;
+        }
+        let pts: Vec<(f64, f64)> = self.profile().collect();
+        if b < pts[0].1 {
+            return 0.0;
+        }
+        let last = pts[pts.len() - 1];
+        if b >= last.1 {
+            return 1.0;
+        }
+        for w in pts.windows(2) {
+            let ((p0, h0), (p1, h1)) = (w[0], w[1]);
+            if b >= h0 && b < h1 {
+                let t = if h1 > h0 { (b - h0) / (h1 - h0) } else { 1.0 };
+                return (p0 + t * (p1 - p0)).clamp(0.0, 1.0);
+            }
+        }
+        1.0
+    }
+
+    fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if self.bootstrap() {
+            let n = self.count;
+            let rank = (q * n as f64 - 1e-9).ceil().max(0.0) as usize;
+            let idx = rank.saturating_sub(1).min(n - 1);
+            return Some(self.heights[idx]);
+        }
+        let pts: Vec<(f64, f64)> = self.profile().collect();
+        if q <= pts[0].0 {
+            return Some(pts[0].1);
+        }
+        for w in pts.windows(2) {
+            let ((p0, h0), (p1, h1)) = (w[0], w[1]);
+            if q <= p1 {
+                let t = if p1 > p0 { (q - p0) / (p1 - p0) } else { 1.0 };
+                return Some(h0 + t * (h1 - h0));
+            }
+        }
+        Some(pts[pts.len() - 1].1)
+    }
+
+    fn truncated_mean(&self, b0: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if self.bootstrap() {
+            let k = self.heights[..self.count].partition_point(|&h| h <= b0);
+            return self.heights[..k].iter().sum::<f64>() / self.count as f64;
+        }
+        // M[b0] = ∫₀^{F(b0)} Q(u) du over the piecewise-linear profile.
+        let f_b0 = self.prob_below(b0);
+        if f_b0 <= 0.0 {
+            return 0.0;
+        }
+        let pts: Vec<(f64, f64)> = self.profile().collect();
+        let mut acc = 0.0;
+        // Mass below the first marker: treat Q as constant at h_min.
+        acc += pts[0].0.min(f_b0) * pts[0].1;
+        for w in pts.windows(2) {
+            let ((p0, h0), (p1, h1)) = (w[0], w[1]);
+            if f_b0 <= p0 {
+                break;
+            }
+            let hi = f_b0.min(p1);
+            if hi <= p0 || p1 <= p0 {
+                continue;
+            }
+            // Trapezoid over [p0, hi] with Q linear between markers.
+            let t = (hi - p0) / (p1 - p0);
+            let q_hi = h0 + t * (h1 - h0);
+            acc += (hi - p0) * 0.5 * (h0 + q_hi);
+        }
+        acc
+    }
+
+    fn len(&self) -> usize {
+        self.count
+    }
+
+    fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EmpiricalCdf;
+
+    fn pseudo(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| ((i as u64).wrapping_mul(2654435761) % 100_000) as f64)
+            .collect()
+    }
+
+    #[test]
+    fn exact_below_marker_count() {
+        let mut s = QuantileSketch::new(33);
+        let vals = pseudo(20);
+        for &v in &vals {
+            s.observe(v);
+        }
+        let e = EmpiricalCdf::from_clean_samples(vals);
+        for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            assert_eq!(s.quantile(q), e.quantile(q));
+        }
+        assert_eq!(s.prob_below(50_000.0), e.prob_below(50_000.0));
+        assert!((s.truncated_mean(50_000.0) - e.truncated_mean(50_000.0)).abs() < 1e-9);
+        assert_eq!(s.mean(), e.mean());
+    }
+
+    #[test]
+    fn tracks_uniform_stream_quantiles() {
+        let mut s = QuantileSketch::new(33);
+        let vals = pseudo(5000);
+        for &v in &vals {
+            s.observe(v);
+        }
+        let e = EmpiricalCdf::from_clean_samples(vals);
+        for q in [0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95] {
+            let approx = s.quantile(q).unwrap();
+            // Rank-space error: where does the sketch's answer actually
+            // sit in the exact distribution?
+            let rank = e.prob_below(approx);
+            assert!(
+                (rank - q).abs() < 0.05,
+                "q={q}: sketch rank {rank} (value {approx})"
+            );
+        }
+    }
+
+    #[test]
+    fn prob_below_tracks_exact() {
+        let mut s = QuantileSketch::new(33);
+        let vals = pseudo(5000);
+        for &v in &vals {
+            s.observe(v);
+        }
+        let e = EmpiricalCdf::from_clean_samples(vals);
+        for b in [10_000.0, 30_000.0, 50_000.0, 90_000.0] {
+            assert!(
+                (s.prob_below(b) - e.prob_below(b)).abs() < 0.05,
+                "b={b}: {} vs {}",
+                s.prob_below(b),
+                e.prob_below(b)
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_mean_tracks_exact() {
+        let mut s = QuantileSketch::new(33);
+        let vals = pseudo(5000);
+        for &v in &vals {
+            s.observe(v);
+        }
+        let e = EmpiricalCdf::from_clean_samples(vals);
+        for b in [20_000.0, 50_000.0, 200_000.0] {
+            let (approx, exact) = (s.truncated_mean(b), e.truncated_mean(b));
+            assert!(
+                (approx - exact).abs() < 0.05 * e.mean().max(1.0),
+                "b={b}: {approx} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut s = QuantileSketch::new(9);
+        let vals = pseudo(777);
+        for &v in &vals {
+            s.observe(v);
+        }
+        let exact = vals.iter().sum::<f64>() / 777.0;
+        assert!((s.mean() - exact).abs() < 1e-9 * exact.abs());
+        assert_eq!(s.len(), 777);
+    }
+
+    #[test]
+    fn nan_ignored_and_empty_defaults() {
+        let mut s = QuantileSketch::new(5);
+        s.observe(f64::NAN);
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.prob_below(1.0), 0.0);
+        assert_eq!(s.truncated_mean(1.0), 0.0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_few_markers_panics() {
+        let _ = QuantileSketch::new(2);
+    }
+
+    #[test]
+    fn monotone_heights_invariant() {
+        let mut s = QuantileSketch::new(17);
+        for &v in &pseudo(3000) {
+            s.observe(v);
+            if s.len() > 17 {
+                assert!(
+                    s.heights.windows(2).all(|w| w[0] <= w[1]),
+                    "heights must stay sorted"
+                );
+            }
+        }
+    }
+}

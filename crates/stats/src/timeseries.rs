@@ -6,6 +6,7 @@
 //! compares the empirical CDF of the most recent block of samples to the
 //! CDF in force at the last remap via the Kolmogorov–Smirnov statistic.
 
+use crate::rolling::{RollingCdf, TreapCdf};
 use crate::EmpiricalCdf;
 
 /// Basic descriptive statistics of a series.
@@ -72,10 +73,18 @@ pub fn autocorrelation(xs: &[f64], lag: usize) -> f64 {
 /// Maintains a *reference* CDF (the distribution in force at the last
 /// remap) and a rolling *recent* block; `DriftDetector::observe`
 /// fires when `sup|F_ref − F_recent|` exceeds the threshold.
+///
+/// Both sides are kept as incremental treap structures
+/// ([`RollingCdf`] / [`TreapCdf`]): each observation costs O(log B),
+/// block boundaries freeze the recent block in O(1), and the KS
+/// comparison streams both sorted multisets in O(B) — no
+/// [`EmpiricalCdf`] is rebuilt anywhere on the hot path. The KS value
+/// is bit-identical to the old rebuild-and-compare implementation
+/// (same sorted streams, same divisions).
 #[derive(Debug, Clone)]
 pub struct DriftDetector {
-    reference: Option<EmpiricalCdf>,
-    recent: Vec<f64>,
+    reference: Option<TreapCdf>,
+    recent: RollingCdf,
     block: usize,
     threshold: f64,
 }
@@ -92,7 +101,7 @@ impl DriftDetector {
         assert!((0.0..=1.0).contains(&threshold), "threshold in [0,1]");
         Self {
             reference: None,
-            recent: Vec::with_capacity(block),
+            recent: RollingCdf::new(),
             block,
             threshold,
         }
@@ -102,14 +111,15 @@ impl DriftDetector {
     /// whose distribution drifted beyond the threshold (the caller should
     /// then remap and [`DriftDetector::rebase`]).
     pub fn observe(&mut self, x: f64) -> bool {
-        if x.is_nan() {
+        if !self.recent.push(x) {
+            // NaN rejected.
             return false;
         }
-        self.recent.push(x);
         if self.recent.len() < self.block {
             return false;
         }
-        let current = EmpiricalCdf::from_clean_samples(std::mem::take(&mut self.recent));
+        let current = self.recent.snapshot();
+        self.recent.clear();
         match &self.reference {
             None => {
                 self.reference = Some(current);
@@ -129,12 +139,12 @@ impl DriftDetector {
 
     /// Replaces the reference distribution (e.g. after an external remap).
     pub fn rebase(&mut self, cdf: EmpiricalCdf) {
-        self.reference = Some(cdf);
+        self.reference = Some(TreapCdf::from_samples(cdf.samples().iter().copied()));
         self.recent.clear();
     }
 
-    /// The current reference CDF, if one has been established.
-    pub fn reference(&self) -> Option<&EmpiricalCdf> {
+    /// The current reference distribution, if one has been established.
+    pub fn reference(&self) -> Option<&TreapCdf> {
         self.reference.as_ref()
     }
 }
@@ -144,9 +154,7 @@ impl DriftDetector {
 /// studying the measurement-window sweep of Figure 4.
 pub fn downsample_means(xs: &[f64], factor: usize) -> Vec<f64> {
     assert!(factor > 0, "factor must be positive");
-    xs.chunks(factor)
-        .map(crate::metrics::mean)
-        .collect()
+    xs.chunks(factor).map(crate::metrics::mean).collect()
 }
 
 /// Normalized histogram-distance drift score between two sample blocks
@@ -229,7 +237,9 @@ mod tests {
 
     #[test]
     fn autocorrelation_of_alternation_is_negative() {
-        let xs: Vec<f64> = (0..64).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let xs: Vec<f64> = (0..64)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert!(autocorrelation(&xs, 1) < -0.9);
     }
 

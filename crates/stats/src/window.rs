@@ -26,6 +26,9 @@ pub struct SampleWindow {
     samples: std::collections::VecDeque<Sample>,
     capacity: usize,
     max_age: Option<f64>,
+    /// Largest timestamp seen since the last [`SampleWindow::clear`];
+    /// tracked incrementally so age-based eviction needs no O(n) rescan.
+    newest: f64,
 }
 
 impl SampleWindow {
@@ -39,6 +42,7 @@ impl SampleWindow {
             samples: std::collections::VecDeque::with_capacity(capacity),
             capacity,
             max_age: None,
+            newest: f64::NEG_INFINITY,
         }
     }
 
@@ -57,24 +61,33 @@ impl SampleWindow {
     /// accepted (measurements can arrive out of order from multiple
     /// probes) but age-based eviction uses the max seen timestamp.
     pub fn push(&mut self, at: f64, value: f64) {
+        self.push_with(at, value, |_| {});
+    }
+
+    /// Like [`SampleWindow::push`], invoking `on_evict` with the value of
+    /// every sample this push displaces (by capacity or by age). Returns
+    /// `true` when the sample was accepted (i.e. was not NaN), letting a
+    /// companion structure — e.g. a [`crate::RollingCdf`] — mirror the
+    /// window's contents exactly.
+    pub fn push_with(&mut self, at: f64, value: f64, mut on_evict: impl FnMut(f64)) -> bool {
         if value.is_nan() {
-            return;
+            return false;
         }
         if self.samples.len() == self.capacity {
-            self.samples.pop_front();
-        }
-        self.samples.push_back(Sample { at, value });
-        if let Some(age) = self.max_age {
-            let newest = self
-                .samples
-                .iter()
-                .map(|s| s.at)
-                .fold(f64::NEG_INFINITY, f64::max);
-            let cutoff = newest - age;
-            while self.samples.front().is_some_and(|s| s.at < cutoff) {
-                self.samples.pop_front();
+            if let Some(old) = self.samples.pop_front() {
+                on_evict(old.value);
             }
         }
+        self.samples.push_back(Sample { at, value });
+        self.newest = self.newest.max(at);
+        if let Some(age) = self.max_age {
+            let cutoff = self.newest - age;
+            while self.samples.front().is_some_and(|s| s.at < cutoff) {
+                let old = self.samples.pop_front().expect("front checked above");
+                on_evict(old.value);
+            }
+        }
+        true
     }
 
     /// Number of samples currently held.
@@ -123,6 +136,7 @@ impl SampleWindow {
     /// Drops all samples.
     pub fn clear(&mut self) {
         self.samples.clear();
+        self.newest = f64::NEG_INFINITY;
     }
 }
 

@@ -1,7 +1,9 @@
 //! Property-based tests for the statistical substrate invariants that the
 //! PGOS guarantee math (Lemmas 1 & 2) relies on.
 
-use iqpaths_stats::{BandwidthCdf, EmpiricalCdf, HistogramCdf};
+use iqpaths_stats::{
+    BandwidthCdf, EmpiricalCdf, HistogramCdf, QuantileSketch, RollingCdf, SampleWindow,
+};
 use proptest::prelude::*;
 
 fn finite_samples() -> impl Strategy<Value = Vec<f64>> {
@@ -85,6 +87,57 @@ proptest! {
         h.extend(samples);
         let v = h.quantile(q).unwrap();
         prop_assert!((0.0..=100.0).contains(&v));
+    }
+
+    #[test]
+    fn rolling_cdf_matches_empirical_exactly(
+        samples in finite_samples(),
+        cap in 1usize..50,
+        q in 0.0..=1.0f64,
+        b in 0.0..1e9f64,
+    ) {
+        // Mirror a capacity-bounded window into a RollingCdf through the
+        // eviction callback, exactly as the monitoring module does; every
+        // query must agree bit-for-bit with the exact window CDF.
+        let mut w = SampleWindow::new(cap);
+        let mut r = RollingCdf::new();
+        for (i, &v) in samples.iter().enumerate() {
+            if w.push_with(i as f64, v, |old| {
+                r.remove(old);
+            }) {
+                r.push(v);
+            }
+        }
+        let exact = w.cdf();
+        let t = r.snapshot();
+        prop_assert_eq!(t.len(), exact.len());
+        prop_assert_eq!(t.quantile(q), exact.quantile(q));
+        prop_assert_eq!(t.prob_below(b), exact.prob_below(b));
+        prop_assert_eq!(t.prob_below_strict(b), exact.prob_below_strict(b));
+        prop_assert_eq!(t.truncated_mean(b), exact.truncated_mean(b));
+        prop_assert_eq!(t.mean(), exact.mean());
+        let twin = iqpaths_stats::TreapCdf::from_samples(exact.samples().iter().copied());
+        prop_assert_eq!(t.ks_distance(&twin), 0.0);
+    }
+
+    #[test]
+    fn sketch_quantiles_within_rank_epsilon(
+        samples in prop::collection::vec(0.0..1e6f64, 600..1200),
+        q in 0.05..0.95f64,
+    ) {
+        // The extended-P² sketch is approximate; measure its error in
+        // rank space against the exact CDF of the same stream.
+        let mut s = QuantileSketch::new(33);
+        for &v in &samples {
+            s.observe(v);
+        }
+        let exact = EmpiricalCdf::from_clean_samples(samples.clone());
+        let approx = s.quantile(q).unwrap();
+        let rank = exact.prob_below(approx);
+        prop_assert!(
+            (rank - q).abs() < 0.1,
+            "q={} sketch value {} sits at rank {}", q, approx, rank
+        );
     }
 
     #[test]

@@ -210,7 +210,10 @@ mod tests {
         let t = available_bandwidth(&cfg, 0.1, 50.0, 11);
         for &r in t.rates() {
             let steps = r / cfg.quantum;
-            assert!((steps - steps.round()).abs() < 1e-9, "rate {r} not quantized");
+            assert!(
+                (steps - steps.round()).abs() < 1e-9,
+                "rate {r} not quantized"
+            );
         }
     }
 }

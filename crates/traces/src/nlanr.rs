@@ -84,7 +84,12 @@ pub fn nlanr_like(cfg: &NlanrLikeConfig, epoch: f64, duration: f64, seed: u64) -
             mean_rate: poisson_mean,
             packet_bytes: 1000.0,
         };
-        total = total.add(&poisson::generate(&p_cfg, epoch, duration, seed ^ 0x9e37_79b9));
+        total = total.add(&poisson::generate(
+            &p_cfg,
+            epoch,
+            duration,
+            seed ^ 0x9e37_79b9,
+        ));
     }
 
     if cfg.regime_drift {
@@ -167,18 +172,28 @@ mod tests {
     fn bursty_and_noisy() {
         let t = nlanr_like(&NlanrLikeConfig::default(), 0.1, 300.0, 3);
         let s = SeriesSummary::of(t.rates()).unwrap();
-        assert!(s.cov > 0.15, "cov {} — NLANR-like traffic must be noisy", s.cov);
+        assert!(
+            s.cov > 0.15,
+            "cov {} — NLANR-like traffic must be noisy",
+            s.cov
+        );
     }
 
     #[test]
     fn deterministic_per_seed() {
         let cfg = NlanrLikeConfig::default();
-        assert_eq!(nlanr_like(&cfg, 0.1, 20.0, 7), nlanr_like(&cfg, 0.1, 20.0, 7));
+        assert_eq!(
+            nlanr_like(&cfg, 0.1, 20.0, 7),
+            nlanr_like(&cfg, 0.1, 20.0, 7)
+        );
     }
 
     #[test]
     fn figure8_path_a_lighter_than_path_b() {
-        let (a, b) = figure8_cross_traffic(0.1, 300.0, 11);
+        // Long enough that the slow regime drift (mean regime 30–60 s,
+        // ±40% level swings) averages out and the 45% vs 60% target
+        // utilizations dominate regardless of RNG stream.
+        let (a, b) = figure8_cross_traffic(0.1, 1200.0, 11);
         assert!(
             a.mean() < b.mean(),
             "path A cross traffic ({}) must be lighter than B ({})",

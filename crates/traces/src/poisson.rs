@@ -95,6 +95,9 @@ mod tests {
         let cfg = PoissonConfig::default();
         let t = generate(&cfg, 0.1, 120.0, 5);
         let ac = iqpaths_stats::timeseries::autocorrelation(t.rates(), 1);
-        assert!(ac.abs() < 0.15, "lag-1 autocorrelation {ac} too high for Poisson");
+        assert!(
+            ac.abs() < 0.15,
+            "lag-1 autocorrelation {ac} too high for Poisson"
+        );
     }
 }

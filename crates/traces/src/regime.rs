@@ -93,7 +93,10 @@ mod tests {
         let cfg = RegimeConfig::default();
         let t = generate(&cfg, 0.1, 300.0, 1);
         let max_possible = cfg.level_range.1 * (1.0 + cfg.noise_frac);
-        assert!(t.rates().iter().all(|&r| r >= 0.0 && r <= max_possible + 1e-6));
+        assert!(t
+            .rates()
+            .iter()
+            .all(|&r| r >= 0.0 && r <= max_possible + 1e-6));
     }
 
     #[test]

@@ -114,10 +114,7 @@ impl RateTrace {
 
     /// Clamps every rate into `[0, cap]`.
     pub fn clamp_to(&self, cap: f64) -> Self {
-        Self::new(
-            self.epoch,
-            self.rates.iter().map(|r| r.min(cap)).collect(),
-        )
+        Self::new(self.epoch, self.rates.iter().map(|r| r.min(cap)).collect())
     }
 
     /// Pointwise sum of two traces on the same epoch grid; the result has

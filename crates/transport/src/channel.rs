@@ -135,7 +135,11 @@ mod tests {
         for _ in 0..10_000 {
             let _ = ch.submit(t(0));
         }
-        assert!((ch.loss_rate() - 0.2).abs() < 0.02, "rate {}", ch.loss_rate());
+        assert!(
+            (ch.loss_rate() - 0.2).abs() < 0.02,
+            "rate {}",
+            ch.loss_rate()
+        );
     }
 
     #[test]

@@ -46,7 +46,10 @@ impl RttEstimator {
 
     /// Conventional defaults: RTO in [200 ms, 60 s].
     pub fn standard() -> Self {
-        Self::new(SimDuration::from_millis(200), SimDuration::from_millis(60_000))
+        Self::new(
+            SimDuration::from_millis(200),
+            SimDuration::from_millis(60_000),
+        )
     }
 
     /// Feeds one RTT sample from a *non-retransmitted* segment (Karn's

@@ -49,9 +49,9 @@ fn run_transfer_with_jitter(
     events.schedule(SimTime::ZERO, Ev::SenderTick);
 
     let pump = |sender: &mut RudpSender,
-                    data_ch: &mut LossyChannel,
-                    events: &mut EventQueue<Ev>,
-                    now: SimTime| {
+                data_ch: &mut LossyChannel,
+                events: &mut EventQueue<Ev>,
+                now: SimTime| {
         while let Some(seg) = sender.poll_transmit(now) {
             if let Transit::ArrivesAt(at) = data_ch.submit(now) {
                 events.schedule(at, Ev::SegmentArrives(seg));

@@ -30,7 +30,13 @@ fn attempt(req_mbps: f64, p: f64) -> (iq_paths::middleware::report::RunReport, f
         warmup_secs: 20.0,
         ..Default::default()
     };
-    let report = run(&paths, Box::new(workload), Box::new(scheduler), cfg, duration);
+    let report = run(
+        &paths,
+        Box::new(workload),
+        Box::new(scheduler),
+        cfg,
+        duration,
+    );
     (report, req_mbps, p)
 }
 
@@ -50,8 +56,8 @@ fn main() {
                 // straddling a boundary shaves <1% off a window.
                 let target = report.streams[0].required_bw * 0.99;
                 let series = &report.streams[0].throughput_series;
-                let meet = series.iter().filter(|&&v| v >= target).count() as f64
-                    / series.len() as f64;
+                let meet =
+                    series.iter().filter(|&&v| v >= target).count() as f64 / series.len() as f64;
                 println!(
                     "  admitted ✓ — delivered {:.1} Mbps mean, ≥99% of target in {:.1}% of windows",
                     s.mean / 1e6,

@@ -6,9 +6,7 @@
 //! ```
 
 use iq_paths::prelude::*;
-use iq_paths::stats::percentile::{
-    evaluate_mean_prediction, evaluate_percentile_prediction,
-};
+use iq_paths::stats::percentile::{evaluate_mean_prediction, evaluate_percentile_prediction};
 use iq_paths::stats::predictors::standard_suite;
 use iq_paths::traces::envelope::{available_bandwidth, EnvelopeConfig};
 

@@ -14,7 +14,10 @@ fn main() {
     let app = GridFtpConfig::default();
 
     for (label, kind) in [
-        ("standard GridFTP (blocked layout)", SchedulerKind::GridFtpBlocked),
+        (
+            "standard GridFTP (blocked layout)",
+            SchedulerKind::GridFtpBlocked,
+        ),
         ("IQPG-GridFTP (PGOS layout)", SchedulerKind::Pgos),
     ] {
         let out = experiment.run_gridftp(app, kind);

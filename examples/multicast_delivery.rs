@@ -71,7 +71,10 @@ fn main() {
         duration,
     );
 
-    println!("multicast feed: 20 Mbps @ 95% over {} trunk paths\n", trunks.len());
+    println!(
+        "multicast feed: 20 Mbps @ 95% over {} trunk paths\n",
+        trunks.len()
+    );
     for c in &report.clients {
         println!(
             "{:<14} mean {:>6.2} Mbps  meets-target {:>5.1}%  router drops {}",

@@ -25,20 +25,44 @@ fn main() {
     let mut schedule = Vec::new();
     for k in 0..(duration * fps) as u64 {
         let at = k as f64 / fps;
-        schedule.push(Event { at, bytes: 16_245, tag: ATOM_TAG });
-        schedule.push(Event { at, bytes: 110_740, tag: BOND_IN_VIEW });
-        schedule.push(Event { at, bytes: 350_000, tag: BOND_OUT_VIEW });
+        schedule.push(Event {
+            at,
+            bytes: 16_245,
+            tag: ATOM_TAG,
+        });
+        schedule.push(Event {
+            at,
+            bytes: 110_740,
+            tag: BOND_IN_VIEW,
+        });
+        schedule.push(Event {
+            at,
+            bytes: 350_000,
+            tag: BOND_OUT_VIEW,
+        });
     }
 
     let mut ps = PubSubSystem::new();
     let md = ps.channel(schedule);
     ps.subscribe(
-        Subscription::full(md, "atoms", Guarantee::Probabilistic { p: 0.95 }, 3.249e6, 1250)
-            .derived(|e| e.tag == ATOM_TAG),
+        Subscription::full(
+            md,
+            "atoms",
+            Guarantee::Probabilistic { p: 0.95 },
+            3.249e6,
+            1250,
+        )
+        .derived(|e| e.tag == ATOM_TAG),
     );
     ps.subscribe(
-        Subscription::full(md, "bonds-view", Guarantee::Probabilistic { p: 0.95 }, 22.148e6, 1250)
-            .derived(|e| e.tag == BOND_IN_VIEW),
+        Subscription::full(
+            md,
+            "bonds-view",
+            Guarantee::Probabilistic { p: 0.95 },
+            22.148e6,
+            1250,
+        )
+        .derived(|e| e.tag == BOND_IN_VIEW),
     );
     // Out-of-view bonds ride best-effort, downsampled in flight to 50%.
     ps.subscribe(
@@ -58,7 +82,13 @@ fn main() {
         warmup_secs: 20.0,
         ..Default::default()
     };
-    let report = run(&paths, Box::new(workload), Box::new(scheduler), cfg, duration);
+    let report = run(
+        &paths,
+        Box::new(workload),
+        Box::new(scheduler),
+        cfg,
+        duration,
+    );
     println!("pub/sub over IQ-Paths — {}", report.scheduler);
     print!("{}", report.summary_table());
     println!(

@@ -37,7 +37,13 @@ fn main() {
     let paths = vec![mk_path(0, 0.4, 7), mk_path(1, 0.6, 8)];
 
     // One stream: 20 Mbps, guaranteed 95% of the time; packets of 1250 B.
-    let specs = vec![StreamSpec::probabilistic(0, "telemetry", 20.0e6, 0.95, 1250)];
+    let specs = vec![StreamSpec::probabilistic(
+        0,
+        "telemetry",
+        20.0e6,
+        0.95,
+        1250,
+    )];
 
     // Offer the stream at exactly its required rate, framed at 25 fps.
     let workload = iq_paths::apps::workload::FramedSource::new(

@@ -1,0 +1,316 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Covers the API subset the bench targets use (`Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::{iter, iter_batched,
+//! iter_batched_ref}`, `Throughput`, `BatchSize`, the `criterion_group!`
+//! / `criterion_main!` macros) with a small adaptive wall-clock harness:
+//! each benchmark is warmed up, then timed over enough iterations to
+//! fill a target budget, and the mean ns/iter is printed. No statistics
+//! machinery, no HTML reports — but the numbers are stable enough to
+//! compare implementations within this repo (see EXPERIMENTS.md).
+//!
+//! Env knobs: `IQP_BENCH_MS` — per-benchmark measurement budget in
+//! milliseconds (default 60). Passing `--test` on the command line (as
+//! `cargo test --benches` does) runs every routine once and skips
+//! timing.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box (criterion-compatible name).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+impl BatchSize {
+    fn inputs_per_batch(self) -> usize {
+        match self {
+            BatchSize::SmallInput => 64,
+            BatchSize::LargeInput => 8,
+            BatchSize::PerIteration => 1,
+        }
+    }
+}
+
+/// Collects one benchmark's measurement; handed to the user closure.
+pub struct Bencher {
+    budget: Duration,
+    smoke_only: bool,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(budget: Duration, smoke_only: bool) -> Self {
+        Self {
+            budget,
+            smoke_only,
+            total: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    fn record(&mut self, elapsed: Duration, iters: u64) {
+        self.total += elapsed;
+        self.iters += iters;
+    }
+
+    fn ns_per_iter(&self) -> f64 {
+        if self.iters == 0 {
+            return f64::NAN;
+        }
+        self.total.as_nanos() as f64 / self.iters as f64
+    }
+
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke_only {
+            black_box(routine());
+            self.record(Duration::from_nanos(1), 1);
+            return;
+        }
+        // Warmup + calibration: grow the batch until it is measurable.
+        let mut batch: u64 = 1;
+        let per_call = loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt > Duration::from_micros(200) {
+                break dt.as_secs_f64() / batch as f64;
+            }
+            batch = batch.saturating_mul(8);
+        };
+        let goal = (self.budget.as_secs_f64() / per_call.max(1e-9)) as u64;
+        let goal = goal.clamp(1, 1_000_000_000);
+        let t0 = Instant::now();
+        for _ in 0..goal {
+            black_box(routine());
+        }
+        self.record(t0.elapsed(), goal);
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.smoke_only {
+            black_box(routine(setup()));
+            self.record(Duration::from_nanos(1), 1);
+            return;
+        }
+        let per_batch = size.inputs_per_batch();
+        let deadline = Instant::now() + self.budget;
+        let mut warm = true;
+        let mut recorded = false;
+        loop {
+            let inputs: Vec<I> = (0..per_batch).map(|_| setup()).collect();
+            let t0 = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let dt = t0.elapsed();
+            if warm {
+                warm = false; // first batch is warmup, unrecorded
+            } else {
+                self.record(dt, per_batch as u64);
+                recorded = true;
+            }
+            // Even past the deadline, keep going until one measured
+            // batch exists (expensive setups would otherwise yield NaN).
+            if recorded && Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(setup, move |mut input| routine(&mut input), size)
+    }
+}
+
+fn env_budget() -> Duration {
+    let ms = std::env::var("IQP_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(60);
+    Duration::from_millis(ms.max(1))
+}
+
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Top-level harness handle (one per bench binary).
+pub struct Criterion {
+    budget: Duration,
+    smoke_only: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            budget: env_budget(),
+            smoke_only: smoke_mode(),
+        }
+    }
+}
+
+fn run_one(
+    group: Option<&str>,
+    id: &str,
+    throughput: Option<Throughput>,
+    budget: Duration,
+    smoke_only: bool,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher::new(budget, smoke_only);
+    f(&mut b);
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    if smoke_only {
+        println!("bench {full:<48} ok (smoke)");
+        return;
+    }
+    let ns = b.ns_per_iter();
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!(" ({:.2} Melem/s)", n as f64 / ns * 1e3),
+        Throughput::Bytes(n) => format!(" ({:.2} MiB/s)", n as f64 / ns * 1e9 / (1 << 20) as f64),
+    });
+    println!(
+        "bench {full:<48} {ns:>12.1} ns/iter{}",
+        rate.unwrap_or_default()
+    );
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            None,
+            id.as_ref(),
+            None,
+            self.budget,
+            self.smoke_only,
+            &mut f,
+        );
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            Some(&self.name),
+            id.as_ref(),
+            self.throughput,
+            self.criterion.budget,
+            self.criterion.smoke_only,
+            &mut f,
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        std::env::set_var("IQP_BENCH_MS", "5");
+        let mut b = Bencher::new(Duration::from_millis(5), false);
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(black_box(3));
+            x
+        });
+        assert!(b.iters > 0);
+        assert!(b.ns_per_iter().is_finite());
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher::new(Duration::from_millis(5), false);
+        b.iter_batched(
+            || vec![1u64; 64],
+            |v| v.iter().sum::<u64>(),
+            BatchSize::SmallInput,
+        );
+        assert!(b.iters > 0);
+    }
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut b = Bencher::new(Duration::from_millis(1000), true);
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+    }
+}

@@ -1,0 +1,67 @@
+//! Offline stand-in for `crossbeam`, covering only `thread::scope` /
+//! `Scope::spawn` / `ScopedJoinHandle::join` as used by the seed-sweep
+//! binary. Built on `std::thread::scope`, which has subsumed the
+//! original crossbeam feature since Rust 1.63.
+
+#![forbid(unsafe_code)]
+
+pub mod thread {
+    use std::any::Any;
+    use std::thread as stdthread;
+
+    /// Placeholder passed to spawned closures in place of crossbeam's
+    /// nested-scope handle (callers here ignore it: `|_| ...`).
+    #[derive(Clone, Copy, Debug)]
+    pub struct NestedScope;
+
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope stdthread::Scope<'scope, 'env>,
+    }
+
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: stdthread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(NestedScope) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(NestedScope)),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope whose spawned threads all join before
+    /// this returns. Always `Ok`: a panicking child re-raises the
+    /// panic here (crossbeam instead returns `Err`; callers treating
+    /// that as fatal behave identically).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(stdthread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_and_return() {
+        let data = [1u64, 2, 3, 4];
+        let total = crate::thread::scope(|scope| {
+            let handles: Vec<_> = data.iter().map(|&x| scope.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+}

@@ -1,0 +1,240 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest surface this workspace uses —
+//! `proptest! { #[test] fn f(x in strategy, ..) { .. } }`, numeric
+//! range strategies, `prop::collection::vec`, and the `prop_assert*`
+//! macros — as a deterministic random-sampling harness. Each test
+//! function draws `PROPTEST_CASES` (default 128) cases from an RNG
+//! seeded by the test's module path, so failures reproduce across
+//! runs. Unlike real proptest there is no shrinking: a failing case
+//! panics with the offending values printed by the assertion message.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Deterministic generator handed to strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// Seeds the generator from an arbitrary label (test name).
+        pub fn from_label(label: &str) -> Self {
+            // FNV-1a over the label keeps distinct tests on distinct
+            // deterministic streams.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in label.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1_0000_0000_01b3);
+            }
+            Self(StdRng::seed_from_u64(h))
+        }
+
+        pub fn gen_f64(&mut self, lo: f64, hi_excl: f64) -> f64 {
+            self.0.gen_range(lo..hi_excl)
+        }
+
+        pub fn gen_f64_inclusive(&mut self, lo: f64, hi: f64) -> f64 {
+            self.0.gen_range(lo..=hi)
+        }
+
+        pub fn gen_u64(&mut self, lo: u64, hi_excl: u64) -> u64 {
+            self.0.gen_range(lo..hi_excl)
+        }
+    }
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        type Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            rng.gen_f64(self.start, self.end)
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            rng.gen_f64_inclusive(*self.start(), *self.end())
+        }
+    }
+
+    macro_rules! int_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.gen_u64(0, span) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    let span = (hi - lo) as u64;
+                    lo + if span == u64::MAX {
+                        rng.gen_u64(0, u64::MAX)
+                    } else {
+                        rng.gen_u64(0, span + 1)
+                    } as $t
+                }
+            }
+        )*};
+    }
+
+    int_strategies!(u8, u16, u32, u64, usize);
+
+    /// How many cases each property runs (`PROPTEST_CASES` overrides).
+    pub fn cases() -> usize {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(128)
+    }
+}
+
+pub mod collection {
+    use super::strategy::{Strategy, TestRng};
+
+    /// Lengths accepted by [`vec`]: a `usize` range or an exact count.
+    pub trait VecLen {
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl VecLen for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty length range");
+            self.start + rng.gen_u64(0, (self.end - self.start) as u64) as usize
+        }
+    }
+
+    impl VecLen for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            let (lo, hi) = (*self.start(), *self.end());
+            lo + rng.gen_u64(0, (hi - lo + 1) as u64) as usize
+        }
+    }
+
+    impl VecLen for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    pub struct VecStrategy<S, L> {
+        elem: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: VecLen> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.pick(rng);
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+
+    /// `prop::collection::vec(elem, len)` — vectors of `elem` samples.
+    pub fn vec<S: Strategy, L: VecLen>(elem: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { elem, len }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Expands each property into a `#[test]` that samples its strategies
+/// over a deterministic case loop.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let label = concat!(module_path!(), "::", stringify!($name));
+                let mut rng = $crate::strategy::TestRng::from_label(label);
+                for _case in 0..$crate::strategy::cases() {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pairs() -> impl Strategy<Value = Vec<f64>> {
+        prop::collection::vec(0.0..10.0f64, 2)
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_and_vecs_sample_in_bounds(
+            xs in prop::collection::vec(0.0..1e9f64, 1..50),
+            k in 1usize..10,
+            q in 0.0..=1.0f64,
+        ) {
+            prop_assert!(xs.iter().all(|&x| (0.0..1e9).contains(&x)));
+            prop_assert!(!xs.is_empty() && xs.len() < 50);
+            prop_assert!((1..10).contains(&k));
+            prop_assert!((0.0..=1.0).contains(&q));
+        }
+
+        #[test]
+        fn const_len_vec(p in pairs()) {
+            prop_assert_eq!(p.len(), 2);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_reconstruction() {
+        use crate::strategy::{Strategy, TestRng};
+        let s = prop::collection::vec(0.0..1.0f64, 1..20);
+        let a: Vec<Vec<f64>> = {
+            let mut r = TestRng::from_label("x");
+            (0..10).map(|_| s.sample(&mut r)).collect()
+        };
+        let b: Vec<Vec<f64>> = {
+            let mut r = TestRng::from_label("x");
+            (0..10).map(|_| s.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

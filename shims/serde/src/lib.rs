@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`.
+//!
+//! This workspace derives `Serialize`/`Deserialize` on report and
+//! config types purely as API surface — nothing in-tree serializes
+//! through serde (see `tests/report_and_config.rs`). With no network
+//! and no vendored registry, the real crate is unavailable, so this
+//! shim supplies the two traits as markers with blanket impls and
+//! re-exports no-op derive macros. Swapping back to real serde is a
+//! two-line change in the root `Cargo.toml`.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -13,7 +13,13 @@ use iq_paths::traces::{cbr, RateTrace};
 
 /// Path whose cross traffic jumps from `before` to `after` Mbps at
 /// `shift_at` seconds (absolute, including warm-up).
-fn shifting_path(index: usize, before: f64, after: f64, shift_at: f64, horizon: f64) -> OverlayPath {
+fn shifting_path(
+    index: usize,
+    before: f64,
+    after: f64,
+    shift_at: f64,
+    horizon: f64,
+) -> OverlayPath {
     let epoch = 0.1;
     let n = (horizon / epoch).ceil() as usize;
     let rates = (0..n)
@@ -59,8 +65,16 @@ fn pgos_migrates_off_a_collapsing_path() {
     let report = run(&paths, Box::new(w), Box::new(pgos), cfg, duration);
 
     // Both paths carried substantial traffic (before/after the shift).
-    assert!(report.path_sent_bytes[0] > 10_000_000, "{:?}", report.path_sent_bytes);
-    assert!(report.path_sent_bytes[1] > 10_000_000, "{:?}", report.path_sent_bytes);
+    assert!(
+        report.path_sent_bytes[0] > 10_000_000,
+        "{:?}",
+        report.path_sent_bytes
+    );
+    assert!(
+        report.path_sent_bytes[1] > 10_000_000,
+        "{:?}",
+        report.path_sent_bytes
+    );
     // The guarantee survives the shift in all but the transition
     // windows (monitoring needs a few samples to see the collapse).
     let s = report.streams[0].summary();
@@ -70,8 +84,8 @@ fn pgos_migrates_off_a_collapsing_path() {
         s.meet_fraction
     );
     // Steady state at the end: the last 10 windows are all on target.
-    let tail = &report.streams[0].throughput_series
-        [report.streams[0].throughput_series.len() - 10..];
+    let tail =
+        &report.streams[0].throughput_series[report.streams[0].throughput_series.len() - 10..];
     assert!(
         tail.iter().all(|&v| v >= 29.9e6),
         "tail windows below target: {tail:?}"

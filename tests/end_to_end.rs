@@ -103,7 +103,12 @@ fn iqpg_gridftp_stabilizes_dt1() {
     let b = blocked.report.streams[0].summary();
     let p = iqpg.report.streams[0].summary();
     // The paper's Figure 12 comparison: same mean, much smaller stddev.
-    assert!(p.stddev <= b.stddev, "IQPG stddev {} > blocked {}", p.stddev, b.stddev);
+    assert!(
+        p.stddev <= b.stddev,
+        "IQPG stddev {} > blocked {}",
+        p.stddev,
+        b.stddev
+    );
     assert!(p.meet_fraction >= b.meet_fraction);
     assert!((p.mean - b.mean).abs() / b.mean < 0.1);
 }
@@ -112,8 +117,16 @@ fn iqpg_gridftp_stabilizes_dt1() {
 fn gridftp_record_rates_meet_slo_under_pgos() {
     let e = quick(30.0);
     let out = e.run_gridftp(GridFtpConfig::default(), SchedulerKind::Pgos);
-    assert!(out.records_per_sec[0] > 24.0, "DT1 {:?}", out.records_per_sec);
-    assert!(out.records_per_sec[1] > 24.0, "DT2 {:?}", out.records_per_sec);
+    assert!(
+        out.records_per_sec[0] > 24.0,
+        "DT1 {:?}",
+        out.records_per_sec
+    );
+    assert!(
+        out.records_per_sec[1] > 24.0,
+        "DT2 {:?}",
+        out.records_per_sec
+    );
     // DT3 is throttled by leftover bandwidth, below its 25/s offer.
     assert!(out.records_per_sec[2] < 25.0);
 }

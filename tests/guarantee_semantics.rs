@@ -32,8 +32,8 @@ fn envelope_path(index: usize, util: (f64, f64), seed: u64, horizon: f64) -> Ove
         0.1,
         avail.rates().iter().map(|a| (cap - a).max(0.0)).collect(),
     );
-    let link = Link::new(format!("l{index}"), cap, SimDuration::from_millis(1))
-        .with_cross_traffic(cross);
+    let link =
+        Link::new(format!("l{index}"), cap, SimDuration::from_millis(1)).with_cross_traffic(cross);
     OverlayPath::new(index, format!("p{index}"), vec![link])
 }
 
@@ -132,8 +132,8 @@ fn partial_service_stream_admits_where_full_service_cannot() {
     // Offered 60 Mbps cannot be fully guaranteed on a ~35 Mbps floor;
     // guaranteeing half of it (30 Mbps) fits.
     let full = vec![StreamSpec::probabilistic(0, "full", 60.0e6, 0.9, 1250)];
-    let partial = vec![StreamSpec::probabilistic(0, "half", 60.0e6, 0.9, 1250)
-        .with_service_fraction(0.5)];
+    let partial =
+        vec![StreamSpec::probabilistic(0, "half", 60.0e6, 0.9, 1250).with_service_fraction(0.5)];
 
     let w_full = workload(full.clone(), 60.0e6, duration);
     let r_full = run(
@@ -143,7 +143,10 @@ fn partial_service_stream_admits_where_full_service_cannot() {
         cfg(),
         duration,
     );
-    assert!(!r_full.upcalls.is_empty(), "full-service 60 Mbps must reject");
+    assert!(
+        !r_full.upcalls.is_empty(),
+        "full-service 60 Mbps must reject"
+    );
 
     let w_half = workload(partial.clone(), 60.0e6, duration);
     let r_half = run(
@@ -159,14 +162,16 @@ fn partial_service_stream_admits_where_full_service_cannot() {
         r_half.upcalls
     );
     // The guaranteed half arrives in ≥ 90% of windows.
-    let meets = r_half
-        .streams[0]
+    let meets = r_half.streams[0]
         .throughput_series
         .iter()
         .filter(|&&v| v >= 30.0e6)
         .count() as f64
         / r_half.streams[0].throughput_series.len() as f64;
-    assert!(meets >= 0.9, "guaranteed half met in only {meets} of windows");
+    assert!(
+        meets >= 0.9,
+        "guaranteed half met in only {meets} of windows"
+    );
 }
 
 #[test]

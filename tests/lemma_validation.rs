@@ -31,8 +31,7 @@ fn envelope_path(util: (f64, f64), seed: u64, horizon: f64) -> (OverlayPath, Rat
         0.1,
         avail.rates().iter().map(|a| (cap - a).max(0.0)).collect(),
     );
-    let link =
-        Link::new("l", cap, SimDuration::from_millis(1)).with_cross_traffic(cross);
+    let link = Link::new("l", cap, SimDuration::from_millis(1)).with_cross_traffic(cross);
     (OverlayPath::new(0, "p", vec![link]), avail)
 }
 
@@ -43,12 +42,8 @@ fn lemma1_probability_is_respected_end_to_end() {
     let (path, avail) = envelope_path((0.4, 0.5), 21, warmup + duration + 5.0);
 
     // Ground-truth CDF over the measurement interval.
-    let truth = EmpiricalCdf::from_clean_samples(
-        avail
-            .slice(warmup, warmup + duration)
-            .rates()
-            .to_vec(),
-    );
+    let truth =
+        EmpiricalCdf::from_clean_samples(avail.slice(warmup, warmup + duration).rates().to_vec());
     // Demand at the 10th percentile: Lemma 1 promises service with
     // probability 1 − F(b0) ≈ 0.9.
     let req = truth.quantile(0.10).unwrap();
@@ -72,8 +67,7 @@ fn lemma1_probability_is_respected_end_to_end() {
     // shave one packet's worth (< 1%) off a window's tally without any
     // service shortfall.
     let series = &report.streams[0].throughput_series;
-    let meet = series.iter().filter(|&&v| v >= 0.99 * rate).count() as f64
-        / series.len() as f64;
+    let meet = series.iter().filter(|&&v| v >= 0.99 * rate).count() as f64 / series.len() as f64;
     assert!(
         meet + 0.07 >= promised,
         "measured {meet} vs promised {promised}"
@@ -85,9 +79,8 @@ fn lemma2_bound_dominates_measured_misses() {
     let warmup = 30.0;
     let duration = 100.0;
     let (path, avail) = envelope_path((0.45, 0.55), 33, warmup + duration + 5.0);
-    let truth = EmpiricalCdf::from_clean_samples(
-        avail.slice(warmup, warmup + duration).rates().to_vec(),
-    );
+    let truth =
+        EmpiricalCdf::from_clean_samples(avail.slice(warmup, warmup + duration).rates().to_vec());
     // Demand near the 25th percentile: some windows will miss.
     let req = truth.quantile(0.25).unwrap();
     let pkt: u32 = 1250;

@@ -4,9 +4,7 @@
 //! module's CDFs drive correct admission decisions.
 
 use iq_paths::prelude::*;
-use iq_paths::stats::percentile::{
-    evaluate_mean_prediction, evaluate_percentile_prediction,
-};
+use iq_paths::stats::percentile::{evaluate_mean_prediction, evaluate_percentile_prediction};
 use iq_paths::stats::predictors::standard_suite;
 use iq_paths::traces::envelope::{available_bandwidth, EnvelopeConfig};
 

@@ -49,8 +49,7 @@ fn guaranteed_subscription_survives_bulk_pressure() {
             .derived(|e| e.tag == 0),
     );
     ps.subscribe(
-        Subscription::full(ch, "bulk", Guarantee::BestEffort, 0.0, 1250)
-            .derived(|e| e.tag == 1),
+        Subscription::full(ch, "bulk", Guarantee::BestEffort, 0.0, 1250).derived(|e| e.tag == 1),
     );
     let specs = ps.stream_specs();
     let workload = ps.into_workload();
@@ -60,7 +59,13 @@ fn guaranteed_subscription_survives_bulk_pressure() {
     };
     let pgos = Pgos::new(PgosConfig::default(), specs, 2);
     let horizon = cfg.warmup_secs + duration + 5.0;
-    let report = run(&paths(horizon), Box::new(workload), Box::new(pgos), cfg, duration);
+    let report = run(
+        &paths(horizon),
+        Box::new(workload),
+        Box::new(pgos),
+        cfg,
+        duration,
+    );
 
     assert!(report.upcalls.is_empty(), "{:?}", report.upcalls);
     let viz = report.streams[0].summary();
@@ -82,8 +87,7 @@ fn transformed_subscription_scales_delivered_volume() {
     let mut ps = PubSubSystem::new();
     let ch = ps.channel(schedule(duration));
     ps.subscribe(
-        Subscription::full(ch, "full", Guarantee::BestEffort, 0.0, 1250)
-            .derived(|e| e.tag == 0),
+        Subscription::full(ch, "full", Guarantee::BestEffort, 0.0, 1250).derived(|e| e.tag == 0),
     );
     ps.subscribe(
         Subscription::full(ch, "thumb", Guarantee::BestEffort, 0.0, 1250)
@@ -98,7 +102,13 @@ fn transformed_subscription_scales_delivered_volume() {
     };
     let pgos = Pgos::new(PgosConfig::default(), specs, 2);
     let horizon = cfg.warmup_secs + duration + 5.0;
-    let report = run(&paths(horizon), Box::new(workload), Box::new(pgos), cfg, duration);
+    let report = run(
+        &paths(horizon),
+        Box::new(workload),
+        Box::new(pgos),
+        cfg,
+        duration,
+    );
     let full = report.streams[0].delivered_bytes as f64;
     let thumb = report.streams[1].delivered_bytes as f64;
     assert!(
