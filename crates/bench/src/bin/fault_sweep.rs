@@ -1,0 +1,85 @@
+//! Fault-injection sweep: guarantee conformance across CDF backends and
+//! fault scenarios.
+//!
+//! For every `{Exact, Rolling, Sketch} × {no-fault, flap, blackout,
+//! churn}` case this runs the testkit conformance harness (seeded
+//! 3-path random topology, probabilistic + violation-bound +
+//! best-effort stream mix under PGOS) and prints the Lemma 1 / Lemma 2
+//! verdict table plus per-run observability counters. The markdown
+//! table is written to `target/experiments/fault_sweep.md` for
+//! EXPERIMENTS.md (and uploaded as a CI artifact by the conformance
+//! job).
+//!
+//! Knobs: `IQP_SEED` (topology/runtime seed), `IQP_DURATION` (measured
+//! seconds per case, clamped to [60, 120]).
+
+use iqpaths_testkit::{
+    mode_name, run_conformance, sweep_modes, ConformanceConfig, ConformanceReport, FaultScenario,
+};
+
+fn main() {
+    let seed = iqpaths_bench::seed();
+    let duration = iqpaths_bench::duration().clamp(60.0, 120.0);
+    println!("Fault sweep — guarantee conformance under injected faults");
+    println!("seed {seed}, {duration} s measured per case\n");
+
+    let mut table = String::from(ConformanceReport::table_header());
+    let mut runs = String::from(
+        "| scenario | mode | meet%(prob) | misses/win(vbound) | blocked/path | upcalls | events |\n\
+         |---|---|---|---|---|---|---|\n",
+    );
+    let mut failures = 0u32;
+    for mode in sweep_modes() {
+        for scenario in FaultScenario::ALL {
+            let mut cfg = ConformanceConfig::new(seed, mode, scenario);
+            cfg.duration = duration;
+            let r = run_conformance(cfg);
+            if !r.all_pass() {
+                failures += 1;
+            }
+            table.push_str(&r.table_rows());
+            let meet = r
+                .outcomes
+                .iter()
+                .find(|o| o.kind == "lemma1")
+                .map(|o| o.observed)
+                .unwrap_or(f64::NAN);
+            let misses = r
+                .outcomes
+                .iter()
+                .find(|o| o.kind == "lemma2")
+                .map(|o| o.observed)
+                .unwrap_or(f64::NAN);
+            let blocked: Vec<String> = r
+                .report
+                .path_blocked_events
+                .iter()
+                .map(u64::to_string)
+                .collect();
+            runs.push_str(&format!(
+                "| {} | {} | {:.3} | {:.3} | {} | {} | {} |\n",
+                r.scenario,
+                mode_name(mode),
+                meet,
+                misses,
+                blocked.join("/"),
+                r.report.upcalls.len(),
+                r.report.events,
+            ));
+        }
+    }
+
+    println!("{table}");
+    println!("{runs}");
+    let artifact = format!(
+        "# fault_sweep — seed {seed}, {duration} s/case\n\n\
+         ## Lemma conformance\n\n{table}\n## Run counters\n\n{runs}"
+    );
+    iqpaths_bench::write_artifact("fault_sweep.md", &artifact);
+
+    if failures > 0 {
+        println!("{failures} case(s) FAILED conformance");
+        std::process::exit(1);
+    }
+    println!("all cases conformant within tolerance");
+}

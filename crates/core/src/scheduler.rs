@@ -109,6 +109,19 @@ impl Pgos {
         }
     }
 
+    /// Absolute time (ns) until which `path` is backed off, or 0 if it
+    /// was never blocked. Exposed so fault-injection tests can assert
+    /// the exact exponential-backoff retry timestamps.
+    pub fn backoff_until(&self, path: usize) -> u64 {
+        self.backoff[path].until_ns
+    }
+
+    /// Current exponential-backoff step (ns) for `path`: 0 before the
+    /// first block, then 5 ms doubling up to the 1 s ceiling.
+    pub fn backoff_step(&self, path: usize) -> u64 {
+        self.backoff[path].current_ns
+    }
+
     /// Number of resource-mapping runs so far (ablation metric).
     pub fn remap_count(&self) -> u64 {
         self.remaps

@@ -122,6 +122,118 @@ proptest! {
     }
 
     #[test]
+    fn table1_class_rank_dominates_deadline_and_constraint(
+        rows in prop::collection::vec(0u64..24_000, 2..24),
+    ) {
+        // Table 1 rule 1 > 2 > 3 is absolute: no deadline or window
+        // constraint lets a lower class beat a higher one.
+        use iqpaths_core::precedence::{compare, Candidate, ScheduleClass};
+        use std::cmp::Ordering;
+        let cands: Vec<Candidate> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| Candidate {
+                stream: i,
+                class: match v % 3 {
+                    0 => ScheduleClass::CurrentPath,
+                    1 => ScheduleClass::OtherPath,
+                    _ => ScheduleClass::Unscheduled,
+                },
+                deadline_ns: (v / 3) % 1000,
+                constraint: ((v / 3000) % 8) as f64 / 8.0,
+            })
+            .collect();
+        let rank = |c: &Candidate| match c.class {
+            ScheduleClass::CurrentPath => 0u8,
+            ScheduleClass::OtherPath => 1,
+            ScheduleClass::Unscheduled => 2,
+        };
+        for a in &cands {
+            for b in &cands {
+                if rank(a) < rank(b) {
+                    prop_assert_eq!(compare(a, b), Ordering::Less);
+                } else if rank(a) == rank(b) && a.deadline_ns < b.deadline_ns {
+                    // Within a class, EDF: the earlier deadline wins no
+                    // matter the constraint (rules 2.1 / 3.1).
+                    prop_assert_eq!(compare(a, b), Ordering::Less);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table1_winner_is_arrival_order_invariant(
+        rows in prop::collection::vec(0u64..600, 1..16),
+        rot in 0usize..16,
+    ) {
+        // Random arrivals: the Table 1 winner does not depend on the
+        // order candidates were enqueued, only on the total order.
+        use iqpaths_core::precedence::{best, Candidate, ScheduleClass};
+        let cands: Vec<Candidate> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| Candidate {
+                stream: i,
+                class: match v % 3 {
+                    0 => ScheduleClass::CurrentPath,
+                    1 => ScheduleClass::OtherPath,
+                    _ => ScheduleClass::Unscheduled,
+                },
+                deadline_ns: (v / 3) % 50,
+                constraint: ((v / 150) % 4) as f64 / 4.0,
+            })
+            .collect();
+        let mut rotated = cands.clone();
+        rotated.rotate_left(rot % cands.len().max(1));
+        let mut reversed = cands.clone();
+        reversed.reverse();
+        let w = best(&cands).unwrap();
+        prop_assert_eq!(best(&rotated).unwrap(), w);
+        prop_assert_eq!(best(&reversed).unwrap(), w);
+    }
+
+    #[test]
+    fn vp_virtual_deadline_order_never_inverts(
+        counts in prop::collection::vec(0u32..40, 1..6),
+    ) {
+        // Walking VP, each visit's virtual deadline
+        // Dp[k] = (k − 1) / x_j is non-decreasing: the merged path order
+        // never services a later deadline before an earlier one.
+        if !counts.iter().any(|&c| c > 0) {
+            continue; // degenerate sample: nothing scheduled
+        }
+        let vp = path_lookup_vector(&counts);
+        let mut seen = vec![0u32; counts.len()];
+        let mut last = f64::NEG_INFINITY;
+        for &j in &vp {
+            let d = seen[j] as f64 / counts[j] as f64;
+            prop_assert!(d >= last - 1e-12, "VP inversion: {} after {}", d, last);
+            last = d;
+            seen[j] += 1;
+        }
+    }
+
+    #[test]
+    fn vs_per_path_edf_order_never_inverts(
+        matrix in prop::collection::vec(prop::collection::vec(0u32..30, 4), 1..5),
+    ) {
+        // Same invariant inside every per-path stream vector VS[j], for
+        // arbitrary (random-arrival) assignment matrices.
+        let sv = SchedulingVectors::build(matrix.clone());
+        for j in 0..4 {
+            let counts: Vec<u32> = matrix.iter().map(|row| row[j]).collect();
+            let mut seen = vec![0u32; counts.len()];
+            let mut last = f64::NEG_INFINITY;
+            for &i in &sv.vs[j] {
+                let d = seen[i] as f64 / counts[i] as f64;
+                prop_assert!(d >= last - 1e-12, "VS[{}] inversion", j);
+                last = d;
+                seen[i] += 1;
+            }
+        }
+    }
+
+    #[test]
     fn precedence_sort_never_panics(
         deadlines in prop::collection::vec(0u64..1000, 1..20),
     ) {

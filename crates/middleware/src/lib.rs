@@ -23,4 +23,4 @@ pub mod runtime;
 
 pub use builder::{Figure8Experiment, SchedulerKind};
 pub use report::{RunReport, StreamReport};
-pub use runtime::{run, DeliveryEvent, RuntimeConfig};
+pub use runtime::{run, run_faulted, DeliveryEvent, RuntimeConfig};

@@ -33,6 +33,11 @@ pub struct StreamReport {
     pub transit_loss_rate: f64,
     /// Mean end-to-end latency in seconds.
     pub mean_latency: f64,
+    /// Packets carrying a scheduling-window deadline.
+    pub deadline_packets: u64,
+    /// Deadline-bearing packets served past their deadline — the raw
+    /// count behind Lemma 2's expected-violation bound.
+    pub deadline_misses: u64,
     /// Fraction of deadline-bearing packets that missed.
     pub deadline_miss_rate: f64,
 }
@@ -72,6 +77,9 @@ pub struct RunReport {
     pub streams: Vec<StreamReport>,
     /// Bytes transmitted per path.
     pub path_sent_bytes: Vec<u64>,
+    /// Blocked-path detections per path (each one fed the scheduler's
+    /// exponential backoff) — the fault-injection observability hook.
+    pub path_blocked_events: Vec<u64>,
     /// Admission-control upcalls raised during the run.
     pub upcalls: Vec<Upcall>,
     /// Discrete events processed (run cost metric).
@@ -185,6 +193,8 @@ pub(crate) fn stream_report(
         } else {
             latencies_sum / delivered_packets as f64
         },
+        deadline_packets,
+        deadline_misses,
         deadline_miss_rate: if deadline_packets == 0 {
             0.0
         } else {
@@ -218,6 +228,7 @@ mod tests {
             monitor_window: 1.0,
             streams: vec![sr],
             path_sent_bytes: vec![4000],
+            path_blocked_events: vec![0],
             upcalls: vec![],
             events: 100,
         }
@@ -231,6 +242,8 @@ mod tests {
         assert!((s.drop_rate - 2.0 / 42.0).abs() < 1e-12);
         assert!((s.mean_latency - 0.01).abs() < 1e-12);
         assert!((s.deadline_miss_rate - 0.1).abs() < 1e-12);
+        assert_eq!(s.deadline_packets, 40);
+        assert_eq!(s.deadline_misses, 4);
         assert_eq!(s.throughput_cdf().len(), 4);
         assert_eq!(s.transit_lost, 10);
         assert!((s.transit_loss_rate - 0.2).abs() < 1e-12);

@@ -14,6 +14,7 @@ use iqpaths_core::traits::{MultipathScheduler, PathSnapshot};
 use iqpaths_overlay::node::MonitoringModule;
 use iqpaths_overlay::path::OverlayPath;
 use iqpaths_overlay::probe::AvailBwProbe;
+use iqpaths_simnet::fault::{FaultInjector, FaultSchedule};
 use iqpaths_simnet::monitor::ThroughputMonitor;
 use iqpaths_simnet::packet::{Packet, StreamId};
 use iqpaths_simnet::server::PathService;
@@ -86,6 +87,12 @@ pub struct DeliveryEvent {
     pub delivered: f64,
     /// Path traveled.
     pub path: usize,
+    /// Whether the packet carried a scheduling-window deadline.
+    pub has_deadline: bool,
+    /// Whether a deadline-bearing packet was served past its deadline
+    /// (always `false` for best-effort packets). Lets conformance
+    /// harnesses attribute Lemma 2 violations to monitor windows.
+    pub missed_deadline: bool,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -94,6 +101,9 @@ enum Ev {
     PathFree(usize),
     Delivered(usize),
     Probe,
+    /// A fault-delayed probe report reaching the monitoring module:
+    /// `(path, measurement timestamp, measured bandwidth)`.
+    ProbeReady(usize, f64, f64),
     Window,
 }
 
@@ -116,15 +126,57 @@ pub fn run(
 /// Panics on an empty path set or non-positive duration.
 pub fn run_with_sink(
     paths: &[OverlayPath],
+    workload: Box<dyn Workload>,
+    scheduler: Box<dyn MultipathScheduler>,
+    cfg: RuntimeConfig,
+    duration: f64,
+    sink: &mut dyn FnMut(&DeliveryEvent),
+) -> RunReport {
+    run_faulted(
+        paths,
+        workload,
+        scheduler,
+        cfg,
+        duration,
+        &FaultSchedule::new(),
+        sink,
+    )
+}
+
+/// Runs an experiment under a deterministic [`FaultSchedule`].
+///
+/// Capacity faults (degrade/block/restore) are compiled into extra
+/// bottleneck cross traffic via [`OverlayPath::with_faults`] before the
+/// run, so path services, probes, blocked-path detection and the
+/// OptSched oracle all see the same degraded ground truth. Probe
+/// loss/delay and reordering bursts are applied inside the event loop
+/// through a [`FaultInjector`] salted with `cfg.seed`. Fault times are
+/// absolute emulation seconds — warm-up included — and probe faults
+/// only act on the main loop (schedule them after `cfg.warmup_secs`).
+///
+/// # Panics
+/// Panics on an empty path set, non-positive duration, or a fault
+/// targeting an unknown path index.
+#[allow(clippy::too_many_lines)]
+pub fn run_faulted(
+    paths: &[OverlayPath],
     mut workload: Box<dyn Workload>,
     mut scheduler: Box<dyn MultipathScheduler>,
     cfg: RuntimeConfig,
     duration: f64,
+    faults: &FaultSchedule,
     sink: &mut dyn FnMut(&DeliveryEvent),
 ) -> RunReport {
     assert!(!paths.is_empty(), "need at least one overlay path");
     assert!(duration > 0.0, "duration must be positive");
     let n_paths = paths.len();
+    let horizon = cfg.warmup_secs + duration + cfg.window_secs;
+    let faulted: Vec<OverlayPath> = paths
+        .iter()
+        .map(|p| p.with_faults(faults, horizon))
+        .collect();
+    let paths = &faulted[..];
+    let mut injector = FaultInjector::new(faults, n_paths, cfg.seed);
     let specs: Vec<_> = scheduler.specs().to_vec();
     let n_streams = specs.len();
     assert_eq!(
@@ -182,6 +234,7 @@ pub fn run_with_sink(
     let mut transit_lost = vec![0u64; n_streams];
     let mut path_transmitted = vec![0u64; n_paths];
     let mut path_lost = vec![0u64; n_paths];
+    let mut path_blocked_events = vec![0u64; n_paths];
     let mut loss_rng = StdRng::seed_from_u64(cfg.seed ^ 0x1055_c0de);
     let mut upcalls = Vec::new();
 
@@ -242,6 +295,7 @@ pub fn run_with_sink(
                 let residual = svc.residual_at(now_s);
                 let blocked = residual < cfg.blocked_residual_frac * paths[j].bottleneck_capacity();
                 if blocked {
+                    path_blocked_events[j] += 1;
                     scheduler.on_path_blocked(j, now_ns);
                 }
                 match scheduler.next_packet(j, now_ns, &mut queues) {
@@ -290,19 +344,25 @@ pub fn run_with_sink(
                     path_lost[j] += 1;
                     continue;
                 }
-                let delivered_at = delivery.delivered;
+                // Reordering bursts hold every other delivery back at
+                // the client for the burst's jitter.
+                let extra = injector.reorder_extra(j, now_s);
+                let delivered_at =
+                    delivery.delivered + iqpaths_simnet::SimDuration::from_secs_f64(extra);
                 let rel = delivered_at.as_secs_f64() - warmup;
                 delivered_packets[s] += 1;
                 delivered_bytes[s] += delivery.packet.bytes as u64;
-                latency_sum[s] += delivery.latency().as_secs_f64();
-                if delivery.packet.has_deadline() {
+                latency_sum[s] += delivery.latency().as_secs_f64() + extra;
+                let has_deadline = delivery.packet.has_deadline();
+                // Lemma 1 speaks of packets *served* within the
+                // window, so the deadline is checked against
+                // transmission completion, not client arrival
+                // (propagation delay is a constant the application
+                // budgets separately).
+                let missed = has_deadline && delivery.packet.missed_deadline(delivery.sent);
+                if has_deadline {
                     deadline_pkts[s] += 1;
-                    // Lemma 1 speaks of packets *served* within the
-                    // window, so the deadline is checked against
-                    // transmission completion, not client arrival
-                    // (propagation delay is a constant the application
-                    // budgets separately).
-                    if delivery.packet.missed_deadline(delivery.sent) {
+                    if missed {
                         deadline_misses[s] += 1;
                     }
                 }
@@ -316,18 +376,38 @@ pub fn run_with_sink(
                     created: delivery.packet.created.as_secs_f64() - warmup,
                     delivered: rel,
                     path: j,
+                    has_deadline,
+                    missed_deadline: missed,
                 });
             }
             Ev::Probe => {
                 for (j, path) in paths.iter().enumerate() {
-                    let bw = probes[j].measure(path, now_s);
-                    monitoring.observe_bandwidth(j, now_s, bw);
-                    monitoring.observe_rtt(j, path.prop_delay().as_secs_f64() * 2.0);
+                    // Injected probe loss: the report never arrives, so
+                    // the path's telemetry goes stale.
+                    if injector.probe_lost(j, now_s) {
+                        continue;
+                    }
+                    let delay = injector.probe_delay_at(j, now_s);
+                    if delay > 0.0 {
+                        let s = probes[j].measure_delayed(path, now_s, delay);
+                        events.schedule(
+                            SimTime::from_secs_f64(s.ready_at),
+                            Ev::ProbeReady(j, s.taken_at, s.bw),
+                        );
+                    } else {
+                        let bw = probes[j].measure(path, now_s);
+                        monitoring.observe_bandwidth(j, now_s, bw);
+                        monitoring.observe_rtt(j, path.prop_delay().as_secs_f64() * 2.0);
+                    }
                 }
                 events.schedule(
                     now + iqpaths_simnet::SimDuration::from_secs_f64(cfg.probe_interval_secs),
                     Ev::Probe,
                 );
+            }
+            Ev::ProbeReady(j, taken_at, bw) => {
+                monitoring.observe_bandwidth(j, taken_at, bw);
+                monitoring.observe_rtt(j, paths[j].prop_delay().as_secs_f64() * 2.0);
             }
             Ev::Window => {
                 let snapshots: Vec<PathSnapshot> = monitoring
@@ -410,6 +490,7 @@ pub fn run_with_sink(
         monitor_window: cfg.monitor_window_secs,
         streams,
         path_sent_bytes: services.iter().map(PathService::sent_bytes).collect(),
+        path_blocked_events,
         upcalls,
         events: events.processed(),
     }
@@ -564,6 +645,67 @@ mod tests {
             assert_eq!(se.mean_latency, sr.mean_latency);
             assert_eq!(se.deadline_miss_rate, sr.deadline_miss_rate);
         }
+    }
+
+    #[test]
+    fn blackout_shifts_traffic_and_counts_blocked_events() {
+        use iqpaths_simnet::fault::FaultSchedule;
+        // Two clean 20 Mbps paths; path 0 blacks out mid-run. Fault
+        // times are absolute (warm-up = 5 s ends at t = 5).
+        let mut faults = FaultSchedule::new();
+        faults.blackout(0, 8.0, 12.0);
+        let run_once = |faults: &FaultSchedule| {
+            let paths = vec![clean_path(0, 20.0), clean_path(1, 20.0)];
+            let (specs, src) = one_stream_workload(8.0, 15.0);
+            let pgos = Pgos::new(PgosConfig::default(), specs, 2);
+            run_faulted(
+                &paths,
+                Box::new(src),
+                Box::new(pgos),
+                quick_cfg(),
+                15.0,
+                faults,
+                &mut |_| {},
+            )
+        };
+        let faulted = run_once(&faults);
+        let clean = run_once(&FaultSchedule::new());
+        // The blackout trips blocked-path detection on path 0 only.
+        assert!(faulted.path_blocked_events[0] > 0);
+        assert_eq!(faulted.path_blocked_events[1], 0);
+        assert_eq!(clean.path_blocked_events, vec![0, 0]);
+        // Despite the 4 s outage the stream still lands near its rate:
+        // PGOS shifts onto path 1.
+        let s = &faulted.streams[0];
+        assert!(
+            s.mean_throughput() > 0.85 * 8.0e6,
+            "mean {}",
+            s.mean_throughput()
+        );
+        // And the faulted run moved more bytes over path 1 than the
+        // clean run did.
+        assert!(faulted.path_sent_bytes[1] > clean.path_sent_bytes[1]);
+    }
+
+    #[test]
+    fn probe_loss_starves_monitoring_but_run_completes() {
+        use iqpaths_simnet::fault::{Fault, FaultSchedule};
+        let mut faults = FaultSchedule::new();
+        faults.push(5.0, Fault::ProbeLoss { path: 0, prob: 0.9 });
+        let paths = vec![clean_path(0, 50.0)];
+        let (specs, src) = one_stream_workload(5.0, 10.0);
+        let pgos = Pgos::new(PgosConfig::default(), specs, 1);
+        let report = run_faulted(
+            &paths,
+            Box::new(src),
+            Box::new(pgos),
+            quick_cfg(),
+            10.0,
+            &faults,
+            &mut |_| {},
+        );
+        // A clean 50 Mbps path keeps serving even with starved probes.
+        assert!(report.streams[0].mean_throughput() > 4.5e6);
     }
 
     #[test]

@@ -67,6 +67,7 @@ pub struct MonitoringModule {
     backend: Backend,
     means: Vec<Ewma>,
     rtts: Vec<f64>,
+    last_seen: Vec<Option<f64>>,
 }
 
 impl MonitoringModule {
@@ -114,6 +115,7 @@ impl MonitoringModule {
             backend,
             means: (0..paths).map(|_| Ewma::new(0.3)).collect(),
             rtts: vec![0.0; paths],
+            last_seen: vec![None; paths],
         }
     }
 
@@ -153,6 +155,23 @@ impl MonitoringModule {
             }
         }
         self.means[path].observe(bw);
+        // Delayed (fault-injected) reports can arrive out of order;
+        // staleness tracks the newest measurement timestamp seen.
+        self.last_seen[path] = Some(self.last_seen[path].map_or(t, |prev| prev.max(t)));
+    }
+
+    /// Timestamp of the newest bandwidth measurement recorded for
+    /// `path`, or `None` before the first one.
+    pub fn last_observed(&self, path: usize) -> Option<f64> {
+        self.last_seen[path]
+    }
+
+    /// How stale `path`'s telemetry is at `now`: seconds since the
+    /// newest recorded measurement. Under injected probe loss or delay
+    /// this grows beyond the probe interval — the signal re-probing and
+    /// conformance checks watch for.
+    pub fn staleness(&self, path: usize, now: f64) -> Option<f64> {
+        self.last_seen[path].map(|t| (now - t).max(0.0))
     }
 
     /// Feeds one RTT sample (seconds), smoothed with the TCP-style
@@ -266,6 +285,21 @@ mod tests {
     fn all_stats_covers_every_path() {
         let m = MonitoringModule::new(3, 10);
         assert_eq!(m.all_stats().len(), 3);
+    }
+
+    #[test]
+    fn staleness_tracks_newest_sample() {
+        let mut m = MonitoringModule::new(2, 10);
+        assert_eq!(m.last_observed(0), None);
+        assert_eq!(m.staleness(0, 5.0), None);
+        m.observe_bandwidth(0, 1.0, 10.0);
+        m.observe_bandwidth(0, 3.0, 12.0);
+        // A delayed report with an older timestamp must not rewind.
+        m.observe_bandwidth(0, 2.0, 11.0);
+        assert_eq!(m.last_observed(0), Some(3.0));
+        assert_eq!(m.staleness(0, 5.0), Some(2.0));
+        // Other paths are independent.
+        assert_eq!(m.staleness(1, 5.0), None);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Concrete overlay paths over the emulated network.
 
+use iqpaths_simnet::fault::FaultSchedule;
 use iqpaths_simnet::link::{bottleneck_residual, Link};
 use iqpaths_simnet::server::PathService;
 use iqpaths_simnet::time::SimDuration;
@@ -105,6 +106,40 @@ impl OverlayPath {
     pub fn service(&self) -> PathService {
         PathService::new(self.index, self.links.clone())
     }
+
+    /// Compiles the capacity faults this path is subject to (keyed by
+    /// [`OverlayPath::index`] in `schedule`) into extra cross traffic on
+    /// its bottleneck link, over `[0, horizon)` seconds. A `Degrade`
+    /// with factor `f` adds `(1 − f) ·` bottleneck capacity of cross, so
+    /// the faulted residual is `max(f · cap − nominal cross, floor)` —
+    /// path services, probes, blocked-path detection and the OptSched
+    /// oracle all see the degradation through the one mechanism.
+    /// Returns `self` unchanged when the schedule has no capacity fault
+    /// for this path.
+    pub fn with_faults(&self, schedule: &FaultSchedule, horizon: f64) -> OverlayPath {
+        // Bottleneck link: smallest raw capacity (first wins ties).
+        let (bneck, cap) = self
+            .links
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (i, l.capacity()))
+            .fold(
+                (0, f64::INFINITY),
+                |acc, x| if x.1 < acc.1 { x } else { acc },
+            );
+        let epoch = self.links[bneck]
+            .cross_traffic()
+            .map(|c| c.epoch())
+            .unwrap_or(0.1);
+        match schedule.fault_cross(self.index, cap, epoch, horizon) {
+            None => self.clone(),
+            Some(extra) => {
+                let mut links = self.links.clone();
+                links[bneck] = links[bneck].clone().add_cross_traffic(extra);
+                OverlayPath::new(self.index, self.name.clone(), links)
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -153,5 +188,48 @@ mod tests {
         let svc = p.service();
         assert_eq!(svc.index(), 0);
         assert_eq!(svc.links().len(), 2);
+    }
+
+    #[test]
+    fn with_faults_degrades_bottleneck_residual() {
+        let p = path();
+        let mut s = FaultSchedule::new();
+        s.blackout(0, 1.0, 2.0);
+        let faulted = p.with_faults(&s, 3.0);
+        // Unaffected epoch: nominal residual survives.
+        assert_eq!(faulted.residual_at(0.5), 80.0);
+        // During the blackout the residual is pinned at the floor.
+        assert!(faulted.residual_at(1.5) < 0.011 * p.bottleneck_capacity());
+        // Original path untouched (with_faults clones).
+        assert_eq!(p.residual_at(1.5), 40.0);
+    }
+
+    #[test]
+    fn with_faults_is_identity_without_capacity_faults() {
+        let p = path();
+        let mut s = FaultSchedule::new();
+        s.blackout(7, 1.0, 2.0); // other path
+        let faulted = p.with_faults(&s, 3.0);
+        assert_eq!(faulted.residual_at(1.5), p.residual_at(1.5));
+    }
+
+    #[test]
+    fn with_faults_targets_min_capacity_link() {
+        // Bottleneck is the 50 Mbps middle link, not the first link.
+        let a = Link::new("a", 100.0, SimDuration::ZERO);
+        let b = Link::new("b", 50.0, SimDuration::ZERO);
+        let c = Link::new("c", 100.0, SimDuration::ZERO);
+        let p = OverlayPath::new(2, "thin", vec![a, b, c]);
+        let mut s = FaultSchedule::new();
+        s.push(
+            0.0,
+            iqpaths_simnet::fault::Fault::Degrade {
+                path: 2,
+                factor: 0.5,
+            },
+        );
+        let faulted = p.with_faults(&s, 2.0);
+        assert!((faulted.residual_at(1.0) - 25.0).abs() < 1e-9);
+        assert!(faulted.links()[0].cross_traffic().is_none());
     }
 }

@@ -62,6 +62,32 @@ impl AvailBwProbe {
         let eps = self.rng.gen_range(-self.noise_frac..=self.noise_frac);
         (truth * (1.0 + eps)).max(0.0)
     }
+
+    /// Like [`AvailBwProbe::measure`] but with an injected reporting
+    /// latency: the measurement is taken at `t` yet only *ready* for the
+    /// monitoring module `extra_delay` seconds later. Fault schedules
+    /// use this to model stale telemetry without perturbing the noise
+    /// stream (the draw happens at measurement time).
+    pub fn measure_delayed(&mut self, path: &OverlayPath, t: f64, extra_delay: f64) -> ProbeSample {
+        assert!(extra_delay >= 0.0, "delay must be >= 0");
+        let bw = self.measure(path, t);
+        ProbeSample {
+            taken_at: t,
+            ready_at: t + extra_delay,
+            bw,
+        }
+    }
+}
+
+/// One probe report in flight from measurement to the monitoring module.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeSample {
+    /// When the measurement was taken (its timestamp in the window).
+    pub taken_at: f64,
+    /// When the monitoring module receives it.
+    pub ready_at: f64,
+    /// Measured available bandwidth, bits/s.
+    pub bw: f64,
 }
 
 #[cfg(test)]
@@ -109,5 +135,23 @@ mod tests {
         assert_eq!(p.next_at(), 0.0);
         p.measure(&path(), 1.0);
         assert!((p.next_at() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delayed_measurement_keeps_timestamp_and_shifts_delivery() {
+        let mut p = AvailBwProbe::new(0.5, 0.0, 1);
+        let s = p.measure_delayed(&path(), 1.0, 2.5);
+        assert_eq!(s.taken_at, 1.0);
+        assert_eq!(s.ready_at, 3.5);
+        assert!((s.bw - 60.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_delay_matches_measure() {
+        let mut a = AvailBwProbe::new(0.5, 0.2, 9);
+        let mut b = AvailBwProbe::new(0.5, 0.2, 9);
+        let s = a.measure_delayed(&path(), 1.0, 0.0);
+        assert_eq!(s.bw, b.measure(&path(), 1.0));
+        assert_eq!(s.ready_at, s.taken_at);
     }
 }

@@ -22,11 +22,16 @@
 //!   drop-tail loss and blocking (the "path service" boxes of Figure 6).
 //! * [`monitor`] — windowed throughput / loss / delay taps that produce
 //!   the sample series every experiment consumes.
+//! * [`fault`] — seeded, deterministic fault injection: a
+//!   [`fault::FaultSchedule`] of timed capacity collapses, path
+//!   blackouts, probe loss/delay and reordering bursts, compiled into
+//!   link cross traffic and runtime step functions.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod event;
+pub mod fault;
 pub mod link;
 pub mod monitor;
 pub mod packet;
@@ -36,6 +41,7 @@ pub mod time;
 pub mod topology;
 
 pub use event::EventQueue;
+pub use fault::{Fault, FaultInjector, FaultSchedule, TimedFault};
 pub use link::Link;
 pub use packet::{Packet, StreamId};
 pub use server::PathService;

@@ -76,6 +76,27 @@ impl Link {
         self
     }
 
+    /// Composes `extra` cross traffic on top of whatever the link
+    /// already carries (pointwise sum, clamped to capacity). This is how
+    /// compiled fault schedules degrade a link without disturbing its
+    /// nominal background-traffic trace. An `extra` on a different epoch
+    /// grid is resampled onto the existing trace's grid first.
+    pub fn add_cross_traffic(mut self, extra: RateTrace) -> Self {
+        let combined = match self.cross.take() {
+            None => extra,
+            Some(existing) => {
+                let aligned = if (existing.epoch() - extra.epoch()).abs() < 1e-12 {
+                    extra
+                } else {
+                    resample(&extra, existing.epoch())
+                };
+                existing.add(&aligned)
+            }
+        };
+        self.cross = Some(combined.clamp_to(self.capacity));
+        self
+    }
+
     /// Overrides the residual floor.
     ///
     /// # Panics
@@ -136,6 +157,17 @@ impl Link {
             .collect();
         RateTrace::new(epoch, rates)
     }
+}
+
+/// Resamples a trace onto a different epoch grid by midpoint sampling,
+/// preserving its duration.
+fn resample(trace: &RateTrace, epoch: f64) -> RateTrace {
+    let duration = trace.epoch() * trace.rates().len() as f64;
+    let n = (duration / epoch).ceil().max(1.0) as usize;
+    let rates = (0..n)
+        .map(|i| trace.rate_at((i as f64 + 0.5) * epoch))
+        .collect();
+    RateTrace::new(epoch, rates)
 }
 
 /// Bottleneck residual rate of a multi-link path at time `t`.
@@ -346,5 +378,31 @@ mod tests {
     #[should_panic]
     fn empty_path_panics() {
         let _ = bottleneck_residual(&[], 0.0);
+    }
+
+    #[test]
+    fn add_cross_traffic_composes_and_clamps() {
+        // Nominal cross 30, fault adds 90 → clamped to capacity 100,
+        // residual pinned at the floor.
+        let l = mk_link(Some(RateTrace::new(1.0, vec![30.0, 30.0])))
+            .add_cross_traffic(RateTrace::new(1.0, vec![0.0, 90.0]));
+        assert_eq!(l.residual_at(0.5), 70.0);
+        assert_eq!(l.residual_at(1.5), 100.0 * DEFAULT_RESIDUAL_FLOOR_FRACTION);
+    }
+
+    #[test]
+    fn add_cross_traffic_on_clean_link_sets_it() {
+        let l = mk_link(None).add_cross_traffic(RateTrace::new(1.0, vec![40.0]));
+        assert_eq!(l.residual_at(0.5), 60.0);
+    }
+
+    #[test]
+    fn add_cross_traffic_resamples_mismatched_epochs() {
+        // Existing grid 1.0 s; extra on a 0.5 s grid gets midpoint-
+        // resampled onto the 1.0 s grid.
+        let l = mk_link(Some(RateTrace::new(1.0, vec![10.0, 10.0])))
+            .add_cross_traffic(RateTrace::new(0.5, vec![20.0, 20.0, 40.0, 40.0]));
+        assert_eq!(l.residual_at(0.5), 70.0);
+        assert_eq!(l.residual_at(1.5), 50.0);
     }
 }

@@ -1,0 +1,35 @@
+//! # iqpaths-testkit — statistical guarantee-conformance harness
+//!
+//! The paper's claims are probabilistic: Lemma 1 promises each
+//! guaranteed stream its bandwidth in at least a fraction `p` of
+//! scheduling windows, Lemma 2 bounds the *expected* deadline
+//! violations per window. Testing such claims with point assertions is
+//! either vacuous or flaky. This crate provides the pieces that make
+//! them testable deterministically and with explicit tolerances:
+//!
+//! * [`stats`] — Hoeffding/Wilson confidence machinery and the two
+//!   assertion shapes ([`stats::BernoulliCheck`],
+//!   [`stats::BoundedMeanCheck`]) whose false-failure probability is
+//!   capped by the configured confidence.
+//! * [`topology`] — seeded random multi-path overlay generation
+//!   ([`topology::TopologyGen`]), so conformance holds on families of
+//!   networks rather than one hand-picked testbed.
+//! * [`scenario`] — the canonical fault scenarios
+//!   ([`scenario::FaultScenario`]: no-fault, flap, blackout, churn)
+//!   built on `iqpaths_simnet::fault`, and the end-to-end runner
+//!   ([`scenario::run_conformance`]) behind the `conformance`
+//!   integration suite and the `fault_sweep` bench binary.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod scenario;
+pub mod stats;
+pub mod topology;
+
+pub use scenario::{
+    conformance_streams, mode_name, run_conformance, sweep_modes, ConformanceConfig,
+    ConformanceReport, FaultScenario, LemmaOutcome,
+};
+pub use stats::{hoeffding_epsilon, probit, wilson_interval, BernoulliCheck, BoundedMeanCheck};
+pub use topology::TopologyGen;

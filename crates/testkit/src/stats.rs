@@ -1,0 +1,267 @@
+//! Tolerance-based statistical assertions.
+//!
+//! Conformance tests compare *empirical* delivery frequencies against
+//! the *analytical* guarantees of Lemmas 1 and 2. A naive
+//! `assert!(observed >= target)` is flaky by construction: with `n`
+//! windows the empirical frequency fluctuates by O(1/√n) around its
+//! expectation even when the guarantee holds exactly. The helpers here
+//! make every assertion carry an explicit confidence tolerance:
+//!
+//! * [`hoeffding_epsilon`] — the distribution-free deviation bound
+//!   `ε = sqrt(ln(1/δ) / 2n)`: the mean of `n` independent `[0, 1]`
+//!   variables is within `ε` of its expectation with probability
+//!   `≥ 1 − δ`. A check fails only when the observation is *more than
+//!   `ε` worse* than the guarantee, so a correct implementation fails
+//!   with probability at most `δ`.
+//! * [`wilson_interval`] — the binomial proportion interval (tighter
+//!   than Hoeffding for small/large `p̂`), reported alongside for
+//!   diagnostics.
+//! * [`BernoulliCheck`] / [`BoundedMeanCheck`] — the two assertion
+//!   shapes the conformance suite uses: "this probability is at least
+//!   p" (Lemma 1) and "this mean is at most b" (Lemma 2).
+
+/// Hoeffding deviation bound for the mean of `n` independent `[0, 1]`
+/// samples at confidence `1 − δ`: `ε = sqrt(ln(1/δ) / 2n)`.
+///
+/// # Panics
+/// Panics unless `n > 0` and `confidence ∈ (0, 1)`.
+pub fn hoeffding_epsilon(n: u64, confidence: f64) -> f64 {
+    assert!(n > 0, "need at least one sample");
+    assert!(
+        (0.0..1.0).contains(&confidence) && confidence > 0.0,
+        "confidence must be in (0, 1)"
+    );
+    let delta = 1.0 - confidence;
+    ((1.0 / delta).ln() / (2.0 * n as f64)).sqrt()
+}
+
+/// Inverse of the standard normal CDF (the probit function), via
+/// Acklam's rational approximation (|relative error| < 1.15e-9).
+///
+/// # Panics
+/// Panics unless `p ∈ (0, 1)`.
+pub fn probit(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "probit needs p in (0, 1)");
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -probit(1.0 - p)
+    }
+}
+
+/// Wilson score interval for a binomial proportion at the given
+/// two-sided confidence: `(lower, upper)`.
+///
+/// # Panics
+/// Panics unless `trials > 0`, `successes <= trials`, and
+/// `confidence ∈ (0, 1)`.
+pub fn wilson_interval(successes: u64, trials: u64, confidence: f64) -> (f64, f64) {
+    assert!(trials > 0, "need at least one trial");
+    assert!(successes <= trials, "successes must not exceed trials");
+    let z = probit(1.0 - (1.0 - confidence) / 2.0);
+    let n = trials as f64;
+    let phat = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = phat + z2 / (2.0 * n);
+    let spread = z * (phat * (1.0 - phat) / n + z2 / (4.0 * n * n)).sqrt();
+    (
+        ((center - spread) / denom).max(0.0),
+        ((center + spread) / denom).min(1.0),
+    )
+}
+
+/// An empirical success frequency checked against a lower bound — the
+/// Lemma 1 shape: "the per-window delivery probability is at least p".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BernoulliCheck {
+    /// Windows (trials) that met the guarantee.
+    pub successes: u64,
+    /// Eligible windows (trials) observed.
+    pub trials: u64,
+}
+
+impl BernoulliCheck {
+    /// Empirical success fraction `p̂`.
+    pub fn fraction(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.trials as f64
+        }
+    }
+
+    /// Hoeffding tolerance at this sample size.
+    pub fn epsilon(&self, confidence: f64) -> f64 {
+        hoeffding_epsilon(self.trials.max(1), confidence)
+    }
+
+    /// One-sided check: passes unless `p̂` is more than `ε` below
+    /// `target_p`. A conformant implementation fails with probability
+    /// at most `1 − confidence`; gross violations always fail.
+    pub fn meets_at_least(&self, target_p: f64, confidence: f64) -> bool {
+        self.trials > 0 && self.fraction() + self.epsilon(confidence) >= target_p
+    }
+
+    /// Wilson interval of the underlying proportion (diagnostics).
+    pub fn wilson(&self, confidence: f64) -> (f64, f64) {
+        wilson_interval(self.successes, self.trials.max(1), confidence)
+    }
+}
+
+/// An empirical mean of `[0, range]` samples checked against an upper
+/// bound — the Lemma 2 shape: "expected violations per window are at
+/// most b".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundedMeanCheck {
+    /// Sum of the observed samples.
+    pub sum: f64,
+    /// Number of samples.
+    pub n: u64,
+    /// A-priori upper bound on one sample (packets per window for
+    /// violation counts).
+    pub range: f64,
+}
+
+impl BoundedMeanCheck {
+    /// Builds the check from per-window samples.
+    ///
+    /// # Panics
+    /// Panics on a non-positive range.
+    pub fn from_samples(samples: &[f64], range: f64) -> Self {
+        assert!(range > 0.0, "range must be positive");
+        Self {
+            sum: samples.iter().sum(),
+            n: samples.len() as u64,
+            range,
+        }
+    }
+
+    /// Empirical mean.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+
+    /// Hoeffding tolerance scaled to the sample range.
+    pub fn epsilon(&self, confidence: f64) -> f64 {
+        self.range * hoeffding_epsilon(self.n.max(1), confidence)
+    }
+
+    /// One-sided check: passes unless the mean exceeds
+    /// `bound + range · ε`.
+    pub fn meets_at_most(&self, bound: f64, confidence: f64) -> bool {
+        self.n > 0 && self.mean() <= bound + self.epsilon(confidence)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hoeffding_shrinks_with_n() {
+        let e100 = hoeffding_epsilon(100, 0.99);
+        let e400 = hoeffding_epsilon(400, 0.99);
+        assert!(e400 < e100);
+        // sqrt(ln 100 / 200) ≈ 0.1517
+        assert!((e100 - 0.1517).abs() < 1e-3, "e100={e100}");
+        // Quadrupling n halves epsilon.
+        assert!((e100 / e400 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probit_matches_known_quantiles() {
+        assert!(probit(0.5).abs() < 1e-9);
+        assert!((probit(0.975) - 1.959_964).abs() < 1e-5);
+        assert!((probit(0.995) - 2.575_829).abs() < 1e-5);
+        assert!((probit(0.025) + 1.959_964).abs() < 1e-5);
+        // Tail branch.
+        assert!((probit(0.001) + 3.090_232).abs() < 1e-5);
+    }
+
+    #[test]
+    fn wilson_brackets_the_point_estimate() {
+        let (lo, hi) = wilson_interval(90, 100, 0.95);
+        assert!(lo < 0.9 && 0.9 < hi);
+        assert!(lo > 0.80 && hi < 0.97, "({lo}, {hi})");
+        // Degenerate proportions stay in [0, 1].
+        let (lo0, _) = wilson_interval(0, 10, 0.99);
+        let (_, hi1) = wilson_interval(10, 10, 0.99);
+        assert!(lo0 >= 0.0 && hi1 <= 1.0);
+    }
+
+    #[test]
+    fn bernoulli_check_tolerates_sampling_noise() {
+        // 87/100 against p = 0.9: within the 99%-confidence tolerance
+        // (ε ≈ 0.15), so no flaky failure.
+        let c = BernoulliCheck {
+            successes: 87,
+            trials: 100,
+        };
+        assert!(c.meets_at_least(0.9, 0.99));
+        // A gross violation still fails.
+        let bad = BernoulliCheck {
+            successes: 40,
+            trials: 100,
+        };
+        assert!(!bad.meets_at_least(0.9, 0.99));
+        // Zero trials never pass.
+        let none = BernoulliCheck {
+            successes: 0,
+            trials: 0,
+        };
+        assert!(!none.meets_at_least(0.1, 0.99));
+    }
+
+    #[test]
+    fn bounded_mean_check_scales_tolerance_by_range() {
+        let samples = vec![2.0, 0.0, 1.0, 3.0]; // mean 1.5
+        let c = BoundedMeanCheck::from_samples(&samples, 100.0);
+        assert!((c.mean() - 1.5).abs() < 1e-12);
+        assert!(c.meets_at_most(1.0, 0.99), "within range-scaled ε");
+        let tight = BoundedMeanCheck::from_samples(&samples, 1.0e-6);
+        assert!(!tight.meets_at_most(1.0, 0.99), "tiny range, tight ε");
+    }
+}

@@ -1,0 +1,173 @@
+//! Seeded random overlay topologies.
+//!
+//! Conformance must hold on more than the hand-built Figure 8 testbed,
+//! so the generator produces families of multi-path overlays with
+//! randomized capacities and random-walk cross traffic — deterministic
+//! per seed, so every generated topology that ever fails a check can be
+//! reproduced from its `(seed, parameters)` pair alone.
+
+use iqpaths_overlay::path::OverlayPath;
+use iqpaths_simnet::link::Link;
+use iqpaths_simnet::time::SimDuration;
+use iqpaths_traces::RateTrace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a random topology family.
+#[derive(Debug, Clone, Copy)]
+pub struct TopologyGen {
+    /// Generator seed; equal seeds give identical topologies.
+    pub seed: u64,
+    /// Number of disjoint overlay paths.
+    pub paths: usize,
+    /// Bottleneck capacity range in Mbps, `[lo, hi)`.
+    pub capacity_mbps: (f64, f64),
+    /// Mean cross-traffic utilization range of the bottleneck,
+    /// `[lo, hi)` as a fraction of capacity.
+    pub mean_utilization: (f64, f64),
+    /// Cross-trace epoch in seconds.
+    pub epoch: f64,
+    /// Cross-trace horizon in seconds (cover warm-up + run).
+    pub horizon: f64,
+}
+
+impl Default for TopologyGen {
+    fn default() -> Self {
+        Self {
+            seed: 1,
+            paths: 3,
+            capacity_mbps: (60.0, 100.0),
+            mean_utilization: (0.15, 0.45),
+            epoch: 0.1,
+            horizon: 400.0,
+        }
+    }
+}
+
+impl TopologyGen {
+    /// Generates the paths: each is an access link (clean, twice the
+    /// bottleneck capacity) followed by a bottleneck link carrying a
+    /// random-walk cross-traffic trace around its drawn utilization.
+    ///
+    /// # Panics
+    /// Panics on zero paths, an empty capacity/utilization range, or
+    /// non-positive epoch/horizon.
+    pub fn build(&self) -> Vec<OverlayPath> {
+        assert!(self.paths > 0, "need at least one path");
+        assert!(self.capacity_mbps.1 > self.capacity_mbps.0);
+        assert!(self.mean_utilization.1 > self.mean_utilization.0);
+        assert!(self.mean_utilization.0 >= 0.0 && self.mean_utilization.1 < 1.0);
+        assert!(self.epoch > 0.0 && self.horizon > self.epoch);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        (0..self.paths)
+            .map(|i| {
+                let cap = rng.gen_range(self.capacity_mbps.0..self.capacity_mbps.1) * 1.0e6;
+                let util = rng.gen_range(self.mean_utilization.0..self.mean_utilization.1);
+                let cross = random_walk_trace(&mut rng, cap, util, self.epoch, self.horizon);
+                let access = Link::new(
+                    format!("t{}-access-{i}", self.seed),
+                    cap * 2.0,
+                    SimDuration::from_millis(1),
+                );
+                let bottleneck = Link::new(
+                    format!("t{}-bneck-{i}", self.seed),
+                    cap,
+                    SimDuration::from_millis(2),
+                )
+                .with_cross_traffic(cross);
+                OverlayPath::new(i, format!("R{i}"), vec![access, bottleneck])
+            })
+            .collect()
+    }
+
+    /// Worst-case mean residual across the generated paths (bits/s) —
+    /// handy for sizing guaranteed demand so it stays feasible even
+    /// when all but one path is blacked out.
+    pub fn min_mean_residual(paths: &[OverlayPath], horizon: f64) -> f64 {
+        paths
+            .iter()
+            .map(|p| p.mean_residual(0.0, horizon, 1.0))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// A mean-reverting random-walk rate trace: each epoch the level takes a
+/// uniform step and is pulled back toward `util · cap`, clamped to
+/// `[0, 0.9 · cap]` so the residual never collapses without an injected
+/// fault.
+fn random_walk_trace(rng: &mut StdRng, cap: f64, util: f64, epoch: f64, horizon: f64) -> RateTrace {
+    let n = (horizon / epoch).ceil() as usize;
+    let target = cap * util;
+    let mut level = target;
+    let rates = (0..n)
+        .map(|_| {
+            let step = rng.gen_range(-0.08..0.08) * cap;
+            level = (level + step) * 0.9 + target * 0.1;
+            level = level.clamp(0.0, 0.9 * cap);
+            level
+        })
+        .collect();
+    RateTrace::new(epoch, rates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_topology() {
+        let g = TopologyGen::default();
+        let a = g.build();
+        let b = g.build();
+        assert_eq!(a.len(), 3);
+        for (pa, pb) in a.iter().zip(&b) {
+            assert_eq!(pa.bottleneck_capacity(), pb.bottleneck_capacity());
+            for t in [0.5, 10.0, 100.0] {
+                assert_eq!(pa.residual_at(t), pb.residual_at(t));
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = TopologyGen::default().build();
+        let b = TopologyGen {
+            seed: 2,
+            ..Default::default()
+        }
+        .build();
+        assert_ne!(a[0].bottleneck_capacity(), b[0].bottleneck_capacity());
+    }
+
+    #[test]
+    fn capacities_and_utilizations_in_range() {
+        let g = TopologyGen {
+            seed: 9,
+            paths: 5,
+            ..Default::default()
+        };
+        for p in g.build() {
+            let cap = p.bottleneck_capacity();
+            assert!((60.0e6..100.0e6).contains(&cap), "cap={cap}");
+            // Mean residual leaves at least half the capacity: util <
+            // 0.45 plus mean reversion keeps load moderate.
+            let mean = p.mean_residual(0.0, 300.0, 0.5);
+            assert!(mean > 0.5 * cap, "mean residual {mean} of cap {cap}");
+            // Residual never collapses without an injected fault.
+            let mut t = 0.05;
+            while t < 300.0 {
+                assert!(p.residual_at(t) >= 0.1 * cap - 1e-6);
+                t += 0.5;
+            }
+        }
+    }
+
+    #[test]
+    fn min_mean_residual_is_a_lower_bound() {
+        let paths = TopologyGen::default().build();
+        let min = TopologyGen::min_mean_residual(&paths, 100.0);
+        for p in &paths {
+            assert!(p.mean_residual(0.0, 100.0, 1.0) >= min);
+        }
+    }
+}

@@ -8,6 +8,7 @@ use iq_paths::middleware::runtime::{run, RuntimeConfig};
 use iq_paths::overlay::path::OverlayPath;
 use iq_paths::pgos::scheduler::{Pgos, PgosConfig};
 use iq_paths::pgos::stream::StreamSpec;
+use iq_paths::pgos::traits::MultipathScheduler;
 use iq_paths::simnet::link::Link;
 use iq_paths::simnet::time::SimDuration;
 use iq_paths::traces::RateTrace;
@@ -73,6 +74,50 @@ fn saturated_path_is_skipped_and_traffic_survives() {
     // And the run completed without an event explosion (the backoff
     // keeps the blocked path from being polled per-packet).
     assert!(report.events < 3_000_000, "event storm: {}", report.events);
+}
+
+#[test]
+fn backoff_retry_timestamps_are_exact() {
+    // The paper's §5.2.2 backoff discipline, pinned to the nanosecond:
+    // 5 ms initial step, doubling per consecutive blocked retry, capped
+    // at 1 s. Each retry fires exactly when the previous backoff
+    // expires, so the k-th retry timestamp is t0 + Σ steps.
+    let cfg = PgosConfig::default();
+    assert_eq!(cfg.backoff_initial_ns, 5_000_000);
+    assert_eq!(cfg.backoff_max_ns, 1_000_000_000);
+
+    let specs = vec![StreamSpec::probabilistic(0, "crit", 10.0e6, 0.9, 1250)];
+    let mut pgos = Pgos::new(cfg, specs, 2);
+
+    // Untouched paths carry no backoff state.
+    assert_eq!(pgos.backoff_step(0), 0);
+    assert_eq!(pgos.backoff_until(0), 0);
+
+    let t0: u64 = 1_000_000;
+    let mut now = t0;
+    let mut expected_step: u64 = 5_000_000;
+    let mut expected_until = t0;
+    // 5, 10, 20, 40, 80, 160, 320, 640 ms: the pure doubling regime.
+    for _ in 0..8 {
+        pgos.on_path_blocked(0, now);
+        expected_until += expected_step;
+        assert_eq!(pgos.backoff_step(0), expected_step);
+        assert_eq!(pgos.backoff_until(0), expected_until);
+        now = expected_until; // retry exactly at expiry, still blocked
+        expected_step *= 2;
+    }
+    // Ninth retry would be 1280 ms: clamped to the 1 s cap, and every
+    // retry after that stays exactly 1 s apart.
+    for _ in 0..3 {
+        pgos.on_path_blocked(0, now);
+        expected_until += 1_000_000_000;
+        assert_eq!(pgos.backoff_step(0), 1_000_000_000);
+        assert_eq!(pgos.backoff_until(0), expected_until);
+        now = expected_until;
+    }
+    // The other path never backed off.
+    assert_eq!(pgos.backoff_step(1), 0);
+    assert_eq!(pgos.backoff_until(1), 0);
 }
 
 #[test]

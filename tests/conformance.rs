@@ -1,0 +1,125 @@
+//! Statistical guarantee-conformance suite.
+//!
+//! Sweeps {Exact, Rolling, Sketch} CDF backends × {no-fault, flap,
+//! blackout, churn} fault scenarios and asserts that PGOS keeps Lemma 1
+//! (per-window delivery probability ≥ p) and Lemma 2 (expected deadline
+//! violations per window ≤ bound) within explicit Hoeffding confidence
+//! tolerances — so a conformant implementation fails each check with
+//! probability at most 1%, and in practice never, since every run is
+//! seeded and deterministic.
+//!
+//! Seeds are pinned (CI runs this suite as a separate job). If a case
+//! fails, reproduce it with
+//! `run_conformance(ConformanceConfig::new(SEED, mode, scenario))`.
+
+use iqpaths_overlay::node::CdfMode;
+use iqpaths_testkit::{run_conformance, sweep_modes, ConformanceConfig, FaultScenario};
+
+/// Pinned conformance seed (see CI's conformance job).
+const SEED: u64 = 11;
+
+/// Runs all four scenarios under one CDF backend, asserting lemma
+/// conformance and fault observability.
+fn sweep(mode: CdfMode) {
+    let mut faulted_passes = 0;
+    for scenario in FaultScenario::ALL {
+        let r = run_conformance(ConformanceConfig::new(SEED, mode, scenario));
+        assert!(
+            r.all_pass(),
+            "{} / {} failed conformance:\n{}",
+            r.mode,
+            r.scenario,
+            r.table_rows()
+        );
+        assert!(
+            !r.eligible_windows.is_empty(),
+            "{}: no eligible windows",
+            r.scenario
+        );
+        // The guaranteed demand is sized to stay feasible through every
+        // scenario, so admission control must never renegotiate.
+        assert!(
+            r.report.upcalls.is_empty(),
+            "{}: unexpected upcalls {:?}",
+            r.scenario,
+            r.report.upcalls
+        );
+        // Observability: the injected faults really reached the
+        // blocked-path machinery (and only on the faulted paths).
+        match scenario {
+            FaultScenario::NoFault => {
+                assert!(r.report.path_blocked_events.iter().all(|&b| b == 0));
+            }
+            FaultScenario::Flap | FaultScenario::Blackout => {
+                assert!(r.report.path_blocked_events[0] > 0);
+                assert_eq!(r.report.path_blocked_events[2], 0);
+                faulted_passes += 1;
+            }
+            FaultScenario::Churn => {
+                assert!(r.report.path_blocked_events[0] > 0);
+                assert!(r.report.path_blocked_events[1] > 0);
+                assert_eq!(r.report.path_blocked_events[2], 0);
+                faulted_passes += 1;
+            }
+        }
+    }
+    // The acceptance bar: ≥ 3 fault scenarios conformant per mode.
+    assert!(faulted_passes >= 3, "only {faulted_passes} fault scenarios");
+}
+
+#[test]
+fn exact_mode_conforms() {
+    sweep(CdfMode::Exact);
+}
+
+#[test]
+fn rolling_mode_conforms() {
+    sweep(CdfMode::Rolling);
+}
+
+#[test]
+fn sketch_mode_conforms() {
+    sweep(CdfMode::Sketch { markers: 33 });
+}
+
+#[test]
+fn sweep_covers_the_three_backends() {
+    let names: Vec<&str> = sweep_modes()
+        .into_iter()
+        .map(iqpaths_testkit::mode_name)
+        .collect();
+    assert_eq!(names, vec!["exact", "rolling", "sketch"]);
+}
+
+#[test]
+fn conformance_holds_on_a_second_topology() {
+    // Same checks on an independently drawn topology: the guarantee is
+    // a property of the scheduler, not of one lucky capacity draw.
+    for scenario in [FaultScenario::Blackout, FaultScenario::Churn] {
+        let r = run_conformance(ConformanceConfig::new(29, CdfMode::Exact, scenario));
+        assert!(
+            r.all_pass(),
+            "seed 29 / {} failed:\n{}",
+            r.scenario,
+            r.table_rows()
+        );
+    }
+}
+
+#[test]
+fn conformance_is_deterministic_per_case() {
+    let case = || {
+        run_conformance(ConformanceConfig::new(
+            SEED,
+            CdfMode::Rolling,
+            FaultScenario::Blackout,
+        ))
+    };
+    let a = case();
+    let b = case();
+    assert_eq!(a.eligible_windows, b.eligible_windows);
+    assert_eq!(a.report.events, b.report.events);
+    assert_eq!(a.report.path_sent_bytes, b.report.path_sent_bytes);
+    assert_eq!(a.report.path_blocked_events, b.report.path_blocked_events);
+    assert_eq!(a.table_rows(), b.table_rows());
+}

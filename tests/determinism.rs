@@ -38,6 +38,91 @@ fn different_seed_changes_the_network() {
 }
 
 #[test]
+fn identical_fault_schedule_is_bit_identical_across_cdf_modes() {
+    // Fault-injection determinism regression: the same seed and the
+    // same FaultSchedule must reproduce the RunReport bit for bit, for
+    // every CDF backend the conformance suite sweeps. Probe-loss draws,
+    // reorder jitter, compiled capacity faults, and blocked-path
+    // backoff all derive from the seed — nothing may read ambient
+    // entropy.
+    use iq_paths::overlay::node::CdfMode;
+    use iq_paths::overlay::path::OverlayPath;
+    use iq_paths::pgos::scheduler::{Pgos, PgosConfig};
+    use iq_paths::pgos::stream::StreamSpec;
+    use iq_paths::simnet::fault::{Fault, FaultSchedule};
+    use iq_paths::simnet::link::Link;
+    use iq_paths::simnet::time::SimDuration;
+    use iq_paths::traces::RateTrace;
+
+    let faulted_run = |mode: CdfMode| {
+        let epoch = 0.1f64;
+        let horizon = 40.0f64;
+        let n = (horizon / epoch).ceil() as usize;
+        let paths: Vec<OverlayPath> = (0..2)
+            .map(|j| {
+                let cross = RateTrace::new(epoch, vec![(10.0 + 5.0 * j as f64) * 1.0e6; n]);
+                let link = Link::new(format!("l{j}"), 60.0e6, SimDuration::from_millis(2))
+                    .with_cross_traffic(cross);
+                OverlayPath::new(j, format!("p{j}"), vec![link])
+            })
+            .collect();
+        let mut faults = FaultSchedule::new();
+        faults.blackout(0, 18.0, 24.0);
+        faults.push(12.0, Fault::ProbeLoss { path: 1, prob: 0.4 });
+        faults.push(
+            20.0,
+            Fault::ReorderBurst {
+                path: 1,
+                span: 2.0,
+                jitter: 0.001,
+            },
+        );
+        let specs = vec![StreamSpec::probabilistic(0, "s", 12.0e6, 0.9, 1250)];
+        let frame = (12.0e6 / (8.0 * 25.0)) as u32;
+        let w = iq_paths::apps::workload::FramedSource::new(specs.clone(), vec![frame], 25.0, 25.0);
+        let pgos = Pgos::new(PgosConfig::default(), specs, 2);
+        let cfg = iq_paths::middleware::runtime::RuntimeConfig {
+            warmup_secs: 10.0,
+            history_samples: 100,
+            seed: 77,
+            cdf_mode: mode,
+            ..Default::default()
+        };
+        iq_paths::middleware::runtime::run_faulted(
+            &paths,
+            Box::new(w),
+            Box::new(pgos),
+            cfg,
+            25.0,
+            &faults,
+            &mut |_| {},
+        )
+    };
+
+    for mode in [
+        CdfMode::Exact,
+        CdfMode::Rolling,
+        CdfMode::Sketch { markers: 33 },
+    ] {
+        let a = faulted_run(mode);
+        let b = faulted_run(mode);
+        assert_eq!(a.events, b.events, "{mode:?}");
+        assert_eq!(a.path_sent_bytes, b.path_sent_bytes, "{mode:?}");
+        assert_eq!(a.path_blocked_events, b.path_blocked_events, "{mode:?}");
+        assert_eq!(a.upcalls, b.upcalls, "{mode:?}");
+        for (sa, sb) in a.streams.iter().zip(&b.streams) {
+            assert_eq!(sa.throughput_series, sb.throughput_series, "{mode:?}");
+            assert_eq!(sa.delivered_packets, sb.delivered_packets, "{mode:?}");
+            assert_eq!(sa.deadline_misses, sb.deadline_misses, "{mode:?}");
+            assert_eq!(sa.per_path_series, sb.per_path_series, "{mode:?}");
+        }
+        // The faults really bit: path 0 saw blocking, and probe-loss
+        // draws on path 1 are part of the reproduced state.
+        assert!(a.path_blocked_events[0] > 0, "{mode:?}");
+    }
+}
+
+#[test]
 fn schedulers_share_the_same_emulated_network() {
     // With the same seed, the ground-truth path residuals are identical
     // across scheduler runs — so total delivered bytes may differ but
