@@ -14,6 +14,7 @@ use iqpaths_core::stream::StreamSpec;
 use iqpaths_core::traits::{MultipathScheduler, PathSnapshot};
 use iqpaths_core::vectors::SchedulingVectors;
 use iqpaths_stats::{CdfSummary, EmpiricalCdf};
+use iqpaths_trace::{InMemorySink, JsonlSink, TraceHandle};
 
 fn specs() -> Vec<StreamSpec> {
     vec![
@@ -66,6 +67,51 @@ fn bench_fast_path(c: &mut Criterion) {
     g.finish();
 }
 
+/// One steady-state tracing-overhead measurement: pops one packet per
+/// path and immediately re-enqueues it, so queue depth is constant and
+/// the timed loop contains no allocator traffic. (The batched shape
+/// used by `next_packet_pair` above times the drop of its multi-MB
+/// input queues — munmap noise that dwarfs a per-packet decision — so
+/// the ladder uses this shape instead; only deltas *within* the ladder
+/// are meaningful.)
+fn steady_state_pair(b: &mut criterion::Bencher, trace: TraceHandle) {
+    let mut pgos = warm_pgos();
+    pgos.set_trace(trace);
+    let mut queues = StreamQueues::new(3, 8_192);
+    for s in 0..3 {
+        for _ in 0..1_000 {
+            queues.push(s, 1250, 0);
+        }
+    }
+    b.iter(|| {
+        let a = pgos.next_packet(0, 1, &mut queues);
+        let z = pgos.next_packet(1, 2, &mut queues);
+        for p in [a, z].into_iter().flatten() {
+            queues.push(p.stream, p.bytes, p.created_ns);
+        }
+    });
+}
+
+/// The tracing-overhead ladder on the steady-state fast path: a null
+/// handle (the production default — emission must be fully skipped),
+/// an in-memory ring (the invariant-test configuration — target < 5%
+/// overhead over null), and full JSONL serialization to a discarding
+/// writer (the worst case, paying per-event formatting).
+fn bench_fast_path_traced(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pgos_fast_path_traced");
+    g.throughput(Throughput::Elements(2));
+    g.bench_function("steady_pair_null_sink", |b| {
+        steady_state_pair(b, TraceHandle::null());
+    });
+    g.bench_function("steady_pair_inmemory_sink", |b| {
+        steady_state_pair(b, TraceHandle::new(InMemorySink::with_capacity(65_536)));
+    });
+    g.bench_function("steady_pair_jsonl_sink", |b| {
+        steady_state_pair(b, TraceHandle::new(JsonlSink::new(std::io::sink())));
+    });
+    g.finish();
+}
+
 fn bench_window_start(c: &mut Criterion) {
     let snaps = snapshots();
     c.bench_function("pgos_window_start_stable_cdf", |b| {
@@ -98,6 +144,7 @@ fn bench_vector_build(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_fast_path,
+    bench_fast_path_traced,
     bench_window_start,
     bench_mapping,
     bench_vector_build

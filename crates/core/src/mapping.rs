@@ -15,6 +15,7 @@
 use crate::guarantee;
 use crate::stream::{Guarantee, StreamSpec};
 use iqpaths_stats::CdfSummary;
+use iqpaths_trace::{TraceEvent, TraceHandle};
 use serde::{Deserialize, Serialize};
 
 /// Admission-control notification delivered to the application.
@@ -65,6 +66,43 @@ impl MappingResult {
     /// Total committed rate on path `j`.
     pub fn committed(&self, j: usize) -> f64 {
         self.rates.iter().map(|row| row[j]).sum()
+    }
+
+    /// Emits this mapping onto `trace`: one `MappingDecision` per
+    /// non-zero assignment cell plus one `UpcallRaised` per rejection,
+    /// all stamped `at_ns` (the window boundary that ran the remap).
+    /// No-op on a disabled handle.
+    pub fn emit_trace(&self, trace: &TraceHandle, at_ns: u64) {
+        if !trace.enabled() {
+            return;
+        }
+        for (i, row) in self.assignments.iter().enumerate() {
+            for (j, &packets) in row.iter().enumerate() {
+                if packets > 0 {
+                    trace.emit(TraceEvent::MappingDecision {
+                        at_ns,
+                        stream: i as u32,
+                        path: j as u32,
+                        packets,
+                        rate_bps: self.rates[i][j],
+                    });
+                }
+            }
+        }
+        for Upcall::StreamRejected {
+            stream,
+            requested_bps,
+            admissible_bps,
+            ..
+        } in &self.upcalls
+        {
+            trace.emit(TraceEvent::UpcallRaised {
+                at_ns,
+                stream: *stream as u32,
+                requested_bps: *requested_bps,
+                admissible_bps: *admissible_bps,
+            });
+        }
     }
 }
 

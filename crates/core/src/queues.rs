@@ -105,6 +105,14 @@ impl StreamQueues {
         self.queues.iter().map(VecDeque::len).sum()
     }
 
+    /// Sequence number the next successfully pushed packet of `stream`
+    /// will receive (equivalently: packets enqueued so far). Trace
+    /// emission uses this to tag `Enqueue` events without re-deriving
+    /// the sequence from offered/dropped counters.
+    pub fn next_seq(&self, stream: usize) -> u64 {
+        self.seq[stream]
+    }
+
     /// Packets offered to a stream's queue so far.
     pub fn offered(&self, stream: usize) -> u64 {
         self.offered[stream]

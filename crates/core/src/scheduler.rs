@@ -21,7 +21,8 @@ use crate::queues::{QueuedPacket, StreamQueues};
 use crate::stream::StreamSpec;
 use crate::traits::{MultipathScheduler, PathSnapshot};
 use crate::vectors::{SchedulingVectors, VsCursor};
-use iqpaths_stats::CdfSummary;
+use iqpaths_stats::{BandwidthCdf, CdfSummary};
+use iqpaths_trace::{DispatchClass, TraceEvent, TraceHandle};
 
 /// PGOS tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -77,6 +78,9 @@ pub struct Pgos {
     backoff: Vec<Backoff>,
     upcalls: Vec<Upcall>,
     remaps: u64,
+    /// Decision-event emission handle (null unless a traced run
+    /// installed one; see [`MultipathScheduler::set_trace`]).
+    trace: TraceHandle,
 }
 
 impl Pgos {
@@ -106,6 +110,7 @@ impl Pgos {
             backoff: vec![Backoff::default(); paths],
             upcalls: Vec::new(),
             remaps: 0,
+            trace: TraceHandle::null(),
         }
     }
 
@@ -338,32 +343,75 @@ impl Pgos {
             });
         }
         let winner = precedence::best(&candidates)?;
-        match winner.class {
+        // Capture the Table 1 evidence needed by trace invariants before
+        // the pop mutates cursor/queue state (skipped entirely untraced).
+        let decision = if self.trace.enabled() {
+            let class = match winner.class {
+                ScheduleClass::CurrentPath | ScheduleClass::OtherPath => DispatchClass::OtherPath,
+                ScheduleClass::Unscheduled => DispatchClass::Unscheduled,
+            };
+            let class_min = candidates
+                .iter()
+                .filter(|c| c.class == winner.class)
+                .map(|c| c.deadline_ns)
+                .min()
+                .unwrap_or(winner.deadline_ns);
+            let other_present = candidates
+                .iter()
+                .any(|c| c.class == ScheduleClass::OtherPath);
+            Some((
+                winner.stream,
+                class,
+                winner.deadline_ns,
+                class_min,
+                other_present,
+            ))
+        } else {
+            None
+        };
+        let popped = match winner.class {
             ScheduleClass::OtherPath => {
                 // Steal the budget from the other path holding the most.
+                let stream = winner.stream;
                 if let Some((_, cursor)) = self
                     .cursors
                     .iter_mut()
                     .enumerate()
-                    .filter(|(j, c)| *j != path && c.remaining(winner.stream) > 0)
-                    .max_by_key(|(_, c)| c.remaining(winner.stream))
+                    .filter(|(j, c)| *j != path && c.remaining(stream) > 0)
+                    .max_by_key(|(_, c)| c.remaining(stream))
                 {
-                    let _ = cursor.next_scheduled(|s| s == winner.stream);
+                    let _ = cursor.next_scheduled(|s| s == stream);
                 }
-                self.pop_scheduled(winner.stream, queues)
+                self.pop_scheduled(stream, queues)
             }
             _ => {
-                let mut pkt = queues.pop(winner.stream)?;
+                let stream = winner.stream;
+                let mut pkt = queues.pop(stream)?;
                 // Unscheduled packets keep (or get) a best-effort
                 // deadline; guaranteed streams' overflow packets inherit
                 // an end-of-window deadline so they still sort ahead of
                 // pure best-effort traffic.
-                if !self.specs[winner.stream].guarantee.is_best_effort() {
+                if !self.specs[stream].guarantee.is_best_effort() {
                     pkt.deadline_ns = self.window_start_ns + self.window_ns;
                 }
                 Some(pkt)
             }
+        };
+        if let (Some(pkt), Some((stream, class, deadline, class_min, other_present))) =
+            (&popped, decision)
+        {
+            self.trace.emit(TraceEvent::DispatchDecision {
+                at_ns: now_ns,
+                path: path as u32,
+                stream: stream as u32,
+                seq: pkt.seq,
+                class,
+                candidate_deadline_ns: deadline,
+                class_min_deadline_ns: class_min,
+                other_scheduled_present: other_present,
+            });
         }
+        popped
     }
 }
 
@@ -383,15 +431,43 @@ impl MultipathScheduler for Pgos {
         self.path_loss = paths.iter().map(|p| p.loss).collect();
         // O(1) per path: summaries share their backing structure.
         let cdfs: Vec<CdfSummary> = paths.iter().map(|p| p.cdf.clone()).collect();
-        if self.needs_remap(&cdfs) {
+        let remapped = self.needs_remap(&cdfs);
+        if remapped {
             self.remap(&cdfs);
+        }
+        if self.trace.enabled() {
+            self.trace.emit(TraceEvent::WindowStart {
+                at_ns: window_start_ns,
+                window_ns,
+                remapped,
+            });
+            for p in paths {
+                self.trace.emit(TraceEvent::CdfSnapshot {
+                    path: p.index as u32,
+                    at_ns: window_start_ns,
+                    samples: p.cdf.len() as u32,
+                    mean_bps: p.cdf.mean(),
+                    q10_bps: p.cdf.quantile(0.1).unwrap_or(0.0),
+                    q90_bps: p.cdf.quantile(0.9).unwrap_or(0.0),
+                });
+            }
+            if remapped {
+                if let Some(m) = &self.mapping {
+                    m.emit_trace(&self.trace, window_start_ns);
+                }
+            }
         }
         self.rebuild_cursors();
         self.window_sent.iter_mut().for_each(|c| *c = 0);
         // A new window clears expired backoffs back to the initial step.
-        for b in &mut self.backoff {
-            if b.until_ns <= window_start_ns {
+        let trace = self.trace.clone();
+        for (j, b) in self.backoff.iter_mut().enumerate() {
+            if b.until_ns <= window_start_ns && b.current_ns != 0 {
                 b.current_ns = 0;
+                trace.emit(TraceEvent::BackoffReset {
+                    at_ns: window_start_ns,
+                    path: j as u32,
+                });
             }
         }
     }
@@ -408,7 +484,22 @@ impl MultipathScheduler for Pgos {
         // 1. The path's own scheduled packets (Table 1 rule 1).
         if let Some(cursor) = self.cursors.get_mut(path) {
             if let Some(stream) = cursor.next_scheduled(|s| queues.len(s) > 0) {
-                return self.pop_scheduled(stream, queues);
+                let pkt = self.pop_scheduled(stream, queues);
+                if let Some(p) = &pkt {
+                    if self.trace.enabled() {
+                        self.trace.emit(TraceEvent::DispatchDecision {
+                            at_ns: now_ns,
+                            path: path as u32,
+                            stream: stream as u32,
+                            seq: p.seq,
+                            class: DispatchClass::Scheduled,
+                            candidate_deadline_ns: p.deadline_ns,
+                            class_min_deadline_ns: p.deadline_ns,
+                            other_scheduled_present: false,
+                        });
+                    }
+                }
+                return pkt;
             }
         }
         // 2./3. Spare capacity: other-path and unscheduled packets.
@@ -423,6 +514,17 @@ impl MultipathScheduler for Pgos {
             (b.current_ns * 2).min(self.cfg.backoff_max_ns)
         };
         b.until_ns = now_ns + b.current_ns;
+        let (step_ns, until_ns) = (b.current_ns, b.until_ns);
+        self.trace.emit(TraceEvent::BackoffStep {
+            at_ns: now_ns,
+            path: path as u32,
+            step_ns,
+            until_ns,
+        });
+    }
+
+    fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     fn drain_upcalls(&mut self) -> Vec<Upcall> {

@@ -8,6 +8,7 @@
 use crate::queues::{QueuedPacket, StreamQueues};
 use crate::stream::StreamSpec;
 use iqpaths_stats::{CdfSummary, EmpiricalCdf};
+use iqpaths_trace::TraceHandle;
 
 /// Monitoring state of one overlay path, as delivered to schedulers at
 /// window boundaries (Figure 3's "path characteristics" feedback).
@@ -94,6 +95,12 @@ pub trait MultipathScheduler {
     fn drain_upcalls(&mut self) -> Vec<crate::mapping::Upcall> {
         Vec::new()
     }
+
+    /// Installs a trace handle for decision-level event emission
+    /// (CDF snapshots, mapping decisions, dispatch classes, backoff
+    /// steps). The default ignores it — baselines stay untraced; the
+    /// runtime installs the run's handle before the event loop starts.
+    fn set_trace(&mut self, _trace: TraceHandle) {}
 }
 
 #[cfg(test)]

@@ -4,6 +4,7 @@ use iqpaths_core::mapping::Upcall;
 use iqpaths_core::stream::StreamSpec;
 use iqpaths_stats::metrics::GuaranteeSummary;
 use iqpaths_stats::{BandwidthCdf, EmpiricalCdf};
+use iqpaths_trace::Metrics;
 use serde::Serialize;
 
 /// Per-stream outcome of a run.
@@ -84,6 +85,9 @@ pub struct RunReport {
     pub upcalls: Vec<Upcall>,
     /// Discrete events processed (run cost metric).
     pub events: u64,
+    /// Always-on packet-lifecycle counters and latency histograms
+    /// (populated by the runtime whether or not a trace was attached).
+    pub metrics: Metrics,
 }
 
 impl RunReport {
@@ -222,6 +226,22 @@ mod tests {
             4,
             10,
         );
+        let mut metrics = Metrics::new(1, 1);
+        for _ in 0..50 {
+            metrics.on_enqueue(0);
+        }
+        for _ in 0..2 {
+            metrics.on_queue_drop(0);
+        }
+        for _ in 0..50 {
+            metrics.on_dispatch(0, 0, 100);
+        }
+        for _ in 0..40 {
+            metrics.on_deliver(0, 0, 10_000_000, true, false);
+        }
+        for _ in 0..10 {
+            metrics.on_transit_loss(0, 0);
+        }
         RunReport {
             scheduler: "PGOS".into(),
             duration: 4.0,
@@ -231,6 +251,7 @@ mod tests {
             path_blocked_events: vec![0],
             upcalls: vec![],
             events: 100,
+            metrics,
         }
     }
 
@@ -255,6 +276,42 @@ mod tests {
         assert!(r.stream("Atom").is_some());
         assert!(r.stream("nope").is_none());
         assert!((r.total_goodput() - 8000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_and_attained_percentiles() {
+        let r = report();
+        let s = &r.streams[0];
+        // Sorted series [8, 10, 11, 12]: the rate attained 100% of the
+        // time is the minimum; 50% of the time, the median sample.
+        assert!((s.attained(1.0) - 8.0).abs() < 1e-12);
+        assert!((s.attained(0.5) - 10.0).abs() < 1e-12);
+        let g = s.summary();
+        assert!((g.target - 10.0).abs() < 1e-12);
+        assert!((g.mean - 10.25).abs() < 1e-12);
+        // 3 of 4 windows meet the 10.0 target.
+        assert!((g.meet_fraction - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_metrics_agree_with_stream_report() {
+        let r = report();
+        assert!(r.metrics.conserved());
+        let m = &r.metrics.streams[0];
+        assert_eq!(m.enqueued, 50);
+        assert_eq!(m.queue_dropped, r.streams[0].queue_drops);
+        assert_eq!(m.delivered, r.streams[0].delivered_packets);
+        assert_eq!(m.transit_lost, r.streams[0].transit_lost);
+        assert_eq!(m.deadline_packets, r.streams[0].deadline_packets);
+        assert_eq!(m.outstanding(), 0);
+        assert_eq!(r.metrics.paths[0].bytes, 5000);
+        // 10 ms deliveries → the log2-bucketed p99 is within 2×.
+        let p99 = r.metrics.latency_quantile(0, 0.99).unwrap();
+        assert!((0.01..0.02).contains(&p99), "p99={p99}");
+        assert_eq!(
+            r.metrics.latency_quantile(0, 0.5),
+            r.metrics.latency_quantile(0, 0.99)
+        );
     }
 
     #[test]

@@ -20,6 +20,7 @@ use iqpaths_simnet::packet::{Packet, StreamId};
 use iqpaths_simnet::server::PathService;
 use iqpaths_simnet::time::SimTime;
 use iqpaths_simnet::EventQueue;
+use iqpaths_trace::{Metrics, TraceEvent, TraceHandle};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -157,14 +158,51 @@ pub fn run_with_sink(
 /// # Panics
 /// Panics on an empty path set, non-positive duration, or a fault
 /// targeting an unknown path index.
-#[allow(clippy::too_many_lines)]
 pub fn run_faulted(
+    paths: &[OverlayPath],
+    workload: Box<dyn Workload>,
+    scheduler: Box<dyn MultipathScheduler>,
+    cfg: RuntimeConfig,
+    duration: f64,
+    faults: &FaultSchedule,
+    sink: &mut dyn FnMut(&DeliveryEvent),
+) -> RunReport {
+    run_traced(
+        paths,
+        workload,
+        scheduler,
+        cfg,
+        duration,
+        faults,
+        TraceHandle::null(),
+        sink,
+    )
+}
+
+/// Runs a faulted experiment with a scheduling-decision trace attached.
+///
+/// The handle is installed on the scheduler (see
+/// [`MultipathScheduler::set_trace`]) and on every probe *after* the
+/// monitoring pre-warm, then the runtime itself emits the packet-level
+/// lifecycle: `Enqueue`/`QueueDrop` at arrival, `Dispatch` when a path
+/// service accepts a packet, `Deliver`/`TransitDrop` at completion,
+/// `PathBlocked` on blocked-path detection and `ProbeLost` on injected
+/// probe loss. With a null handle every emission is a no-op and this is
+/// exactly [`run_faulted`]. Always-on [`Metrics`] counters (independent
+/// of the trace) land on [`RunReport::metrics`].
+///
+/// # Panics
+/// Panics on an empty path set, non-positive duration, or a fault
+/// targeting an unknown path index.
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+pub fn run_traced(
     paths: &[OverlayPath],
     mut workload: Box<dyn Workload>,
     mut scheduler: Box<dyn MultipathScheduler>,
     cfg: RuntimeConfig,
     duration: f64,
     faults: &FaultSchedule,
+    trace: TraceHandle,
     sink: &mut dyn FnMut(&DeliveryEvent),
 ) -> RunReport {
     assert!(!paths.is_empty(), "need at least one overlay path");
@@ -214,6 +252,14 @@ pub fn run_faulted(
             t += cfg.probe_interval_secs;
         }
     }
+
+    // Install tracing after the pre-warm so traces cover the measured
+    // run only (warm-up probes would otherwise dominate the log).
+    scheduler.set_trace(trace.clone());
+    for (j, probe) in probes.iter_mut().enumerate() {
+        probe.set_trace(trace.clone(), j);
+    }
+    let mut metrics = Metrics::new(n_streams, n_paths);
 
     // Report-side monitors.
     let mut stream_tp: Vec<ThroughputMonitor> = (0..n_streams)
@@ -270,7 +316,23 @@ pub fn run_faulted(
                     if due > now {
                         break;
                     }
-                    queues.push(a.stream, a.bytes, now_ns);
+                    if queues.push(a.stream, a.bytes, now_ns) {
+                        metrics.on_enqueue(a.stream);
+                        if trace.enabled() {
+                            trace.emit(TraceEvent::Enqueue {
+                                at_ns: now_ns,
+                                stream: a.stream as u32,
+                                seq: queues.next_seq(a.stream) - 1,
+                                bytes: a.bytes,
+                            });
+                        }
+                    } else {
+                        metrics.on_queue_drop(a.stream);
+                        trace.emit(TraceEvent::QueueDrop {
+                            at_ns: now_ns,
+                            stream: a.stream as u32,
+                        });
+                    }
                     next_arrival = workload.next_arrival();
                 }
                 if let Some(a) = &next_arrival {
@@ -296,10 +358,27 @@ pub fn run_faulted(
                 let blocked = residual < cfg.blocked_residual_frac * paths[j].bottleneck_capacity();
                 if blocked {
                     path_blocked_events[j] += 1;
+                    metrics.on_path_blocked(j);
+                    trace.emit(TraceEvent::PathBlocked {
+                        at_ns: now_ns,
+                        path: j as u32,
+                        residual_bps: residual,
+                    });
                     scheduler.on_path_blocked(j, now_ns);
                 }
                 match scheduler.next_packet(j, now_ns, &mut queues) {
                     Some(qpkt) => {
+                        metrics.on_dispatch(qpkt.stream, j, qpkt.bytes);
+                        if trace.enabled() {
+                            trace.emit(TraceEvent::Dispatch {
+                                at_ns: now_ns,
+                                path: j as u32,
+                                stream: qpkt.stream as u32,
+                                seq: qpkt.seq,
+                                bytes: qpkt.bytes,
+                                deadline_ns: qpkt.deadline_ns,
+                            });
+                        }
                         let pkt = Packet {
                             stream: StreamId(qpkt.stream as u32),
                             seq: qpkt.seq,
@@ -342,6 +421,13 @@ pub fn run_faulted(
                 if loss_p > 0.0 && loss_rng.gen_bool(loss_p) {
                     transit_lost[s] += 1;
                     path_lost[j] += 1;
+                    metrics.on_transit_loss(s, j);
+                    trace.emit(TraceEvent::TransitDrop {
+                        at_ns: now_ns,
+                        path: j as u32,
+                        stream: s as u32,
+                        seq: delivery.packet.seq,
+                    });
                     continue;
                 }
                 // Reordering bursts hold every other delivery back at
@@ -366,6 +452,17 @@ pub fn run_faulted(
                         deadline_misses[s] += 1;
                     }
                 }
+                let latency_ns = ((delivery.latency().as_secs_f64() + extra) * 1e9).round() as u64;
+                metrics.on_deliver(s, j, latency_ns, has_deadline, missed);
+                if trace.enabled() {
+                    trace.emit(TraceEvent::Deliver {
+                        at_ns: now_ns,
+                        path: j as u32,
+                        stream: s as u32,
+                        seq: delivery.packet.seq,
+                        missed_deadline: missed,
+                    });
+                }
                 let shifted = SimTime::from_secs_f64(rel.max(0.0));
                 stream_tp[s].record(shifted, delivery.packet.bytes as u64);
                 stream_path_tp[s][j].record(shifted, delivery.packet.bytes as u64);
@@ -385,6 +482,10 @@ pub fn run_faulted(
                     // Injected probe loss: the report never arrives, so
                     // the path's telemetry goes stale.
                     if injector.probe_lost(j, now_s) {
+                        trace.emit(TraceEvent::ProbeLost {
+                            path: j as u32,
+                            at_ns: now_ns,
+                        });
                         continue;
                     }
                     let delay = injector.probe_delay_at(j, now_s);
@@ -484,6 +585,7 @@ pub fn run_faulted(
         })
         .collect();
 
+    trace.flush();
     RunReport {
         scheduler: scheduler.name().to_string(),
         duration,
@@ -493,6 +595,7 @@ pub fn run_faulted(
         path_blocked_events,
         upcalls,
         events: events.processed(),
+        metrics,
     }
 }
 

@@ -8,6 +8,7 @@
 //! optional reporting latency.
 
 use crate::path::OverlayPath;
+use iqpaths_trace::{TraceEvent, TraceHandle};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -18,6 +19,8 @@ pub struct AvailBwProbe {
     noise_frac: f64,
     rng: StdRng,
     next_at: f64,
+    trace: TraceHandle,
+    trace_path: u32,
 }
 
 impl AvailBwProbe {
@@ -34,7 +37,16 @@ impl AvailBwProbe {
             noise_frac,
             rng: StdRng::seed_from_u64(seed),
             next_at: 0.0,
+            trace: TraceHandle::null(),
+            trace_path: 0,
         }
+    }
+
+    /// Installs a trace handle; every measurement taken afterwards emits
+    /// a [`TraceEvent::ProbeSample`] tagged with `path_index`.
+    pub fn set_trace(&mut self, trace: TraceHandle, path_index: usize) {
+        self.trace = trace;
+        self.trace_path = path_index as u32;
     }
 
     /// Measurement interval in seconds.
@@ -47,9 +59,10 @@ impl AvailBwProbe {
         self.next_at
     }
 
-    /// Takes one measurement of `path` at time `t`: the mean residual
-    /// over the elapsed interval, perturbed by probe noise.
-    pub fn measure(&mut self, path: &OverlayPath, t: f64) -> f64 {
+    /// The measurement itself, without trace emission (shared by the
+    /// immediate and delayed entry points so the event carries the
+    /// correct `ready_at` either way).
+    fn sample(&mut self, path: &OverlayPath, t: f64) -> f64 {
         let truth = path.mean_residual(
             (t - self.interval).max(0.0),
             t.max(self.interval * 0.5),
@@ -63,6 +76,23 @@ impl AvailBwProbe {
         (truth * (1.0 + eps)).max(0.0)
     }
 
+    fn emit(&self, taken_at: f64, ready_at: f64, bw: f64) {
+        self.trace.emit(TraceEvent::ProbeSample {
+            path: self.trace_path,
+            taken_at_ns: secs_to_ns(taken_at),
+            ready_at_ns: secs_to_ns(ready_at),
+            bw_bps: bw,
+        });
+    }
+
+    /// Takes one measurement of `path` at time `t`: the mean residual
+    /// over the elapsed interval, perturbed by probe noise.
+    pub fn measure(&mut self, path: &OverlayPath, t: f64) -> f64 {
+        let bw = self.sample(path, t);
+        self.emit(t, t, bw);
+        bw
+    }
+
     /// Like [`AvailBwProbe::measure`] but with an injected reporting
     /// latency: the measurement is taken at `t` yet only *ready* for the
     /// monitoring module `extra_delay` seconds later. Fault schedules
@@ -70,13 +100,18 @@ impl AvailBwProbe {
     /// stream (the draw happens at measurement time).
     pub fn measure_delayed(&mut self, path: &OverlayPath, t: f64, extra_delay: f64) -> ProbeSample {
         assert!(extra_delay >= 0.0, "delay must be >= 0");
-        let bw = self.measure(path, t);
+        let bw = self.sample(path, t);
+        self.emit(t, t + extra_delay, bw);
         ProbeSample {
             taken_at: t,
             ready_at: t + extra_delay,
             bw,
         }
     }
+}
+
+fn secs_to_ns(t: f64) -> u64 {
+    (t * 1.0e9).round() as u64
 }
 
 /// One probe report in flight from measurement to the monitoring module.

@@ -1,0 +1,682 @@
+//! Streaming invariant checkers over scheduling-decision traces.
+//!
+//! Each checker consumes a [`TraceEvent`] stream (in emission order —
+//! the event loop is single-threaded, so the trace is a total order)
+//! and accumulates [`Violation`]s. The five invariants cover the
+//! properties the paper's machinery must uphold on *every* run, fault
+//! or not:
+//!
+//! 1. **Conservation** ([`ConservationChecker`]) — every enqueued
+//!    packet is dispatched at most once and terminates (delivered or
+//!    lost) at most once; nothing is delivered that was never enqueued.
+//! 2. **Deadline monotonicity** ([`DeadlineChecker`]) — within one
+//!    scheduling window, the virtual deadlines PGOS stamps on a
+//!    stream's scheduled packets (`window_start + k/x · t_w`) never
+//!    decrease, and always land inside the window.
+//! 3. **Table 1 precedence** ([`PrecedenceChecker`]) — an unscheduled
+//!    packet is never served while an other-path (rule 2) candidate
+//!    was available, and every winner is earliest-deadline within its
+//!    class.
+//! 4. **Exponential backoff** ([`BackoffChecker`]) — blocked-path
+//!    backoff starts at the initial step and exactly doubles up to the
+//!    cap, restarting after a window-boundary reset.
+//! 5. **Mapping freshness** ([`MappingFreshnessChecker`]) — resource
+//!    mapping decisions are only taken at a window boundary that just
+//!    delivered fresh CDF snapshots (monitoring precedes mapping,
+//!    never the reverse).
+
+use iqpaths_trace::{DispatchClass, TraceEvent};
+use std::collections::HashMap;
+
+/// One invariant violation, with enough context to debug the trace.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which invariant was violated.
+    pub invariant: &'static str,
+    /// Virtual time of the offending event.
+    pub at_ns: u64,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] t={}ns: {}",
+            self.invariant, self.at_ns, self.detail
+        )
+    }
+}
+
+/// A streaming checker over one trace.
+pub trait InvariantChecker {
+    /// Checker name (matches [`Violation::invariant`]).
+    fn name(&self) -> &'static str;
+    /// Consumes the next event.
+    fn on_event(&mut self, ev: &TraceEvent);
+    /// Violations found so far (end-of-trace finalization included —
+    /// callers may consume the trace fully before reading).
+    fn violations(&self) -> &[Violation];
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Queued,
+    InFlight,
+    Done,
+}
+
+/// Invariant 1: packet-conservation state machine keyed by
+/// `(stream, seq)`. Packets still queued or in flight when the run ends
+/// are fine (the horizon cut them off); duplicate transitions are not.
+#[derive(Debug, Default)]
+pub struct ConservationChecker {
+    state: HashMap<(u32, u64), Phase>,
+    violations: Vec<Violation>,
+}
+
+impl ConservationChecker {
+    /// A fresh checker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn violate(&mut self, at_ns: u64, detail: String) {
+        self.violations.push(Violation {
+            invariant: "conservation",
+            at_ns,
+            detail,
+        });
+    }
+}
+
+impl InvariantChecker for ConservationChecker {
+    fn name(&self) -> &'static str {
+        "conservation"
+    }
+
+    fn on_event(&mut self, ev: &TraceEvent) {
+        match *ev {
+            TraceEvent::Enqueue {
+                at_ns, stream, seq, ..
+            } => {
+                let prev = self.state.insert((stream, seq), Phase::Queued);
+                if prev.is_some() {
+                    self.violate(at_ns, format!("stream {stream} seq {seq} enqueued twice"));
+                }
+            }
+            TraceEvent::Dispatch {
+                at_ns, stream, seq, ..
+            } => match self.state.get_mut(&(stream, seq)) {
+                Some(p @ Phase::Queued) => *p = Phase::InFlight,
+                Some(_) => self.violate(
+                    at_ns,
+                    format!("stream {stream} seq {seq} dispatched while not queued"),
+                ),
+                None => self.violate(
+                    at_ns,
+                    format!("stream {stream} seq {seq} dispatched but never enqueued"),
+                ),
+            },
+            TraceEvent::Deliver {
+                at_ns, stream, seq, ..
+            }
+            | TraceEvent::TransitDrop {
+                at_ns, stream, seq, ..
+            } => match self.state.get_mut(&(stream, seq)) {
+                Some(p @ Phase::InFlight) => *p = Phase::Done,
+                Some(Phase::Done) => {
+                    self.violate(at_ns, format!("stream {stream} seq {seq} terminated twice"))
+                }
+                Some(Phase::Queued) => self.violate(
+                    at_ns,
+                    format!("stream {stream} seq {seq} terminated without dispatch"),
+                ),
+                None => self.violate(
+                    at_ns,
+                    format!("stream {stream} seq {seq} terminated but never enqueued"),
+                ),
+            },
+            _ => {}
+        }
+    }
+
+    fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+}
+
+/// Invariant 2: per-stream virtual-deadline monotonicity within each
+/// scheduling window, over `Scheduled` and `OtherPath` dispatch
+/// decisions (unscheduled overflow carries a fixed end-of-window
+/// deadline and is exempt). Deadlines must also land in
+/// `(window_start, window_start + window_len]`.
+#[derive(Debug, Default)]
+pub struct DeadlineChecker {
+    window_start_ns: u64,
+    window_ns: u64,
+    seen_window: bool,
+    last_deadline: HashMap<u32, u64>,
+    violations: Vec<Violation>,
+}
+
+impl DeadlineChecker {
+    /// A fresh checker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl InvariantChecker for DeadlineChecker {
+    fn name(&self) -> &'static str {
+        "deadline-monotonicity"
+    }
+
+    fn on_event(&mut self, ev: &TraceEvent) {
+        match *ev {
+            TraceEvent::WindowStart {
+                at_ns, window_ns, ..
+            } => {
+                self.window_start_ns = at_ns;
+                self.window_ns = window_ns;
+                self.seen_window = true;
+                self.last_deadline.clear();
+            }
+            TraceEvent::DispatchDecision {
+                at_ns,
+                stream,
+                class,
+                candidate_deadline_ns,
+                ..
+            } if class != DispatchClass::Unscheduled => {
+                if !self.seen_window {
+                    self.violations.push(Violation {
+                        invariant: "deadline-monotonicity",
+                        at_ns,
+                        detail: format!("stream {stream} dispatched before any window start"),
+                    });
+                    return;
+                }
+                let lo = self.window_start_ns;
+                let hi = self.window_start_ns + self.window_ns;
+                if candidate_deadline_ns <= lo || candidate_deadline_ns > hi {
+                    self.violations.push(Violation {
+                        invariant: "deadline-monotonicity",
+                        at_ns,
+                        detail: format!(
+                            "stream {stream} deadline {candidate_deadline_ns} outside window ({lo}, {hi}]"
+                        ),
+                    });
+                }
+                if let Some(&prev) = self.last_deadline.get(&stream) {
+                    if candidate_deadline_ns < prev {
+                        self.violations.push(Violation {
+                            invariant: "deadline-monotonicity",
+                            at_ns,
+                            detail: format!(
+                                "stream {stream} deadline {candidate_deadline_ns} < previous {prev}"
+                            ),
+                        });
+                    }
+                }
+                self.last_deadline.insert(stream, candidate_deadline_ns);
+            }
+            _ => {}
+        }
+    }
+
+    fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+}
+
+/// Invariant 3: Table 1 precedence at every dispatch decision — no
+/// unscheduled packet beats an available other-path candidate, and the
+/// winner is earliest-deadline within its class.
+#[derive(Debug, Default)]
+pub struct PrecedenceChecker {
+    violations: Vec<Violation>,
+}
+
+impl PrecedenceChecker {
+    /// A fresh checker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl InvariantChecker for PrecedenceChecker {
+    fn name(&self) -> &'static str {
+        "precedence"
+    }
+
+    fn on_event(&mut self, ev: &TraceEvent) {
+        if let TraceEvent::DispatchDecision {
+            at_ns,
+            path,
+            stream,
+            class,
+            candidate_deadline_ns,
+            class_min_deadline_ns,
+            other_scheduled_present,
+            ..
+        } = *ev
+        {
+            if class == DispatchClass::Unscheduled && other_scheduled_present {
+                self.violations.push(Violation {
+                    invariant: "precedence",
+                    at_ns,
+                    detail: format!(
+                        "path {path} served unscheduled stream {stream} past a rule-2 candidate"
+                    ),
+                });
+            }
+            if candidate_deadline_ns != class_min_deadline_ns {
+                self.violations.push(Violation {
+                    invariant: "precedence",
+                    at_ns,
+                    detail: format!(
+                        "path {path} stream {stream}: winner deadline {candidate_deadline_ns} \
+                         is not the class minimum {class_min_deadline_ns} (EDF violated)"
+                    ),
+                });
+            }
+        }
+    }
+
+    fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+}
+
+/// Invariant 4: blocked-path backoff steps start at the configured
+/// initial value, double exactly, and saturate at the cap; a
+/// [`TraceEvent::BackoffReset`] (window boundary with expired backoff)
+/// restarts the ladder. Every step must also satisfy
+/// `until = at + step`.
+#[derive(Debug)]
+pub struct BackoffChecker {
+    initial_ns: u64,
+    max_ns: u64,
+    current: HashMap<u32, u64>,
+    violations: Vec<Violation>,
+}
+
+impl Default for BackoffChecker {
+    fn default() -> Self {
+        // PgosConfig::default(): 5 ms initial, 1 s cap.
+        Self::new(5_000_000, 1_000_000_000)
+    }
+}
+
+impl BackoffChecker {
+    /// A checker for the given backoff parameters.
+    pub fn new(initial_ns: u64, max_ns: u64) -> Self {
+        Self {
+            initial_ns,
+            max_ns,
+            current: HashMap::new(),
+            violations: Vec::new(),
+        }
+    }
+}
+
+impl InvariantChecker for BackoffChecker {
+    fn name(&self) -> &'static str {
+        "backoff"
+    }
+
+    fn on_event(&mut self, ev: &TraceEvent) {
+        match *ev {
+            TraceEvent::BackoffStep {
+                at_ns,
+                path,
+                step_ns,
+                until_ns,
+            } => {
+                let expected = match self.current.get(&path) {
+                    None | Some(0) => self.initial_ns,
+                    Some(&prev) => (prev * 2).min(self.max_ns),
+                };
+                if step_ns != expected {
+                    self.violations.push(Violation {
+                        invariant: "backoff",
+                        at_ns,
+                        detail: format!(
+                            "path {path} backoff step {step_ns}ns, expected {expected}ns"
+                        ),
+                    });
+                }
+                if until_ns != at_ns + step_ns {
+                    self.violations.push(Violation {
+                        invariant: "backoff",
+                        at_ns,
+                        detail: format!(
+                            "path {path} backoff until {until_ns} != at + step ({})",
+                            at_ns + step_ns
+                        ),
+                    });
+                }
+                self.current.insert(path, step_ns);
+            }
+            TraceEvent::BackoffReset { path, .. } => {
+                self.current.insert(path, 0);
+            }
+            _ => {}
+        }
+    }
+
+    fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+}
+
+/// Invariant 5: mapping decisions (and admission upcalls) only happen
+/// at a window boundary that just produced CDF snapshots — the
+/// monitoring→mapping data flow of Figure 3, never a stale remap.
+#[derive(Debug, Default)]
+pub struct MappingFreshnessChecker {
+    last_snapshot_ns: Option<u64>,
+    violations: Vec<Violation>,
+}
+
+impl MappingFreshnessChecker {
+    /// A fresh checker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn check(&mut self, what: &str, at_ns: u64, stream: u32) {
+        match self.last_snapshot_ns {
+            Some(t) if t == at_ns => {}
+            Some(t) => self.violations.push(Violation {
+                invariant: "mapping-freshness",
+                at_ns,
+                detail: format!(
+                    "{what} for stream {stream} at {at_ns} but last CDF snapshot was at {t}"
+                ),
+            }),
+            None => self.violations.push(Violation {
+                invariant: "mapping-freshness",
+                at_ns,
+                detail: format!("{what} for stream {stream} before any CDF snapshot"),
+            }),
+        }
+    }
+}
+
+impl InvariantChecker for MappingFreshnessChecker {
+    fn name(&self) -> &'static str {
+        "mapping-freshness"
+    }
+
+    fn on_event(&mut self, ev: &TraceEvent) {
+        match *ev {
+            TraceEvent::CdfSnapshot { at_ns, .. } => {
+                self.last_snapshot_ns = Some(at_ns);
+            }
+            TraceEvent::MappingDecision { at_ns, stream, .. } => {
+                self.check("mapping decision", at_ns, stream);
+            }
+            TraceEvent::UpcallRaised { at_ns, stream, .. } => {
+                self.check("admission upcall", at_ns, stream);
+            }
+            _ => {}
+        }
+    }
+
+    fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+}
+
+/// Runs all five invariant checkers (with default PGOS backoff
+/// parameters) over a trace and returns every violation found.
+pub fn check_all(events: &[TraceEvent]) -> Vec<Violation> {
+    let mut checkers: Vec<Box<dyn InvariantChecker>> = vec![
+        Box::new(ConservationChecker::new()),
+        Box::new(DeadlineChecker::new()),
+        Box::new(PrecedenceChecker::new()),
+        Box::new(BackoffChecker::default()),
+        Box::new(MappingFreshnessChecker::new()),
+    ];
+    for ev in events {
+        for c in &mut checkers {
+            c.on_event(ev);
+        }
+    }
+    checkers
+        .iter()
+        .flat_map(|c| c.violations().iter().cloned())
+        .collect()
+}
+
+/// Panics with a readable digest if the trace violates any invariant.
+///
+/// # Panics
+/// Panics when [`check_all`] reports at least one violation; the
+/// message shows up to the first ten.
+pub fn assert_invariants(events: &[TraceEvent], context: &str) {
+    let violations = check_all(events);
+    assert!(
+        violations.is_empty(),
+        "{context}: {} invariant violation(s); first {}:\n{}",
+        violations.len(),
+        violations.len().min(10),
+        violations
+            .iter()
+            .take(10)
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enq(stream: u32, seq: u64, t: u64) -> TraceEvent {
+        TraceEvent::Enqueue {
+            at_ns: t,
+            stream,
+            seq,
+            bytes: 1000,
+        }
+    }
+
+    fn tx(stream: u32, seq: u64, t: u64) -> TraceEvent {
+        TraceEvent::Dispatch {
+            at_ns: t,
+            path: 0,
+            stream,
+            seq,
+            bytes: 1000,
+            deadline_ns: u64::MAX,
+        }
+    }
+
+    fn rx(stream: u32, seq: u64, t: u64) -> TraceEvent {
+        TraceEvent::Deliver {
+            at_ns: t,
+            path: 0,
+            stream,
+            seq,
+            missed_deadline: false,
+        }
+    }
+
+    #[test]
+    fn conservation_accepts_a_clean_lifecycle() {
+        let evs = [enq(0, 0, 1), tx(0, 0, 2), rx(0, 0, 3), enq(0, 1, 4)];
+        assert!(check_all(&evs).is_empty(), "outstanding packets are fine");
+    }
+
+    #[test]
+    fn conservation_flags_double_delivery_and_ghosts() {
+        let mut c = ConservationChecker::new();
+        for ev in [enq(0, 0, 1), tx(0, 0, 2), rx(0, 0, 3), rx(0, 0, 4)] {
+            c.on_event(&ev);
+        }
+        assert_eq!(c.violations().len(), 1);
+        let mut g = ConservationChecker::new();
+        g.on_event(&rx(3, 9, 5));
+        assert_eq!(g.violations().len(), 1);
+        assert!(g.violations()[0].detail.contains("never enqueued"));
+    }
+
+    #[test]
+    fn deadlines_must_be_monotone_within_a_window() {
+        let win = TraceEvent::WindowStart {
+            at_ns: 0,
+            window_ns: 1_000,
+            remapped: true,
+        };
+        let decide = |t, dl| TraceEvent::DispatchDecision {
+            at_ns: t,
+            path: 0,
+            stream: 0,
+            seq: 0,
+            class: DispatchClass::Scheduled,
+            candidate_deadline_ns: dl,
+            class_min_deadline_ns: dl,
+            other_scheduled_present: false,
+        };
+        let mut c = DeadlineChecker::new();
+        for ev in [win, decide(1, 100), decide(2, 200), decide(3, 150)] {
+            c.on_event(&ev);
+        }
+        assert_eq!(c.violations().len(), 1, "{:?}", c.violations());
+        // A new window resets the floor.
+        let mut ok = DeadlineChecker::new();
+        let win2 = TraceEvent::WindowStart {
+            at_ns: 1_000,
+            window_ns: 1_000,
+            remapped: false,
+        };
+        for ev in [win, decide(1, 900), win2, decide(1_001, 1_100)] {
+            ok.on_event(&ev);
+        }
+        assert!(ok.violations().is_empty(), "{:?}", ok.violations());
+    }
+
+    #[test]
+    fn deadline_outside_window_is_flagged() {
+        let mut c = DeadlineChecker::new();
+        c.on_event(&TraceEvent::WindowStart {
+            at_ns: 1_000,
+            window_ns: 1_000,
+            remapped: false,
+        });
+        c.on_event(&TraceEvent::DispatchDecision {
+            at_ns: 1_001,
+            path: 0,
+            stream: 0,
+            seq: 0,
+            class: DispatchClass::OtherPath,
+            candidate_deadline_ns: 5_000,
+            class_min_deadline_ns: 5_000,
+            other_scheduled_present: true,
+        });
+        assert_eq!(c.violations().len(), 1);
+    }
+
+    #[test]
+    fn precedence_flags_unscheduled_past_rule2_and_edf_breaks() {
+        let mut c = PrecedenceChecker::new();
+        c.on_event(&TraceEvent::DispatchDecision {
+            at_ns: 1,
+            path: 0,
+            stream: 2,
+            seq: 0,
+            class: DispatchClass::Unscheduled,
+            candidate_deadline_ns: 10,
+            class_min_deadline_ns: 10,
+            other_scheduled_present: true,
+        });
+        c.on_event(&TraceEvent::DispatchDecision {
+            at_ns: 2,
+            path: 0,
+            stream: 1,
+            seq: 0,
+            class: DispatchClass::OtherPath,
+            candidate_deadline_ns: 50,
+            class_min_deadline_ns: 20,
+            other_scheduled_present: true,
+        });
+        assert_eq!(c.violations().len(), 2);
+    }
+
+    #[test]
+    fn backoff_ladder_doubles_resets_and_caps() {
+        let step = |t, path, step_ns, until_ns| TraceEvent::BackoffStep {
+            at_ns: t,
+            path,
+            step_ns,
+            until_ns,
+        };
+        let mut c = BackoffChecker::new(5, 40);
+        for ev in [
+            step(0, 0, 5, 5),
+            step(10, 0, 10, 20),
+            step(30, 0, 20, 50),
+            step(60, 0, 40, 100),
+            step(200, 0, 40, 240), // capped: stays at 40
+            TraceEvent::BackoffReset {
+                at_ns: 300,
+                path: 0,
+            },
+            step(400, 0, 5, 405), // ladder restarts
+        ] {
+            c.on_event(&ev);
+        }
+        assert!(c.violations().is_empty(), "{:?}", c.violations());
+        // A skipped double is caught.
+        let mut bad = BackoffChecker::new(5, 40);
+        bad.on_event(&step(0, 1, 5, 5));
+        bad.on_event(&step(10, 1, 20, 30));
+        assert_eq!(bad.violations().len(), 1);
+        // until != at + step is caught.
+        let mut drift = BackoffChecker::new(5, 40);
+        drift.on_event(&step(0, 2, 5, 9));
+        assert_eq!(drift.violations().len(), 1);
+    }
+
+    #[test]
+    fn mapping_requires_a_fresh_snapshot() {
+        let cdf = |t| TraceEvent::CdfSnapshot {
+            path: 0,
+            at_ns: t,
+            samples: 10,
+            mean_bps: 1.0e6,
+            q10_bps: 0.5e6,
+            q90_bps: 1.5e6,
+        };
+        let map = |t| TraceEvent::MappingDecision {
+            at_ns: t,
+            stream: 0,
+            path: 0,
+            packets: 100,
+            rate_bps: 1.0e6,
+        };
+        let mut ok = MappingFreshnessChecker::new();
+        ok.on_event(&cdf(100));
+        ok.on_event(&map(100));
+        assert!(ok.violations().is_empty());
+        let mut stale = MappingFreshnessChecker::new();
+        stale.on_event(&cdf(100));
+        stale.on_event(&map(200));
+        assert_eq!(stale.violations().len(), 1);
+        let mut blind = MappingFreshnessChecker::new();
+        blind.on_event(&map(100));
+        assert_eq!(blind.violations().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invariant violation")]
+    fn assert_invariants_panics_with_context() {
+        let evs = [rx(0, 0, 1)];
+        assert_invariants(&evs, "unit");
+    }
+}

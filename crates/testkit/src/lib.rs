@@ -19,17 +19,27 @@
 //!   built on `iqpaths_simnet::fault`, and the end-to-end runner
 //!   ([`scenario::run_conformance`]) behind the `conformance`
 //!   integration suite and the `fault_sweep` bench binary.
+//! * [`invariants`] — streaming checkers over scheduling-decision
+//!   traces ([`scenario::run_conformance_traced`]): packet
+//!   conservation, virtual-deadline monotonicity, Table 1 precedence,
+//!   exponential-backoff shape, and mapping freshness. These are exact
+//!   (non-statistical) properties that must hold on every run.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod invariants;
 pub mod scenario;
 pub mod stats;
 pub mod topology;
 
+pub use invariants::{
+    assert_invariants, check_all, BackoffChecker, ConservationChecker, DeadlineChecker,
+    InvariantChecker, MappingFreshnessChecker, PrecedenceChecker, Violation,
+};
 pub use scenario::{
-    conformance_streams, mode_name, run_conformance, sweep_modes, ConformanceConfig,
-    ConformanceReport, FaultScenario, LemmaOutcome,
+    conformance_streams, mode_name, run_conformance, run_conformance_traced, sweep_modes,
+    ConformanceConfig, ConformanceReport, FaultScenario, LemmaOutcome,
 };
 pub use stats::{hoeffding_epsilon, probit, wilson_interval, BernoulliCheck, BoundedMeanCheck};
 pub use topology::TopologyGen;

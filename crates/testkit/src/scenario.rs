@@ -27,9 +27,10 @@ use iqpaths_apps::workload::FramedSource;
 use iqpaths_core::scheduler::{Pgos, PgosConfig};
 use iqpaths_core::stream::{Guarantee, StreamSpec};
 use iqpaths_middleware::report::RunReport;
-use iqpaths_middleware::runtime::{run_faulted, RuntimeConfig};
+use iqpaths_middleware::runtime::{run_traced, RuntimeConfig};
 use iqpaths_overlay::node::CdfMode;
 use iqpaths_simnet::fault::{Fault, FaultSchedule};
+use iqpaths_trace::{shared, InMemorySink, TraceEvent, TraceHandle};
 
 /// The scenario axis of the conformance sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -249,6 +250,21 @@ pub fn conformance_streams() -> Vec<StreamSpec> {
 
 /// Runs one conformance case end to end.
 pub fn run_conformance(cfg: ConformanceConfig) -> ConformanceReport {
+    run_case(cfg, TraceHandle::null())
+}
+
+/// Runs one conformance case with an in-memory decision trace attached,
+/// returning the report and the full event log. This is the entry point
+/// of the trace-invariant and golden-trace suites: same deterministic
+/// run as [`run_conformance`], plus the evidence to check it against.
+pub fn run_conformance_traced(cfg: ConformanceConfig) -> (ConformanceReport, Vec<TraceEvent>) {
+    let (sink, trace) = shared(InMemorySink::unbounded());
+    let report = run_case(cfg, trace);
+    let events = sink.borrow().events();
+    (report, events)
+}
+
+fn run_case(cfg: ConformanceConfig, trace: TraceHandle) -> ConformanceReport {
     let horizon = cfg.warmup + cfg.duration + 10.0;
     let gen = TopologyGen {
         seed: cfg.seed,
@@ -275,13 +291,14 @@ pub fn run_conformance(cfg: ConformanceConfig) -> ConformanceReport {
     // Per-stream, per-window deadline-miss attribution via the sink.
     let n_windows = (cfg.duration / rt.monitor_window_secs).ceil() as usize;
     let mut misses = vec![vec![0.0f64; n_windows]; specs.len()];
-    let report = run_faulted(
+    let report = run_traced(
         &paths,
         Box::new(workload),
         Box::new(scheduler),
         rt,
         cfg.duration,
         &faults,
+        trace,
         &mut |d| {
             if d.missed_deadline {
                 let w = ((d.delivered / rt.monitor_window_secs) as usize).min(n_windows - 1);

@@ -1,0 +1,39 @@
+//! # iqpaths-trace — scheduling-decision trace bus and runtime metrics
+//!
+//! The paper's claims (Lemma 1/2 guarantees, Table 1 precedence,
+//! blocked-path backoff) are properties of *sequences of scheduling
+//! decisions*, not of end-of-run aggregates. This crate event-sources
+//! the monitor→map→schedule→deliver pipeline so that both production
+//! observability and trace-driven test oracles consume the same stream:
+//!
+//! * [`event::TraceEvent`] — the event taxonomy: probe samples, CDF
+//!   snapshots, mapping decisions and upcalls, virtual-deadline
+//!   dispatch decisions, packet enqueue/dispatch/deliver/drop, and path
+//!   block/backoff steps. Every variant is `Copy` (no heap allocation
+//!   on the hot path).
+//! * [`sink::TraceSink`] — where events go: [`sink::NullSink`] (the
+//!   default; emission is a single predictable branch),
+//!   [`sink::InMemorySink`] (bounded ring buffer), and
+//!   [`sink::JsonlSink`] (stable, compact JSON-lines writer used by the
+//!   golden-trace regression suite).
+//! * [`sink::TraceHandle`] — the cheap, cloneable handle components
+//!   hold. A null handle stores no sink at all, so `emit` on the
+//!   untraced path compiles to an `Option` discriminant test.
+//! * [`metrics::Metrics`] — always-on per-stream/per-path counters and
+//!   log-bucket latency histograms, exported on `RunReport`.
+//!
+//! The crate is dependency-free and emulator-agnostic: producers are
+//! `core::scheduler` (PGOS), `core::mapping`, `overlay::probe`, and
+//! `middleware::runtime`; consumers are `testkit::invariants` and the
+//! golden-trace suite.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod event;
+pub mod metrics;
+pub mod sink;
+
+pub use event::{DispatchClass, TraceEvent};
+pub use metrics::{LatencyHistogram, Metrics, PathCounters, StreamCounters};
+pub use sink::{shared, InMemorySink, JsonlSink, NullSink, TraceHandle, TraceSink};

@@ -1,0 +1,322 @@
+//! Trace sinks and the shared handle components emit through.
+
+use crate::event::TraceEvent;
+use std::cell::RefCell;
+use std::fmt;
+use std::io::Write;
+use std::rc::Rc;
+
+/// Receives trace events. Implementations decide retention: discard
+/// ([`NullSink`]), ring-buffer ([`InMemorySink`]), or serialize
+/// ([`JsonlSink`]).
+pub trait TraceSink {
+    /// Consumes one event.
+    fn emit(&mut self, ev: &TraceEvent);
+
+    /// Flushes any buffered output (no-op for in-memory sinks).
+    fn flush(&mut self) {}
+}
+
+/// Discards everything. A [`TraceHandle`] built on it still pays the
+/// dispatch; prefer [`TraceHandle::null`], which stores no sink at all.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn emit(&mut self, _ev: &TraceEvent) {}
+}
+
+/// A bounded ring buffer of events. When full, the oldest event is
+/// overwritten and counted in [`InMemorySink::overwritten`].
+#[derive(Debug, Clone)]
+pub struct InMemorySink {
+    buf: Vec<TraceEvent>,
+    cap: usize,
+    head: usize,
+    total: u64,
+}
+
+impl InMemorySink {
+    /// A ring holding at most `cap` events.
+    ///
+    /// # Panics
+    /// Panics if `cap == 0`.
+    pub fn with_capacity(cap: usize) -> Self {
+        assert!(cap > 0, "ring needs positive capacity");
+        Self {
+            buf: Vec::new(),
+            cap,
+            head: 0,
+            total: 0,
+        }
+    }
+
+    /// A ring large enough that no practical run evicts (2^32 events).
+    pub fn unbounded() -> Self {
+        Self::with_capacity(u32::MAX as usize)
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events ever emitted into the sink.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Events lost to ring overwrite.
+    pub fn overwritten(&self) -> u64 {
+        self.total - self.buf.len() as u64
+    }
+}
+
+impl TraceSink for InMemorySink {
+    fn emit(&mut self, ev: &TraceEvent) {
+        self.total += 1;
+        if self.buf.len() < self.cap {
+            self.buf.push(*ev);
+        } else {
+            self.buf[self.head] = *ev;
+            self.head = (self.head + 1) % self.cap;
+        }
+    }
+}
+
+/// Serializes each event as one JSON line into any [`Write`]r (a file,
+/// a `Vec<u8>`, or [`std::io::sink`] for overhead measurement).
+///
+/// With `decisions_only`, the per-packet and per-probe data plane is
+/// filtered out, leaving the compact decision trace the golden suite
+/// pins (see [`TraceEvent::is_decision`]).
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    w: W,
+    line: String,
+    lines: u64,
+    decisions_only: bool,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// A sink writing every event to `w`.
+    pub fn new(w: W) -> Self {
+        Self {
+            w,
+            line: String::with_capacity(160),
+            lines: 0,
+            decisions_only: false,
+        }
+    }
+
+    /// A sink writing only decision-level events to `w`.
+    pub fn decisions_only(w: W) -> Self {
+        Self {
+            decisions_only: true,
+            ..Self::new(w)
+        }
+    }
+
+    /// Lines written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn into_inner(mut self) -> W {
+        let _ = self.w.flush();
+        self.w
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn emit(&mut self, ev: &TraceEvent) {
+        if self.decisions_only && !ev.is_decision() {
+            return;
+        }
+        self.line.clear();
+        ev.write_jsonl(&mut self.line);
+        self.line.push('\n');
+        if self.w.write_all(self.line.as_bytes()).is_ok() {
+            self.lines += 1;
+        }
+    }
+
+    fn flush(&mut self) {
+        let _ = self.w.flush();
+    }
+}
+
+/// The cheap, cloneable emission handle components hold.
+///
+/// A null handle stores no sink: [`TraceHandle::emit`] then reduces to
+/// an `Option` discriminant test, which is why `NullSink`-equivalent
+/// runs show no measurable slowdown. Clones share the same sink, so
+/// the scheduler, the probes, and the runtime all append to one
+/// chronologically ordered stream (the event loop is single-threaded).
+#[derive(Clone, Default)]
+pub struct TraceHandle {
+    sink: Option<Rc<RefCell<dyn TraceSink>>>,
+}
+
+impl TraceHandle {
+    /// The disabled handle (no sink, near-zero emission cost).
+    pub fn null() -> Self {
+        Self { sink: None }
+    }
+
+    /// A handle owning a fresh sink. To read the sink back after a run,
+    /// use [`shared`] instead.
+    pub fn new<S: TraceSink + 'static>(sink: S) -> Self {
+        Self {
+            sink: Some(Rc::new(RefCell::new(sink))),
+        }
+    }
+
+    /// A handle over an existing shared sink.
+    pub fn from_shared<S: TraceSink + 'static>(sink: Rc<RefCell<S>>) -> Self {
+        Self { sink: Some(sink) }
+    }
+
+    /// Whether a sink is attached. Producers gate any emission-only
+    /// work (quantile digests, candidate scans) behind this.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Emits one event (no-op on a null handle).
+    #[inline]
+    pub fn emit(&self, ev: TraceEvent) {
+        if let Some(s) = &self.sink {
+            s.borrow_mut().emit(&ev);
+        }
+    }
+
+    /// Flushes the sink, if any.
+    pub fn flush(&self) {
+        if let Some(s) = &self.sink {
+            s.borrow_mut().flush();
+        }
+    }
+}
+
+impl fmt::Debug for TraceHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceHandle")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+/// Builds a shared sink plus a handle over it: the handle goes into the
+/// run, the `Rc` stays with the caller for post-run inspection.
+///
+/// ```
+/// use iqpaths_trace::{shared, InMemorySink, TraceEvent};
+/// let (sink, handle) = shared(InMemorySink::unbounded());
+/// handle.emit(TraceEvent::QueueDrop { at_ns: 1, stream: 0 });
+/// assert_eq!(sink.borrow().len(), 1);
+/// ```
+pub fn shared<S: TraceSink + 'static>(sink: S) -> (Rc<RefCell<S>>, TraceHandle) {
+    let rc = Rc::new(RefCell::new(sink));
+    (rc.clone(), TraceHandle::from_shared(rc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64) -> TraceEvent {
+        TraceEvent::QueueDrop {
+            at_ns: t,
+            stream: 0,
+        }
+    }
+
+    #[test]
+    fn null_handle_is_disabled_and_silent() {
+        let h = TraceHandle::null();
+        assert!(!h.enabled());
+        h.emit(ev(1)); // must not panic
+        h.flush();
+        assert!(!TraceHandle::default().enabled());
+    }
+
+    #[test]
+    fn in_memory_ring_keeps_newest() {
+        let mut s = InMemorySink::with_capacity(3);
+        for t in 0..5 {
+            s.emit(&ev(t));
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.total(), 5);
+        assert_eq!(s.overwritten(), 2);
+        let ts: Vec<u64> = s.events().iter().map(TraceEvent::at_ns).collect();
+        assert_eq!(ts, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn in_memory_below_capacity_keeps_order() {
+        let mut s = InMemorySink::with_capacity(10);
+        assert!(s.is_empty());
+        for t in 0..4 {
+            s.emit(&ev(t));
+        }
+        let ts: Vec<u64> = s.events().iter().map(TraceEvent::at_ns).collect();
+        assert_eq!(ts, vec![0, 1, 2, 3]);
+        assert_eq!(s.overwritten(), 0);
+    }
+
+    #[test]
+    fn jsonl_writes_one_line_per_event() {
+        let mut s = JsonlSink::new(Vec::new());
+        s.emit(&ev(7));
+        s.emit(&TraceEvent::WindowStart {
+            at_ns: 9,
+            window_ns: 10,
+            remapped: false,
+        });
+        assert_eq!(s.lines(), 2);
+        let out = String::from_utf8(s.into_inner()).unwrap();
+        assert_eq!(out.lines().count(), 2);
+        assert!(out.starts_with(r#"{"ev":"qdrop","t":7,"stream":0}"#));
+    }
+
+    #[test]
+    fn jsonl_decisions_only_filters_data_plane() {
+        let mut s = JsonlSink::decisions_only(Vec::new());
+        s.emit(&TraceEvent::Deliver {
+            at_ns: 0,
+            path: 0,
+            stream: 0,
+            seq: 0,
+            missed_deadline: false,
+        });
+        s.emit(&ev(1)); // QueueDrop is decision-level
+        assert_eq!(s.lines(), 1);
+    }
+
+    #[test]
+    fn shared_handle_feeds_the_callers_sink() {
+        let (sink, h) = shared(InMemorySink::unbounded());
+        let h2 = h.clone();
+        assert!(h.enabled());
+        h.emit(ev(1));
+        h2.emit(ev(2));
+        assert_eq!(sink.borrow().len(), 2);
+    }
+}

@@ -1,0 +1,132 @@
+//! Golden-trace regression suite.
+//!
+//! Pinned-seed scenarios serialize their *decision-level* trace
+//! (window boundaries, CDF digests, mapping decisions, upcalls,
+//! blocking/backoff — see `TraceEvent::is_decision`) to JSONL and diff
+//! it against `tests/golden/*.jsonl`. Any change to monitoring,
+//! mapping, or scheduling decisions shows up as a readable line diff.
+//!
+//! When a decision change is *intended*, refresh the goldens with
+//! `UPDATE_GOLDEN=1 cargo test --test golden_trace` and commit the
+//! diff — the point is that decision changes are reviewed, never
+//! silent. A copy of each regenerated trace is also dropped under
+//! `target/experiments/traces/` for CI artifact upload.
+
+use iqpaths_overlay::node::CdfMode;
+use iqpaths_testkit::{run_conformance_traced, ConformanceConfig, FaultScenario};
+use iqpaths_trace::TraceEvent;
+use std::fs;
+use std::path::PathBuf;
+
+/// Pinned seed, matching the conformance job.
+const SEED: u64 = 11;
+
+fn golden_case(scenario: FaultScenario) -> ConformanceConfig {
+    ConformanceConfig {
+        duration: 60.0,
+        warmup: 10.0,
+        ..ConformanceConfig::new(SEED, CdfMode::Exact, scenario)
+    }
+}
+
+/// Serializes the decision-level subset of a trace as JSONL.
+fn decisions_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for ev in events.iter().filter(|e| e.is_decision()) {
+        ev.write_jsonl(&mut out);
+        out.push('\n');
+    }
+    out
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn artifact_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("target/experiments/traces")
+        .join(name)
+}
+
+/// Runs a golden scenario and compares (or, under `UPDATE_GOLDEN=1`,
+/// rewrites) its pinned decision trace.
+fn check_golden(scenario: FaultScenario, name: &str) {
+    let (_, events) = run_conformance_traced(golden_case(scenario));
+    let actual = decisions_jsonl(&events);
+    assert!(!actual.is_empty(), "{name}: empty decision trace");
+
+    // Always drop a copy for CI artifact upload.
+    let artifact = artifact_path(name);
+    fs::create_dir_all(artifact.parent().unwrap()).unwrap();
+    fs::write(&artifact, &actual).unwrap();
+
+    let golden = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::create_dir_all(golden.parent().unwrap()).unwrap();
+        fs::write(&golden, &actual).unwrap();
+        return;
+    }
+    let expected = fs::read_to_string(&golden).unwrap_or_else(|e| {
+        panic!(
+            "{name}: missing golden {} ({e}); generate it with \
+             UPDATE_GOLDEN=1 cargo test --test golden_trace",
+            golden.display()
+        )
+    });
+    if actual != expected {
+        let first_diff = actual
+            .lines()
+            .zip(expected.lines())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| actual.lines().count().min(expected.lines().count()));
+        panic!(
+            "{name}: decision trace diverged from golden at line {} \
+             (actual {} vs expected {} lines).\n  actual:   {}\n  expected: {}\n\
+             If the decision change is intended, refresh with \
+             UPDATE_GOLDEN=1 cargo test --test golden_trace",
+            first_diff + 1,
+            actual.lines().count(),
+            expected.lines().count(),
+            actual.lines().nth(first_diff).unwrap_or("<eof>"),
+            expected.lines().nth(first_diff).unwrap_or("<eof>"),
+        );
+    }
+}
+
+#[test]
+fn golden_no_fault_decision_trace() {
+    check_golden(FaultScenario::NoFault, "no_fault.jsonl");
+}
+
+#[test]
+fn golden_flap_decision_trace() {
+    check_golden(FaultScenario::Flap, "flap.jsonl");
+}
+
+#[test]
+fn golden_traces_are_bit_stable_across_runs() {
+    // Two identical runs must serialize byte-identically — the property
+    // that makes the golden diff meaningful at all.
+    let case = golden_case(FaultScenario::Flap);
+    let (_, a) = run_conformance_traced(case);
+    let (_, b) = run_conformance_traced(case);
+    assert_eq!(a.len(), b.len(), "event counts differ between runs");
+    assert_eq!(decisions_jsonl(&a), decisions_jsonl(&b));
+}
+
+#[test]
+fn decision_trace_is_a_small_subset() {
+    // The golden files stay reviewable: decision events are a tiny
+    // fraction of the full packet-level trace.
+    let (_, events) = run_conformance_traced(golden_case(FaultScenario::Flap));
+    let decisions = events.iter().filter(|e| e.is_decision()).count();
+    assert!(decisions > 0);
+    assert!(
+        decisions * 10 < events.len(),
+        "decision events ({decisions}) should be < 10% of the trace ({})",
+        events.len()
+    );
+}

@@ -1,0 +1,155 @@
+//! Trace-driven invariant matrix: {no-fault, flap, blackout, churn} ×
+//! {exact, rolling, sketch} CDF backends.
+//!
+//! Each case replays the conformance scenario with an in-memory
+//! decision trace attached and checks the five exact invariants
+//! (`iqpaths_testkit::invariants`): packet conservation, per-window
+//! virtual-deadline monotonicity, Table 1 precedence at dispatch,
+//! exponential-backoff doubling to the 1 s cap, and
+//! monitoring-before-mapping freshness. Unlike the statistical
+//! conformance suite these properties admit no tolerance — a single
+//! violating event fails the case with the offending trace line.
+
+use iqpaths_overlay::node::CdfMode;
+use iqpaths_testkit::{
+    assert_invariants, run_conformance_traced, sweep_modes, ConformanceConfig, FaultScenario,
+};
+use iqpaths_trace::TraceEvent;
+
+/// Pinned seed, matching the conformance job.
+const SEED: u64 = 11;
+
+/// Shorter-than-conformance case: the invariants are exact, so they
+/// don't need the statistical power of the full 120 s runs.
+fn quick_case(mode: CdfMode, scenario: FaultScenario) -> ConformanceConfig {
+    ConformanceConfig {
+        duration: 60.0,
+        warmup: 10.0,
+        ..ConformanceConfig::new(SEED, mode, scenario)
+    }
+}
+
+/// Runs one case, asserts every invariant, and cross-checks the trace
+/// against the run's metrics snapshot.
+fn check_case(mode: CdfMode, scenario: FaultScenario) {
+    let (r, events) = run_conformance_traced(quick_case(mode, scenario));
+    let label = format!("{}/{}", r.mode, r.scenario);
+    assert!(!events.is_empty(), "{label}: empty trace");
+    assert_invariants(&events, &label);
+
+    // The trace and the always-on metrics describe the same run.
+    let dispatches = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Dispatch { .. }))
+        .count() as u64;
+    let delivers = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Deliver { .. }))
+        .count() as u64;
+    let metrics = &r.report.metrics;
+    assert!(metrics.conserved(), "{label}: metrics books don't balance");
+    assert_eq!(
+        dispatches,
+        metrics.streams.iter().map(|s| s.dispatched).sum::<u64>(),
+        "{label}: dispatch events vs counter"
+    );
+    assert_eq!(
+        delivers,
+        metrics.streams.iter().map(|s| s.delivered).sum::<u64>(),
+        "{label}: deliver events vs counter"
+    );
+    let blocked = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::PathBlocked { .. }))
+        .count() as u64;
+    assert_eq!(
+        blocked,
+        r.report.path_blocked_events.iter().sum::<u64>(),
+        "{label}: blocked events vs report"
+    );
+    // Every delivery the report counted is in the trace.
+    assert_eq!(
+        delivers,
+        r.report
+            .streams
+            .iter()
+            .map(|s| s.delivered_packets)
+            .sum::<u64>(),
+        "{label}: deliver events vs stream reports"
+    );
+
+    // Fault observability inside the trace itself: faulted scenarios
+    // must exercise the backoff machinery, and every backoff step needs
+    // a same-instant PathBlocked trigger.
+    let backoff_steps: Vec<(u64, u32)> = events
+        .iter()
+        .filter_map(|e| match *e {
+            TraceEvent::BackoffStep { at_ns, path, .. } => Some((at_ns, path)),
+            _ => None,
+        })
+        .collect();
+    if scenario == FaultScenario::NoFault {
+        assert!(backoff_steps.is_empty(), "{label}: backoff without faults");
+    } else {
+        assert!(!backoff_steps.is_empty(), "{label}: faults left no backoff");
+        for &(t, p) in &backoff_steps {
+            assert!(
+                events
+                    .iter()
+                    .any(|e| matches!(*e, TraceEvent::PathBlocked { at_ns, path, .. }
+                        if at_ns == t && path == p)),
+                "{label}: backoff step at {t} on path {p} with no blocked detection"
+            );
+        }
+    }
+}
+
+#[test]
+fn invariants_exact_mode_all_scenarios() {
+    for scenario in FaultScenario::ALL {
+        check_case(CdfMode::Exact, scenario);
+    }
+}
+
+#[test]
+fn invariants_rolling_mode_all_scenarios() {
+    for scenario in FaultScenario::ALL {
+        check_case(CdfMode::Rolling, scenario);
+    }
+}
+
+#[test]
+fn invariants_sketch_mode_all_scenarios() {
+    for scenario in FaultScenario::ALL {
+        check_case(CdfMode::Sketch { markers: 33 }, scenario);
+    }
+}
+
+#[test]
+fn matrix_spans_twelve_cases() {
+    // The three tests above cover sweep_modes() × FaultScenario::ALL.
+    assert_eq!(sweep_modes().len() * FaultScenario::ALL.len(), 12);
+}
+
+#[test]
+fn traced_run_matches_untraced_run() {
+    // Attaching a trace must not change a single scheduling decision:
+    // the traced and untraced runs of the same case are bit-identical.
+    let cfg = quick_case(CdfMode::Exact, FaultScenario::Flap);
+    let (traced, _) = run_conformance_traced(cfg);
+    let untraced = iqpaths_testkit::run_conformance(cfg);
+    assert_eq!(traced.report.events, untraced.report.events);
+    assert_eq!(
+        traced.report.path_sent_bytes,
+        untraced.report.path_sent_bytes
+    );
+    assert_eq!(
+        traced.report.path_blocked_events,
+        untraced.report.path_blocked_events
+    );
+    assert_eq!(traced.report.metrics, untraced.report.metrics);
+    for (a, b) in traced.report.streams.iter().zip(&untraced.report.streams) {
+        assert_eq!(a.throughput_series, b.throughput_series);
+        assert_eq!(a.delivered_packets, b.delivered_packets);
+    }
+}
