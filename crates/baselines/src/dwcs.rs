@@ -1,5 +1,5 @@
 //! Dynamic Window-Constrained Scheduling (West & Poellabauer, RTSS
-//! 2000 — the paper's [31], which it credits as PGOS's inspiration).
+//! 2000 — the paper's ref. 31, which it credits as PGOS's inspiration).
 //!
 //! DWCS serves, per window, streams described by `(x, y)` constraints —
 //! at least `x` of every `y` packets must be serviced — prioritizing by

@@ -8,195 +8,39 @@
 //!   measurement error the statistical predictor tolerates).
 //! * `abl-load` — Bond2 offered-load sweep (how the guarantee holds as
 //!   the best-effort stream pushes the paths into saturation).
+//! * `abl-hist` — exact vs streaming-approximate monitoring CDFs.
+//! * `abl-buffer` — client startup delay / playback buffer.
 //! * `abl-fluid` — fluid vs packet-quantized cross traffic (validates
 //!   the fluid substitution of DESIGN.md §2).
+//!
+//! Thin wrapper over the `iqpaths-harness` engine (matrix in
+//! `crates/harness/src/sweeps.rs`, cell logic in
+//! `crates/harness/src/runner.rs`): cells run rayon-parallel with
+//! engine-derived per-cell seeds and are cached on disk. Prefer
+//! `harness sweep --sweep ablations` directly.
 
-use iqpaths_apps::smartpointer::{SmartPointerConfig, ATOM, BOND1};
-use iqpaths_core::scheduler::PgosConfig;
-use iqpaths_middleware::builder::SchedulerKind;
-use iqpaths_overlay::path::OverlayPath;
-use iqpaths_simnet::link::quantize_cross;
-use iqpaths_simnet::topology::{emulab_testbed, PATH_A_ROUTE, PATH_B_ROUTE};
-use iqpaths_traces::nlanr::figure8_cross_traffic;
-
-fn critical_summary(out: &iqpaths_middleware::builder::SmartPointerOutcome) -> (f64, f64, f64) {
-    let atom = out.report.streams[ATOM].summary();
-    let bond1 = out.report.streams[BOND1].summary();
-    (
-        atom.meet_fraction.min(bond1.meet_fraction),
-        atom.attainment_ratio_95().min(bond1.attainment_ratio_95()),
-        out.frame_jitter[0].max(out.frame_jitter[1]) * 1e3,
-    )
-}
+use iqpaths_harness::engine::{run_sweep, EngineOpts};
+use iqpaths_harness::report::{blocks_for, csv_for};
+use iqpaths_harness::sweeps::ablations;
 
 fn main() {
-    let duration = iqpaths_bench::duration();
-    let seed = iqpaths_bench::seed();
-    let app = SmartPointerConfig::default();
-    let mut csv = String::from("ablation,setting,min_meet_fraction,min_ratio95,max_jitter_ms\n");
-
-    println!("Ablations (SmartPointer scenario, {duration}s, seed {seed})");
-
-    // --- abl-window ------------------------------------------------------
-    println!("\n[abl-window] scheduling-window length");
-    for w in [0.25, 0.5, 1.0, 2.0, 4.0] {
-        let mut e = iqpaths_bench::experiment();
-        e.runtime.window_secs = w;
-        e.pgos = PgosConfig {
-            window_secs: w,
-            ..PgosConfig::default()
-        };
-        let out = e.run_smartpointer(app, SchedulerKind::Pgos);
-        let (meet, ratio, jit) = critical_summary(&out);
-        println!("  tw={w:>5}s  min-meet {meet:.3}  min-ratio95 {ratio:.3}  jitter {jit:.2}ms");
-        csv.push_str(&format!("window,{w},{meet:.4},{ratio:.4},{jit:.3}\n"));
-    }
-
-    // --- abl-remap -------------------------------------------------------
-    println!("\n[abl-remap] KS remap threshold");
-    for ks in [0.0, 0.1, 0.2, 0.4, 1.0] {
-        let mut e = iqpaths_bench::experiment();
-        e.pgos = PgosConfig {
-            remap_ks_threshold: ks,
-            ..PgosConfig::default()
-        };
-        let out = e.run_smartpointer(app, SchedulerKind::Pgos);
-        let (meet, ratio, jit) = critical_summary(&out);
-        println!("  ks={ks:>4}  min-meet {meet:.3}  min-ratio95 {ratio:.3}  jitter {jit:.2}ms");
-        csv.push_str(&format!("remap,{ks},{meet:.4},{ratio:.4},{jit:.3}\n"));
-    }
-
-    // --- abl-noise -------------------------------------------------------
-    println!("\n[abl-noise] probe measurement noise");
-    for noise in [0.0, 0.05, 0.1, 0.2, 0.3] {
-        let mut e = iqpaths_bench::experiment();
-        e.runtime.probe_noise = noise;
-        let out = e.run_smartpointer(app, SchedulerKind::Pgos);
-        let (meet, ratio, jit) = critical_summary(&out);
-        println!(
-            "  noise={noise:>4}  min-meet {meet:.3}  min-ratio95 {ratio:.3}  jitter {jit:.2}ms"
-        );
-        csv.push_str(&format!("noise,{noise},{meet:.4},{ratio:.4},{jit:.3}\n"));
-    }
-
-    // --- abl-load --------------------------------------------------------
-    println!("\n[abl-load] Bond2 offered load (PGOS vs MSFQ min meet-fraction)");
-    for load in [40.0e6, 55.0e6, 70.0e6, 85.0e6] {
-        let app = SmartPointerConfig {
-            bond2_bw: load,
-            ..SmartPointerConfig::default()
-        };
-        let e = iqpaths_bench::experiment();
-        let pgos = critical_summary(&e.run_smartpointer(app, SchedulerKind::Pgos));
-        let msfq = critical_summary(&e.run_smartpointer(app, SchedulerKind::Msfq));
-        println!(
-            "  bond2={:>5} Mbps  PGOS meet {:.3}  MSFQ meet {:.3}",
-            load / 1e6,
-            pgos.0,
-            msfq.0
-        );
-        csv.push_str(&format!(
-            "load-pgos,{load},{:.4},{:.4},{:.3}\n",
-            pgos.0, pgos.1, pgos.2
-        ));
-        csv.push_str(&format!(
-            "load-msfq,{load},{:.4},{:.4},{:.3}\n",
-            msfq.0, msfq.1, msfq.2
-        ));
-    }
-
-    // --- abl-hist --------------------------------------------------------
-    println!("\n[abl-hist] CDF representation in monitoring");
-    for (label, mode) in [
-        ("exact", iqpaths_overlay::node::CdfMode::Exact),
-        (
-            "histogram-512",
-            iqpaths_overlay::node::CdfMode::Histogram {
-                bins: 512,
-                resolution: 200,
-                max_bw: iqpaths_traces::EMULAB_LINK_CAPACITY,
-            },
-        ),
-        ("rolling", iqpaths_overlay::node::CdfMode::Rolling),
-        (
-            "sketch-33",
-            iqpaths_overlay::node::CdfMode::Sketch { markers: 33 },
-        ),
-    ] {
-        let mut e = iqpaths_bench::experiment();
-        e.runtime.cdf_mode = mode;
-        let out = e.run_smartpointer(app, SchedulerKind::Pgos);
-        let (meet, ratio, jit) = critical_summary(&out);
-        println!("  {label:<14} min-meet {meet:.3}  min-ratio95 {ratio:.3}  jitter {jit:.2}ms");
-        csv.push_str(&format!("hist,{label},{meet:.4},{ratio:.4},{jit:.3}\n"));
-    }
-
-    // --- abl-buffer ------------------------------------------------------
+    let sweep = ablations(iqpaths_bench::seed(), iqpaths_bench::duration());
     println!(
-        "\n[abl-buffer] client playback buffer (tech-report claim: PGOS \
-              reduces buffer requirements)"
+        "Ablations (SmartPointer scenario, {} s, seed {}, {} cells via iqpaths-harness)\n",
+        sweep.duration,
+        sweep.seeds[0],
+        sweep.expand().len()
     );
-    for kind in [SchedulerKind::Msfq, SchedulerKind::Pgos] {
-        let e = iqpaths_bench::experiment();
-        let out = e.run_smartpointer(app, kind);
-        let buf_atom = out.startup_delay[0] * iqpaths_apps::smartpointer::ATOM_BW / 8.0;
-        let buf_bond1 = out.startup_delay[1] * iqpaths_apps::smartpointer::BOND1_BW / 8.0;
-        println!(
-            "  {:<6} startup delay Atom {:>7.1} ms / Bond1 {:>7.1} ms  buffer {:>8.0} B / {:>8.0} B",
-            out.report.scheduler,
-            out.startup_delay[0] * 1e3,
-            out.startup_delay[1] * 1e3,
-            buf_atom,
-            buf_bond1
-        );
-        csv.push_str(&format!(
-            "buffer,{},{:.4},{:.4},{:.3}\n",
-            out.report.scheduler, out.startup_delay[0], out.startup_delay[1], buf_bond1
-        ));
-    }
 
-    // --- abl-fluid -------------------------------------------------------
-    println!("\n[abl-fluid] fluid vs packet-quantized cross traffic");
-    {
-        let e = iqpaths_bench::experiment();
-        let horizon = e.runtime.warmup_secs + duration + 10.0;
-        let (cross_a, cross_b) = figure8_cross_traffic(0.1, horizon, seed);
-        for (label, qa, qb) in [
-            ("fluid", cross_a.clone(), cross_b.clone()),
-            (
-                "quantized-1500B",
-                quantize_cross(&cross_a, 1500.0),
-                quantize_cross(&cross_b, 1500.0),
-            ),
-        ] {
-            let topo = emulab_testbed(qa, qb);
-            let paths = vec![
-                OverlayPath::new(0, "Path A", topo.route(&PATH_A_ROUTE)),
-                OverlayPath::new(1, "Path B", topo.route(&PATH_B_ROUTE)),
-            ];
-            let workload = iqpaths_apps::smartpointer::SmartPointer::new(SmartPointerConfig {
-                duration,
-                ..app
-            });
-            let specs = iqpaths_apps::smartpointer::SmartPointer::specs(app);
-            let sched = SchedulerKind::Pgos.build(specs, 2, PgosConfig::default());
-            let report = iqpaths_middleware::runtime::run(
-                &paths,
-                Box::new(workload),
-                sched,
-                e.runtime,
-                duration,
-            );
-            let atom = report.streams[ATOM].summary();
-            let bond1 = report.streams[BOND1].summary();
-            let meet = atom.meet_fraction.min(bond1.meet_fraction);
-            println!(
-                "  {label:<16} min-meet {meet:.3}  Atom mean {:.2} Mbps",
-                atom.mean / 1e6
-            );
-            csv.push_str(&format!("fluid,{label},{meet:.4},{:.4},0\n", atom.mean));
-        }
+    let out = run_sweep(&sweep, &EngineOpts::default());
+    for block in blocks_for(sweep.name, &out.results) {
+        println!("{}", block.body);
     }
-
-    iqpaths_bench::write_artifact("ablations.csv", &csv);
+    if let Some((name, contents)) = csv_for(sweep.name, &out.results) {
+        iqpaths_bench::write_artifact(&name, &contents);
+    }
+    println!(
+        "({} run, {} cached, {:.2} s wall)",
+        out.executed, out.cached, out.wall_secs
+    );
 }

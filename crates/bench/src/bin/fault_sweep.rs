@@ -1,82 +1,43 @@
 //! Fault-injection sweep: guarantee conformance across CDF backends and
 //! fault scenarios.
 //!
-//! For every `{Exact, Rolling, Sketch} × {no-fault, flap, blackout,
-//! churn}` case this runs the testkit conformance harness (seeded
-//! 3-path random topology, probabilistic + violation-bound +
-//! best-effort stream mix under PGOS) and prints the Lemma 1 / Lemma 2
-//! verdict table plus per-run observability counters. The markdown
-//! table is written to `target/experiments/fault_sweep.md` for
-//! EXPERIMENTS.md (and uploaded as a CI artifact by the conformance
-//! job).
-//!
-//! Knobs: `IQP_SEED` (topology/runtime seed), `IQP_DURATION` (measured
-//! seconds per case, clamped to [60, 120]).
+//! Thin wrapper over the `iqpaths-harness` engine (the sweep matrix
+//! lives in `crates/harness/src/sweeps.rs`): same surface as the
+//! original standalone harness — `IQP_SEED` / `IQP_DURATION` knobs,
+//! `target/experiments/fault_sweep.md` artifact, exit 1 on conformance
+//! failure — but cells now run rayon-parallel with engine-derived
+//! per-cell seeds and land in the on-disk result cache. Prefer
+//! `harness sweep --sweep fault_sweep` directly; this binary exists so
+//! the historical `cargo run -p iqpaths-bench --bin fault_sweep`
+//! invocation keeps working.
 
-use iqpaths_testkit::{
-    mode_name, run_conformance, sweep_modes, ConformanceConfig, ConformanceReport, FaultScenario,
-};
+use iqpaths_harness::engine::{run_sweep, EngineOpts};
+use iqpaths_harness::report::{blocks_for, csv_for};
+use iqpaths_harness::sweeps::fault_sweep;
 
 fn main() {
-    let seed = iqpaths_bench::seed();
-    let duration = iqpaths_bench::duration().clamp(60.0, 120.0);
+    let sweep = fault_sweep(iqpaths_bench::seed(), iqpaths_bench::duration());
     println!("Fault sweep — guarantee conformance under injected faults");
-    println!("seed {seed}, {duration} s measured per case\n");
-
-    let mut table = String::from(ConformanceReport::table_header());
-    let mut runs = String::from(
-        "| scenario | mode | meet%(prob) | misses/win(vbound) | blocked/path | upcalls | events |\n\
-         |---|---|---|---|---|---|---|\n",
+    println!(
+        "seed {}, {} s measured per case ({} cells via iqpaths-harness)\n",
+        sweep.seeds[0],
+        sweep.duration,
+        sweep.expand().len()
     );
-    let mut failures = 0u32;
-    for mode in sweep_modes() {
-        for scenario in FaultScenario::ALL {
-            let mut cfg = ConformanceConfig::new(seed, mode, scenario);
-            cfg.duration = duration;
-            let r = run_conformance(cfg);
-            if !r.all_pass() {
-                failures += 1;
-            }
-            table.push_str(&r.table_rows());
-            let meet = r
-                .outcomes
-                .iter()
-                .find(|o| o.kind == "lemma1")
-                .map(|o| o.observed)
-                .unwrap_or(f64::NAN);
-            let misses = r
-                .outcomes
-                .iter()
-                .find(|o| o.kind == "lemma2")
-                .map(|o| o.observed)
-                .unwrap_or(f64::NAN);
-            let blocked: Vec<String> = r
-                .report
-                .path_blocked_events
-                .iter()
-                .map(u64::to_string)
-                .collect();
-            runs.push_str(&format!(
-                "| {} | {} | {:.3} | {:.3} | {} | {} | {} |\n",
-                r.scenario,
-                mode_name(mode),
-                meet,
-                misses,
-                blocked.join("/"),
-                r.report.upcalls.len(),
-                r.report.events,
-            ));
-        }
+
+    let out = run_sweep(&sweep, &EngineOpts::default());
+    for block in blocks_for(sweep.name, &out.results) {
+        println!("{}", block.body);
     }
-
-    println!("{table}");
-    println!("{runs}");
-    let artifact = format!(
-        "# fault_sweep — seed {seed}, {duration} s/case\n\n\
-         ## Lemma conformance\n\n{table}\n## Run counters\n\n{runs}"
+    if let Some((name, contents)) = csv_for(sweep.name, &out.results) {
+        iqpaths_bench::write_artifact(&name, &contents);
+    }
+    println!(
+        "({} run, {} cached, {:.2} s wall)",
+        out.executed, out.cached, out.wall_secs
     );
-    iqpaths_bench::write_artifact("fault_sweep.md", &artifact);
 
+    let failures = out.results.iter().filter(|r| !r.all_pass()).count();
     if failures > 0 {
         println!("{failures} case(s) FAILED conformance");
         std::process::exit(1);

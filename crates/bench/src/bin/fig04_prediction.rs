@@ -13,66 +13,34 @@
 //! (`iqpaths_traces::envelope`), which reproduces the two properties
 //! the result depends on: heavy short-timescale noise above a
 //! concentrated lower edge.
+//!
+//! Thin wrapper over the `iqpaths-harness` engine (cell logic in
+//! `crates/harness/src/runner.rs`): all window sizes sample the same
+//! generator stream (the engine's family seed, matching the original
+//! single-seed protocol), cells are cached on disk. Prefer
+//! `harness sweep --sweep fig04_prediction` directly.
 
-use iqpaths_stats::percentile::{evaluate_mean_prediction, evaluate_percentile_prediction};
-use iqpaths_stats::predictors::extended_suite;
-use iqpaths_traces::envelope::{available_bandwidth, EnvelopeConfig};
+use iqpaths_harness::engine::{run_sweep, EngineOpts};
+use iqpaths_harness::report::{blocks_for, csv_for};
+use iqpaths_harness::sweeps::fig04_prediction;
 
 fn main() {
-    let seed = iqpaths_bench::seed();
-    let horizon = 20_000.0;
-    let cfg = EnvelopeConfig::default();
-
-    println!("Figure 4 — bandwidth prediction (seed {seed}, {horizon} s trace)");
+    let sweep = fig04_prediction(iqpaths_bench::seed());
     println!(
-        "{:>8} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} | {:>9} {:>10}",
-        "window_s", "MA", "SMA", "EWMA", "AR1", "HOLT", "SMED", "mean_err", "pctl_fail"
+        "Figure 4 — bandwidth prediction (seed {}, {} s trace, via iqpaths-harness)\n",
+        sweep.seeds[0], sweep.duration
     );
 
-    let mut csv = String::from(
-        "window_s,ma_err,sma_err,ewma_err,ar1_err,holt_err,smed_err,mean_err,percentile_failure_rate\n",
-    );
-    for k in 1..=10usize {
-        let window = 0.1 * k as f64;
-        // Measure directly at the target window (each sample is an
-        // independent measurement over `window` seconds).
-        let series: Vec<f64> = available_bandwidth(&cfg, window, horizon, seed)
-            .rates()
-            .to_vec();
-        let mut errs = Vec::new();
-        for predictor in &mut extended_suite(32) {
-            errs.push(evaluate_mean_prediction(&series, predictor.as_mut()));
-        }
-        // The paper's "mean prediction error" aggregates the MA-family
-        // predictors (the first four).
-        let mean_err = errs[..4].iter().sum::<f64>() / 4.0;
-        let n_hist = 500.min(series.len() / 3).max(10);
-        let report = evaluate_percentile_prediction(&series, n_hist, 5, 0.9);
-        println!(
-            "{:>8.1} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3} | {:>9.3} {:>10.4}",
-            window,
-            errs[0],
-            errs[1],
-            errs[2],
-            errs[3],
-            errs[4],
-            errs[5],
-            mean_err,
-            report.failure_rate()
-        );
-        csv.push_str(&format!(
-            "{:.1},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.5}\n",
-            window,
-            errs[0],
-            errs[1],
-            errs[2],
-            errs[3],
-            errs[4],
-            errs[5],
-            mean_err,
-            report.failure_rate()
-        ));
+    let out = run_sweep(&sweep, &EngineOpts::default());
+    for block in blocks_for(sweep.name, &out.results) {
+        println!("{}", block.body);
     }
-    iqpaths_bench::write_artifact("fig04_prediction.csv", &csv);
+    if let Some((name, contents)) = csv_for(sweep.name, &out.results) {
+        iqpaths_bench::write_artifact(&name, &contents);
+    }
+    println!(
+        "({} run, {} cached, {:.2} s wall)",
+        out.executed, out.cached, out.wall_secs
+    );
     println!("\npaper: mean-predictor error ≈ 0.17–0.22 across windows; percentile failure < 0.04");
 }

@@ -2,71 +2,36 @@
 //! cross-traffic seeds. One seed is an anecdote; the sweep shows the
 //! PGOS/MSFQ separation is a property of the algorithms, not of a lucky
 //! trace.
+//!
+//! Thin wrapper over the `iqpaths-harness` engine (matrix in
+//! `crates/harness/src/sweeps.rs`): cells run rayon-parallel with
+//! engine-derived per-cell seeds and are cached on disk. `IQP_DURATION`
+//! caps the per-seed run as before; prefer
+//! `harness sweep --sweep seed_sweep` directly.
 
-use iqpaths_apps::smartpointer::{SmartPointerConfig, ATOM, BOND1};
-use iqpaths_middleware::builder::{Figure8Experiment, SchedulerKind};
-use iqpaths_stats::metrics::{mean, stddev};
+use iqpaths_harness::engine::{run_sweep, EngineOpts};
+use iqpaths_harness::report::{blocks_for, csv_for};
+use iqpaths_harness::sweeps::seed_sweep;
 
 fn main() {
-    let duration = iqpaths_bench::duration().min(60.0);
-    let seeds: Vec<u64> = (1..=10).collect();
-    let app = SmartPointerConfig::default();
+    let sweep = seed_sweep(iqpaths_bench::duration());
     println!(
-        "Seed sweep — SmartPointer critical-stream guarantees ({duration} s × {} seeds)\n",
-        seeds.len()
+        "Seed sweep — SmartPointer critical-stream guarantees ({} s × {} seeds, via iqpaths-harness)\n",
+        sweep.duration,
+        sweep.seeds.len()
     );
-    println!(
-        "{:<10} {:>14} {:>14} {:>14}",
-        "scheduler", "min-meet mean", "min-meet sd", "worst seed"
-    );
-    let mut csv = String::from("scheduler,seed,min_meet_fraction,max_jitter_ms\n");
-    for kind in [
-        SchedulerKind::Msfq,
-        SchedulerKind::Pgos,
-        SchedulerKind::OptSched,
-    ] {
-        // Runs are independent and deterministic per seed: fan the
-        // sweep out across threads and reassemble in seed order.
-        let mut results: Vec<(u64, String, f64, f64)> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = seeds
-                .iter()
-                .map(|&seed| {
-                    scope.spawn(move |_| {
-                        let e = Figure8Experiment::new(seed, duration);
-                        let out = e.run_smartpointer(app, kind);
-                        let meet = out.report.streams[ATOM]
-                            .summary()
-                            .meet_fraction
-                            .min(out.report.streams[BOND1].summary().meet_fraction);
-                        let jitter = out.frame_jitter[0].max(out.frame_jitter[1]) * 1e3;
-                        (seed, out.report.scheduler.clone(), meet, jitter)
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        })
-        .expect("sweep threads must not panic");
-        results.sort_by_key(|r| r.0);
 
-        let name = results[0].1.clone();
-        let meets: Vec<f64> = results.iter().map(|r| r.2).collect();
-        let worst = results
-            .iter()
-            .min_by(|a, b| a.2.partial_cmp(&b.2).expect("finite meets"))
-            .expect("non-empty sweep");
-        for (seed, n, meet, jitter) in &results {
-            csv.push_str(&format!("{n},{seed},{meet:.4},{jitter:.3}\n"));
-        }
-        println!(
-            "{:<10} {:>14.3} {:>14.3} {:>8} ({:.3})",
-            name,
-            mean(&meets),
-            stddev(&meets),
-            worst.0,
-            worst.2
-        );
+    let out = run_sweep(&sweep, &EngineOpts::default());
+    for block in blocks_for(sweep.name, &out.results) {
+        println!("{}", block.body);
     }
-    iqpaths_bench::write_artifact("seed_sweep.csv", &csv);
+    if let Some((name, contents)) = csv_for(sweep.name, &out.results) {
+        iqpaths_bench::write_artifact(&name, &contents);
+    }
+    println!(
+        "({} run, {} cached, {:.2} s wall)",
+        out.executed, out.cached, out.wall_secs
+    );
     println!(
         "\nexpected: PGOS min-meet ≈ 1.0 with tiny variance across seeds; \
          MSFQ dips on congested seeds."

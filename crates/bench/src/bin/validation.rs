@@ -8,98 +8,34 @@
 //!
 //! This is the quantitative backing for Theorem 1: the promises PGOS
 //! makes from the monitoring CDFs hold in the running system.
+//!
+//! Thin wrapper over the `iqpaths-harness` engine (cell logic in
+//! `crates/harness/src/runner.rs`, ported from the original standalone
+//! study): every demand level is measured against one shared envelope
+//! realization (the engine's family seed), cells are cached on disk.
+//! Prefer `harness sweep --sweep validation` directly.
 
-use iqpaths_apps::workload::FramedSource;
-use iqpaths_core::guarantee::{lemma1_probability, lemma2_expected_misses};
-use iqpaths_core::scheduler::{Pgos, PgosConfig};
-use iqpaths_core::stream::StreamSpec;
-use iqpaths_middleware::runtime::{run, RuntimeConfig};
-use iqpaths_overlay::path::OverlayPath;
-use iqpaths_simnet::link::Link;
-use iqpaths_simnet::time::SimDuration;
-use iqpaths_stats::{BandwidthCdf, EmpiricalCdf};
-use iqpaths_traces::envelope::{available_bandwidth, EnvelopeConfig};
-use iqpaths_traces::RateTrace;
+use iqpaths_harness::engine::{run_sweep, EngineOpts};
+use iqpaths_harness::report::{blocks_for, csv_for};
+use iqpaths_harness::sweeps::validation;
 
 fn main() {
-    let seed = iqpaths_bench::seed();
-    let warmup = 30.0;
-    let duration = iqpaths_bench::duration();
-    let horizon = warmup + duration + 5.0;
-    let cap = 100.0e6;
-    let avail = available_bandwidth(
-        &EnvelopeConfig {
-            capacity: cap,
-            util_range: (0.4, 0.55),
-            ..Default::default()
-        },
-        0.1,
-        horizon,
-        seed,
-    );
-    let cross = RateTrace::new(
-        0.1,
-        avail.rates().iter().map(|a| (cap - a).max(0.0)).collect(),
-    );
-    let link = Link::new("l", cap, SimDuration::from_millis(1)).with_cross_traffic(cross);
-    let truth =
-        EmpiricalCdf::from_clean_samples(avail.slice(warmup, warmup + duration).rates().to_vec());
-
+    let sweep = validation(iqpaths_bench::seed(), iqpaths_bench::duration());
     println!(
-        "Guarantee validation ({duration} s, seed {seed}) — demand swept across the path CDF\n"
+        "Guarantee validation ({} s, seed {}, via iqpaths-harness) — demand swept across the path CDF\n",
+        sweep.duration, sweep.seeds[0]
     );
-    println!(
-        "{:>9} {:>11} {:>12} {:>12} | {:>12} {:>12}",
-        "demand_q", "rate_mbps", "lemma1_prob", "meas_meet", "lemma2_EZ", "meas_EZ"
-    );
-    let mut csv = String::from(
-        "demand_quantile,rate_bps,lemma1_prob,measured_meet,lemma2_bound,measured_shortfall\n",
-    );
-    let pkt: u32 = 1250;
-    let pkt_bits = pkt as f64 * 8.0;
-    // Sweep absolute demand from well under the distribution's floor to
-    // above its median (quantile-sweeping collapses onto the floor atom).
-    let median = truth.quantile(0.5).unwrap();
-    for frac in [0.55, 0.70, 0.85, 0.95, 1.05] {
-        let req = median * frac;
-        let q = truth.prob_below(req);
-        let x = (req / pkt_bits).floor().max(1.0) as u32;
-        let rate = x as f64 * pkt_bits;
-        let promised = lemma1_probability(&truth, x, pkt, 1.0);
-        let bound = lemma2_expected_misses(&truth, x, pkt, 1.0);
 
-        let specs = vec![StreamSpec::probabilistic(0, "s", rate, 0.5, pkt)];
-        let frame = (rate / (8.0 * 25.0)).round() as u32;
-        let w = FramedSource::new(specs.clone(), vec![frame], 25.0, duration);
-        let pgos = Pgos::new(PgosConfig::default(), specs, 1);
-        let cfg = RuntimeConfig {
-            warmup_secs: warmup,
-            seed,
-            ..Default::default()
-        };
-        let path = OverlayPath::new(0, "p", vec![link.clone()]);
-        let report = run(&[path], Box::new(w), Box::new(pgos), cfg, duration);
-        let series = &report.streams[0].throughput_series;
-        let meet =
-            series.iter().filter(|&&v| v >= 0.99 * rate).count() as f64 / series.len() as f64;
-        let shortfall = series
-            .iter()
-            .map(|&v| (x as f64 - v / pkt_bits).max(0.0))
-            .sum::<f64>()
-            / series.len() as f64;
-        println!(
-            "{:>9.2} {:>11.2} {:>12.3} {:>12.3} | {:>12.2} {:>12.2}",
-            q,
-            rate / 1e6,
-            promised,
-            meet,
-            bound,
-            shortfall
-        );
-        csv.push_str(&format!(
-            "{q},{rate:.0},{promised:.4},{meet:.4},{bound:.3},{shortfall:.3}\n"
-        ));
+    let out = run_sweep(&sweep, &EngineOpts::default());
+    for block in blocks_for(sweep.name, &out.results) {
+        println!("{}", block.body);
     }
-    iqpaths_bench::write_artifact("validation.csv", &csv);
+    if let Some((name, contents)) = csv_for(sweep.name, &out.results) {
+        iqpaths_bench::write_artifact(&name, &contents);
+    }
+    println!(
+        "({} run, {} cached, {:.2} s wall)",
+        out.executed, out.cached, out.wall_secs
+    );
     println!("\nexpected: measured meet ≥ lemma1_prob − noise; measured shortfall ≤ lemma2 bound.");
 }

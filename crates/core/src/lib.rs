@@ -24,8 +24,22 @@
 //!   baseline schedulers.
 //! * [`traits`] — the [`traits::MultipathScheduler`] interface
 //!   implemented by PGOS and by every baseline in `iqpaths-baselines`.
+//!
+//! ## Paper artifact → code map
+//!
+//! | paper artifact | where it lives |
+//! |---|---|
+//! | Lemma 1 (service probability) | [`guarantee::lemma1_probability`], [`guarantee::prob_of_service`] |
+//! | Lemma 2 (violation bound) | [`guarantee::lemma2_expected_misses`] |
+//! | Theorem 1 (admission ⇒ guarantees) | [`guarantee`] feasibility + [`mapping::ResourceMapper`] |
+//! | Table 1 (packet precedence) | [`precedence`] |
+//! | §5.2.2 resource mapping | [`mapping`] |
+//! | §5.2.3 scheduling vectors VP/VS | [`vectors`] |
+//! | §5.2.3 fast path + blocked-path backoff | [`scheduler::Pgos`] |
+//!
+//! (Figure 4's predictors are in `iqpaths-stats`; see that crate's map.)
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod guarantee;

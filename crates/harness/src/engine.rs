@@ -1,0 +1,115 @@
+//! The parallel sweep engine.
+//!
+//! [`run_sweep`] expands a [`SweepSpec`] into cells, partitions them
+//! into cache hits and misses, executes the misses rayon-parallel, and
+//! reassembles everything in expansion order. Because each cell is a
+//! pure function of its spec (see [`crate::runner::run_cell`]), the
+//! result vector is byte-identical whether the engine runs on one
+//! thread or sixteen, with a cold or warm cache — the determinism
+//! suite in `tests/determinism.rs` pins exactly that.
+
+use rayon::prelude::*;
+use rayon::ThreadPoolBuilder;
+use std::time::Instant;
+
+use crate::cache::Cache;
+use crate::cell::{CellResult, CellSpec};
+use crate::runner::run_cell;
+use crate::sweeps::SweepSpec;
+
+/// Engine options.
+#[derive(Debug, Clone)]
+pub struct EngineOpts {
+    /// Worker threads; `None` = rayon's default (one per core).
+    pub threads: Option<usize>,
+    /// Read/write the on-disk result cache.
+    pub use_cache: bool,
+    /// Print per-cell progress lines to stderr.
+    pub verbose: bool,
+}
+
+impl Default for EngineOpts {
+    fn default() -> Self {
+        Self {
+            threads: None,
+            use_cache: true,
+            verbose: false,
+        }
+    }
+}
+
+/// Outcome of one sweep run.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// Sweep name.
+    pub name: &'static str,
+    /// One result per cell, in expansion order.
+    pub results: Vec<CellResult>,
+    /// Wall-clock seconds spent in the engine (includes cache I/O).
+    pub wall_secs: f64,
+    /// Cells actually executed this run.
+    pub executed: usize,
+    /// Cells served from the cache.
+    pub cached: usize,
+}
+
+/// Runs every cell of `sweep` and returns the results in expansion
+/// order.
+pub fn run_sweep(sweep: &SweepSpec, opts: &EngineOpts) -> SweepOutcome {
+    let started = Instant::now();
+    let cells = sweep.expand();
+    let cache = opts.use_cache.then(Cache::new);
+
+    // Partition into hits (position, result) and misses (position, spec).
+    let mut hits: Vec<(usize, CellResult)> = Vec::new();
+    let mut misses: Vec<(usize, CellSpec)> = Vec::new();
+    for (i, cell) in cells.into_iter().enumerate() {
+        match cache.as_ref().and_then(|c| c.get(&cell)) {
+            Some(result) => hits.push((i, result)),
+            None => misses.push((i, cell)),
+        }
+    }
+    let (cached, executed) = (hits.len(), misses.len());
+
+    let run_all = |misses: Vec<(usize, CellSpec)>| -> Vec<(usize, CellResult)> {
+        misses
+            .into_par_iter()
+            .map(|(i, spec)| {
+                if opts.verbose {
+                    eprintln!("  [run] {}", spec.id());
+                }
+                let result = run_cell(&spec);
+                if let Some(c) = &cache {
+                    c.put(&spec, &result);
+                }
+                (i, result)
+            })
+            .collect()
+    };
+    let mut fresh = match opts.threads {
+        Some(n) => ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .expect("thread pool")
+            .install(|| run_all(misses)),
+        None => run_all(misses),
+    };
+
+    let mut slots: Vec<(usize, CellResult)> = hits;
+    slots.append(&mut fresh);
+    slots.sort_by_key(|&(i, _)| i);
+    SweepOutcome {
+        name: sweep.name,
+        results: slots.into_iter().map(|(_, r)| r).collect(),
+        wall_secs: started.elapsed().as_secs_f64(),
+        executed,
+        cached,
+    }
+}
+
+/// Runs one cell in isolation, bypassing the cache — the "fresh
+/// process" arm of the determinism suite and the `harness cell`
+/// debugging subcommand.
+pub fn run_isolated(spec: &CellSpec) -> CellResult {
+    run_cell(spec)
+}

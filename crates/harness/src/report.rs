@@ -1,0 +1,442 @@
+//! Report generation: sweep results → markdown tables, generated
+//! blocks in `EXPERIMENTS.md`, and CSV artifacts.
+//!
+//! `EXPERIMENTS.md` owns the prose; the numbers live inside marked
+//! regions:
+//!
+//! ```text
+//! <!-- BEGIN GENERATED: fault_sweep -->
+//! | scenario | mode | ... |
+//! <!-- END GENERATED: fault_sweep -->
+//! ```
+//!
+//! [`patch_blocks`] replaces each region's body with freshly rendered
+//! tables; [`check_blocks`] verifies the committed regions match what
+//! the current code + sweeps produce (the `harness report --check` CI
+//! gate). Everything rendered here is a deterministic function of the
+//! sweep results, which are themselves deterministic per spec — so a
+//! drifting block means the code changed behaviour without the tables
+//! being regenerated.
+
+use std::collections::BTreeMap;
+
+use crate::cell::CellResult;
+
+/// One named generated region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Marker name (`fault_sweep`, `fig04`, …).
+    pub name: String,
+    /// Markdown body between the markers (no marker lines).
+    pub body: String,
+}
+
+fn begin_marker(name: &str) -> String {
+    format!("<!-- BEGIN GENERATED: {name} -->")
+}
+
+fn end_marker(name: &str) -> String {
+    format!("<!-- END GENERATED: {name} -->")
+}
+
+/// Replaces each block's region in `doc`. Returns the patched document
+/// and the names whose markers were not found (left for the caller to
+/// report).
+pub fn patch_blocks(doc: &str, blocks: &[Block]) -> (String, Vec<String>) {
+    let mut out = doc.to_string();
+    let mut missing = Vec::new();
+    for b in blocks {
+        let (begin, end) = (begin_marker(&b.name), end_marker(&b.name));
+        let Some(start) = out.find(&begin) else {
+            missing.push(b.name.clone());
+            continue;
+        };
+        let body_start = start + begin.len();
+        let Some(rel_end) = out[body_start..].find(&end) else {
+            missing.push(b.name.clone());
+            continue;
+        };
+        let body_end = body_start + rel_end;
+        out.replace_range(body_start..body_end, &format!("\n{}", b.body));
+    }
+    (out, missing)
+}
+
+/// Compares each block against the committed region. Returns one
+/// message per drifting or missing block; empty means clean.
+pub fn check_blocks(doc: &str, blocks: &[Block]) -> Vec<String> {
+    let mut problems = Vec::new();
+    for b in blocks {
+        let (begin, end) = (begin_marker(&b.name), end_marker(&b.name));
+        let committed = doc.find(&begin).and_then(|start| {
+            let body_start = start + begin.len();
+            doc[body_start..]
+                .find(&end)
+                .map(|rel| &doc[body_start..body_start + rel])
+        });
+        match committed {
+            None => problems.push(format!("block `{}`: markers not found", b.name)),
+            Some(committed) if committed.trim() != b.body.trim() => {
+                problems.push(format!(
+                    "block `{}`: committed table drifts from regenerated output \
+                     (run `harness report` to refresh)",
+                    b.name
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    problems
+}
+
+/// Renders the generated blocks for one sweep's results. Unknown sweep
+/// names produce no blocks.
+pub fn blocks_for(sweep: &str, results: &[CellResult]) -> Vec<Block> {
+    match sweep {
+        "fig04_prediction" => vec![Block {
+            name: "fig04".into(),
+            body: fig04_table(results),
+        }],
+        "validation" => vec![Block {
+            name: "validation".into(),
+            body: validation_table(results),
+        }],
+        "seed_sweep" => vec![Block {
+            name: "seed_sweep".into(),
+            body: seed_sweep_table(results),
+        }],
+        "fault_sweep" => vec![Block {
+            name: "fault_sweep".into(),
+            body: conformance_table(results),
+        }],
+        "smoke" => vec![Block {
+            name: "smoke".into(),
+            body: conformance_table(results),
+        }],
+        "ablations" => vec![
+            Block {
+                name: "ablations".into(),
+                body: ablations_table(results),
+            },
+            Block {
+                name: "ablations-buffer".into(),
+                body: buffer_table(results),
+            },
+        ],
+        _ => Vec::new(),
+    }
+}
+
+/// Renders the CSV artifact for one sweep (name, contents), if the
+/// sweep has one.
+pub fn csv_for(sweep: &str, results: &[CellResult]) -> Option<(String, String)> {
+    match sweep {
+        "fig04_prediction" => Some(("fig04_prediction.csv".into(), fig04_csv(results))),
+        "validation" => Some(("validation.csv".into(), validation_csv(results))),
+        "seed_sweep" => Some(("seed_sweep.csv".into(), seed_sweep_csv(results))),
+        "ablations" => Some(("ablations.csv".into(), ablations_csv(results))),
+        "fault_sweep" => Some(("fault_sweep.md".into(), fault_sweep_artifact(results))),
+        _ => None,
+    }
+}
+
+fn get(r: &CellResult, name: &str) -> f64 {
+    r.get(name).unwrap_or(f64::NAN)
+}
+
+fn fig04_table(results: &[CellResult]) -> String {
+    let mut out = String::from(
+        "| window (s) | MA err | SMA err | EWMA err | AR1 err | HOLT err | SMED err | percentile failure |\n\
+         |---|---|---|---|---|---|---|---|\n",
+    );
+    for r in results {
+        out.push_str(&format!(
+            "| {} | {:.3} | {:.3} | {:.3} | {:.3} | {:.3} | {:.3} | **{:.3}** |\n",
+            r.label.trim_start_matches("w=").trim_end_matches('s'),
+            get(r, "ma_err"),
+            get(r, "sma_err"),
+            get(r, "ewma_err"),
+            get(r, "ar1_err"),
+            get(r, "holt_err"),
+            get(r, "smed_err"),
+            get(r, "percentile_failure_rate"),
+        ));
+    }
+    out
+}
+
+fn fig04_csv(results: &[CellResult]) -> String {
+    let mut csv = String::from(
+        "window_s,ma_err,sma_err,ewma_err,ar1_err,holt_err,smed_err,mean_err,percentile_failure_rate\n",
+    );
+    for r in results {
+        csv.push_str(&format!(
+            "{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.5}\n",
+            r.label.trim_start_matches("w=").trim_end_matches('s'),
+            get(r, "ma_err"),
+            get(r, "sma_err"),
+            get(r, "ewma_err"),
+            get(r, "ar1_err"),
+            get(r, "holt_err"),
+            get(r, "smed_err"),
+            get(r, "mean_err"),
+            get(r, "percentile_failure_rate"),
+        ));
+    }
+    csv
+}
+
+fn validation_table(results: &[CellResult]) -> String {
+    let mut out = String::from(
+        "| demand (Mbps) | demand quantile | Lemma 1 prob | measured meet | Lemma 2 E[Z] | measured E[Z] |\n\
+         |---|---|---|---|---|---|\n",
+    );
+    for r in results {
+        out.push_str(&format!(
+            "| {:.1} | {:.2} | {:.3} | {:.3} | {:.2} | {:.2} |\n",
+            get(r, "rate_bps") / 1e6,
+            get(r, "demand_quantile"),
+            get(r, "lemma1_prob"),
+            get(r, "measured_meet"),
+            get(r, "lemma2_bound"),
+            get(r, "measured_shortfall"),
+        ));
+    }
+    out
+}
+
+fn validation_csv(results: &[CellResult]) -> String {
+    let mut csv = String::from(
+        "demand_quantile,rate_bps,lemma1_prob,measured_meet,lemma2_bound,measured_shortfall\n",
+    );
+    for r in results {
+        csv.push_str(&format!(
+            "{},{:.0},{:.4},{:.4},{:.3},{:.3}\n",
+            get(r, "demand_quantile"),
+            get(r, "rate_bps"),
+            get(r, "lemma1_prob"),
+            get(r, "measured_meet"),
+            get(r, "lemma2_bound"),
+            get(r, "measured_shortfall"),
+        ));
+    }
+    csv
+}
+
+fn seed_sweep_table(results: &[CellResult]) -> String {
+    // Group by scheduler label, preserving first-seen order.
+    let mut order: Vec<&str> = Vec::new();
+    let mut by_sched: BTreeMap<&str, Vec<&CellResult>> = BTreeMap::new();
+    for r in results {
+        if !order.contains(&r.label.as_str()) {
+            order.push(&r.label);
+        }
+        by_sched.entry(&r.label).or_default().push(r);
+    }
+    let mut out =
+        String::from("| scheduler | mean min-meet | sd | worst seed |\n|---|---|---|---|\n");
+    for sched in order {
+        let rows = &by_sched[sched];
+        let meets: Vec<f64> = rows.iter().map(|r| get(r, "min_meet_fraction")).collect();
+        let worst = rows
+            .iter()
+            .min_by(|a, b| {
+                get(a, "min_meet_fraction")
+                    .partial_cmp(&get(b, "min_meet_fraction"))
+                    .expect("finite meets")
+            })
+            .expect("non-empty scheduler group");
+        out.push_str(&format!(
+            "| {} | {:.3} | {:.3} | {:.3} (seed {}) |\n",
+            sched,
+            iqpaths_stats::metrics::mean(&meets),
+            iqpaths_stats::metrics::stddev(&meets),
+            get(worst, "min_meet_fraction"),
+            worst.seed,
+        ));
+    }
+    out
+}
+
+fn seed_sweep_csv(results: &[CellResult]) -> String {
+    let mut csv = String::from("scheduler,seed,min_meet_fraction,max_jitter_ms\n");
+    for r in results {
+        csv.push_str(&format!(
+            "{},{},{:.4},{:.3}\n",
+            r.label,
+            r.seed,
+            get(r, "min_meet_fraction"),
+            get(r, "max_jitter_ms"),
+        ));
+    }
+    csv
+}
+
+fn blocked_per_path(r: &CellResult) -> String {
+    let mut parts = Vec::new();
+    for j in 0..16 {
+        match r.get(&format!("path{j}.blocked")) {
+            Some(v) => parts.push(format!("{}", v as u64)),
+            None => break,
+        }
+    }
+    parts.join("/")
+}
+
+/// The Lemma 1/2 conformance table (fault_sweep and smoke share it).
+fn conformance_table(results: &[CellResult]) -> String {
+    let mut out = String::from(
+        "| seed | scenario | mode | p̂ (lemma1) | ε₁ | misses/win (lemma2) | ε₂ | windows | blocked/path | verdict |\n\
+         |---|---|---|---|---|---|---|---|---|---|\n",
+    );
+    for r in results {
+        let (mode, scenario) = r.label.split_once('/').unwrap_or((r.label.as_str(), ""));
+        out.push_str(&format!(
+            "| {} | {} | {} | {:.3} | {:.3} | {:.3} | {:.3} | {} | {} | {} |\n",
+            r.seed,
+            scenario,
+            mode,
+            get(r, "lemma1.observed"),
+            get(r, "lemma1.epsilon"),
+            get(r, "lemma2.observed"),
+            get(r, "lemma2.epsilon"),
+            get(r, "lemma1.windows") as u64,
+            blocked_per_path(r),
+            if r.all_pass() { "pass" } else { "**FAIL**" },
+        ));
+    }
+    out
+}
+
+fn fault_sweep_artifact(results: &[CellResult]) -> String {
+    let mut out = String::from("# fault_sweep — engine-generated\n\n## Lemma conformance\n\n");
+    out.push_str(&conformance_table(results));
+    out.push_str(
+        "\n## Run counters\n\n| scenario | mode | upcalls | events |\n|---|---|---|---|\n",
+    );
+    for r in results {
+        let (mode, scenario) = r.label.split_once('/').unwrap_or((r.label.as_str(), ""));
+        out.push_str(&format!(
+            "| {} | {} | {} | {} |\n",
+            scenario,
+            mode,
+            get(r, "upcalls") as u64,
+            get(r, "events") as u64,
+        ));
+    }
+    out
+}
+
+fn ablations_table(results: &[CellResult]) -> String {
+    let mut out = String::from(
+        "| study | setting | min meet | min ratio95 | jitter (ms) |\n|---|---|---|---|---|\n",
+    );
+    for r in results {
+        if r.group == "abl-buffer" {
+            continue;
+        }
+        let jitter = match r.get("max_jitter_ms") {
+            Some(j) => format!("{j:.2}"),
+            None => "—".to_string(),
+        };
+        out.push_str(&format!(
+            "| {} | {} | {:.3} | {:.3} | {} |\n",
+            r.group,
+            r.label,
+            get(r, "min_meet_fraction"),
+            get(r, "min_ratio95"),
+            jitter,
+        ));
+    }
+    out
+}
+
+fn buffer_table(results: &[CellResult]) -> String {
+    let mut out = String::from(
+        "| scheduler | startup Atom (ms) | startup Bond1 (ms) | buffer Atom (kB) | buffer Bond1 (kB) |\n\
+         |---|---|---|---|---|\n",
+    );
+    for r in results.iter().filter(|r| r.group == "abl-buffer") {
+        out.push_str(&format!(
+            "| {} | {:.1} | {:.1} | {:.1} | {:.1} |\n",
+            r.label,
+            get(r, "startup_atom_s") * 1e3,
+            get(r, "startup_bond1_s") * 1e3,
+            get(r, "buffer_atom_bytes") / 1e3,
+            get(r, "buffer_bond1_bytes") / 1e3,
+        ));
+    }
+    out
+}
+
+fn ablations_csv(results: &[CellResult]) -> String {
+    let mut csv = String::from("ablation,setting,min_meet_fraction,min_ratio95,max_jitter_ms\n");
+    for r in results {
+        if r.group == "abl-buffer" {
+            csv.push_str(&format!(
+                "buffer,{},{:.4},{:.4},{:.3}\n",
+                r.label,
+                get(r, "startup_atom_s"),
+                get(r, "startup_bond1_s"),
+                get(r, "buffer_bond1_bytes"),
+            ));
+        } else {
+            csv.push_str(&format!(
+                "{},{},{:.4},{:.4},{:.3}\n",
+                r.group.trim_start_matches("abl-"),
+                r.label,
+                get(r, "min_meet_fraction"),
+                get(r, "min_ratio95"),
+                r.get("max_jitter_ms").unwrap_or(0.0),
+            ));
+        }
+    }
+    csv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(name: &str, body: &str) -> Block {
+        Block {
+            name: name.into(),
+            body: body.into(),
+        }
+    }
+
+    const DOC: &str = "# Title\n\nprose before\n\n\
+        <!-- BEGIN GENERATED: t1 -->\nold table\n<!-- END GENERATED: t1 -->\n\n\
+        prose after\n";
+
+    #[test]
+    fn patch_replaces_only_the_region() {
+        let (patched, missing) = patch_blocks(DOC, &[block("t1", "| a |\n| 1 |\n")]);
+        assert!(missing.is_empty());
+        assert!(patched.contains("prose before"));
+        assert!(patched.contains("prose after"));
+        assert!(patched.contains("| a |\n| 1 |"));
+        assert!(!patched.contains("old table"));
+        // Patching is idempotent.
+        let (again, _) = patch_blocks(&patched, &[block("t1", "| a |\n| 1 |\n")]);
+        assert_eq!(again, patched);
+    }
+
+    #[test]
+    fn check_flags_drift_and_missing_markers() {
+        assert!(check_blocks(DOC, &[block("t1", "old table")]).is_empty());
+        let drift = check_blocks(DOC, &[block("t1", "new table")]);
+        assert_eq!(drift.len(), 1);
+        assert!(drift[0].contains("drifts"));
+        let missing = check_blocks(DOC, &[block("nope", "x")]);
+        assert_eq!(missing.len(), 1);
+        assert!(missing[0].contains("not found"));
+    }
+
+    #[test]
+    fn patched_doc_passes_check() {
+        let b = [block("t1", "| fresh |\n")];
+        let (patched, _) = patch_blocks(DOC, &b);
+        assert!(check_blocks(&patched, &b).is_empty());
+    }
+}

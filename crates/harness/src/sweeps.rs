@@ -1,0 +1,365 @@
+//! Declarative sweep definitions: the experiment matrix of the
+//! reproduction, expressed as data.
+//!
+//! A [`SweepSpec`] is `templates × seeds`: each template is one
+//! `(group, label, kind)` setting, each axis seed replicates the whole
+//! template set, and [`SweepSpec::expand`] flattens the product into
+//! independent [`CellSpec`]s for the engine. The definitions below
+//! mirror the five `iqpaths-bench` binaries (which are now thin
+//! wrappers over these sweeps) plus a `smoke` mini-matrix for CI.
+
+use iqpaths_middleware::knobs::{cdf_mode_name, scheduler_name, ExperimentKnobs};
+use iqpaths_middleware::SchedulerKind;
+use iqpaths_overlay::node::CdfMode;
+use iqpaths_testkit::{mode_name, sweep_modes, FaultScenario};
+
+use crate::cell::{CellKind, CellSpec};
+
+/// One sweep setting, replicated across the seed axis.
+#[derive(Debug, Clone)]
+pub struct CellTemplate {
+    /// Study group within the sweep (may be empty).
+    pub group: String,
+    /// Setting label for report rows.
+    pub label: String,
+    /// What the cell runs.
+    pub kind: CellKind,
+    /// Duration override for this template (else the sweep default).
+    pub duration: Option<f64>,
+}
+
+impl CellTemplate {
+    fn new(group: &str, label: &str, kind: CellKind) -> Self {
+        Self {
+            group: group.to_string(),
+            label: label.to_string(),
+            kind,
+            duration: None,
+        }
+    }
+}
+
+/// A declarative experiment matrix.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Sweep name (`fault_sweep`, `seed_sweep`, …).
+    pub name: &'static str,
+    /// One-line description for `harness list`.
+    pub about: &'static str,
+    /// Default measured duration per cell in seconds.
+    pub duration: f64,
+    /// Axis seeds (each replicates every template).
+    pub seeds: Vec<u64>,
+    /// The settings.
+    pub templates: Vec<CellTemplate>,
+}
+
+impl SweepSpec {
+    /// Flattens `templates × seeds` into independent cells, template-
+    /// major (all seeds of a template are adjacent, matching report
+    /// grouping).
+    pub fn expand(&self) -> Vec<CellSpec> {
+        let mut cells = Vec::with_capacity(self.templates.len() * self.seeds.len());
+        for t in &self.templates {
+            for &seed in &self.seeds {
+                cells.push(CellSpec {
+                    sweep: self.name.to_string(),
+                    group: t.group.clone(),
+                    label: t.label.clone(),
+                    seed,
+                    duration: t.duration.unwrap_or(self.duration),
+                    kind: t.kind.clone(),
+                });
+            }
+        }
+        cells
+    }
+}
+
+fn conformance_template(group: &str, mode: CdfMode, scenario: FaultScenario) -> CellTemplate {
+    CellTemplate::new(
+        group,
+        &format!("{}/{}", mode_name(mode), scenario.name()),
+        CellKind::Conformance {
+            mode: cdf_mode_name(mode),
+            scenario: scenario.name().to_string(),
+        },
+    )
+}
+
+fn smartpointer_template(
+    group: &str,
+    label: &str,
+    sched: SchedulerKind,
+    knobs: ExperimentKnobs,
+) -> CellTemplate {
+    CellTemplate::new(
+        group,
+        label,
+        CellKind::SmartPointer {
+            scheduler: scheduler_name(sched).to_string(),
+            knobs,
+            bond2_mbps: None,
+            quantize_bytes: None,
+        },
+    )
+}
+
+/// `{Exact, Rolling, Sketch} × {no-fault, flap, blackout, churn}`
+/// guarantee conformance (the `fault_sweep` binary).
+pub fn fault_sweep(seed: u64, duration: f64) -> SweepSpec {
+    let duration = duration.clamp(60.0, 120.0);
+    let mut templates = Vec::new();
+    for mode in sweep_modes() {
+        for scenario in FaultScenario::ALL {
+            templates.push(conformance_template("", mode, scenario));
+        }
+    }
+    SweepSpec {
+        name: "fault_sweep",
+        about: "guarantee conformance across CDF backends x fault scenarios",
+        duration,
+        seeds: vec![seed],
+        templates,
+    }
+}
+
+/// Figure 11 headline comparison across ten cross-traffic seeds (the
+/// `seed_sweep` binary).
+pub fn seed_sweep(duration: f64) -> SweepSpec {
+    let schedulers = [
+        SchedulerKind::Msfq,
+        SchedulerKind::Pgos,
+        SchedulerKind::OptSched,
+    ];
+    SweepSpec {
+        name: "seed_sweep",
+        about: "SmartPointer critical-stream guarantees across 10 seeds x 3 schedulers",
+        duration: duration.min(60.0),
+        seeds: (1..=10).collect(),
+        templates: schedulers
+            .into_iter()
+            .map(|s| smartpointer_template("", scheduler_name(s), s, ExperimentKnobs::none()))
+            .collect(),
+    }
+}
+
+/// The DESIGN.md §6 ablation studies (the `ablations` binary).
+pub fn ablations(seed: u64, duration: f64) -> SweepSpec {
+    let mut templates = Vec::new();
+    for w in [0.25, 0.5, 1.0, 2.0, 4.0] {
+        templates.push(smartpointer_template(
+            "abl-window",
+            &format!("tw={w}"),
+            SchedulerKind::Pgos,
+            ExperimentKnobs {
+                window_secs: Some(w),
+                ..ExperimentKnobs::none()
+            },
+        ));
+    }
+    for ks in [0.0, 0.1, 0.2, 0.4, 1.0] {
+        templates.push(smartpointer_template(
+            "abl-remap",
+            &format!("ks={ks}"),
+            SchedulerKind::Pgos,
+            ExperimentKnobs {
+                remap_ks: Some(ks),
+                ..ExperimentKnobs::none()
+            },
+        ));
+    }
+    for noise in [0.0, 0.05, 0.1, 0.2, 0.3] {
+        templates.push(smartpointer_template(
+            "abl-noise",
+            &format!("noise={noise}"),
+            SchedulerKind::Pgos,
+            ExperimentKnobs {
+                probe_noise: Some(noise),
+                ..ExperimentKnobs::none()
+            },
+        ));
+    }
+    for load in [40.0, 55.0, 70.0, 85.0] {
+        for sched in [SchedulerKind::Pgos, SchedulerKind::Msfq] {
+            let mut t = smartpointer_template(
+                "abl-load",
+                &format!("bond2={load}M/{}", scheduler_name(sched)),
+                sched,
+                ExperimentKnobs::none(),
+            );
+            if let CellKind::SmartPointer { bond2_mbps, .. } = &mut t.kind {
+                *bond2_mbps = Some(load);
+            }
+            templates.push(t);
+        }
+    }
+    for mode in [
+        CdfMode::Exact,
+        CdfMode::Histogram {
+            bins: 512,
+            resolution: 200,
+            max_bw: iqpaths_traces::EMULAB_LINK_CAPACITY,
+        },
+        CdfMode::Rolling,
+        CdfMode::Sketch { markers: 33 },
+    ] {
+        templates.push(smartpointer_template(
+            "abl-hist",
+            &cdf_mode_name(mode),
+            SchedulerKind::Pgos,
+            ExperimentKnobs {
+                cdf_mode: Some(mode),
+                ..ExperimentKnobs::none()
+            },
+        ));
+    }
+    for sched in [SchedulerKind::Msfq, SchedulerKind::Pgos] {
+        templates.push(smartpointer_template(
+            "abl-buffer",
+            scheduler_name(sched),
+            sched,
+            ExperimentKnobs::none(),
+        ));
+    }
+    // Fluid vs packet-quantized cross traffic (DESIGN.md §2).
+    templates.push(smartpointer_template(
+        "abl-fluid",
+        "fluid",
+        SchedulerKind::Pgos,
+        ExperimentKnobs::none(),
+    ));
+    let mut quantized = smartpointer_template(
+        "abl-fluid",
+        "quantized-1500B",
+        SchedulerKind::Pgos,
+        ExperimentKnobs::none(),
+    );
+    if let CellKind::SmartPointer { quantize_bytes, .. } = &mut quantized.kind {
+        *quantize_bytes = Some(1500.0);
+    }
+    templates.push(quantized);
+
+    SweepSpec {
+        name: "ablations",
+        about: "DESIGN.md \u{a7}6 ablations: window, remap, noise, load, CDF, buffer, fluid",
+        duration,
+        seeds: vec![seed],
+        templates,
+    }
+}
+
+/// Lemma 1/2 promise-vs-measurement validation across demand levels
+/// (the `validation` binary).
+pub fn validation(seed: u64, duration: f64) -> SweepSpec {
+    SweepSpec {
+        name: "validation",
+        about: "Lemma 1/2 promises from the truth CDF vs measured service",
+        duration,
+        seeds: vec![seed],
+        templates: [55u32, 70, 85, 95, 105]
+            .into_iter()
+            .map(|pct| {
+                CellTemplate::new(
+                    "",
+                    &format!("demand={pct}%"),
+                    CellKind::Validation { demand_pct: pct },
+                )
+            })
+            .collect(),
+    }
+}
+
+/// Figure 4 predictor comparison across measurement windows (the
+/// `fig04_prediction` binary). The duration is the trace horizon.
+pub fn fig04_prediction(seed: u64) -> SweepSpec {
+    SweepSpec {
+        name: "fig04_prediction",
+        about: "Figure 4: mean-predictor error vs percentile failure rate",
+        duration: 20_000.0,
+        seeds: vec![seed],
+        templates: (1..=10u32)
+            .map(|k| {
+                CellTemplate::new(
+                    "",
+                    &format!("w={:.1}s", 0.1 * f64::from(k)),
+                    CellKind::Prediction { window_ds: k },
+                )
+            })
+            .collect(),
+    }
+}
+
+/// CI mini-matrix: two seeds, two scenarios, all three sweep CDF
+/// backends, at the shortest duration the fault scenarios allow —
+/// enough to exercise the full engine path in minutes.
+pub fn smoke() -> SweepSpec {
+    let mut templates = Vec::new();
+    for mode in sweep_modes() {
+        for scenario in [FaultScenario::NoFault, FaultScenario::Blackout] {
+            templates.push(conformance_template("", mode, scenario));
+        }
+    }
+    SweepSpec {
+        name: "smoke",
+        about: "CI mini-matrix: 3 CDF backends x 2 scenarios x 2 seeds, short runs",
+        duration: 48.0,
+        seeds: vec![7, 8],
+        templates,
+    }
+}
+
+/// Every defined sweep, report order. `seed`/`duration` parameterize
+/// the single-seed sweeps exactly like the old `IQP_SEED`/`IQP_DURATION`
+/// env knobs (the smoke matrix and the seed-sweep axis stay fixed).
+pub fn all_sweeps(seed: u64, duration: f64) -> Vec<SweepSpec> {
+    vec![
+        fig04_prediction(seed),
+        validation(seed, duration),
+        fault_sweep(seed, duration.clamp(60.0, 120.0)),
+        seed_sweep(duration),
+        ablations(seed, duration),
+        smoke(),
+    ]
+}
+
+/// Looks a sweep up by name with the standard knobs applied.
+pub fn sweep_by_name(name: &str, seed: u64, duration: f64) -> Option<SweepSpec> {
+    all_sweeps(seed, duration)
+        .into_iter()
+        .find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_counts_match_the_matrix() {
+        assert_eq!(fault_sweep(42, 120.0).expand().len(), 12);
+        assert_eq!(seed_sweep(60.0).expand().len(), 30);
+        assert_eq!(ablations(42, 150.0).expand().len(), 31);
+        assert_eq!(validation(42, 150.0).expand().len(), 5);
+        assert_eq!(fig04_prediction(42).expand().len(), 10);
+        assert_eq!(smoke().expand().len(), 12);
+    }
+
+    #[test]
+    fn cell_ids_are_unique_within_a_sweep() {
+        for sweep in all_sweeps(42, 120.0) {
+            let mut ids: Vec<String> = sweep.expand().iter().map(CellSpec::id).collect();
+            let n = ids.len();
+            ids.sort();
+            ids.dedup();
+            assert_eq!(ids.len(), n, "duplicate cell id in {}", sweep.name);
+        }
+    }
+
+    #[test]
+    fn smoke_duration_clears_the_scenario_floor() {
+        // FaultScenario::schedule asserts span > 40 s.
+        for cell in smoke().expand() {
+            assert!(cell.duration > 40.0);
+        }
+    }
+}

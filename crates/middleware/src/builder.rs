@@ -26,7 +26,7 @@ pub enum SchedulerKind {
     /// Single-path (path A) weighted fair queuing.
     Wfq,
     /// Single-path (path A) Dynamic Window-Constrained Scheduling —
-    /// the algorithm PGOS is "inspired by" (the paper's [31]).
+    /// the algorithm PGOS is "inspired by" (the paper's ref. 31).
     Dwcs,
     /// Multi-server fair queuing across both paths.
     Msfq,

@@ -11,16 +11,21 @@
 //! * [`report`] — per-stream and per-run result records.
 //! * [`builder`] — a high-level API for standing up the Figure 8
 //!   testbed with any workload/scheduler combination.
+//! * [`knobs`] — the sparse, hashable override set a sweep cell applies
+//!   to a builder experiment (the `RunConfig`-to-cell adapter used by
+//!   `iqpaths-harness`).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod builder;
+pub mod knobs;
 pub mod multicast;
 pub mod pubsub;
 pub mod report;
 pub mod runtime;
 
 pub use builder::{Figure8Experiment, SchedulerKind};
+pub use knobs::ExperimentKnobs;
 pub use report::{RunReport, StreamReport};
 pub use runtime::{run, run_faulted, DeliveryEvent, RuntimeConfig};

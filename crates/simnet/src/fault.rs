@@ -101,6 +101,31 @@ pub struct TimedFault {
 }
 
 /// A deterministic, time-ordered fault script for one run.
+///
+/// # Examples
+///
+/// A mid-run blackout plus degraded telemetry, compiled into the
+/// step functions the runtime queries:
+///
+/// ```
+/// use iqpaths_simnet::fault::{Fault, FaultInjector, FaultSchedule};
+///
+/// let mut faults = FaultSchedule::new();
+/// faults.blackout(0, 60.0, 72.0); // path 0 fully blocked for 12 s
+/// faults.push(60.0, Fault::ProbeLoss { path: 1, prob: 0.5 });
+///
+/// // Capacity faults become a piecewise-constant factor timeline …
+/// assert_eq!(faults.capacity_timeline(0), vec![(60.0, 0.0), (72.0, 1.0)]);
+/// // … and telemetry faults a deterministic per-probe draw.
+/// let mut inj = FaultInjector::new(&faults, 2, /* run seed */ 42);
+/// assert_eq!(inj.probe_loss_at(1, 59.0), 0.0);
+/// assert_eq!(inj.probe_loss_at(1, 61.0), 0.5);
+/// // Identical seeds replay the identical loss pattern.
+/// let mut twin = FaultInjector::new(&faults, 2, 42);
+/// let a: Vec<bool> = (0..50).map(|_| inj.probe_lost(1, 61.0)).collect();
+/// let b: Vec<bool> = (0..50).map(|_| twin.probe_lost(1, 61.0)).collect();
+/// assert_eq!(a, b);
+/// ```
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct FaultSchedule {
     events: Vec<TimedFault>,
@@ -267,15 +292,23 @@ fn step_at(timeline: &[(f64, f64)], t: f64, initial: f64) -> f64 {
 
 /// splitmix64 — the deterministic per-event hash behind probe loss and
 /// reorder-burst selection.
-fn splitmix64(mut x: u64) -> u64 {
+///
+/// Public because it is the workspace's one blessed seed-derivation
+/// primitive: anything that needs "independent but reproducible"
+/// sub-seeds (the experiment harness derives one seed per sweep cell
+/// this way) salts an identifier into the input and hashes, exactly as
+/// [`FaultInjector`] salts `(seed, path, counter)`. Keeping a single
+/// discipline means a cell/run/draw is bit-identical no matter which
+/// order, thread, or process executes it.
+pub fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     x ^ (x >> 31)
 }
 
-/// Uniform `[0, 1)` value from a hash.
-fn unit(h: u64) -> f64 {
+/// Uniform `[0, 1)` value from a [`splitmix64`] hash (top 53 bits).
+pub fn unit(h: u64) -> f64 {
     (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 

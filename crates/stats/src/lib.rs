@@ -32,8 +32,18 @@
 //!
 //! All bandwidth values are plain `f64`s; experiments use bits/second but
 //! nothing in this crate assumes a unit.
+//!
+//! ## Paper artifact → code map
+//!
+//! | paper artifact | where it lives |
+//! |---|---|
+//! | Figure 4 mean-predictor error | [`predictors`] + [`percentile::evaluate_mean_prediction`] |
+//! | Figure 4 percentile failure rate | [`percentile::PercentilePredictor`], [`percentile::evaluate_percentile_prediction`] |
+//! | §4 N-sample distribution window | [`window::SampleWindow`] |
+//! | Lemma 2's truncated mean `M[b0]` | [`BandwidthCdf::truncated_mean`], exact in [`cdf::EmpiricalCdf`] |
+//! | monitoring CDF backends (DESIGN.md §7) | [`cdf`], [`histogram`], [`rolling`], [`sketch`], unified by [`summary::CdfSummary`] |
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod cdf;

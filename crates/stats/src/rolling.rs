@@ -328,6 +328,21 @@ impl BandwidthCdf for TreapCdf {
 /// are O(log N). [`RollingCdf::snapshot`] freezes the current state in
 /// O(1), so producing a per-window distribution summary no longer
 /// costs a sort.
+///
+/// ```
+/// use iqpaths_stats::{BandwidthCdf, RollingCdf};
+///
+/// let mut cdf = RollingCdf::new();
+/// for bw in [10.0, 20.0, 30.0, 40.0] {
+///     cdf.push(bw);
+/// }
+/// cdf.remove(10.0); // the window evicted the oldest sample
+///
+/// let snap = cdf.snapshot(); // O(1); queries match an exact CDF
+/// assert_eq!(snap.len(), 3);
+/// assert_eq!(snap.quantile(0.5), Some(30.0));
+/// assert_eq!(snap.prob_below(25.0), 1.0 / 3.0);
+/// ```
 #[derive(Debug, Clone)]
 pub struct RollingCdf {
     root: Link,

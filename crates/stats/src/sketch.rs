@@ -19,6 +19,21 @@
 use crate::BandwidthCdf;
 
 /// Streaming quantile sketch over `m` markers (extended P²).
+///
+/// ```
+/// use iqpaths_stats::{BandwidthCdf, QuantileSketch};
+///
+/// let mut sketch = QuantileSketch::new(33); // O(1) memory forever
+/// for i in 0..1000 {
+///     sketch.observe(f64::from(i)); // uniform on [0, 999]
+/// }
+/// assert_eq!(sketch.len(), 1000);
+///
+/// // Approximate quantiles stay close to the exact ones.
+/// let median = sketch.quantile(0.5).unwrap();
+/// assert!((median - 499.5).abs() < 25.0);
+/// assert!((sketch.prob_below(250.0) - 0.25).abs() < 0.05);
+/// ```
 #[derive(Debug, Clone)]
 pub struct QuantileSketch {
     /// Marker heights (estimated quantile values), ascending.

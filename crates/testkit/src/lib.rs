@@ -38,8 +38,8 @@ pub use invariants::{
     InvariantChecker, MappingFreshnessChecker, PrecedenceChecker, Violation,
 };
 pub use scenario::{
-    conformance_streams, mode_name, run_conformance, run_conformance_traced, sweep_modes,
-    ConformanceConfig, ConformanceReport, FaultScenario, LemmaOutcome,
+    conformance_streams, mode_by_name, mode_name, run_conformance, run_conformance_traced,
+    sweep_modes, ConformanceConfig, ConformanceReport, FaultScenario, LemmaOutcome,
 };
 pub use stats::{hoeffding_epsilon, probit, wilson_interval, BernoulliCheck, BoundedMeanCheck};
 pub use topology::TopologyGen;

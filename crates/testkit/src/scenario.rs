@@ -68,6 +68,12 @@ impl FaultScenario {
         }
     }
 
+    /// Inverse of [`FaultScenario::name`], for sweep cells that carry
+    /// the scenario as a canonical string.
+    pub fn by_name(name: &str) -> Option<FaultScenario> {
+        FaultScenario::ALL.into_iter().find(|s| s.name() == name)
+    }
+
     /// The scenario's fault script over absolute emulation time
     /// `[start, end)` (start = end of warm-up). Requires ≥ 2 paths.
     pub fn schedule(self, start: f64, end: f64) -> FaultSchedule {
@@ -233,6 +239,25 @@ pub fn sweep_modes() -> [CdfMode; 3] {
         CdfMode::Rolling,
         CdfMode::Sketch { markers: 33 },
     ]
+}
+
+/// Resolves a canonical backend name to its standard sweep
+/// configuration: `exact`, `rolling`, `sketch33` (Figure 4's 33-marker
+/// P²-style sketch), or `histogram512` (the ablation-study histogram at
+/// 512 bins over the Emulab link capacity). Inverse of
+/// `iqpaths_middleware::knobs::cdf_mode_name` over these four.
+pub fn mode_by_name(name: &str) -> Option<CdfMode> {
+    Some(match name {
+        "exact" => CdfMode::Exact,
+        "rolling" => CdfMode::Rolling,
+        "sketch33" => CdfMode::Sketch { markers: 33 },
+        "histogram512" => CdfMode::Histogram {
+            bins: 512,
+            resolution: 200,
+            max_bw: iqpaths_traces::EMULAB_LINK_CAPACITY,
+        },
+        _ => return None,
+    })
 }
 
 /// The fixed stream mix: one probabilistic (8 Mbps at p = 0.9), one

@@ -111,6 +111,21 @@ pub fn wilson_interval(successes: u64, trials: u64, confidence: f64) -> (f64, f6
 
 /// An empirical success frequency checked against a lower bound — the
 /// Lemma 1 shape: "the per-window delivery probability is at least p".
+///
+/// ```
+/// use iqpaths_testkit::BernoulliCheck;
+///
+/// // 93 of 100 windows met the guarantee; the promise was p = 0.9.
+/// let check = BernoulliCheck { successes: 93, trials: 100 };
+/// assert_eq!(check.fraction(), 0.93);
+///
+/// // At 99% confidence the Hoeffding tolerance absorbs sampling noise,
+/// // so an observation slightly below target would still pass …
+/// assert!(check.meets_at_least(0.9, 0.99));
+/// assert!(BernoulliCheck { successes: 85, trials: 100 }.meets_at_least(0.9, 0.99));
+/// // … but a gross violation of the promise fails.
+/// assert!(!BernoulliCheck { successes: 60, trials: 100 }.meets_at_least(0.9, 0.99));
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BernoulliCheck {
     /// Windows (trials) that met the guarantee.

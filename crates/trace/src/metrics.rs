@@ -240,6 +240,41 @@ impl Metrics {
             .map(|ns| ns as f64 / 1e9)
     }
 
+    /// Flat `(name, value)` export of every counter and the headline
+    /// latency quantiles — the machine-readable surface the experiment
+    /// harness folds into each sweep cell's `CellResult`. Names are
+    /// stable (`stream<i>.<counter>` / `path<j>.<counter>`) and emitted
+    /// in a deterministic order, so serialized cells can be compared
+    /// byte-for-byte across runs.
+    pub fn kv_pairs(&self) -> Vec<(String, f64)> {
+        let mut out = Vec::new();
+        for (i, s) in self.streams.iter().enumerate() {
+            out.push((format!("stream{i}.enqueued"), s.enqueued as f64));
+            out.push((format!("stream{i}.queue_dropped"), s.queue_dropped as f64));
+            out.push((format!("stream{i}.dispatched"), s.dispatched as f64));
+            out.push((format!("stream{i}.delivered"), s.delivered as f64));
+            out.push((format!("stream{i}.transit_lost"), s.transit_lost as f64));
+            out.push((
+                format!("stream{i}.deadline_misses"),
+                s.deadline_misses as f64,
+            ));
+            out.push((
+                format!("stream{i}.latency_p50_s"),
+                self.latency_quantile(i, 0.5).unwrap_or(0.0),
+            ));
+            out.push((
+                format!("stream{i}.latency_p99_s"),
+                self.latency_quantile(i, 0.99).unwrap_or(0.0),
+            ));
+        }
+        for (j, p) in self.paths.iter().enumerate() {
+            out.push((format!("path{j}.delivered"), p.delivered as f64));
+            out.push((format!("path{j}.bytes"), p.bytes as f64));
+            out.push((format!("path{j}.blocked_events"), p.blocked_events as f64));
+        }
+        out
+    }
+
     /// A human-readable per-stream metrics table.
     pub fn summary_table(&self) -> String {
         let mut out = format!(

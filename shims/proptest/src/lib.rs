@@ -106,7 +106,7 @@ pub mod strategy {
 pub mod collection {
     use super::strategy::{Strategy, TestRng};
 
-    /// Lengths accepted by [`vec`]: a `usize` range or an exact count.
+    /// Lengths accepted by [`vec()`](crate::collection::vec): a `usize` range or an exact count.
     pub trait VecLen {
         fn pick(&self, rng: &mut TestRng) -> usize;
     }

@@ -9,6 +9,7 @@
 pub use iqpaths_apps as apps;
 pub use iqpaths_baselines as baselines;
 pub use iqpaths_core as pgos;
+pub use iqpaths_harness as harness;
 pub use iqpaths_middleware as middleware;
 pub use iqpaths_overlay as overlay;
 pub use iqpaths_simnet as simnet;
@@ -23,7 +24,7 @@ pub use iqpaths_transport as transport;
 /// | §1 overlay of servers/routers/clients (Fig 1) | [`overlay::graph`], [`simnet::topology`] |
 /// | §3 middleware architecture (Fig 2) | [`middleware`] (runtime), [`transport`] (IQ-RUDP), [`middleware::pubsub`] (ECho layering) |
 /// | §3 overlay node structure (Fig 3) | [`overlay::node::MonitoringModule`] ⇄ [`pgos::scheduler::Pgos`] |
-/// | §4 statistical bandwidth prediction (Fig 4) | [`stats::percentile`], [`stats::predictors`]; harness `fig04_prediction` |
+/// | §4 statistical bandwidth prediction (Fig 4) | [`stats::percentile`], [`stats::predictors`]; sweep `fig04_prediction` ([`harness::sweeps`]) |
 /// | §5.1 streams, window constraints, `F_j(b)` | [`pgos::stream`], [`stats::cdf`] |
 /// | §5.2.1 Lemma 1 / Lemma 2 | [`pgos::guarantee`] |
 /// | §5.2.2 resource mapping, upcalls | [`pgos::mapping`] |
@@ -38,7 +39,7 @@ pub use iqpaths_transport as transport;
 /// | tech-report buffer-size analysis | `FrameTracker::startup_delay`; ablation `abl-buffer` |
 /// | §7 loss-rate objectives | `StreamSpec::with_loss_bound`, goodput-scaled CDFs in [`middleware::runtime`] |
 /// | §7 overlay multicast | [`middleware::multicast`] |
-/// | DWCS heritage ([31]) | [`baselines::dwcs`] |
+/// | DWCS heritage (the paper's ref. 31) | [`baselines::dwcs`] |
 pub mod paper_map {}
 
 /// Commonly used types for quick starts.
