@@ -4,7 +4,7 @@
 //! ```text
 //! harness list
 //! harness sweep  [--sweep NAME|all] [--threads N] [--no-cache]
-//!                [--seed S] [--duration D] [--verbose]
+//!                [--seed S] [--duration D] [--shards N] [--verbose]
 //! harness report [--sweep NAME|all] [--check] [--seed S] [--duration D]
 //! harness speedup [--threads N]
 //! ```
@@ -35,6 +35,7 @@ struct Args {
     verbose: bool,
     seed: u64,
     duration: f64,
+    shards: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -49,6 +50,7 @@ fn parse_args() -> Result<Args, String> {
         verbose: false,
         seed: DEFAULT_SEED,
         duration: DEFAULT_DURATION,
+        shards: 1,
     };
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| argv.next().ok_or_else(|| format!("{name} expects a value"));
@@ -71,6 +73,11 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--duration: {e}"))?
             }
+            "--shards" => {
+                args.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?
+            }
             "--no-cache" => args.use_cache = false,
             "--check" => args.check = true,
             "--verbose" => args.verbose = true,
@@ -81,13 +88,20 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn selected_sweeps(args: &Args) -> Result<Vec<SweepSpec>, String> {
-    if args.sweep == "all" {
-        Ok(all_sweeps(args.seed, args.duration))
+    // `--shards N` reruns the sweep on the sharded data plane; the cell
+    // identity (and therefore the cache key) carries the shard count, so
+    // serial and sharded results never alias.
+    let sweeps = if args.sweep == "all" {
+        all_sweeps(args.seed, args.duration)
     } else {
         sweep_by_name(&args.sweep, args.seed, args.duration)
             .map(|s| vec![s])
-            .ok_or_else(|| format!("unknown sweep `{}` (see `harness list`)", args.sweep))
-    }
+            .ok_or_else(|| format!("unknown sweep `{}` (see `harness list`)", args.sweep))?
+    };
+    Ok(sweeps
+        .into_iter()
+        .map(|s| s.with_shards(args.shards))
+        .collect())
 }
 
 fn experiments_md_path() -> PathBuf {
@@ -294,7 +308,7 @@ fn main() -> ExitCode {
             println!(
                 "usage: harness <list|sweep|report|speedup> \
                  [--sweep NAME|all] [--threads N] [--no-cache] [--check] \
-                 [--seed S] [--duration D] [--verbose]"
+                 [--seed S] [--duration D] [--shards N] [--verbose]"
             );
             Ok(ExitCode::SUCCESS)
         }

@@ -18,7 +18,7 @@
 //!   version, so re-runs only execute changed cells.
 
 use iqpaths_middleware::ExperimentKnobs;
-use iqpaths_simnet::fault::splitmix64;
+use iqpaths_simnet::fault::salted_seed;
 
 use crate::json::Json;
 
@@ -115,27 +115,32 @@ pub struct CellSpec {
     pub seed: u64,
     /// Measured duration in seconds.
     pub duration: f64,
+    /// Data-plane shard count (1 = the classic serial runtime).
+    /// Participates in the cell identity — and therefore the cache
+    /// key — only when ≠ 1, and never in the derived seed, so a
+    /// sharded run replays exactly the same experiment as its serial
+    /// twin and the two results stay comparable.
+    pub shards: usize,
     /// Experiment kind + parameters.
     pub kind: CellKind,
 }
 
 /// FNV-1a 64-bit — the identity-to-salt hash behind cell seeds and
-/// cache keys.
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+/// cache keys (re-exported from the workspace's single seed-derivation
+/// home, `iqpaths_simnet::fault`).
+pub use iqpaths_simnet::fault::fnv1a64;
 
 impl CellSpec {
     /// Stable identity: `sweep/group/label` plus everything that
     /// distinguishes the run.
     pub fn id(&self) -> String {
+        let shards = if self.shards == 1 {
+            String::new()
+        } else {
+            format!(",sh{}", self.shards)
+        };
         format!(
-            "{}/{}/{}@s{},d{},{}",
+            "{}/{}/{}@s{},d{}{shards},{}",
             self.sweep,
             self.group,
             self.label,
@@ -151,7 +156,7 @@ impl CellSpec {
     /// the same cell always gets the same seed, no matter where or in
     /// what order it runs.
     pub fn cell_seed(&self) -> u64 {
-        splitmix64(self.seed ^ fnv1a64(self.kind.canon().as_bytes()))
+        salted_seed(self.seed, &self.kind.canon())
     }
 
     /// A seed shared by every cell of the same axis seed that names the
@@ -163,7 +168,7 @@ impl CellSpec {
     /// name instead of the full cell identity; still never the raw
     /// axis seed.
     pub fn family_seed(&self, salt: &str) -> u64 {
-        splitmix64(self.seed ^ fnv1a64(salt.as_bytes()))
+        salted_seed(self.seed, salt)
     }
 }
 
@@ -329,6 +334,7 @@ mod tests {
             label: "exact/blackout".into(),
             seed: 42,
             duration: 120.0,
+            shards: 1,
             kind: CellKind::Conformance {
                 mode: "exact".into(),
                 scenario: "blackout".into(),
@@ -346,12 +352,28 @@ mod tests {
         // Pinned derivation: axis seed ^ fnv(kind canon) through
         // splitmix64. A change here silently invalidates every recorded
         // experiment — keep it locked.
+        use iqpaths_simnet::fault::splitmix64;
         let salt = fnv1a64(b"conformance:mode=exact,scenario=blackout");
         assert_eq!(s.cell_seed(), splitmix64(42 ^ salt));
         // Different axis seeds and kinds decorrelate.
         let mut other = spec();
         other.seed = 43;
         assert_ne!(other.cell_seed(), s.cell_seed());
+    }
+
+    #[test]
+    fn shards_rename_the_cell_but_keep_its_seed() {
+        // shards ≠ 1 gets its own identity (distinct cache entry) while
+        // replaying the same derived seed — that's what makes serial
+        // and sharded results comparable cell-for-cell.
+        let mut s = spec();
+        s.shards = 4;
+        assert_eq!(
+            s.id(),
+            "fault_sweep//exact/blackout@s42,d120,sh4,conformance:mode=exact,scenario=blackout"
+        );
+        assert_eq!(s.cell_seed(), spec().cell_seed());
+        assert_ne!(s.id(), spec().id());
     }
 
     #[test]

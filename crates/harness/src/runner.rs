@@ -18,7 +18,9 @@ use iqpaths_core::scheduler::{Pgos, PgosConfig};
 use iqpaths_core::stream::StreamSpec;
 use iqpaths_middleware::knobs::scheduler_by_name;
 use iqpaths_middleware::runtime::{run, RuntimeConfig};
+use iqpaths_middleware::sharded::run_sharded;
 use iqpaths_overlay::path::OverlayPath;
+use iqpaths_simnet::fault::FaultSchedule;
 use iqpaths_simnet::link::{quantize_cross, Link};
 use iqpaths_simnet::time::SimDuration;
 use iqpaths_simnet::topology::{emulab_testbed, PATH_A_ROUTE, PATH_B_ROUTE};
@@ -26,6 +28,7 @@ use iqpaths_stats::percentile::{evaluate_mean_prediction, evaluate_percentile_pr
 use iqpaths_stats::predictors::extended_suite;
 use iqpaths_stats::{BandwidthCdf, EmpiricalCdf};
 use iqpaths_testkit::{mode_by_name, run_conformance, ConformanceConfig, FaultScenario};
+use iqpaths_trace::TraceHandle;
 use iqpaths_traces::envelope::{available_bandwidth, EnvelopeConfig};
 use iqpaths_traces::RateTrace;
 
@@ -65,6 +68,7 @@ fn run_conformance_cell(spec: &CellSpec, mode: &str, scenario: &str, res: &mut C
         FaultScenario::by_name(scenario).unwrap_or_else(|| panic!("unknown scenario `{scenario}`"));
     let mut cfg = ConformanceConfig::new(spec.cell_seed(), mode, scenario);
     cfg.duration = spec.duration;
+    cfg.shards = spec.shards.max(1);
     let r = run_conformance(cfg);
     for o in &r.outcomes {
         res.metric(&format!("{}.observed", o.kind), o.observed);
@@ -93,7 +97,10 @@ fn run_smartpointer_cell(
 ) {
     let kind =
         scheduler_by_name(scheduler).unwrap_or_else(|| panic!("unknown scheduler `{scheduler}`"));
-    let e = knobs.experiment(spec.cell_seed(), spec.duration);
+    let mut e = knobs.experiment(spec.cell_seed(), spec.duration);
+    if spec.shards > 1 {
+        e.runtime.shards = spec.shards;
+    }
     let app = SmartPointerConfig {
         bond2_bw: bond2_mbps.map_or(SmartPointerConfig::default().bond2_bw, |m| m * 1.0e6),
         ..SmartPointerConfig::default()
@@ -118,9 +125,26 @@ fn run_smartpointer_cell(
             ..app
         };
         let workload = SmartPointer::new(app);
-        let specs = SmartPointer::specs(app);
-        let sched = kind.build(specs, paths.len(), e.pgos);
-        let report = run(&paths, Box::new(workload), sched, e.runtime, spec.duration);
+        let report = if e.runtime.shards > 1 {
+            let pgos = e.pgos;
+            let factory =
+                move |specs: Vec<StreamSpec>, n_paths: usize| kind.build(specs, n_paths, pgos);
+            run_sharded(
+                &paths,
+                Box::new(workload),
+                &factory,
+                e.runtime,
+                spec.duration,
+                &FaultSchedule::new(),
+                TraceHandle::null(),
+                &mut |_| {},
+            )
+            .report
+        } else {
+            let specs = SmartPointer::specs(app);
+            let sched = kind.build(specs, paths.len(), e.pgos);
+            run(&paths, Box::new(workload), sched, e.runtime, spec.duration)
+        };
         let atom = report.streams[ATOM].summary();
         let bond1 = report.streams[BOND1].summary();
         res.metric(

@@ -50,6 +50,8 @@ pub struct SweepSpec {
     pub duration: f64,
     /// Axis seeds (each replicates every template).
     pub seeds: Vec<u64>,
+    /// Data-plane shards per cell (1 = the classic serial runtime).
+    pub shards: usize,
     /// The settings.
     pub templates: Vec<CellTemplate>,
 }
@@ -68,11 +70,20 @@ impl SweepSpec {
                     label: t.label.clone(),
                     seed,
                     duration: t.duration.unwrap_or(self.duration),
+                    shards: self.shards.max(1),
                     kind: t.kind.clone(),
                 });
             }
         }
         cells
+    }
+
+    /// Returns the same sweep with every cell running `shards`
+    /// data-plane workers (the `--shards` CLI knob).
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
     }
 }
 
@@ -120,6 +131,7 @@ pub fn fault_sweep(seed: u64, duration: f64) -> SweepSpec {
         about: "guarantee conformance across CDF backends x fault scenarios",
         duration,
         seeds: vec![seed],
+        shards: 1,
         templates,
     }
 }
@@ -137,6 +149,7 @@ pub fn seed_sweep(duration: f64) -> SweepSpec {
         about: "SmartPointer critical-stream guarantees across 10 seeds x 3 schedulers",
         duration: duration.min(60.0),
         seeds: (1..=10).collect(),
+        shards: 1,
         templates: schedulers
             .into_iter()
             .map(|s| smartpointer_template("", scheduler_name(s), s, ExperimentKnobs::none()))
@@ -245,6 +258,7 @@ pub fn ablations(seed: u64, duration: f64) -> SweepSpec {
         about: "DESIGN.md \u{a7}6 ablations: window, remap, noise, load, CDF, buffer, fluid",
         duration,
         seeds: vec![seed],
+        shards: 1,
         templates,
     }
 }
@@ -257,6 +271,7 @@ pub fn validation(seed: u64, duration: f64) -> SweepSpec {
         about: "Lemma 1/2 promises from the truth CDF vs measured service",
         duration,
         seeds: vec![seed],
+        shards: 1,
         templates: [55u32, 70, 85, 95, 105]
             .into_iter()
             .map(|pct| {
@@ -278,6 +293,7 @@ pub fn fig04_prediction(seed: u64) -> SweepSpec {
         about: "Figure 4: mean-predictor error vs percentile failure rate",
         duration: 20_000.0,
         seeds: vec![seed],
+        shards: 1,
         templates: (1..=10u32)
             .map(|k| {
                 CellTemplate::new(
@@ -305,6 +321,7 @@ pub fn smoke() -> SweepSpec {
         about: "CI mini-matrix: 3 CDF backends x 2 scenarios x 2 seeds, short runs",
         duration: 48.0,
         seeds: vec![7, 8],
+        shards: 1,
         templates,
     }
 }

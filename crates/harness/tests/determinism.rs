@@ -33,6 +33,7 @@ fn mini_matrix() -> SweepSpec {
         about: "determinism-suite matrix",
         duration: 45.0,
         seeds: vec![5],
+        shards: 1,
         templates,
     }
 }

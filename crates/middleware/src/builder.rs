@@ -5,7 +5,7 @@
 //! harness can express a full paper experiment in a few lines.
 
 use crate::report::RunReport;
-use crate::runtime::{self, RuntimeConfig};
+use crate::runtime::{self, DeliveryEvent, RuntimeConfig};
 use iqpaths_apps::gridftp::{GridFtp, GridFtpConfig};
 use iqpaths_apps::mpeg4::{Mpeg4Config, Mpeg4Video, QualityTracker};
 use iqpaths_apps::smartpointer::{SmartPointer, SmartPointerConfig};
@@ -15,7 +15,9 @@ use iqpaths_core::scheduler::{Pgos, PgosConfig};
 use iqpaths_core::stream::StreamSpec;
 use iqpaths_core::traits::MultipathScheduler;
 use iqpaths_overlay::path::OverlayPath;
+use iqpaths_simnet::fault::FaultSchedule;
 use iqpaths_simnet::topology::{emulab_testbed, PATH_A_ROUTE, PATH_B_ROUTE};
+use iqpaths_trace::TraceHandle;
 use iqpaths_traces::nlanr::figure8_cross_traffic;
 
 /// Which scheduler an experiment runs.
@@ -108,9 +110,47 @@ impl Figure8Experiment {
     /// Runs an arbitrary workload/scheduler pair on the testbed.
     pub fn run(&self, workload: Box<dyn Workload>, kind: SchedulerKind) -> RunReport {
         let paths = self.paths();
-        let specs = workload.specs().to_vec();
-        let scheduler = kind.build(specs, paths.len(), self.pgos);
-        runtime::run(&paths, workload, scheduler, self.runtime, self.duration)
+        self.dispatch(&paths, workload, kind, &mut |_| {})
+    }
+
+    /// Routes a run through the serial event loop or, when
+    /// `runtime.shards > 1`, the sharded controller plane — every
+    /// builder experiment funnels through here, so the `shards` knob
+    /// covers all of them.
+    fn dispatch(
+        &self,
+        paths: &[OverlayPath],
+        workload: Box<dyn Workload>,
+        kind: SchedulerKind,
+        sink: &mut dyn FnMut(&DeliveryEvent),
+    ) -> RunReport {
+        if self.runtime.shards > 1 {
+            let pgos = self.pgos;
+            let factory =
+                move |specs: Vec<StreamSpec>, n_paths: usize| kind.build(specs, n_paths, pgos);
+            crate::sharded::run_sharded(
+                paths,
+                workload,
+                &factory,
+                self.runtime,
+                self.duration,
+                &FaultSchedule::new(),
+                TraceHandle::null(),
+                sink,
+            )
+            .report
+        } else {
+            let specs = workload.specs().to_vec();
+            let scheduler = kind.build(specs, paths.len(), self.pgos);
+            runtime::run_with_sink(
+                paths,
+                workload,
+                scheduler,
+                self.runtime,
+                self.duration,
+                sink,
+            )
+        }
     }
 
     /// Runs the SmartPointer experiment (Figures 9–11).
@@ -126,16 +166,9 @@ impl Figure8Experiment {
         let app = SmartPointer::new(app_cfg);
         let mut tracker = app.frame_tracker();
         let paths = self.paths();
-        let specs = SmartPointer::specs(app_cfg);
-        let scheduler = kind.build(specs, paths.len(), self.pgos);
-        let report = runtime::run_with_sink(
-            &paths,
-            Box::new(app),
-            scheduler,
-            self.runtime,
-            self.duration,
-            &mut |d| tracker.on_delivery(d.stream, d.seq, d.delivered),
-        );
+        let report = self.dispatch(&paths, Box::new(app), kind, &mut |d| {
+            tracker.on_delivery(d.stream, d.seq, d.delivered);
+        });
         let jitter = [
             tracker.jitter(iqpaths_apps::smartpointer::ATOM),
             tracker.jitter(iqpaths_apps::smartpointer::BOND1),
@@ -164,16 +197,9 @@ impl Figure8Experiment {
         let app = GridFtp::new(app_cfg);
         let mut tracker = app.record_tracker();
         let paths = self.paths();
-        let specs = GridFtp::specs(app_cfg);
-        let scheduler = kind.build(specs, paths.len(), self.pgos);
-        let report = runtime::run_with_sink(
-            &paths,
-            Box::new(app),
-            scheduler,
-            self.runtime,
-            self.duration,
-            &mut |d| tracker.on_delivery(d.stream, d.seq, d.delivered),
-        );
+        let report = self.dispatch(&paths, Box::new(app), kind, &mut |d| {
+            tracker.on_delivery(d.stream, d.seq, d.delivered);
+        });
         let records_per_sec = [
             tracker.frames_completed(0) as f64 / self.duration,
             tracker.frames_completed(1) as f64 / self.duration,
@@ -209,20 +235,11 @@ impl Figure8Experiment {
             created[a.stream].push(a.at);
         }
         let paths = self.paths();
-        let specs = Mpeg4Video::specs(&app_cfg);
-        let scheduler = kind.build(specs, paths.len(), self.pgos);
-        let report = runtime::run_with_sink(
-            &paths,
-            Box::new(app),
-            scheduler,
-            self.runtime,
-            self.duration,
-            &mut |d| {
-                if let Some(&c) = created[d.stream].get(d.seq as usize) {
-                    quality.on_delivery(d.stream, c, d.delivered, d.bytes);
-                }
-            },
-        );
+        let report = self.dispatch(&paths, Box::new(app), kind, &mut |d| {
+            if let Some(&c) = created[d.stream].get(d.seq as usize) {
+                quality.on_delivery(d.stream, c, d.delivered, d.bytes);
+            }
+        });
         let n_frames = (app_cfg.fps * self.duration) as u64;
         Mpeg4Outcome {
             report,
@@ -318,6 +335,18 @@ mod tests {
         let out = e.run_mpeg4(Mpeg4Config::default(), SchedulerKind::Pgos);
         assert!(out.playable_fraction > 0.5, "{}", out.playable_fraction);
         assert!(out.mean_quality >= 1.0, "{}", out.mean_quality);
+    }
+
+    #[test]
+    fn sharded_builder_run_covers_every_stream() {
+        let mut e = quick();
+        e.runtime.shards = 2;
+        let out = e.run_smartpointer(SmartPointerConfig::default(), SchedulerKind::Pgos);
+        assert_eq!(out.report.streams.len(), 3);
+        assert!(
+            out.report.streams.iter().all(|s| s.delivered_packets > 0),
+            "every stream must keep flowing through its shard"
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@ use iqpaths_trace::Metrics;
 use serde::Serialize;
 
 /// Per-stream outcome of a run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct StreamReport {
     /// Stream name.
     pub name: String,
@@ -66,7 +66,10 @@ impl StreamReport {
 }
 
 /// Full outcome of one experiment run.
-#[derive(Debug, Clone, Serialize)]
+///
+/// `PartialEq` compares every field bit-for-bit (float equality
+/// included) — the currency of the serial≡sharded equivalence suite.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct RunReport {
     /// Scheduler under test.
     pub scheduler: String,

@@ -52,6 +52,11 @@ pub struct RuntimeConfig {
     /// How the monitoring module summarizes distributions (the
     /// `abl-hist` exact-vs-streaming-histogram knob).
     pub cdf_mode: iqpaths_overlay::node::CdfMode,
+    /// Data-plane worker count for [`crate::sharded::run_sharded`].
+    /// `1` (the default) runs the classic serial event loop and is
+    /// byte-identical to the pre-split runtime; the serial entry
+    /// points in this module ignore the knob.
+    pub shards: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -68,6 +73,7 @@ impl Default for RuntimeConfig {
             blocked_recheck_secs: 0.01,
             seed: 1,
             cdf_mode: iqpaths_overlay::node::CdfMode::Exact,
+            shards: 1,
         }
     }
 }
@@ -194,17 +200,109 @@ pub fn run_faulted(
 /// # Panics
 /// Panics on an empty path set, non-positive duration, or a fault
 /// targeting an unknown path index.
-#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)]
 pub fn run_traced(
     paths: &[OverlayPath],
-    mut workload: Box<dyn Workload>,
-    mut scheduler: Box<dyn MultipathScheduler>,
+    workload: Box<dyn Workload>,
+    scheduler: Box<dyn MultipathScheduler>,
     cfg: RuntimeConfig,
     duration: f64,
     faults: &FaultSchedule,
     trace: TraceHandle,
     sink: &mut dyn FnMut(&DeliveryEvent),
 ) -> RunReport {
+    let params = RunParams {
+        paths,
+        cfg,
+        duration,
+        faults,
+        trace,
+    };
+    execute(params, workload, scheduler, sink).report
+}
+
+/// Everything one event-loop run needs besides the workload, the
+/// scheduler under test, and the delivery sink. The single
+/// parameterization point: every public entry above is a thin wrapper
+/// over [`execute`], and the sharded controller plane calls it once per
+/// data-plane worker.
+pub(crate) struct RunParams<'a> {
+    /// Overlay paths (pre-fault; faults compile in inside [`execute`]).
+    pub paths: &'a [OverlayPath],
+    /// Runtime tuning (including the seed every RNG derives from).
+    pub cfg: RuntimeConfig,
+    /// Measured duration in seconds (excludes warm-up).
+    pub duration: f64,
+    /// Deterministic fault schedule (empty = clean run).
+    pub faults: &'a FaultSchedule,
+    /// Trace handle (null = no emission).
+    pub trace: TraceHandle,
+}
+
+/// What one event-loop run produces: the standard report plus the final
+/// per-path goodput snapshots the sharded controller merges into a
+/// global CDF view ([`crate::sharded::ShardedOutcome::path_cdfs`]).
+pub(crate) struct RunOutput {
+    /// The standard run report.
+    pub report: RunReport,
+    /// Per-path monitoring snapshot at the end of the run (goodput
+    /// scaled, no oracle attached).
+    pub final_snapshots: Vec<PathSnapshot>,
+}
+
+/// Builds per-path goodput snapshots from the monitoring module's
+/// current state: the measured loss rate scales each available-
+/// bandwidth distribution down to goodput (guarantees are made on
+/// goodput). `oracle` supplies `PathSnapshot::oracle_next_rate`.
+fn goodput_snapshots(
+    monitoring: &MonitoringModule,
+    path_transmitted: &[u64],
+    path_lost: &[u64],
+    oracle: impl Fn(usize) -> Option<f64>,
+) -> Vec<PathSnapshot> {
+    monitoring
+        .all_stats()
+        .into_iter()
+        .enumerate()
+        .map(|(j, st)| {
+            let measured_loss = if path_transmitted[j] == 0 {
+                0.0
+            } else {
+                path_lost[j] as f64 / path_transmitted[j] as f64
+            };
+            let goodput_factor = 1.0 - measured_loss;
+            PathSnapshot {
+                index: j,
+                cdf: st.cdf.scale(goodput_factor),
+                mean_prediction: st.mean_prediction * goodput_factor,
+                oracle_next_rate: oracle(j),
+                rtt: st.rtt,
+                loss: measured_loss,
+            }
+        })
+        .collect()
+}
+
+/// The one event loop. See [`run_traced`] for semantics; this form
+/// additionally returns the final monitoring snapshots.
+///
+/// # Panics
+/// Panics on an empty path set, non-positive duration, or a fault
+/// targeting an unknown path index.
+#[allow(clippy::too_many_lines)]
+pub(crate) fn execute(
+    params: RunParams<'_>,
+    mut workload: Box<dyn Workload>,
+    mut scheduler: Box<dyn MultipathScheduler>,
+    sink: &mut dyn FnMut(&DeliveryEvent),
+) -> RunOutput {
+    let RunParams {
+        paths,
+        cfg,
+        duration,
+        faults,
+        trace,
+    } = params;
     assert!(!paths.is_empty(), "need at least one overlay path");
     assert!(duration > 0.0, "duration must be positive");
     let n_paths = paths.len();
@@ -511,36 +609,16 @@ pub fn run_traced(
                 monitoring.observe_rtt(j, paths[j].prop_delay().as_secs_f64() * 2.0);
             }
             Ev::Window => {
-                let snapshots: Vec<PathSnapshot> = monitoring
-                    .all_stats()
-                    .into_iter()
-                    .enumerate()
-                    .map(|(j, st)| {
-                        // Loss-aware extension: guarantees are made on
-                        // *goodput*, so the measured loss rate scales
-                        // the available-bandwidth distribution.
-                        let measured_loss = if path_transmitted[j] == 0 {
-                            0.0
-                        } else {
-                            path_lost[j] as f64 / path_transmitted[j] as f64
-                        };
-                        let goodput_factor = 1.0 - measured_loss;
-                        PathSnapshot {
-                            index: j,
-                            cdf: st.cdf.scale(goodput_factor),
-                            mean_prediction: st.mean_prediction * goodput_factor,
-                            oracle_next_rate: Some(
-                                paths[j].mean_residual(
-                                    now_s,
-                                    now_s + cfg.window_secs,
-                                    cfg.window_secs / 20.0,
-                                ) * (1.0 - paths[j].loss_prob()),
-                            ),
-                            rtt: st.rtt,
-                            loss: measured_loss,
-                        }
-                    })
-                    .collect();
+                let snapshots =
+                    goodput_snapshots(&monitoring, &path_transmitted, &path_lost, |j| {
+                        Some(
+                            paths[j].mean_residual(
+                                now_s,
+                                now_s + cfg.window_secs,
+                                cfg.window_secs / 20.0,
+                            ) * (1.0 - paths[j].loss_prob()),
+                        )
+                    });
                 scheduler.on_window_start(now_ns, (cfg.window_secs * 1e9) as u64, &snapshots);
                 upcalls.extend(scheduler.drain_upcalls());
                 for j in 0..n_paths {
@@ -586,16 +664,20 @@ pub fn run_traced(
         .collect();
 
     trace.flush();
-    RunReport {
-        scheduler: scheduler.name().to_string(),
-        duration,
-        monitor_window: cfg.monitor_window_secs,
-        streams,
-        path_sent_bytes: services.iter().map(PathService::sent_bytes).collect(),
-        path_blocked_events,
-        upcalls,
-        events: events.processed(),
-        metrics,
+    let final_snapshots = goodput_snapshots(&monitoring, &path_transmitted, &path_lost, |_| None);
+    RunOutput {
+        report: RunReport {
+            scheduler: scheduler.name().to_string(),
+            duration,
+            monitor_window: cfg.monitor_window_secs,
+            streams,
+            path_sent_bytes: services.iter().map(PathService::sent_bytes).collect(),
+            path_blocked_events,
+            upcalls,
+            events: events.processed(),
+            metrics,
+        },
+        final_snapshots,
     }
 }
 

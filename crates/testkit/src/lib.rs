@@ -39,7 +39,8 @@ pub use invariants::{
 };
 pub use scenario::{
     conformance_streams, mode_by_name, mode_name, run_conformance, run_conformance_traced,
-    sweep_modes, ConformanceConfig, ConformanceReport, FaultScenario, LemmaOutcome,
+    run_conformance_traced_with, run_conformance_with, sweep_modes, ConformanceConfig,
+    ConformanceReport, FaultScenario, LemmaOutcome,
 };
 pub use stats::{hoeffding_epsilon, probit, wilson_interval, BernoulliCheck, BoundedMeanCheck};
 pub use topology::TopologyGen;

@@ -26,8 +26,10 @@ use crate::topology::TopologyGen;
 use iqpaths_apps::workload::FramedSource;
 use iqpaths_core::scheduler::{Pgos, PgosConfig};
 use iqpaths_core::stream::{Guarantee, StreamSpec};
+use iqpaths_core::traits::MultipathScheduler;
 use iqpaths_middleware::report::RunReport;
 use iqpaths_middleware::runtime::{run_traced, RuntimeConfig};
+use iqpaths_middleware::sharded::{run_sharded_with, ShardExecution};
 use iqpaths_overlay::node::CdfMode;
 use iqpaths_simnet::fault::{Fault, FaultSchedule};
 use iqpaths_trace::{shared, InMemorySink, TraceEvent, TraceHandle};
@@ -136,11 +138,15 @@ pub struct ConformanceConfig {
     pub confidence: f64,
     /// Adaptation transient excluded after each capacity change point.
     pub settle_secs: f64,
+    /// Data-plane shards the runtime splits the stream table across
+    /// (1 = the classic serial event loop, byte-identical to releases
+    /// before the controller/data-plane split).
+    pub shards: usize,
 }
 
 impl ConformanceConfig {
     /// The standard case: 120 s measured, 20 s warm-up, 99% confidence,
-    /// 10 s settle.
+    /// 10 s settle, serial runtime.
     pub fn new(seed: u64, mode: CdfMode, scenario: FaultScenario) -> Self {
         Self {
             seed,
@@ -150,7 +156,15 @@ impl ConformanceConfig {
             warmup: 20.0,
             confidence: 0.99,
             settle_secs: 10.0,
+            shards: 1,
         }
+    }
+
+    /// Same case on the sharded runtime.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
     }
 }
 
@@ -273,9 +287,20 @@ pub fn conformance_streams() -> Vec<StreamSpec> {
     ]
 }
 
-/// Runs one conformance case end to end.
+/// Runs one conformance case end to end (parallel workers when
+/// `cfg.shards > 1`).
 pub fn run_conformance(cfg: ConformanceConfig) -> ConformanceReport {
-    run_case(cfg, TraceHandle::null())
+    run_case(cfg, TraceHandle::null(), ShardExecution::Parallel)
+}
+
+/// [`run_conformance`] with an explicit worker-execution strategy —
+/// the equivalence suite runs the same plan serially and in parallel
+/// and bit-compares the merged reports.
+pub fn run_conformance_with(
+    cfg: ConformanceConfig,
+    execution: ShardExecution,
+) -> ConformanceReport {
+    run_case(cfg, TraceHandle::null(), execution)
 }
 
 /// Runs one conformance case with an in-memory decision trace attached,
@@ -283,13 +308,26 @@ pub fn run_conformance(cfg: ConformanceConfig) -> ConformanceReport {
 /// of the trace-invariant and golden-trace suites: same deterministic
 /// run as [`run_conformance`], plus the evidence to check it against.
 pub fn run_conformance_traced(cfg: ConformanceConfig) -> (ConformanceReport, Vec<TraceEvent>) {
+    run_conformance_traced_with(cfg, ShardExecution::Parallel)
+}
+
+/// [`run_conformance_traced`] with an explicit worker-execution
+/// strategy.
+pub fn run_conformance_traced_with(
+    cfg: ConformanceConfig,
+    execution: ShardExecution,
+) -> (ConformanceReport, Vec<TraceEvent>) {
     let (sink, trace) = shared(InMemorySink::unbounded());
-    let report = run_case(cfg, trace);
+    let report = run_case(cfg, trace, execution);
     let events = sink.borrow().events();
     (report, events)
 }
 
-fn run_case(cfg: ConformanceConfig, trace: TraceHandle) -> ConformanceReport {
+fn run_case(
+    cfg: ConformanceConfig,
+    trace: TraceHandle,
+    execution: ShardExecution,
+) -> ConformanceReport {
     let horizon = cfg.warmup + cfg.duration + 10.0;
     let gen = TopologyGen {
         seed: cfg.seed,
@@ -303,34 +341,56 @@ fn run_case(cfg: ConformanceConfig, trace: TraceHandle) -> ConformanceReport {
         .map(|s| (s.required_bw.max(s.weight) / (8.0 * 25.0)).round() as u32)
         .collect();
     let workload = FramedSource::new(specs.clone(), frames, 25.0, cfg.duration);
-    let scheduler = Pgos::new(PgosConfig::default(), specs.clone(), paths.len());
     let rt = RuntimeConfig {
         warmup_secs: cfg.warmup,
         history_samples: 100,
         seed: cfg.seed,
         cdf_mode: cfg.mode,
+        shards: cfg.shards.max(1),
         ..RuntimeConfig::default()
     };
     let faults = cfg.scenario.schedule(cfg.warmup, cfg.warmup + cfg.duration);
 
     // Per-stream, per-window deadline-miss attribution via the sink.
+    // Shard merge replays deliveries in virtual-time order, so the
+    // attribution is identical whichever runtime produced them.
     let n_windows = (cfg.duration / rt.monitor_window_secs).ceil() as usize;
     let mut misses = vec![vec![0.0f64; n_windows]; specs.len()];
-    let report = run_traced(
-        &paths,
-        Box::new(workload),
-        Box::new(scheduler),
-        rt,
-        cfg.duration,
-        &faults,
-        trace,
-        &mut |d| {
-            if d.missed_deadline {
-                let w = ((d.delivered / rt.monitor_window_secs) as usize).min(n_windows - 1);
-                misses[d.stream][w] += 1.0;
-            }
-        },
-    );
+    let mut on_delivery = |d: &iqpaths_middleware::DeliveryEvent| {
+        if d.missed_deadline {
+            let w = ((d.delivered / rt.monitor_window_secs) as usize).min(n_windows - 1);
+            misses[d.stream][w] += 1.0;
+        }
+    };
+    let report = if rt.shards > 1 {
+        let factory = |specs: Vec<StreamSpec>, n_paths: usize| -> Box<dyn MultipathScheduler> {
+            Box::new(Pgos::new(PgosConfig::default(), specs, n_paths))
+        };
+        run_sharded_with(
+            &paths,
+            Box::new(workload),
+            &factory,
+            rt,
+            cfg.duration,
+            &faults,
+            trace,
+            &mut on_delivery,
+            execution,
+        )
+        .report
+    } else {
+        let scheduler = Pgos::new(PgosConfig::default(), specs.clone(), paths.len());
+        run_traced(
+            &paths,
+            Box::new(workload),
+            Box::new(scheduler),
+            rt,
+            cfg.duration,
+            &faults,
+            trace,
+            &mut on_delivery,
+        )
+    };
 
     // Eligible windows: those not overlapping [τ, τ + settle) for any
     // capacity change point τ (times are absolute; windows start at

@@ -436,6 +436,33 @@ impl TraceEvent {
         self.write_jsonl(&mut s);
         s
     }
+
+    /// Returns the event with its stream index rewritten through `f`
+    /// (identity on events that carry no stream). Sharded runtimes
+    /// trace against shard-local stream indices and remap to global
+    /// indices at merge time.
+    #[must_use]
+    pub fn map_stream(self, f: impl Fn(u32) -> u32) -> Self {
+        let mut ev = self;
+        match &mut ev {
+            TraceEvent::MappingDecision { stream, .. }
+            | TraceEvent::UpcallRaised { stream, .. }
+            | TraceEvent::Enqueue { stream, .. }
+            | TraceEvent::QueueDrop { stream, .. }
+            | TraceEvent::DispatchDecision { stream, .. }
+            | TraceEvent::Dispatch { stream, .. }
+            | TraceEvent::Deliver { stream, .. }
+            | TraceEvent::TransitDrop { stream, .. } => *stream = f(*stream),
+            TraceEvent::ProbeSample { .. }
+            | TraceEvent::ProbeLost { .. }
+            | TraceEvent::WindowStart { .. }
+            | TraceEvent::CdfSnapshot { .. }
+            | TraceEvent::PathBlocked { .. }
+            | TraceEvent::BackoffStep { .. }
+            | TraceEvent::BackoffReset { .. } => {}
+        }
+        ev
+    }
 }
 
 #[cfg(test)]
@@ -510,6 +537,30 @@ mod tests {
         );
         // Serialization is a pure function of the value.
         assert_eq!(ev.to_jsonl(), ev.to_jsonl());
+    }
+
+    #[test]
+    fn map_stream_rewrites_stream_bearing_events_only() {
+        let rx = TraceEvent::Deliver {
+            at_ns: 9,
+            path: 1,
+            stream: 2,
+            seq: 5,
+            missed_deadline: false,
+        };
+        match rx.map_stream(|s| s + 10) {
+            TraceEvent::Deliver { stream, seq, .. } => {
+                assert_eq!(stream, 12);
+                assert_eq!(seq, 5);
+            }
+            other => panic!("variant changed: {other:?}"),
+        }
+        let win = TraceEvent::WindowStart {
+            at_ns: 3,
+            window_ns: 4,
+            remapped: false,
+        };
+        assert_eq!(win.map_stream(|_| 99), win);
     }
 
     #[test]

@@ -12,8 +12,12 @@
 //! silent. A copy of each regenerated trace is also dropped under
 //! `target/experiments/traces/` for CI artifact upload.
 
+use iqpaths_middleware::ShardExecution;
 use iqpaths_overlay::node::CdfMode;
-use iqpaths_testkit::{run_conformance_traced, ConformanceConfig, FaultScenario};
+use iqpaths_testkit::{
+    run_conformance, run_conformance_traced, run_conformance_traced_with, ConformanceConfig,
+    FaultScenario,
+};
 use iqpaths_trace::TraceEvent;
 use std::fs;
 use std::path::PathBuf;
@@ -54,7 +58,11 @@ fn artifact_path(name: &str) -> PathBuf {
 /// Runs a golden scenario and compares (or, under `UPDATE_GOLDEN=1`,
 /// rewrites) its pinned decision trace.
 fn check_golden(scenario: FaultScenario, name: &str) {
-    let (_, events) = run_conformance_traced(golden_case(scenario));
+    check_golden_cfg(golden_case(scenario), name);
+}
+
+fn check_golden_cfg(cfg: ConformanceConfig, name: &str) {
+    let (_, events) = run_conformance_traced(cfg);
     let actual = decisions_jsonl(&events);
     assert!(!actual.is_empty(), "{name}: empty decision trace");
 
@@ -104,6 +112,42 @@ fn golden_no_fault_decision_trace() {
 #[test]
 fn golden_flap_decision_trace() {
     check_golden(FaultScenario::Flap, "flap.jsonl");
+}
+
+#[test]
+fn golden_sharded_flap_decision_trace() {
+    // The sharded runtime's canonical merge order (stream-remapped,
+    // shard-major concatenation, stable sort by timestamp) makes the
+    // merged trace a pure function of the plan — so it goldens exactly
+    // like a serial trace. Two shards on the 3-stream conformance mix.
+    check_golden_cfg(
+        golden_case(FaultScenario::Flap).with_shards(2),
+        "sharded_flap.jsonl",
+    );
+}
+
+#[test]
+fn sharded_golden_is_execution_strategy_independent() {
+    // The golden above is generated with parallel workers; serial
+    // workers over the same plan must serialize byte-identically.
+    let case = golden_case(FaultScenario::Flap).with_shards(2);
+    let (ra, a) = run_conformance_traced_with(case, ShardExecution::Serial);
+    let (rb, b) = run_conformance_traced_with(case, ShardExecution::Parallel);
+    assert_eq!(decisions_jsonl(&a), decisions_jsonl(&b));
+    assert_eq!(ra.report, rb.report);
+}
+
+#[test]
+fn traced_equals_untraced_under_shards() {
+    // Attaching the trace must not perturb a sharded run: workers emit
+    // into private sinks, and the controller's merge is independent of
+    // whether anyone is listening.
+    let case = golden_case(FaultScenario::Blackout).with_shards(2);
+    let untraced = run_conformance(case);
+    let (traced, events) = run_conformance_traced(case);
+    assert!(!events.is_empty());
+    assert_eq!(untraced.report, traced.report);
+    assert_eq!(untraced.eligible_windows, traced.eligible_windows);
 }
 
 #[test]

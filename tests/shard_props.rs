@@ -1,0 +1,115 @@
+//! End-to-end sharding properties over random topologies.
+//!
+//! The example-based equivalence matrix (`tests/sharded_equivalence.rs`)
+//! pins one topology; this suite drives the sharded runtime over
+//! *random* seeded topologies, stream tables, and shard counts and
+//! holds the invariants that must survive any partition:
+//!
+//! * the controller's plan is a partition of the stream table;
+//! * the merged report covers every stream at its global index;
+//! * admission offers exactly the drained workload (no arrival lost in
+//!   the partition step);
+//! * packet conservation (`Metrics::conserved()`) holds post-merge.
+
+use iqpaths_apps::workload::{FramedSource, Workload};
+use iqpaths_core::scheduler::{Pgos, PgosConfig};
+use iqpaths_core::stream::StreamSpec;
+use iqpaths_core::traits::MultipathScheduler;
+use iqpaths_middleware::runtime::RuntimeConfig;
+use iqpaths_middleware::sharded::run_sharded;
+use iqpaths_simnet::fault::FaultSchedule;
+use iqpaths_testkit::TopologyGen;
+use iqpaths_trace::TraceHandle;
+use proptest::prelude::*;
+
+const DURATION: f64 = 6.0;
+const WARMUP: f64 = 2.0;
+
+/// A table of `n` low-rate streams alternating guarantee classes; rates
+/// divide exactly at 25 fps so FramedSource offers a deterministic
+/// arrival count.
+fn random_streams(n: usize) -> Vec<StreamSpec> {
+    (0..n)
+        .map(|i| {
+            let name = format!("s{i}");
+            match i % 3 {
+                0 => StreamSpec::probabilistic(i, &name, 1.0e6, 0.9, 1250),
+                1 => StreamSpec::violation_bound(i, &name, 1.0e6, 30.0, 1250),
+                _ => StreamSpec::best_effort(i, &name, 1.0e6, 1250),
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn sharded_runs_conserve_packets_on_random_topologies(
+        seed in 0u64..1_000_000,
+        n_paths in 2usize..5,
+        n_streams in 1usize..9,
+        shards in 1usize..9,
+    ) {
+        let paths = TopologyGen {
+            seed,
+            paths: n_paths,
+            horizon: WARMUP + DURATION + 5.0,
+            ..TopologyGen::default()
+        }
+        .build();
+        let specs = random_streams(n_streams);
+        let frames: Vec<u32> = specs.iter().map(|_| 5000).collect();
+        let workload = FramedSource::new(specs.clone(), frames, 25.0, DURATION);
+        // The generator emits a fixed arrival schedule: n_streams
+        // frames per tick, 25 ticks per second.
+        let expected_arrivals = {
+            let mut probe = FramedSource::new(specs.clone(), vec![5000; n_streams], 25.0, DURATION);
+            let mut count = vec![0u64; n_streams];
+            while let Some(a) = probe.next_arrival() {
+                count[a.stream] += 1;
+            }
+            count
+        };
+        let factory = |specs: Vec<StreamSpec>, n: usize| -> Box<dyn MultipathScheduler> {
+            Box::new(Pgos::new(PgosConfig::default(), specs, n))
+        };
+        let cfg = RuntimeConfig {
+            warmup_secs: WARMUP,
+            history_samples: 50,
+            seed,
+            shards,
+            ..RuntimeConfig::default()
+        };
+        let out = run_sharded(
+            &paths,
+            Box::new(workload),
+            &factory,
+            cfg,
+            DURATION,
+            &FaultSchedule::new(),
+            TraceHandle::null(),
+            &mut |_| {},
+        );
+
+        prop_assert!(out.plan.is_partition());
+        prop_assert_eq!(out.plan.n_streams(), n_streams);
+        prop_assert_eq!(out.shard_seeds.len(), out.plan.shards());
+        prop_assert_eq!(out.report.streams.len(), n_streams);
+        for (i, s) in out.report.streams.iter().enumerate() {
+            prop_assert_eq!(s.name.as_str(), format!("s{i}").as_str());
+        }
+        // No arrival lost in the partition step: per-stream offered
+        // load equals the generator's schedule exactly.
+        for (i, row) in out.report.metrics.streams.iter().enumerate() {
+            prop_assert_eq!(
+                row.enqueued + row.queue_dropped,
+                expected_arrivals[i],
+                "stream {i} lost arrivals in the partition (shards={})", shards
+            );
+        }
+        prop_assert!(
+            out.report.metrics.conserved(),
+            "conservation violated at shards={} seed={}", shards, seed
+        );
+        prop_assert_eq!(out.path_cdfs.len(), n_paths);
+    }
+}

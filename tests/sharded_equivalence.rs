@@ -1,0 +1,284 @@
+//! Serial ≡ sharded equivalence matrix for the controller/data-plane
+//! runtime (`iqpaths_middleware::sharded`).
+//!
+//! The matrix covers {1, 2, 4, 8} shards × {no-fault, flap, blackout,
+//! churn} × the three sweep CDF backends, with pinned seeds. Which
+//! fields are compared how:
+//!
+//! * **Bit-identical** (full `RunReport` `PartialEq`, plus the delivery
+//!   stream seen by the sink):
+//!   * `shards = 1` against the classic serial event loop — the
+//!     pass-through contract; every field must match exactly.
+//!   * [`ShardExecution::Serial`] against [`ShardExecution::Parallel`]
+//!     at every shard count — the merged outcome may not depend on
+//!     thread scheduling, completion order, or core count.
+//! * **Conformance-checked** (across *different* shard counts): a
+//!   worker sees only its own shard's queue pressure on its private
+//!   path services, so runs at different shard counts are different
+//!   experiments — their throughput series, window decisions, and
+//!   event counts legitimately differ. What must still agree with the
+//!   serial reference at every shard count:
+//!   * the stream table: same names at the same global indices;
+//!   * admission: per-stream offered load (`enqueued + queue_dropped`)
+//!     is exactly the drained workload, so it is equal at every shard
+//!     count;
+//!   * packet conservation (`Metrics::conserved()`) after the
+//!     cross-shard merge;
+//!   * liveness: every stream delivers packets under every scenario;
+//!   * report framing: scheduler name, duration, monitor window.
+//!
+//! On divergence the suite writes both sides' full reports under
+//! `target/experiments/sharded/` (CI uploads them as artifacts) before
+//! panicking.
+
+use iqpaths_apps::workload::FramedSource;
+use iqpaths_core::scheduler::{Pgos, PgosConfig};
+use iqpaths_core::stream::StreamSpec;
+use iqpaths_core::traits::MultipathScheduler;
+use iqpaths_middleware::runtime::{self, DeliveryEvent, RuntimeConfig};
+use iqpaths_middleware::sharded::{run_sharded_with, ShardExecution, ShardedOutcome};
+use iqpaths_middleware::RunReport;
+use iqpaths_overlay::node::CdfMode;
+use iqpaths_overlay::path::OverlayPath;
+use iqpaths_simnet::fault::FaultSchedule;
+use iqpaths_testkit::{sweep_modes, FaultScenario, TopologyGen};
+use iqpaths_trace::TraceHandle;
+use std::fs;
+use std::path::PathBuf;
+
+/// Pinned run seed for the whole matrix.
+const SEED: u64 = 1234;
+/// Measured duration; must clear the fault scenarios' 40 s floor.
+const DURATION: f64 = 44.0;
+/// Monitoring warm-up before the measured window.
+const WARMUP: f64 = 8.0;
+/// The shard axis of the matrix.
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Seeded 3-path topology shared by every cell.
+fn testbed() -> Vec<OverlayPath> {
+    TopologyGen {
+        seed: SEED,
+        horizon: WARMUP + DURATION + 10.0,
+        ..TopologyGen::default()
+    }
+    .build()
+}
+
+/// Eight streams (so an 8-shard plan is not clamped) mixing all three
+/// guarantee classes. Total guaranteed demand (9 Mbps) stays feasible
+/// on any generated path, matching the conformance suite's sizing
+/// discipline; every rate divides exactly at 25 fps.
+fn eight_streams() -> Vec<StreamSpec> {
+    vec![
+        StreamSpec::probabilistic(0, "p0", 1.5e6, 0.9, 1250),
+        StreamSpec::probabilistic(1, "p1", 1.5e6, 0.9, 1250),
+        StreamSpec::probabilistic(2, "p2", 1.5e6, 0.9, 1250),
+        StreamSpec::probabilistic(3, "p3", 1.5e6, 0.9, 1250),
+        StreamSpec::violation_bound(4, "v0", 1.5e6, 30.0, 1250),
+        StreamSpec::violation_bound(5, "v1", 1.5e6, 30.0, 1250),
+        StreamSpec::best_effort(6, "b0", 1.0e6, 1250),
+        StreamSpec::best_effort(7, "b1", 1.0e6, 1250),
+    ]
+}
+
+fn workload() -> FramedSource {
+    let specs = eight_streams();
+    let frames: Vec<u32> = specs
+        .iter()
+        .map(|s| (s.required_bw.max(s.weight) / (8.0 * 25.0)).round() as u32)
+        .collect();
+    FramedSource::new(specs, frames, 25.0, DURATION)
+}
+
+fn cfg(mode: CdfMode, shards: usize) -> RuntimeConfig {
+    RuntimeConfig {
+        warmup_secs: WARMUP,
+        history_samples: 100,
+        seed: SEED,
+        cdf_mode: mode,
+        shards,
+        ..RuntimeConfig::default()
+    }
+}
+
+fn faults(scenario: FaultScenario) -> FaultSchedule {
+    scenario.schedule(WARMUP, WARMUP + DURATION)
+}
+
+/// The classic serial event loop — the reference every cell compares
+/// against.
+fn serial_reference(mode: CdfMode, scenario: FaultScenario) -> (RunReport, Vec<DeliveryEvent>) {
+    let paths = testbed();
+    let mut deliveries = Vec::new();
+    let report = runtime::run_faulted(
+        &paths,
+        Box::new(workload()),
+        Box::new(Pgos::new(
+            PgosConfig::default(),
+            eight_streams(),
+            paths.len(),
+        )),
+        cfg(mode, 1),
+        DURATION,
+        &faults(scenario),
+        &mut |d| deliveries.push(*d),
+    );
+    (report, deliveries)
+}
+
+/// One sharded run of the cell.
+fn sharded_run(
+    mode: CdfMode,
+    scenario: FaultScenario,
+    shards: usize,
+    execution: ShardExecution,
+) -> (ShardedOutcome, Vec<DeliveryEvent>) {
+    let paths = testbed();
+    let factory = |specs: Vec<StreamSpec>, n_paths: usize| -> Box<dyn MultipathScheduler> {
+        Box::new(Pgos::new(PgosConfig::default(), specs, n_paths))
+    };
+    let mut deliveries = Vec::new();
+    let out = run_sharded_with(
+        &paths,
+        Box::new(workload()),
+        &factory,
+        cfg(mode, shards),
+        DURATION,
+        &faults(scenario),
+        TraceHandle::null(),
+        &mut |d| deliveries.push(*d),
+        execution,
+    );
+    (out, deliveries)
+}
+
+fn artifact_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("target/experiments/sharded")
+}
+
+/// Writes both sides of a divergence as readable artifacts and panics
+/// with their locations — CI uploads `target/experiments/sharded/` on
+/// failure so the diff is inspectable without a local repro.
+fn divergence(cell: &str, left_label: &str, left: &str, right_label: &str, right: &str) -> ! {
+    let dir = artifact_dir();
+    fs::create_dir_all(&dir).unwrap();
+    let lp = dir.join(format!("{cell}.{left_label}.txt"));
+    let rp = dir.join(format!("{cell}.{right_label}.txt"));
+    fs::write(&lp, left).unwrap();
+    fs::write(&rp, right).unwrap();
+    panic!(
+        "{cell}: {left_label} and {right_label} diverged; \
+         divergence artifacts at {} and {}",
+        lp.display(),
+        rp.display()
+    );
+}
+
+fn report_text(report: &RunReport, deliveries: &[DeliveryEvent]) -> String {
+    format!(
+        "{report:#?}\ndeliveries: {} events\n{deliveries:#?}",
+        deliveries.len()
+    )
+}
+
+/// Per-stream offered load: exactly the arrivals the workload
+/// generated, however the stream table was partitioned.
+fn offered(report: &RunReport) -> Vec<u64> {
+    report
+        .metrics
+        .streams
+        .iter()
+        .map(|s| s.enqueued + s.queue_dropped)
+        .collect()
+}
+
+/// Runs the full shard axis for one (mode, scenario) cell.
+fn assert_cell(mode: CdfMode, mode_name: &str, scenario: FaultScenario) {
+    let (reference, ref_deliveries) = serial_reference(mode, scenario);
+    let cell = format!("{}_{mode_name}", scenario.name().replace('-', "_"));
+
+    for shards in SHARD_COUNTS {
+        let (s, ds) = sharded_run(mode, scenario, shards, ShardExecution::Serial);
+        let (p, dp) = sharded_run(mode, scenario, shards, ShardExecution::Parallel);
+
+        // Bit-identical across execution strategies of the same plan.
+        if s.report != p.report || ds != dp {
+            divergence(
+                &format!("{cell}_sh{shards}"),
+                "serial-exec",
+                &report_text(&s.report, &ds),
+                "parallel-exec",
+                &report_text(&p.report, &dp),
+            );
+        }
+        assert_eq!(s.shard_seeds, p.shard_seeds);
+        assert_eq!(s.plan, p.plan);
+        for (a, b) in s.path_cdfs.iter().zip(&p.path_cdfs) {
+            assert_eq!(a.ks_distance(b), 0.0, "{cell}: merged path CDFs differ");
+        }
+
+        if shards == 1 {
+            // Pass-through: byte-identical to the serial runtime.
+            if p.report != reference || dp != ref_deliveries {
+                divergence(
+                    &format!("{cell}_sh1"),
+                    "sharded",
+                    &report_text(&p.report, &dp),
+                    "reference",
+                    &report_text(&reference, &ref_deliveries),
+                );
+            }
+            continue;
+        }
+
+        // Conformance against the serial reference (see module docs for
+        // why these fields — and only these — must agree exactly).
+        assert_eq!(p.plan.shards(), shards, "{cell}: plan clamped unexpectedly");
+        assert!(
+            p.plan.is_partition(),
+            "{cell}: shard plan is not a partition"
+        );
+        let names: Vec<&str> = p.report.streams.iter().map(|s| s.name.as_str()).collect();
+        let ref_names: Vec<&str> = reference.streams.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ref_names, "{cell}@sh{shards}: stream table mismatch");
+        assert_eq!(
+            offered(&p.report),
+            offered(&reference),
+            "{cell}@sh{shards}: admission must offer identical per-stream load"
+        );
+        assert!(
+            p.report.metrics.conserved(),
+            "{cell}@sh{shards}: packet conservation violated after merge"
+        );
+        assert!(
+            p.report.streams.iter().all(|s| s.delivered_packets > 0),
+            "{cell}@sh{shards}: a stream starved"
+        );
+        assert_eq!(p.report.scheduler, reference.scheduler);
+        assert_eq!(p.report.duration, reference.duration);
+        assert_eq!(p.report.monitor_window, reference.monitor_window);
+    }
+}
+
+macro_rules! matrix_cell {
+    ($fn_name:ident, $mode_idx:expr, $mode_name:expr, $scenario:expr) => {
+        #[test]
+        fn $fn_name() {
+            assert_cell(sweep_modes()[$mode_idx], $mode_name, $scenario);
+        }
+    };
+}
+
+matrix_cell!(no_fault_exact, 0, "exact", FaultScenario::NoFault);
+matrix_cell!(no_fault_rolling, 1, "rolling", FaultScenario::NoFault);
+matrix_cell!(no_fault_sketch, 2, "sketch", FaultScenario::NoFault);
+matrix_cell!(flap_exact, 0, "exact", FaultScenario::Flap);
+matrix_cell!(flap_rolling, 1, "rolling", FaultScenario::Flap);
+matrix_cell!(flap_sketch, 2, "sketch", FaultScenario::Flap);
+matrix_cell!(blackout_exact, 0, "exact", FaultScenario::Blackout);
+matrix_cell!(blackout_rolling, 1, "rolling", FaultScenario::Blackout);
+matrix_cell!(blackout_sketch, 2, "sketch", FaultScenario::Blackout);
+matrix_cell!(churn_exact, 0, "exact", FaultScenario::Churn);
+matrix_cell!(churn_rolling, 1, "rolling", FaultScenario::Churn);
+matrix_cell!(churn_sketch, 2, "sketch", FaultScenario::Churn);
