@@ -1,0 +1,193 @@
+//! Fast-path micro-benchmarks for the zero-alloc scheduling refactor:
+//!
+//! 1. **Heap4 vs TimingWheel** — the two priority structures behind
+//!    the fallback index, under the access pattern the scheduler
+//!    actually produces (monotone clock, lazy invalidation via stamps,
+//!    near-future deadlines). The scheduler keys its `behind` and
+//!    `unsched` classes on a 4-ary heap and its `wheel` class on the
+//!    timing wheel; this bench shows why that split wins.
+//! 2. **next_packet vs next_batch** — per-decision cost of the PGOS
+//!    hot path with and without batched dispatch (which hoists the
+//!    backoff gate and index sync out of the per-packet loop).
+//!
+//! All workloads are seeded and deterministic; only the wall-clock
+//! numbers vary by machine. End-to-end throughput (including the
+//! legacy comparison and the CI gate) lives in the harness
+//! `sched_throughput` sweep — this binary is for drilling into the
+//! structures themselves.
+
+use std::time::Instant;
+
+use iqpaths_core::fastpath::{Heap4, TimingWheel};
+use iqpaths_core::queues::{QueuedPacket, StreamQueues};
+use iqpaths_core::scheduler::{Pgos, PgosConfig};
+use iqpaths_core::stream::StreamSpec;
+use iqpaths_core::traits::{MultipathScheduler, PathSnapshot};
+use iqpaths_simnet::fault::splitmix64;
+use iqpaths_stats::{CdfSummary, EmpiricalCdf};
+
+const OPS: u64 = 1_000_000;
+
+/// Heap4 under the fallback-index pattern: push a near-future key,
+/// advance the clock, pop everything due. Half the pops are stale
+/// (stamp mismatch) to model lazy invalidation.
+fn bench_heap(seed: u64) -> f64 {
+    let mut heap: Heap4<u64> = Heap4::new();
+    let (mut now, mut done, mut live) = (0u64, 0u64, 0u64);
+    let t0 = Instant::now();
+    while done < OPS {
+        for k in 0..64u64 {
+            let horizon = 1 + splitmix64(seed ^ done ^ k) % 1_000_000;
+            heap.push(now + horizon, (k % 32) as u32, done & 1);
+            live += 1;
+        }
+        now += 300_000;
+        while let Some(e) = heap.peek() {
+            if e.key > now {
+                break;
+            }
+            let e = heap.pop().expect("peeked");
+            // Model lazy invalidation: odd stamps are stale entries.
+            if e.stamp == 0 {
+                done += 1;
+            }
+            live -= 1;
+            if done >= OPS {
+                break;
+            }
+        }
+        if live > 1_000_000 {
+            heap.clear();
+            live = 0;
+        }
+    }
+    OPS as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// TimingWheel under the same pattern (insert near-future, advance,
+/// drain expired).
+fn bench_wheel(seed: u64) -> f64 {
+    let mut wheel = TimingWheel::new(0);
+    let mut expired: Vec<_> = Vec::with_capacity(256);
+    let (mut now, mut done) = (0u64, 0u64);
+    let t0 = Instant::now();
+    while done < OPS {
+        for k in 0..64u64 {
+            let horizon = 1 + splitmix64(seed ^ done ^ k) % 1_000_000;
+            wheel.insert(now + horizon, (k % 32) as u32, done & 1);
+        }
+        now += 300_000;
+        expired.clear();
+        wheel.advance(now, &mut expired);
+        for e in &expired {
+            if e.stamp == 0 {
+                done += 1;
+            }
+        }
+    }
+    OPS as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn pgos_fixture(
+    streams: usize,
+    paths: usize,
+    seed: u64,
+) -> (Pgos, StreamQueues, Vec<PathSnapshot>) {
+    let specs: Vec<StreamSpec> = (0..streams)
+        .map(|i| {
+            if i % 4 == 0 {
+                StreamSpec::probabilistic(i, format!("s{i}"), 80_000.0, 0.9, 1250)
+            } else {
+                StreamSpec::best_effort(i, format!("s{i}"), 2.0e6, 1250)
+            }
+        })
+        .collect();
+    let guaranteed = streams.div_ceil(4) as f64 * 80_000.0;
+    let snapshots: Vec<PathSnapshot> = (0..paths)
+        .map(|j| {
+            let jitter = 0.95 + (splitmix64(seed ^ (j as u64 + 17)) % 1000) as f64 / 1.0e4;
+            let cap = (4.0 * guaranteed / paths as f64 + 4.0e6) * jitter;
+            let cdf = EmpiricalCdf::from_clean_samples(
+                (0..16)
+                    .map(|k| cap * (0.95 + 0.1 * k as f64 / 15.0))
+                    .collect(),
+            );
+            PathSnapshot::from_summary(j, CdfSummary::exact(cdf))
+        })
+        .collect();
+    let pgos = Pgos::new(PgosConfig::default(), specs, paths);
+    let queues = StreamQueues::with_pool_capacity(streams, 64, streams * 8);
+    (pgos, queues, snapshots)
+}
+
+/// Drives one window repeatedly; `batched` switches between the
+/// per-packet entry point and `next_batch`.
+fn bench_pgos(streams: usize, paths: usize, seed: u64, batched: bool) -> f64 {
+    let (mut pgos, mut queues, snapshots) = pgos_fixture(streams, paths, seed);
+    let window_ns = 1_000_000_000u64;
+    let mut out: Vec<QueuedPacket> = Vec::with_capacity(256);
+    let (mut decisions, mut w) = (0u64, 0u64);
+    let target = OPS / 4;
+    let t0 = Instant::now();
+    while decisions < target {
+        let ws = w * window_ns;
+        w += 1;
+        pgos.on_window_start(ws, window_ns, &snapshots);
+        let mut pushed = 0u64;
+        for i in 0..streams {
+            let burst = if i % 4 == 0 {
+                8
+            } else {
+                1 + splitmix64(seed ^ (w << 24) ^ i as u64) % 4
+            };
+            for _ in 0..burst {
+                queues.push(i, 1250, ws);
+                pushed += 1;
+            }
+        }
+        let batch = (pushed / (4 * paths as u64) + 2) as usize;
+        for sub in 0..4u64 {
+            let now = ws + sub * (window_ns / 4) + 1;
+            for j in 0..paths {
+                if batched {
+                    out.clear();
+                    decisions += pgos.next_batch(j, now, &mut queues, batch, &mut out) as u64;
+                } else {
+                    for _ in 0..batch {
+                        if pgos.next_packet(j, now, &mut queues).is_none() {
+                            break;
+                        }
+                        decisions += 1;
+                    }
+                }
+            }
+        }
+    }
+    decisions as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let seed = iqpaths_bench::seed();
+    println!("Fast-path micro-benchmarks (seed {seed})\n");
+
+    let heap = bench_heap(seed);
+    let wheel = bench_wheel(seed);
+    println!("priority structures ({OPS} live expirations, ~50% stale):");
+    println!("{:>28} {:>14.0} ops/s", "Heap4 push/pop", heap);
+    println!("{:>28} {:>14.0} ops/s", "TimingWheel insert/advance", wheel);
+    println!("{:>28} {:>14.2}x\n", "wheel / heap", wheel / heap);
+
+    println!("PGOS decision loop (decisions/sec):");
+    println!(
+        "{:>8} {:>6} {:>14} {:>14} {:>8}",
+        "streams", "paths", "next_packet", "next_batch", "ratio"
+    );
+    for &(s, p) in &[(100usize, 8usize), (1_000, 8), (1_000, 32)] {
+        let single = bench_pgos(s, p, seed, false);
+        let batch = bench_pgos(s, p, seed, true);
+        println!(
+            "{s:>8} {p:>6} {single:>14.0} {batch:>14.0} {:>7.2}x",
+            batch / single
+        );
+    }
+}

@@ -126,10 +126,28 @@ pub fn mapping_is_feasible<C: BandwidthCdf>(
     assigned: &[Vec<f64>],
     tw_secs: f64,
 ) -> bool {
+    let mut committed = Vec::new();
+    mapping_is_feasible_with(cdfs, specs, assigned, tw_secs, &mut committed)
+}
+
+/// [`mapping_is_feasible`] with a caller-owned scratch buffer for the
+/// per-path committed load. The scheduler re-checks the standing
+/// mapping every window on its zero-alloc fast path; reusing the
+/// scratch across windows means the check allocates only until the
+/// buffer first reaches path-count capacity.
+pub fn mapping_is_feasible_with<C: BandwidthCdf>(
+    cdfs: &[C],
+    specs: &[StreamSpec],
+    assigned: &[Vec<f64>],
+    tw_secs: f64,
+    committed_scratch: &mut Vec<f64>,
+) -> bool {
     assert_eq!(specs.len(), assigned.len());
     let paths = cdfs.len();
     // Total committed (guaranteed) load per path.
-    let mut committed = vec![0.0; paths];
+    committed_scratch.clear();
+    committed_scratch.resize(paths, 0.0);
+    let committed = &mut *committed_scratch;
     for (spec, row) in specs.iter().zip(assigned) {
         assert_eq!(row.len(), paths);
         if !spec.guarantee.is_best_effort() {

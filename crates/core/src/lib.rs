@@ -42,6 +42,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod fastpath;
 pub mod guarantee;
 pub mod mapping;
 pub mod precedence;

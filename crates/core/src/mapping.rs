@@ -17,6 +17,7 @@ use crate::stream::{Guarantee, StreamSpec};
 use iqpaths_stats::CdfSummary;
 use iqpaths_trace::{TraceEvent, TraceHandle};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Admission-control notification delivered to the application.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -46,7 +47,10 @@ pub struct MappingResult {
     /// `assignments[i][j]` — packets of stream `i` scheduled on path `j`
     /// per window. Best-effort and rejected streams have all-zero rows
     /// (they are served opportunistically per the Table 1 precedence).
-    pub assignments: Vec<Vec<u32>>,
+    ///
+    /// Shared: the scheduler's [`crate::vectors::SchedulingVectors`]
+    /// view holds the *same* matrix, not a clone.
+    pub assignments: Arc<Vec<Vec<u32>>>,
     /// Same assignment expressed as rates in bits/s.
     pub rates: Vec<Vec<f64>>,
     /// Streams that could not be admitted.
@@ -324,7 +328,7 @@ impl ResourceMapper {
         }
 
         MappingResult {
-            assignments,
+            assignments: Arc::new(assignments),
             rates,
             upcalls,
         }

@@ -4,9 +4,26 @@
 //! them when a path service becomes free. Queues are bounded — a full
 //! queue drop-tails and the loss is accounted per stream, which is how
 //! an overloaded best-effort stream sheds load in the experiments.
+//!
+//! Storage is a slab-backed structure-of-arrays pool shared by every
+//! stream: parallel `bytes` / `created_ns` / `deadline_ns` / `seq`
+//! arrays plus an intrusive `next` link per slot, with each stream
+//! owning a head/tail index list threaded through the slab. The slab
+//! grows only to the high-water mark of concurrently queued packets
+//! and recycles slots through a free list, so the steady-state
+//! enqueue/dequeue cycle performs **zero heap allocation** — the
+//! property the allocation-counter test in `tests/zero_alloc.rs` pins.
+//! A live-packet counter makes [`StreamQueues::total_len`] and
+//! [`StreamQueues::is_empty`] O(1) (both were O(streams) scans when
+//! each stream owned its own `VecDeque`).
+//!
+//! Invariant (relied on by the scheduler's fallback index): a packet
+//! *in the pool* always has `deadline_ns == u64::MAX`. Deadlines are
+//! stamped on the popped copy by the scheduler, never written back, so
+//! every queued head ties on deadline and precedence among unscheduled
+//! streams reduces to (constraint, stream index). See DESIGN.md §12.
 
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
 
 /// A packet descriptor as seen by the scheduler. Mirrors
 /// `iqpaths_simnet::Packet` but lives here so the scheduler crate stays
@@ -26,14 +43,35 @@ pub struct QueuedPacket {
     pub deadline_ns: u64,
 }
 
-/// Per-stream bounded FIFO queues.
+/// Sentinel slot index: "no slot".
+const NIL: u32 = u32::MAX;
+
+/// Per-stream bounded FIFO queues over a shared structure-of-arrays
+/// packet pool.
 #[derive(Debug, Clone)]
 pub struct StreamQueues {
-    queues: Vec<VecDeque<QueuedPacket>>,
+    // --- slab (parallel arrays, indexed by slot) ---
+    bytes: Vec<u32>,
+    created_ns: Vec<u64>,
+    deadline_ns: Vec<u64>,
+    seq_of: Vec<u64>,
+    /// Intrusive link: next slot in the owning stream's FIFO, or the
+    /// next free slot when on the free list. `NIL` terminates both.
+    next: Vec<u32>,
+    free_head: u32,
+    // --- per-stream FIFO heads ---
+    head: Vec<u32>,
+    tail: Vec<u32>,
+    len: Vec<usize>,
+    // --- accounting ---
     capacity: usize,
+    live: usize,
     offered: Vec<u64>,
     dropped: Vec<u64>,
     seq: Vec<u64>,
+    // --- empty→non-empty wake journal (for index-based schedulers) ---
+    wake_log: Vec<u32>,
+    wake_enabled: bool,
 }
 
 impl StreamQueues {
@@ -44,17 +82,58 @@ impl StreamQueues {
     pub fn new(streams: usize, capacity: usize) -> Self {
         assert!(capacity > 0, "queues need positive capacity");
         Self {
-            queues: (0..streams).map(|_| VecDeque::new()).collect(),
+            bytes: Vec::new(),
+            created_ns: Vec::new(),
+            deadline_ns: Vec::new(),
+            seq_of: Vec::new(),
+            next: Vec::new(),
+            free_head: NIL,
+            head: vec![NIL; streams],
+            tail: vec![NIL; streams],
+            len: vec![0; streams],
             capacity,
+            live: 0,
             offered: vec![0; streams],
             dropped: vec![0; streams],
             seq: vec![0; streams],
+            wake_log: Vec::new(),
+            wake_enabled: false,
+        }
+    }
+
+    /// Like [`StreamQueues::new`], but pre-sizes the slab for `slots`
+    /// concurrently queued packets so the first `slots` pushes never
+    /// grow the pool. Sharded workers use this to pre-warm per-shard
+    /// pools before the event loop starts.
+    pub fn with_pool_capacity(streams: usize, capacity: usize, slots: usize) -> Self {
+        let mut q = Self::new(streams, capacity);
+        q.reserve_slots(slots);
+        q
+    }
+
+    /// Grows the slab (and free list) so at least `slots` packets can
+    /// be queued without further allocation.
+    pub fn reserve_slots(&mut self, slots: usize) {
+        while self.next.len() < slots {
+            let slot = self.next.len() as u32;
+            self.bytes.push(0);
+            self.created_ns.push(0);
+            self.deadline_ns.push(u64::MAX);
+            self.seq_of.push(0);
+            self.next.push(self.free_head);
+            self.free_head = slot;
         }
     }
 
     /// Number of streams.
     pub fn streams(&self) -> usize {
-        self.queues.len()
+        self.head.len()
+    }
+
+    /// Slab high-water mark: slots ever allocated. Steady-state
+    /// workloads plateau here; the zero-alloc test asserts it.
+    pub fn pool_slots(&self) -> usize {
+        self.next.len()
     }
 
     /// Enqueues a new packet for `stream`; returns `false` (and counts a
@@ -64,45 +143,99 @@ impl StreamQueues {
     /// Panics on an out-of-range stream.
     pub fn push(&mut self, stream: usize, bytes: u32, created_ns: u64) -> bool {
         self.offered[stream] += 1;
-        if self.queues[stream].len() >= self.capacity {
+        if self.len[stream] >= self.capacity {
             self.dropped[stream] += 1;
             return false;
         }
         let seq = self.seq[stream];
         self.seq[stream] += 1;
-        self.queues[stream].push_back(QueuedPacket {
-            stream,
-            seq,
-            bytes,
-            created_ns,
-            deadline_ns: u64::MAX,
-        });
+        let slot = match self.free_head {
+            NIL => {
+                let slot = self.next.len() as u32;
+                self.bytes.push(bytes);
+                self.created_ns.push(created_ns);
+                self.deadline_ns.push(u64::MAX);
+                self.seq_of.push(seq);
+                self.next.push(NIL);
+                slot
+            }
+            slot => {
+                self.free_head = self.next[slot as usize];
+                self.bytes[slot as usize] = bytes;
+                self.created_ns[slot as usize] = created_ns;
+                self.deadline_ns[slot as usize] = u64::MAX;
+                self.seq_of[slot as usize] = seq;
+                self.next[slot as usize] = NIL;
+                slot
+            }
+        };
+        match self.tail[stream] {
+            NIL => {
+                self.head[stream] = slot;
+                if self.wake_enabled {
+                    self.wake_log.push(stream as u32);
+                }
+            }
+            tail => self.next[tail as usize] = slot,
+        }
+        self.tail[stream] = slot;
+        self.len[stream] += 1;
+        self.live += 1;
         true
     }
 
-    /// Head packet of a stream, if any.
-    pub fn head(&self, stream: usize) -> Option<&QueuedPacket> {
-        self.queues.get(stream).and_then(|q| q.front())
+    fn packet_at(&self, stream: usize, slot: u32) -> QueuedPacket {
+        let s = slot as usize;
+        QueuedPacket {
+            stream,
+            seq: self.seq_of[s],
+            bytes: self.bytes[s],
+            created_ns: self.created_ns[s],
+            deadline_ns: self.deadline_ns[s],
+        }
+    }
+
+    /// Head packet of a stream, if any (a copy — queued state is never
+    /// mutated in place).
+    pub fn head(&self, stream: usize) -> Option<QueuedPacket> {
+        match self.head.get(stream).copied() {
+            None | Some(NIL) => None,
+            Some(slot) => Some(self.packet_at(stream, slot)),
+        }
     }
 
     /// Pops the head packet of a stream.
     pub fn pop(&mut self, stream: usize) -> Option<QueuedPacket> {
-        self.queues.get_mut(stream).and_then(|q| q.pop_front())
+        let slot = match self.head.get(stream).copied() {
+            None | Some(NIL) => return None,
+            Some(slot) => slot,
+        };
+        let pkt = self.packet_at(stream, slot);
+        self.head[stream] = self.next[slot as usize];
+        if self.head[stream] == NIL {
+            self.tail[stream] = NIL;
+        }
+        self.next[slot as usize] = self.free_head;
+        self.free_head = slot;
+        self.len[stream] -= 1;
+        self.live -= 1;
+        Some(pkt)
     }
 
     /// Queue length of a stream.
     pub fn len(&self, stream: usize) -> usize {
-        self.queues.get(stream).map_or(0, VecDeque::len)
+        self.len.get(stream).copied().unwrap_or(0)
     }
 
-    /// True when every queue is empty.
+    /// True when every queue is empty. O(1) via the live-packet counter.
     pub fn is_empty(&self) -> bool {
-        self.queues.iter().all(VecDeque::is_empty)
+        self.live == 0
     }
 
-    /// Total queued packets across all streams.
+    /// Total queued packets across all streams. O(1) via the
+    /// live-packet counter.
     pub fn total_len(&self) -> usize {
-        self.queues.iter().map(VecDeque::len).sum()
+        self.live
     }
 
     /// Sequence number the next successfully pushed packet of `stream`
@@ -134,11 +267,32 @@ impl StreamQueues {
 
     /// Streams whose queues are non-empty.
     pub fn backlogged(&self) -> impl Iterator<Item = usize> + '_ {
-        self.queues
+        self.len
             .iter()
             .enumerate()
-            .filter(|(_, q)| !q.is_empty())
+            .filter(|(_, l)| **l > 0)
             .map(|(i, _)| i)
+    }
+
+    /// Enables (or disables) the empty→non-empty wake journal. While
+    /// enabled, every push that transitions a stream from empty to
+    /// backlogged records the stream in a log drained by
+    /// [`StreamQueues::pop_wake`]. Index-based schedulers use this to
+    /// re-admit woken streams without scanning; when disabled (the
+    /// default) pushes pay nothing.
+    pub fn set_wake_logging(&mut self, enabled: bool) {
+        self.wake_enabled = enabled;
+        if !enabled {
+            self.wake_log.clear();
+        }
+    }
+
+    /// Drains one entry from the wake journal (see
+    /// [`StreamQueues::set_wake_logging`]). Order is unspecified; a
+    /// stream may appear more than once and may have gone empty again
+    /// by the time it is drained — consumers must re-check `len`.
+    pub fn pop_wake(&mut self) -> Option<usize> {
+        self.wake_log.pop().map(|s| s as usize)
     }
 }
 
@@ -212,5 +366,71 @@ mod tests {
     fn push_out_of_range_panics() {
         let mut q = StreamQueues::new(1, 4);
         q.push(5, 1, 0);
+    }
+
+    #[test]
+    fn slots_are_recycled_through_the_free_list() {
+        let mut q = StreamQueues::new(2, 8);
+        for round in 0..100 {
+            q.push(0, round, 0);
+            q.push(1, round, 0);
+            q.pop(0);
+            q.pop(1);
+        }
+        // High-water mark was 2 concurrent packets: the slab never grew
+        // past it despite 200 pushes.
+        assert_eq!(q.pool_slots(), 2);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_streams_share_the_slab_without_crosstalk() {
+        let mut q = StreamQueues::new(3, 16);
+        for i in 0..10u32 {
+            q.push(i as usize % 3, i, u64::from(i));
+        }
+        for s in 0..3 {
+            let mut expect_seq = 0;
+            while let Some(p) = q.pop(s) {
+                assert_eq!(p.stream, s);
+                assert_eq!(p.seq, expect_seq);
+                assert_eq!(p.bytes as usize % 3, s);
+                assert_eq!(p.deadline_ns, u64::MAX);
+                expect_seq += 1;
+            }
+        }
+        assert_eq!(q.total_len(), 0);
+    }
+
+    #[test]
+    fn reserve_slots_prewarms_the_slab() {
+        let mut q = StreamQueues::with_pool_capacity(1, 64, 16);
+        assert_eq!(q.pool_slots(), 16);
+        for _ in 0..16 {
+            q.push(0, 1, 0);
+        }
+        assert_eq!(q.pool_slots(), 16);
+        q.push(0, 1, 0);
+        assert_eq!(q.pool_slots(), 17);
+    }
+
+    #[test]
+    fn wake_journal_records_empty_to_backlogged_transitions() {
+        let mut q = StreamQueues::new(3, 4);
+        q.push(0, 1, 0); // before enabling: not journaled
+        q.set_wake_logging(true);
+        q.push(0, 1, 0); // already backlogged: not journaled
+        q.push(2, 1, 0); // empty→backlogged: journaled
+        q.pop(2);
+        q.push(2, 1, 0); // woke again: journaled again
+        let mut wakes = Vec::new();
+        while let Some(s) = q.pop_wake() {
+            wakes.push(s);
+        }
+        wakes.sort_unstable();
+        assert_eq!(wakes, vec![2, 2]);
+        q.set_wake_logging(false);
+        q.push(1, 1, 0);
+        assert!(q.pop_wake().is_none());
     }
 }

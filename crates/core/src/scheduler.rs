@@ -15,14 +15,16 @@
 //!    backoff are used to avoid sending multiple packets to a blocked
 //!    path").
 
+use crate::fastpath::Heap4;
 use crate::mapping::{MappingResult, ResourceMapper, Upcall};
-use crate::precedence::{self, Candidate, ScheduleClass};
+use crate::precedence::ScheduleClass;
 use crate::queues::{QueuedPacket, StreamQueues};
 use crate::stream::StreamSpec;
 use crate::traits::{MultipathScheduler, PathSnapshot};
 use crate::vectors::{SchedulingVectors, VsCursor};
 use iqpaths_stats::{BandwidthCdf, CdfSummary};
 use iqpaths_trace::{DispatchClass, TraceEvent, TraceHandle};
+use std::sync::Arc;
 
 /// PGOS tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -55,6 +57,46 @@ struct Backoff {
     current_ns: u64,
 }
 
+/// Index over backlogged streams replacing the fallback's per-decision
+/// scan (DESIGN.md §12). Every backlogged stream has exactly one
+/// *valid* entry, in the structure matching its Table 1 class:
+///
+/// * `behind` — scheduled budget left elsewhere **and** behind its
+///   paced schedule (rule 2), keyed `(deadline, constraint, stream)`
+///   exactly as `precedence::compare` orders candidates;
+/// * `wheel` — scheduled budget left but still on schedule (rule 2 does
+///   not apply *yet*), keyed by the exact first instant the
+///   behind-schedule predicate will flip, so promotion needs no scan;
+/// * `unsched` — no scheduled budget (rule 3), keyed `(constraint,
+///   stream)`; the deadline component is omitted because queued
+///   packets always carry `deadline_ns == u64::MAX` (see `queues.rs`).
+///
+/// Entries are invalidated lazily: `stamp[s]` bumps whenever stream
+/// `s`'s classification inputs change, and stale entries are discarded
+/// when they surface at a heap top. Constraint ratios are mapped to
+/// `!ratio.to_bits()` — monotone-decreasing for the non-negative
+/// finite ratios `WindowConstraint::ratio` produces — so "higher
+/// constraint wins ties" becomes an ascending integer compare.
+#[derive(Debug, Clone, Default)]
+struct FallbackIndex {
+    /// Rebuild everything at the next decision (set at window start and
+    /// stream-set changes, where the trait gives no queue access).
+    dirty: bool,
+    /// Per-stream entry generation; a heap entry is valid iff its stamp
+    /// matches.
+    stamp: Vec<u64>,
+    /// Σ over all paths of the cursor budget left for each stream.
+    /// When the current path's cursor has just returned `None`, this
+    /// equals the fallback's "budget on *other* paths" (the current
+    /// path's share is provably zero for every backlogged stream).
+    sched_remaining: Vec<u32>,
+    /// `!window_constraint(tw).ratio().to_bits()` per stream.
+    cons_key: Vec<u64>,
+    wheel: Heap4<u64>,
+    behind: Heap4<(u64, u64, u32)>,
+    unsched: Heap4<(u64, u32)>,
+}
+
 /// The Predictive Guarantee Overlay Scheduler.
 #[derive(Debug, Clone)]
 pub struct Pgos {
@@ -81,6 +123,20 @@ pub struct Pgos {
     /// Decision-event emission handle (null unless a traced run
     /// installed one; see [`MultipathScheduler::set_trace`]).
     trace: TraceHandle,
+    /// Zero-alloc fallback index (see [`FallbackIndex`]).
+    fp: FallbackIndex,
+    /// Window-start scratch: per-path CDF summaries (reused across
+    /// windows so the per-window snapshot refresh allocates nothing
+    /// once at capacity).
+    cdf_scratch: Vec<CdfSummary>,
+    /// Remap scratch: previous-placement affinity vector.
+    affinity_scratch: Vec<Option<usize>>,
+    /// Window-start scratch: per-path committed load for the standing
+    /// feasibility re-check.
+    feasible_scratch: Vec<f64>,
+    /// Debug-only scratch for the scan-based fallback cross-check.
+    #[cfg(debug_assertions)]
+    debug_candidates: Vec<crate::precedence::Candidate>,
 }
 
 impl Pgos {
@@ -111,6 +167,15 @@ impl Pgos {
             upcalls: Vec::new(),
             remaps: 0,
             trace: TraceHandle::null(),
+            fp: FallbackIndex {
+                dirty: true,
+                ..FallbackIndex::default()
+            },
+            cdf_scratch: Vec::new(),
+            affinity_scratch: Vec::new(),
+            feasible_scratch: Vec::new(),
+            #[cfg(debug_assertions)]
+            debug_candidates: Vec::new(),
         }
     }
 
@@ -148,6 +213,7 @@ impl Pgos {
         self.mapping = None;
         self.vectors = None;
         self.cursors.clear();
+        self.fp.dirty = true;
         idx
     }
 
@@ -170,6 +236,7 @@ impl Pgos {
         self.mapping = None;
         self.vectors = None;
         self.cursors.clear();
+        self.fp.dirty = true;
     }
 
     /// The current packet assignment matrix, if mapped.
@@ -177,7 +244,7 @@ impl Pgos {
         self.mapping.as_ref()
     }
 
-    fn needs_remap(&self, cdfs: &[CdfSummary]) -> bool {
+    fn needs_remap(&mut self, cdfs: &[CdfSummary]) -> bool {
         let Some(mapping) = &self.mapping else {
             return true;
         };
@@ -206,52 +273,67 @@ impl Pgos {
                 }
             }
         }
-        // Feasibility of the standing mapping under the fresh CDFs.
-        !crate::guarantee::mapping_is_feasible(
+        // Feasibility of the standing mapping under the fresh CDFs,
+        // with the committed-load scratch reused across windows.
+        !crate::guarantee::mapping_is_feasible_with(
             cdfs,
             &self.specs,
             &mapping.rates,
             self.cfg.window_secs,
+            &mut self.feasible_scratch,
         )
     }
 
     fn remap(&mut self, cdfs: &[CdfSummary]) {
         // Keep streams on their previous paths across near-tied remaps.
-        let affinity: Vec<Option<usize>> = match &self.mapping {
-            None => vec![None; self.specs.len()],
-            Some(m) => m
-                .rates
-                .iter()
-                .map(|row| {
-                    row.iter()
-                        .enumerate()
-                        .filter(|(_, r)| **r > 0.0)
-                        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite rates"))
-                        .map(|(j, _)| j)
-                })
-                .collect(),
+        // The affinity vector is a reusable scratch buffer.
+        let mut affinity = std::mem::take(&mut self.affinity_scratch);
+        affinity.clear();
+        match &self.mapping {
+            None => affinity.extend((0..self.specs.len()).map(|_| None)),
+            Some(m) => affinity.extend(m.rates.iter().map(|row| {
+                row.iter()
+                    .enumerate()
+                    .filter(|(_, r)| **r > 0.0)
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite rates"))
+                    .map(|(j, _)| j)
+            })),
         };
         let mapping =
             self.mapper
                 .map_full(&self.specs, cdfs, Some(&affinity), Some(&self.path_loss));
+        self.affinity_scratch = affinity;
         self.upcalls.extend(mapping.upcalls.iter().cloned());
-        self.vectors = Some(SchedulingVectors::build(mapping.assignments.clone()));
+        // One assignment matrix, shared between the mapping result and
+        // the vector view (it was deep-cloned here before).
+        self.vectors = Some(SchedulingVectors::build_shared(Arc::clone(
+            &mapping.assignments,
+        )));
         self.mapping = Some(mapping);
-        self.reference_cdfs = cdfs.to_vec();
+        self.reference_cdfs.clear();
+        self.reference_cdfs.extend(cdfs.iter().cloned());
         self.remaps += 1;
     }
 
     fn rebuild_cursors(&mut self) {
-        let Some(vectors) = &self.vectors else {
+        let Some(vectors) = self.vectors.take() else {
             self.cursors.clear();
             return;
         };
-        self.cursors = (0..self.paths)
-            .map(|j| {
-                let per_stream: Vec<u32> = vectors.assignments.iter().map(|row| row[j]).collect();
-                VsCursor::new(vectors.vs[j].clone(), per_stream)
-            })
-            .collect();
+        // Re-arm standing cursors in place: the `VS[j]` vectors are
+        // shared via `Arc` and the budget buffers refill at capacity,
+        // so steady-state windows rebuild without allocating.
+        if self.cursors.len() != self.paths {
+            self.cursors.clear();
+            self.cursors
+                .extend((0..self.paths).map(|_| VsCursor::new(Vec::new(), Vec::new())));
+        }
+        let streams = self.specs.len();
+        for (j, cursor) in self.cursors.iter_mut().enumerate() {
+            let assignments = &vectors.assignments;
+            cursor.reset_with(&vectors.vs[j], streams, |i| assignments[i][j]);
+        }
+        self.vectors = Some(vectors);
     }
 
     /// Total scheduled packets of `stream` per window across all paths.
@@ -295,22 +377,157 @@ impl Pgos {
         (self.window_sent[s] as f64) + slack < expected
     }
 
-    /// Table 1 fallback when the current path has no scheduled budget
-    /// left: prefer packets scheduled on other (still-budgeted) paths
-    /// *that are behind schedule*, then unscheduled packets, EDF within
-    /// class, window-constraint on ties.
-    fn pop_fallback(
+    /// The Table 1 deadline used to *rank* a rule-2 candidate: the same
+    /// formula as [`Pgos::stamp_deadline`] without the send-count side
+    /// effect.
+    fn candidate_deadline(&self, s: usize) -> u64 {
+        let x = self.scheduled_total(s).max(1);
+        let k = (self.window_sent[s] + 1).min(x);
+        self.window_start_ns + (self.window_ns as f64 * k as f64 / x as f64) as u64
+    }
+
+    /// Exact first instant at which [`Pgos::behind_schedule`] flips to
+    /// `true` for `s` given its current sent count (`u64::MAX` when it
+    /// never can, e.g. a zero-length window). The predicate is weakly
+    /// monotone in time for a fixed sent count — serving a packet is
+    /// the only thing that un-behinds a stream, and that re-files it —
+    /// so an exponential probe plus a binary search on the *exact*
+    /// predicate yields the precise flip point; the wheel is therefore
+    /// not a heuristic, it promotes streams at the same instant the
+    /// old per-decision scan would have reclassified them.
+    fn behind_threshold(&self, s: usize) -> u64 {
+        let x = self.scheduled_total(s);
+        if x == 0 || self.window_ns == 0 {
+            return u64::MAX;
+        }
+        let ws = self.window_start_ns;
+        // behind(ws) is always false: slack >= 1 > 0 = expected.
+        let mut hi: u64 = 1;
+        loop {
+            let t = ws.saturating_add(hi);
+            if self.behind_schedule(s, t) {
+                break;
+            }
+            if t == u64::MAX {
+                return u64::MAX;
+            }
+            hi = hi.saturating_mul(2);
+        }
+        let mut lo = if hi == 1 {
+            ws
+        } else {
+            ws.saturating_add(hi / 2)
+        }; // behind(lo) == false
+        let mut hi_t = ws.saturating_add(hi); // behind(hi_t) == true
+        while hi_t - lo > 1 {
+            let mid = lo + (hi_t - lo) / 2;
+            if self.behind_schedule(s, mid) {
+                hi_t = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        hi_t
+    }
+
+    /// (Re)files `stream` in the fallback index under its current
+    /// classification, invalidating any standing entry. Must be called
+    /// after every event that changes the stream's backlog, budget, or
+    /// sent count. Relies on decision times being non-decreasing within
+    /// a window (they are: the runtime clock is monotone), since a
+    /// stream classified behind-schedule stays behind until served.
+    fn index_touch(&mut self, stream: usize, now_ns: u64, backlogged: bool) {
+        self.fp.stamp[stream] += 1;
+        if !backlogged {
+            return;
+        }
+        let stamp = self.fp.stamp[stream];
+        if self.fp.sched_remaining[stream] > 0 {
+            if self.behind_schedule(stream, now_ns) {
+                let d = self.candidate_deadline(stream);
+                let ck = self.fp.cons_key[stream];
+                self.fp
+                    .behind
+                    .push((d, ck, stream as u32), stream as u32, stamp);
+            } else {
+                let t = self.behind_threshold(stream);
+                self.fp.wheel.push(t, stream as u32, stamp);
+            }
+        } else {
+            let ck = self.fp.cons_key[stream];
+            self.fp
+                .unsched
+                .push((ck, stream as u32), stream as u32, stamp);
+        }
+    }
+
+    /// Full index rebuild, run lazily at the first decision after a
+    /// window start or stream-set change (the trait's window hook has
+    /// no access to the queues). Also turns on the queues' wake
+    /// journal, which keeps the index complete between rebuilds.
+    fn index_rebuild(&mut self, now_ns: u64, queues: &mut StreamQueues) {
+        queues.set_wake_logging(true);
+        while queues.pop_wake().is_some() {} // subsumed by the full scan
+        let n = self.specs.len();
+        let tw = self.cfg.window_secs;
+        self.fp.dirty = false;
+        self.fp.stamp.resize(n, 0);
+        self.fp.sched_remaining.clear();
+        self.fp.sched_remaining.resize(n, 0);
+        self.fp.wheel.clear();
+        self.fp.behind.clear();
+        self.fp.unsched.clear();
+        for cursor in &self.cursors {
+            for s in 0..n {
+                self.fp.sched_remaining[s] += cursor.remaining(s);
+            }
+        }
+        self.fp.cons_key.clear();
+        for s in 0..n {
+            self.fp
+                .cons_key
+                .push(!self.specs[s].window_constraint(tw).ratio().to_bits());
+        }
+        for s in 0..n {
+            if queues.len(s) > 0 {
+                self.index_touch(s, now_ns, true);
+            }
+        }
+    }
+
+    /// Index sync at the top of every decision: full rebuild when
+    /// dirty, otherwise drain the queues' empty→backlogged wake
+    /// journal.
+    fn index_sync(&mut self, now_ns: u64, queues: &mut StreamQueues) {
+        if self.fp.dirty {
+            self.index_rebuild(now_ns, queues);
+            return;
+        }
+        while let Some(s) = queues.pop_wake() {
+            if queues.len(s) > 0 {
+                self.index_touch(s, now_ns, true);
+            }
+        }
+    }
+
+    /// The pre-index fallback winner, recomputed by scanning every
+    /// backlogged stream exactly as the old implementation did. Debug
+    /// builds (which is what `cargo test` runs, golden traces and the
+    /// shard-equivalence matrix included) assert the index agrees on
+    /// every single fallback decision.
+    #[cfg(debug_assertions)]
+    fn debug_scan_winner(
         &mut self,
         path: usize,
         now_ns: u64,
-        queues: &mut StreamQueues,
-    ) -> Option<QueuedPacket> {
+        queues: &StreamQueues,
+    ) -> Option<(usize, ScheduleClass, u64)> {
+        use crate::precedence::{self, Candidate};
         let tw = self.cfg.window_secs;
-        let mut candidates = Vec::new();
-        let backlogged: Vec<usize> = queues.backlogged().collect();
-        for s in backlogged {
+        let mut candidates = std::mem::take(&mut self.debug_candidates);
+        candidates.clear();
+        for s in queues.backlogged() {
             let head = queues.head(s).expect("backlogged stream has a head");
-            // Does another path still hold budget for this stream?
             let other_budget: u32 = self
                 .cursors
                 .iter()
@@ -319,7 +536,6 @@ impl Pgos {
                 .map(|(_, c)| c.remaining(s))
                 .sum();
             if other_budget > 0 && !self.behind_schedule(s, now_ns) {
-                // On-schedule elsewhere: leave its packets to the owner.
                 continue;
             }
             let class = if other_budget > 0 {
@@ -328,10 +544,7 @@ impl Pgos {
                 ScheduleClass::Unscheduled
             };
             let deadline_ns = if class == ScheduleClass::OtherPath {
-                // Its would-be deadline on the owning path.
-                let x = self.scheduled_total(s).max(1);
-                let k = (self.window_sent[s] + 1).min(x);
-                self.window_start_ns + (self.window_ns as f64 * k as f64 / x as f64) as u64
+                self.candidate_deadline(s)
             } else {
                 head.deadline_ns
             };
@@ -342,50 +555,104 @@ impl Pgos {
                 constraint: self.specs[s].window_constraint(tw).ratio(),
             });
         }
-        let winner = precedence::best(&candidates)?;
-        // Capture the Table 1 evidence needed by trace invariants before
-        // the pop mutates cursor/queue state (skipped entirely untraced).
+        let winner = precedence::best(&candidates).map(|w| (w.stream, w.class, w.deadline_ns));
+        self.debug_candidates = candidates;
+        winner
+    }
+
+    /// Table 1 fallback when the current path has no scheduled budget
+    /// left: prefer packets scheduled on other (still-budgeted) paths
+    /// *that are behind schedule*, then unscheduled packets, EDF within
+    /// class, window-constraint on ties. Winner selection is O(log n)
+    /// against the [`FallbackIndex`] instead of a scan over all
+    /// backlogged streams.
+    fn pop_fallback(
+        &mut self,
+        path: usize,
+        now_ns: u64,
+        queues: &mut StreamQueues,
+    ) -> Option<QueuedPacket> {
+        #[cfg(debug_assertions)]
+        let expected = self.debug_scan_winner(path, now_ns, queues);
+        // Promote every stream whose behind-schedule instant has passed
+        // from the wheel into the rule-2 heap.
+        while let Some(top) = self.fp.wheel.peek() {
+            if top.key > now_ns {
+                break;
+            }
+            let e = self.fp.wheel.pop().expect("peeked");
+            let s = e.stream as usize;
+            if e.stamp != self.fp.stamp[s] || queues.len(s) == 0 {
+                continue; // stale
+            }
+            let d = self.candidate_deadline(s);
+            let ck = self.fp.cons_key[s];
+            self.fp.behind.push((d, ck, e.stream), e.stream, e.stamp);
+        }
+        // Winner: any rule-2 candidate outranks every rule-3 one; the
+        // heap keys mirror `precedence::compare` within each class.
+        let mut winner: Option<(usize, ScheduleClass, u64)> = None;
+        while let Some(top) = self.fp.behind.peek() {
+            let s = top.stream as usize;
+            if top.stamp == self.fp.stamp[s] && queues.len(s) > 0 {
+                let e = self.fp.behind.pop().expect("peeked");
+                winner = Some((s, ScheduleClass::OtherPath, e.key.0));
+                break;
+            }
+            self.fp.behind.pop();
+        }
+        if winner.is_none() {
+            while let Some(top) = self.fp.unsched.peek() {
+                let s = top.stream as usize;
+                if top.stamp == self.fp.stamp[s] && queues.len(s) > 0 {
+                    self.fp.unsched.pop();
+                    // Queued packets always carry a u64::MAX deadline.
+                    winner = Some((s, ScheduleClass::Unscheduled, u64::MAX));
+                    break;
+                }
+                self.fp.unsched.pop();
+            }
+        }
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            winner, expected,
+            "fallback index diverged from the reference scan (path {path}, now {now_ns})"
+        );
+        let (stream, class, deadline) = winner?;
+        // Table 1 evidence for trace invariants: the heap top *is* the
+        // class minimum, and a rule-3 winner proves no rule-2 candidate
+        // existed (it would have outranked it).
         let decision = if self.trace.enabled() {
-            let class = match winner.class {
+            let dispatch_class = match class {
                 ScheduleClass::CurrentPath | ScheduleClass::OtherPath => DispatchClass::OtherPath,
                 ScheduleClass::Unscheduled => DispatchClass::Unscheduled,
             };
-            let class_min = candidates
-                .iter()
-                .filter(|c| c.class == winner.class)
-                .map(|c| c.deadline_ns)
-                .min()
-                .unwrap_or(winner.deadline_ns);
-            let other_present = candidates
-                .iter()
-                .any(|c| c.class == ScheduleClass::OtherPath);
-            Some((
-                winner.stream,
-                class,
-                winner.deadline_ns,
-                class_min,
-                other_present,
-            ))
+            let other_present = class == ScheduleClass::OtherPath;
+            Some((dispatch_class, deadline, deadline, other_present))
         } else {
             None
         };
-        let popped = match winner.class {
+        let popped = match class {
             ScheduleClass::OtherPath => {
-                // Steal the budget from the other path holding the most.
-                let stream = winner.stream;
-                if let Some((_, cursor)) = self
-                    .cursors
-                    .iter_mut()
-                    .enumerate()
-                    .filter(|(j, c)| *j != path && c.remaining(stream) > 0)
-                    .max_by_key(|(_, c)| c.remaining(stream))
-                {
-                    let _ = cursor.next_scheduled(|s| s == stream);
+                // Steal the budget from the other path holding the most
+                // (ties: the highest-indexed path, as the old
+                // `max_by_key` returned the last maximum).
+                let mut victim: Option<usize> = None;
+                let mut victim_remaining = 0u32;
+                for (j, c) in self.cursors.iter().enumerate() {
+                    let r = c.remaining(stream);
+                    if j != path && r > 0 && r >= victim_remaining {
+                        victim_remaining = r;
+                        victim = Some(j);
+                    }
+                }
+                if let Some(j) = victim {
+                    let _ = self.cursors[j].next_scheduled(|s| s == stream);
+                    self.fp.sched_remaining[stream] -= 1;
                 }
                 self.pop_scheduled(stream, queues)
             }
             _ => {
-                let stream = winner.stream;
                 let mut pkt = queues.pop(stream)?;
                 // Unscheduled packets keep (or get) a best-effort
                 // deadline; guaranteed streams' overflow packets inherit
@@ -397,7 +664,8 @@ impl Pgos {
                 Some(pkt)
             }
         };
-        if let (Some(pkt), Some((stream, class, deadline, class_min, other_present))) =
+        self.index_touch(stream, now_ns, queues.len(stream) > 0);
+        if let (Some(pkt), Some((dispatch_class, deadline, class_min, other_present))) =
             (&popped, decision)
         {
             self.trace.emit(TraceEvent::DispatchDecision {
@@ -405,13 +673,49 @@ impl Pgos {
                 path: path as u32,
                 stream: stream as u32,
                 seq: pkt.seq,
-                class,
+                class: dispatch_class,
                 candidate_deadline_ns: deadline,
                 class_min_deadline_ns: class_min,
                 other_scheduled_present: other_present,
             });
         }
         popped
+    }
+
+    /// One Table 1 decision with the index already synced (the shared
+    /// tail of [`MultipathScheduler::next_packet`] and
+    /// [`MultipathScheduler::next_batch`]).
+    fn decide(
+        &mut self,
+        path: usize,
+        now_ns: u64,
+        queues: &mut StreamQueues,
+    ) -> Option<QueuedPacket> {
+        // 1. The path's own scheduled packets (Table 1 rule 1).
+        if let Some(cursor) = self.cursors.get_mut(path) {
+            if let Some(stream) = cursor.next_scheduled(|s| queues.len(s) > 0) {
+                self.fp.sched_remaining[stream] -= 1;
+                let pkt = self.pop_scheduled(stream, queues);
+                self.index_touch(stream, now_ns, queues.len(stream) > 0);
+                if let Some(p) = &pkt {
+                    if self.trace.enabled() {
+                        self.trace.emit(TraceEvent::DispatchDecision {
+                            at_ns: now_ns,
+                            path: path as u32,
+                            stream: stream as u32,
+                            seq: p.seq,
+                            class: DispatchClass::Scheduled,
+                            candidate_deadline_ns: p.deadline_ns,
+                            class_min_deadline_ns: p.deadline_ns,
+                            other_scheduled_present: false,
+                        });
+                    }
+                }
+                return pkt;
+            }
+        }
+        // 2./3. Spare capacity: other-path and unscheduled packets.
+        self.pop_fallback(path, now_ns, queues)
     }
 }
 
@@ -428,13 +732,18 @@ impl MultipathScheduler for Pgos {
         assert_eq!(paths.len(), self.paths, "path count changed mid-run");
         self.window_start_ns = window_start_ns;
         self.window_ns = window_ns;
-        self.path_loss = paths.iter().map(|p| p.loss).collect();
-        // O(1) per path: summaries share their backing structure.
-        let cdfs: Vec<CdfSummary> = paths.iter().map(|p| p.cdf.clone()).collect();
+        self.path_loss.clear();
+        self.path_loss.extend(paths.iter().map(|p| p.loss));
+        // Amortized snapshot refresh: cheap summary clones (they share
+        // their backing structure) into a buffer reused across windows.
+        let mut cdfs = std::mem::take(&mut self.cdf_scratch);
+        cdfs.clear();
+        cdfs.extend(paths.iter().map(|p| p.cdf.clone()));
         let remapped = self.needs_remap(&cdfs);
         if remapped {
             self.remap(&cdfs);
         }
+        self.cdf_scratch = cdfs;
         if self.trace.enabled() {
             self.trace.emit(TraceEvent::WindowStart {
                 at_ns: window_start_ns,
@@ -459,6 +768,10 @@ impl MultipathScheduler for Pgos {
         }
         self.rebuild_cursors();
         self.window_sent.iter_mut().for_each(|c| *c = 0);
+        // Budgets, thresholds and deadlines all changed: rebuild the
+        // fallback index at the first decision of the window (the
+        // queues are not reachable from this hook).
+        self.fp.dirty = true;
         // A new window clears expired backoffs back to the initial step.
         let trace = self.trace.clone();
         for (j, b) in self.backoff.iter_mut().enumerate() {
@@ -481,29 +794,36 @@ impl MultipathScheduler for Pgos {
         if self.backoff[path].until_ns > now_ns {
             return None;
         }
-        // 1. The path's own scheduled packets (Table 1 rule 1).
-        if let Some(cursor) = self.cursors.get_mut(path) {
-            if let Some(stream) = cursor.next_scheduled(|s| queues.len(s) > 0) {
-                let pkt = self.pop_scheduled(stream, queues);
-                if let Some(p) = &pkt {
-                    if self.trace.enabled() {
-                        self.trace.emit(TraceEvent::DispatchDecision {
-                            at_ns: now_ns,
-                            path: path as u32,
-                            stream: stream as u32,
-                            seq: p.seq,
-                            class: DispatchClass::Scheduled,
-                            candidate_deadline_ns: p.deadline_ns,
-                            class_min_deadline_ns: p.deadline_ns,
-                            other_scheduled_present: false,
-                        });
-                    }
+        self.index_sync(now_ns, queues);
+        self.decide(path, now_ns, queues)
+    }
+
+    fn next_batch(
+        &mut self,
+        path: usize,
+        now_ns: u64,
+        queues: &mut StreamQueues,
+        max: usize,
+        out: &mut Vec<QueuedPacket>,
+    ) -> usize {
+        // Batched dispatch: hoist the backoff gate and index sync out
+        // of the loop. Exact, because decisions never push packets, so
+        // the wake journal cannot gain entries mid-batch.
+        if self.backoff[path].until_ns > now_ns {
+            return 0;
+        }
+        self.index_sync(now_ns, queues);
+        let mut served = 0;
+        while served < max {
+            match self.decide(path, now_ns, queues) {
+                Some(pkt) => {
+                    out.push(pkt);
+                    served += 1;
                 }
-                return pkt;
+                None => break,
             }
         }
-        // 2./3. Spare capacity: other-path and unscheduled packets.
-        self.pop_fallback(path, now_ns, queues)
+        served
     }
 
     fn on_path_blocked(&mut self, path: usize, now_ns: u64) {

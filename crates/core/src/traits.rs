@@ -79,6 +79,39 @@ pub trait MultipathScheduler {
         queues: &mut StreamQueues,
     ) -> Option<QueuedPacket>;
 
+    /// Batched dispatch: pop up to `max` consecutive decisions for
+    /// `path` at `now_ns`, appending them to `out`; returns the count
+    /// served. Semantically identical to calling
+    /// [`MultipathScheduler::next_packet`] in a loop until it returns
+    /// `None` or `max` is reached — implementations may override it
+    /// only to amortize per-decision overhead (PGOS hoists its backoff
+    /// gate and fallback-index sync), never to change decisions.
+    ///
+    /// The event-driven runtime intentionally does *not* use this: it
+    /// interleaves decisions with path-service completions one at a
+    /// time. Throughput harnesses draining a whole window per path
+    /// visit do.
+    fn next_batch(
+        &mut self,
+        path: usize,
+        now_ns: u64,
+        queues: &mut StreamQueues,
+        max: usize,
+        out: &mut Vec<QueuedPacket>,
+    ) -> usize {
+        let mut served = 0;
+        while served < max {
+            match self.next_packet(path, now_ns, queues) {
+                Some(pkt) => {
+                    out.push(pkt);
+                    served += 1;
+                }
+                None => break,
+            }
+        }
+        served
+    }
+
     /// Notification that a send on `path` observed blocking (very low
     /// service rate). Schedulers may back off the path.
     fn on_path_blocked(&mut self, _path: usize, _now_ns: u64) {}

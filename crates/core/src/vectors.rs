@@ -13,6 +13,18 @@
 //!
 //! The paper's worked example (5 packets of S1 and 4 of S2 on path 1,
 //! 6 packets of S2 on path 2) is reproduced verbatim in the tests.
+//!
+//! The assignment matrix and the per-path `VS[j]` vectors are held
+//! behind [`Arc`]s: the mapping result, the vector set and every
+//! per-path cursor *share* one copy instead of deep-cloning it per
+//! window (the pre-refactor `rebuild_cursors` cloned each `VS[j]` and
+//! collected a fresh budget column every window, and `remap` stored the
+//! matrix twice). Row/column totals are precomputed once at build so
+//! the scheduler's per-decision deadline stamping reads
+//! [`SchedulingVectors::packets_of_stream`] in O(1) instead of summing
+//! a row.
+
+use std::sync::Arc;
 
 /// Virtual-deadline entry used during vector construction.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -57,14 +69,21 @@ pub fn stream_scheduling_vector(per_stream_packets: &[u32]) -> Vec<usize> {
 }
 
 /// The complete vector set for one scheduling window.
+///
+/// The matrix behind `assignments` is shared (not cloned) with the
+/// producing [`crate::mapping::MappingResult`], and each `vs[j]` is
+/// shared with the per-path [`VsCursor`]s — one copy of each, however
+/// many windows elapse.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SchedulingVectors {
     /// `assignments[i][j]` — packets of stream `i` on path `j`.
-    pub assignments: Vec<Vec<u32>>,
+    pub assignments: Arc<Vec<Vec<u32>>>,
     /// Path visit order.
     pub vp: Vec<usize>,
-    /// Per-path stream visit order.
-    pub vs: Vec<Vec<usize>>,
+    /// Per-path stream visit order (shared with the cursors).
+    pub vs: Vec<Arc<Vec<usize>>>,
+    per_stream_total: Vec<u32>,
+    per_path_total: Vec<u32>,
 }
 
 impl SchedulingVectors {
@@ -73,25 +92,37 @@ impl SchedulingVectors {
     /// # Panics
     /// Panics if the matrix is ragged.
     pub fn build(assignments: Vec<Vec<u32>>) -> Self {
+        Self::build_shared(Arc::new(assignments))
+    }
+
+    /// Like [`SchedulingVectors::build`], but shares an existing matrix
+    /// instead of taking ownership of a fresh clone.
+    ///
+    /// # Panics
+    /// Panics if the matrix is ragged.
+    pub fn build_shared(assignments: Arc<Vec<Vec<u32>>>) -> Self {
         let paths = assignments.first().map_or(0, Vec::len);
         assert!(
             assignments.iter().all(|row| row.len() == paths),
             "assignment matrix must be rectangular"
         );
-        let per_path: Vec<u32> = (0..paths)
+        let per_path_total: Vec<u32> = (0..paths)
             .map(|j| assignments.iter().map(|row| row[j]).sum())
             .collect();
-        let vp = path_lookup_vector(&per_path);
+        let per_stream_total: Vec<u32> = assignments.iter().map(|row| row.iter().sum()).collect();
+        let vp = path_lookup_vector(&per_path_total);
         let vs = (0..paths)
             .map(|j| {
                 let per_stream: Vec<u32> = assignments.iter().map(|row| row[j]).collect();
-                stream_scheduling_vector(&per_stream)
+                Arc::new(stream_scheduling_vector(&per_stream))
             })
             .collect();
         Self {
             assignments,
             vp,
             vs,
+            per_stream_total,
+            per_path_total,
         }
     }
 
@@ -105,14 +136,16 @@ impl SchedulingVectors {
         self.assignments.len()
     }
 
-    /// Total packets scheduled on path `j` per window.
+    /// Total packets scheduled on path `j` per window. O(1) — totals
+    /// are precomputed at build.
     pub fn packets_on_path(&self, j: usize) -> u32 {
-        self.assignments.iter().map(|row| row[j]).sum()
+        self.per_path_total[j]
     }
 
-    /// Total packets scheduled for stream `i` per window.
+    /// Total packets scheduled for stream `i` per window. O(1) — the
+    /// scheduler stamps a deadline per decision off this.
     pub fn packets_of_stream(&self, i: usize) -> u32 {
-        self.assignments[i].iter().sum()
+        self.per_stream_total[i]
     }
 
     /// True when stream `i` is split across more than one path (the
@@ -127,7 +160,7 @@ impl SchedulingVectors {
 /// of each stream's scheduled packets remain.
 #[derive(Debug, Clone)]
 pub struct VsCursor {
-    vs: Vec<usize>,
+    vs: Arc<Vec<usize>>,
     pos: usize,
     remaining: Vec<u32>,
 }
@@ -136,10 +169,26 @@ impl VsCursor {
     /// Cursor over `vs` with per-stream budgets `remaining`.
     pub fn new(vs: Vec<usize>, remaining: Vec<u32>) -> Self {
         Self {
-            vs,
+            vs: Arc::new(vs),
             pos: 0,
             remaining,
         }
+    }
+
+    /// Re-arms an existing cursor for a new window: shares `vs` (no
+    /// clone), rewinds the position, and refills the per-stream budget
+    /// in place via `budget(stream)`. After the first window the
+    /// budget buffer is at capacity, so this allocates nothing.
+    pub fn reset_with<F: Fn(usize) -> u32>(
+        &mut self,
+        vs: &Arc<Vec<usize>>,
+        streams: usize,
+        budget: F,
+    ) {
+        self.vs = Arc::clone(vs);
+        self.pos = 0;
+        self.remaining.clear();
+        self.remaining.extend((0..streams).map(budget));
     }
 
     /// Budget left for stream `i` this window.

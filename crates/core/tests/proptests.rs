@@ -224,7 +224,7 @@ proptest! {
             let counts: Vec<u32> = matrix.iter().map(|row| row[j]).collect();
             let mut seen = vec![0u32; counts.len()];
             let mut last = f64::NEG_INFINITY;
-            for &i in &sv.vs[j] {
+            for &i in sv.vs[j].iter() {
                 let d = seen[i] as f64 / counts[i] as f64;
                 prop_assert!(d >= last - 1e-12, "VS[{}] inversion", j);
                 last = d;

@@ -20,7 +20,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use iqpaths_harness::engine::{run_sweep, EngineOpts};
-use iqpaths_harness::report::{blocks_for, check_blocks, csv_for, patch_blocks, Block};
+use iqpaths_harness::report::{
+    blocks_for, check_blocks, csv_for, patch_blocks, sched_throughput_gate, Block,
+};
 use iqpaths_harness::sweeps::{all_sweeps, fault_sweep, sweep_by_name, SweepSpec};
 
 const DEFAULT_SEED: u64 = 42;
@@ -117,6 +119,13 @@ fn out_dir() -> PathBuf {
     dir
 }
 
+fn sched_baseline_path() -> PathBuf {
+    match std::env::var("IQP_SCHED_BASELINE") {
+        Ok(p) if !p.is_empty() => PathBuf::from(p),
+        _ => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("baselines/sched_throughput.json"),
+    }
+}
+
 fn cmd_list() -> ExitCode {
     println!(
         "{:<18} {:>5} {:>8}  description",
@@ -173,6 +182,7 @@ fn cmd_report(args: &Args) -> Result<ExitCode, String> {
         verbose: args.verbose,
     };
     let mut blocks: Vec<Block> = Vec::new();
+    let mut gate_problems: Vec<String> = Vec::new();
     for sweep in selected_sweeps(args)? {
         let out = run_sweep(&sweep, &opts);
         println!(
@@ -184,12 +194,18 @@ fn cmd_report(args: &Args) -> Result<ExitCode, String> {
             out.wall_secs
         );
         blocks.extend(blocks_for(sweep.name, &out.results));
-        if !args.check {
-            if let Some((name, contents)) = csv_for(sweep.name, &out.results) {
-                let path = out_dir().join(&name);
-                std::fs::write(&path, contents).map_err(|e| format!("write {name}: {e}"))?;
-                println!("  [artifact] {}", path.display());
-            }
+        // Artifacts are written in check mode too: CI uploads the
+        // wall-clock JSON produced by the very run the gate judged.
+        if let Some((name, contents)) = csv_for(sweep.name, &out.results) {
+            let path = out_dir().join(&name);
+            std::fs::write(&path, contents).map_err(|e| format!("write {name}: {e}"))?;
+            println!("  [artifact] {}", path.display());
+        }
+        if args.check && sweep.name == "sched_throughput" {
+            let baseline_path = sched_baseline_path();
+            let baseline = std::fs::read_to_string(&baseline_path)
+                .map_err(|e| format!("read {}: {e}", baseline_path.display()))?;
+            gate_problems.extend(sched_throughput_gate(&out.results, &baseline));
         }
     }
 
@@ -197,7 +213,8 @@ fn cmd_report(args: &Args) -> Result<ExitCode, String> {
     let doc = std::fs::read_to_string(&md_path)
         .map_err(|e| format!("read {}: {e}", md_path.display()))?;
     if args.check {
-        let problems = check_blocks(&doc, &blocks);
+        let mut problems = check_blocks(&doc, &blocks);
+        problems.extend(gate_problems);
         if problems.is_empty() {
             println!(
                 "EXPERIMENTS.md: {} generated block(s) up to date",
@@ -206,7 +223,7 @@ fn cmd_report(args: &Args) -> Result<ExitCode, String> {
             Ok(ExitCode::SUCCESS)
         } else {
             for p in &problems {
-                eprintln!("DRIFT: {p}");
+                eprintln!("CHECK FAILED: {p}");
             }
             Ok(ExitCode::FAILURE)
         }

@@ -63,6 +63,19 @@ pub enum CellKind {
         /// Measurement window in deciseconds (1 → 0.1 s).
         window_ds: u32,
     },
+    /// Scheduling fast-path throughput ladder: the refactored PGOS hot
+    /// path vs the frozen pre-refactor reference
+    /// ([`crate::sched_ref`]) over one synthetic workload scale (the
+    /// `sched_throughput` family).
+    SchedThroughput {
+        /// Stream count.
+        streams: u32,
+        /// Overlay path count.
+        paths: u32,
+        /// Independent scheduler shards driven on their own OS threads
+        /// (round-robin stream partition; 1 = single instance).
+        workers: u32,
+    },
 }
 
 impl CellKind {
@@ -96,6 +109,11 @@ impl CellKind {
             }
             CellKind::Validation { demand_pct } => format!("validation:demand={demand_pct}"),
             CellKind::Prediction { window_ds } => format!("prediction:window_ds={window_ds}"),
+            CellKind::SchedThroughput {
+                streams,
+                paths,
+                workers,
+            } => format!("schedthroughput:streams={streams},paths={paths},workers={workers}"),
         }
     }
 }

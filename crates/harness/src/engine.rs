@@ -58,7 +58,9 @@ pub struct SweepOutcome {
 pub fn run_sweep(sweep: &SweepSpec, opts: &EngineOpts) -> SweepOutcome {
     let started = Instant::now();
     let cells = sweep.expand();
-    let cache = opts.use_cache.then(Cache::new);
+    // Sweeps carrying wall-clock measurements opt out of caching
+    // entirely (`SweepSpec::cacheable`): a cached timing is stale.
+    let cache = (opts.use_cache && sweep.cacheable).then(Cache::new);
 
     // Partition into hits (position, result) and misses (position, spec).
     let mut hits: Vec<(usize, CellResult)> = Vec::new();

@@ -48,6 +48,8 @@ pub mod engine;
 pub mod json;
 pub mod report;
 pub mod runner;
+pub mod sched_bench;
+pub mod sched_ref;
 pub mod sweeps;
 
 pub use cell::{CellKind, CellResult, CellSpec};

@@ -21,6 +21,7 @@
 use std::collections::BTreeMap;
 
 use crate::cell::CellResult;
+use crate::json::Json;
 
 /// One named generated region.
 #[derive(Debug, Clone, PartialEq)]
@@ -123,6 +124,10 @@ pub fn blocks_for(sweep: &str, results: &[CellResult]) -> Vec<Block> {
                 body: buffer_table(results),
             },
         ],
+        "sched_throughput" => vec![Block {
+            name: "sched_throughput".into(),
+            body: sched_throughput_table(results),
+        }],
         _ => Vec::new(),
     }
 }
@@ -136,6 +141,10 @@ pub fn csv_for(sweep: &str, results: &[CellResult]) -> Option<(String, String)> 
         "seed_sweep" => Some(("seed_sweep.csv".into(), seed_sweep_csv(results))),
         "ablations" => Some(("ablations.csv".into(), ablations_csv(results))),
         "fault_sweep" => Some(("fault_sweep.md".into(), fault_sweep_artifact(results))),
+        "sched_throughput" => Some((
+            "BENCH_sched_throughput.json".into(),
+            sched_throughput_json(results),
+        )),
         _ => None,
     }
 }
@@ -394,6 +403,117 @@ fn ablations_csv(results: &[CellResult]) -> String {
     csv
 }
 
+/// The `sched_throughput` ladder's checked table: deterministic
+/// evidence only. The wall-clock numbers (pps, speedup) deliberately
+/// stay out of this block — they vary run to run, and a checked block
+/// must be a pure function of the cell specs. They go to the JSON
+/// artifact ([`sched_throughput_json`]) instead.
+fn sched_throughput_table(results: &[CellResult]) -> String {
+    let mut out = String::from(
+        "| streams | paths | workers | decisions | windows | offered | dropped | fast ≡ legacy |\n\
+         |---|---|---|---|---|---|---|---|\n",
+    );
+    for r in results {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} | {} | {} |\n",
+            get(r, "streams") as u64,
+            get(r, "paths") as u64,
+            get(r, "workers") as u64,
+            get(r, "decisions") as u64,
+            get(r, "windows") as u64,
+            get(r, "offered") as u64,
+            get(r, "dropped") as u64,
+            if r.all_pass() { "pass" } else { "**FAIL**" },
+        ));
+    }
+    out
+}
+
+/// The full ladder — wall-clock throughput included — as the
+/// `BENCH_sched_throughput.json` artifact CI uploads and the committed
+/// baseline is distilled from.
+fn sched_throughput_json(results: &[CellResult]) -> String {
+    let cells: Vec<Json> = results
+        .iter()
+        .map(|r| {
+            Json::Obj(vec![
+                ("label".into(), Json::Str(r.label.clone())),
+                ("streams".into(), Json::Num(get(r, "streams"))),
+                ("paths".into(), Json::Num(get(r, "paths"))),
+                ("workers".into(), Json::Num(get(r, "workers"))),
+                ("decisions".into(), Json::Num(get(r, "decisions"))),
+                ("windows".into(), Json::Num(get(r, "windows"))),
+                ("offered".into(), Json::Num(get(r, "offered"))),
+                ("dropped".into(), Json::Num(get(r, "dropped"))),
+                ("pps_fast".into(), Json::Num(get(r, "pps_fast").round())),
+                ("pps_legacy".into(), Json::Num(get(r, "pps_legacy").round())),
+                (
+                    "speedup".into(),
+                    Json::Num((get(r, "speedup") * 100.0).round() / 100.0),
+                ),
+                ("equivalent".into(), Json::Bool(r.all_pass())),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("sweep".into(), Json::Str("sched_throughput".into())),
+        ("cells".into(), Json::Arr(cells)),
+    ])
+    .to_text()
+}
+
+/// The CI regression gate for the `sched_throughput` ladder.
+///
+/// `baseline_text` is the committed
+/// `crates/harness/baselines/sched_throughput.json`:
+/// `{"gate": "<cell label>", "speedup": <x>}`. The gate fails when the
+/// fast/legacy decision sequences diverge on *any* cell, or when the
+/// measured speedup at the gate cell falls below 0.9 × the committed
+/// baseline. The 10% allowance absorbs machine noise; the baseline is
+/// deliberately conservative (well under locally measured speedups) so
+/// only a genuine fast-path regression trips it.
+pub fn sched_throughput_gate(results: &[CellResult], baseline_text: &str) -> Vec<String> {
+    let mut problems = Vec::new();
+    for r in results {
+        if !r.all_pass() {
+            problems.push(format!(
+                "sched_throughput `{}`: fast and legacy decision sequences diverged",
+                r.label
+            ));
+        }
+    }
+    let doc = match Json::parse(baseline_text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            problems.push(format!("sched_throughput baseline unreadable: {e}"));
+            return problems;
+        }
+    };
+    let (Some(gate_label), Some(base)) = (
+        doc.get("gate").and_then(Json::as_str),
+        doc.get("speedup").and_then(Json::as_f64),
+    ) else {
+        problems
+            .push("sched_throughput baseline: need `gate` (string) and `speedup` (number)".into());
+        return problems;
+    };
+    let Some(r) = results.iter().find(|r| r.label == gate_label) else {
+        problems.push(format!(
+            "sched_throughput baseline gates `{gate_label}` but the sweep produced no such cell"
+        ));
+        return problems;
+    };
+    let measured = r.get("speedup").unwrap_or(0.0);
+    let floor = 0.9 * base;
+    if measured < floor {
+        problems.push(format!(
+            "sched_throughput gate `{gate_label}`: measured speedup {measured:.2}x \
+             is below 0.9x the committed baseline {base:.2}x (floor {floor:.2}x)"
+        ));
+    }
+    problems
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -438,5 +558,79 @@ mod tests {
         let b = [block("t1", "| fresh |\n")];
         let (patched, _) = patch_blocks(DOC, &b);
         assert!(check_blocks(&patched, &b).is_empty());
+    }
+
+    fn sched_result(label: &str, speedup: f64, equivalent: bool) -> CellResult {
+        CellResult {
+            id: format!("sched_throughput//{label}"),
+            sweep: "sched_throughput".into(),
+            group: String::new(),
+            label: label.into(),
+            seed: 42,
+            cell_seed: 7,
+            metrics: vec![
+                ("streams".into(), 1000.0),
+                ("paths".into(), 8.0),
+                ("workers".into(), 1.0),
+                ("decisions".into(), 5000.0),
+                ("windows".into(), 3.0),
+                ("offered".into(), 6000.0),
+                ("dropped".into(), 0.0),
+                ("pps_fast".into(), 1.0e6),
+                ("pps_legacy".into(), 2.0e5),
+                ("speedup".into(), speedup),
+            ],
+            verdicts: vec![("equivalent.pass".into(), equivalent)],
+        }
+    }
+
+    const BASELINE: &str = r#"{"gate": "1000x8x1", "speedup": 5.0}"#;
+
+    #[test]
+    fn sched_gate_passes_at_and_above_the_floor() {
+        // Floor is 0.9 x baseline = 4.5x.
+        for speedup in [4.5, 5.0, 11.0] {
+            let results = [sched_result("1000x8x1", speedup, true)];
+            assert_eq!(
+                sched_throughput_gate(&results, BASELINE),
+                Vec::<String>::new()
+            );
+        }
+    }
+
+    #[test]
+    fn sched_gate_fails_below_the_floor_and_on_divergence() {
+        let slow = [sched_result("1000x8x1", 4.4, true)];
+        let problems = sched_throughput_gate(&slow, BASELINE);
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("below 0.9x"), "{problems:?}");
+
+        let diverged = [sched_result("1000x8x1", 11.0, false)];
+        let problems = sched_throughput_gate(&diverged, BASELINE);
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("diverged"), "{problems:?}");
+
+        let missing = [sched_result("10x2x1", 11.0, true)];
+        let problems = sched_throughput_gate(&missing, BASELINE);
+        assert!(problems[0].contains("no such cell"), "{problems:?}");
+
+        assert!(!sched_throughput_gate(&slow, "not json").is_empty());
+    }
+
+    #[test]
+    fn sched_table_is_deterministic_and_json_carries_wall_clock() {
+        let results = [sched_result("1000x8x1", 7.3, true)];
+        let table = sched_throughput_table(&results);
+        assert!(table.contains("| 1000 | 8 | 1 | 5000 | 3 | 6000 | 0 | pass |"));
+        // No wall-clock number leaks into the checked block.
+        assert!(!table.contains("7.3") && !table.contains("pps"));
+        let json = sched_throughput_json(&results);
+        assert!(json.contains("\"speedup\""));
+        assert!(json.contains("\"pps_fast\""));
+        let doc = Json::parse(&json).unwrap();
+        assert_eq!(
+            doc.get("sweep").and_then(Json::as_str),
+            Some("sched_throughput")
+        );
     }
 }

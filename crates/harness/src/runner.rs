@@ -58,6 +58,13 @@ pub fn run_cell(spec: &CellSpec) -> CellResult {
         ),
         CellKind::Validation { demand_pct } => run_validation_cell(spec, *demand_pct, &mut res),
         CellKind::Prediction { window_ds } => run_prediction_cell(spec, *window_ds, &mut res),
+        CellKind::SchedThroughput {
+            streams,
+            paths,
+            workers,
+        } => crate::sched_bench::run_sched_throughput_cell(
+            spec, *streams, *paths, *workers, &mut res,
+        ),
     }
     res
 }

@@ -1,0 +1,458 @@
+//! Pre-refactor reference scheduler for the `sched_throughput` sweep.
+//!
+//! This module is a frozen, line-for-line port of the PGOS hot path as
+//! it existed *before* the zero-alloc fast-path refactor: per-stream
+//! `VecDeque` queues, per-window clone-and-collect cursor rebuilds, a
+//! deep-cloned assignment matrix behind the scheduling vectors, and a
+//! `pop_fallback` that scans every backlogged stream per decision while
+//! allocating a fresh candidate vector each time. It exists for two
+//! reasons:
+//!
+//! 1. **Speedup measurement** — the `sched_throughput` sweep drives the
+//!    refactored [`iqpaths_core::scheduler::Pgos`] and this reference
+//!    through the *same* synthetic workload in the same process, so the
+//!    packets/sec ratio between them is a machine-independent measure of
+//!    the refactor (both sides see the same CPU, cache and compiler).
+//! 2. **Decision equivalence** — the refactor's contract is "same
+//!    decisions, faster machinery". The sweep hashes the (stream, seq,
+//!    deadline) decision sequence of both implementations over a common
+//!    prefix and reports a mismatch as a failed cell verdict.
+//!
+//! Tracing, backoff and admission upcalls are omitted: the throughput
+//! workload never blocks a path and never re-raises upcalls, so neither
+//! side executes those branches, and leaving them out keeps the
+//! reference small enough to audit against the git history by eye.
+
+use iqpaths_core::guarantee;
+use iqpaths_core::mapping::{MappingResult, ResourceMapper};
+use iqpaths_core::precedence::{self, Candidate, ScheduleClass};
+use iqpaths_core::queues::QueuedPacket;
+use iqpaths_core::stream::StreamSpec;
+use iqpaths_core::vectors::{path_lookup_vector, stream_scheduling_vector};
+use iqpaths_stats::CdfSummary;
+use std::collections::VecDeque;
+
+/// The pre-refactor `StreamQueues`: one `VecDeque` per stream,
+/// O(streams) `is_empty`/`total_len` scans, per-push heap traffic.
+#[derive(Debug, Clone)]
+pub struct RefQueues {
+    queues: Vec<VecDeque<QueuedPacket>>,
+    capacity: usize,
+    offered: Vec<u64>,
+    dropped: Vec<u64>,
+    seq: Vec<u64>,
+}
+
+impl RefQueues {
+    /// `streams` queues, each holding at most `capacity` packets.
+    pub fn new(streams: usize, capacity: usize) -> Self {
+        assert!(capacity > 0, "queues need positive capacity");
+        Self {
+            queues: (0..streams).map(|_| VecDeque::new()).collect(),
+            capacity,
+            offered: vec![0; streams],
+            dropped: vec![0; streams],
+            seq: vec![0; streams],
+        }
+    }
+
+    /// Enqueues a packet; drop-tails (returns `false`) when full.
+    pub fn push(&mut self, stream: usize, bytes: u32, created_ns: u64) -> bool {
+        self.offered[stream] += 1;
+        if self.queues[stream].len() >= self.capacity {
+            self.dropped[stream] += 1;
+            return false;
+        }
+        let seq = self.seq[stream];
+        self.seq[stream] += 1;
+        self.queues[stream].push_back(QueuedPacket {
+            stream,
+            seq,
+            bytes,
+            created_ns,
+            deadline_ns: u64::MAX,
+        });
+        true
+    }
+
+    /// Head packet of a stream, if any.
+    pub fn head(&self, stream: usize) -> Option<&QueuedPacket> {
+        self.queues.get(stream).and_then(|q| q.front())
+    }
+
+    /// Pops the head packet of a stream.
+    pub fn pop(&mut self, stream: usize) -> Option<QueuedPacket> {
+        self.queues.get_mut(stream).and_then(|q| q.pop_front())
+    }
+
+    /// Queue length of a stream.
+    pub fn len(&self, stream: usize) -> usize {
+        self.queues.get(stream).map_or(0, VecDeque::len)
+    }
+
+    /// True when every queue is empty — the O(streams) scan the
+    /// refactor replaced with a live counter.
+    pub fn is_empty(&self) -> bool {
+        self.queues.iter().all(VecDeque::is_empty)
+    }
+
+    /// Packets offered to a stream's queue so far.
+    pub fn offered(&self, stream: usize) -> u64 {
+        self.offered.get(stream).copied().unwrap_or(0)
+    }
+
+    /// Packets drop-tailed from a stream's queue so far.
+    pub fn dropped(&self, stream: usize) -> u64 {
+        self.dropped.get(stream).copied().unwrap_or(0)
+    }
+
+    /// Streams whose queues are non-empty.
+    pub fn backlogged(&self) -> impl Iterator<Item = usize> + '_ {
+        self.queues
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(i, _)| i)
+    }
+}
+
+/// The pre-refactor `VsCursor`: owns its vector clone.
+#[derive(Debug, Clone)]
+struct RefCursor {
+    vs: Vec<usize>,
+    pos: usize,
+    remaining: Vec<u32>,
+}
+
+impl RefCursor {
+    fn new(vs: Vec<usize>, remaining: Vec<u32>) -> Self {
+        Self {
+            vs,
+            pos: 0,
+            remaining,
+        }
+    }
+
+    fn remaining(&self, stream: usize) -> u32 {
+        self.remaining.get(stream).copied().unwrap_or(0)
+    }
+
+    fn next_scheduled<F: Fn(usize) -> bool>(&mut self, has_packet: F) -> Option<usize> {
+        if self.vs.is_empty() {
+            return None;
+        }
+        for _ in 0..self.vs.len() {
+            let stream = self.vs[self.pos];
+            self.pos = (self.pos + 1) % self.vs.len();
+            if self.remaining[stream] > 0 && has_packet(stream) {
+                self.remaining[stream] -= 1;
+                return Some(stream);
+            }
+        }
+        None
+    }
+}
+
+/// Pre-refactor scheduling vectors: a deep-cloned assignment matrix
+/// plus per-call row/column sums.
+#[derive(Debug, Clone)]
+struct RefVectors {
+    assignments: Vec<Vec<u32>>,
+    vs: Vec<Vec<usize>>,
+}
+
+impl RefVectors {
+    fn build(assignments: Vec<Vec<u32>>) -> Self {
+        let paths = assignments.first().map_or(0, Vec::len);
+        let per_path: Vec<u32> = (0..paths)
+            .map(|j| assignments.iter().map(|row| row[j]).sum())
+            .collect();
+        // VP is derived for cost parity even though the bench loop
+        // visits paths round-robin (exactly like the refactored side).
+        let _vp = path_lookup_vector(&per_path);
+        let vs = (0..paths)
+            .map(|j| {
+                let per_stream: Vec<u32> = assignments.iter().map(|row| row[j]).collect();
+                stream_scheduling_vector(&per_stream)
+            })
+            .collect();
+        Self { assignments, vs }
+    }
+
+    fn packets_of_stream(&self, i: usize) -> u32 {
+        self.assignments[i].iter().sum()
+    }
+}
+
+/// The pre-refactor PGOS decision core (no tracing, no backoff).
+#[derive(Debug, Clone)]
+pub struct RefPgos {
+    window_secs: f64,
+    specs: Vec<StreamSpec>,
+    mapper: ResourceMapper,
+    paths: usize,
+    mapping: Option<MappingResult>,
+    vectors: Option<RefVectors>,
+    cursors: Vec<RefCursor>,
+    reference_cdfs: Vec<CdfSummary>,
+    path_loss: Vec<f64>,
+    window_start_ns: u64,
+    window_ns: u64,
+    window_sent: Vec<u32>,
+    remap_ks_threshold: f64,
+}
+
+impl RefPgos {
+    /// A reference instance scheduling `specs` over `paths` paths with a
+    /// `window_secs` scheduling window.
+    pub fn new(window_secs: f64, specs: Vec<StreamSpec>, paths: usize) -> Self {
+        assert!(paths > 0, "need at least one path");
+        let n = specs.len();
+        Self {
+            mapper: ResourceMapper::new(window_secs),
+            window_secs,
+            specs,
+            paths,
+            mapping: None,
+            vectors: None,
+            cursors: Vec::new(),
+            reference_cdfs: Vec::new(),
+            path_loss: vec![0.0; paths],
+            window_start_ns: 0,
+            window_ns: 0,
+            window_sent: vec![0; n],
+            remap_ks_threshold: 0.2,
+        }
+    }
+
+    fn needs_remap(&self, cdfs: &[CdfSummary]) -> bool {
+        let Some(mapping) = &self.mapping else {
+            return true;
+        };
+        if !mapping.upcalls.is_empty() {
+            return true;
+        }
+        if self.reference_cdfs.len() != cdfs.len() {
+            return true;
+        }
+        for (r, c) in self.reference_cdfs.iter().zip(cdfs) {
+            if r.ks_distance(c) > self.remap_ks_threshold {
+                return true;
+            }
+        }
+        !guarantee::mapping_is_feasible(cdfs, &self.specs, &mapping.rates, self.window_secs)
+    }
+
+    fn remap(&mut self, cdfs: &[CdfSummary]) {
+        let affinity: Vec<Option<usize>> = match &self.mapping {
+            None => vec![None; self.specs.len()],
+            Some(m) => m
+                .rates
+                .iter()
+                .map(|row| {
+                    row.iter()
+                        .enumerate()
+                        .filter(|(_, r)| **r > 0.0)
+                        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite rates"))
+                        .map(|(j, _)| j)
+                })
+                .collect(),
+        };
+        let mapping =
+            self.mapper
+                .map_full(&self.specs, cdfs, Some(&affinity), Some(&self.path_loss));
+        // Pre-refactor cost: the assignment matrix existed twice, once
+        // behind the vectors and once on the mapping.
+        self.vectors = Some(RefVectors::build(mapping.assignments.to_vec()));
+        self.mapping = Some(mapping);
+        self.reference_cdfs = cdfs.to_vec();
+    }
+
+    fn rebuild_cursors(&mut self) {
+        let Some(vectors) = &self.vectors else {
+            self.cursors.clear();
+            return;
+        };
+        self.cursors = (0..self.paths)
+            .map(|j| {
+                let per_stream: Vec<u32> = vectors.assignments.iter().map(|row| row[j]).collect();
+                RefCursor::new(vectors.vs[j].clone(), per_stream)
+            })
+            .collect();
+    }
+
+    /// Per-window bookkeeping: fresh CDFs, remap when needed, rebuild
+    /// cursors, zero the sent counters.
+    pub fn on_window_start(&mut self, window_start_ns: u64, window_ns: u64, cdfs: &[CdfSummary]) {
+        assert_eq!(cdfs.len(), self.paths, "path count changed mid-run");
+        self.window_start_ns = window_start_ns;
+        self.window_ns = window_ns;
+        if self.needs_remap(cdfs) {
+            self.remap(cdfs);
+        }
+        self.rebuild_cursors();
+        self.window_sent.iter_mut().for_each(|c| *c = 0);
+    }
+
+    fn scheduled_total(&self, stream: usize) -> u32 {
+        self.vectors
+            .as_ref()
+            .map_or(0, |v| v.packets_of_stream(stream))
+    }
+
+    fn stamp_deadline(&mut self, stream: usize) -> u64 {
+        let x = self.scheduled_total(stream).max(1);
+        let k = (self.window_sent[stream] + 1).min(x);
+        self.window_sent[stream] += 1;
+        self.window_start_ns + (self.window_ns as f64 * k as f64 / x as f64) as u64
+    }
+
+    fn pop_scheduled(&mut self, stream: usize, queues: &mut RefQueues) -> Option<QueuedPacket> {
+        let mut pkt = queues.pop(stream)?;
+        pkt.deadline_ns = self.stamp_deadline(stream);
+        Some(pkt)
+    }
+
+    fn behind_schedule(&self, s: usize, now_ns: u64) -> bool {
+        let x = self.scheduled_total(s);
+        if x == 0 || self.window_ns == 0 {
+            return false;
+        }
+        let frac = (now_ns.saturating_sub(self.window_start_ns)) as f64 / self.window_ns as f64;
+        let expected = frac * x as f64;
+        let slack = (x as f64 / 10.0).max(1.0);
+        (self.window_sent[s] as f64) + slack < expected
+    }
+
+    fn pop_fallback(
+        &mut self,
+        path: usize,
+        now_ns: u64,
+        queues: &mut RefQueues,
+    ) -> Option<QueuedPacket> {
+        let tw = self.window_secs;
+        let mut candidates = Vec::new();
+        let backlogged: Vec<usize> = queues.backlogged().collect();
+        for s in backlogged {
+            let head = queues.head(s).expect("backlogged stream has a head");
+            let other_budget: u32 = self
+                .cursors
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != path)
+                .map(|(_, c)| c.remaining(s))
+                .sum();
+            if other_budget > 0 && !self.behind_schedule(s, now_ns) {
+                continue;
+            }
+            let class = if other_budget > 0 {
+                ScheduleClass::OtherPath
+            } else {
+                ScheduleClass::Unscheduled
+            };
+            let deadline_ns = if class == ScheduleClass::OtherPath {
+                let x = self.scheduled_total(s).max(1);
+                let k = (self.window_sent[s] + 1).min(x);
+                self.window_start_ns + (self.window_ns as f64 * k as f64 / x as f64) as u64
+            } else {
+                head.deadline_ns
+            };
+            candidates.push(Candidate {
+                stream: s,
+                class,
+                deadline_ns,
+                constraint: self.specs[s].window_constraint(tw).ratio(),
+            });
+        }
+        let winner = precedence::best(&candidates)?;
+        match winner.class {
+            ScheduleClass::OtherPath => {
+                let stream = winner.stream;
+                if let Some((_, cursor)) = self
+                    .cursors
+                    .iter_mut()
+                    .enumerate()
+                    .filter(|(j, c)| *j != path && c.remaining(stream) > 0)
+                    .max_by_key(|(_, c)| c.remaining(stream))
+                {
+                    let _ = cursor.next_scheduled(|s| s == stream);
+                }
+                self.pop_scheduled(stream, queues)
+            }
+            _ => {
+                let stream = winner.stream;
+                let mut pkt = queues.pop(stream)?;
+                if !self.specs[stream].guarantee.is_best_effort() {
+                    pkt.deadline_ns = self.window_start_ns + self.window_ns;
+                }
+                Some(pkt)
+            }
+        }
+    }
+
+    /// The pre-refactor decision: Table 1 rule 1 via the path's cursor,
+    /// then the scan-everything fallback.
+    pub fn next_packet(
+        &mut self,
+        path: usize,
+        now_ns: u64,
+        queues: &mut RefQueues,
+    ) -> Option<QueuedPacket> {
+        if let Some(cursor) = self.cursors.get_mut(path) {
+            if let Some(stream) = cursor.next_scheduled(|s| queues.len(s) > 0) {
+                return self.pop_scheduled(stream, queues);
+            }
+        }
+        self.pop_fallback(path, now_ns, queues)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iqpaths_stats::EmpiricalCdf;
+
+    fn cdf(lo: u32, hi: u32) -> CdfSummary {
+        CdfSummary::exact(EmpiricalCdf::from_clean_samples(
+            (lo..=hi).map(|i| i as f64 * 1.0e6).collect(),
+        ))
+    }
+
+    #[test]
+    fn reference_matches_known_pgos_behaviour() {
+        // Mirror of scheduler.rs's `deadlines_are_evenly_spaced`: 8 Mbps
+        // at 1000-byte packets over a 1 s window → 1 ms deadline spacing
+        // on the strong path.
+        let specs = vec![
+            StreamSpec::probabilistic(0, "crit", 8.0e6, 0.95, 1000),
+            StreamSpec::best_effort(1, "bulk", 20.0e6, 1000),
+        ];
+        let mut pgos = RefPgos::new(1.0, specs, 2);
+        let mut q = RefQueues::new(2, 100_000);
+        for _ in 0..2000 {
+            q.push(0, 1000, 0);
+        }
+        pgos.on_window_start(0, 1_000_000_000, &[cdf(50, 100), cdf(10, 60)]);
+        let d1 = pgos.next_packet(0, 1, &mut q).unwrap().deadline_ns;
+        let d2 = pgos.next_packet(0, 2, &mut q).unwrap().deadline_ns;
+        assert!(d1 < d2);
+        assert_eq!(d2 - d1, 1_000_000);
+    }
+
+    #[test]
+    fn fallback_serves_best_effort_after_budget() {
+        let specs = vec![
+            StreamSpec::probabilistic(0, "crit", 8.0e6, 0.95, 1000),
+            StreamSpec::best_effort(1, "bulk", 20.0e6, 1000),
+        ];
+        let mut pgos = RefPgos::new(1.0, specs, 2);
+        let mut q = RefQueues::new(2, 100_000);
+        for _ in 0..10 {
+            q.push(1, 1000, 0);
+        }
+        pgos.on_window_start(0, 1_000_000_000, &[cdf(50, 100), cdf(10, 60)]);
+        let pkt = pgos.next_packet(0, 1, &mut q).unwrap();
+        assert_eq!(pkt.stream, 1);
+        assert!(!q.is_empty());
+    }
+}

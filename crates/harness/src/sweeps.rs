@@ -52,6 +52,11 @@ pub struct SweepSpec {
     pub seeds: Vec<u64>,
     /// Data-plane shards per cell (1 = the classic serial runtime).
     pub shards: usize,
+    /// Whether results may be served from / written to the on-disk
+    /// cache. `false` for sweeps whose results carry wall-clock
+    /// measurements (e.g. `sched_throughput`): a cached timing is a
+    /// stale timing, so those cells re-run every invocation.
+    pub cacheable: bool,
     /// The settings.
     pub templates: Vec<CellTemplate>,
 }
@@ -132,6 +137,7 @@ pub fn fault_sweep(seed: u64, duration: f64) -> SweepSpec {
         duration,
         seeds: vec![seed],
         shards: 1,
+        cacheable: true,
         templates,
     }
 }
@@ -150,6 +156,7 @@ pub fn seed_sweep(duration: f64) -> SweepSpec {
         duration: duration.min(60.0),
         seeds: (1..=10).collect(),
         shards: 1,
+        cacheable: true,
         templates: schedulers
             .into_iter()
             .map(|s| smartpointer_template("", scheduler_name(s), s, ExperimentKnobs::none()))
@@ -259,6 +266,7 @@ pub fn ablations(seed: u64, duration: f64) -> SweepSpec {
         duration,
         seeds: vec![seed],
         shards: 1,
+        cacheable: true,
         templates,
     }
 }
@@ -272,6 +280,7 @@ pub fn validation(seed: u64, duration: f64) -> SweepSpec {
         duration,
         seeds: vec![seed],
         shards: 1,
+        cacheable: true,
         templates: [55u32, 70, 85, 95, 105]
             .into_iter()
             .map(|pct| {
@@ -294,6 +303,7 @@ pub fn fig04_prediction(seed: u64) -> SweepSpec {
         duration: 20_000.0,
         seeds: vec![seed],
         shards: 1,
+        cacheable: true,
         templates: (1..=10u32)
             .map(|k| {
                 CellTemplate::new(
@@ -322,6 +332,44 @@ pub fn smoke() -> SweepSpec {
         duration: 48.0,
         seeds: vec![7, 8],
         shards: 1,
+        cacheable: true,
+        templates,
+    }
+}
+
+/// The scheduling fast-path throughput ladder: the refactored PGOS hot
+/// path vs the frozen pre-refactor reference ([`crate::sched_ref`])
+/// over `{10, 100, 1k, 10k} streams × {2, 8, 32} paths × {1, 4}
+/// workers`. The decision counts, window counts and the fast≡legacy
+/// equivalence verdict are deterministic (they feed the checked
+/// `EXPERIMENTS.md` block); the packets/sec and speedup columns are
+/// wall-clock measurements and only reach the
+/// `BENCH_sched_throughput.json` artifact — which is also why this
+/// sweep is the one non-cacheable family.
+pub fn sched_throughput(seed: u64) -> SweepSpec {
+    let mut templates = Vec::new();
+    for streams in [10u32, 100, 1_000, 10_000] {
+        for paths in [2u32, 8, 32] {
+            for workers in [1u32, 4] {
+                templates.push(CellTemplate::new(
+                    "",
+                    &format!("{streams}x{paths}x{workers}"),
+                    CellKind::SchedThroughput {
+                        streams,
+                        paths,
+                        workers,
+                    },
+                ));
+            }
+        }
+    }
+    SweepSpec {
+        name: "sched_throughput",
+        about: "zero-alloc fast path vs pre-refactor reference: streams x paths x workers",
+        duration: 1.0,
+        seeds: vec![seed],
+        shards: 1,
+        cacheable: false,
         templates,
     }
 }
@@ -337,6 +385,7 @@ pub fn all_sweeps(seed: u64, duration: f64) -> Vec<SweepSpec> {
         seed_sweep(duration),
         ablations(seed, duration),
         smoke(),
+        sched_throughput(seed),
     ]
 }
 
@@ -359,6 +408,19 @@ mod tests {
         assert_eq!(validation(42, 150.0).expand().len(), 5);
         assert_eq!(fig04_prediction(42).expand().len(), 10);
         assert_eq!(smoke().expand().len(), 12);
+        assert_eq!(sched_throughput(42).expand().len(), 24);
+    }
+
+    #[test]
+    fn only_the_throughput_ladder_is_uncacheable() {
+        for sweep in all_sweeps(42, 120.0) {
+            assert_eq!(
+                sweep.cacheable,
+                sweep.name != "sched_throughput",
+                "unexpected cacheability for {}",
+                sweep.name
+            );
+        }
     }
 
     #[test]

@@ -34,6 +34,7 @@ fn mini_matrix() -> SweepSpec {
         duration: 45.0,
         seeds: vec![5],
         shards: 1,
+        cacheable: true,
         templates,
     }
 }

@@ -254,33 +254,39 @@ pub(crate) struct RunOutput {
 /// current state: the measured loss rate scales each available-
 /// bandwidth distribution down to goodput (guarantees are made on
 /// goodput). `oracle` supplies `PathSnapshot::oracle_next_rate`.
-fn goodput_snapshots(
+///
+/// Fills `out` in place so the per-window caller reuses one buffer for
+/// the whole run instead of allocating a fresh `Vec` every window.
+fn goodput_snapshots_into(
     monitoring: &MonitoringModule,
     path_transmitted: &[u64],
     path_lost: &[u64],
     oracle: impl Fn(usize) -> Option<f64>,
-) -> Vec<PathSnapshot> {
-    monitoring
-        .all_stats()
-        .into_iter()
-        .enumerate()
-        .map(|(j, st)| {
-            let measured_loss = if path_transmitted[j] == 0 {
-                0.0
-            } else {
-                path_lost[j] as f64 / path_transmitted[j] as f64
-            };
-            let goodput_factor = 1.0 - measured_loss;
-            PathSnapshot {
-                index: j,
-                cdf: st.cdf.scale(goodput_factor),
-                mean_prediction: st.mean_prediction * goodput_factor,
-                oracle_next_rate: oracle(j),
-                rtt: st.rtt,
-                loss: measured_loss,
-            }
-        })
-        .collect()
+    out: &mut Vec<PathSnapshot>,
+) {
+    out.clear();
+    out.extend(
+        monitoring
+            .all_stats()
+            .into_iter()
+            .enumerate()
+            .map(|(j, st)| {
+                let measured_loss = if path_transmitted[j] == 0 {
+                    0.0
+                } else {
+                    path_lost[j] as f64 / path_transmitted[j] as f64
+                };
+                let goodput_factor = 1.0 - measured_loss;
+                PathSnapshot {
+                    index: j,
+                    cdf: st.cdf.scale(goodput_factor),
+                    mean_prediction: st.mean_prediction * goodput_factor,
+                    oracle_next_rate: oracle(j),
+                    rtt: st.rtt,
+                    loss: measured_loss,
+                }
+            }),
+    );
 }
 
 /// The one event loop. See [`run_traced`] for semantics; this form
@@ -325,7 +331,15 @@ pub(crate) fn execute(
     let end = SimTime::from_secs_f64(warmup + duration);
 
     // --- Components -----------------------------------------------------
-    let mut queues = StreamQueues::new(n_streams, cfg.queue_capacity);
+    // Pre-warm the packet pool so steady-state pushes never grow the
+    // slab; capped so huge stream×capacity products don't reserve
+    // memory the run will never touch (the pool grows on demand past
+    // the cap, up to its high-water mark, and then stops allocating).
+    let prewarm = n_streams.saturating_mul(cfg.queue_capacity).min(65_536);
+    let mut queues = StreamQueues::with_pool_capacity(n_streams, cfg.queue_capacity, prewarm);
+    // Reused by every Window event; snapshots are cloned out by the
+    // scheduler only if it keeps them (CdfSummary shares its backing).
+    let mut snapshot_scratch: Vec<PathSnapshot> = Vec::with_capacity(n_paths);
     let mut services: Vec<PathService> = paths.iter().map(OverlayPath::service).collect();
     let mut monitoring = MonitoringModule::with_mode(n_paths, cfg.history_samples, cfg.cdf_mode);
     let mut probes: Vec<AvailBwProbe> = (0..n_paths)
@@ -464,7 +478,17 @@ pub(crate) fn execute(
                     });
                     scheduler.on_path_blocked(j, now_ns);
                 }
-                match scheduler.next_packet(j, now_ns, &mut queues) {
+                // O(1) empty check skips the scheduler entirely when no
+                // stream is backlogged (a `None` either way: backoff
+                // state only changes on `on_path_blocked`, and wake-
+                // journal entries only accrue from pushes, which make
+                // the queues non-empty again).
+                let decision = if queues.is_empty() {
+                    None
+                } else {
+                    scheduler.next_packet(j, now_ns, &mut queues)
+                };
+                match decision {
                     Some(qpkt) => {
                         metrics.on_dispatch(qpkt.stream, j, qpkt.bytes);
                         if trace.enabled() {
@@ -609,8 +633,11 @@ pub(crate) fn execute(
                 monitoring.observe_rtt(j, paths[j].prop_delay().as_secs_f64() * 2.0);
             }
             Ev::Window => {
-                let snapshots =
-                    goodput_snapshots(&monitoring, &path_transmitted, &path_lost, |j| {
+                goodput_snapshots_into(
+                    &monitoring,
+                    &path_transmitted,
+                    &path_lost,
+                    |j| {
                         Some(
                             paths[j].mean_residual(
                                 now_s,
@@ -618,8 +645,14 @@ pub(crate) fn execute(
                                 cfg.window_secs / 20.0,
                             ) * (1.0 - paths[j].loss_prob()),
                         )
-                    });
-                scheduler.on_window_start(now_ns, (cfg.window_secs * 1e9) as u64, &snapshots);
+                    },
+                    &mut snapshot_scratch,
+                );
+                scheduler.on_window_start(
+                    now_ns,
+                    (cfg.window_secs * 1e9) as u64,
+                    &snapshot_scratch,
+                );
                 upcalls.extend(scheduler.drain_upcalls());
                 for j in 0..n_paths {
                     if idle[j] && services[j].is_free(now) && scheduler.uses_path(j) {
@@ -664,7 +697,14 @@ pub(crate) fn execute(
         .collect();
 
     trace.flush();
-    let final_snapshots = goodput_snapshots(&monitoring, &path_transmitted, &path_lost, |_| None);
+    let mut final_snapshots = Vec::with_capacity(n_paths);
+    goodput_snapshots_into(
+        &monitoring,
+        &path_transmitted,
+        &path_lost,
+        |_| None,
+        &mut final_snapshots,
+    );
     RunOutput {
         report: RunReport {
             scheduler: scheduler.name().to_string(),

@@ -7,7 +7,7 @@
 //! runs the full VP/VS fast path ([`crate::runtime`]'s event loop)
 //! independently over its own copies of the path services, probes, and
 //! monitoring state. Workers communicate with the controller by
-//! message passing only — each returns one [`WorkerOutput`] value over
+//! message passing only — each returns one `WorkerOutput` value over
 //! the in-tree rayon-shim thread pool; no state is shared mid-run.
 //!
 //! # Determinism rules
@@ -368,10 +368,15 @@ pub fn run_sharded_with(
     let mut path_sent_bytes = vec![0u64; n_paths];
     let mut path_blocked_events = vec![0u64; n_paths];
     let mut events = 0u64;
-    let mut upcalls: Vec<Upcall> = Vec::new();
     let mut metrics = Metrics::new(specs.len(), n_paths);
-    let mut deliveries: Vec<DeliveryEvent> = Vec::new();
-    let mut trace_events: Vec<TraceEvent> = Vec::new();
+    // The merge buffers' final sizes are known exactly from the worker
+    // outputs, so reserve once instead of growing through doublings.
+    let mut upcalls: Vec<Upcall> =
+        Vec::with_capacity(outputs.iter().map(|o| o.report.upcalls.len()).sum());
+    let mut deliveries: Vec<DeliveryEvent> =
+        Vec::with_capacity(outputs.iter().map(|o| o.deliveries.len()).sum());
+    let mut trace_events: Vec<TraceEvent> =
+        Vec::with_capacity(outputs.iter().map(|o| o.trace_events.len()).sum());
 
     for (i, out) in outputs.iter().enumerate() {
         let m = &members[i];

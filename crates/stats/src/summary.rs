@@ -129,9 +129,25 @@ impl CdfSummary {
     }
 
     /// Two-sample Kolmogorov–Smirnov distance between two summaries
-    /// (any variant mix) — the remap trigger. O(n + m), no allocation
-    /// beyond two iterator boxes.
+    /// (any variant mix) — the remap trigger. O(n + m).
+    ///
+    /// `Exact` × `Exact` — the per-window drift probe on the scheduler
+    /// fast path — is allocation-free: amortized snapshots share their
+    /// `Arc` (distance is identically zero), and even distinct exact
+    /// CDFs compare through concrete slice iterators. Mixed-variant
+    /// comparisons pay two iterator boxes.
     pub fn ks_distance(&self, other: &Self) -> f64 {
+        if let (CdfSummary::Exact(a), CdfSummary::Exact(b)) = (self, other) {
+            if Arc::ptr_eq(a, b) {
+                return 0.0;
+            }
+            return crate::cdf::ks_sorted_streams(
+                a.samples().iter().copied(),
+                a.len(),
+                b.samples().iter().copied(),
+                b.len(),
+            );
+        }
         let (a, n) = self.sorted_stream();
         let (b, m) = other.sorted_stream();
         crate::cdf::ks_sorted_streams(a, n, b, m)
