@@ -63,6 +63,21 @@ pub enum CellKind {
         /// Measurement window in deciseconds (1 → 0.1 s).
         window_ds: u32,
     },
+    /// Graph-scale many-tenant conformance: a seeded random overlay
+    /// (`iqpaths_testkit::GraphGen`), tenants routed over Yen's k
+    /// cheapest loopless paths, flash-crowd waves + relay churn, and
+    /// per-tenant Lemma 1/2 verdicts (the `scalability` family).
+    Scalability {
+        /// Graph wiring model name (`waxman` / `ba`; see
+        /// `iqpaths_testkit::GraphModel::by_name`).
+        model: String,
+        /// Overlay node count.
+        nodes: u32,
+        /// Tenant ((src, dst) pair) count.
+        tenants: u32,
+        /// Paths requested per tenant (Yen's k).
+        k: u32,
+    },
     /// Scheduling fast-path throughput ladder: the refactored PGOS hot
     /// path vs the frozen pre-refactor reference
     /// ([`crate::sched_ref`]) over one synthetic workload scale (the
@@ -108,6 +123,12 @@ impl CellKind {
                 s
             }
             CellKind::Validation { demand_pct } => format!("validation:demand={demand_pct}"),
+            CellKind::Scalability {
+                model,
+                nodes,
+                tenants,
+                k,
+            } => format!("scalability:model={model},nodes={nodes},tenants={tenants},k={k}"),
             CellKind::Prediction { window_ds } => format!("prediction:window_ds={window_ds}"),
             CellKind::SchedThroughput {
                 streams,
@@ -392,6 +413,21 @@ mod tests {
         );
         assert_eq!(s.cell_seed(), spec().cell_seed());
         assert_ne!(s.id(), spec().id());
+    }
+
+    #[test]
+    fn scalability_canon_is_pinned() {
+        // Frozen: participates in cell identity, seed and cache key.
+        let kind = CellKind::Scalability {
+            model: "waxman".into(),
+            nodes: 256,
+            tenants: 64,
+            k: 4,
+        };
+        assert_eq!(
+            kind.canon(),
+            "scalability:model=waxman,nodes=256,tenants=64,k=4"
+        );
     }
 
     #[test]

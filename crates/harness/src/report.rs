@@ -128,6 +128,10 @@ pub fn blocks_for(sweep: &str, results: &[CellResult]) -> Vec<Block> {
             name: "sched_throughput".into(),
             body: sched_throughput_table(results),
         }],
+        "scalability" => vec![Block {
+            name: "scalability".into(),
+            body: scalability_table(results),
+        }],
         _ => Vec::new(),
     }
 }
@@ -145,6 +149,7 @@ pub fn csv_for(sweep: &str, results: &[CellResult]) -> Option<(String, String)> 
             "BENCH_sched_throughput.json".into(),
             sched_throughput_json(results),
         )),
+        "scalability" => Some(("BENCH_scalability.json".into(), scalability_json(results))),
         _ => None,
     }
 }
@@ -462,6 +467,78 @@ fn sched_throughput_json(results: &[CellResult]) -> String {
     .to_text()
 }
 
+/// The graph-scale scalability sweep's checked table. Every column is a
+/// deterministic function of the cell spec — including the delivered
+/// packets and the per-*virtual*-second rate — so the block is safe to
+/// gate with `report --check`. Wall-clock rates live in
+/// [`scalability_json`] only.
+fn scalability_table(results: &[CellResult]) -> String {
+    let mut out = String::from(
+        "| cell | nodes | tenants | k | shards | edges | routes | graph | packets | virtual pps | p̂ min | E[Z] max | tenants pass |\n\
+         |---|---|---|---|---|---|---|---|---|---|---|---|---|\n",
+    );
+    for r in results {
+        let hash = ((get(r, "graph_hi") as u64) << 32) | get(r, "graph_lo") as u64;
+        let tenants = get(r, "tenants") as u64;
+        let pass = get(r, "tenants_pass") as u64;
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} | {} | {:#018x} | {} | {:.1} | {:.4} | {:.3} | {} |\n",
+            r.label,
+            get(r, "nodes") as u64,
+            tenants,
+            get(r, "k") as u64,
+            get(r, "shards") as u64,
+            get(r, "edges") as u64,
+            get(r, "routes") as u64,
+            hash,
+            get(r, "packets") as u64,
+            get(r, "vpps"),
+            get(r, "lemma1.worst_obs"),
+            get(r, "lemma2.worst_obs"),
+            if r.all_pass() {
+                format!("{pass}/{tenants}")
+            } else {
+                format!("**{pass}/{tenants} FAIL**")
+            },
+        ));
+    }
+    out
+}
+
+/// The scalability sweep — wall-clock throughput included — as the
+/// `BENCH_scalability.json` artifact CI uploads.
+fn scalability_json(results: &[CellResult]) -> String {
+    let cells: Vec<Json> = results
+        .iter()
+        .map(|r| {
+            Json::Obj(vec![
+                ("label".into(), Json::Str(r.label.clone())),
+                ("nodes".into(), Json::Num(get(r, "nodes"))),
+                ("tenants".into(), Json::Num(get(r, "tenants"))),
+                ("k".into(), Json::Num(get(r, "k"))),
+                ("shards".into(), Json::Num(get(r, "shards"))),
+                ("edges".into(), Json::Num(get(r, "edges"))),
+                ("routes".into(), Json::Num(get(r, "routes"))),
+                ("packets".into(), Json::Num(get(r, "packets"))),
+                ("bytes".into(), Json::Num(get(r, "bytes"))),
+                (
+                    "vpps".into(),
+                    Json::Num((get(r, "vpps") * 1000.0).round() / 1000.0),
+                ),
+                ("wall_secs".into(), Json::Num(get(r, "wall_secs"))),
+                ("pps_wall".into(), Json::Num(get(r, "pps_wall").round())),
+                ("tenants_pass".into(), Json::Num(get(r, "tenants_pass"))),
+                ("all_pass".into(), Json::Bool(r.all_pass())),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("sweep".into(), Json::Str("scalability".into())),
+        ("cells".into(), Json::Arr(cells)),
+    ])
+    .to_text()
+}
+
 /// The CI regression gate for the `sched_throughput` ladder.
 ///
 /// `baseline_text` is the committed
@@ -615,6 +692,53 @@ mod tests {
         assert!(problems[0].contains("no such cell"), "{problems:?}");
 
         assert!(!sched_throughput_gate(&slow, "not json").is_empty());
+    }
+
+    fn scal_result(pass: bool) -> CellResult {
+        CellResult {
+            id: "scalability//waxman/64n/8t/k2".into(),
+            sweep: "scalability".into(),
+            group: String::new(),
+            label: "waxman/64n/8t/k2".into(),
+            seed: 42,
+            cell_seed: 7,
+            metrics: vec![
+                ("nodes".into(), 64.0),
+                ("tenants".into(), 8.0),
+                ("k".into(), 2.0),
+                ("shards".into(), 1.0),
+                ("edges".into(), 300.0),
+                ("routes".into(), 16.0),
+                ("graph_hi".into(), 0xdead_beef_u64 as f64),
+                ("graph_lo".into(), 0x1234_5678_u64 as f64),
+                ("packets".into(), 123456.0),
+                ("bytes".into(), 1.5e8),
+                ("vpps".into(), 5144.0),
+                ("lemma1.worst_obs".into(), 0.9712),
+                ("lemma2.worst_obs".into(), 3.125),
+                ("tenants_pass".into(), if pass { 8.0 } else { 7.0 }),
+                ("wall_secs".into(), 2.5),
+                ("pps_wall".into(), 49382.4),
+            ],
+            verdicts: vec![("conformance.pass".into(), pass)],
+        }
+    }
+
+    #[test]
+    fn scalability_table_is_deterministic_and_json_carries_wall_clock() {
+        let table = scalability_table(&[scal_result(true)]);
+        assert!(table.contains("| waxman/64n/8t/k2 | 64 | 8 | 2 | 1 | 300 | 16 |"));
+        assert!(table.contains("0xdeadbeef12345678"));
+        assert!(table.contains("| 8/8 |"));
+        // Wall-clock numbers never reach the checked block.
+        assert!(!table.contains("2.5") && !table.contains("49382"));
+        let failing = scalability_table(&[scal_result(false)]);
+        assert!(failing.contains("**7/8 FAIL**"));
+
+        let json = scalability_json(&[scal_result(true)]);
+        assert!(json.contains("\"pps_wall\"") && json.contains("\"wall_secs\""));
+        let doc = Json::parse(&json).unwrap();
+        assert_eq!(doc.get("sweep").and_then(Json::as_str), Some("scalability"));
     }
 
     #[test]

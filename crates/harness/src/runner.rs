@@ -27,7 +27,10 @@ use iqpaths_simnet::topology::{emulab_testbed, PATH_A_ROUTE, PATH_B_ROUTE};
 use iqpaths_stats::percentile::{evaluate_mean_prediction, evaluate_percentile_prediction};
 use iqpaths_stats::predictors::extended_suite;
 use iqpaths_stats::{BandwidthCdf, EmpiricalCdf};
-use iqpaths_testkit::{mode_by_name, run_conformance, ConformanceConfig, FaultScenario};
+use iqpaths_testkit::{
+    mode_by_name, run_conformance, run_scalability, ConformanceConfig, FaultScenario, GraphModel,
+    ScalabilityConfig,
+};
 use iqpaths_trace::TraceHandle;
 use iqpaths_traces::envelope::{available_bandwidth, EnvelopeConfig};
 use iqpaths_traces::RateTrace;
@@ -57,6 +60,12 @@ pub fn run_cell(spec: &CellSpec) -> CellResult {
             &mut res,
         ),
         CellKind::Validation { demand_pct } => run_validation_cell(spec, *demand_pct, &mut res),
+        CellKind::Scalability {
+            model,
+            nodes,
+            tenants,
+            k,
+        } => run_scalability_cell(spec, model, *nodes, *tenants, *k, &mut res),
         CellKind::Prediction { window_ds } => run_prediction_cell(spec, *window_ds, &mut res),
         CellKind::SchedThroughput {
             streams,
@@ -92,6 +101,66 @@ fn run_conformance_cell(spec: &CellSpec, mode: &str, scenario: &str, res: &mut C
     for (name, value) in r.report.metrics.kv_pairs() {
         res.metric(&name, value);
     }
+}
+
+fn run_scalability_cell(
+    spec: &CellSpec,
+    model: &str,
+    nodes: u32,
+    tenants: u32,
+    k: u32,
+    res: &mut CellResult,
+) {
+    let model =
+        GraphModel::by_name(model).unwrap_or_else(|| panic!("unknown graph model `{model}`"));
+    let mut cfg = ScalabilityConfig::new(
+        spec.cell_seed(),
+        model,
+        nodes as usize,
+        tenants as usize,
+        k as usize,
+    )
+    .with_shards(spec.shards.max(1));
+    cfg.duration = spec.duration;
+    let t0 = std::time::Instant::now();
+    let r = run_scalability(cfg);
+    let wall = t0.elapsed().as_secs_f64().max(1e-9);
+
+    // Deterministic evidence (feeds the checked EXPERIMENTS.md block).
+    res.metric("nodes", r.nodes as f64);
+    res.metric("tenants", r.tenants.len() as f64);
+    res.metric("k", r.k as f64);
+    res.metric("shards", r.shards as f64);
+    res.metric("edges", r.edges as f64);
+    res.metric("routes", r.total_routes as f64);
+    // The 64-bit generator hash split into exact-in-f64 halves.
+    res.metric("graph_hi", (r.graph_hash >> 32) as f64);
+    res.metric("graph_lo", (r.graph_hash & 0xffff_ffff) as f64);
+    res.metric("packets", r.total_packets as f64);
+    res.metric("bytes", r.total_bytes as f64);
+    res.metric("vpps", r.virtual_pps);
+    let pass = r
+        .tenants
+        .iter()
+        .filter(|t| t.outcomes.iter().all(|o| o.pass))
+        .count();
+    res.metric("tenants_pass", pass as f64);
+    let worst = |kind: &str, init: f64, pick: fn(f64, f64) -> f64| {
+        r.tenants
+            .iter()
+            .flat_map(|t| t.outcomes.iter())
+            .filter(|o| o.kind == kind)
+            .map(|o| o.observed)
+            .fold(init, pick)
+    };
+    res.metric("lemma1.worst_obs", worst("lemma1", 1.0, f64::min));
+    res.metric("lemma2.worst_obs", worst("lemma2", 0.0, f64::max));
+    res.verdict("conformance.pass", r.all_pass());
+
+    // Wall-clock throughput: BENCH_scalability.json only, never the
+    // checked table.
+    res.metric("wall_secs", wall);
+    res.metric("pps_wall", r.total_packets as f64 / wall);
 }
 
 fn run_smartpointer_cell(

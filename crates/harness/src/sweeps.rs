@@ -26,6 +26,11 @@ pub struct CellTemplate {
     pub kind: CellKind,
     /// Duration override for this template (else the sweep default).
     pub duration: Option<f64>,
+    /// Shard-count override for this template (else the sweep default,
+    /// i.e. the `--shards` CLI knob). Sweeps whose shard axis is
+    /// intrinsic — the scalability family pins serial and sharded twins
+    /// of the same cell — set this; everything else leaves it `None`.
+    pub shards: Option<usize>,
 }
 
 impl CellTemplate {
@@ -35,6 +40,7 @@ impl CellTemplate {
             label: label.to_string(),
             kind,
             duration: None,
+            shards: None,
         }
     }
 }
@@ -75,7 +81,7 @@ impl SweepSpec {
                     label: t.label.clone(),
                     seed,
                     duration: t.duration.unwrap_or(self.duration),
-                    shards: self.shards.max(1),
+                    shards: t.shards.unwrap_or(self.shards).max(1),
                     kind: t.kind.clone(),
                 });
             }
@@ -84,7 +90,10 @@ impl SweepSpec {
     }
 
     /// Returns the same sweep with every cell running `shards`
-    /// data-plane workers (the `--shards` CLI knob).
+    /// data-plane workers (the `--shards` CLI knob). Templates that pin
+    /// their own shard count ([`CellTemplate::shards`]) keep it — the
+    /// scalability family's intrinsic serial/sharded axis survives a
+    /// CLI override.
     #[must_use]
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards.max(1);
@@ -374,6 +383,56 @@ pub fn sched_throughput(seed: u64) -> SweepSpec {
     }
 }
 
+/// Graph-scale many-tenant conformance: seeded random overlays
+/// (Waxman / preferential attachment), tenants routed over Yen's k
+/// cheapest loopless paths, flash-crowd waves + relay churn, per-tenant
+/// Lemma 1/2 verdicts. The axes climb `nodes × tenants × k`, with two
+/// cells replicated on the 4-shard data plane (pinned per template, so
+/// the serial/sharded pair survives a `--shards` override). The
+/// conformance verdicts and throughput *per virtual second* are
+/// deterministic and feed the checked `EXPERIMENTS.md` block; the
+/// wall-clock packets/sec only reach `BENCH_scalability.json`, which is
+/// why the sweep is uncacheable — same policy as `sched_throughput`.
+pub fn scalability(seed: u64) -> SweepSpec {
+    let axes: [(&str, u32, u32, u32, Option<usize>); 8] = [
+        ("waxman", 64, 8, 2, None),
+        ("waxman", 64, 16, 2, None),
+        ("ba", 64, 16, 2, None),
+        ("waxman", 128, 32, 3, None),
+        ("waxman", 256, 64, 4, None),
+        ("ba", 256, 64, 4, None),
+        ("waxman", 64, 16, 2, Some(4)),
+        ("waxman", 256, 64, 4, Some(4)),
+    ];
+    let templates = axes
+        .into_iter()
+        .map(|(model, nodes, tenants, k, shards)| {
+            let suffix = shards.map_or(String::new(), |s| format!("/sh{s}"));
+            let mut t = CellTemplate::new(
+                "",
+                &format!("{model}/{nodes}n/{tenants}t/k{k}{suffix}"),
+                CellKind::Scalability {
+                    model: model.to_string(),
+                    nodes,
+                    tenants,
+                    k,
+                },
+            );
+            t.shards = shards;
+            t
+        })
+        .collect();
+    SweepSpec {
+        name: "scalability",
+        about: "graph-scale many-tenant conformance: nodes x tenants x k x shards",
+        duration: 24.0,
+        seeds: vec![seed],
+        shards: 1,
+        cacheable: false,
+        templates,
+    }
+}
+
 /// Every defined sweep, report order. `seed`/`duration` parameterize
 /// the single-seed sweeps exactly like the old `IQP_SEED`/`IQP_DURATION`
 /// env knobs (the smoke matrix and the seed-sweep axis stay fixed).
@@ -385,6 +444,7 @@ pub fn all_sweeps(seed: u64, duration: f64) -> Vec<SweepSpec> {
         seed_sweep(duration),
         ablations(seed, duration),
         smoke(),
+        scalability(seed),
         sched_throughput(seed),
     ]
 }
@@ -408,19 +468,52 @@ mod tests {
         assert_eq!(validation(42, 150.0).expand().len(), 5);
         assert_eq!(fig04_prediction(42).expand().len(), 10);
         assert_eq!(smoke().expand().len(), 12);
+        assert_eq!(scalability(42).expand().len(), 8);
         assert_eq!(sched_throughput(42).expand().len(), 24);
     }
 
     #[test]
-    fn only_the_throughput_ladder_is_uncacheable() {
+    fn only_wall_clock_sweeps_are_uncacheable() {
+        // Both carry wall-clock measurements in their JSON artifacts;
+        // a cached timing is a stale timing.
         for sweep in all_sweeps(42, 120.0) {
             assert_eq!(
                 sweep.cacheable,
-                sweep.name != "sched_throughput",
+                !matches!(sweep.name, "sched_throughput" | "scalability"),
                 "unexpected cacheability for {}",
                 sweep.name
             );
         }
+    }
+
+    #[test]
+    fn scalability_pins_its_shard_axis_against_cli_overrides() {
+        let cells = scalability(42).with_shards(4).expand();
+        let pinned_serial: Vec<&CellSpec> = cells
+            .iter()
+            .filter(|c| !c.label.ends_with("/sh4"))
+            .collect();
+        // Unpinned templates follow the CLI override…
+        assert!(pinned_serial.iter().all(|c| c.shards == 4));
+        // …while the intrinsic sh4 twins keep their own pin.
+        let twins: Vec<&CellSpec> = cells.iter().filter(|c| c.label.ends_with("/sh4")).collect();
+        assert_eq!(twins.len(), 2);
+        assert!(twins.iter().all(|c| c.shards == 4));
+        // Default expansion: the serial/sharded twins replay the same
+        // derived seed under distinct identities.
+        let default = scalability(42).expand();
+        let serial = default
+            .iter()
+            .find(|c| c.label == "waxman/256n/64t/k4")
+            .unwrap();
+        let sharded = default
+            .iter()
+            .find(|c| c.label == "waxman/256n/64t/k4/sh4")
+            .unwrap();
+        assert_eq!(serial.cell_seed(), sharded.cell_seed());
+        assert_ne!(serial.id(), sharded.id());
+        assert_eq!(serial.shards, 1);
+        assert_eq!(sharded.shards, 4);
     }
 
     #[test]

@@ -25,6 +25,7 @@ fn mini_matrix() -> SweepSpec {
                     scenario: scenario.to_string(),
                 },
                 duration: None,
+                shards: None,
             });
         }
     }

@@ -1,25 +1,41 @@
-//! The overlay graph and disjoint-path enumeration.
+//! The overlay graph, k-shortest-path enumeration, and disjoint-path
+//! routing.
 //!
 //! §5.1: "An overlay network … may be represented as a graph
 //! `G = (V, E)` with `n` overlay nodes and `m` edges. … There may exist
 //! multiple distinct paths `P^j, j = 1, 2, … L` between each server and
-//! client." Like the paper (and OverQoS), we assume routing nodes are
-//! placed so paths between node pairs do not share bottlenecks; the
-//! enumeration below returns *link-disjoint* paths to honor that.
+//! client." The paper's 14-node testbed satisfies the OverQoS placement
+//! assumption (paths between node pairs do not share bottlenecks), so
+//! the original greedy *link-disjoint* enumeration
+//! ([`OverlayGraph::disjoint_paths`]) is kept as the conservative
+//! baseline. Production overlays are denser: the loopless k-shortest
+//! enumeration ([`OverlayGraph::k_shortest_paths`], Yen's algorithm)
+//! returns the `k` cheapest *simple* paths — which may share links —
+//! and lets the scheduler's per-path CDFs arbitrate the sharing, which
+//! is what the graph-scale scenario family exercises.
+//!
+//! Determinism contract: every routine on this graph is a pure function
+//! of the insertion-ordered node/edge set. Shortest paths break cost
+//! ties by the lexicographically smallest node sequence, and Yen's
+//! candidate pool is ordered by `(cost, node sequence)`, so enumeration
+//! order is reproducible across runs, platforms and thread counts.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeSet, BinaryHeap, HashMap, HashSet};
 
 /// An overlay node handle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct OverlayNodeId(pub usize);
 
-/// A directed overlay graph.
+/// A directed overlay graph with positive integer edge costs.
 #[derive(Debug, Default, Clone)]
 pub struct OverlayGraph {
     names: Vec<String>,
     by_name: HashMap<String, OverlayNodeId>,
     /// Adjacency: sorted for determinism.
     edges: Vec<Vec<OverlayNodeId>>,
+    /// Edge cost (≥ 1); edges added without an explicit weight cost 1,
+    /// which makes path cost equal hop count on unweighted graphs.
+    weights: HashMap<(OverlayNodeId, OverlayNodeId), u64>,
 }
 
 impl OverlayGraph {
@@ -55,12 +71,36 @@ impl OverlayGraph {
         self.names.len()
     }
 
-    /// Adds a directed logical link.
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.iter().map(Vec::len).sum()
+    }
+
+    /// Adds a directed logical link of cost 1 (idempotent; an existing
+    /// edge keeps its weight).
     pub fn add_edge(&mut self, from: OverlayNodeId, to: OverlayNodeId) {
+        self.add_edge_weighted(from, to, 1);
+    }
+
+    /// Adds a directed logical link of cost `weight`. Re-adding an
+    /// existing edge updates its weight.
+    ///
+    /// # Panics
+    /// Panics on a zero weight (Yen's deviation search assumes strictly
+    /// positive costs) or a self-loop.
+    pub fn add_edge_weighted(&mut self, from: OverlayNodeId, to: OverlayNodeId, weight: u64) {
+        assert!(weight > 0, "edge weights must be strictly positive");
+        assert_ne!(from, to, "self-loops are not representable paths");
         if !self.edges[from.0].contains(&to) {
             self.edges[from.0].push(to);
             self.edges[from.0].sort();
         }
+        self.weights.insert((from, to), weight);
+    }
+
+    /// Cost of the edge `from → to`, if present.
+    pub fn edge_weight(&self, from: OverlayNodeId, to: OverlayNodeId) -> Option<u64> {
+        self.weights.get(&(from, to)).copied()
     }
 
     /// Out-neighbors.
@@ -68,44 +108,142 @@ impl OverlayGraph {
         &self.edges[from.0]
     }
 
-    /// Shortest path (fewest hops) from `src` to `dst`, excluding any
-    /// edge in `banned`. BFS with deterministic neighbor order.
-    fn shortest_path(
+    /// Total cost of a node path, or `None` if an edge is missing.
+    pub fn path_cost(&self, path: &[OverlayNodeId]) -> Option<u64> {
+        path.windows(2)
+            .map(|w| self.edge_weight(w[0], w[1]))
+            .sum::<Option<u64>>()
+    }
+
+    /// Deterministic Dijkstra from `src` to `dst` avoiding
+    /// `banned_edges` and `banned_nodes`: returns the minimum-cost path
+    /// and, among equal-cost paths, the lexicographically smallest node
+    /// sequence. Heap entries carry their full path so the tie-break is
+    /// exact, not heuristic — fine at overlay scale (≤ a few thousand
+    /// nodes), where path lengths stay small.
+    fn constrained_shortest(
         &self,
         src: OverlayNodeId,
         dst: OverlayNodeId,
-        banned: &HashSet<(OverlayNodeId, OverlayNodeId)>,
-    ) -> Option<Vec<OverlayNodeId>> {
-        let mut prev: HashMap<OverlayNodeId, OverlayNodeId> = HashMap::new();
-        let mut seen: HashSet<OverlayNodeId> = HashSet::new();
-        let mut queue = VecDeque::new();
-        queue.push_back(src);
-        seen.insert(src);
-        while let Some(u) = queue.pop_front() {
+        banned_edges: &HashSet<(OverlayNodeId, OverlayNodeId)>,
+        banned_nodes: &HashSet<OverlayNodeId>,
+    ) -> Option<(u64, Vec<OverlayNodeId>)> {
+        if banned_nodes.contains(&src) || banned_nodes.contains(&dst) {
+            return None;
+        }
+        let mut visited: HashSet<OverlayNodeId> = HashSet::new();
+        let mut heap: BinaryHeap<std::cmp::Reverse<(u64, Vec<OverlayNodeId>)>> = BinaryHeap::new();
+        heap.push(std::cmp::Reverse((0, vec![src])));
+        while let Some(std::cmp::Reverse((cost, path))) = heap.pop() {
+            let u = *path.last().expect("heap paths are non-empty");
             if u == dst {
-                let mut path = vec![dst];
-                let mut cur = dst;
-                while cur != src {
-                    cur = prev[&cur];
-                    path.push(cur);
-                }
-                path.reverse();
-                return Some(path);
+                return Some((cost, path));
+            }
+            if !visited.insert(u) {
+                continue;
             }
             for &v in self.neighbors(u) {
-                if banned.contains(&(u, v)) || seen.contains(&v) {
+                if visited.contains(&v)
+                    || banned_nodes.contains(&v)
+                    || banned_edges.contains(&(u, v))
+                {
                     continue;
                 }
-                seen.insert(v);
-                prev.insert(v, u);
-                queue.push_back(v);
+                let w = self.weights[&(u, v)];
+                let mut next = path.clone();
+                next.push(v);
+                heap.push(std::cmp::Reverse((cost + w, next)));
             }
         }
         None
     }
 
+    /// Cheapest path from `src` to `dst` (ties broken by the smallest
+    /// node sequence), or `None` when unreachable. On unweighted graphs
+    /// this is the fewest-hops path.
+    pub fn shortest_path(
+        &self,
+        src: OverlayNodeId,
+        dst: OverlayNodeId,
+    ) -> Option<Vec<OverlayNodeId>> {
+        self.constrained_shortest(src, dst, &HashSet::new(), &HashSet::new())
+            .map(|(_, p)| p)
+    }
+
+    /// Yen's loopless k-shortest-paths: the up-to-`k` cheapest *simple*
+    /// paths from `src` to `dst`, in nondecreasing `(cost, node
+    /// sequence)` order. `k_shortest_paths(src, dst, 1)` equals
+    /// [`OverlayGraph::shortest_path`]. Returned paths may share links —
+    /// use [`OverlayGraph::disjoint_paths`] when the no-shared-
+    /// bottleneck placement assumption must hold structurally.
+    pub fn k_shortest_paths(
+        &self,
+        src: OverlayNodeId,
+        dst: OverlayNodeId,
+        k: usize,
+    ) -> Vec<Vec<OverlayNodeId>> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let Some((_, first)) =
+            self.constrained_shortest(src, dst, &HashSet::new(), &HashSet::new())
+        else {
+            return Vec::new();
+        };
+        let mut chosen: Vec<Vec<OverlayNodeId>> = vec![first];
+        // Candidate deviations, ordered by (cost, node sequence) so
+        // pop-first is the deterministic global minimum.
+        let mut candidates: BTreeSet<(u64, Vec<OverlayNodeId>)> = BTreeSet::new();
+        while chosen.len() < k {
+            let prev = chosen.last().expect("chosen is non-empty").clone();
+            for j in 0..prev.len() - 1 {
+                let spur = prev[j];
+                let root = &prev[..=j];
+                // Ban the next edge of every already-chosen path that
+                // shares this root, so the spur search can only produce
+                // new deviations.
+                let mut banned_edges: HashSet<(OverlayNodeId, OverlayNodeId)> = HashSet::new();
+                for p in &chosen {
+                    if p.len() > j + 1 && p[..=j] == *root {
+                        banned_edges.insert((p[j], p[j + 1]));
+                    }
+                }
+                // Ban the root's interior nodes to keep paths simple.
+                let banned_nodes: HashSet<OverlayNodeId> = root[..j].iter().copied().collect();
+                if let Some((_, tail)) =
+                    self.constrained_shortest(spur, dst, &banned_edges, &banned_nodes)
+                {
+                    let mut cand = root[..j].to_vec();
+                    cand.extend(tail);
+                    let cost = self
+                        .path_cost(&cand)
+                        .expect("deviation paths walk existing edges");
+                    if !chosen.contains(&cand) {
+                        candidates.insert((cost, cand));
+                    }
+                }
+            }
+            // Pop the cheapest unused candidate.
+            let next = loop {
+                let Some(entry) = candidates.iter().next().cloned() else {
+                    return chosen;
+                };
+                candidates.remove(&entry);
+                if !chosen.contains(&entry.1) {
+                    break entry.1;
+                }
+            };
+            chosen.push(next);
+        }
+        chosen
+    }
+
     /// Enumerates up to `k` link-disjoint paths from `src` to `dst`
-    /// (greedy: repeatedly take the shortest path and remove its edges).
+    /// (greedy: repeatedly take the cheapest path and remove its
+    /// edges). This is the conservative baseline behind the paper's
+    /// no-shared-bottleneck assumption; each returned path costs at
+    /// least as much as the corresponding entry of
+    /// [`OverlayGraph::k_shortest_paths`].
     pub fn disjoint_paths(
         &self,
         src: OverlayNodeId,
@@ -113,11 +251,12 @@ impl OverlayGraph {
         k: usize,
     ) -> Vec<Vec<OverlayNodeId>> {
         let mut banned = HashSet::new();
+        let empty_nodes = HashSet::new();
         let mut out = Vec::new();
         for _ in 0..k {
-            match self.shortest_path(src, dst, &banned) {
+            match self.constrained_shortest(src, dst, &banned, &empty_nodes) {
                 None => break,
-                Some(p) => {
+                Some((_, p)) => {
                     for w in p.windows(2) {
                         banned.insert((w[0], w[1]));
                     }
@@ -174,12 +313,16 @@ mod tests {
         let a = g.node("a");
         let b = g.node("b");
         assert!(g.disjoint_paths(a, b, 2).is_empty());
+        assert!(g.k_shortest_paths(a, b, 2).is_empty());
+        assert!(g.shortest_path(a, b).is_none());
     }
 
     #[test]
     fn k_limits_path_count() {
         let (g, s, c) = figure8_overlay();
         assert_eq!(g.disjoint_paths(s, c, 1).len(), 1);
+        assert_eq!(g.k_shortest_paths(s, c, 1).len(), 1);
+        assert_eq!(g.k_shortest_paths(s, c, 0).len(), 0);
     }
 
     #[test]
@@ -215,5 +358,101 @@ mod tests {
         g.add_edge(a, b);
         g.add_edge(a, b);
         assert_eq!(g.neighbors(a).len(), 1);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn weights_change_the_cheapest_path() {
+        // a→b→c costs 2, the direct a→c edge costs 5: Dijkstra must
+        // take the two-hop route, unlike the unweighted case.
+        let mut g = OverlayGraph::new();
+        let a = g.node("a");
+        let b = g.node("b");
+        let c = g.node("c");
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        g.add_edge_weighted(a, c, 5);
+        assert_eq!(g.shortest_path(a, c), Some(vec![a, b, c]));
+        assert_eq!(g.path_cost(&[a, b, c]), Some(2));
+        assert_eq!(g.path_cost(&[a, c]), Some(5));
+        assert_eq!(g.path_cost(&[a, c, b]), None);
+    }
+
+    #[test]
+    fn equal_cost_ties_break_lexicographically() {
+        // Two disjoint two-hop routes a→b→d and a→c→d of equal cost:
+        // the node-sequence tie-break must pick the one through b.
+        let mut g = OverlayGraph::new();
+        let a = g.node("a");
+        let b = g.node("b");
+        let c = g.node("c");
+        let d = g.node("d");
+        g.add_edge(a, c);
+        g.add_edge(c, d);
+        g.add_edge(a, b);
+        g.add_edge(b, d);
+        assert_eq!(g.shortest_path(a, d), Some(vec![a, b, d]));
+        let k = g.k_shortest_paths(a, d, 3);
+        assert_eq!(k, vec![vec![a, b, d], vec![a, c, d]]);
+    }
+
+    #[test]
+    fn yen_enumerates_figure8_then_stops() {
+        let (g, s, c) = figure8_overlay();
+        // Exactly two simple paths exist; asking for four returns both,
+        // cheapest-lexicographic first.
+        let k = g.k_shortest_paths(s, c, 4);
+        assert_eq!(k.len(), 2);
+        assert_eq!(g.names_of(&k[0]), vec!["N-1", "N-2", "N-4", "N-6"]);
+        assert_eq!(g.names_of(&k[1]), vec!["N-1", "N-3", "N-5", "N-6"]);
+    }
+
+    #[test]
+    fn yen_returns_nondecreasing_costs_and_simple_paths() {
+        // A diamond with a chord: several overlapping routes.
+        let mut g = OverlayGraph::new();
+        let n: Vec<_> = (0..6).map(|i| g.node(&format!("v{i}"))).collect();
+        for (u, v, w) in [
+            (0, 1, 1),
+            (1, 2, 1),
+            (2, 5, 1),
+            (0, 3, 2),
+            (3, 4, 1),
+            (4, 5, 1),
+            (1, 4, 1),
+            (3, 2, 1),
+        ] {
+            g.add_edge_weighted(n[u], n[v], w);
+        }
+        let paths = g.k_shortest_paths(n[0], n[5], 10);
+        assert!(paths.len() >= 3);
+        let costs: Vec<u64> = paths
+            .iter()
+            .map(|p| g.path_cost(p).expect("valid path"))
+            .collect();
+        assert!(costs.windows(2).all(|w| w[0] <= w[1]), "costs {costs:?}");
+        for p in &paths {
+            assert_eq!(p.first(), Some(&n[0]));
+            assert_eq!(p.last(), Some(&n[5]));
+            let mut seen: Vec<_> = p.clone();
+            seen.sort();
+            seen.dedup();
+            assert_eq!(seen.len(), p.len(), "loop in {p:?}");
+        }
+        // All distinct.
+        let mut uniq = paths.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), paths.len());
+    }
+
+    #[test]
+    fn greedy_disjoint_costs_dominate_yens() {
+        let (g, s, c) = figure8_overlay();
+        let yen = g.k_shortest_paths(s, c, 4);
+        let greedy = g.disjoint_paths(s, c, 4);
+        for (i, p) in greedy.iter().enumerate() {
+            assert!(g.path_cost(p).unwrap() >= g.path_cost(&yen[i]).unwrap());
+        }
     }
 }

@@ -1,0 +1,151 @@
+//! Property tests of the loopless k-shortest-path enumeration (Yen's
+//! algorithm), cross-checked against brute-force simple-path
+//! enumeration on small random graphs.
+//!
+//! On graphs of ≤ 8 nodes every simple path can be enumerated
+//! exhaustively, so the ground truth for "the k cheapest simple paths
+//! in (cost, node sequence) order" is computable directly — Yen must
+//! reproduce its prefix exactly, not merely something plausible. The
+//! remaining properties (simple src→dst paths, nondecreasing costs with
+//! deterministic tie-breaks, k = 1 ≡ `shortest_path`, greedy-disjoint
+//! cost domination) then hold on the same sampled family.
+
+use iqpaths_overlay::graph::{OverlayGraph, OverlayNodeId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random directed graph on `n ≤ 8` nodes: each ordered pair
+/// gets an edge with probability ~0.45, weights 1..=4 (small, so cost
+/// ties are common and the lexicographic tie-break is truly exercised).
+fn random_graph(seed: u64, n: usize) -> OverlayGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = OverlayGraph::new();
+    let ids: Vec<OverlayNodeId> = (0..n).map(|i| g.node(&format!("v{i}"))).collect();
+    for u in 0..n {
+        for v in 0..n {
+            if u != v && rng.gen_bool(0.45) {
+                g.add_edge_weighted(ids[u], ids[v], rng.gen_range(1u64..5));
+            }
+        }
+    }
+    g
+}
+
+/// All simple `src → dst` paths, by exhaustive DFS.
+fn brute_force_simple_paths(
+    g: &OverlayGraph,
+    src: OverlayNodeId,
+    dst: OverlayNodeId,
+) -> Vec<Vec<OverlayNodeId>> {
+    let mut out = Vec::new();
+    let mut stack = vec![src];
+    fn dfs(
+        g: &OverlayGraph,
+        dst: OverlayNodeId,
+        stack: &mut Vec<OverlayNodeId>,
+        out: &mut Vec<Vec<OverlayNodeId>>,
+    ) {
+        let u = *stack.last().unwrap();
+        if u == dst {
+            out.push(stack.clone());
+            return;
+        }
+        for &v in g.neighbors(u) {
+            if !stack.contains(&v) {
+                stack.push(v);
+                dfs(g, dst, stack, out);
+                stack.pop();
+            }
+        }
+    }
+    dfs(g, dst, &mut stack, &mut out);
+    out
+}
+
+fn is_simple_src_dst(p: &[OverlayNodeId], src: OverlayNodeId, dst: OverlayNodeId) -> bool {
+    if p.first() != Some(&src) || p.last() != Some(&dst) {
+        return false;
+    }
+    let mut seen: Vec<_> = p.to_vec();
+    seen.sort();
+    seen.dedup();
+    seen.len() == p.len()
+}
+
+proptest! {
+    #[test]
+    fn yen_equals_brute_force_on_small_graphs(seed in 0u64..5_000, n in 2usize..9, k in 1usize..7) {
+        let g = random_graph(seed, n);
+        let (src, dst) = (OverlayNodeId(0), OverlayNodeId(n - 1));
+        // Ground truth: every simple path, sorted by (cost, sequence).
+        let mut truth: Vec<(u64, Vec<OverlayNodeId>)> = brute_force_simple_paths(&g, src, dst)
+            .into_iter()
+            .map(|p| (g.path_cost(&p).expect("DFS walks existing edges"), p))
+            .collect();
+        truth.sort();
+        let expected: Vec<Vec<OverlayNodeId>> =
+            truth.iter().take(k).map(|(_, p)| p.clone()).collect();
+        let got = g.k_shortest_paths(src, dst, k);
+        prop_assert_eq!(&got, &expected, "seed {} n {} k {}", seed, n, k);
+    }
+
+    #[test]
+    fn yen_paths_are_simple_with_nondecreasing_costs(seed in 0u64..5_000, n in 2usize..9) {
+        let g = random_graph(seed, n);
+        let (src, dst) = (OverlayNodeId(0), OverlayNodeId(n - 1));
+        let paths = g.k_shortest_paths(src, dst, 6);
+        for p in &paths {
+            prop_assert!(is_simple_src_dst(p, src, dst), "not a simple src->dst path: {:?}", p);
+        }
+        let ranked: Vec<(u64, &Vec<OverlayNodeId>)> = paths
+            .iter()
+            .map(|p| (g.path_cost(p).expect("returned paths walk existing edges"), p))
+            .collect();
+        // Nondecreasing cost; equal costs in strictly increasing node
+        // sequence (which also proves all paths are distinct).
+        prop_assert!(
+            ranked.windows(2).all(|w| w[0] < w[1]),
+            "order violated: {:?}",
+            ranked
+        );
+        // Determinism: a second enumeration is identical.
+        prop_assert_eq!(&paths, &g.k_shortest_paths(src, dst, 6));
+    }
+
+    #[test]
+    fn k1_is_exactly_the_shortest_path(seed in 0u64..5_000, n in 2usize..9) {
+        let g = random_graph(seed, n);
+        let (src, dst) = (OverlayNodeId(0), OverlayNodeId(n - 1));
+        let k1 = g.k_shortest_paths(src, dst, 1);
+        match g.shortest_path(src, dst) {
+            None => prop_assert!(k1.is_empty()),
+            Some(sp) => prop_assert_eq!(k1, vec![sp]),
+        }
+    }
+
+    #[test]
+    fn greedy_disjoint_is_a_cost_dominated_subset_family(seed in 0u64..5_000, n in 3usize..9) {
+        let g = random_graph(seed, n);
+        let (src, dst) = (OverlayNodeId(0), OverlayNodeId(n - 1));
+        let greedy = g.disjoint_paths(src, dst, 4);
+        let yen = g.k_shortest_paths(src, dst, 64);
+        // Never more paths than exist, pairwise link-disjoint, and the
+        // i-th greedy path costs at least as much as the i-th cheapest
+        // simple path (removing edges can only hurt).
+        prop_assert!(greedy.len() <= yen.len().max(greedy.len()));
+        let mut used = std::collections::HashSet::new();
+        for p in &greedy {
+            prop_assert!(is_simple_src_dst(p, src, dst));
+            for w in p.windows(2) {
+                prop_assert!(used.insert((w[0], w[1])), "shared link {:?}", w);
+            }
+        }
+        for (i, p) in greedy.iter().enumerate() {
+            // Every greedy path is also a simple path, so Yen's i-th
+            // entry exists whenever greedy's does.
+            let bound = g.path_cost(&yen[i]).unwrap();
+            prop_assert!(g.path_cost(p).unwrap() >= bound);
+        }
+    }
+}

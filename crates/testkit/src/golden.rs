@@ -1,0 +1,122 @@
+//! Golden decision-trace comparison.
+//!
+//! Every golden suite used to carry its own ~60-line copy of the same
+//! compare/refresh/artifact boilerplate; this module is the single
+//! implementation. A golden check serializes the *decision-level*
+//! subset of a trace (see `TraceEvent::is_decision`) to JSONL, drops a
+//! copy under `target/experiments/traces/` for CI artifact upload, and
+//! diffs it against the pinned file in `tests/golden/` at the workspace
+//! root. Under `UPDATE_GOLDEN=1` the pinned file is rewritten instead —
+//! decision changes are reviewed in the commit diff, never silent.
+
+use iqpaths_trace::TraceEvent;
+use std::fs;
+use std::path::PathBuf;
+
+/// Serializes the decision-level subset of a trace as JSONL.
+pub fn decisions_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for ev in events.iter().filter(|e| e.is_decision()) {
+        ev.write_jsonl(&mut out);
+        out.push('\n');
+    }
+    out
+}
+
+/// Workspace root (this crate lives at `crates/testkit`).
+fn workspace_root() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+/// `tests/golden/<name>` at the workspace root.
+pub fn golden_path(name: &str) -> PathBuf {
+    workspace_root().join("tests/golden").join(name)
+}
+
+/// `target/experiments/traces/<name>` at the workspace root.
+pub fn artifact_path(name: &str) -> PathBuf {
+    workspace_root()
+        .join("target/experiments/traces")
+        .join(name)
+}
+
+/// Compares (or, under `UPDATE_GOLDEN=1`, rewrites) the pinned decision
+/// trace `tests/golden/<name>` against `events`. `refresh_cmd` names
+/// the test binary to rerun, e.g. `cargo test --test golden_trace`.
+///
+/// # Panics
+/// Panics when the trace has no decision events, when the golden file
+/// is missing (outside refresh mode), or on the first divergent line —
+/// with the refresh command in the message.
+pub fn check_golden_trace(name: &str, refresh_cmd: &str, events: &[TraceEvent]) {
+    let actual = decisions_jsonl(events);
+    assert!(!actual.is_empty(), "{name}: empty decision trace");
+
+    // Always drop a copy for CI artifact upload.
+    let artifact = artifact_path(name);
+    fs::create_dir_all(artifact.parent().unwrap()).unwrap();
+    fs::write(&artifact, &actual).unwrap();
+
+    let golden = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::create_dir_all(golden.parent().unwrap()).unwrap();
+        fs::write(&golden, &actual).unwrap();
+        return;
+    }
+    let expected = fs::read_to_string(&golden).unwrap_or_else(|e| {
+        panic!(
+            "{name}: missing golden {} ({e}); generate it with \
+             UPDATE_GOLDEN=1 {refresh_cmd}",
+            golden.display()
+        )
+    });
+    if actual != expected {
+        let first_diff = actual
+            .lines()
+            .zip(expected.lines())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| actual.lines().count().min(expected.lines().count()));
+        panic!(
+            "{name}: decision trace diverged from golden at line {} \
+             (actual {} vs expected {} lines).\n  actual:   {}\n  expected: {}\n\
+             If the decision change is intended, refresh with \
+             UPDATE_GOLDEN=1 {refresh_cmd}",
+            first_diff + 1,
+            actual.lines().count(),
+            expected.lines().count(),
+            actual.lines().nth(first_diff).unwrap_or("<eof>"),
+            expected.lines().nth(first_diff).unwrap_or("<eof>"),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_subset_serializes_only_decisions() {
+        let evs = [
+            TraceEvent::WindowStart {
+                at_ns: 5,
+                window_ns: 1_000_000_000,
+                remapped: true,
+            },
+            TraceEvent::Enqueue {
+                at_ns: 6,
+                stream: 0,
+                seq: 1,
+                bytes: 10,
+            },
+        ];
+        let out = decisions_jsonl(&evs);
+        let kept: Vec<&str> = out.lines().collect();
+        assert_eq!(kept.len(), evs.iter().filter(|e| e.is_decision()).count());
+    }
+
+    #[test]
+    fn paths_land_in_workspace_dirs() {
+        assert!(golden_path("x.jsonl").ends_with("tests/golden/x.jsonl"));
+        assert!(artifact_path("x.jsonl").ends_with("target/experiments/traces/x.jsonl"));
+    }
+}

@@ -28,19 +28,26 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod golden;
 pub mod invariants;
+pub mod manytenant;
 pub mod scenario;
 pub mod stats;
 pub mod topology;
 
+pub use golden::{check_golden_trace, decisions_jsonl};
 pub use invariants::{
     assert_invariants, check_all, BackoffChecker, ConservationChecker, DeadlineChecker,
     InvariantChecker, MappingFreshnessChecker, PrecedenceChecker, Violation,
 };
+pub use manytenant::{
+    compile as compile_scalability, run_scalability, run_scalability_traced, run_scalability_with,
+    ScalabilityConfig, ScalabilityReport, TenantOutcome, STREAMS_PER_TENANT,
+};
 pub use scenario::{
-    conformance_streams, mode_by_name, mode_name, run_conformance, run_conformance_traced,
-    run_conformance_traced_with, run_conformance_with, sweep_modes, ConformanceConfig,
-    ConformanceReport, FaultScenario, LemmaOutcome,
+    conformance_streams, eligible_windows, lemma_outcomes, mode_by_name, mode_name,
+    run_conformance, run_conformance_traced, run_conformance_traced_with, run_conformance_with,
+    sweep_modes, ConformanceConfig, ConformanceReport, FaultScenario, LemmaOutcome,
 };
 pub use stats::{hoeffding_epsilon, probit, wilson_interval, BernoulliCheck, BoundedMeanCheck};
-pub use topology::TopologyGen;
+pub use topology::{GeneratedGraph, GraphGen, GraphModel, TopologyGen};

@@ -274,6 +274,92 @@ pub fn mode_by_name(name: &str) -> Option<CdfMode> {
     })
 }
 
+/// Monitor windows not overlapping `[τ, τ + settle_secs)` for any
+/// capacity change point `τ` (times absolute; window `w` spans
+/// `[warmup + w·window_secs, warmup + (w+1)·window_secs)`). The lemmas
+/// assume the monitored CDF describes the current path, which takes one
+/// rolling window of probes to become true again after an abrupt
+/// capacity shift — everything else, including windows *during* a
+/// settled fault, is checked.
+pub fn eligible_windows(
+    n_windows: usize,
+    warmup: f64,
+    window_secs: f64,
+    changes: &[f64],
+    settle_secs: f64,
+) -> Vec<usize> {
+    (0..n_windows)
+        .filter(|&w| {
+            let a = warmup + w as f64 * window_secs;
+            let b = a + window_secs;
+            changes.iter().all(|&t| b <= t || t + settle_secs <= a)
+        })
+        .collect()
+}
+
+/// Lemma 1/2 verdicts for one run: per guaranteed stream in `specs`,
+/// checks the report's per-window throughput series (Lemma 1,
+/// [`BernoulliCheck`]) or the attributed per-window deadline-miss
+/// matrix (Lemma 2, [`BoundedMeanCheck`]) over the eligible windows.
+/// `misses[stream][window]` must be indexed like `specs`; best-effort
+/// streams produce no outcome. Shared by the single-tenant conformance
+/// runner and the graph-scale many-tenant family, so every sweep
+/// anywhere in the workspace applies the identical statistical test.
+pub fn lemma_outcomes(
+    specs: &[StreamSpec],
+    report: &RunReport,
+    misses: &[Vec<f64>],
+    eligible: &[usize],
+    monitor_window_secs: f64,
+    confidence: f64,
+) -> Vec<LemmaOutcome> {
+    specs
+        .iter()
+        .enumerate()
+        .filter_map(|(i, spec)| match spec.guarantee {
+            Guarantee::Probabilistic { p } => {
+                let series = &report.streams[i].throughput_series;
+                let successes = eligible
+                    .iter()
+                    .filter(|&&w| series.get(w).copied().unwrap_or(0.0) >= spec.required_bw - 1.0)
+                    .count() as u64;
+                let check = BernoulliCheck {
+                    successes,
+                    trials: eligible.len() as u64,
+                };
+                Some(LemmaOutcome {
+                    stream: spec.name.clone(),
+                    kind: "lemma1",
+                    observed: check.fraction(),
+                    target: p,
+                    epsilon: check.epsilon(confidence),
+                    windows: check.trials,
+                    pass: check.meets_at_least(p, confidence),
+                })
+            }
+            Guarantee::ViolationBound {
+                max_expected_misses,
+            } => {
+                let samples: Vec<f64> = eligible.iter().map(|&w| misses[i][w]).collect();
+                // One window's misses are bounded by its packet budget.
+                let range =
+                    spec.required_bw * monitor_window_secs / (8.0 * spec.packet_bytes as f64);
+                let check = BoundedMeanCheck::from_samples(&samples, range);
+                Some(LemmaOutcome {
+                    stream: spec.name.clone(),
+                    kind: "lemma2",
+                    observed: check.mean(),
+                    target: max_expected_misses,
+                    epsilon: check.epsilon(confidence),
+                    windows: check.n,
+                    pass: check.meets_at_most(max_expected_misses, confidence),
+                })
+            }
+            Guarantee::BestEffort => None,
+        })
+        .collect()
+}
+
 /// The fixed stream mix: one probabilistic (8 Mbps at p = 0.9), one
 /// violation-bound (6 Mbps, ≤ 30 expected misses/window), one
 /// best-effort (4 Mbps nominal). Total guaranteed demand (14 Mbps)
@@ -392,63 +478,22 @@ fn run_case(
         )
     };
 
-    // Eligible windows: those not overlapping [τ, τ + settle) for any
-    // capacity change point τ (times are absolute; windows start at
-    // warm-up).
     let changes = faults.capacity_change_times();
-    let eligible_windows: Vec<usize> = (0..n_windows)
-        .filter(|&w| {
-            let a = cfg.warmup + w as f64 * rt.monitor_window_secs;
-            let b = a + rt.monitor_window_secs;
-            changes.iter().all(|&t| b <= t || t + cfg.settle_secs <= a)
-        })
-        .collect();
-
-    let outcomes = specs
-        .iter()
-        .enumerate()
-        .filter_map(|(i, spec)| match spec.guarantee {
-            Guarantee::Probabilistic { p } => {
-                let series = &report.streams[i].throughput_series;
-                let successes = eligible_windows
-                    .iter()
-                    .filter(|&&w| series.get(w).copied().unwrap_or(0.0) >= spec.required_bw - 1.0)
-                    .count() as u64;
-                let check = BernoulliCheck {
-                    successes,
-                    trials: eligible_windows.len() as u64,
-                };
-                Some(LemmaOutcome {
-                    stream: spec.name.clone(),
-                    kind: "lemma1",
-                    observed: check.fraction(),
-                    target: p,
-                    epsilon: check.epsilon(cfg.confidence),
-                    windows: check.trials,
-                    pass: check.meets_at_least(p, cfg.confidence),
-                })
-            }
-            Guarantee::ViolationBound {
-                max_expected_misses,
-            } => {
-                let samples: Vec<f64> = eligible_windows.iter().map(|&w| misses[i][w]).collect();
-                // One window's misses are bounded by its packet budget.
-                let range =
-                    spec.required_bw * rt.monitor_window_secs / (8.0 * spec.packet_bytes as f64);
-                let check = BoundedMeanCheck::from_samples(&samples, range);
-                Some(LemmaOutcome {
-                    stream: spec.name.clone(),
-                    kind: "lemma2",
-                    observed: check.mean(),
-                    target: max_expected_misses,
-                    epsilon: check.epsilon(cfg.confidence),
-                    windows: check.n,
-                    pass: check.meets_at_most(max_expected_misses, cfg.confidence),
-                })
-            }
-            Guarantee::BestEffort => None,
-        })
-        .collect();
+    let eligible_windows = eligible_windows(
+        n_windows,
+        cfg.warmup,
+        rt.monitor_window_secs,
+        &changes,
+        cfg.settle_secs,
+    );
+    let outcomes = lemma_outcomes(
+        &specs,
+        &report,
+        &misses,
+        &eligible_windows,
+        rt.monitor_window_secs,
+        cfg.confidence,
+    );
 
     ConformanceReport {
         scenario: cfg.scenario.name(),

@@ -6,7 +6,11 @@
 //! per seed, so every generated topology that ever fails a check can be
 //! reproduced from its `(seed, parameters)` pair alone.
 
+use std::collections::BTreeMap;
+
+use iqpaths_overlay::graph::{OverlayGraph, OverlayNodeId};
 use iqpaths_overlay::path::OverlayPath;
+use iqpaths_simnet::fault::{fnv1a64, salted_seed};
 use iqpaths_simnet::link::Link;
 use iqpaths_simnet::time::SimDuration;
 use iqpaths_traces::RateTrace;
@@ -91,6 +95,322 @@ impl TopologyGen {
     }
 }
 
+/// The random-graph model behind a generated overlay.
+///
+/// Both models produce connected undirected graphs (every undirected
+/// edge is added in both directions so any (src, dst) tenant pair is
+/// routable) whose structure is a pure function of `(seed, nodes,
+/// model)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GraphModel {
+    /// Waxman random graph: nodes get positions in the unit square and
+    /// a pair at distance `d` is wired with probability
+    /// `alpha · exp(-d / (beta · L))` (`L` = the square's diagonal).
+    /// A chain backbone `n_i — n_{i+1}` guarantees connectivity. Edge
+    /// delay and routing weight grow with euclidean distance, so
+    /// k-shortest-path enumeration is exercised on genuinely weighted
+    /// graphs.
+    Waxman {
+        /// Overall wiring density, `0 < alpha <= 1`.
+        alpha: f64,
+        /// Distance decay; larger `beta` favors long links.
+        beta: f64,
+    },
+    /// Barabási–Albert preferential attachment: an initial `m + 1`
+    /// clique, then each new node wires to `m` distinct targets
+    /// sampled proportionally to current degree (endpoint-list
+    /// sampling). Produces the hub-heavy degree distributions where
+    /// relay churn hurts most.
+    PreferentialAttachment {
+        /// Edges added per arriving node (`m >= 1`).
+        m: usize,
+    },
+}
+
+impl GraphModel {
+    /// Canonical short name (stable: used in cell canon strings and
+    /// golden graph hashes).
+    pub fn canon(&self) -> &'static str {
+        match self {
+            GraphModel::Waxman { .. } => "waxman",
+            GraphModel::PreferentialAttachment { .. } => "ba",
+        }
+    }
+
+    /// The model family by canonical name, with the default parameters
+    /// the scalability sweep uses (`waxman`: alpha 0.9, beta 0.18;
+    /// `ba`: m 2).
+    pub fn by_name(name: &str) -> Option<GraphModel> {
+        match name {
+            "waxman" => Some(GraphModel::Waxman {
+                alpha: 0.9,
+                beta: 0.18,
+            }),
+            "ba" => Some(GraphModel::PreferentialAttachment { m: 2 }),
+            _ => None,
+        }
+    }
+}
+
+/// Per-edge parameters drawn by the graph generator.
+#[derive(Debug, Clone, Copy)]
+pub struct EdgeParams {
+    /// Link capacity in bits/s.
+    pub capacity: f64,
+    /// Mean cross-traffic utilization (fraction of capacity).
+    pub utilization: f64,
+    /// Propagation delay in milliseconds.
+    pub delay_ms: f64,
+    /// Routing weight mirrored into the [`OverlayGraph`].
+    pub weight: u64,
+}
+
+/// Parameters of a random *graph* family (vs. [`TopologyGen`], which
+/// emits independent disjoint paths). Determinism discipline: every
+/// random stream is a salted-splitmix64 derivation of `seed` — node
+/// positions (`"positions"`), wiring (`"wiring"`), and each edge's
+/// parameters and cross-trace (`"edge:{u}-{v}"`) — so regenerating any
+/// edge's [`Link`] is order-independent and two generators differ only
+/// if their seeds or parameters do.
+#[derive(Debug, Clone, Copy)]
+pub struct GraphGen {
+    /// Generator seed; equal seeds give identical graphs.
+    pub seed: u64,
+    /// Node count (≥ 2).
+    pub nodes: usize,
+    /// Wiring model.
+    pub model: GraphModel,
+    /// Edge capacity range in Mbps, `[lo, hi)`.
+    pub capacity_mbps: (f64, f64),
+    /// Mean cross-traffic utilization range, `[lo, hi)`.
+    pub mean_utilization: (f64, f64),
+    /// Cross-trace epoch in seconds.
+    pub epoch: f64,
+    /// Cross-trace horizon in seconds (cover warm-up + run).
+    pub horizon: f64,
+}
+
+impl Default for GraphGen {
+    fn default() -> Self {
+        Self {
+            seed: 1,
+            nodes: 64,
+            model: GraphModel::by_name("waxman").expect("known model"),
+            capacity_mbps: (200.0, 400.0),
+            mean_utilization: (0.10, 0.30),
+            epoch: 0.1,
+            horizon: 400.0,
+        }
+    }
+}
+
+impl GraphGen {
+    /// Generates the graph: wires the undirected edge set per the
+    /// model, draws per-edge capacity/utilization/delay, and mirrors
+    /// every edge (both directions, delay-derived weight) into an
+    /// [`OverlayGraph`] whose nodes are named `n0 … n{N-1}` in id
+    /// order.
+    ///
+    /// # Panics
+    /// Panics on fewer than 2 nodes, an empty capacity/utilization
+    /// range, or non-positive epoch/horizon.
+    pub fn build(&self) -> GeneratedGraph {
+        assert!(self.nodes >= 2, "need at least two nodes");
+        assert!(self.capacity_mbps.1 > self.capacity_mbps.0);
+        assert!(self.mean_utilization.1 > self.mean_utilization.0);
+        assert!(self.mean_utilization.0 >= 0.0 && self.mean_utilization.1 < 1.0);
+        assert!(self.epoch > 0.0 && self.horizon > self.epoch);
+        let undirected = self.wire();
+        let mut graph = OverlayGraph::new();
+        for i in 0..self.nodes {
+            graph.node(&format!("n{i}"));
+        }
+        let pos = match self.model {
+            GraphModel::Waxman { .. } => Some(self.positions()),
+            GraphModel::PreferentialAttachment { .. } => None,
+        };
+        let mut edges = BTreeMap::new();
+        for &(u, v) in &undirected {
+            let mut rng = StdRng::seed_from_u64(salted_seed(self.seed, &format!("edge:{u}-{v}")));
+            let capacity = rng.gen_range(self.capacity_mbps.0..self.capacity_mbps.1) * 1.0e6;
+            let utilization = rng.gen_range(self.mean_utilization.0..self.mean_utilization.1);
+            // Distance-proportional delay (1–10 ms across the square)
+            // for Waxman, drawn uniformly for BA.
+            let delay_ms = match &pos {
+                Some(p) => 1.0 + 9.0 * dist(p[u], p[v]) / 2.0_f64.sqrt(),
+                None => rng.gen_range(1.0..10.0),
+            };
+            let weight = (delay_ms.round() as u64).max(1);
+            graph.add_edge_weighted(OverlayNodeId(u), OverlayNodeId(v), weight);
+            graph.add_edge_weighted(OverlayNodeId(v), OverlayNodeId(u), weight);
+            edges.insert(
+                (u, v),
+                EdgeParams {
+                    capacity,
+                    utilization,
+                    delay_ms,
+                    weight,
+                },
+            );
+        }
+        GeneratedGraph {
+            graph,
+            edges,
+            seed: self.seed,
+            epoch: self.epoch,
+            horizon: self.horizon,
+        }
+    }
+
+    /// The undirected edge set `(u < v)`, sorted.
+    fn wire(&self) -> Vec<(usize, usize)> {
+        let mut wiring = StdRng::seed_from_u64(salted_seed(self.seed, "wiring"));
+        let mut set: Vec<(usize, usize)> = Vec::new();
+        match self.model {
+            GraphModel::Waxman { alpha, beta } => {
+                assert!(alpha > 0.0 && alpha <= 1.0, "waxman alpha in (0, 1]");
+                assert!(beta > 0.0, "waxman beta must be positive");
+                let pos = self.positions();
+                let diag = 2.0_f64.sqrt();
+                // Chain backbone for connectivity.
+                for i in 0..self.nodes - 1 {
+                    set.push((i, i + 1));
+                }
+                for u in 0..self.nodes {
+                    for v in u + 1..self.nodes {
+                        if v == u + 1 {
+                            continue; // backbone already holds it
+                        }
+                        let d = dist(pos[u], pos[v]);
+                        let p = alpha * (-d / (beta * diag)).exp();
+                        if wiring.gen_bool(p.clamp(0.0, 1.0)) {
+                            set.push((u, v));
+                        }
+                    }
+                }
+            }
+            GraphModel::PreferentialAttachment { m } => {
+                assert!(m >= 1, "ba m must be at least 1");
+                assert!(self.nodes > m, "ba needs more nodes than m");
+                let m0 = m + 1;
+                // Seed clique.
+                for u in 0..m0.min(self.nodes) {
+                    for v in u + 1..m0.min(self.nodes) {
+                        set.push((u, v));
+                    }
+                }
+                // Endpoint list: each edge contributes both ends, so
+                // sampling it uniformly is degree-proportional.
+                let mut endpoints: Vec<usize> = set.iter().flat_map(|&(u, v)| [u, v]).collect();
+                for node in m0..self.nodes {
+                    let mut targets: Vec<usize> = Vec::with_capacity(m);
+                    while targets.len() < m {
+                        let t = endpoints[wiring.gen_range(0..endpoints.len())];
+                        if t != node && !targets.contains(&t) {
+                            targets.push(t);
+                        }
+                    }
+                    for t in targets {
+                        set.push((t.min(node), t.max(node)));
+                        endpoints.push(t);
+                        endpoints.push(node);
+                    }
+                }
+            }
+        }
+        set.sort_unstable();
+        set.dedup();
+        set
+    }
+
+    /// Node positions in the unit square (Waxman only).
+    fn positions(&self) -> Vec<(f64, f64)> {
+        let mut rng = StdRng::seed_from_u64(salted_seed(self.seed, "positions"));
+        (0..self.nodes)
+            .map(|_| (rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
+            .collect()
+    }
+}
+
+fn dist(a: (f64, f64), b: (f64, f64)) -> f64 {
+    ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
+}
+
+/// A generated overlay graph plus the per-edge parameters needed to
+/// compile tenant routes down to `simnet` links.
+#[derive(Debug, Clone)]
+pub struct GeneratedGraph {
+    /// The routing view (both directions of every undirected edge).
+    pub graph: OverlayGraph,
+    /// Undirected edge parameters, keyed `(u, v)` with `u < v`.
+    pub edges: BTreeMap<(usize, usize), EdgeParams>,
+    seed: u64,
+    epoch: f64,
+    horizon: f64,
+}
+
+impl GeneratedGraph {
+    /// Canonical undirected key for a node pair.
+    pub fn key(u: OverlayNodeId, v: OverlayNodeId) -> (usize, usize) {
+        (u.0.min(v.0), u.0.max(v.0))
+    }
+
+    /// Parameters of the edge between `u` and `v`.
+    ///
+    /// # Panics
+    /// Panics when the edge does not exist.
+    pub fn edge_params(&self, u: OverlayNodeId, v: OverlayNodeId) -> &EdgeParams {
+        self.edges
+            .get(&Self::key(u, v))
+            .expect("edge exists in the generated graph")
+    }
+
+    /// Compiles the edge `u — v` to a [`Link`] carrying its seeded
+    /// random-walk cross trace at `utilization + extra_util` (clamped
+    /// to 0.7 so the residual stays usable). Regeneration is
+    /// order-independent: the trace stream is salted by the edge key
+    /// alone, so every tenant whose route crosses this edge sees the
+    /// same ambient cross traffic.
+    pub fn link(&self, u: OverlayNodeId, v: OverlayNodeId, extra_util: f64) -> Link {
+        let (a, b) = Self::key(u, v);
+        let p = self.edge_params(u, v);
+        let mut rng = StdRng::seed_from_u64(salted_seed(self.seed, &format!("edge:{a}-{b}:trace")));
+        let util = (p.utilization + extra_util).clamp(0.0, 0.7);
+        let cross = random_walk_trace(&mut rng, p.capacity, util, self.epoch, self.horizon);
+        Link::new(
+            format!("g{}-e{a}-{b}", self.seed),
+            p.capacity,
+            SimDuration::from_secs_f64(p.delay_ms / 1000.0),
+        )
+        .with_cross_traffic(cross)
+    }
+
+    /// Smallest edge capacity in bits/s — the graph-wide bound for
+    /// sizing per-tenant guaranteed demand.
+    pub fn min_edge_capacity(&self) -> f64 {
+        self.edges
+            .values()
+            .map(|e| e.capacity)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// FNV-1a hash of the canonical graph rendering (edge keys,
+    /// weights, and parameters quantized to fixed precision). Pinned by
+    /// the generator-determinism tests: a hash change means the
+    /// generated families changed and every golden/EXPERIMENTS artifact
+    /// derived from them must be refreshed.
+    pub fn graph_hash(&self) -> u64 {
+        let mut canon = String::new();
+        for ((u, v), p) in &self.edges {
+            canon.push_str(&format!(
+                "{u}-{v}:w{}:c{:.0}:u{:.6}:d{:.6};",
+                p.weight, p.capacity, p.utilization, p.delay_ms
+            ));
+        }
+        fnv1a64(canon.as_bytes())
+    }
+}
+
 /// A mean-reverting random-walk rate trace: each epoch the level takes a
 /// uniform step and is pulled back toward `util · cap`, clamped to
 /// `[0, 0.9 · cap]` so the residual never collapses without an injected
@@ -169,5 +489,102 @@ mod tests {
         for p in &paths {
             assert!(p.mean_residual(0.0, 100.0, 1.0) >= min);
         }
+    }
+
+    #[test]
+    fn graph_generator_is_deterministic_per_seed() {
+        for model in ["waxman", "ba"] {
+            let gen = GraphGen {
+                seed: 7,
+                nodes: 32,
+                model: GraphModel::by_name(model).unwrap(),
+                ..Default::default()
+            };
+            let a = gen.build();
+            let b = gen.build();
+            assert_eq!(a.graph_hash(), b.graph_hash(), "{model}");
+            assert_eq!(a.edges.len(), b.edges.len());
+            let other = GraphGen { seed: 8, ..gen }.build();
+            assert_ne!(a.graph_hash(), other.graph_hash(), "{model}");
+        }
+    }
+
+    #[test]
+    fn generated_graphs_are_connected_and_routable() {
+        for model in ["waxman", "ba"] {
+            let g = GraphGen {
+                seed: 3,
+                nodes: 48,
+                model: GraphModel::by_name(model).unwrap(),
+                ..Default::default()
+            }
+            .build();
+            assert_eq!(g.graph.node_count(), 48);
+            // Every node reaches every other (spot-check a spread of
+            // pairs, both directions exist by construction).
+            for (s, d) in [(0usize, 47usize), (47, 0), (5, 31), (20, 6)] {
+                let sp = g
+                    .graph
+                    .shortest_path(OverlayNodeId(s), OverlayNodeId(d))
+                    .unwrap_or_else(|| panic!("{model}: no path {s}->{d}"));
+                assert_eq!(sp.first(), Some(&OverlayNodeId(s)));
+                assert_eq!(sp.last(), Some(&OverlayNodeId(d)));
+                let k = g
+                    .graph
+                    .k_shortest_paths(OverlayNodeId(s), OverlayNodeId(d), 3);
+                assert_eq!(k[0], sp, "{model}: k=1 head equals shortest");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_links_are_order_independent_and_in_range() {
+        let g = GraphGen {
+            seed: 5,
+            nodes: 24,
+            ..Default::default()
+        }
+        .build();
+        let (&(u, v), p) = g.edges.iter().next().unwrap();
+        assert!((200.0e6..400.0e6).contains(&p.capacity));
+        assert!((0.10..0.30).contains(&p.utilization));
+        assert!(p.weight >= 1);
+        let a = g.link(OverlayNodeId(u), OverlayNodeId(v), 0.0);
+        let b = g.link(OverlayNodeId(v), OverlayNodeId(u), 0.0);
+        for t in [0.5, 10.0, 99.5] {
+            assert_eq!(a.residual_at(t), b.residual_at(t));
+        }
+        // Contention raises the cross load, lowering the residual.
+        let hot = g.link(OverlayNodeId(u), OverlayNodeId(v), 0.3);
+        let mut lower = 0;
+        let mut t = 0.5;
+        while t < 100.0 {
+            if hot.residual_at(t) < a.residual_at(t) {
+                lower += 1;
+            }
+            t += 1.0;
+        }
+        assert!(
+            lower > 80,
+            "contention lowered residual in {lower}/100 samples"
+        );
+    }
+
+    #[test]
+    fn ba_hubs_have_high_degree() {
+        let g = GraphGen {
+            seed: 11,
+            nodes: 64,
+            model: GraphModel::by_name("ba").unwrap(),
+            ..Default::default()
+        }
+        .build();
+        let max_degree = (0..64)
+            .map(|i| g.graph.neighbors(OverlayNodeId(i)).len())
+            .max()
+            .unwrap();
+        // Preferential attachment concentrates degree well beyond the
+        // m=2 attachment floor.
+        assert!(max_degree >= 8, "max degree {max_degree}");
     }
 }

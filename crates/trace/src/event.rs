@@ -437,6 +437,22 @@ impl TraceEvent {
         s
     }
 
+    /// The stream index the event is about, when it carries one —
+    /// exactly the events [`TraceEvent::map_stream`] rewrites.
+    pub fn stream(&self) -> Option<u32> {
+        match self {
+            TraceEvent::MappingDecision { stream, .. }
+            | TraceEvent::UpcallRaised { stream, .. }
+            | TraceEvent::Enqueue { stream, .. }
+            | TraceEvent::QueueDrop { stream, .. }
+            | TraceEvent::DispatchDecision { stream, .. }
+            | TraceEvent::Dispatch { stream, .. }
+            | TraceEvent::Deliver { stream, .. }
+            | TraceEvent::TransitDrop { stream, .. } => Some(*stream),
+            _ => None,
+        }
+    }
+
     /// Returns the event with its stream index rewritten through `f`
     /// (identity on events that carry no stream). Sharded runtimes
     /// trace against shard-local stream indices and remap to global

@@ -11,19 +11,23 @@
 //! diff — the point is that decision changes are reviewed, never
 //! silent. A copy of each regenerated trace is also dropped under
 //! `target/experiments/traces/` for CI artifact upload.
+//!
+//! The compare/refresh/artifact machinery itself lives in
+//! `iqpaths_testkit::golden` (shared with the scalability golden
+//! suite); this file only owns the pinned scenarios.
 
 use iqpaths_middleware::ShardExecution;
 use iqpaths_overlay::node::CdfMode;
 use iqpaths_testkit::{
-    run_conformance, run_conformance_traced, run_conformance_traced_with, ConformanceConfig,
-    FaultScenario,
+    check_golden_trace, decisions_jsonl, run_conformance, run_conformance_traced,
+    run_conformance_traced_with, ConformanceConfig, FaultScenario,
 };
-use iqpaths_trace::TraceEvent;
-use std::fs;
-use std::path::PathBuf;
 
 /// Pinned seed, matching the conformance job.
 const SEED: u64 = 11;
+
+/// The refresh command cited by divergence panics.
+const REFRESH: &str = "cargo test --test golden_trace";
 
 fn golden_case(scenario: FaultScenario) -> ConformanceConfig {
     ConformanceConfig {
@@ -31,28 +35,6 @@ fn golden_case(scenario: FaultScenario) -> ConformanceConfig {
         warmup: 10.0,
         ..ConformanceConfig::new(SEED, CdfMode::Exact, scenario)
     }
-}
-
-/// Serializes the decision-level subset of a trace as JSONL.
-fn decisions_jsonl(events: &[TraceEvent]) -> String {
-    let mut out = String::new();
-    for ev in events.iter().filter(|e| e.is_decision()) {
-        ev.write_jsonl(&mut out);
-        out.push('\n');
-    }
-    out
-}
-
-fn golden_path(name: &str) -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("tests/golden")
-        .join(name)
-}
-
-fn artifact_path(name: &str) -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("target/experiments/traces")
-        .join(name)
 }
 
 /// Runs a golden scenario and compares (or, under `UPDATE_GOLDEN=1`,
@@ -63,45 +45,7 @@ fn check_golden(scenario: FaultScenario, name: &str) {
 
 fn check_golden_cfg(cfg: ConformanceConfig, name: &str) {
     let (_, events) = run_conformance_traced(cfg);
-    let actual = decisions_jsonl(&events);
-    assert!(!actual.is_empty(), "{name}: empty decision trace");
-
-    // Always drop a copy for CI artifact upload.
-    let artifact = artifact_path(name);
-    fs::create_dir_all(artifact.parent().unwrap()).unwrap();
-    fs::write(&artifact, &actual).unwrap();
-
-    let golden = golden_path(name);
-    if std::env::var_os("UPDATE_GOLDEN").is_some() {
-        fs::create_dir_all(golden.parent().unwrap()).unwrap();
-        fs::write(&golden, &actual).unwrap();
-        return;
-    }
-    let expected = fs::read_to_string(&golden).unwrap_or_else(|e| {
-        panic!(
-            "{name}: missing golden {} ({e}); generate it with \
-             UPDATE_GOLDEN=1 cargo test --test golden_trace",
-            golden.display()
-        )
-    });
-    if actual != expected {
-        let first_diff = actual
-            .lines()
-            .zip(expected.lines())
-            .position(|(a, b)| a != b)
-            .unwrap_or_else(|| actual.lines().count().min(expected.lines().count()));
-        panic!(
-            "{name}: decision trace diverged from golden at line {} \
-             (actual {} vs expected {} lines).\n  actual:   {}\n  expected: {}\n\
-             If the decision change is intended, refresh with \
-             UPDATE_GOLDEN=1 cargo test --test golden_trace",
-            first_diff + 1,
-            actual.lines().count(),
-            expected.lines().count(),
-            actual.lines().nth(first_diff).unwrap_or("<eof>"),
-            expected.lines().nth(first_diff).unwrap_or("<eof>"),
-        );
-    }
+    check_golden_trace(name, REFRESH, &events);
 }
 
 #[test]
