@@ -78,6 +78,20 @@ pub enum CellKind {
         /// Paths requested per tenant (Yen's k).
         k: u32,
     },
+    /// Probe-budget ablation: one conformance scenario run under an
+    /// explicit probe planner and probes-per-window budget, reporting
+    /// Lemma 1/2 verdicts plus the planner's probe spend (the
+    /// `probe_budget` family).
+    ProbeBudget {
+        /// Planner canonical name (see
+        /// `iqpaths_overlay::planner::PlannerKind::name`).
+        planner: String,
+        /// Budget as a percentage of the periodic probe-everything
+        /// rate (100 = unlimited legacy rate).
+        budget_pct: u32,
+        /// Fault scenario name (see `FaultScenario::name`).
+        scenario: String,
+    },
     /// Scheduling fast-path throughput ladder: the refactored PGOS hot
     /// path vs the frozen pre-refactor reference
     /// ([`crate::sched_ref`]) over one synthetic workload scale (the
@@ -130,6 +144,11 @@ impl CellKind {
                 k,
             } => format!("scalability:model={model},nodes={nodes},tenants={tenants},k={k}"),
             CellKind::Prediction { window_ds } => format!("prediction:window_ds={window_ds}"),
+            CellKind::ProbeBudget {
+                planner,
+                budget_pct,
+                scenario,
+            } => format!("probebudget:planner={planner},budget={budget_pct},scenario={scenario}"),
             CellKind::SchedThroughput {
                 streams,
                 paths,
@@ -427,6 +446,32 @@ mod tests {
         assert_eq!(
             kind.canon(),
             "scalability:model=waxman,nodes=256,tenants=64,k=4"
+        );
+    }
+
+    #[test]
+    fn probe_budget_canon_is_pinned() {
+        // Frozen: participates in cell identity, seed and cache key.
+        let kind = CellKind::ProbeBudget {
+            planner: "active".into(),
+            budget_pct: 25,
+            scenario: "flap".into(),
+        };
+        assert_eq!(kind.canon(), "probebudget:planner=active,budget=25,scenario=flap");
+        // The budget renders into the full cell id like the shard count
+        // does, so budgeted cells cache apart from unlimited ones.
+        let s = CellSpec {
+            sweep: "probe_budget".into(),
+            group: "flap".into(),
+            label: "active/25".into(),
+            seed: 42,
+            duration: 120.0,
+            shards: 1,
+            kind,
+        };
+        assert_eq!(
+            s.id(),
+            "probe_budget/flap/active/25@s42,d120,probebudget:planner=active,budget=25,scenario=flap"
         );
     }
 

@@ -128,6 +128,10 @@ pub fn blocks_for(sweep: &str, results: &[CellResult]) -> Vec<Block> {
             name: "sched_throughput".into(),
             body: sched_throughput_table(results),
         }],
+        "probe_budget" => vec![Block {
+            name: "probe_budget".into(),
+            body: probe_budget_table(results),
+        }],
         "scalability" => vec![Block {
             name: "scalability".into(),
             body: scalability_table(results),
@@ -150,6 +154,7 @@ pub fn csv_for(sweep: &str, results: &[CellResult]) -> Option<(String, String)> 
             sched_throughput_json(results),
         )),
         "scalability" => Some(("BENCH_scalability.json".into(), scalability_json(results))),
+        "probe_budget" => Some(("BENCH_probe_budget.json".into(), probe_budget_json(results))),
         _ => None,
     }
 }
@@ -539,6 +544,89 @@ fn scalability_json(results: &[CellResult]) -> String {
     .to_text()
 }
 
+/// Probes actually spent by the `periodic/100` baseline of each
+/// scenario group — the denominator of the table's "spend" column.
+fn probe_budget_baselines(results: &[CellResult]) -> BTreeMap<&str, f64> {
+    results
+        .iter()
+        .filter(|r| r.label == "periodic/100")
+        .map(|r| (r.group.as_str(), get(r, "probes_total")))
+        .collect()
+}
+
+/// The probe-budget ablation's checked table. Probe counts are a
+/// deterministic function of the planner, the budget and the fault
+/// script (lost probes still spend budget), so the whole block —
+/// spend column included — is safe to gate with `report --check`.
+fn probe_budget_table(results: &[CellResult]) -> String {
+    let baselines = probe_budget_baselines(results);
+    let mut out = String::from(
+        "| scenario | planner | budget | probes | spend | p̂ (lemma1) | ε₁ | misses/win (lemma2) | ε₂ | windows | verdict |\n\
+         |---|---|---|---|---|---|---|---|---|---|---|\n",
+    );
+    for r in results {
+        let (planner, budget) = r.label.split_once('/').unwrap_or((r.label.as_str(), ""));
+        let probes = get(r, "probes_total");
+        let spend = baselines
+            .get(r.group.as_str())
+            .filter(|&&b| b > 0.0)
+            .map_or("—".to_string(), |b| {
+                format!("{:.0}%", 100.0 * probes / b)
+            });
+        out.push_str(&format!(
+            "| {} | {} | {}% | {} | {} | {:.3} | {:.3} | {:.3} | {:.3} | {} | {} |\n",
+            r.group,
+            planner,
+            budget,
+            probes as u64,
+            spend,
+            get(r, "lemma1.observed"),
+            get(r, "lemma1.epsilon"),
+            get(r, "lemma2.observed"),
+            get(r, "lemma2.epsilon"),
+            get(r, "lemma1.windows") as u64,
+            if r.all_pass() { "pass" } else { "**FAIL**" },
+        ));
+    }
+    out
+}
+
+/// The probe-budget sweep as the `BENCH_probe_budget.json` artifact.
+/// Unlike the wall-clock benches, every field here is deterministic —
+/// the artifact exists so budget-vs-conformance curves can be plotted
+/// without re-running the sweep.
+fn probe_budget_json(results: &[CellResult]) -> String {
+    let baselines = probe_budget_baselines(results);
+    let cells: Vec<Json> = results
+        .iter()
+        .map(|r| {
+            let probes = get(r, "probes_total");
+            let spend = baselines
+                .get(r.group.as_str())
+                .filter(|&&b| b > 0.0)
+                .map_or(f64::NAN, |b| (1000.0 * probes / b).round() / 1000.0);
+            Json::Obj(vec![
+                ("scenario".into(), Json::Str(r.group.clone())),
+                ("label".into(), Json::Str(r.label.clone())),
+                ("budget_pct".into(), Json::Num(get(r, "budget_pct"))),
+                ("probes_total".into(), Json::Num(probes)),
+                ("spend_frac".into(), Json::Num(spend)),
+                ("lemma1_observed".into(), Json::Num(get(r, "lemma1.observed"))),
+                ("lemma1_epsilon".into(), Json::Num(get(r, "lemma1.epsilon"))),
+                ("lemma2_observed".into(), Json::Num(get(r, "lemma2.observed"))),
+                ("lemma2_epsilon".into(), Json::Num(get(r, "lemma2.epsilon"))),
+                ("windows".into(), Json::Num(get(r, "lemma1.windows"))),
+                ("all_pass".into(), Json::Bool(r.all_pass())),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("sweep".into(), Json::Str("probe_budget".into())),
+        ("cells".into(), Json::Arr(cells)),
+    ])
+    .to_text()
+}
+
 /// The CI regression gate for the `sched_throughput` ladder.
 ///
 /// `baseline_text` is the committed
@@ -739,6 +827,51 @@ mod tests {
         assert!(json.contains("\"pps_wall\"") && json.contains("\"wall_secs\""));
         let doc = Json::parse(&json).unwrap();
         assert_eq!(doc.get("sweep").and_then(Json::as_str), Some("scalability"));
+    }
+
+    fn pb_result(label: &str, probes: f64, pass: bool) -> CellResult {
+        CellResult {
+            id: format!("probe_budget/flap/{label}"),
+            sweep: "probe_budget".into(),
+            group: "flap".into(),
+            label: label.into(),
+            seed: 42,
+            cell_seed: 7,
+            metrics: vec![
+                ("lemma1.observed".into(), 0.987),
+                ("lemma1.target".into(), 0.9),
+                ("lemma1.epsilon".into(), 0.11),
+                ("lemma1.windows".into(), 95.0),
+                ("lemma2.observed".into(), 1.2),
+                ("lemma2.target".into(), 30.0),
+                ("lemma2.epsilon".into(), 8.0),
+                ("lemma2.windows".into(), 95.0),
+                ("budget_pct".into(), label.split('/').nth(1).unwrap().parse().unwrap()),
+                ("probes_total".into(), probes),
+            ],
+            verdicts: vec![
+                ("lemma1.pass".into(), pass),
+                ("lemma2.pass".into(), pass),
+                ("conformance.pass".into(), pass),
+            ],
+        }
+    }
+
+    #[test]
+    fn probe_budget_table_reports_spend_against_the_periodic_baseline() {
+        let results = [
+            pb_result("periodic/100", 360.0, true),
+            pb_result("active/25", 90.0, true),
+            pb_result("active/5", 18.0, false),
+        ];
+        let table = probe_budget_table(&results);
+        assert!(table.contains("| flap | periodic | 100% | 360 | 100% |"));
+        assert!(table.contains("| flap | active | 25% | 90 | 25% |"));
+        assert!(table.contains("**FAIL**"));
+        let json = probe_budget_json(&results);
+        let doc = Json::parse(&json).unwrap();
+        assert_eq!(doc.get("sweep").and_then(Json::as_str), Some("probe_budget"));
+        assert!(json.contains("\"spend_frac\":0.25"), "{json}");
     }
 
     #[test]

@@ -19,7 +19,9 @@ use iqpaths_core::stream::StreamSpec;
 use iqpaths_middleware::knobs::scheduler_by_name;
 use iqpaths_middleware::runtime::{run, RuntimeConfig};
 use iqpaths_middleware::sharded::run_sharded;
+use iqpaths_overlay::node::CdfMode;
 use iqpaths_overlay::path::OverlayPath;
+use iqpaths_overlay::planner::{PlannerKind, ProbeBudget};
 use iqpaths_simnet::fault::FaultSchedule;
 use iqpaths_simnet::link::{quantize_cross, Link};
 use iqpaths_simnet::time::SimDuration;
@@ -67,6 +69,11 @@ pub fn run_cell(spec: &CellSpec) -> CellResult {
             k,
         } => run_scalability_cell(spec, model, *nodes, *tenants, *k, &mut res),
         CellKind::Prediction { window_ds } => run_prediction_cell(spec, *window_ds, &mut res),
+        CellKind::ProbeBudget {
+            planner,
+            budget_pct,
+            scenario,
+        } => run_probe_budget_cell(spec, planner, *budget_pct, scenario, &mut res),
         CellKind::SchedThroughput {
             streams,
             paths,
@@ -101,6 +108,38 @@ fn run_conformance_cell(spec: &CellSpec, mode: &str, scenario: &str, res: &mut C
     for (name, value) in r.report.metrics.kv_pairs() {
         res.metric(&name, value);
     }
+}
+
+fn run_probe_budget_cell(
+    spec: &CellSpec,
+    planner: &str,
+    budget_pct: u32,
+    scenario: &str,
+    res: &mut CellResult,
+) {
+    let planner =
+        PlannerKind::by_name(planner).unwrap_or_else(|| panic!("unknown planner `{planner}`"));
+    let scenario =
+        FaultScenario::by_name(scenario).unwrap_or_else(|| panic!("unknown scenario `{scenario}`"));
+    let budget = ProbeBudget::percent(budget_pct);
+    let mut cfg = ConformanceConfig::new(spec.cell_seed(), CdfMode::Exact, scenario)
+        .with_planner(planner, budget);
+    cfg.duration = spec.duration;
+    cfg.shards = spec.shards.max(1);
+    let r = run_conformance(cfg);
+    for o in &r.outcomes {
+        res.metric(&format!("{}.observed", o.kind), o.observed);
+        res.metric(&format!("{}.target", o.kind), o.target);
+        res.metric(&format!("{}.epsilon", o.kind), o.epsilon);
+        res.metric(&format!("{}.windows", o.kind), o.windows as f64);
+        res.verdict(&format!("{}.pass", o.kind), o.pass);
+    }
+    res.metric("budget_pct", f64::from(budget_pct));
+    for (j, n) in r.probe_counts.iter().enumerate() {
+        res.metric(&format!("path{j}.probes"), *n as f64);
+    }
+    res.metric("probes_total", r.probe_counts.iter().sum::<u64>() as f64);
+    res.verdict("conformance.pass", r.all_pass());
 }
 
 fn run_scalability_cell(

@@ -346,6 +346,47 @@ pub fn smoke() -> SweepSpec {
     }
 }
 
+/// Probe-budget ablation: `{periodic, active} planners × {100, 50, 25,
+/// 10, 5}% budgets × {flap, blackout, churn} fault scenarios`, each
+/// cell a full conformance case reporting Lemma 1/2 verdicts plus the
+/// planner's per-path probe spend. Everything in the result — verdicts,
+/// margins, probe counts — is deterministic, so the sweep caches like
+/// the conformance families (the `BENCH_probe_budget.json` artifact
+/// carries no wall-clock columns).
+pub fn probe_budget(seed: u64, duration: f64) -> SweepSpec {
+    let duration = duration.clamp(60.0, 120.0);
+    let scenarios = [
+        FaultScenario::Flap,
+        FaultScenario::Blackout,
+        FaultScenario::Churn,
+    ];
+    let mut templates = Vec::new();
+    for scenario in scenarios {
+        for planner in ["periodic", "active"] {
+            for budget in [100u32, 50, 25, 10, 5] {
+                templates.push(CellTemplate::new(
+                    scenario.name(),
+                    &format!("{planner}/{budget}"),
+                    CellKind::ProbeBudget {
+                        planner: planner.to_string(),
+                        budget_pct: budget,
+                        scenario: scenario.name().to_string(),
+                    },
+                ));
+            }
+        }
+    }
+    SweepSpec {
+        name: "probe_budget",
+        about: "probe planners x budgets x fault scenarios: conformance vs probe spend",
+        duration,
+        seeds: vec![seed],
+        shards: 1,
+        cacheable: true,
+        templates,
+    }
+}
+
 /// The scheduling fast-path throughput ladder: the refactored PGOS hot
 /// path vs the frozen pre-refactor reference ([`crate::sched_ref`])
 /// over `{10, 100, 1k, 10k} streams × {2, 8, 32} paths × {1, 4}
@@ -444,6 +485,7 @@ pub fn all_sweeps(seed: u64, duration: f64) -> Vec<SweepSpec> {
         seed_sweep(duration),
         ablations(seed, duration),
         smoke(),
+        probe_budget(seed, duration.clamp(60.0, 120.0)),
         scalability(seed),
         sched_throughput(seed),
     ]
@@ -468,6 +510,7 @@ mod tests {
         assert_eq!(validation(42, 150.0).expand().len(), 5);
         assert_eq!(fig04_prediction(42).expand().len(), 10);
         assert_eq!(smoke().expand().len(), 12);
+        assert_eq!(probe_budget(42, 120.0).expand().len(), 30);
         assert_eq!(scalability(42).expand().len(), 8);
         assert_eq!(sched_throughput(42).expand().len(), 24);
     }

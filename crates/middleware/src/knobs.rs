@@ -14,6 +14,7 @@
 
 use crate::builder::{Figure8Experiment, SchedulerKind};
 use iqpaths_overlay::node::CdfMode;
+use iqpaths_overlay::planner::{PlannerKind, ProbeBudget};
 
 /// Sparse overrides a sweep cell applies to a [`Figure8Experiment`].
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -30,6 +31,11 @@ pub struct ExperimentKnobs {
     /// classic serial event loop; `Some(1)` is equivalent but renders
     /// into the cell identity).
     pub shards: Option<usize>,
+    /// Probe planner selection (`None` = the legacy periodic planner).
+    pub planner: Option<PlannerKind>,
+    /// Probe budget as a percentage of the periodic probe-everything
+    /// rate (`None` = unlimited, the legacy behavior).
+    pub probe_budget: Option<u32>,
 }
 
 impl ExperimentKnobs {
@@ -58,6 +64,12 @@ impl ExperimentKnobs {
         if let Some(s) = self.shards {
             e.runtime.shards = s.max(1);
         }
+        if let Some(p) = self.planner {
+            e.runtime.planner = p;
+        }
+        if let Some(b) = self.probe_budget {
+            e.runtime.probe_budget = ProbeBudget::percent(b);
+        }
     }
 
     /// Canonical `key=value` rendering of the overrides, sorted and
@@ -81,6 +93,12 @@ impl ExperimentKnobs {
         }
         if let Some(s) = self.shards {
             parts.push(format!("shards={s}"));
+        }
+        if let Some(p) = self.planner {
+            parts.push(format!("planner={}", p.name()));
+        }
+        if let Some(b) = self.probe_budget {
+            parts.push(format!("budget={b}"));
         }
         parts.sort();
         parts.join(",")
@@ -170,8 +188,7 @@ mod tests {
             probe_noise: Some(0.2),
             window_secs: Some(2.0),
             cdf_mode: Some(CdfMode::Sketch { markers: 33 }),
-            remap_ks: None,
-            shards: None,
+            ..ExperimentKnobs::none()
         };
         assert_eq!(knobs.canon(), "cdf=sketch33,noise=0.2,window=2");
         assert_eq!(knobs.canon(), knobs.canon());
@@ -192,6 +209,24 @@ mod tests {
             ExperimentKnobs::none().experiment(1, 10.0).runtime.shards,
             1
         );
+    }
+
+    #[test]
+    fn planner_knobs_render_and_apply() {
+        let knobs = ExperimentKnobs {
+            planner: Some(PlannerKind::Active),
+            probe_budget: Some(25),
+            ..ExperimentKnobs::none()
+        };
+        assert_eq!(knobs.canon(), "budget=25,planner=active");
+        let e = knobs.experiment(1, 10.0);
+        assert_eq!(e.runtime.planner, PlannerKind::Active);
+        assert_eq!(e.runtime.probe_budget, ProbeBudget::percent(25));
+        // Defaults stay out of the identity and leave the legacy
+        // probe-everything configuration untouched.
+        let plain = ExperimentKnobs::none().experiment(1, 10.0);
+        assert_eq!(plain.runtime.planner, PlannerKind::Periodic);
+        assert_eq!(plain.runtime.probe_budget, ProbeBudget::Unlimited);
     }
 
     #[test]

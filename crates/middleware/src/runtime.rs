@@ -13,8 +13,10 @@ use iqpaths_core::queues::StreamQueues;
 use iqpaths_core::traits::{MultipathScheduler, PathSnapshot};
 use iqpaths_overlay::node::MonitoringModule;
 use iqpaths_overlay::path::OverlayPath;
+use iqpaths_overlay::planner::{build_planner, PathBelief, PlannerKind, ProbeBudget};
 use iqpaths_overlay::probe::AvailBwProbe;
-use iqpaths_simnet::fault::{FaultInjector, FaultSchedule};
+use iqpaths_simnet::fault::{fnv1a64, salted_seed, FaultInjector, FaultSchedule};
+use iqpaths_stats::BandwidthCdf as _;
 use iqpaths_simnet::monitor::ThroughputMonitor;
 use iqpaths_simnet::packet::{Packet, StreamId};
 use iqpaths_simnet::server::PathService;
@@ -57,6 +59,15 @@ pub struct RuntimeConfig {
     /// byte-identical to the pre-split runtime; the serial entry
     /// points in this module ignore the knob.
     pub shards: usize,
+    /// Which probe planner schedules main-loop measurements.
+    /// `Periodic` with an unlimited budget (the default) is the legacy
+    /// probe-everything discipline, byte-identical to the pre-planner
+    /// runtime including its trace output.
+    pub planner: PlannerKind,
+    /// Global probes-per-window budget the planner enforces, as a
+    /// percentage of the periodic probe-everything rate. The monitoring
+    /// pre-warm is exempt (it bootstraps the CDFs before data flows).
+    pub probe_budget: ProbeBudget,
 }
 
 impl Default for RuntimeConfig {
@@ -74,6 +85,8 @@ impl Default for RuntimeConfig {
             seed: 1,
             cdf_mode: iqpaths_overlay::node::CdfMode::Exact,
             shards: 1,
+            planner: PlannerKind::Periodic,
+            probe_budget: ProbeBudget::Unlimited,
         }
     }
 }
@@ -211,6 +224,25 @@ pub fn run_traced(
     trace: TraceHandle,
     sink: &mut dyn FnMut(&DeliveryEvent),
 ) -> RunReport {
+    run_traced_counted(paths, workload, scheduler, cfg, duration, faults, trace, sink).0
+}
+
+/// [`run_traced`] that additionally returns the probe planner's
+/// per-path main-loop probe counts — the same planner state the
+/// sharded controller publishes on
+/// [`crate::sharded::ShardedOutcome::probe_counts`], exposed here so
+/// serial (`shards = 1`) callers can account probe spend identically.
+#[allow(clippy::too_many_arguments)]
+pub fn run_traced_counted(
+    paths: &[OverlayPath],
+    workload: Box<dyn Workload>,
+    scheduler: Box<dyn MultipathScheduler>,
+    cfg: RuntimeConfig,
+    duration: f64,
+    faults: &FaultSchedule,
+    trace: TraceHandle,
+    sink: &mut dyn FnMut(&DeliveryEvent),
+) -> (RunReport, Vec<u64>) {
     let params = RunParams {
         paths,
         cfg,
@@ -218,7 +250,8 @@ pub fn run_traced(
         faults,
         trace,
     };
-    execute(params, workload, scheduler, sink).report
+    let out = execute(params, workload, scheduler, sink);
+    (out.report, out.probe_counts)
 }
 
 /// Everything one event-loop run needs besides the workload, the
@@ -248,6 +281,11 @@ pub(crate) struct RunOutput {
     /// Per-path monitoring snapshot at the end of the run (goodput
     /// scaled, no oracle attached).
     pub final_snapshots: Vec<PathSnapshot>,
+    /// Planner state published alongside the CDFs: how many main-loop
+    /// probes the planner scheduled per path (lost reports included —
+    /// the planner spent budget on them). The sharded controller sums
+    /// these across workers.
+    pub probe_counts: Vec<u64>,
 }
 
 /// Builds per-path goodput snapshots from the monitoring module's
@@ -351,6 +389,38 @@ pub(crate) fn execute(
             )
         })
         .collect();
+
+    // Probe planner for the main loop. The default (periodic planner,
+    // unlimited budget) reproduces the legacy probe-everything schedule
+    // bit-identically and emits no planner trace events; only
+    // non-default configurations change probe behavior or the trace.
+    let planner_default =
+        matches!(cfg.planner, PlannerKind::Periodic) && cfg.probe_budget.is_unlimited();
+    let incidence: Vec<Vec<u64>> = paths
+        .iter()
+        .map(|p| {
+            p.links()
+                .iter()
+                .map(|l| fnv1a64(l.name().as_bytes()))
+                .collect()
+        })
+        .collect();
+    let mut planner = build_planner(
+        cfg.planner,
+        n_paths,
+        salted_seed(cfg.seed, "planner"),
+        cfg.probe_budget,
+        Some(&incidence),
+    );
+    let mut probe_slot: u64 = 0;
+    let mut probe_counts = vec![0u64; n_paths];
+    // Lemma-1 estimand threshold for active planning: the aggregate
+    // guaranteed demand the path set must clear.
+    let demand: f64 = specs
+        .iter()
+        .filter(|s| !s.guarantee.is_best_effort())
+        .map(|s| s.required_bw)
+        .sum();
 
     // Pre-warm monitoring from the warm-up interval.
     {
@@ -600,7 +670,55 @@ pub(crate) fn execute(
                 });
             }
             Ev::Probe => {
-                for (j, path) in paths.iter().enumerate() {
+                // Belief construction is skipped for schedule-driven
+                // planners — the default periodic path pays nothing.
+                let beliefs: Vec<PathBelief> = if planner.needs_beliefs() {
+                    (0..n_paths)
+                        .map(|j| {
+                            let st = monitoring.stats(j);
+                            let samples = st.cdf.len();
+                            let prob_ok = if samples == 0 || demand <= 0.0 {
+                                0.5
+                            } else {
+                                1.0 - st.cdf.prob_below_strict(demand)
+                            };
+                            let staleness_slots = monitoring
+                                .staleness(j, now_s)
+                                .map_or((probe_slot + 1) as f64, |s| {
+                                    s / cfg.probe_interval_secs
+                                });
+                            PathBelief {
+                                prob_ok,
+                                samples,
+                                staleness_slots,
+                            }
+                        })
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                let selection = planner.plan(probe_slot, n_paths, &beliefs);
+                if !planner_default {
+                    let allowance = cfg.probe_budget.allowance(probe_slot, n_paths).min(n_paths);
+                    trace.emit(TraceEvent::ProbePlan {
+                        at_ns: now_ns,
+                        slot: probe_slot,
+                        allowance: allowance as u32,
+                        selected: selection.len() as u32,
+                    });
+                    for sel in &selection {
+                        trace.emit(TraceEvent::ProbeSelect {
+                            at_ns: now_ns,
+                            slot: probe_slot,
+                            path: sel.path as u32,
+                            score: sel.score,
+                        });
+                    }
+                }
+                for sel in &selection {
+                    let j = sel.path;
+                    let path = &paths[j];
+                    probe_counts[j] += 1;
                     // Injected probe loss: the report never arrives, so
                     // the path's telemetry goes stale.
                     if injector.probe_lost(j, now_s) {
@@ -623,6 +741,7 @@ pub(crate) fn execute(
                         monitoring.observe_rtt(j, path.prop_delay().as_secs_f64() * 2.0);
                     }
                 }
+                probe_slot += 1;
                 events.schedule(
                     now + iqpaths_simnet::SimDuration::from_secs_f64(cfg.probe_interval_secs),
                     Ev::Probe,
@@ -718,6 +837,7 @@ pub(crate) fn execute(
             metrics,
         },
         final_snapshots,
+        probe_counts,
     }
 }
 
@@ -952,6 +1072,92 @@ mod tests {
         );
         assert_eq!(count, report.streams[0].delivered_packets);
         assert!(count > 0);
+    }
+
+    #[test]
+    fn budgeted_probing_spends_exactly_its_share() {
+        // 25% budget on 2 paths over the main loop: the planner may
+        // schedule at most ceil(slots * 2 * 0.25) probes, and the run
+        // still lands its throughput (probing is telemetry, not data).
+        let paths = vec![clean_path(0, 100.0), clean_path(1, 100.0)];
+        let (specs, src) = one_stream_workload(10.0, 10.0);
+        let pgos = Pgos::new(PgosConfig::default(), specs, 2);
+        let cfg = RuntimeConfig {
+            planner: PlannerKind::Active,
+            probe_budget: ProbeBudget::percent(25),
+            ..quick_cfg()
+        };
+        let out = execute(
+            RunParams {
+                paths: &paths,
+                cfg,
+                duration: 10.0,
+                faults: &FaultSchedule::new(),
+                trace: TraceHandle::null(),
+            },
+            Box::new(src),
+            Box::new(pgos),
+            &mut |_| {},
+        );
+        let total: u64 = out.probe_counts.iter().sum();
+        // ~100 slots in 10 s at 0.1 s interval; the event loop's end
+        // bound can add/remove one slot, hence the ceiling with slack.
+        let slots = (10.0f64 / cfg.probe_interval_secs).round() as u64 + 2;
+        assert!(total > 0, "budgeted planner never probed");
+        assert!(
+            total <= (slots * 2).div_ceil(4),
+            "total {total} exceeds 25% of {} probe opportunities",
+            slots * 2
+        );
+        assert!(out.probe_counts.iter().all(|&c| c > 0), "a path starved");
+        assert!(
+            (out.report.streams[0].mean_throughput() - 10.0e6).abs() / 10.0e6 < 0.05,
+            "mean {}",
+            out.report.streams[0].mean_throughput()
+        );
+    }
+
+    #[test]
+    fn active_planner_runs_are_deterministic() {
+        let run_once = || {
+            let paths = vec![congested_path(0, 100.0, 40.0), clean_path(1, 20.0)];
+            let (specs, src) = one_stream_workload(15.0, 8.0);
+            let pgos = Pgos::new(PgosConfig::default(), specs, 2);
+            let cfg = RuntimeConfig {
+                planner: PlannerKind::Active,
+                probe_budget: ProbeBudget::percent(50),
+                ..quick_cfg()
+            };
+            run(&paths, Box::new(src), Box::new(pgos), cfg, 8.0)
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a.streams[0].throughput_series, b.streams[0].throughput_series);
+        assert_eq!(a.path_sent_bytes, b.path_sent_bytes);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn default_config_publishes_full_probe_counts() {
+        // The default planner probes every path every slot; the
+        // published planner state reflects that.
+        let paths = vec![clean_path(0, 100.0)];
+        let (specs, src) = one_stream_workload(5.0, 5.0);
+        let pgos = Pgos::new(PgosConfig::default(), specs, 1);
+        let out = execute(
+            RunParams {
+                paths: &paths,
+                cfg: quick_cfg(),
+                duration: 5.0,
+                faults: &FaultSchedule::new(),
+                trace: TraceHandle::null(),
+            },
+            Box::new(src),
+            Box::new(pgos),
+            &mut |_| {},
+        );
+        let slots = (5.0f64 / quick_cfg().probe_interval_secs).round() as u64;
+        assert!((out.probe_counts[0] as i64 - slots as i64).abs() <= 2);
     }
 
     #[test]

@@ -174,6 +174,7 @@ impl Workload for ReplayWorkload {
 struct WorkerOutput {
     report: RunReport,
     final_cdfs: Vec<CdfSummary>,
+    probe_counts: Vec<u64>,
     deliveries: Vec<DeliveryEvent>,
     trace_events: Vec<TraceEvent>,
 }
@@ -194,6 +195,10 @@ pub struct ShardedOutcome {
     /// [`CdfSummary::merge_all`] — the controller's published global
     /// CDF view (snapshot publication in the plane split).
     pub path_cdfs: Vec<CdfSummary>,
+    /// Planner state published through the same controller-plane
+    /// channel as the CDFs: per-path main-loop probe counts, summed
+    /// across workers (each worker runs its own planner instance).
+    pub probe_counts: Vec<u64>,
 }
 
 /// Runs the controller/data-plane runtime with parallel workers. See
@@ -266,6 +271,7 @@ pub fn run_sharded_with(
             plan,
             shard_seeds: vec![cfg.seed],
             path_cdfs: out.final_snapshots.into_iter().map(|s| s.cdf).collect(),
+            probe_counts: out.probe_counts,
         };
     }
 
@@ -354,6 +360,7 @@ pub fn run_sharded_with(
         WorkerOutput {
             report: out.report,
             final_cdfs: out.final_snapshots.into_iter().map(|s| s.cdf).collect(),
+            probe_counts: out.probe_counts,
             deliveries,
             trace_events: ring.map_or_else(Vec::new, |rc| rc.borrow().events()),
         }
@@ -450,6 +457,14 @@ pub fn run_sharded_with(
             CdfSummary::merge_all(&parts)
         })
         .collect();
+    // Planner state merges like every other counter: a commutative
+    // per-path sum, independent of worker completion order.
+    let mut probe_counts = vec![0u64; n_paths];
+    for out in &outputs {
+        for (a, b) in probe_counts.iter_mut().zip(&out.probe_counts) {
+            *a += b;
+        }
+    }
 
     let report = RunReport {
         scheduler: outputs[0].report.scheduler.clone(),
@@ -470,6 +485,7 @@ pub fn run_sharded_with(
         plan,
         shard_seeds,
         path_cdfs,
+        probe_counts,
     }
 }
 
@@ -629,6 +645,39 @@ mod tests {
         for (s, m) in out.report.streams.iter().zip(&out.report.metrics.streams) {
             assert_eq!(s.delivered_packets, m.delivered, "stream {}", s.name);
         }
+    }
+
+    #[test]
+    fn planner_state_is_published_and_strategy_independent() {
+        use iqpaths_overlay::planner::{PlannerKind, ProbeBudget};
+        let paths = vec![clean_path(0, 30.0), clean_path(1, 30.0)];
+        let cfg = RuntimeConfig {
+            planner: PlannerKind::Active,
+            probe_budget: ProbeBudget::percent(25),
+            ..quick_cfg(3)
+        };
+        let run_with = |exec| {
+            let (_, src) = three_stream_workload(6.0);
+            run_sharded_with(
+                &paths,
+                Box::new(src),
+                &pgos_factory(),
+                cfg,
+                6.0,
+                &FaultSchedule::new(),
+                TraceHandle::null(),
+                &mut |_| {},
+                exec,
+            )
+        };
+        let s = run_with(ShardExecution::Serial);
+        let p = run_with(ShardExecution::Parallel);
+        assert_eq!(s.probe_counts, p.probe_counts);
+        assert_eq!(s.report, p.report);
+        assert!(s.probe_counts.iter().sum::<u64>() > 0);
+        // Three workers each budget 25% of 2 paths over ~60 slots:
+        // the merged planner state stays within the summed budget.
+        assert!(s.probe_counts.iter().sum::<u64>() <= 3 * 62 * 2 / 4 + 3);
     }
 
     #[test]

@@ -12,6 +12,10 @@
 //!   the emulated network, convertible to a transmit service.
 //! * [`probe`] — available-bandwidth measurement with realistic probe
 //!   noise (the paper builds on pathload-style estimation, [19, 20]).
+//! * [`planner`] — probe planning under a global probe budget:
+//!   [`planner::PeriodicPlanner`] (the legacy discipline) and
+//!   [`planner::ActivePlanner`] (Bayesian argmax-information path
+//!   selection with shared-bottleneck correlation discounting).
 //! * [`node`] — the Figure 3 overlay node: per-path statistical
 //!   monitoring feeding the routing/scheduling module via
 //!   `PathSnapshot`s.
@@ -22,9 +26,14 @@
 pub mod graph;
 pub mod node;
 pub mod path;
+pub mod planner;
 pub mod probe;
 
 pub use graph::OverlayGraph;
 pub use node::MonitoringModule;
 pub use path::OverlayPath;
+pub use planner::{
+    build_planner, ActivePlanner, PathBelief, PeriodicPlanner, PlannerKind, ProbeBudget,
+    ProbePlanner, ProbeSelection,
+};
 pub use probe::AvailBwProbe;

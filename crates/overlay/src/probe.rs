@@ -19,6 +19,7 @@ pub struct AvailBwProbe {
     noise_frac: f64,
     rng: StdRng,
     next_at: f64,
+    last_ready_at: Option<f64>,
     trace: TraceHandle,
     trace_path: u32,
 }
@@ -37,6 +38,7 @@ impl AvailBwProbe {
             noise_frac,
             rng: StdRng::seed_from_u64(seed),
             next_at: 0.0,
+            last_ready_at: None,
             trace: TraceHandle::null(),
             trace_path: 0,
         }
@@ -57,6 +59,16 @@ impl AvailBwProbe {
     /// When the next measurement is due.
     pub fn next_at(&self) -> f64 {
         self.next_at
+    }
+
+    /// When the newest report became *ready* for the monitoring module
+    /// (`None` before the first measurement). For immediate probes this
+    /// is the measurement time; for delayed probes it includes the
+    /// injected reporting latency, so staleness consumers (probe
+    /// planners, CDF snapshot freshness) see the sample aged
+    /// consistently with its delivery.
+    pub fn last_ready_at(&self) -> Option<f64> {
+        self.last_ready_at
     }
 
     /// The measurement itself, without trace emission (shared by the
@@ -89,6 +101,7 @@ impl AvailBwProbe {
     /// over the elapsed interval, perturbed by probe noise.
     pub fn measure(&mut self, path: &OverlayPath, t: f64) -> f64 {
         let bw = self.sample(path, t);
+        self.last_ready_at = Some(self.last_ready_at.map_or(t, |prev| prev.max(t)));
         self.emit(t, t, bw);
         bw
     }
@@ -101,10 +114,19 @@ impl AvailBwProbe {
     pub fn measure_delayed(&mut self, path: &OverlayPath, t: f64, extra_delay: f64) -> ProbeSample {
         assert!(extra_delay >= 0.0, "delay must be >= 0");
         let bw = self.sample(path, t);
-        self.emit(t, t + extra_delay, bw);
+        let ready_at = t + extra_delay;
+        // The delay ages the probe's own bookkeeping, not just the
+        // report timestamp: the next measurement can't be due before
+        // the current report has even arrived, and the freshness mark
+        // reflects when the monitoring module actually hears the
+        // sample. Without this, staleness consumers treated a report
+        // delayed by several intervals as if it were fresh at `t`.
+        self.next_at = self.next_at.max(ready_at);
+        self.last_ready_at = Some(self.last_ready_at.map_or(ready_at, |prev| prev.max(ready_at)));
+        self.emit(t, ready_at, bw);
         ProbeSample {
             taken_at: t,
-            ready_at: t + extra_delay,
+            ready_at,
             bw,
         }
     }
@@ -188,5 +210,40 @@ mod tests {
         let s = a.measure_delayed(&path(), 1.0, 0.0);
         assert_eq!(s.bw, b.measure(&path(), 1.0));
         assert_eq!(s.ready_at, s.taken_at);
+        assert_eq!(a.next_at(), b.next_at());
+        assert_eq!(a.last_ready_at(), b.last_ready_at());
+    }
+
+    #[test]
+    fn delayed_measurement_ages_the_probe_consistently() {
+        // Regression: the injected delay used to advance only the
+        // report's ready timestamp while the probe's own schedule and
+        // freshness mark pretended the sample was fresh at `t`.
+        let mut p = AvailBwProbe::new(0.5, 0.0, 1);
+        let s = p.measure_delayed(&path(), 1.0, 2.5);
+        assert_eq!(s.ready_at, 3.5);
+        // The next probe can't be due before the report arrives.
+        assert!((p.next_at() - 3.5).abs() < 1e-12, "next_at {}", p.next_at());
+        assert_eq!(p.last_ready_at(), Some(3.5));
+    }
+
+    #[test]
+    fn sub_interval_delay_keeps_the_periodic_schedule() {
+        // A delay shorter than the interval lands before the next slot,
+        // so the schedule is untouched and only freshness shifts.
+        let mut p = AvailBwProbe::new(0.5, 0.0, 1);
+        p.measure_delayed(&path(), 1.0, 0.2);
+        assert!((p.next_at() - 1.5).abs() < 1e-12, "next_at {}", p.next_at());
+        assert_eq!(p.last_ready_at(), Some(1.2));
+    }
+
+    #[test]
+    fn freshness_mark_never_rewinds() {
+        // An immediate probe after a long-delayed one must not rewind
+        // the freshness mark below the pending report's arrival.
+        let mut p = AvailBwProbe::new(0.5, 0.0, 1);
+        p.measure_delayed(&path(), 1.0, 4.0);
+        p.measure(&path(), 2.0);
+        assert_eq!(p.last_ready_at(), Some(5.0));
     }
 }

@@ -1,0 +1,183 @@
+//! Property tests of the probe planners ([`iqpaths_overlay::planner`]).
+//!
+//! Four families, sampled over planner kind, path count, budget and
+//! seed:
+//!
+//! * **Seeded determinism** — rebuilding the same planner and replaying
+//!   the same belief stream reproduces the plan sequence exactly;
+//! * **Budget never exceeded in any window** — for *every* window of
+//!   consecutive slots (not just on average), the probes issued stay
+//!   within the window's pro-rata share `⌈W·paths·pct/100⌉`;
+//! * **No starvation** — every path keeps getting selected at a
+//!   bounded interval, because staleness pressure eventually outweighs
+//!   any variance gap;
+//! * **Legacy pass-through** — `PeriodicPlanner` under
+//!   `ProbeBudget::Unlimited` reproduces the historical
+//!   probe-everything schedule bit-identically: paths `0..n` in
+//!   ascending order, every slot.
+
+use iqpaths_overlay::planner::{build_planner, PathBelief, PlannerKind, ProbeBudget};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded pseudo-random belief stream: per (slot, path) beliefs drawn
+/// from one `StdRng`, so two iterations over the same seed see the
+/// same stream.
+fn belief_stream(seed: u64, n_paths: usize, slots: u64) -> Vec<Vec<PathBelief>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..slots)
+        .map(|_| {
+            (0..n_paths)
+                .map(|_| PathBelief {
+                    prob_ok: rng.gen_range(0.0..=1.0),
+                    samples: rng.gen_range(0usize..200),
+                    staleness_slots: rng.gen_range(0.0..10.0),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// A seeded random link incidence: each path crosses 1–4 links drawn
+/// from a small shared pool, so overlaps (shared bottlenecks) are
+/// common.
+fn incidence(seed: u64, n_paths: usize) -> Vec<Vec<u64>> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xfeed);
+    (0..n_paths)
+        .map(|_| {
+            let k = rng.gen_range(1usize..=4);
+            (0..k).map(|_| rng.gen_range(0u64..6)).collect()
+        })
+        .collect()
+}
+
+fn plan_paths(
+    kind: PlannerKind,
+    n_paths: usize,
+    seed: u64,
+    budget: ProbeBudget,
+    beliefs: &[Vec<PathBelief>],
+) -> Vec<Vec<usize>> {
+    let links = incidence(seed, n_paths);
+    let mut planner = build_planner(kind, n_paths, seed, budget, Some(&links));
+    beliefs
+        .iter()
+        .enumerate()
+        .map(|(slot, b)| {
+            let b = if planner.needs_beliefs() { &b[..] } else { &[] };
+            planner
+                .plan(slot as u64, n_paths, b)
+                .into_iter()
+                .map(|s| s.path)
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn planning_is_deterministic_per_seed(
+        seed in 0u64..10_000,
+        n_paths in 1usize..8,
+        pct in 1u32..=100,
+        active in 0u32..2,
+    ) {
+        let kind = if active == 1 { PlannerKind::Active } else { PlannerKind::Periodic };
+        let beliefs = belief_stream(seed, n_paths, 200);
+        let budget = ProbeBudget::percent(pct);
+        let a = plan_paths(kind, n_paths, seed, budget, &beliefs);
+        let b = plan_paths(kind, n_paths, seed, budget, &beliefs);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn budget_is_never_exceeded_in_any_window(
+        seed in 0u64..10_000,
+        n_paths in 1usize..8,
+        pct in 1u32..=100,
+        active in 0u32..2,
+    ) {
+        let kind = if active == 1 { PlannerKind::Active } else { PlannerKind::Periodic };
+        let slots = 300u64;
+        let beliefs = belief_stream(seed, n_paths, slots);
+        let plans = plan_paths(kind, n_paths, seed, ProbeBudget::percent(pct), &beliefs);
+        let counts: Vec<u64> = plans.iter().map(|p| p.len() as u64).collect();
+        // Prefix sums make every window sum O(1); check every window of
+        // several representative lengths, including length 1.
+        let mut prefix = vec![0u64; counts.len() + 1];
+        for (i, &c) in counts.iter().enumerate() {
+            prefix[i + 1] = prefix[i] + c;
+        }
+        let num = n_paths as u64 * u64::from(pct);
+        for w in [1u64, 3, 17, 100, slots] {
+            let cap = num * w / 100 + u64::from(num * w % 100 != 0); // ceil(w*num/100)
+            for start in 0..=(slots - w) {
+                let spent = prefix[(start + w) as usize] - prefix[start as usize];
+                prop_assert!(
+                    spent <= cap,
+                    "window [{start}, {}) spent {spent} > cap {cap} (pct {pct}, paths {n_paths})",
+                    start + w
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_path_starves(
+        seed in 0u64..2_000,
+        n_paths in 2usize..6,
+        pct in 20u32..=100,
+    ) {
+        // Active planning under a workable budget: staleness pressure
+        // guarantees every path reappears at a bounded interval. With
+        // pct >= 20 and <= 5 paths the allowance is at least one probe
+        // per 5 slots, and 25 slots of staleness dominate the maximal
+        // variance gap — 500 slots is far beyond the worst case.
+        let slots = 500u64;
+        let beliefs = belief_stream(seed, n_paths, slots);
+        let plans = plan_paths(PlannerKind::Active, n_paths, seed, ProbeBudget::percent(pct), &beliefs);
+        for path in 0..n_paths {
+            let first_half = plans[..250].iter().any(|p| p.contains(&path));
+            let second_half = plans[250..].iter().any(|p| p.contains(&path));
+            prop_assert!(
+                first_half && second_half,
+                "path {path} starved (pct {pct}, paths {n_paths})"
+            );
+        }
+    }
+
+    #[test]
+    fn unlimited_periodic_is_the_legacy_schedule(
+        seed in 0u64..10_000,
+        n_paths in 1usize..10,
+    ) {
+        // The historical runtime probed every path every slot with
+        // `for (j, path) in paths.iter().enumerate()`. The default
+        // planner must reproduce that schedule bit for bit.
+        let beliefs = belief_stream(seed, n_paths, 120);
+        let plans = plan_paths(
+            PlannerKind::Periodic, n_paths, seed, ProbeBudget::Unlimited, &beliefs,
+        );
+        let legacy: Vec<usize> = (0..n_paths).collect();
+        for (slot, plan) in plans.iter().enumerate() {
+            prop_assert_eq!(plan, &legacy, "slot {}", slot);
+        }
+    }
+
+    #[test]
+    fn plans_are_sorted_unique_valid_paths(
+        seed in 0u64..10_000,
+        n_paths in 1usize..8,
+        pct in 1u32..=100,
+        active in 0u32..2,
+    ) {
+        let kind = if active == 1 { PlannerKind::Active } else { PlannerKind::Periodic };
+        let beliefs = belief_stream(seed, n_paths, 150);
+        let plans = plan_paths(kind, n_paths, seed, ProbeBudget::percent(pct), &beliefs);
+        for plan in &plans {
+            prop_assert!(plan.windows(2).all(|w| w[0] < w[1]), "unsorted or dup: {plan:?}");
+            prop_assert!(plan.iter().all(|&p| p < n_paths));
+        }
+    }
+}

@@ -28,9 +28,10 @@ use iqpaths_core::scheduler::{Pgos, PgosConfig};
 use iqpaths_core::stream::{Guarantee, StreamSpec};
 use iqpaths_core::traits::MultipathScheduler;
 use iqpaths_middleware::report::RunReport;
-use iqpaths_middleware::runtime::{run_traced, RuntimeConfig};
+use iqpaths_middleware::runtime::{run_traced_counted, RuntimeConfig};
 use iqpaths_middleware::sharded::{run_sharded_with, ShardExecution};
 use iqpaths_overlay::node::CdfMode;
+use iqpaths_overlay::planner::{PlannerKind, ProbeBudget};
 use iqpaths_simnet::fault::{Fault, FaultSchedule};
 use iqpaths_trace::{shared, InMemorySink, TraceEvent, TraceHandle};
 
@@ -142,6 +143,12 @@ pub struct ConformanceConfig {
     /// (1 = the classic serial event loop, byte-identical to releases
     /// before the controller/data-plane split).
     pub shards: usize,
+    /// Probe planner driving the main monitoring loop
+    /// ([`PlannerKind::Periodic`] = the legacy schedule).
+    pub planner: PlannerKind,
+    /// Probe budget the planner spends ([`ProbeBudget::Unlimited`] =
+    /// the legacy probe-everything rate).
+    pub probe_budget: ProbeBudget,
 }
 
 impl ConformanceConfig {
@@ -157,6 +164,8 @@ impl ConformanceConfig {
             confidence: 0.99,
             settle_secs: 10.0,
             shards: 1,
+            planner: PlannerKind::Periodic,
+            probe_budget: ProbeBudget::Unlimited,
         }
     }
 
@@ -164,6 +173,14 @@ impl ConformanceConfig {
     #[must_use]
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards.max(1);
+        self
+    }
+
+    /// Same case under a non-default probe planner and budget.
+    #[must_use]
+    pub fn with_planner(mut self, planner: PlannerKind, budget: ProbeBudget) -> Self {
+        self.planner = planner;
+        self.probe_budget = budget;
         self
     }
 }
@@ -201,6 +218,9 @@ pub struct ConformanceReport {
     pub eligible_windows: Vec<usize>,
     /// One outcome per guaranteed stream.
     pub outcomes: Vec<LemmaOutcome>,
+    /// Per-path main-loop probe spend, published by the runtime's
+    /// probe planner (summed across workers on the sharded runtime).
+    pub probe_counts: Vec<u64>,
 }
 
 impl ConformanceReport {
@@ -433,6 +453,8 @@ fn run_case(
         seed: cfg.seed,
         cdf_mode: cfg.mode,
         shards: cfg.shards.max(1),
+        planner: cfg.planner,
+        probe_budget: cfg.probe_budget,
         ..RuntimeConfig::default()
     };
     let faults = cfg.scenario.schedule(cfg.warmup, cfg.warmup + cfg.duration);
@@ -448,11 +470,11 @@ fn run_case(
             misses[d.stream][w] += 1.0;
         }
     };
-    let report = if rt.shards > 1 {
+    let (report, probe_counts) = if rt.shards > 1 {
         let factory = |specs: Vec<StreamSpec>, n_paths: usize| -> Box<dyn MultipathScheduler> {
             Box::new(Pgos::new(PgosConfig::default(), specs, n_paths))
         };
-        run_sharded_with(
+        let outcome = run_sharded_with(
             &paths,
             Box::new(workload),
             &factory,
@@ -462,11 +484,11 @@ fn run_case(
             trace,
             &mut on_delivery,
             execution,
-        )
-        .report
+        );
+        (outcome.report, outcome.probe_counts)
     } else {
         let scheduler = Pgos::new(PgosConfig::default(), specs.clone(), paths.len());
-        run_traced(
+        run_traced_counted(
             &paths,
             Box::new(workload),
             Box::new(scheduler),
@@ -501,6 +523,7 @@ fn run_case(
         report,
         eligible_windows,
         outcomes,
+        probe_counts,
     }
 }
 

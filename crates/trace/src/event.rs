@@ -230,6 +230,32 @@ pub enum TraceEvent {
         /// Path index.
         path: u32,
     },
+    /// A budgeted probe planner planned one probe slot: `selected` of
+    /// `allowance` permitted probes were issued across the path set.
+    /// Emitted only when a non-default planner/budget is active, so the
+    /// legacy probe-everything configuration traces byte-identically.
+    ProbePlan {
+        /// Slot planning time.
+        at_ns: u64,
+        /// Probe-slot counter (0-based, main loop only).
+        slot: u64,
+        /// Probes the budget permitted this slot.
+        allowance: u32,
+        /// Probes actually planned.
+        selected: u32,
+    },
+    /// One planned probe: the planner chose `path` at `slot` with
+    /// information score `score` (0 for schedule-driven planners).
+    ProbeSelect {
+        /// Slot planning time.
+        at_ns: u64,
+        /// Probe-slot counter.
+        slot: u64,
+        /// Selected path.
+        path: u32,
+        /// Post-discount information score at selection time.
+        score: f64,
+    },
 }
 
 impl TraceEvent {
@@ -251,6 +277,8 @@ impl TraceEvent {
             TraceEvent::PathBlocked { .. } => "blocked",
             TraceEvent::BackoffStep { .. } => "backoff",
             TraceEvent::BackoffReset { .. } => "backoff_reset",
+            TraceEvent::ProbePlan { .. } => "probe_plan",
+            TraceEvent::ProbeSelect { .. } => "probe_select",
         }
     }
 
@@ -272,7 +300,9 @@ impl TraceEvent {
             | TraceEvent::TransitDrop { at_ns, .. }
             | TraceEvent::PathBlocked { at_ns, .. }
             | TraceEvent::BackoffStep { at_ns, .. }
-            | TraceEvent::BackoffReset { at_ns, .. } => at_ns,
+            | TraceEvent::BackoffReset { at_ns, .. }
+            | TraceEvent::ProbePlan { at_ns, .. }
+            | TraceEvent::ProbeSelect { at_ns, .. } => at_ns,
         }
     }
 
@@ -292,6 +322,8 @@ impl TraceEvent {
                 | TraceEvent::BackoffStep { .. }
                 | TraceEvent::BackoffReset { .. }
                 | TraceEvent::ProbeLost { .. }
+                | TraceEvent::ProbePlan { .. }
+                | TraceEvent::ProbeSelect { .. }
         )
     }
 
@@ -426,6 +458,24 @@ impl TraceEvent {
             TraceEvent::BackoffReset { at_ns, path } => {
                 write!(out, r#"{{"ev":"backoff_reset","t":{at_ns},"path":{path}}}"#)
             }
+            TraceEvent::ProbePlan {
+                at_ns,
+                slot,
+                allowance,
+                selected,
+            } => write!(
+                out,
+                r#"{{"ev":"probe_plan","t":{at_ns},"slot":{slot},"allow":{allowance},"sel":{selected}}}"#
+            ),
+            TraceEvent::ProbeSelect {
+                at_ns,
+                slot,
+                path,
+                score,
+            } => write!(
+                out,
+                r#"{{"ev":"probe_select","t":{at_ns},"slot":{slot},"path":{path},"score":{score:?}}}"#
+            ),
         };
     }
 
@@ -475,7 +525,9 @@ impl TraceEvent {
             | TraceEvent::CdfSnapshot { .. }
             | TraceEvent::PathBlocked { .. }
             | TraceEvent::BackoffStep { .. }
-            | TraceEvent::BackoffReset { .. } => {}
+            | TraceEvent::BackoffReset { .. }
+            | TraceEvent::ProbePlan { .. }
+            | TraceEvent::ProbeSelect { .. } => {}
         }
         ev
     }
@@ -577,6 +629,36 @@ mod tests {
             remapped: false,
         };
         assert_eq!(win.map_stream(|_| 99), win);
+    }
+
+    #[test]
+    fn planner_events_are_decisions_with_stable_jsonl() {
+        let plan = TraceEvent::ProbePlan {
+            at_ns: 2_000_000_000,
+            slot: 17,
+            allowance: 2,
+            selected: 2,
+        };
+        let sel = TraceEvent::ProbeSelect {
+            at_ns: 2_000_000_000,
+            slot: 17,
+            path: 3,
+            score: 0.03125,
+        };
+        assert!(plan.is_decision());
+        assert!(sel.is_decision());
+        assert_eq!(plan.at_ns(), 2_000_000_000);
+        assert_eq!(
+            plan.to_jsonl(),
+            r#"{"ev":"probe_plan","t":2000000000,"slot":17,"allow":2,"sel":2}"#
+        );
+        assert_eq!(
+            sel.to_jsonl(),
+            r#"{"ev":"probe_select","t":2000000000,"slot":17,"path":3,"score":0.03125}"#
+        );
+        // Planner events carry no stream and are merge-stable.
+        assert_eq!(sel.stream(), None);
+        assert_eq!(sel.map_stream(|_| 99), sel);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 
 use iqpaths_middleware::ShardExecution;
 use iqpaths_overlay::node::CdfMode;
+use iqpaths_overlay::planner::{PlannerKind, ProbeBudget};
 use iqpaths_testkit::{
     check_golden_trace, decisions_jsonl, run_conformance, run_conformance_traced,
     run_conformance_traced_with, ConformanceConfig, FaultScenario,
@@ -68,6 +69,44 @@ fn golden_sharded_flap_decision_trace() {
         golden_case(FaultScenario::Flap).with_shards(2),
         "sharded_flap.jsonl",
     );
+}
+
+#[test]
+fn golden_probe_budget_flap_decision_trace() {
+    // The active planner under a 25% budget: its `probe_plan` /
+    // `probe_select` decisions land in the golden alongside the
+    // mapping/window decisions they perturb, so any scoring or
+    // tie-break change is reviewed as a line diff.
+    check_golden_cfg(
+        golden_case(FaultScenario::Flap)
+            .with_planner(PlannerKind::Active, ProbeBudget::percent(25)),
+        "probe_budget_flap.jsonl",
+    );
+}
+
+#[test]
+fn traced_equals_untraced_under_active_planner() {
+    // Planner trace emission must not perturb the planned schedule or
+    // the run it drives.
+    let case = golden_case(FaultScenario::Flap)
+        .with_planner(PlannerKind::Active, ProbeBudget::percent(25));
+    let untraced = run_conformance(case);
+    let (traced, events) = run_conformance_traced(case);
+    assert!(!events.is_empty());
+    assert_eq!(untraced.report, traced.report);
+    assert_eq!(untraced.probe_counts, traced.probe_counts);
+    assert_eq!(untraced.eligible_windows, traced.eligible_windows);
+}
+
+#[test]
+fn default_planner_emits_no_planner_events() {
+    // With the default periodic/unlimited configuration the planner is
+    // pass-through and must stay invisible — the pre-planner goldens
+    // depend on it.
+    let (_, events) = run_conformance_traced(golden_case(FaultScenario::Flap));
+    assert!(!events
+        .iter()
+        .any(|e| matches!(e.kind(), "probe_plan" | "probe_select")));
 }
 
 #[test]
