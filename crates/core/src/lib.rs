@@ -9,6 +9,9 @@
 //!
 //! * [`stream`] — stream utility specifications: required bandwidth,
 //!   guarantee type, window constraints `(x, y)`.
+//! * [`coding`] — systematic (n, k) erasure coding over block groups
+//!   (XOR parity + Vandermonde GF(2⁸) Reed–Solomon) for the
+//!   `Diversity` mapping mode.
 //! * [`guarantee`] — the Lemma 1 / Lemma 2 calculators and per-path
 //!   feasibility predicates.
 //! * [`mapping`] — utility-based resource mapping: whole-path-first
@@ -42,6 +45,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod coding;
 pub mod fastpath;
 pub mod guarantee;
 pub mod mapping;
@@ -52,7 +56,8 @@ pub mod stream;
 pub mod traits;
 pub mod vectors;
 
-pub use mapping::{MappingResult, ResourceMapper, Upcall};
+pub use coding::{BlockCoder, StreamCoding};
+pub use mapping::{DiversityMapper, MappingMode, MappingResult, ResourceMapper, Upcall};
 pub use queues::StreamQueues;
 pub use scheduler::{Pgos, PgosConfig};
 pub use stream::{Guarantee, StreamSpec, WindowConstraint};

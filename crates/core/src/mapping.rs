@@ -11,7 +11,17 @@
 //! The MILP formulation the paper mentions (and rejects as NP-hard and
 //! reordering-prone) is deliberately not used: mapping is greedy,
 //! whole-path-first, in descending guarantee strength.
+//!
+//! A second mapping policy lives beside PGOS whole-path-first
+//! placement: the erasure-coded [`DiversityMapper`] (DESIGN.md §15,
+//! docs/POLICIES.md), selected by [`MappingMode`]. It stripes every
+//! guaranteed stream across all usable paths in systematic (n, k)
+//! block groups (see [`crate::coding`]) so the stream survives the
+//! silent loss of any one path — the Fashandi et al. rate-allocation
+//! result that coding beats splitting exactly when path failures are
+//! uncorrelated.
 
+use crate::coding::{self, StreamCoding, MAX_GROUP_BLOCKS};
 use crate::guarantee;
 use crate::stream::{Guarantee, StreamSpec};
 use iqpaths_stats::CdfSummary;
@@ -390,6 +400,316 @@ pub fn largest_remainder_split(x: u32, weights: &[f64]) -> Vec<u32> {
     parts
 }
 
+/// Which resource-mapping policy the scheduler runs (docs/POLICIES.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum MappingMode {
+    /// The paper's §5.2.2 policy: greedy whole-path-first placement,
+    /// splitting only when no single path suffices
+    /// ([`ResourceMapper`]). The default — bit-identical to every
+    /// pre-Diversity run.
+    #[default]
+    Pgos,
+    /// Erasure-coded path diversity ([`DiversityMapper`]): every
+    /// guaranteed stream striped across all usable paths in (n, k)
+    /// block groups with rates inflated by `n / k`.
+    Diversity,
+}
+
+impl MappingMode {
+    /// Canonical knob/cell-id name (`pgos` / `diversity`). Frozen: it
+    /// participates in harness cell identities and cache keys.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            MappingMode::Pgos => "pgos",
+            MappingMode::Diversity => "diversity",
+        }
+    }
+
+    /// Parses a canonical name back to the mode.
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "pgos" => Some(MappingMode::Pgos),
+            "diversity" => Some(MappingMode::Diversity),
+            _ => None,
+        }
+    }
+}
+
+/// How much of a path pair's Jaccard bottleneck overlap discounts the
+/// weaker path's delivery probability in the k-of-n feasibility bound
+/// (mirrors `iqpaths_overlay::planner`'s correlation discounting —
+/// shared bottlenecks mean block losses are *not* independent, so the
+/// independence-based bound must be haircut).
+pub const CORRELATION_DISCOUNT: f64 = 0.5;
+
+/// A [`DiversityMapper`] mapping: the rate allocation (same shape as a
+/// PGOS [`MappingResult`], so the scheduling vectors build unchanged)
+/// plus the per-stream coding plans the runtime needs for lane setup,
+/// parity synthesis and decode-complete accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiversityMapping {
+    /// Per-stream per-path packet/rate allocation (coded totals: a
+    /// stream's row sums to `n/k ×` its data packet count).
+    pub result: MappingResult,
+    /// One coding plan per *coded* stream (guaranteed streams only;
+    /// best-effort streams stay uncoded and opportunistic).
+    pub plans: Vec<StreamCoding>,
+}
+
+/// The erasure-coded path-diversity mapper (DESIGN.md §15).
+///
+/// For each guaranteed stream it picks a group shape `(n, k)` from the
+/// usable path count (`n` = paths, capped at
+/// [`MAX_GROUP_BLOCKS`]; `k = n − 1`, i.e. one
+/// parity block per group), inflates the stream's rate by `n / k`,
+/// even-splits the coded packets across the stripe (one lane per
+/// path), and reports the exact probability that ≥ k of the n blocks
+/// of a group are served — per-path Lemma 1 service probabilities
+/// composed by subset enumeration, discounted by
+/// [`CORRELATION_DISCOUNT`] × the shared-bottleneck Jaccard overlap.
+///
+/// The allocation is deliberately *structural*: even weights, paths in
+/// index order, no dependence on the evolving CDFs — so a Diversity
+/// mapping never flaps under remap and serial ≡ sharded stays exact.
+/// Admission shortfalls surface as advisory [`Upcall`]s; the stream
+/// keeps its (best-possible) coded allocation.
+///
+/// ```
+/// use iqpaths_core::mapping::DiversityMapper;
+/// use iqpaths_core::stream::StreamSpec;
+/// use iqpaths_stats::{CdfSummary, EmpiricalCdf};
+///
+/// // Three clean 40–100 Mbps paths, one 8 Mbps stream at p = 0.9.
+/// let cdf = || {
+///     CdfSummary::exact(EmpiricalCdf::from_clean_samples(
+///         (40..=100).map(|v| v as f64 * 1.0e6).collect(),
+///     ))
+/// };
+/// let cdfs = vec![cdf(), cdf(), cdf()];
+/// let specs = vec![StreamSpec::probabilistic(0, "video", 8.0e6, 0.9, 1250)];
+///
+/// let m = DiversityMapper::new(1.0).map(&specs, &cdfs, None, None);
+/// let plan = &m.plans[0];
+/// // Three paths → (3, 2) groups: two data blocks + one XOR parity.
+/// assert_eq!((plan.n, plan.k), (3, 2));
+/// assert_eq!(plan.paths, vec![0, 1, 2]);
+/// // The coded allocation carries n/k = 1.5× the data rate, spread
+/// // evenly: 12 Mbps total, 4 Mbps per path.
+/// let total: f64 = m.result.rates[0].iter().sum();
+/// assert!((total - 12.0e6).abs() < 0.2e6);
+/// // Surviving any single-path outage: P(≥2 of 3) beats one path.
+/// assert!(plan.decode_probability > 0.99);
+/// assert!(m.result.upcalls.is_empty());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct DiversityMapper {
+    /// Scheduling-window length in seconds.
+    pub tw_secs: f64,
+}
+
+impl DiversityMapper {
+    /// Mapper for windows of `tw_secs` seconds.
+    ///
+    /// # Panics
+    /// Panics if `tw_secs <= 0`.
+    #[must_use]
+    pub fn new(tw_secs: f64) -> Self {
+        assert!(tw_secs > 0.0, "window must be positive");
+        Self { tw_secs }
+    }
+
+    /// The (n, k) block-group shape for a stripe of `paths` usable
+    /// paths: one block per path capped at [`MAX_GROUP_BLOCKS`], with a
+    /// single parity block (`k = n − 1`). Fewer than two paths leave
+    /// nothing to diversify over — the stream degenerates to the
+    /// uncoded (1, 1) null group.
+    #[must_use]
+    pub fn group_shape(paths: usize) -> (usize, usize) {
+        let n = paths.min(MAX_GROUP_BLOCKS);
+        if n < 2 {
+            (1, 1)
+        } else {
+            (n, n - 1)
+        }
+    }
+
+    /// The stream spec a coded stream presents to feasibility checks:
+    /// the same guarantee at `n / k ×` the data rate (parity rides the
+    /// same lanes and deadlines as data, so the scheduler must budget
+    /// for it).
+    #[must_use]
+    pub fn coded_spec(spec: &StreamSpec, n: usize, k: usize) -> StreamSpec {
+        let mut s = spec.clone();
+        s.required_bw = spec.required_bw * n as f64 / k as f64;
+        s
+    }
+
+    /// Runs the diversity mapping over the current path summaries.
+    ///
+    /// `path_loss` (measured loss rates) disqualifies paths beyond a
+    /// stream's loss bound exactly as [`ResourceMapper::map_full`]
+    /// does; `incidence` (per-path bottleneck-link id sets, as built
+    /// by the runtime for the probe planner) enables the Jaccard
+    /// correlation discount in the reported decode probability —
+    /// without it paths are treated as independent.
+    #[must_use]
+    pub fn map(
+        &self,
+        specs: &[StreamSpec],
+        cdfs: &[CdfSummary],
+        path_loss: Option<&[f64]>,
+        incidence: Option<&[Vec<u64>]>,
+    ) -> DiversityMapping {
+        let n_streams = specs.len();
+        let l = cdfs.len();
+        let mut assignments = vec![vec![0u32; l]; n_streams];
+        let mut rates = vec![vec![0.0f64; l]; n_streams];
+        let mut upcalls = Vec::new();
+        let mut plans = Vec::new();
+        let mut committed = vec![0.0f64; l];
+        let effective = ResourceMapper::new(self.tw_secs);
+
+        // Strongest guarantee first (same discipline as PGOS) so the
+        // advisory feasibility report charges weaker streams with the
+        // stronger streams' load.
+        let mut order: Vec<usize> = (0..n_streams)
+            .filter(|&i| !specs[i].guarantee.is_best_effort())
+            .collect();
+        order.sort_by(|&a, &b| {
+            specs[b]
+                .guarantee
+                .strength()
+                .partial_cmp(&specs[a].guarantee.strength())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+
+        for &i in &order {
+            let spec = &specs[i];
+            // Stripe: all paths within the stream's loss bound, in
+            // index order (every qualifying path gets one lane). When
+            // the bound disqualifies everything, fall back to all
+            // paths — a coded stream must never be left unroutable.
+            let loss_ok = |j: usize| match (spec.max_loss, path_loss) {
+                (Some(bound), Some(losses)) => losses.get(j).copied().unwrap_or(0.0) <= bound,
+                _ => true,
+            };
+            let mut stripe: Vec<usize> = (0..l).filter(|&j| loss_ok(j)).collect();
+            if stripe.is_empty() {
+                stripe = (0..l).collect();
+            }
+            if stripe.len() > MAX_GROUP_BLOCKS {
+                // Cap the stripe at the best paths by current service
+                // probability (deterministic tie-break on index), then
+                // restore index order for stable lane assignment.
+                let mut scored: Vec<(usize, f64)> = stripe
+                    .iter()
+                    .map(|&j| (j, guarantee::prob_of_service(&cdfs[j], committed[j])))
+                    .collect();
+                scored.sort_by(|a, b| {
+                    b.1.partial_cmp(&a.1)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.0.cmp(&b.0))
+                });
+                stripe = scored[..MAX_GROUP_BLOCKS].iter().map(|&(j, _)| j).collect();
+                stripe.sort_unstable();
+            }
+            let (n, k) = Self::group_shape(stripe.len());
+            let coded = Self::coded_spec(spec, n, k);
+            let x_total = coded.packets_per_window(self.tw_secs);
+
+            // Even split across the stripe: largest-remainder over
+            // unit weights, so lane loads differ by at most one packet.
+            let weights: Vec<f64> = (0..l)
+                .map(|j| if stripe.contains(&j) { 1.0 } else { 0.0 })
+                .collect();
+            let split = largest_remainder_split(x_total, &weights);
+            for (j, &xj) in split.iter().enumerate() {
+                if xj > 0 {
+                    let r = spec.rate_for_packets(xj, self.tw_secs);
+                    assignments[i][j] = xj;
+                    rates[i][j] = r;
+                    committed[j] += r;
+                }
+            }
+
+            // Feasibility report: P(≥ k of n lanes served) from the
+            // per-lane Lemma 1 probabilities at the committed loads,
+            // correlation-discounted. Shortfall ⇒ advisory upcall; the
+            // allocation stands (there is no better coded placement —
+            // the split is already maximally diverse).
+            let lane_probs: Vec<f64> = stripe
+                .iter()
+                .map(|&j| {
+                    let p = guarantee::prob_of_service(&cdfs[j], committed[j]);
+                    let overlap = incidence
+                        .map(|inc| max_overlap(inc, j, &stripe))
+                        .unwrap_or(0.0);
+                    (p * (1.0 - CORRELATION_DISCOUNT * overlap)).clamp(0.0, 1.0)
+                })
+                .collect();
+            let decode_p = coding::group_decode_probability(k, &lane_probs);
+            if let Some(p) = effective.effective_p(spec) {
+                if decode_p + 1e-9 < p {
+                    upcalls.push(Upcall::StreamRejected {
+                        stream: i,
+                        name: spec.name.clone(),
+                        requested_bps: coded.required_bw,
+                        achievable_p: decode_p,
+                        admissible_bps: stripe
+                            .iter()
+                            .map(|&j| guarantee::admissible_rate(&cdfs[j], committed[j], p))
+                            .sum(),
+                    });
+                }
+            }
+            plans.push(StreamCoding {
+                stream: i,
+                n,
+                k,
+                paths: stripe,
+                decode_probability: decode_p,
+            });
+        }
+
+        plans.sort_by_key(|p| p.stream);
+        DiversityMapping {
+            result: MappingResult {
+                assignments: Arc::new(assignments),
+                rates,
+                upcalls,
+            },
+            plans,
+        }
+    }
+}
+
+/// The largest Jaccard overlap between path `j`'s bottleneck-link set
+/// and any *other* path of the stripe.
+fn max_overlap(incidence: &[Vec<u64>], j: usize, stripe: &[usize]) -> f64 {
+    let mine = match incidence.get(j) {
+        Some(links) if !links.is_empty() => links,
+        _ => return 0.0,
+    };
+    stripe
+        .iter()
+        .filter(|&&o| o != j)
+        .map(|&o| jaccard(mine, incidence.get(o).map_or(&[][..], Vec::as_slice)))
+        .fold(0.0, f64::max)
+}
+
+/// Jaccard similarity |A ∩ B| / |A ∪ B| of two small id sets.
+fn jaccard(a: &[u64], b: &[u64]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let inter = a.iter().filter(|x| b.contains(x)).count();
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -589,5 +909,92 @@ mod tests {
         let m = ResourceMapper::new(1.0).map(&specs, &[strong_path(), strong_path()]);
         let total: f64 = (0..2).map(|j| m.committed(j)).sum();
         assert!((total - 30.0e6).abs() < 1e-3);
+    }
+
+    #[test]
+    fn mapping_mode_names_round_trip() {
+        assert_eq!(MappingMode::default(), MappingMode::Pgos);
+        for mode in [MappingMode::Pgos, MappingMode::Diversity] {
+            assert_eq!(MappingMode::by_name(mode.name()), Some(mode));
+        }
+        assert_eq!(MappingMode::by_name("fec"), None);
+    }
+
+    #[test]
+    fn diversity_even_splits_with_parity_overhead() {
+        let specs = vec![StreamSpec::probabilistic(0, "a", 8.0e6, 0.9, 1000)];
+        let cdfs = vec![strong_path(), strong_path(), strong_path()];
+        let m = DiversityMapper::new(1.0).map(&specs, &cdfs, None, None);
+        assert!(m.result.upcalls.is_empty(), "{:?}", m.result.upcalls);
+        assert_eq!(m.plans.len(), 1);
+        assert_eq!((m.plans[0].n, m.plans[0].k), (3, 2));
+        assert_eq!(m.plans[0].paths, vec![0, 1, 2]);
+        // 8 Mbps data → 12 Mbps coded → 1500 packets of 8000 bits,
+        // 500 per path.
+        let row = &m.result.assignments[0];
+        assert_eq!(row.iter().sum::<u32>(), 1500);
+        assert_eq!(row.iter().copied().max(), row.iter().copied().min());
+    }
+
+    #[test]
+    fn diversity_skips_best_effort_streams() {
+        let specs = vec![
+            StreamSpec::best_effort(0, "bulk", 50.0e6, 1500),
+            StreamSpec::probabilistic(1, "a", 5.0e6, 0.9, 1000),
+        ];
+        let cdfs = vec![strong_path(), strong_path()];
+        let m = DiversityMapper::new(1.0).map(&specs, &cdfs, None, None);
+        assert_eq!(m.plans.len(), 1);
+        assert_eq!(m.plans[0].stream, 1);
+        assert!(m.result.assignments[0].iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn diversity_single_path_degenerates_to_null_code() {
+        let specs = vec![StreamSpec::probabilistic(0, "a", 5.0e6, 0.9, 1000)];
+        let m = DiversityMapper::new(1.0).map(&specs, &[strong_path()], None, None);
+        assert_eq!((m.plans[0].n, m.plans[0].k), (1, 1));
+        // No parity overhead for a (1, 1) group.
+        assert_eq!(m.result.assignments[0][0], 625);
+    }
+
+    #[test]
+    fn diversity_infeasible_raises_advisory_upcall_but_keeps_allocation() {
+        // Two terrible paths: the k-of-n probability cannot reach 0.9,
+        // but the stream still gets its (maximally diverse) stripe.
+        let bad = || cdf_mbps(&[1.0, 2.0, 3.0]);
+        let specs = vec![StreamSpec::probabilistic(0, "a", 8.0e6, 0.9, 1000)];
+        let m = DiversityMapper::new(1.0).map(&specs, &[bad(), bad()], None, None);
+        assert_eq!(m.result.upcalls.len(), 1);
+        assert!(m.result.assignments[0].iter().sum::<u32>() > 0);
+        assert!(m.plans[0].decode_probability < 0.9);
+    }
+
+    #[test]
+    fn correlation_discount_lowers_decode_probability() {
+        let specs = vec![StreamSpec::probabilistic(0, "a", 8.0e6, 0.9, 1000)];
+        let cdfs = vec![strong_path(), strong_path(), strong_path()];
+        let mapper = DiversityMapper::new(1.0);
+        let independent = mapper.map(&specs, &cdfs, None, None);
+        // Paths 0 and 1 share their bottleneck; path 2 is disjoint.
+        let incidence = vec![vec![7u64, 8], vec![7u64, 8], vec![9u64]];
+        let correlated = mapper.map(&specs, &cdfs, None, Some(&incidence));
+        assert!(
+            correlated.plans[0].decode_probability < independent.plans[0].decode_probability,
+            "shared bottleneck must discount: {} vs {}",
+            correlated.plans[0].decode_probability,
+            independent.plans[0].decode_probability
+        );
+    }
+
+    #[test]
+    fn diversity_mapping_is_structural() {
+        // The allocation must not depend on which path looks better —
+        // remaps under CDF drift keep the stripe byte-identical.
+        let specs = vec![StreamSpec::probabilistic(0, "a", 8.0e6, 0.9, 1000)];
+        let a = DiversityMapper::new(1.0).map(&specs, &[strong_path(), uniform_path()], None, None);
+        let b = DiversityMapper::new(1.0).map(&specs, &[uniform_path(), strong_path()], None, None);
+        assert_eq!(a.result.assignments, b.result.assignments);
+        assert_eq!(a.plans[0].paths, b.plans[0].paths);
     }
 }

@@ -22,8 +22,22 @@
 //! stamped on the popped copy by the scheduler, never written back, so
 //! every queued head ties on deadline and precedence among unscheduled
 //! streams reduces to (constraint, stream index). See DESIGN.md §12.
+//!
+//! **Lanes** (the `Diversity` mapping mode, DESIGN.md §15): a stream
+//! may be striped into up to [`crate::coding::MAX_GROUP_BLOCKS`]
+//! *lanes* — parallel sub-FIFOs with packet `seq` assigned to lane
+//! `seq % lanes`. Erasure-coded streams pin each lane to one overlay
+//! path, which makes block→path placement a pure function of the
+//! sequence number (the determinism rule coded delivery accounting
+//! depends on). Lane-unaware consumers see nothing new:
+//! [`StreamQueues::pop`] and [`StreamQueues::head`] return the
+//! globally oldest packet (minimum `seq` across lane heads), and a
+//! stream defaults to a single lane with the exact pre-lane layout
+//! and cost.
 
 use serde::{Deserialize, Serialize};
+
+use crate::coding::MAX_GROUP_BLOCKS;
 
 /// A packet descriptor as seen by the scheduler. Mirrors
 /// `iqpaths_simnet::Packet` but lives here so the scheduler crate stays
@@ -59,9 +73,13 @@ pub struct StreamQueues {
     /// next free slot when on the free list. `NIL` terminates both.
     next: Vec<u32>,
     free_head: u32,
-    // --- per-stream FIFO heads ---
+    // --- per-lane FIFO heads (lane slot = lane_base[stream] + lane;
+    //     single-lane streams keep lane slot == stream index) ---
     head: Vec<u32>,
     tail: Vec<u32>,
+    lane_base: Vec<u32>,
+    lane_count: Vec<u8>,
+    // --- per-stream totals ---
     len: Vec<usize>,
     // --- accounting ---
     capacity: usize,
@@ -90,6 +108,8 @@ impl StreamQueues {
             free_head: NIL,
             head: vec![NIL; streams],
             tail: vec![NIL; streams],
+            lane_base: (0..streams as u32).collect(),
+            lane_count: vec![1; streams],
             len: vec![0; streams],
             capacity,
             live: 0,
@@ -127,7 +147,45 @@ impl StreamQueues {
 
     /// Number of streams.
     pub fn streams(&self) -> usize {
-        self.head.len()
+        self.len.len()
+    }
+
+    /// Stripes `stream` into `lanes` sub-FIFOs (packet `seq` → lane
+    /// `seq % lanes`). Must be called before the stream's first push;
+    /// lane-unaware `pop`/`head` keep returning the globally oldest
+    /// packet.
+    ///
+    /// # Panics
+    /// Panics when the stream already has queued packets or consumed
+    /// sequence numbers, or when `lanes` is outside
+    /// `1..=`[`MAX_GROUP_BLOCKS`].
+    pub fn set_lanes(&mut self, stream: usize, lanes: usize) {
+        assert!(
+            (1..=MAX_GROUP_BLOCKS).contains(&lanes),
+            "lanes must be in 1..={MAX_GROUP_BLOCKS}"
+        );
+        assert!(
+            self.len[stream] == 0 && self.seq[stream] == 0,
+            "set_lanes requires a fresh stream"
+        );
+        if lanes == usize::from(self.lane_count[stream]) {
+            return;
+        }
+        // Allocate a fresh contiguous lane block at the end; the
+        // stream's original slot (or previous block) is empty and
+        // simply goes unused.
+        self.lane_base[stream] = self.head.len() as u32;
+        self.lane_count[stream] = lanes as u8;
+        for _ in 0..lanes {
+            self.head.push(NIL);
+            self.tail.push(NIL);
+        }
+    }
+
+    /// Lane count of a stream (1 unless striped via
+    /// [`StreamQueues::set_lanes`]).
+    pub fn lanes(&self, stream: usize) -> usize {
+        self.lane_count.get(stream).map_or(1, |&c| usize::from(c))
     }
 
     /// Slab high-water mark: slots ever allocated. Steady-state
@@ -169,19 +227,36 @@ impl StreamQueues {
                 slot
             }
         };
-        match self.tail[stream] {
-            NIL => {
-                self.head[stream] = slot;
-                if self.wake_enabled {
-                    self.wake_log.push(stream as u32);
-                }
-            }
+        let lane_slot =
+            (self.lane_base[stream] + (seq % u64::from(self.lane_count[stream])) as u32) as usize;
+        if self.wake_enabled && self.len[stream] == 0 {
+            self.wake_log.push(stream as u32);
+        }
+        match self.tail[lane_slot] {
+            NIL => self.head[lane_slot] = slot,
             tail => self.next[tail as usize] = slot,
         }
-        self.tail[stream] = slot;
+        self.tail[lane_slot] = slot;
         self.len[stream] += 1;
         self.live += 1;
         true
+    }
+
+    /// Like [`StreamQueues::push`], but a full queue consumes the
+    /// sequence number anyway (counted as offered + dropped, nothing
+    /// stored). Coded streams use this for synthesized parity: group
+    /// positions are a pure function of `seq`, so a parity block that
+    /// cannot be queued must still burn its group position — otherwise
+    /// the next data packet would slide into a parity slot and corrupt
+    /// every later group's layout.
+    pub fn push_consuming(&mut self, stream: usize, bytes: u32, created_ns: u64) -> bool {
+        if self.len[stream] >= self.capacity {
+            self.offered[stream] += 1;
+            self.dropped[stream] += 1;
+            self.seq[stream] += 1;
+            return false;
+        }
+        self.push(stream, bytes, created_ns)
     }
 
     fn packet_at(&self, stream: usize, slot: u32) -> QueuedPacket {
@@ -195,31 +270,80 @@ impl StreamQueues {
         }
     }
 
-    /// Head packet of a stream, if any (a copy — queued state is never
-    /// mutated in place).
-    pub fn head(&self, stream: usize) -> Option<QueuedPacket> {
-        match self.head.get(stream).copied() {
-            None | Some(NIL) => None,
-            Some(slot) => Some(self.packet_at(stream, slot)),
+    /// The lane slot holding the stream's globally oldest packet
+    /// (minimum `seq` across the non-empty lane heads), or `None` when
+    /// the stream is empty. Single-lane streams resolve in O(1).
+    fn oldest_lane_slot(&self, stream: usize) -> Option<usize> {
+        let base = *self.lane_base.get(stream)? as usize;
+        let lanes = usize::from(self.lane_count[stream]);
+        if lanes == 1 {
+            return (self.head[base] != NIL).then_some(base);
         }
+        (base..base + lanes)
+            .filter(|&ls| self.head[ls] != NIL)
+            .min_by_key(|&ls| self.seq_of[self.head[ls] as usize])
     }
 
-    /// Pops the head packet of a stream.
+    /// Head packet of a stream, if any (a copy — queued state is never
+    /// mutated in place). For a striped stream this is the globally
+    /// oldest packet across lanes, so lane-unaware consumers still see
+    /// strict FIFO order.
+    pub fn head(&self, stream: usize) -> Option<QueuedPacket> {
+        let ls = self.oldest_lane_slot(stream)?;
+        Some(self.packet_at(stream, self.head[ls]))
+    }
+
+    /// Pops the head packet of a stream (globally oldest across lanes).
     pub fn pop(&mut self, stream: usize) -> Option<QueuedPacket> {
-        let slot = match self.head.get(stream).copied() {
-            None | Some(NIL) => return None,
-            Some(slot) => slot,
-        };
+        let ls = self.oldest_lane_slot(stream)?;
+        Some(self.pop_lane_slot(stream, ls))
+    }
+
+    /// Head packet of one lane of a striped stream.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range lane.
+    pub fn lane_head(&self, stream: usize, lane: usize) -> Option<QueuedPacket> {
+        assert!(
+            lane < usize::from(self.lane_count[stream]),
+            "lane out of range"
+        );
+        let ls = self.lane_base[stream] as usize + lane;
+        (self.head[ls] != NIL).then(|| self.packet_at(stream, self.head[ls]))
+    }
+
+    /// Pops the head packet of one lane of a striped stream.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range lane.
+    pub fn pop_lane(&mut self, stream: usize, lane: usize) -> Option<QueuedPacket> {
+        assert!(
+            lane < usize::from(self.lane_count[stream]),
+            "lane out of range"
+        );
+        let ls = self.lane_base[stream] as usize + lane;
+        (self.head[ls] != NIL).then(|| self.pop_lane_slot(stream, ls))
+    }
+
+    /// True when the lane has a queued packet.
+    pub fn lane_backlogged(&self, stream: usize, lane: usize) -> bool {
+        lane < usize::from(self.lane_count[stream])
+            && self.head[self.lane_base[stream] as usize + lane] != NIL
+    }
+
+    fn pop_lane_slot(&mut self, stream: usize, lane_slot: usize) -> QueuedPacket {
+        let slot = self.head[lane_slot];
+        debug_assert_ne!(slot, NIL);
         let pkt = self.packet_at(stream, slot);
-        self.head[stream] = self.next[slot as usize];
-        if self.head[stream] == NIL {
-            self.tail[stream] = NIL;
+        self.head[lane_slot] = self.next[slot as usize];
+        if self.head[lane_slot] == NIL {
+            self.tail[lane_slot] = NIL;
         }
         self.next[slot as usize] = self.free_head;
         self.free_head = slot;
         self.len[stream] -= 1;
         self.live -= 1;
-        Some(pkt)
+        pkt
     }
 
     /// Queue length of a stream.
@@ -412,6 +536,87 @@ mod tests {
         assert_eq!(q.pool_slots(), 16);
         q.push(0, 1, 0);
         assert_eq!(q.pool_slots(), 17);
+    }
+
+    #[test]
+    fn lanes_stripe_by_sequence_number() {
+        let mut q = StreamQueues::new(2, 16);
+        q.set_lanes(0, 3);
+        assert_eq!(q.lanes(0), 3);
+        assert_eq!(q.lanes(1), 1);
+        for i in 0..7u32 {
+            q.push(0, 100 + i, u64::from(i));
+        }
+        // Lane l holds seqs ≡ l (mod 3).
+        assert_eq!(q.lane_head(0, 0).unwrap().seq, 0);
+        assert_eq!(q.lane_head(0, 1).unwrap().seq, 1);
+        assert_eq!(q.lane_head(0, 2).unwrap().seq, 2);
+        assert_eq!(q.pop_lane(0, 1).unwrap().seq, 1);
+        assert_eq!(q.pop_lane(0, 1).unwrap().seq, 4);
+        assert!(q.lane_backlogged(0, 0));
+        // Lane-unaware pop returns the globally oldest packet.
+        assert_eq!(q.head(0).unwrap().seq, 0);
+        assert_eq!(q.pop(0).unwrap().seq, 0);
+        assert_eq!(q.pop(0).unwrap().seq, 2);
+        assert_eq!(q.pop(0).unwrap().seq, 3);
+        assert_eq!(q.pop(0).unwrap().seq, 5);
+        assert_eq!(q.pop(0).unwrap().seq, 6);
+        assert!(q.pop(0).is_none());
+        assert_eq!(q.len(0), 0);
+    }
+
+    #[test]
+    fn lanes_leave_other_streams_untouched() {
+        let mut q = StreamQueues::new(3, 8);
+        q.set_lanes(1, 4);
+        q.push(0, 1, 0);
+        q.push(1, 2, 0);
+        q.push(2, 3, 0);
+        assert_eq!(q.pop(0).unwrap().bytes, 1);
+        assert_eq!(q.pop(1).unwrap().bytes, 2);
+        assert_eq!(q.pop(2).unwrap().bytes, 3);
+        assert_eq!(q.streams(), 3);
+    }
+
+    #[test]
+    fn push_consuming_burns_the_seq_on_full() {
+        let mut q = StreamQueues::new(1, 2);
+        q.set_lanes(0, 2);
+        assert!(q.push_consuming(0, 1, 0)); // seq 0
+        assert!(q.push_consuming(0, 1, 0)); // seq 1
+        assert!(!q.push_consuming(0, 1, 0)); // full: seq 2 burned
+        assert_eq!(q.next_seq(0), 3);
+        assert_eq!(q.dropped(0), 1);
+        q.pop(0);
+        assert!(q.push(0, 1, 0)); // seq 3 → lane 1
+        assert_eq!(q.lane_head(0, 1).unwrap().seq, 1);
+        // Plain push does NOT burn the seq on full.
+        let mut p = StreamQueues::new(1, 1);
+        assert!(p.push(0, 1, 0));
+        assert!(!p.push(0, 1, 0));
+        assert_eq!(p.next_seq(0), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn set_lanes_on_used_stream_panics() {
+        let mut q = StreamQueues::new(1, 4);
+        q.push(0, 1, 0);
+        q.set_lanes(0, 2);
+    }
+
+    #[test]
+    fn wake_journal_fires_on_stream_level_transitions_with_lanes() {
+        let mut q = StreamQueues::new(1, 8);
+        q.set_lanes(0, 2);
+        q.set_wake_logging(true);
+        q.push(0, 1, 0); // empty→backlogged: journaled
+        q.push(0, 1, 0); // other lane, stream already backlogged: not
+        let mut wakes = Vec::new();
+        while let Some(s) = q.pop_wake() {
+            wakes.push(s);
+        }
+        assert_eq!(wakes, vec![0]);
     }
 
     #[test]

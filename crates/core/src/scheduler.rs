@@ -15,8 +15,9 @@
 //!    backoff are used to avoid sending multiple packets to a blocked
 //!    path").
 
+use crate::coding::StreamCoding;
 use crate::fastpath::Heap4;
-use crate::mapping::{MappingResult, ResourceMapper, Upcall};
+use crate::mapping::{DiversityMapper, MappingMode, MappingResult, ResourceMapper, Upcall};
 use crate::precedence::ScheduleClass;
 use crate::queues::{QueuedPacket, StreamQueues};
 use crate::stream::StreamSpec;
@@ -38,6 +39,10 @@ pub struct PgosConfig {
     pub backoff_initial_ns: u64,
     /// Backoff ceiling.
     pub backoff_max_ns: u64,
+    /// Resource-mapping policy: classic whole-path-first PGOS (the
+    /// default, bit-identical to every pre-Diversity run) or
+    /// erasure-coded path diversity (DESIGN.md §15, docs/POLICIES.md).
+    pub mapping_mode: MappingMode,
 }
 
 impl Default for PgosConfig {
@@ -47,6 +52,7 @@ impl Default for PgosConfig {
             remap_ks_threshold: 0.2,
             backoff_initial_ns: 5_000_000, // 5 ms
             backoff_max_ns: 1_000_000_000, // 1 s
+            mapping_mode: MappingMode::Pgos,
         }
     }
 }
@@ -134,6 +140,14 @@ pub struct Pgos {
     /// Window-start scratch: per-path committed load for the standing
     /// feasibility re-check.
     feasible_scratch: Vec<f64>,
+    /// Per-stream erasure-coding plans (`Diversity` mode; empty under
+    /// classic PGOS). A coded stream's packets are lane-striped —
+    /// rule 1 pops only from the serving path's lanes, and the stream
+    /// is excluded from the rule 2/3 fallback so no other path can
+    /// steal a block off its pinned lane (stealing would re-randomize
+    /// the block→path placement that makes ≥k-of-n survive a path
+    /// failure).
+    coding_plans: Vec<Option<StreamCoding>>,
     /// Debug-only scratch for the scan-based fallback cross-check.
     #[cfg(debug_assertions)]
     debug_candidates: Vec<crate::precedence::Candidate>,
@@ -174,6 +188,7 @@ impl Pgos {
             cdf_scratch: Vec::new(),
             affinity_scratch: Vec::new(),
             feasible_scratch: Vec::new(),
+            coding_plans: Vec::new(),
             #[cfg(debug_assertions)]
             debug_candidates: Vec::new(),
         }
@@ -204,6 +219,11 @@ impl Pgos {
     /// # Panics
     /// Panics if the spec's index is not the next dense index.
     pub fn add_stream(&mut self, spec: StreamSpec) -> usize {
+        assert_eq!(
+            self.cfg.mapping_mode,
+            MappingMode::Pgos,
+            "Diversity fixes its coded mapping at admission; mid-run stream joins are unsupported"
+        );
         let idx = self.specs.len();
         assert_eq!(spec.index, idx, "stream specs must stay densely indexed");
         self.specs.push(spec);
@@ -225,6 +245,11 @@ impl Pgos {
     /// # Panics
     /// Panics on an out-of-range stream.
     pub fn terminate_stream(&mut self, stream: usize) {
+        assert_eq!(
+            self.cfg.mapping_mode,
+            MappingMode::Pgos,
+            "Diversity fixes its coded mapping at admission; mid-run termination is unsupported"
+        );
         let old = &self.specs[stream];
         let tombstone = StreamSpec::best_effort(
             stream,
@@ -360,6 +385,54 @@ impl Pgos {
         Some(pkt)
     }
 
+    /// Whether `stream` runs under an erasure-coding plan (always false
+    /// under classic PGOS, whose plan table stays empty).
+    fn is_coded(&self, stream: usize) -> bool {
+        self.coding_plans.get(stream).is_some_and(Option::is_some)
+    }
+
+    /// The coding plan of `stream`, if any (test/inspection accessor).
+    pub fn coding_plan(&self, stream: usize) -> Option<&StreamCoding> {
+        self.coding_plans.get(stream).and_then(Option::as_ref)
+    }
+
+    /// Rule-1 service of `stream` on `path`: a coded stream pops the
+    /// globally-oldest block among its lanes pinned to `path` (lane
+    /// striping keeps each block on its planned path); an uncoded
+    /// stream pops its plain FIFO head. Falls back to the FIFO head
+    /// when the queue was never lane-striped (harnesses that drive the
+    /// scheduler without the runtime's `set_lanes` setup).
+    fn pop_scheduled_on_path(
+        &mut self,
+        stream: usize,
+        path: usize,
+        queues: &mut StreamQueues,
+    ) -> Option<QueuedPacket> {
+        let lane = match self.coding_plans.get(stream).and_then(Option::as_ref) {
+            Some(plan) if queues.lanes(stream) == plan.n => {
+                let mut best: Option<(u64, usize)> = None;
+                for l in 0..plan.n {
+                    if plan.lane_path(l) != path {
+                        continue;
+                    }
+                    if let Some(h) = queues.lane_head(stream, l) {
+                        if best.is_none_or(|(seq, _)| h.seq < seq) {
+                            best = Some((h.seq, l));
+                        }
+                    }
+                }
+                best.map(|(_, l)| l)
+            }
+            _ => None,
+        };
+        let mut pkt = match lane {
+            Some(l) => queues.pop_lane(stream, l)?,
+            None => queues.pop(stream)?,
+        };
+        pkt.deadline_ns = self.stamp_deadline(stream);
+        Some(pkt)
+    }
+
     /// Whether stream `s` is behind its paced schedule at `now`: fewer
     /// packets sent than the elapsed window fraction implies (with a
     /// 10% grace). Rule 2 of Table 1 exists to rescue *lagging* paths —
@@ -439,6 +512,12 @@ impl Pgos {
     fn index_touch(&mut self, stream: usize, now_ns: u64, backlogged: bool) {
         self.fp.stamp[stream] += 1;
         if !backlogged {
+            return;
+        }
+        // Coded streams never enter the fallback: their blocks are
+        // lane-pinned (rule 1 only), so filing them would let rules
+        // 2/3 scramble the block→path placement.
+        if self.is_coded(stream) {
             return;
         }
         let stamp = self.fp.stamp[stream];
@@ -527,6 +606,9 @@ impl Pgos {
         let mut candidates = std::mem::take(&mut self.debug_candidates);
         candidates.clear();
         for s in queues.backlogged() {
+            if self.is_coded(s) {
+                continue; // lane-pinned: rule 1 only (see index_touch)
+            }
             let head = queues.head(s).expect("backlogged stream has a head");
             let other_budget: u32 = self
                 .cursors
@@ -691,11 +773,21 @@ impl Pgos {
         now_ns: u64,
         queues: &mut StreamQueues,
     ) -> Option<QueuedPacket> {
-        // 1. The path's own scheduled packets (Table 1 rule 1).
+        // 1. The path's own scheduled packets (Table 1 rule 1). A coded
+        //    stream is eligible only when one of its lanes pinned to
+        //    this path is backlogged (other lanes belong to other
+        //    paths); uncoded streams keep the plain backlog test.
+        let plans = &self.coding_plans;
         if let Some(cursor) = self.cursors.get_mut(path) {
-            if let Some(stream) = cursor.next_scheduled(|s| queues.len(s) > 0) {
+            let eligible = |s: usize| match plans.get(s).and_then(Option::as_ref) {
+                Some(plan) if queues.lanes(s) == plan.n => {
+                    (0..plan.n).any(|l| plan.lane_path(l) == path && queues.lane_backlogged(s, l))
+                }
+                _ => queues.len(s) > 0,
+            };
+            if let Some(stream) = cursor.next_scheduled(eligible) {
                 self.fp.sched_remaining[stream] -= 1;
-                let pkt = self.pop_scheduled(stream, queues);
+                let pkt = self.pop_scheduled_on_path(stream, path, queues);
                 self.index_touch(stream, now_ns, queues.len(stream) > 0);
                 if let Some(p) = &pkt {
                     if self.trace.enabled() {
@@ -739,10 +831,19 @@ impl MultipathScheduler for Pgos {
         let mut cdfs = std::mem::take(&mut self.cdf_scratch);
         cdfs.clear();
         cdfs.extend(paths.iter().map(|p| p.cdf.clone()));
-        let remapped = self.needs_remap(&cdfs);
-        if remapped {
-            self.remap(&cdfs);
-        }
+        // Diversity's mapping is structural (even-split over the path
+        // set, installed once by `plan_coding`) and deliberately never
+        // remaps: a remap would re-stripe lanes mid-group and scramble
+        // the block→path placement decode correctness depends on.
+        let remapped = if self.cfg.mapping_mode == MappingMode::Diversity {
+            false
+        } else {
+            let r = self.needs_remap(&cdfs);
+            if r {
+                self.remap(&cdfs);
+            }
+            r
+        };
         self.cdf_scratch = cdfs;
         if self.trace.enabled() {
             self.trace.emit(TraceEvent::WindowStart {
@@ -849,6 +950,44 @@ impl MultipathScheduler for Pgos {
 
     fn drain_upcalls(&mut self) -> Vec<Upcall> {
         std::mem::take(&mut self.upcalls)
+    }
+
+    fn plan_coding(
+        &mut self,
+        snapshots: &[PathSnapshot],
+        incidence: &[Vec<u64>],
+        now_ns: u64,
+    ) -> Vec<StreamCoding> {
+        if self.cfg.mapping_mode != MappingMode::Diversity {
+            return Vec::new();
+        }
+        assert_eq!(snapshots.len(), self.paths, "snapshot per path expected");
+        let cdfs: Vec<CdfSummary> = snapshots.iter().map(|p| p.cdf.clone()).collect();
+        self.path_loss.clear();
+        self.path_loss.extend(snapshots.iter().map(|p| p.loss));
+        let mapper = DiversityMapper::new(self.cfg.window_secs);
+        let incidence = (!incidence.is_empty()).then_some(incidence);
+        let dm = mapper.map(&self.specs, &cdfs, Some(&self.path_loss), incidence);
+        self.upcalls.extend(dm.result.upcalls.iter().cloned());
+        self.vectors = Some(SchedulingVectors::build_shared(Arc::clone(
+            &dm.result.assignments,
+        )));
+        if self.trace.enabled() {
+            dm.result.emit_trace(&self.trace, now_ns);
+        }
+        self.mapping = Some(dm.result);
+        self.reference_cdfs.clear();
+        self.reference_cdfs.extend(cdfs);
+        self.remaps += 1;
+        self.coding_plans.clear();
+        self.coding_plans.resize(self.specs.len(), None);
+        for plan in &dm.plans {
+            if plan.n > 1 {
+                self.coding_plans[plan.stream] = Some(plan.clone());
+            }
+        }
+        self.fp.dirty = true;
+        dm.plans
     }
 }
 
@@ -1146,5 +1285,99 @@ mod tests {
     fn dense_index_enforced() {
         let specs = vec![StreamSpec::probabilistic(3, "x", 1.0e6, 0.9, 1000)];
         let _ = Pgos::new(PgosConfig::default(), specs, 1);
+    }
+
+    /// One guaranteed + one best-effort stream on three clean paths,
+    /// running the Diversity mapping mode with coding planned and the
+    /// guaranteed stream's queue striped into (n = 3) lanes.
+    fn diversity_setup() -> (Pgos, StreamQueues) {
+        let specs = vec![
+            StreamSpec::probabilistic(0, "crit", mbps(8.0), 0.95, 1000),
+            StreamSpec::best_effort(1, "bulk", mbps(20.0), 1000),
+        ];
+        let cfg = PgosConfig {
+            mapping_mode: MappingMode::Diversity,
+            ..PgosConfig::default()
+        };
+        let mut pgos = Pgos::new(cfg, specs, 3);
+        let snaps = snapshots(vec![
+            uniform_cdf(50, 100),
+            uniform_cdf(50, 100),
+            uniform_cdf(50, 100),
+        ]);
+        let plans = pgos.plan_coding(&snaps, &[], 0);
+        assert_eq!(plans.len(), 1, "only the guaranteed stream is coded");
+        let mut queues = StreamQueues::new(2, 100_000);
+        queues.set_lanes(0, plans[0].n);
+        pgos.on_window_start(0, 1_000_000_000, &snaps);
+        (pgos, queues)
+    }
+
+    #[test]
+    fn diversity_plan_is_structural_and_never_remaps() {
+        let (mut pgos, _q) = diversity_setup();
+        let plan = pgos.coding_plan(0).expect("stream 0 is coded").clone();
+        assert_eq!((plan.n, plan.k), (3, 2));
+        assert_eq!(plan.paths, vec![0, 1, 2]);
+        assert!(pgos.coding_plan(1).is_none(), "best-effort stays uncoded");
+        assert_eq!(pgos.remap_count(), 1);
+        let m = pgos.mapping().expect("mapping installed by plan_coding");
+        // Coded totals: 1000 data packets become 1500 blocks, split
+        // evenly over the three paths.
+        assert_eq!(m.assignments[0].iter().sum::<u32>(), 1500);
+        assert_eq!(m.assignments[0], vec![500, 500, 500]);
+        // Severe distribution drift would trip PGOS's KS remap test;
+        // Diversity must hold the structural mapping regardless.
+        let drifted = snapshots(vec![
+            uniform_cdf(50, 100),
+            uniform_cdf(1, 6),
+            uniform_cdf(50, 100),
+        ]);
+        pgos.on_window_start(1_000_000_000, 1_000_000_000, &drifted);
+        assert_eq!(pgos.remap_count(), 1, "Diversity never remaps");
+        assert!(pgos.coding_plan(0).is_some());
+    }
+
+    #[test]
+    fn diversity_rule1_serves_only_the_paths_own_lanes() {
+        let (mut pgos, mut q) = diversity_setup();
+        fill(&mut q, 0, 9); // seqs 0..9, lane = seq % 3, lane l → path l
+        for path in 0..3usize {
+            for round in 0..3u64 {
+                let pkt = pgos.next_packet(path, 1 + round, &mut q).unwrap();
+                assert_eq!(pkt.stream, 0);
+                assert_eq!(
+                    pkt.seq,
+                    path as u64 + 3 * round,
+                    "path {path} must serve its pinned lane in seq order"
+                );
+            }
+        }
+        assert_eq!(q.len(0), 0);
+    }
+
+    #[test]
+    fn coded_streams_are_excluded_from_fallback() {
+        let (mut pgos, mut q) = diversity_setup();
+        fill(&mut q, 0, 3); // one block per lane
+                            // Drain lanes 0 and 1 directly, leaving only lane 2 (pinned to
+                            // path 2) backlogged.
+        assert_eq!(q.pop_lane(0, 0).unwrap().seq, 0);
+        assert_eq!(q.pop_lane(0, 1).unwrap().seq, 1);
+        assert_eq!(q.len(0), 1);
+        // Paths 0 and 1 own no backlogged lane of stream 0 and the
+        // best-effort stream is empty: rule 1 skips it and rules 2/3
+        // must NOT steal the lane-2 block.
+        assert!(pgos.next_packet(0, 1, &mut q).is_none());
+        assert!(pgos.next_packet(1, 2, &mut q).is_none());
+        let pkt = pgos.next_packet(2, 3, &mut q).expect("path 2 owns lane 2");
+        assert_eq!((pkt.stream, pkt.seq), (0, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "mid-run stream joins are unsupported")]
+    fn diversity_rejects_mid_run_stream_join() {
+        let (mut pgos, _q) = diversity_setup();
+        pgos.add_stream(StreamSpec::probabilistic(2, "late", mbps(1.0), 0.9, 1000));
     }
 }

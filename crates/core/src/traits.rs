@@ -134,6 +134,30 @@ pub trait MultipathScheduler {
     /// steps). The default ignores it — baselines stay untraced; the
     /// runtime installs the run's handle before the event loop starts.
     fn set_trace(&mut self, _trace: TraceHandle) {}
+
+    /// One-shot erasure-coding planning hook, called by the runtime
+    /// after admission pre-warm (path CDFs are seeded, the event loop
+    /// has not started). `snapshots` are the warmed per-path beliefs;
+    /// `incidence` maps each path to the id set of links it traverses
+    /// (for shared-bottleneck correlation discounting).
+    ///
+    /// A scheduler running an erasure-coded mapping (the `Diversity`
+    /// mode of [`crate::scheduler::Pgos`]) builds its mapping here and
+    /// returns one [`crate::coding::StreamCoding`] plan per coded
+    /// stream; the runtime
+    /// then stripes the streams' queues into lanes, synthesizes parity
+    /// blocks, and accounts delivery at decode-complete granularity
+    /// (DESIGN.md §15). The default returns no plans — schedulers that
+    /// never code (PGOS whole-path-first and every baseline) keep the
+    /// runtime on the classic bit-identical path.
+    fn plan_coding(
+        &mut self,
+        _snapshots: &[PathSnapshot],
+        _incidence: &[Vec<u64>],
+        _now_ns: u64,
+    ) -> Vec<crate::coding::StreamCoding> {
+        Vec::new()
+    }
 }
 
 #[cfg(test)]

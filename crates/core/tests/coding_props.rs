@@ -1,0 +1,137 @@
+//! Property and exhaustive tests of the systematic (n, k) erasure
+//! coder behind the `Diversity` mapping mode (DESIGN.md §15).
+//!
+//! The load-bearing claim is MDS-ness: `decode(encode(data))`
+//! round-trips from *every* ≥ k-sized subset of survivors, for every
+//! shape `1 ≤ k ≤ n ≤ MAX_GROUP_BLOCKS`. The subset space at n ≤ 8 is
+//! small (≤ 2⁸ subsets per shape), so the exhaustive sweep below is
+//! cheap and leaves no shape/survivor combination to sampling luck;
+//! proptest then varies the payloads themselves.
+
+use iqpaths_core::coding::{group_decode_probability, BlockCoder, MAX_GROUP_BLOCKS};
+use proptest::prelude::*;
+
+/// Deterministic, shape-dependent payloads so every (n, k, len) case
+/// exercises distinct byte patterns without an RNG.
+fn payloads(k: usize, len: usize) -> Vec<Vec<u8>> {
+    (0..k)
+        .map(|i| {
+            (0..len)
+                .map(|b| (i.wrapping_mul(83) ^ b.wrapping_mul(29) ^ (len << 3)) as u8)
+                .collect()
+        })
+        .collect()
+}
+
+/// All blocks of a group (data then parity), ready for survivor
+/// subsetting.
+fn coded_group(coder: &BlockCoder, data: &[Vec<u8>]) -> Vec<Vec<u8>> {
+    let refs: Vec<&[u8]> = data.iter().map(Vec::as_slice).collect();
+    let mut blocks = data.to_vec();
+    blocks.extend(coder.encode(&refs));
+    blocks
+}
+
+#[test]
+fn every_k_subset_of_survivors_round_trips_for_every_shape() {
+    for n in 1..=MAX_GROUP_BLOCKS {
+        for k in 1..=n {
+            let coder = BlockCoder::new(n, k);
+            let data = payloads(k, 17);
+            let blocks = coded_group(&coder, &data);
+            for mask in 0u32..(1 << n) {
+                let survivors: Vec<(usize, &[u8])> = (0..n)
+                    .filter(|i| mask & (1 << i) != 0)
+                    .map(|i| (i, blocks[i].as_slice()))
+                    .collect();
+                let got = coder.decode(&survivors);
+                if survivors.len() >= k {
+                    assert_eq!(
+                        got.as_deref(),
+                        Some(&data[..]),
+                        "(n={n}, k={k}) survivors {mask:#b} failed to decode"
+                    );
+                } else {
+                    assert!(
+                        got.is_none(),
+                        "(n={n}, k={k}) survivors {mask:#b} decoded below k"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn duplicate_shards_never_substitute_for_missing_ones() {
+    let coder = BlockCoder::new(4, 3);
+    let data = payloads(3, 9);
+    let blocks = coded_group(&coder, &data);
+    // Three copies of one shard are still one distinct index.
+    let dup: Vec<(usize, &[u8])> = vec![
+        (0, blocks[0].as_slice()),
+        (0, blocks[0].as_slice()),
+        (0, blocks[0].as_slice()),
+    ];
+    assert!(coder.decode(&dup).is_none());
+    // But duplicates alongside enough distinct indices are harmless.
+    let mixed: Vec<(usize, &[u8])> = vec![
+        (3, blocks[3].as_slice()),
+        (3, blocks[3].as_slice()),
+        (1, blocks[1].as_slice()),
+        (2, blocks[2].as_slice()),
+    ];
+    assert_eq!(coder.decode(&mixed).as_deref(), Some(&data[..]));
+}
+
+#[test]
+fn decode_probability_matches_subset_enumeration_edges() {
+    // k-of-n over ideal lanes: certain at p = 1, impossible at p = 0
+    // (for k ≥ 1), and monotone in each lane probability.
+    assert!((group_decode_probability(2, &[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+    assert!(group_decode_probability(2, &[0.0, 0.0, 0.0]) < 1e-12);
+    let lo = group_decode_probability(2, &[0.9, 0.5, 0.9]);
+    let hi = group_decode_probability(2, &[0.9, 0.8, 0.9]);
+    assert!(hi > lo);
+}
+
+proptest! {
+    #[test]
+    fn random_payloads_round_trip_from_parity_heavy_survivors(
+        len in 1usize..64,
+        drop in 0usize..3,
+        seed_byte in 0u8..255,
+    ) {
+        // (5, 3) with two parity blocks: drop up to two data blocks and
+        // decode from the parity-heavy remainder.
+        let coder = BlockCoder::new(5, 3);
+        let data: Vec<Vec<u8>> = (0..3)
+            .map(|i| {
+                (0..len)
+                    .map(|b| seed_byte ^ (i as u8).wrapping_mul(31) ^ (b as u8).wrapping_mul(7))
+                    .collect()
+            })
+            .collect();
+        let blocks = coded_group(&coder, &data);
+        let survivors: Vec<(usize, &[u8])> = (0..5)
+            .filter(|i| *i >= drop || *i >= 3)
+            .map(|i| (i, blocks[i].as_slice()))
+            .collect();
+        // Dropping `drop` of the data blocks leaves 5 − drop ≥ 3.
+        let got = coder.decode(&survivors).expect("≥ k survivors decode");
+        prop_assert_eq!(got, data);
+    }
+
+    #[test]
+    fn xor_parity_is_the_bytewise_xor(len in 1usize..64, a in 0u8..255, b in 0u8..255) {
+        // n − k = 1 must take the plain-XOR path and behave like it.
+        let coder = BlockCoder::new(3, 2);
+        let d0: Vec<u8> = (0..len).map(|i| a ^ i as u8).collect();
+        let d1: Vec<u8> = (0..len).map(|i| b.wrapping_add(i as u8)).collect();
+        let parity = coder.encode(&[&d0, &d1]);
+        prop_assert_eq!(parity.len(), 1);
+        for i in 0..len {
+            prop_assert_eq!(parity[0][i], d0[i] ^ d1[i]);
+        }
+    }
+}

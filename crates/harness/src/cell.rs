@@ -92,6 +92,18 @@ pub enum CellKind {
         /// Fault scenario name (see `FaultScenario::name`).
         scenario: String,
     },
+    /// Diversity-vs-PGOS mapping comparison: one conformance scenario
+    /// run under an explicit resource-mapping mode, reporting Lemma
+    /// 1/2 verdicts, the delivered-before-deadline ratio and the
+    /// erasure-coding evidence (the `diversity` family; see
+    /// `docs/POLICIES.md`).
+    Diversity {
+        /// Mapping-mode canonical name (see
+        /// `iqpaths_middleware::knobs::mapping_mode_name`).
+        mapping: String,
+        /// Fault scenario name (see `FaultScenario::name`).
+        scenario: String,
+    },
     /// Scheduling fast-path throughput ladder: the refactored PGOS hot
     /// path vs the frozen pre-refactor reference
     /// ([`crate::sched_ref`]) over one synthetic workload scale (the
@@ -149,6 +161,9 @@ impl CellKind {
                 budget_pct,
                 scenario,
             } => format!("probebudget:planner={planner},budget={budget_pct},scenario={scenario}"),
+            CellKind::Diversity { mapping, scenario } => {
+                format!("diversity:mapping={mapping},scenario={scenario}")
+            }
             CellKind::SchedThroughput {
                 streams,
                 paths,
@@ -457,7 +472,10 @@ mod tests {
             budget_pct: 25,
             scenario: "flap".into(),
         };
-        assert_eq!(kind.canon(), "probebudget:planner=active,budget=25,scenario=flap");
+        assert_eq!(
+            kind.canon(),
+            "probebudget:planner=active,budget=25,scenario=flap"
+        );
         // The budget renders into the full cell id like the shard count
         // does, so budgeted cells cache apart from unlimited ones.
         let s = CellSpec {
@@ -473,6 +491,39 @@ mod tests {
             s.id(),
             "probe_budget/flap/active/25@s42,d120,probebudget:planner=active,budget=25,scenario=flap"
         );
+    }
+
+    #[test]
+    fn diversity_canon_is_pinned() {
+        // Frozen: participates in cell identity, seed and cache key.
+        let kind = CellKind::Diversity {
+            mapping: "diversity".into(),
+            scenario: "uncorrelated".into(),
+        };
+        assert_eq!(
+            kind.canon(),
+            "diversity:mapping=diversity,scenario=uncorrelated"
+        );
+        let s = CellSpec {
+            sweep: "diversity".into(),
+            group: "uncorrelated".into(),
+            label: "diversity".into(),
+            seed: 42,
+            duration: 120.0,
+            shards: 1,
+            kind,
+        };
+        assert_eq!(
+            s.id(),
+            "diversity/uncorrelated/diversity@s42,d120,diversity:mapping=diversity,scenario=uncorrelated"
+        );
+        // The classic mapping renders its own identity, so the pair of
+        // cells in each scenario group never alias in the cache.
+        let classic = CellKind::Diversity {
+            mapping: "pgos".into(),
+            scenario: "uncorrelated".into(),
+        };
+        assert_ne!(classic.canon(), s.kind.canon());
     }
 
     #[test]

@@ -16,7 +16,7 @@ use iqpaths_apps::workload::FramedSource;
 use iqpaths_core::guarantee::{lemma1_probability, lemma2_expected_misses};
 use iqpaths_core::scheduler::{Pgos, PgosConfig};
 use iqpaths_core::stream::StreamSpec;
-use iqpaths_middleware::knobs::scheduler_by_name;
+use iqpaths_middleware::knobs::{mapping_mode_by_name, scheduler_by_name};
 use iqpaths_middleware::runtime::{run, RuntimeConfig};
 use iqpaths_middleware::sharded::run_sharded;
 use iqpaths_overlay::node::CdfMode;
@@ -74,6 +74,9 @@ pub fn run_cell(spec: &CellSpec) -> CellResult {
             budget_pct,
             scenario,
         } => run_probe_budget_cell(spec, planner, *budget_pct, scenario, &mut res),
+        CellKind::Diversity { mapping, scenario } => {
+            run_diversity_cell(spec, mapping, scenario, &mut res)
+        }
         CellKind::SchedThroughput {
             streams,
             paths,
@@ -139,6 +142,52 @@ fn run_probe_budget_cell(
         res.metric(&format!("path{j}.probes"), *n as f64);
     }
     res.metric("probes_total", r.probe_counts.iter().sum::<u64>() as f64);
+    res.verdict("conformance.pass", r.all_pass());
+}
+
+fn run_diversity_cell(spec: &CellSpec, mapping: &str, scenario: &str, res: &mut CellResult) {
+    let mapping =
+        mapping_mode_by_name(mapping).unwrap_or_else(|| panic!("unknown mapping mode `{mapping}`"));
+    let scenario =
+        FaultScenario::by_name(scenario).unwrap_or_else(|| panic!("unknown scenario `{scenario}`"));
+    let mut cfg =
+        ConformanceConfig::new(spec.cell_seed(), CdfMode::Exact, scenario).with_mapping(mapping);
+    cfg.duration = spec.duration;
+    cfg.shards = spec.shards.max(1);
+    let r = run_conformance(cfg);
+    for o in &r.outcomes {
+        res.metric(&format!("{}.observed", o.kind), o.observed);
+        res.metric(&format!("{}.target", o.kind), o.target);
+        res.metric(&format!("{}.epsilon", o.kind), o.epsilon);
+        res.metric(&format!("{}.windows", o.kind), o.windows as f64);
+        res.verdict(&format!("{}.pass", o.kind), o.pass);
+    }
+    // The headline ratio plus the coding evidence, per stream. For the
+    // classic mapping every stream is uncoded and only the ratio rows
+    // appear — a `diversity`-mapped guaranteed stream additionally
+    // reports its group shape and recovery counters.
+    for (i, s) in r.report.streams.iter().enumerate() {
+        res.metric(&format!("{}.before_deadline", s.name), r.before_deadline[i]);
+        if let Some(c) = &s.coding {
+            res.metric(&format!("{}.coding_n", s.name), c.n as f64);
+            res.metric(&format!("{}.coding_k", s.name), c.k as f64);
+            res.metric(&format!("{}.parity_sent", s.name), c.parity_sent as f64);
+            res.metric(
+                &format!("{}.groups_decoded", s.name),
+                c.groups_decoded as f64,
+            );
+            res.metric(&format!("{}.groups_total", s.name), c.groups_total as f64);
+            res.metric(&format!("{}.recovered", s.name), c.recovered as f64);
+        }
+    }
+    res.metric(
+        "coded_streams",
+        r.report
+            .streams
+            .iter()
+            .filter(|s| s.coding.is_some())
+            .count() as f64,
+    );
     res.verdict("conformance.pass", r.all_pass());
 }
 

@@ -387,6 +387,50 @@ pub fn probe_budget(seed: u64, duration: f64) -> SweepSpec {
     }
 }
 
+/// Diversity-vs-PGOS mapping matrix: `{pgos, diversity} mappings ×
+/// {flap, blackout, churn, uncorrelated, correlated} scenarios`, each
+/// cell a full conformance case reporting Lemma 1/2 verdicts, the
+/// delivered-before-deadline ratio per guaranteed stream, and the
+/// erasure-coding evidence (groups decoded, blocks recovered). The
+/// lossy scenarios are the ROADMAP hypothesis: coded striping wins
+/// when path failures are uncorrelated and buys nothing when every
+/// path blacks out at once — the classic mapping's *expected* lemma
+/// failures under `uncorrelated` render as honest `**FAIL**` rows,
+/// exactly like the starved budgets of the probe-budget sweep.
+/// Everything in the result is deterministic, so the sweep caches.
+pub fn diversity(seed: u64, duration: f64) -> SweepSpec {
+    let duration = duration.clamp(60.0, 120.0);
+    let scenarios = [
+        FaultScenario::Flap,
+        FaultScenario::Blackout,
+        FaultScenario::Churn,
+        FaultScenario::Uncorrelated,
+        FaultScenario::Correlated,
+    ];
+    let mut templates = Vec::new();
+    for scenario in scenarios {
+        for mapping in ["pgos", "diversity"] {
+            templates.push(CellTemplate::new(
+                scenario.name(),
+                mapping,
+                CellKind::Diversity {
+                    mapping: mapping.to_string(),
+                    scenario: scenario.name().to_string(),
+                },
+            ));
+        }
+    }
+    SweepSpec {
+        name: "diversity",
+        about: "Diversity vs PGOS mappings x capacity + silent-loss fault scenarios",
+        duration,
+        seeds: vec![seed],
+        shards: 1,
+        cacheable: true,
+        templates,
+    }
+}
+
 /// The scheduling fast-path throughput ladder: the refactored PGOS hot
 /// path vs the frozen pre-refactor reference ([`crate::sched_ref`])
 /// over `{10, 100, 1k, 10k} streams × {2, 8, 32} paths × {1, 4}
@@ -486,6 +530,7 @@ pub fn all_sweeps(seed: u64, duration: f64) -> Vec<SweepSpec> {
         ablations(seed, duration),
         smoke(),
         probe_budget(seed, duration.clamp(60.0, 120.0)),
+        diversity(seed, duration.clamp(60.0, 120.0)),
         scalability(seed),
         sched_throughput(seed),
     ]
@@ -511,6 +556,7 @@ mod tests {
         assert_eq!(fig04_prediction(42).expand().len(), 10);
         assert_eq!(smoke().expand().len(), 12);
         assert_eq!(probe_budget(42, 120.0).expand().len(), 30);
+        assert_eq!(diversity(42, 120.0).expand().len(), 10);
         assert_eq!(scalability(42).expand().len(), 8);
         assert_eq!(sched_throughput(42).expand().len(), 24);
     }

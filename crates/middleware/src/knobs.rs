@@ -13,6 +13,7 @@
 //! cell free of incidental values.
 
 use crate::builder::{Figure8Experiment, SchedulerKind};
+use iqpaths_core::mapping::MappingMode;
 use iqpaths_overlay::node::CdfMode;
 use iqpaths_overlay::planner::{PlannerKind, ProbeBudget};
 
@@ -36,6 +37,9 @@ pub struct ExperimentKnobs {
     /// Probe budget as a percentage of the periodic probe-everything
     /// rate (`None` = unlimited, the legacy behavior).
     pub probe_budget: Option<u32>,
+    /// Resource-mapping mode for the PGOS scheduler (`None` = classic
+    /// whole-path-first PGOS; see `docs/POLICIES.md`).
+    pub mapping: Option<MappingMode>,
 }
 
 impl ExperimentKnobs {
@@ -70,6 +74,9 @@ impl ExperimentKnobs {
         if let Some(b) = self.probe_budget {
             e.runtime.probe_budget = ProbeBudget::percent(b);
         }
+        if let Some(m) = self.mapping {
+            e.pgos.mapping_mode = m;
+        }
     }
 
     /// Canonical `key=value` rendering of the overrides, sorted and
@@ -100,6 +107,9 @@ impl ExperimentKnobs {
         if let Some(b) = self.probe_budget {
             parts.push(format!("budget={b}"));
         }
+        if let Some(m) = self.mapping {
+            parts.push(format!("mapping={}", mapping_mode_name(m)));
+        }
         parts.sort();
         parts.join(",")
     }
@@ -111,6 +121,25 @@ impl ExperimentKnobs {
         self.apply(&mut e);
         e
     }
+}
+
+/// Canonical short name of a [`MappingMode`] (stable: participates in
+/// cache keys).
+pub fn mapping_mode_name(mode: MappingMode) -> &'static str {
+    match mode {
+        MappingMode::Pgos => "pgos",
+        MappingMode::Diversity => "diversity",
+    }
+}
+
+/// Parses a canonical mapping-mode name back (inverse of
+/// [`mapping_mode_name`]).
+pub fn mapping_mode_by_name(name: &str) -> Option<MappingMode> {
+    Some(match name {
+        "pgos" => MappingMode::Pgos,
+        "diversity" => MappingMode::Diversity,
+        _ => return None,
+    })
 }
 
 /// Canonical short name of a [`CdfMode`] (stable across releases: it
@@ -227,6 +256,30 @@ mod tests {
         let plain = ExperimentKnobs::none().experiment(1, 10.0);
         assert_eq!(plain.runtime.planner, PlannerKind::Periodic);
         assert_eq!(plain.runtime.probe_budget, ProbeBudget::Unlimited);
+    }
+
+    #[test]
+    fn mapping_knob_renders_and_applies() {
+        let knobs = ExperimentKnobs {
+            mapping: Some(MappingMode::Diversity),
+            ..ExperimentKnobs::none()
+        };
+        assert_eq!(knobs.canon(), "mapping=diversity");
+        let e = knobs.experiment(1, 10.0);
+        assert_eq!(e.pgos.mapping_mode, MappingMode::Diversity);
+        // The classic whole-path-first default stays out of the cell
+        // identity, keeping pre-existing cache keys (and goldens)
+        // byte-identical.
+        let plain = ExperimentKnobs::none().experiment(1, 10.0);
+        assert_eq!(plain.pgos.mapping_mode, MappingMode::Pgos);
+    }
+
+    #[test]
+    fn mapping_mode_names_round_trip() {
+        for mode in [MappingMode::Pgos, MappingMode::Diversity] {
+            assert_eq!(mapping_mode_by_name(mapping_mode_name(mode)), Some(mode));
+        }
+        assert_eq!(mapping_mode_by_name("nope"), None);
     }
 
     #[test]

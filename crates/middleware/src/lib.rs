@@ -17,8 +17,21 @@
 //! * [`knobs`] — the sparse, hashable override set a sweep cell applies
 //!   to a builder experiment (the `RunConfig`-to-cell adapter used by
 //!   `iqpaths-harness`).
+//!
+//! ## Paper artifact → code map
+//!
+//! | paper artifact | where it lives |
+//! |---|---|
+//! | Figure 2/3 middleware architecture | [`runtime`] event loop + [`builder`] |
+//! | Figure 6 scheduling-window loop | [`runtime`] (probe → remap → schedule → serve) |
+//! | Figure 8 two-path testbed | [`builder::Figure8Experiment`] |
+//! | §5.2.2 admission upcalls | [`runtime::DeliveryEvent`] stream-rejected records |
+//! | Diversity mapping (coded lanes) | [`runtime`] decode-complete delivery + [`report::CodingStats`] |
+//! | per-stream delivered/missed accounting | [`report::StreamReport`] |
+//! | controller/data-plane split (DESIGN.md §11) | [`sharded`] |
+//! | sweep knob surface (docs/POLICIES.md) | [`knobs::ExperimentKnobs`] |
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod builder;

@@ -41,6 +41,52 @@ pub struct StreamReport {
     pub deadline_misses: u64,
     /// Fraction of deadline-bearing packets that missed.
     pub deadline_miss_rate: f64,
+    /// Erasure-coding outcome, present only for streams that ran under
+    /// a `Diversity` coding plan (absent ⇒ the classic uncoded path,
+    /// keeping pre-Diversity report JSON byte-identical).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub coding: Option<CodingStats>,
+}
+
+/// Decode-complete delivery accounting for one erasure-coded stream
+/// (DESIGN.md §15). "On time" means the block finished transmission
+/// before its scheduling-window deadline; a group *decodes* when any
+/// `k` of its `n` blocks are on time, at which point every data block
+/// of the group counts as delivered before deadline.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CodingStats {
+    /// Blocks per group (data + parity).
+    pub n: usize,
+    /// Data blocks per group.
+    pub k: usize,
+    /// Planner's correlation-discounted P(group decodes on time).
+    pub decode_probability: f64,
+    /// Data packets the application offered (parity excluded).
+    pub data_offered: u64,
+    /// Data blocks that arrived before their deadline directly.
+    pub data_ontime: u64,
+    /// Data blocks credited by group decode despite being lost or late
+    /// themselves.
+    pub recovered: u64,
+    /// Groups that reached `k` on-time blocks.
+    pub groups_decoded: u64,
+    /// Groups that received at least one block.
+    pub groups_total: u64,
+    /// Parity blocks synthesized and enqueued.
+    pub parity_sent: u64,
+}
+
+impl CodingStats {
+    /// Fraction of offered data delivered before deadline at
+    /// decode-complete granularity — the Diversity-vs-PGOS headline
+    /// metric of the `diversity` sweep.
+    pub fn delivered_before_deadline(&self) -> f64 {
+        if self.data_offered == 0 {
+            0.0
+        } else {
+            (self.data_ontime + self.recovered) as f64 / self.data_offered as f64
+        }
+    }
 }
 
 impl StreamReport {
@@ -174,6 +220,7 @@ pub(crate) fn stream_report(
     deadline_packets: u64,
     deadline_misses: u64,
     transit_lost: u64,
+    coding: Option<CodingStats>,
 ) -> StreamReport {
     let transmitted = delivered_packets + transit_lost;
     StreamReport {
@@ -207,6 +254,7 @@ pub(crate) fn stream_report(
         } else {
             deadline_misses as f64 / deadline_packets as f64
         },
+        coding,
     }
 }
 
@@ -228,6 +276,7 @@ mod tests {
             40,
             4,
             10,
+            None,
         );
         let mut metrics = Metrics::new(1, 1);
         for _ in 0..50 {

@@ -7,8 +7,9 @@
 //! scheduling-window clock. The event loop is deterministic: identical
 //! seeds produce identical reports.
 
-use crate::report::{self, RunReport};
+use crate::report::{self, CodingStats, RunReport};
 use iqpaths_apps::workload::Workload;
+use iqpaths_core::coding::StreamCoding;
 use iqpaths_core::queues::StreamQueues;
 use iqpaths_core::traits::{MultipathScheduler, PathSnapshot};
 use iqpaths_overlay::node::MonitoringModule;
@@ -16,15 +17,16 @@ use iqpaths_overlay::path::OverlayPath;
 use iqpaths_overlay::planner::{build_planner, PathBelief, PlannerKind, ProbeBudget};
 use iqpaths_overlay::probe::AvailBwProbe;
 use iqpaths_simnet::fault::{fnv1a64, salted_seed, FaultInjector, FaultSchedule};
-use iqpaths_stats::BandwidthCdf as _;
 use iqpaths_simnet::monitor::ThroughputMonitor;
 use iqpaths_simnet::packet::{Packet, StreamId};
 use iqpaths_simnet::server::PathService;
 use iqpaths_simnet::time::SimTime;
 use iqpaths_simnet::EventQueue;
+use iqpaths_stats::BandwidthCdf as _;
 use iqpaths_trace::{Metrics, TraceEvent, TraceHandle};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
 
 /// Runtime tuning parameters.
 #[derive(Debug, Clone, Copy)]
@@ -127,6 +129,145 @@ enum Ev {
     Window,
 }
 
+/// Decode state of one in-flight coded group: a group decodes at its
+/// `k`-th on-time block, crediting every data block of the group.
+#[derive(Debug, Clone, Copy, Default)]
+struct GroupState {
+    /// Blocks (data or parity) that finished before their deadline.
+    ontime: u32,
+    /// Data blocks directly on time before the group decoded.
+    data_ontime: u32,
+    /// Whether the group already reached `k` on-time blocks.
+    decoded: bool,
+    /// Bytes of data blocks silently lost in transit before the group
+    /// decoded — credited to the goodput series at decode time (the
+    /// receiver reconstructs them from the surviving blocks).
+    lost_bytes: u64,
+}
+
+/// Per-stream erasure-coding state the event loop maintains for
+/// streams running under a Diversity coding plan: parity synthesis at
+/// the arrival side, decode-complete accounting at the delivery side.
+#[derive(Debug, Clone)]
+struct CodingRuntime {
+    /// The scheduler's plan (lane striping, group shape).
+    plan: StreamCoding,
+    /// Largest payload among the open group's data blocks — parity
+    /// blocks carry this size so any `k` survivors reconstruct the
+    /// group (shorter blocks zero-pad).
+    group_bytes: u32,
+    /// Open groups by index; pruned oldest-first past a bounded depth.
+    groups: BTreeMap<u64, GroupState>,
+    /// Groups below this index were pruned and take no further credit.
+    pruned_below: u64,
+    /// Accumulated report counters.
+    stats: CodingStats,
+}
+
+/// Open-group retention depth. At conformance rates (≤ a few thousand
+/// blocks/s, 1 s deadlines) a group settles within a handful of window
+/// lengths, so hundreds of open groups is already generous.
+const MAX_OPEN_GROUPS: usize = 512;
+
+impl CodingRuntime {
+    fn new(plan: StreamCoding) -> Self {
+        let stats = CodingStats {
+            n: plan.n,
+            k: plan.k,
+            decode_probability: plan.decode_probability,
+            data_offered: 0,
+            data_ontime: 0,
+            recovered: 0,
+            groups_decoded: 0,
+            groups_total: 0,
+            parity_sent: 0,
+        };
+        Self {
+            plan,
+            group_bytes: 0,
+            groups: BTreeMap::new(),
+            pruned_below: 0,
+            stats,
+        }
+    }
+
+    /// Records an accepted data push; true when the block completed the
+    /// group's data portion (position `k − 1`), i.e. parity is due.
+    fn on_data_enqueued(&mut self, seq: u64, bytes: u32) -> bool {
+        self.group_bytes = self.group_bytes.max(bytes);
+        seq % self.plan.n as u64 == self.plan.k as u64 - 1
+    }
+
+    /// Records a delivered block. Returns `Some((group, recovered,
+    /// reconstructed_bytes))` when this block completed the group's
+    /// decode; `reconstructed_bytes` are the transit-lost data bytes
+    /// the decode just made available to the receiver (goodput
+    /// credit). Credit per group is exact: blocks on time after the
+    /// decode add nothing (the decode already credited all `k` data
+    /// blocks), and stragglers of pruned groups add nothing either.
+    fn record_delivery(&mut self, seq: u64, ontime: bool) -> Option<(u64, u32, u64)> {
+        let n = self.plan.n as u64;
+        let k = self.plan.k as u64;
+        let group = seq / n;
+        let is_data = seq % n < k;
+        if group < self.pruned_below {
+            return None;
+        }
+        let groups_total = &mut self.stats.groups_total;
+        let entry = self.groups.entry(group).or_insert_with(|| {
+            *groups_total += 1;
+            GroupState::default()
+        });
+        let mut decode = None;
+        if ontime && !entry.decoded {
+            entry.ontime += 1;
+            if is_data {
+                entry.data_ontime += 1;
+                self.stats.data_ontime += 1;
+            }
+            if u64::from(entry.ontime) >= k {
+                entry.decoded = true;
+                let recovered = k as u32 - entry.data_ontime;
+                self.stats.recovered += u64::from(recovered);
+                self.stats.groups_decoded += 1;
+                decode = Some((group, recovered, std::mem::take(&mut entry.lost_bytes)));
+            }
+        }
+        while self.groups.len() > MAX_OPEN_GROUPS {
+            let (&oldest, _) = self.groups.iter().next().expect("non-empty");
+            self.groups.remove(&oldest);
+            self.pruned_below = oldest + 1;
+        }
+        decode
+    }
+
+    /// Records a data block silently lost in transit. Returns the
+    /// bytes to credit to the goodput series immediately (the group
+    /// already decoded, so the receiver reconstructs the block on the
+    /// spot); before the decode the bytes park in the group and ride
+    /// out with [`CodingRuntime::record_delivery`]'s decode result.
+    /// Parity blocks and stragglers of pruned groups carry no goodput.
+    fn on_transit_loss(&mut self, seq: u64, bytes: u64) -> u64 {
+        let n = self.plan.n as u64;
+        let k = self.plan.k as u64;
+        let group = seq / n;
+        if seq % n >= k || group < self.pruned_below {
+            return 0;
+        }
+        let groups_total = &mut self.stats.groups_total;
+        let entry = self.groups.entry(group).or_insert_with(|| {
+            *groups_total += 1;
+            GroupState::default()
+        });
+        if entry.decoded {
+            bytes
+        } else {
+            entry.lost_bytes += bytes;
+            0
+        }
+    }
+}
+
 /// Runs an experiment and returns the standard report (no delivery
 /// sink).
 pub fn run(
@@ -224,7 +365,10 @@ pub fn run_traced(
     trace: TraceHandle,
     sink: &mut dyn FnMut(&DeliveryEvent),
 ) -> RunReport {
-    run_traced_counted(paths, workload, scheduler, cfg, duration, faults, trace, sink).0
+    run_traced_counted(
+        paths, workload, scheduler, cfg, duration, faults, trace, sink,
+    )
+    .0
 }
 
 /// [`run_traced`] that additionally returns the probe planner's
@@ -443,6 +587,36 @@ pub(crate) fn execute(
     }
     let mut metrics = Metrics::new(n_streams, n_paths);
 
+    // One-shot erasure-coding planning: hand the scheduler the warmed
+    // per-path beliefs and the link-incidence sets; a Diversity
+    // scheduler returns one plan per coded stream (the default returns
+    // none, keeping this whole block inert on the classic path). The
+    // coded streams' queues are striped into one lane per group block
+    // so every block stays on its planned path.
+    let t0_ns = SimTime::from_secs_f64(warmup).as_nanos();
+    let coding_plans: Vec<StreamCoding> = {
+        let zeros = vec![0u64; n_paths]; // nothing transmitted yet
+        let mut warm = Vec::with_capacity(n_paths);
+        goodput_snapshots_into(&monitoring, &zeros, &zeros, |_| None, &mut warm);
+        scheduler.plan_coding(&warm, &incidence, t0_ns)
+    };
+    let mut coding: Vec<Option<CodingRuntime>> = vec![None; n_streams];
+    for plan in coding_plans {
+        if plan.n <= 1 {
+            continue;
+        }
+        let stream = plan.stream;
+        queues.set_lanes(stream, plan.n);
+        trace.emit(TraceEvent::CodingPlan {
+            at_ns: t0_ns,
+            stream: stream as u32,
+            n: plan.n as u32,
+            k: plan.k as u32,
+            decode_p: plan.decode_probability,
+        });
+        coding[stream] = Some(CodingRuntime::new(plan));
+    }
+
     // Report-side monitors.
     let mut stream_tp: Vec<ThroughputMonitor> = (0..n_streams)
         .map(|_| ThroughputMonitor::new(cfg.monitor_window_secs))
@@ -498,6 +672,9 @@ pub(crate) fn execute(
                     if due > now {
                         break;
                     }
+                    if let Some(cr) = coding[a.stream].as_mut() {
+                        cr.stats.data_offered += 1;
+                    }
                     if queues.push(a.stream, a.bytes, now_ns) {
                         metrics.on_enqueue(a.stream);
                         if trace.enabled() {
@@ -507,6 +684,45 @@ pub(crate) fn execute(
                                 seq: queues.next_seq(a.stream) - 1,
                                 bytes: a.bytes,
                             });
+                        }
+                        // Parity synthesis: the group's k-th accepted
+                        // data block is followed immediately by its
+                        // n − k parity blocks. A full queue burns the
+                        // parity's sequence slot (`push_consuming`) so
+                        // a dropped parity block can never shift later
+                        // data into parity positions.
+                        if let Some(cr) = coding[a.stream].as_mut() {
+                            let seq = queues.next_seq(a.stream) - 1;
+                            if cr.on_data_enqueued(seq, a.bytes) {
+                                for _ in 0..(cr.plan.n - cr.plan.k) {
+                                    let pseq = queues.next_seq(a.stream);
+                                    if queues.push_consuming(a.stream, cr.group_bytes, now_ns) {
+                                        cr.stats.parity_sent += 1;
+                                        metrics.on_enqueue(a.stream);
+                                        if trace.enabled() {
+                                            trace.emit(TraceEvent::Enqueue {
+                                                at_ns: now_ns,
+                                                stream: a.stream as u32,
+                                                seq: pseq,
+                                                bytes: cr.group_bytes,
+                                            });
+                                            trace.emit(TraceEvent::CodingParity {
+                                                at_ns: now_ns,
+                                                stream: a.stream as u32,
+                                                seq: pseq,
+                                                group: pseq / cr.plan.n as u64,
+                                            });
+                                        }
+                                    } else {
+                                        metrics.on_queue_drop(a.stream);
+                                        trace.emit(TraceEvent::QueueDrop {
+                                            at_ns: now_ns,
+                                            stream: a.stream as u32,
+                                        });
+                                    }
+                                }
+                                cr.group_bytes = 0;
+                            }
                         }
                     } else {
                         metrics.on_queue_drop(a.stream);
@@ -610,7 +826,11 @@ pub(crate) fn execute(
                 // Per-packet transit loss (link corruption / drops the
                 // fluid queue model doesn't cover).
                 let loss_p = services[j].loss_prob();
-                if loss_p > 0.0 && loss_rng.gen_bool(loss_p) {
+                let lost_random = loss_p > 0.0 && loss_rng.gen_bool(loss_p);
+                // Scheduled transit-loss faults (`Fault::TransitLoss`):
+                // silent post-service loss, drawn statelessly from the
+                // packet identity so serial and sharded runs agree.
+                if lost_random || injector.transit_lost(j, s as u64, delivery.packet.seq, now_s) {
                     transit_lost[s] += 1;
                     path_lost[j] += 1;
                     metrics.on_transit_loss(s, j);
@@ -620,6 +840,18 @@ pub(crate) fn execute(
                         stream: s as u32,
                         seq: delivery.packet.seq,
                     });
+                    // A lost data block of an already-decoded group is
+                    // reconstructed at the receiver on the spot; its
+                    // bytes are goodput even though the block never
+                    // arrived (decode-complete delivery).
+                    if let Some(cr) = coding[s].as_mut() {
+                        let credit =
+                            cr.on_transit_loss(delivery.packet.seq, delivery.packet.bytes as u64);
+                        if credit > 0 {
+                            let rel = delivery.delivered.as_secs_f64() - warmup;
+                            stream_tp[s].record(SimTime::from_secs_f64(rel.max(0.0)), credit);
+                        }
+                    }
                     continue;
                 }
                 // Reordering bursts hold every other delivery back at
@@ -631,13 +863,36 @@ pub(crate) fn execute(
                 delivered_packets[s] += 1;
                 delivered_bytes[s] += delivery.packet.bytes as u64;
                 latency_sum[s] += delivery.latency().as_secs_f64() + extra;
-                let has_deadline = delivery.packet.has_deadline();
                 // Lemma 1 speaks of packets *served* within the
                 // window, so the deadline is checked against
                 // transmission completion, not client arrival
                 // (propagation delay is a constant the application
                 // budgets separately).
-                let missed = has_deadline && delivery.packet.missed_deadline(delivery.sent);
+                let block_deadline = delivery.packet.has_deadline();
+                let block_missed = block_deadline && delivery.packet.missed_deadline(delivery.sent);
+                // Coded streams account delivery at decode-complete
+                // granularity: parity blocks feed the group decode but
+                // are invisible to the user-facing deadline and
+                // goodput metrics.
+                let mut is_parity = false;
+                let mut decode_credit = 0u64;
+                if let Some(cr) = coding[s].as_mut() {
+                    is_parity = delivery.packet.seq % cr.plan.n as u64 >= cr.plan.k as u64;
+                    let ontime = block_deadline && !block_missed;
+                    if let Some((group, recovered, reconstructed)) =
+                        cr.record_delivery(delivery.packet.seq, ontime)
+                    {
+                        decode_credit = reconstructed;
+                        trace.emit(TraceEvent::CodingDecode {
+                            at_ns: now_ns,
+                            stream: s as u32,
+                            group,
+                            recovered,
+                        });
+                    }
+                }
+                let has_deadline = block_deadline && !is_parity;
+                let missed = has_deadline && block_missed;
                 if has_deadline {
                     deadline_pkts[s] += 1;
                     if missed {
@@ -656,8 +911,20 @@ pub(crate) fn execute(
                     });
                 }
                 let shifted = SimTime::from_secs_f64(rel.max(0.0));
-                stream_tp[s].record(shifted, delivery.packet.bytes as u64);
-                stream_path_tp[s][j].record(shifted, delivery.packet.bytes as u64);
+                // Parity is redundancy, not goodput: the throughput
+                // series report data bytes only (raw conservation
+                // counters above still include parity).
+                if !is_parity {
+                    stream_tp[s].record(shifted, delivery.packet.bytes as u64);
+                    stream_path_tp[s][j].record(shifted, delivery.packet.bytes as u64);
+                }
+                // Data bytes the decode just reconstructed from parity
+                // (their own blocks were lost in transit) become
+                // application-visible goodput now. Not attributed to
+                // any path series: no path carried them to the client.
+                if decode_credit > 0 {
+                    stream_tp[s].record(shifted, decode_credit);
+                }
                 sink(&DeliveryEvent {
                     stream: s,
                     seq: delivery.packet.seq,
@@ -684,9 +951,7 @@ pub(crate) fn execute(
                             };
                             let staleness_slots = monitoring
                                 .staleness(j, now_s)
-                                .map_or((probe_slot + 1) as f64, |s| {
-                                    s / cfg.probe_interval_secs
-                                });
+                                .map_or((probe_slot + 1) as f64, |s| s / cfg.probe_interval_secs);
                             PathBelief {
                                 prob_ok,
                                 samples,
@@ -811,6 +1076,7 @@ pub(crate) fn execute(
                 deadline_pkts[s],
                 deadline_misses[s],
                 transit_lost[s],
+                coding[s].take().map(|cr| cr.stats),
             )
         })
         .collect();
@@ -1132,7 +1398,10 @@ mod tests {
         };
         let a = run_once();
         let b = run_once();
-        assert_eq!(a.streams[0].throughput_series, b.streams[0].throughput_series);
+        assert_eq!(
+            a.streams[0].throughput_series,
+            b.streams[0].throughput_series
+        );
         assert_eq!(a.path_sent_bytes, b.path_sent_bytes);
         assert_eq!(a.events, b.events);
     }
@@ -1168,5 +1437,89 @@ mod tests {
         let report = run(&paths, Box::new(src), Box::new(pgos), quick_cfg(), 8.0);
         assert_eq!(report.streams[0].throughput_series.len(), 8);
         assert_eq!(report.streams[0].per_path_series[0].len(), 8);
+    }
+
+    fn diversity_pgos(specs: Vec<StreamSpec>, n_paths: usize) -> Pgos {
+        use iqpaths_core::mapping::MappingMode;
+        let cfg = PgosConfig {
+            mapping_mode: MappingMode::Diversity,
+            ..PgosConfig::default()
+        };
+        Pgos::new(cfg, specs, n_paths)
+    }
+
+    #[test]
+    fn diversity_mode_codes_groups_and_reports_stats() {
+        let paths = vec![
+            clean_path(0, 30.0),
+            clean_path(1, 30.0),
+            clean_path(2, 30.0),
+        ];
+        let (specs, src) = one_stream_workload(8.0, 10.0);
+        let report = run(
+            &paths,
+            Box::new(src),
+            Box::new(diversity_pgos(specs, 3)),
+            quick_cfg(),
+            10.0,
+        );
+        let c = report.streams[0]
+            .coding
+            .as_ref()
+            .expect("coded stream carries stats");
+        assert_eq!((c.n, c.k), (3, 2));
+        assert!(c.parity_sent > 0, "parity {}", c.parity_sent);
+        assert!(c.groups_decoded > 0, "decoded {}", c.groups_decoded);
+        assert!(c.data_offered > 0);
+        let ratio = c.delivered_before_deadline();
+        assert!(ratio > 0.9, "delivered-before-deadline ratio {ratio}");
+        // Lane striping spreads the group across all three paths.
+        assert!(report.path_sent_bytes.iter().all(|&b| b > 0));
+        assert!(report.metrics.conserved());
+    }
+
+    #[test]
+    fn diversity_decodes_through_a_silently_lossy_path() {
+        use iqpaths_simnet::fault::{Fault, FaultSchedule};
+        // Path 0 carries data lane 0 and silently eats every block
+        // after warm-up: a (3,2) code still decodes every group from
+        // the surviving data lane plus the parity lane, so the
+        // before-deadline ratio stays high even though a third of the
+        // blocks vanish in transit.
+        let mut faults = FaultSchedule::new();
+        faults.push(5.0, Fault::TransitLoss { path: 0, prob: 1.0 });
+        let paths = vec![
+            clean_path(0, 30.0),
+            clean_path(1, 30.0),
+            clean_path(2, 30.0),
+        ];
+        let (specs, src) = one_stream_workload(8.0, 15.0);
+        let report = run_faulted(
+            &paths,
+            Box::new(src),
+            Box::new(diversity_pgos(specs, 3)),
+            quick_cfg(),
+            15.0,
+            &faults,
+            &mut |_| {},
+        );
+        let c = report.streams[0]
+            .coding
+            .as_ref()
+            .expect("coded stream carries stats");
+        assert!(c.recovered > 0, "recovered {}", c.recovered);
+        let ratio = c.delivered_before_deadline();
+        assert!(ratio > 0.9, "delivered-before-deadline ratio {ratio}");
+    }
+
+    #[test]
+    fn pgos_default_is_bit_identical_with_coding_machinery_present() {
+        // The classic mapping must not observe the coding plumbing at
+        // all: no lanes, no parity, no coding stats.
+        let paths = vec![clean_path(0, 30.0), clean_path(1, 30.0)];
+        let (specs, src) = one_stream_workload(8.0, 8.0);
+        let pgos = Pgos::new(PgosConfig::default(), specs, 2);
+        let report = run(&paths, Box::new(src), Box::new(pgos), quick_cfg(), 8.0);
+        assert!(report.streams[0].coding.is_none());
     }
 }

@@ -19,8 +19,19 @@
 //! * [`node`] — the Figure 3 overlay node: per-path statistical
 //!   monitoring feeding the routing/scheduling module via
 //!   `PathSnapshot`s.
+//!
+//! ## Paper artifact → code map
+//!
+//! | paper artifact | where it lives |
+//! |---|---|
+//! | §5.1 overlay model `G = (V, E)`, paths `P^j` | [`graph::OverlayGraph`] |
+//! | Figure 3 overlay node + monitoring module | [`node::MonitoringModule`] |
+//! | pathload-style available-bandwidth probing [19, 20] | [`probe::AvailBwProbe`] |
+//! | probe budgets + planner policies (DESIGN.md §14) | [`planner`] |
+//! | shared-bottleneck correlation discounting | [`planner::ActivePlanner`] |
+//! | path → transmit-service binding | [`path::OverlayPath`] |
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod graph;

@@ -254,10 +254,8 @@ impl ActivePlanner {
     pub fn with_incidence(mut self, links: &[Vec<u64>]) -> Self {
         let n = self.last_selected.len();
         assert_eq!(links.len(), n, "incidence must cover every path");
-        let sets: Vec<std::collections::BTreeSet<u64>> = links
-            .iter()
-            .map(|l| l.iter().copied().collect())
-            .collect();
+        let sets: Vec<std::collections::BTreeSet<u64>> =
+            links.iter().map(|l| l.iter().copied().collect()).collect();
         for i in 0..n {
             for j in 0..n {
                 if i == j {
@@ -502,8 +500,7 @@ mod tests {
         // With allowance 2 and equal beliefs, picking one of {0, 1}
         // must discount the other, so 2 joins the plan.
         let incidence = vec![vec![1, 2], vec![1, 3], vec![4, 5]];
-        let mut p =
-            ActivePlanner::new(3, 9, ProbeBudget::percent(67)).with_incidence(&incidence);
+        let mut p = ActivePlanner::new(3, 9, ProbeBudget::percent(67)).with_incidence(&incidence);
         let beliefs = uniform_beliefs(3, 0);
         let sel = p.plan(1, 3, &beliefs);
         assert_eq!(sel.len(), 2);
@@ -516,7 +513,7 @@ mod tests {
     #[test]
     fn active_never_starves_a_path() {
         let mut p = ActivePlanner::new(6, 3, ProbeBudget::percent(10));
-        let mut last = vec![0u64; 6];
+        let mut last = [0u64; 6];
         for slot in 0..4000u64 {
             let beliefs = uniform_beliefs(6, slot);
             for sel in p.plan(slot, 6, &beliefs) {

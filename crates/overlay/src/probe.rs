@@ -122,7 +122,10 @@ impl AvailBwProbe {
         // sample. Without this, staleness consumers treated a report
         // delayed by several intervals as if it were fresh at `t`.
         self.next_at = self.next_at.max(ready_at);
-        self.last_ready_at = Some(self.last_ready_at.map_or(ready_at, |prev| prev.max(ready_at)));
+        self.last_ready_at = Some(
+            self.last_ready_at
+                .map_or(ready_at, |prev| prev.max(ready_at)),
+        );
         self.emit(t, ready_at, bw);
         ProbeSample {
             taken_at: t,

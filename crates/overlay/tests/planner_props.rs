@@ -111,7 +111,7 @@ proptest! {
         }
         let num = n_paths as u64 * u64::from(pct);
         for w in [1u64, 3, 17, 100, slots] {
-            let cap = num * w / 100 + u64::from(num * w % 100 != 0); // ceil(w*num/100)
+            let cap = num * w / 100 + u64::from(!(num * w).is_multiple_of(100)); // ceil(w*num/100)
             for start in 0..=(slots - w) {
                 let spent = prefix[(start + w) as usize] - prefix[start as usize];
                 prop_assert!(

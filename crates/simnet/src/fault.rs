@@ -75,6 +75,25 @@ pub enum Fault {
         /// Extra client-side delay for the held-back packets.
         jitter: f64,
     },
+    /// From this time on, data packets that *complete service* on the
+    /// path are silently dropped in transit with probability `prob`
+    /// (deterministic per-packet hash of `(seed, path, stream, seq)`).
+    ///
+    /// Unlike [`Fault::Block`], the path still looks alive to the
+    /// scheduler — capacity, probes, pacing and blocked-path detection
+    /// are untouched; only deliveries vanish. `prob = 1.0` models a
+    /// silently dead path (e.g. a mis-forwarding relay), the failure
+    /// mode erasure-coded path diversity exists to survive. Transit
+    /// loss is deliberately *not* a capacity change:
+    /// [`FaultSchedule::capacity_change_times`] ignores it, so
+    /// conformance windows under pure transit loss stay
+    /// lemma-eligible.
+    TransitLoss {
+        /// Affected path.
+        path: usize,
+        /// Per-packet loss probability in `[0, 1]`.
+        prob: f64,
+    },
 }
 
 impl Fault {
@@ -86,7 +105,8 @@ impl Fault {
             | Fault::Restore { path }
             | Fault::ProbeLoss { path, .. }
             | Fault::ProbeDelay { path, .. }
-            | Fault::ReorderBurst { path, .. } => path,
+            | Fault::ReorderBurst { path, .. }
+            | Fault::TransitLoss { path, .. } => path,
         }
     }
 }
@@ -158,6 +178,12 @@ impl FaultSchedule {
             Fault::ReorderBurst { span, jitter, .. } => {
                 assert!(span > 0.0 && jitter >= 0.0, "span > 0, jitter >= 0");
             }
+            Fault::TransitLoss { prob, .. } => {
+                assert!(
+                    (0.0..=1.0).contains(&prob),
+                    "transit loss must be in [0, 1]"
+                );
+            }
             Fault::Block { .. } | Fault::Restore { .. } => {}
         }
         self.events.push(TimedFault { at, fault });
@@ -191,6 +217,14 @@ impl FaultSchedule {
             t += period;
         }
         self
+    }
+
+    /// Silently drops data packets on `path` with probability `prob`
+    /// during `[from, to)` — see [`Fault::TransitLoss`].
+    pub fn transit_loss(&mut self, path: usize, from: f64, to: f64, prob: f64) -> &mut Self {
+        assert!(to > from, "transit-loss interval must be non-empty");
+        self.push(from, Fault::TransitLoss { path, prob });
+        self.push(to, Fault::TransitLoss { path, prob: 0.0 })
     }
 
     /// Node churn: every path traversing the departing node blacks out
@@ -342,11 +376,17 @@ pub fn salted_seed(seed: u64, salt: &str) -> u64 {
 pub struct FaultInjector {
     probe_loss: Vec<Vec<(f64, f64)>>,
     probe_delay: Vec<Vec<(f64, f64)>>,
+    transit_loss: Vec<Vec<(f64, f64)>>,
     bursts: Vec<Vec<(f64, f64, f64)>>,
     probe_count: Vec<u64>,
     delivery_count: Vec<u64>,
     salt: u64,
 }
+
+/// Domain-separation constant for the transit-loss hash stream, so a
+/// packet's loss draw can never collide with a probe's loss draw under
+/// the same run salt.
+const TRANSIT_LOSS_DOMAIN: u64 = 0x7261_6e73_6974_4c6f;
 
 impl FaultInjector {
     /// Compiles `schedule` for a run over `n_paths` paths. `salt` (the
@@ -358,6 +398,7 @@ impl FaultInjector {
     pub fn new(schedule: &FaultSchedule, n_paths: usize, salt: u64) -> Self {
         let mut probe_loss = vec![Vec::new(); n_paths];
         let mut probe_delay = vec![Vec::new(); n_paths];
+        let mut transit_loss = vec![Vec::new(); n_paths];
         let mut bursts = vec![Vec::new(); n_paths];
         for e in schedule.sorted_events() {
             let p = e.fault.path();
@@ -365,6 +406,7 @@ impl FaultInjector {
             match e.fault {
                 Fault::ProbeLoss { prob, .. } => probe_loss[p].push((e.at, prob)),
                 Fault::ProbeDelay { delay, .. } => probe_delay[p].push((e.at, delay)),
+                Fault::TransitLoss { prob, .. } => transit_loss[p].push((e.at, prob)),
                 Fault::ReorderBurst { span, jitter, .. } => {
                     bursts[p].push((e.at, e.at + span, jitter));
                 }
@@ -374,6 +416,7 @@ impl FaultInjector {
         Self {
             probe_loss,
             probe_delay,
+            transit_loss,
             bursts,
             probe_count: vec![0; n_paths],
             delivery_count: vec![0; n_paths],
@@ -394,6 +437,30 @@ impl FaultInjector {
     /// Probe reporting delay in force on `path` at time `t`.
     pub fn probe_delay_at(&self, path: usize, t: f64) -> f64 {
         step_at(&self.probe_delay[path], t, 0.0)
+    }
+
+    /// Injected transit-loss probability in force on `path` at `t`.
+    pub fn transit_loss_at(&self, path: usize, t: f64) -> f64 {
+        step_at(&self.transit_loss[path], t, 0.0)
+    }
+
+    /// The deterministic per-packet transit-loss draw for packet
+    /// `(stream, seq)` completing service on `path` at time `t`.
+    ///
+    /// Stateless by design — a pure hash of `(salt, path, stream,
+    /// seq)`, no counter — so the draw for a given packet is identical
+    /// no matter which worker shard serves it or in what order
+    /// deliveries interleave (the serial ≡ sharded byte-equality
+    /// requirement).
+    pub fn transit_lost(&self, path: usize, stream: u64, seq: u64, t: f64) -> bool {
+        let p = self.transit_loss_at(path, t);
+        if p <= 0.0 {
+            return false;
+        }
+        let h = splitmix64(
+            self.salt ^ TRANSIT_LOSS_DOMAIN ^ ((path as u64) << 48) ^ (stream << 32) ^ seq,
+        );
+        unit(h) < p
     }
 
     /// Rolls the deterministic per-probe loss draw for `path` at `t`:
@@ -447,6 +514,42 @@ mod tests {
         assert_eq!(tl, vec![(5.0, 0.25), (10.0, 1.0)]);
         assert_eq!(s.capacity_timeline(1), vec![(7.0, 0.0)]);
         assert!(s.capacity_timeline(2).is_empty());
+    }
+
+    #[test]
+    fn transit_loss_is_stateless_and_windowed() {
+        let mut s = FaultSchedule::new();
+        s.transit_loss(1, 10.0, 20.0, 1.0);
+        // Not a capacity change: conformance windows stay eligible.
+        assert!(s.capacity_change_times().is_empty());
+        assert!(s.capacity_timeline(1).is_empty());
+        let inj = FaultInjector::new(&s, 2, 42);
+        assert_eq!(inj.transit_loss_at(1, 9.9), 0.0);
+        assert_eq!(inj.transit_loss_at(1, 10.0), 1.0);
+        assert_eq!(inj.transit_loss_at(1, 20.0), 0.0);
+        // prob = 1 drops everything inside the window, nothing outside.
+        assert!(inj.transit_lost(1, 3, 77, 15.0));
+        assert!(!inj.transit_lost(1, 3, 77, 25.0));
+        assert!(!inj.transit_lost(0, 3, 77, 15.0));
+        // Pure hash: the same packet draws identically across injector
+        // clones (the sharded workers' view).
+        let twin = FaultInjector::new(&s, 2, 42);
+        let mut s2 = FaultSchedule::new();
+        s2.transit_loss(1, 10.0, 20.0, 0.5);
+        let frac = FaultInjector::new(&s2, 2, 42);
+        for seq in 0..200 {
+            assert_eq!(
+                inj.transit_lost(1, 3, seq, 15.0),
+                twin.transit_lost(1, 3, seq, 15.0)
+            );
+            // At p = 0.5 the draw is decided by the hash, not order.
+            let _ = frac.transit_lost(1, 3, seq, 15.0);
+        }
+        // ~half survive at p = 0.5 (deterministic, just sanity-bounded).
+        let lost = (0..1000)
+            .filter(|&seq| frac.transit_lost(1, 3, seq, 15.0))
+            .count();
+        assert!((350..=650).contains(&lost), "lost {lost}/1000 at p=0.5");
     }
 
     #[test]

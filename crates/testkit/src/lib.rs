@@ -24,8 +24,20 @@
 //!   conservation, virtual-deadline monotonicity, Table 1 precedence,
 //!   exponential-backoff shape, and mapping freshness. These are exact
 //!   (non-statistical) properties that must hold on every run.
+//!
+//! ## Paper artifact → code map
+//!
+//! | paper artifact | where it lives |
+//! |---|---|
+//! | Lemma 1 conformance (service probability) | [`scenario::lemma_outcomes`] "prob" stream |
+//! | Lemma 2 conformance (violation bound) | [`scenario::lemma_outcomes`] "vbound" stream |
+//! | §6 fault scenarios (+ silent-loss extensions) | [`scenario::FaultScenario`] |
+//! | Table 1 precedence as a trace invariant | [`invariants::PrecedenceChecker`] |
+//! | blocked-path exponential backoff | [`invariants::BackoffChecker`] |
+//! | many-tenant scalability (DESIGN.md §13) | [`manytenant`] |
+//! | statistical assertion machinery | [`stats`] |
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod golden;

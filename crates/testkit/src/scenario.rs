@@ -24,6 +24,7 @@
 use crate::stats::{BernoulliCheck, BoundedMeanCheck};
 use crate::topology::TopologyGen;
 use iqpaths_apps::workload::FramedSource;
+use iqpaths_core::mapping::MappingMode;
 use iqpaths_core::scheduler::{Pgos, PgosConfig};
 use iqpaths_core::stream::{Guarantee, StreamSpec};
 use iqpaths_core::traits::MultipathScheduler;
@@ -50,16 +51,41 @@ pub enum FaultScenario {
     /// A shared relay node carrying paths 0 and 1 leaves twice for 4 s,
     /// blacking out both paths simultaneously.
     Churn,
+    /// Loss-heavy, *uncorrelated* silent failure: exactly one path at a
+    /// time silently eats every data packet ([`Fault::TransitLoss`] at
+    /// probability 1), rotating through the paths on a 30 s cycle so
+    /// some path is dead at every instant of the measured run. Transit
+    /// loss is invisible to probing and is not a capacity change, so
+    /// every window stays lemma-eligible — the scenario erasure-coded
+    /// path diversity exists to win.
+    Uncorrelated,
+    /// Loss-heavy, *correlated* silent failure: twice per run, every
+    /// path simultaneously eats all data packets for 6 s (a shared
+    /// upstream black hole). No coding shape with all lanes on the
+    /// affected paths can decode through it, so path diversity buys
+    /// nothing over whole-path-first placement here — the honest
+    /// counter-case to [`FaultScenario::Uncorrelated`].
+    Correlated,
 }
 
 impl FaultScenario {
-    /// Every scenario, sweep order.
+    /// The classic conformance sweep axis. The loss-heavy pair
+    /// ([`FaultScenario::Uncorrelated`] / [`FaultScenario::Correlated`])
+    /// is deliberately *not* here: it exists for the mapping-mode
+    /// (`diversity`) sweep, and adding it to `ALL` would silently grow
+    /// every existing conformance matrix and invalidate pinned
+    /// expansion counts.
     pub const ALL: [FaultScenario; 4] = [
         FaultScenario::NoFault,
         FaultScenario::Flap,
         FaultScenario::Blackout,
         FaultScenario::Churn,
     ];
+
+    /// The loss-heavy scenario pair of the `diversity` sweep, in sweep
+    /// order: the uncorrelated rotation coding survives, then the
+    /// correlated black hole it cannot.
+    pub const LOSSY: [FaultScenario; 2] = [FaultScenario::Uncorrelated, FaultScenario::Correlated];
 
     /// Scenario name for reports.
     pub fn name(self) -> &'static str {
@@ -68,13 +94,18 @@ impl FaultScenario {
             FaultScenario::Flap => "flap",
             FaultScenario::Blackout => "blackout",
             FaultScenario::Churn => "churn",
+            FaultScenario::Uncorrelated => "uncorrelated",
+            FaultScenario::Correlated => "correlated",
         }
     }
 
     /// Inverse of [`FaultScenario::name`], for sweep cells that carry
     /// the scenario as a canonical string.
     pub fn by_name(name: &str) -> Option<FaultScenario> {
-        FaultScenario::ALL.into_iter().find(|s| s.name() == name)
+        FaultScenario::ALL
+            .into_iter()
+            .chain(FaultScenario::LOSSY)
+            .find(|s| s.name() == name)
     }
 
     /// The scenario's fault script over absolute emulation time
@@ -117,6 +148,31 @@ impl FaultScenario {
                 s.churn(&[0, 1], q1, q1 + 4.0);
                 s.churn(&[0, 1], q3, q3 + 4.0);
             }
+            FaultScenario::Uncorrelated => {
+                // Paths 0, 1, 2 take turns eating every data packet:
+                // path p is dead during the p-th 10 s third of each
+                // 30 s cycle, so exactly one path is down at all times.
+                let cycle = 30.0;
+                let phase = cycle / 3.0;
+                let cycles = (span / cycle).ceil() as usize;
+                for c in 0..cycles {
+                    for p in 0..3 {
+                        let from = start + c as f64 * cycle + p as f64 * phase;
+                        let to = (from + phase).min(end);
+                        if from < end {
+                            s.transit_loss(p, from, to, 1.0);
+                        }
+                    }
+                }
+            }
+            FaultScenario::Correlated => {
+                let q1 = start + span * 0.25;
+                let q3 = start + span * 0.75;
+                for p in 0..3 {
+                    s.transit_loss(p, q1, q1 + 6.0, 1.0);
+                    s.transit_loss(p, q3, q3 + 6.0, 1.0);
+                }
+            }
         }
         s
     }
@@ -149,6 +205,10 @@ pub struct ConformanceConfig {
     /// Probe budget the planner spends ([`ProbeBudget::Unlimited`] =
     /// the legacy probe-everything rate).
     pub probe_budget: ProbeBudget,
+    /// PGOS resource-mapping mode under test
+    /// ([`MappingMode::Pgos`] = classic whole-path-first placement,
+    /// bit-identical to every pre-Diversity release).
+    pub mapping: MappingMode,
 }
 
 impl ConformanceConfig {
@@ -166,6 +226,7 @@ impl ConformanceConfig {
             shards: 1,
             planner: PlannerKind::Periodic,
             probe_budget: ProbeBudget::Unlimited,
+            mapping: MappingMode::Pgos,
         }
     }
 
@@ -181,6 +242,13 @@ impl ConformanceConfig {
     pub fn with_planner(mut self, planner: PlannerKind, budget: ProbeBudget) -> Self {
         self.planner = planner;
         self.probe_budget = budget;
+        self
+    }
+
+    /// Same case under a different PGOS resource-mapping mode.
+    #[must_use]
+    pub fn with_mapping(mut self, mapping: MappingMode) -> Self {
+        self.mapping = mapping;
         self
     }
 }
@@ -221,6 +289,12 @@ pub struct ConformanceReport {
     /// Per-path main-loop probe spend, published by the runtime's
     /// probe planner (summed across workers on the sharded runtime).
     pub probe_counts: Vec<u64>,
+    /// Per-stream fraction of offered data delivered before its
+    /// deadline — the headline metric of the `diversity` sweep. Coded
+    /// streams count at decode-complete granularity
+    /// (`CodingStats::delivered_before_deadline`); uncoded streams
+    /// count on-time deadline deliveries over offered packets.
+    pub before_deadline: Vec<f64>,
 }
 
 impl ConformanceReport {
@@ -470,9 +544,13 @@ fn run_case(
             misses[d.stream][w] += 1.0;
         }
     };
+    let pgos_cfg = PgosConfig {
+        mapping_mode: cfg.mapping,
+        ..PgosConfig::default()
+    };
     let (report, probe_counts) = if rt.shards > 1 {
         let factory = |specs: Vec<StreamSpec>, n_paths: usize| -> Box<dyn MultipathScheduler> {
-            Box::new(Pgos::new(PgosConfig::default(), specs, n_paths))
+            Box::new(Pgos::new(pgos_cfg, specs, n_paths))
         };
         let outcome = run_sharded_with(
             &paths,
@@ -487,7 +565,7 @@ fn run_case(
         );
         (outcome.report, outcome.probe_counts)
     } else {
-        let scheduler = Pgos::new(PgosConfig::default(), specs.clone(), paths.len());
+        let scheduler = Pgos::new(pgos_cfg, specs.clone(), paths.len());
         run_traced_counted(
             &paths,
             Box::new(workload),
@@ -517,6 +595,27 @@ fn run_case(
         cfg.confidence,
     );
 
+    // Delivered-before-deadline ratio, offered-normalized so silent
+    // transit loss shows up (a lost packet is neither delivered nor a
+    // recorded miss). Coded streams credit decode-recovered blocks.
+    let before_deadline = report
+        .streams
+        .iter()
+        .enumerate()
+        .map(|(i, s)| match &s.coding {
+            Some(c) => c.delivered_before_deadline(),
+            None => {
+                let m = &report.metrics.streams[i];
+                let offered = m.enqueued + m.queue_dropped;
+                if offered == 0 {
+                    0.0
+                } else {
+                    (s.deadline_packets - s.deadline_misses) as f64 / offered as f64
+                }
+            }
+        })
+        .collect();
+
     ConformanceReport {
         scenario: cfg.scenario.name(),
         mode: mode_name(cfg.mode),
@@ -524,6 +623,7 @@ fn run_case(
         eligible_windows,
         outcomes,
         probe_counts,
+        before_deadline,
     }
 }
 
@@ -569,6 +669,43 @@ mod tests {
         let a = 20.0 + w_in as f64;
         let b = a + 1.0;
         assert!(!changes.iter().all(|&t| b <= t || t + settle <= a));
+    }
+
+    #[test]
+    fn lossy_scenarios_are_named_but_not_in_the_classic_sweep() {
+        for sc in FaultScenario::LOSSY {
+            assert_eq!(FaultScenario::by_name(sc.name()), Some(sc));
+            assert!(!FaultScenario::ALL.contains(&sc));
+        }
+    }
+
+    #[test]
+    fn uncorrelated_keeps_exactly_one_path_dead() {
+        let s = FaultScenario::Uncorrelated.schedule(20.0, 140.0);
+        // Transit loss is not a capacity change: every window stays
+        // lemma-eligible.
+        assert!(s.capacity_change_times().is_empty());
+        let inj = iqpaths_simnet::fault::FaultInjector::new(&s, 3, 1);
+        for t in [25.0, 47.0, 75.0, 103.0, 135.0] {
+            let dead: Vec<usize> = (0..3)
+                .filter(|&p| (0..64).all(|seq| inj.transit_lost(p, 0, seq, t)))
+                .collect();
+            assert_eq!(dead.len(), 1, "t={t} dead={dead:?}");
+        }
+    }
+
+    #[test]
+    fn correlated_kills_every_path_at_once() {
+        let s = FaultScenario::Correlated.schedule(20.0, 140.0);
+        assert!(s.capacity_change_times().is_empty());
+        let inj = iqpaths_simnet::fault::FaultInjector::new(&s, 3, 1);
+        // q1 = 50, q3 = 110: inside a burst all paths drop everything;
+        // between bursts nothing does (prob 0 draws never lose).
+        for p in 0..3 {
+            assert!(inj.transit_lost(p, 0, 0, 52.0));
+            assert!(inj.transit_lost(p, 0, 0, 112.0));
+            assert!(!inj.transit_lost(p, 0, 0, 80.0));
+        }
     }
 
     #[test]

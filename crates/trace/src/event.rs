@@ -256,6 +256,48 @@ pub enum TraceEvent {
         /// Post-discount information score at selection time.
         score: f64,
     },
+    /// The Diversity mapper planned an (n, k) erasure-coding stripe for
+    /// a stream (one event per coded stream, emitted once at planning
+    /// time). Absent under the default PGOS mapping, so classic traces
+    /// stay byte-identical.
+    CodingPlan {
+        /// Planning time (admission pre-warm).
+        at_ns: u64,
+        /// Stream index.
+        stream: u32,
+        /// Blocks per group (data + parity).
+        n: u32,
+        /// Data blocks per group.
+        k: u32,
+        /// Planner's correlation-discounted P(group decodes on time).
+        decode_p: f64,
+    },
+    /// A parity block was synthesized and enqueued behind the group's
+    /// `k`-th data block.
+    CodingParity {
+        /// Synthesis time.
+        at_ns: u64,
+        /// Stream index.
+        stream: u32,
+        /// Sequence number of the parity block.
+        seq: u64,
+        /// Group index (`seq / n`).
+        group: u64,
+    },
+    /// A coded group reached `k` on-time blocks: every data packet of
+    /// the group counts as delivered before its deadline, including
+    /// `recovered` blocks that were lost or late themselves.
+    CodingDecode {
+        /// Decode-complete time (arrival of the `k`-th on-time block).
+        at_ns: u64,
+        /// Stream index.
+        stream: u32,
+        /// Group index.
+        group: u64,
+        /// Data blocks credited by reconstruction rather than direct
+        /// on-time delivery.
+        recovered: u32,
+    },
 }
 
 impl TraceEvent {
@@ -279,6 +321,9 @@ impl TraceEvent {
             TraceEvent::BackoffReset { .. } => "backoff_reset",
             TraceEvent::ProbePlan { .. } => "probe_plan",
             TraceEvent::ProbeSelect { .. } => "probe_select",
+            TraceEvent::CodingPlan { .. } => "coding_plan",
+            TraceEvent::CodingParity { .. } => "coding_parity",
+            TraceEvent::CodingDecode { .. } => "coding_decode",
         }
     }
 
@@ -302,7 +347,10 @@ impl TraceEvent {
             | TraceEvent::BackoffStep { at_ns, .. }
             | TraceEvent::BackoffReset { at_ns, .. }
             | TraceEvent::ProbePlan { at_ns, .. }
-            | TraceEvent::ProbeSelect { at_ns, .. } => at_ns,
+            | TraceEvent::ProbeSelect { at_ns, .. }
+            | TraceEvent::CodingPlan { at_ns, .. }
+            | TraceEvent::CodingParity { at_ns, .. }
+            | TraceEvent::CodingDecode { at_ns, .. } => at_ns,
         }
     }
 
@@ -324,6 +372,7 @@ impl TraceEvent {
                 | TraceEvent::ProbeLost { .. }
                 | TraceEvent::ProbePlan { .. }
                 | TraceEvent::ProbeSelect { .. }
+                | TraceEvent::CodingPlan { .. }
         )
     }
 
@@ -476,6 +525,34 @@ impl TraceEvent {
                 out,
                 r#"{{"ev":"probe_select","t":{at_ns},"slot":{slot},"path":{path},"score":{score:?}}}"#
             ),
+            TraceEvent::CodingPlan {
+                at_ns,
+                stream,
+                n,
+                k,
+                decode_p,
+            } => write!(
+                out,
+                r#"{{"ev":"coding_plan","t":{at_ns},"stream":{stream},"n":{n},"k":{k},"decode_p":{decode_p:?}}}"#
+            ),
+            TraceEvent::CodingParity {
+                at_ns,
+                stream,
+                seq,
+                group,
+            } => write!(
+                out,
+                r#"{{"ev":"coding_parity","t":{at_ns},"stream":{stream},"seq":{seq},"group":{group}}}"#
+            ),
+            TraceEvent::CodingDecode {
+                at_ns,
+                stream,
+                group,
+                recovered,
+            } => write!(
+                out,
+                r#"{{"ev":"coding_decode","t":{at_ns},"stream":{stream},"group":{group},"recovered":{recovered}}}"#
+            ),
         };
     }
 
@@ -498,7 +575,10 @@ impl TraceEvent {
             | TraceEvent::DispatchDecision { stream, .. }
             | TraceEvent::Dispatch { stream, .. }
             | TraceEvent::Deliver { stream, .. }
-            | TraceEvent::TransitDrop { stream, .. } => Some(*stream),
+            | TraceEvent::TransitDrop { stream, .. }
+            | TraceEvent::CodingPlan { stream, .. }
+            | TraceEvent::CodingParity { stream, .. }
+            | TraceEvent::CodingDecode { stream, .. } => Some(*stream),
             _ => None,
         }
     }
@@ -518,7 +598,10 @@ impl TraceEvent {
             | TraceEvent::DispatchDecision { stream, .. }
             | TraceEvent::Dispatch { stream, .. }
             | TraceEvent::Deliver { stream, .. }
-            | TraceEvent::TransitDrop { stream, .. } => *stream = f(*stream),
+            | TraceEvent::TransitDrop { stream, .. }
+            | TraceEvent::CodingPlan { stream, .. }
+            | TraceEvent::CodingParity { stream, .. }
+            | TraceEvent::CodingDecode { stream, .. } => *stream = f(*stream),
             TraceEvent::ProbeSample { .. }
             | TraceEvent::ProbeLost { .. }
             | TraceEvent::WindowStart { .. }

@@ -2,16 +2,18 @@
 //!
 //! The companion `serde` shim gives `Serialize`/`Deserialize` blanket
 //! impls, so these derives only need to *exist* for `#[derive(...)]`
-//! attributes to compile — they expand to nothing.
+//! attributes to compile — they expand to nothing. The `serde`
+//! helper attribute is registered so field-level annotations like
+//! `#[serde(skip_serializing_if = "...")]` parse (and are ignored).
 
 use proc_macro::TokenStream;
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }

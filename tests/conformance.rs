@@ -61,6 +61,12 @@ fn sweep(mode: CdfMode) {
                 assert_eq!(r.report.path_blocked_events[2], 0);
                 faulted_passes += 1;
             }
+            // The silent-loss pair lives in FaultScenario::LOSSY, not
+            // ALL; this sweep never reaches it (see the diversity
+            // conformance suite for its matrix).
+            FaultScenario::Uncorrelated | FaultScenario::Correlated => {
+                unreachable!("LOSSY scenarios are not in FaultScenario::ALL")
+            }
         }
     }
     // The acceptance bar: ≥ 3 fault scenarios conformant per mode.
